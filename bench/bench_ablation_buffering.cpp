@@ -1,0 +1,107 @@
+// Ablation (§5.3): energy-delay tradeoff as a function of the buffer
+// size. Sweeps the batch size and reports radio energy per observation
+// against delivery-delay quantiles — the frontier the paper says "may be
+// tuned according to the application".
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broker/broker.h"
+#include "client/goflow_client.h"
+#include "common/bench_util.h"
+#include "common/histogram.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "phone/device_catalog.h"
+#include "phone/phone.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace mps;
+
+struct SweepPoint {
+  std::size_t buffer_size;
+  double energy_per_obs_mj;
+  double median_delay_min;
+  double p90_delay_min;
+  std::uint64_t uploads;
+};
+
+SweepPoint run_buffer(std::size_t buffer_size, net::Technology tech,
+                      std::uint64_t seed) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  broker.declare_exchange("E", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_queue("sink").throw_if_error();
+  broker.bind_queue("E", "sink", "#").throw_if_error();
+
+  phone::PhoneConfig pc;
+  pc.model = *phone::find_model("ONEPLUS A0001");
+  pc.user = "sweep";
+  pc.seed = seed;
+  pc.technology = tech;
+  pc.connectivity = net::ConnectivityParams::always_connected();
+  pc.horizon = days(2);
+  phone::Phone device(pc);
+
+  client::ClientConfig config = client::ClientConfig::v1_3("sweep", "E",
+                                                           buffer_size);
+  config.sense_period = minutes(5);
+  client::GoFlowClient goflow(
+      sim, broker, device, config, [](TimeMs) { return 58.0; },
+      [](TimeMs) { return std::pair<double, double>{0.0, 0.0}; });
+  goflow.start();
+  sim.run_until(days(1));
+  goflow.stop();
+  sim.run();
+
+  EmpiricalCdf delays;
+  for (const client::DeliveryRecord& r : goflow.deliveries())
+    delays.add(static_cast<double>(r.delay()));
+  SweepPoint p;
+  p.buffer_size = buffer_size;
+  p.energy_per_obs_mj =
+      device.radio().total_energy_mj() /
+      static_cast<double>(std::max<std::uint64_t>(
+          goflow.stats().observations_uploaded, 1));
+  p.median_delay_min = delays.empty() ? 0.0 : delays.quantile(0.5) / 60000.0;
+  p.p90_delay_min = delays.empty() ? 0.0 : delays.quantile(0.9) / 60000.0;
+  p.uploads = goflow.stats().uploads;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_ablation_buffering",
+               "Ablation - buffer-size sweep: energy vs delay frontier (par. 5.3)",
+               scale);
+  for (net::Technology tech :
+       {net::Technology::kWifi, net::Technology::kCell3G}) {
+    std::printf("\nnetwork: %s (24h, 5-min sensing, always connected)\n",
+                net::technology_name(tech));
+    TextTable table;
+    table.set_header({"buffer", "uploads", "energy/obs mJ", "median delay min",
+                      "p90 delay min"});
+    double first_energy = 0.0;
+    for (std::size_t buffer : {1u, 2u, 5u, 10u, 20u, 40u}) {
+      SweepPoint p = run_buffer(buffer, tech, scale.seed);
+      if (buffer == 1) first_energy = p.energy_per_obs_mj;
+      table.add_row({std::to_string(p.buffer_size), std::to_string(p.uploads),
+                     format("%.0f", p.energy_per_obs_mj),
+                     format("%.1f", p.median_delay_min),
+                     format("%.1f", p.p90_delay_min)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("(buffer=1 energy/obs: %.0f mJ; larger buffers amortize "
+                "ramp+tail, at the cost of delay)\n",
+                first_energy);
+  }
+  std::printf("\npaper check: energy per observation falls steeply with the "
+              "buffer size while\ndelay grows linearly with buffer x period — "
+              "the §5.3 energy-delay tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation (§5.2): calibration granularity — none vs per-model vs
+// per-device. The paper's claim: "calibration may be achieved per model
+// rather than per device". We measure the residual error of corrected
+// readings against the true ambient level under the three schemes, and
+// also evaluate crowd-calibration (§8 future work) against reference
+// calibration.
+#include <cstdio>
+#include <map>
+
+#include "calib/calibration.h"
+#include "calib/crowd_calibration.h"
+#include "common/bench_util.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "phone/microphone.h"
+
+namespace {
+
+using namespace mps;
+
+struct DeviceUnderTest {
+  const phone::DeviceModelSpec* spec;
+  phone::Microphone mic;
+  std::string device_id;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_ablation_calibration",
+               "Ablation - calibration granularity: none / per-model / "
+               "per-device (par. 5.2)",
+               scale);
+  Rng rng(scale.seed);
+
+  // 3 physical devices per model, each with a small unit offset.
+  std::vector<DeviceUnderTest> devices;
+  for (const auto& spec : phone::top20_catalog()) {
+    for (int unit = 0; unit < 3; ++unit) {
+      devices.push_back(DeviceUnderTest{
+          &spec, phone::Microphone(spec, rng.normal(0.0, 0.7)),
+          spec.id + "#" + std::to_string(unit)});
+    }
+  }
+
+  // Calibration phase against a reference meter (levels above every noise
+  // floor so clipping does not bias the estimates).
+  calib::CalibrationDatabase per_model, per_device;
+  for (DeviceUnderTest& d : devices) {
+    for (int i = 0; i < 150; ++i) {
+      double reference = rng.uniform(55.0, 90.0);
+      double reading = d.mic.measure(reference, rng);
+      per_model.add_sample(d.spec->id, reading, reference);
+      per_device.add_sample(d.device_id, reading, reference);
+    }
+  }
+
+  // Evaluation: fresh measurements of known scenes; residual |corrected -
+  // truth| per scheme.
+  RunningStats err_none, err_model, err_device;
+  for (DeviceUnderTest& d : devices) {
+    for (int i = 0; i < 300; ++i) {
+      double truth = rng.uniform(55.0, 90.0);
+      double raw = d.mic.measure(truth, rng);
+      err_none.add(std::abs(raw - truth));
+      err_model.add(std::abs(per_model.correct(d.spec->id, raw) - truth));
+      err_device.add(std::abs(per_device.correct(d.device_id, raw) - truth));
+    }
+  }
+
+  TextTable table;
+  table.set_header({"Scheme", "mean |error| dB", "max |error| dB"});
+  table.add_row({"uncalibrated", format("%.2f", err_none.mean()),
+                 format("%.2f", err_none.max())});
+  table.add_row({"per-model", format("%.2f", err_model.mean()),
+                 format("%.2f", err_model.max())});
+  table.add_row({"per-device", format("%.2f", err_device.mean()),
+                 format("%.2f", err_device.max())});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper check: per-model calibration captures nearly all of the "
+              "gain of\nper-device calibration (the residual unit spread is "
+              "small), while skipping\ncalibration leaves several dB of "
+              "error.\n\n");
+
+  // Crowd-calibration (future work): recover per-model biases from
+  // co-located observations, anchored at one reference-calibrated model.
+  std::vector<phone::Observation> observations;
+  Rng crowd_rng = rng.child("crowd");
+  for (int event = 0; event < 4000; ++event) {
+    double ambient = crowd_rng.uniform(50.0, 85.0);
+    double x = crowd_rng.uniform(0.0, 20'000.0);
+    double y = crowd_rng.uniform(0.0, 20'000.0);
+    TimeMs t = minutes(event * 3);
+    // Two random devices hear the same scene.
+    for (int k = 0; k < 2; ++k) {
+      DeviceUnderTest& d = devices[static_cast<std::size_t>(
+          crowd_rng.uniform_int(0, static_cast<std::int64_t>(devices.size()) - 1))];
+      phone::Observation obs;
+      obs.user = d.device_id;
+      obs.model = d.spec->id;
+      obs.captured_at = t + seconds(k * 30);
+      obs.spl_db = d.mic.measure(ambient, crowd_rng);
+      phone::LocationFix fix;
+      fix.x_m = x + crowd_rng.normal(0, 20);
+      fix.y_m = y + crowd_rng.normal(0, 20);
+      fix.accuracy_m = 30;
+      obs.location = fix;
+      observations.push_back(obs);
+    }
+  }
+  const std::string anchor = "SAMSUNG GT-I9505";
+  double anchor_bias = per_model.bias_db(anchor).value_or(0.0);
+  calib::CrowdCalibrationResult crowd_result =
+      calib::crowd_calibrate(observations, anchor, anchor_bias);
+
+  RunningStats crowd_err;
+  for (const auto& [model, estimated] : crowd_result.bias_db) {
+    double reference = per_model.bias_db(model).value_or(0.0);
+    crowd_err.add(std::abs(estimated - reference));
+  }
+  std::printf("crowd-calibration: %zu models covered via %zu co-located "
+              "pairs;\nmean |crowd bias - reference bias| = %.2f dB\n",
+              crowd_result.models_covered, crowd_result.pairs_used,
+              crowd_err.mean());
+  std::printf("paper check (par. 8): device biases are recoverable from the "
+              "crowd itself,\nwithout reference sessions for every model.\n");
+  return 0;
+}

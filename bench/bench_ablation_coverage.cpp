@@ -1,0 +1,69 @@
+// Ablation (§6.3 take-away): "the population is moving for less than 10%
+// of the time and is therefore remaining still ... this suggests that
+// attracting a large crowd is necessary to be able to cover a large
+// area." Quantifies spatial coverage as a function of crowd size: the
+// fraction of 500 m city cells that receive at least one localized
+// observation over a simulated month grows strongly sub-linearly, because
+// mostly-still users keep re-sampling the same few cells.
+#include <cstdio>
+#include <set>
+
+#include "common/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_ablation_coverage",
+               "Ablation - spatial coverage vs crowd size (par. 6.3)", scale);
+
+  const double kExtent = 20'000.0;
+  const double kCell = 500.0;
+  const auto kCellsPerSide = static_cast<std::size_t>(kExtent / kCell);
+  const std::size_t kTotalCells = kCellsPerSide * kCellsPerSide;
+
+  TextTable table;
+  table.set_header({"devices", "localized obs", "cells covered",
+                    "coverage", "obs per new cell"});
+  for (double device_scale : {0.01, 0.03, 0.1, 0.3}) {
+    crowd::PopulationConfig config;
+    config.seed = scale.seed;
+    config.device_scale = device_scale;
+    config.obs_scale = 0.05;
+    config.horizon = days(30);
+    crowd::Population population = crowd::Population::generate(config);
+    crowd::DatasetConfig dataset_config;
+    dataset_config.seed = scale.seed;
+    crowd::DatasetGenerator generator(population, dataset_config);
+
+    std::set<std::size_t> covered;
+    std::uint64_t localized = 0;
+    generator.generate([&](const phone::Observation& obs) {
+      if (!obs.location.has_value()) return;
+      ++localized;
+      double x = std::clamp(obs.location->x_m, 0.0, kExtent - 1.0);
+      double y = std::clamp(obs.location->y_m, 0.0, kExtent - 1.0);
+      auto ix = static_cast<std::size_t>(x / kCell);
+      auto iy = static_cast<std::size_t>(y / kCell);
+      covered.insert(iy * kCellsPerSide + ix);
+    });
+    table.add_row(
+        {std::to_string(population.users().size()),
+         std::to_string(localized), std::to_string(covered.size()),
+         format("%.1f%%", 100.0 * static_cast<double>(covered.size()) /
+                              static_cast<double>(kTotalCells)),
+         format("%.0f", covered.empty()
+                            ? 0.0
+                            : static_cast<double>(localized) /
+                                  static_cast<double>(covered.size()))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("reading: observations grow linearly with the crowd but new "
+              "cells do not —\nmostly-still users re-sample their home "
+              "neighbourhoods (Fig 21: still ~70%%).\nCity-wide coverage "
+              "needs a large, spatially heterogeneous crowd, which is\nthe "
+              "paper's §6.3 design take-away.\n");
+  return 0;
+}

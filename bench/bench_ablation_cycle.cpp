@@ -1,0 +1,101 @@
+// Ablation (§8: "adapted data assimilation algorithms that merge
+// traditional simulations ... with fixed and mobile observations"):
+// sequential (cycled) assimilation vs independent per-hour analyses vs
+// the raw model, over a simulated day of crowd observations. Because the
+// model's errors are persistent (missing/biased sources), carrying the
+// analysis increment forward accumulates information that independent
+// snapshots throw away — fewer observations per hour are needed for the
+// same map quality.
+#include <cstdio>
+
+#include "assim/city_noise_model.h"
+#include "assim/cycle.h"
+#include "common/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace mps;
+using namespace mps::assim;
+
+phone::Observation make_obs(double x, double y, double value, TimeMs t) {
+  phone::Observation obs;
+  obs.user = "crowd";
+  obs.model = "M";
+  obs.captured_at = t;
+  obs.spl_db = value;
+  phone::LocationFix fix;
+  fix.x_m = x;
+  fix.y_m = y;
+  fix.accuracy_m = 20.0;
+  obs.location = fix;
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_ablation_cycle",
+               "Ablation - cycled assimilation vs independent analyses (par. 8)",
+               scale);
+
+  CityModelParams params;
+  params.extent_m = 12'000;
+  params.grid_nx = 32;
+  params.grid_ny = 32;
+  CityNoiseModel city(params, scale.seed);
+  auto model_fn = [&](TimeMs t) { return city.model(t); };
+
+  double sigma_b = city.model(hours(8)).rmse(city.truth(hours(8)));
+  std::printf("static model error (RMSE): %.2f dB\n\n", sigma_b);
+
+  TextTable table;
+  table.set_header({"obs/hour", "model-only RMSE", "independent RMSE",
+                    "cycled RMSE", "cycle gain vs independent"});
+  for (int per_hour : {20, 60, 180}) {
+    CycleConfig config;
+    config.blue.sigma_b = sigma_b;
+    config.blue.corr_length_m = 900.0;
+    config.policy.base_sigma_r_db = 1.2;
+    config.policy.sigma_per_accuracy_m = 0.0;
+
+    AssimilationCycle cycle(model_fn, hours(8), config);
+    Rng rng(scale.seed + static_cast<std::uint64_t>(per_hour));
+    double model_sum = 0.0, independent_sum = 0.0, cycled_sum = 0.0;
+    const int kHours = 12;
+    for (int h = 0; h < kHours; ++h) {
+      TimeMs t = hours(9 + h);
+      Grid truth = city.truth(t);
+      std::vector<phone::Observation> window;
+      for (int i = 0; i < per_hour; ++i) {
+        double x = rng.uniform(0, params.extent_m);
+        double y = rng.uniform(0, params.extent_m);
+        window.push_back(
+            make_obs(x, y, truth.sample(x, y) + rng.normal(0, 1.0), t));
+      }
+      // Independent analysis: same observations against the raw model.
+      BlueResult independent = assimilate(city.model(t), window, config.blue,
+                                          config.policy);
+      cycle.advance(window);
+
+      model_sum += city.model(t).rmse(truth);
+      independent_sum += independent.analysis.rmse(truth);
+      cycled_sum += cycle.analysis().rmse(truth);
+    }
+    table.add_row({std::to_string(per_hour),
+                   format("%.2f", model_sum / kHours),
+                   format("%.2f", independent_sum / kHours),
+                   format("%.2f", cycled_sum / kHours),
+                   format("%.0f%%", 100.0 * (independent_sum - cycled_sum) /
+                                        independent_sum)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("reading: with persistent model errors the cycle keeps what "
+              "each hour's crowd\ntaught it — at low observation rates it "
+              "clearly beats re-starting from the raw\nmodel every analysis "
+              "(the regime mobile crowds live in: §6.3, sparse coverage).\n");
+  return 0;
+}

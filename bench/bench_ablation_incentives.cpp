@@ -1,0 +1,122 @@
+// Ablation (§2, ref [46] Yang et al. MobiCom'12): incentive mechanisms.
+//
+// (1) Platform-centric Stackelberg game: sweep the announced reward and
+//     report equilibrium crowd size and total sensing time. User costs
+//     derive from the energy model: 3G users bear higher per-hour costs
+//     than WiFi users (the §5.3 energy story priced in euros).
+// (2) User-centric reverse auction vs a fixed micropayment: coverage
+//     value bought per unit payment, on the same bidder population.
+#include <cstdio>
+#include <set>
+
+#include "common/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "crowd/incentives.h"
+#include "net/radio.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_ablation_incentives",
+               "Ablation - incentive mechanisms (par. 2, ref [46])", scale);
+  Rng rng(scale.seed);
+
+  // --- Population of potential participants ------------------------------
+  // Cost per sensing-hour: battery wear + data plan; 3G users ~2x WiFi.
+  const int kUsers = 60;
+  std::vector<double> costs;
+  std::vector<bool> on_wifi;
+  for (int i = 0; i < kUsers; ++i) {
+    bool wifi = rng.bernoulli(0.6);
+    double base = wifi ? 0.8 : 1.7;
+    costs.push_back(base * rng.lognormal(0.0, 0.35));
+    on_wifi.push_back(wifi);
+  }
+
+  // --- Sweep 1: Stackelberg reward vs participation ----------------------
+  std::printf("1) platform-centric Stackelberg: reward sweep (%d users, "
+              "3G users cost ~2x WiFi)\n", kUsers);
+  TextTable sweep1;
+  sweep1.set_header({"reward", "participants", "total sensing time",
+                     "time per reward unit"});
+  for (double reward : {5.0, 20.0, 80.0, 320.0}) {
+    crowd::StackelbergOutcome outcome =
+        crowd::stackelberg_equilibrium(costs, reward);
+    sweep1.add_row({format("%.0f", reward),
+                    std::to_string(outcome.participants.size()),
+                    format("%.2f", outcome.total_time),
+                    format("%.4f", outcome.total_time / reward)});
+  }
+  std::printf("%s", sweep1.to_string().c_str());
+  std::printf("(participant set depends on the cost profile, not the reward; "
+              "time scales\nlinearly with the reward — the [46] structure)\n\n");
+
+  // --- Sweep 2: reverse auction vs fixed price ----------------------------
+  // Items: 10x10 coverage cells; each user covers a random neighbourhood.
+  std::printf("2) user-centric reverse auction vs fixed micropayment\n");
+  const std::size_t kCells = 100;
+  std::vector<double> cell_value(kCells, 1.0);
+  std::vector<crowd::Bidder> bidders;
+  for (int i = 0; i < kUsers; ++i) {
+    crowd::Bidder b;
+    b.id = format("u%02d", i);
+    b.bid = costs[static_cast<std::size_t>(i)];
+    auto center = static_cast<std::size_t>(rng.uniform_int(0, 99));
+    auto reach = rng.uniform_int(2, 6);
+    for (int k = 0; k < reach; ++k) {
+      auto cell = (center + static_cast<std::size_t>(rng.uniform_int(0, 15))) % kCells;
+      b.items.push_back(cell);
+    }
+    bidders.push_back(b);
+  }
+
+  crowd::AuctionResult auction = crowd::reverse_auction(bidders, cell_value);
+
+  // Fixed price: pay every willing user `price` (accepts when price >=
+  // cost). To compare fairly, find the cheapest price whose coverage
+  // matches the auction's, and what that costs in total payments.
+  auto fixed_outcome = [&](double price) {
+    std::set<std::size_t> covered;
+    double value = 0.0, paid = 0.0;
+    for (const crowd::Bidder& b : bidders) {
+      if (b.bid > price) continue;
+      paid += price;
+      for (std::size_t item : b.items)
+        if (covered.insert(item).second) value += cell_value[item];
+    }
+    return std::pair<double, double>{value, paid};
+  };
+  double match_price = -1.0, match_paid = 0.0, match_value = 0.0;
+  for (double price = 0.4; price <= 6.0; price += 0.1) {
+    auto [value, paid] = fixed_outcome(price);
+    if (value >= auction.total_value) {
+      match_price = price;
+      match_paid = paid;
+      match_value = value;
+      break;
+    }
+  }
+
+  TextTable sweep2;
+  sweep2.set_header({"mechanism", "coverage value", "total payment",
+                     "value / payment"});
+  sweep2.add_row({"reverse auction (truthful)", format("%.0f", auction.total_value),
+                  format("%.1f", auction.total_payment),
+                  format("%.2f", auction.total_value /
+                                     std::max(auction.total_payment, 1e-9))});
+  if (match_price > 0.0) {
+    sweep2.add_row({format("fixed price %.1f (same coverage)", match_price),
+                    format("%.0f", match_value), format("%.1f", match_paid),
+                    format("%.2f", match_value / match_paid)});
+  } else {
+    sweep2.add_row({"fixed price (cannot match coverage)", "-", "-", "-"});
+  }
+  std::printf("%s", sweep2.to_string().c_str());
+  std::printf("(to match the auction's coverage, fixed pricing must pay every "
+              "willing user\nthe clearing price — including redundant ones — "
+              "while the truthful auction\nbuys only marginal coverage at "
+              "critical values)\n");
+  return 0;
+}

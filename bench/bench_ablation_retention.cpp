@@ -1,0 +1,131 @@
+// Ablation (§2 / §7): energy efficiency is critical for *adoption* — the
+// closed loop from middleware policy to crowd size to data volume.
+//
+// For each upload policy we measure the app-attributable daily battery
+// drain with the real client/radio stack (24h run), feed it into the
+// retention hazard model, and report the expected crowd retained after
+// the 10-month study plus the total data volume a 1,000-user cohort would
+// contribute. Inefficient policies don't just cost joules — they shrink
+// the crowd that the paper's whole approach depends on.
+#include <cstdio>
+
+#include "broker/broker.h"
+#include "client/goflow_client.h"
+#include "common/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "crowd/retention.h"
+#include "phone/device_catalog.h"
+#include "phone/phone.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace mps;
+
+/// Daily app-attributable drain (battery percentage points) for a policy.
+double measure_daily_drain(client::AppVersion version, std::size_t buffer,
+                           bool piggyback, net::Technology tech) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  broker.declare_exchange("E", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_queue("sink").throw_if_error();
+  broker.bind_queue("E", "sink", "#").throw_if_error();
+
+  phone::PhoneConfig pc;
+  pc.model = *phone::find_model("LGE NEXUS 5");
+  pc.user = "probe";
+  pc.seed = 11;
+  pc.technology = tech;
+  pc.connectivity = net::ConnectivityParams::always_connected();
+  pc.foreground.sessions_per_hour = piggyback ? 6.0 : 0.0;
+  pc.horizon = days(2);
+  pc.start_battery_fraction = 1.0;
+  phone::Phone device(pc);
+
+  client::ClientConfig cc;
+  cc.client_id = "probe";
+  cc.exchange = "E";
+  cc.version = version;
+  cc.buffer_size = buffer;
+  cc.piggyback = piggyback;
+  cc.sense_period = minutes(5);
+  client::GoFlowClient goflow(
+      sim, broker, device, cc, [](TimeMs) { return 58.0; },
+      [](TimeMs) { return std::pair<double, double>{0.0, 0.0}; });
+  goflow.start();
+  sim.run_until(days(1));
+  goflow.stop();
+  sim.run();
+  // App-attributable = discrete drain (sensing + radio); baseline drain
+  // happens with or without the app.
+  return device.battery().discrete_drained_mj() /
+         device.battery().capacity_mj() * 100.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_ablation_retention",
+               "Ablation - upload policy -> battery drain -> crowd retention "
+               "(par. 2/7)",
+               scale);
+
+  crowd::RetentionModel retention;
+  const int kStudyDays = 305;
+  const int kCohort = 1000;
+  const double kObsPerDay = 30.0;
+
+  struct Policy {
+    const char* name;
+    client::AppVersion version;
+    std::size_t buffer;
+    bool piggyback;
+    net::Technology tech;
+  };
+  const Policy policies[] = {
+      {"v1.1 unbuffered, 3G", client::AppVersion::kV1_1, 1, false,
+       net::Technology::kCell3G},
+      {"v1.2.9 unbuffered, 3G", client::AppVersion::kV1_2_9, 1, false,
+       net::Technology::kCell3G},
+      {"v1.3 buffer=10, 3G", client::AppVersion::kV1_3, 10, false,
+       net::Technology::kCell3G},
+      {"v1.3 buffer=10 + piggyback, 3G", client::AppVersion::kV1_3, 10, true,
+       net::Technology::kCell3G},
+      {"v1.3 buffer=10, WiFi", client::AppVersion::kV1_3, 10, false,
+       net::Technology::kWifi},
+  };
+
+  TextTable table;
+  table.set_header({"policy", "app drain %/day", "retained @305d",
+                    "median lifetime d", "cohort obs (millions)"});
+  for (const Policy& policy : policies) {
+    double drain = measure_daily_drain(policy.version, policy.buffer,
+                                       policy.piggyback, policy.tech);
+    std::vector<double> curve = retention.survival_curve(drain, kStudyDays);
+    // Median lifetime: first day survival drops below 0.5.
+    int median_day = kStudyDays;
+    for (int day = 0; day <= kStudyDays; ++day) {
+      if (curve[static_cast<std::size_t>(day)] < 0.5) {
+        median_day = day;
+        break;
+      }
+    }
+    // Expected user-days = sum of survival curve.
+    double user_days = 0.0;
+    for (double s : curve) user_days += s;
+    double cohort_observations = user_days * kCohort * kObsPerDay / 1e6;
+    table.add_row({policy.name, format("%.1f", drain),
+                   format("%.1f%%", curve.back() * 100.0),
+                   std::to_string(median_day),
+                   format("%.1f", cohort_observations)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("reading: the unbuffered 3G build loses most of its crowd "
+              "within weeks; the\nbuffered releases keep users — and their "
+              "data — for months. Energy policy is\ncrowd policy (the "
+              "paper's 'energy efficiency is critical for adoption').\n");
+  return 0;
+}

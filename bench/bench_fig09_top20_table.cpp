@@ -1,0 +1,75 @@
+// Figure 9: the top-20 device-model table — devices, measurements,
+// localized measurements. We print the paper's exact column values next
+// to the regenerated (scaled) dataset's counts, extrapolated back to full
+// scale, so proportions can be compared per model.
+#include <cstdio>
+#include <map>
+
+#include "common/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "phone/device_catalog.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_fig09_top20_table", "Figure 9 - top-20 models table",
+               scale);
+  crowd::Population population = make_population(scale);
+
+  std::map<std::string, std::uint64_t> measurements, localized;
+  std::map<std::string, int> devices;
+  for (const crowd::UserProfile& user : population.users()) ++devices[user.model];
+
+  crowd::DatasetConfig config;
+  config.seed = scale.seed;
+  crowd::DatasetGenerator generator(population, config);
+  std::uint64_t total = generator.generate([&](const phone::Observation& obs) {
+    ++measurements[obs.model];
+    if (obs.location.has_value()) ++localized[obs.model];
+  });
+
+  double volume_scale = scale.device_scale * scale.obs_scale;
+  TextTable table;
+  table.set_header({"Device model", "Dev(paper)", "Dev(sim)", "Meas(paper)",
+                    "Meas(sim*)", "Loc(paper)", "Loc(sim*)", "Loc%p", "Loc%s"});
+  std::uint64_t sim_meas_total = 0, sim_loc_total = 0;
+  for (const auto& spec : phone::top20_catalog()) {
+    std::uint64_t m = measurements[spec.id];
+    std::uint64_t l = localized[spec.id];
+    sim_meas_total += m;
+    sim_loc_total += l;
+    auto scaled = [&](std::uint64_t v) {
+      return with_thousands(
+          static_cast<std::int64_t>(static_cast<double>(v) / volume_scale));
+    };
+    table.add_row({spec.id, std::to_string(spec.paper_devices),
+                   std::to_string(devices[spec.id]),
+                   with_thousands(spec.paper_measurements), scaled(m),
+                   with_thousands(spec.paper_localized), scaled(l),
+                   format("%.0f%%", 100.0 * spec.localized_fraction()),
+                   m > 0 ? format("%.0f%%", 100.0 * static_cast<double>(l) /
+                                                static_cast<double>(m))
+                         : "-"});
+  }
+  table.add_row({"Total", std::to_string(phone::catalog_total_devices()),
+                 std::to_string(static_cast<int>(population.users().size())),
+                 with_thousands(phone::catalog_total_measurements()),
+                 with_thousands(static_cast<std::int64_t>(
+                     static_cast<double>(sim_meas_total) / volume_scale)),
+                 with_thousands(phone::catalog_total_localized()),
+                 with_thousands(static_cast<std::int64_t>(
+                     static_cast<double>(sim_loc_total) / volume_scale)),
+                 "41%",
+                 format("%.0f%%", sim_meas_total > 0
+                                      ? 100.0 *
+                                            static_cast<double>(sim_loc_total) /
+                                            static_cast<double>(sim_meas_total)
+                                      : 0.0)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(sim*) columns extrapolate the scaled run (x%.4g) back to full "
+              "size; generated %llu observations this run.\n",
+              1.0 / volume_scale, static_cast<unsigned long long>(total));
+  return 0;
+}

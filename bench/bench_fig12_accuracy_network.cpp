@@ -1,0 +1,31 @@
+// Figure 12: distribution (%) of location accuracy for network fixes.
+// Paper shape: network location dominates (~86% of localized
+// observations) with most accuracies in [20,50) m.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "phone/observation.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_fig12_accuracy_network",
+               "Figure 12 - location accuracy distribution (network)", scale);
+  crowd::Population population = make_population(scale);
+  AccuracySweep sweep = collect_accuracy(population, scale);
+
+  auto net = static_cast<std::size_t>(phone::LocationProvider::kNetwork);
+  double share =
+      sweep.localized > 0
+          ? 100.0 * static_cast<double>(sweep.count_by_provider[net]) /
+                static_cast<double>(sweep.localized)
+          : 0.0;
+  std::printf("network share of localized observations: %.1f%% (paper: ~86%%)\n\n",
+              share);
+  std::printf("accuracy distribution (%% of network observations):\n");
+  print_accuracy_histogram(sweep.accuracy_by_provider[net]);
+  std::printf("\npaper shape check: dominant bucket [20,50) m, secondary mass "
+              "below 100 m.\n");
+  return 0;
+}

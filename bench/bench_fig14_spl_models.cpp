@@ -1,0 +1,70 @@
+// Figure 14: distribution (per-mille) of raw SPL measurements for the
+// top-20 models. Paper shape: every model shows a dominant low-level peak
+// plus a smaller bump for active environments, but the peak position
+// shifts across models (sensor heterogeneity). Within one model the
+// distributions coincide (Figure 15 / bench_fig15).
+#include <cstdio>
+#include <map>
+
+#include "common/bench_util.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "phone/device_catalog.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_fig14_spl_models",
+               "Figure 14 - raw SPL distribution per model (per-mille)", scale);
+  crowd::Population population = make_population(scale);
+  crowd::DatasetConfig config;
+  config.seed = scale.seed;
+  crowd::DatasetGenerator generator(population, config);
+
+  std::map<std::string, Histogram> spl;
+  for (const auto& spec : phone::top20_catalog())
+    spl.emplace(spec.id, Histogram(20.0, 100.0, 80));
+  generator.generate([&](const phone::Observation& obs) {
+    spl.at(obs.model).add(obs.spl_db);
+  });
+
+  TextTable table;
+  table.set_header({"Device model", "low-peak dB", "p(low) o/oo",
+                    "active bump dB", "mean dB"});
+  std::vector<double> peaks;
+  for (const auto& spec : phone::top20_catalog()) {
+    const Histogram& h = spl.at(spec.id);
+    std::size_t mode = h.mode_bin();
+    // The secondary (active-environment) bump: fullest bin above 52 dB.
+    std::size_t bump = 0;
+    double bump_count = -1.0;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < h.bin_count(); ++i) {
+      mean += h.bin_mid(i) * h.count(i);
+      if (h.bin_mid(i) > 52.0 && h.count(i) > bump_count) {
+        bump_count = h.count(i);
+        bump = i;
+      }
+    }
+    if (h.total() > 0) mean /= h.total();
+    peaks.push_back(h.bin_mid(mode));
+    table.add_row({spec.id, format("%.1f", h.bin_mid(mode)),
+                   format("%.0f", h.share(mode, 1000.0)),
+                   format("%.1f", h.bin_mid(bump)), format("%.1f", mean)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  RunningStats peak_stats;
+  for (double p : peaks) peak_stats.add(p);
+  std::printf("low-level peak position across models: min=%.1f dB, max=%.1f dB, "
+              "spread=%.1f dB\n",
+              peak_stats.min(), peak_stats.max(),
+              peak_stats.max() - peak_stats.min());
+  std::printf("paper check: same two-component shape for every model, but the "
+              "peak position\nvaries significantly across models "
+              "(heterogeneity of the noise sensors).\n");
+  return 0;
+}

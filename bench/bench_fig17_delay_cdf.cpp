@@ -1,0 +1,143 @@
+// Figure 17: transmission delay vs energy efficiency — the distribution
+// of capture-to-server delays per app version:
+//   v1.1   unbuffered, naive per-upload connection handling;
+//   v1.2.9 unbuffered, persistent connection;
+//   v1.3   buffered (10 observations, i.e. ~50 min cycle at the default
+//          5-min sensing period).
+//
+// Paper shape: for v1.2(.9) ~30% of measurements reach the server within
+// 10 s while ~35% arrive after 2 h (long disconnections); the buffered
+// version shifts the short-delay mass toward the ~1 h buffer period and
+// moderately grows the 2-h tail (~45%).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broker/broker.h"
+#include "client/goflow_client.h"
+#include "common/bench_util.h"
+#include "common/histogram.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "phone/device_catalog.h"
+#include "phone/phone.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace mps;
+
+/// Collected delays for one app version.
+struct VersionRun {
+  std::string label;
+  EmpiricalCdf delays;
+  std::uint64_t recorded = 0;
+  std::uint64_t undelivered = 0;
+};
+
+VersionRun run_version(const std::string& label, client::AppVersion version,
+                       std::size_t buffer_size, int device_count,
+                       std::uint64_t seed) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  broker.declare_exchange("E", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_queue("sink", {}).throw_if_error();
+  broker.bind_queue("E", "sink", "#").throw_if_error();
+
+  // Urban connectivity: ~30% of time connected at capture, with long
+  // disconnection episodes (the paper's reading of the 2-h tail).
+  net::ConnectivityParams connectivity;
+  connectivity.mean_up = hours(1);
+  connectivity.mean_down_short = minutes(20);
+  connectivity.p_long_down = 0.35;
+  connectivity.mean_down_long = hours(6);
+  connectivity.p_start_connected = 0.3;
+
+  const TimeMs kHorizon = days(7);
+  std::vector<std::unique_ptr<phone::Phone>> phones;
+  std::vector<std::unique_ptr<client::GoFlowClient>> clients;
+  const auto& catalog = phone::top20_catalog();
+  for (int i = 0; i < device_count; ++i) {
+    phone::PhoneConfig pc;
+    pc.model = catalog[static_cast<std::size_t>(i) % catalog.size()];
+    pc.user = "u" + std::to_string(i);
+    pc.seed = seed * 1000 + static_cast<std::uint64_t>(i);
+    pc.connectivity = connectivity;
+    pc.horizon = kHorizon + hours(1);
+    phones.push_back(std::make_unique<phone::Phone>(pc));
+
+    client::ClientConfig cc;
+    cc.client_id = pc.user;
+    cc.exchange = "E";
+    cc.version = version;
+    cc.buffer_size = buffer_size;
+    cc.sense_period = minutes(5);
+    clients.push_back(std::make_unique<client::GoFlowClient>(
+        sim, broker, *phones.back(), cc, [](TimeMs) { return 58.0; },
+        [](TimeMs) { return std::pair<double, double>{0.0, 0.0}; }));
+    clients.back()->start();
+  }
+  sim.run_until(kHorizon);
+  for (auto& c : clients) c->stop();
+  sim.run();
+
+  VersionRun run;
+  run.label = label;
+  for (const auto& c : clients) {
+    run.recorded += c->stats().observations_recorded;
+    run.undelivered += c->buffered();
+    for (const client::DeliveryRecord& r : c->deliveries())
+      run.delays.add(static_cast<double>(r.delay()));
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_fig17_delay_cdf",
+               "Figure 17 - transmission delay distribution per app version",
+               scale);
+  const int kDevices = 40;
+
+  std::vector<VersionRun> runs;
+  runs.push_back(run_version("v1.1 (unbuffered, naive)",
+                             client::AppVersion::kV1_1, 1, kDevices,
+                             scale.seed));
+  runs.push_back(run_version("v1.2.9 (unbuffered)",
+                             client::AppVersion::kV1_2_9, 1, kDevices,
+                             scale.seed + 1));
+  runs.push_back(run_version("v1.3 (buffer=10)", client::AppVersion::kV1_3, 10,
+                             kDevices, scale.seed + 2));
+
+  TextTable table;
+  table.set_header({"Version", "<=10s", "<=1min", "<=10min", "<=1h", "<=2h",
+                    ">2h", "#delivered"});
+  for (const VersionRun& run : runs) {
+    auto pct = [&](DurationMs d) {
+      return format("%.1f%%",
+                    run.delays.fraction_at_most(static_cast<double>(d)) * 100.0);
+    };
+    table.add_row(
+        {run.label, pct(seconds(10)), pct(minutes(1)), pct(minutes(10)),
+         pct(hours(1)), pct(hours(2)),
+         format("%.1f%%", (1.0 - run.delays.fraction_at_most(
+                                     static_cast<double>(hours(2)))) *
+                              100.0),
+         std::to_string(run.delays.size())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  for (const VersionRun& run : runs) {
+    std::printf("%-26s median=%.0fs p90=%.0fmin undelivered-at-end=%llu\n",
+                run.label.c_str(), run.delays.quantile(0.5) / 1000.0,
+                run.delays.quantile(0.9) / 60000.0,
+                static_cast<unsigned long long>(run.undelivered));
+  }
+  std::printf("\npaper shape checks: v1.2.9 ~30%% within 10 s and ~35%% beyond "
+              "2 h;\nbuffered v1.3 moves short-delay mass toward the ~1 h "
+              "cycle and grows the\n2-h tail moderately (~45%%).\n");
+  return 0;
+}

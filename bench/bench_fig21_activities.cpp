@@ -1,0 +1,58 @@
+// Figure 21: distribution (%) of user activities for the top-20 models.
+// Paper shape: still ~70%, moving (foot/bicycle/vehicle) < 10%, and ~20%
+// unqualified (confidence < 80% or no recognition result).
+#include <cstdio>
+#include <map>
+
+#include "common/bench_util.h"
+#include "common/strings.h"
+#include "phone/observation.h"
+
+int main() {
+  using namespace mps;
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_fig21_activities",
+               "Figure 21 - distribution of user activities", scale);
+  crowd::Population population = make_population(scale);
+  crowd::DatasetConfig config;
+  config.seed = scale.seed;
+  crowd::DatasetGenerator generator(population, config);
+
+  std::map<phone::Activity, std::uint64_t> counts;
+  std::uint64_t total = generator.generate(
+      [&](const phone::Observation& obs) { ++counts[obs.activity]; });
+
+  std::printf("activity distribution over %llu observations:\n",
+              static_cast<unsigned long long>(total));
+  double peak = 0.0;
+  for (const auto& [_, n] : counts) peak = std::max(peak, static_cast<double>(n));
+  for (phone::Activity a :
+       {phone::Activity::kStill, phone::Activity::kFoot,
+        phone::Activity::kBicycle, phone::Activity::kVehicle,
+        phone::Activity::kTilting, phone::Activity::kUnknown,
+        phone::Activity::kUndefined}) {
+    double share = total > 0 ? 100.0 * static_cast<double>(counts[a]) /
+                                   static_cast<double>(total)
+                             : 0.0;
+    std::printf("  %-10s %6.2f%%  %s\n", phone::activity_name(a), share,
+                bar(static_cast<double>(counts[a]), peak).c_str());
+  }
+
+  double moving = 0.0, unqualified = 0.0;
+  for (phone::Activity a : {phone::Activity::kFoot, phone::Activity::kBicycle,
+                            phone::Activity::kVehicle})
+    moving += static_cast<double>(counts[a]);
+  for (phone::Activity a :
+       {phone::Activity::kUnknown, phone::Activity::kUndefined})
+    unqualified += static_cast<double>(counts[a]);
+  std::printf("\nstill: %.1f%% (paper: ~70%%), moving: %.1f%% (paper: <10%%), "
+              "unqualified: %.1f%% (paper: ~20%%)\n",
+              100.0 * static_cast<double>(counts[phone::Activity::kStill]) /
+                  static_cast<double>(total),
+              100.0 * moving / static_cast<double>(total),
+              100.0 * unqualified / static_cast<double>(total));
+  std::printf("paper take-away: the population is still most of the time -> a "
+              "large crowd is\nneeded to cover a large area.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark) of the middleware hot paths: topic
+// matching, broker routing through the Figure 3 topology, document-store
+// insert and indexed query, and the BLUE analysis as a function of the
+// observation batch size.
+#include <benchmark/benchmark.h>
+
+#include "assim/blue.h"
+#include "broker/broker.h"
+#include "broker/topic.h"
+#include "common/rng.h"
+#include "docstore/collection.h"
+#include "phone/observation.h"
+
+namespace {
+
+using namespace mps;
+
+void BM_TopicMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        broker::topic_matches("FR75013.*.#", "FR75013.Feedback.mob1.extra"));
+  }
+}
+BENCHMARK(BM_TopicMatch);
+
+void BM_BrokerPublishFigure3(benchmark::State& state) {
+  broker::Broker broker;
+  broker.declare_exchange("client", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_exchange("app", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_exchange("goflow", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_queue("ingest").throw_if_error();
+  broker.bind_exchange("client", "app", "#").throw_if_error();
+  broker.bind_exchange("app", "goflow", "#").throw_if_error();
+  broker.bind_queue("goflow", "ingest", "#").throw_if_error();
+  std::uint64_t consumed = 0;
+  broker.subscribe("ingest", [&](const broker::Message&) { ++consumed; })
+      .value_or_throw();
+  Value payload(Object{{"spl", Value(60.0)}, {"user", Value("u")}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        broker.publish("client", "soundcity.obs.u", payload, 0));
+  }
+  state.counters["consumed"] = static_cast<double>(consumed);
+}
+BENCHMARK(BM_BrokerPublishFigure3);
+
+void BM_BrokerFanout(benchmark::State& state) {
+  broker::Broker broker;
+  broker.declare_exchange("e", broker::ExchangeType::kTopic).throw_if_error();
+  auto queues = state.range(0);
+  for (std::int64_t i = 0; i < queues; ++i) {
+    std::string q = "q" + std::to_string(i);
+    broker.declare_queue(q, {.max_length = 8}).throw_if_error();
+    broker.bind_queue("e", q, "#").throw_if_error();
+  }
+  Value payload(Object{{"n", Value(1)}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.publish("e", "k", payload, 0));
+  }
+}
+BENCHMARK(BM_BrokerFanout)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_DocstoreInsert(benchmark::State& state) {
+  docstore::Collection collection("obs");
+  collection.create_index("user");
+  collection.create_index("captured_at");
+  Rng rng(1);
+  for (auto _ : state) {
+    collection.insert(Value(Object{
+        {"user", Value("u" + std::to_string(rng.uniform_int(0, 99)))},
+        {"captured_at", Value(rng.uniform_int(0, 1'000'000))},
+        {"spl", Value(rng.uniform(30, 90))}}));
+  }
+  state.counters["docs"] = static_cast<double>(collection.size());
+}
+BENCHMARK(BM_DocstoreInsert);
+
+void BM_DocstoreIndexedQuery(benchmark::State& state) {
+  docstore::Collection collection("obs");
+  collection.create_index("user");
+  Rng rng(2);
+  for (int i = 0; i < 50'000; ++i) {
+    collection.insert(Value(Object{
+        {"user", Value("u" + std::to_string(rng.uniform_int(0, 999)))},
+        {"spl", Value(rng.uniform(30, 90))}}));
+  }
+  docstore::Query query = docstore::Query::eq("user", Value("u500"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection.count(query));
+  }
+}
+BENCHMARK(BM_DocstoreIndexedQuery);
+
+void BM_DocstoreScanQuery(benchmark::State& state) {
+  docstore::Collection collection("obs");
+  Rng rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    collection.insert(Value(Object{
+        {"user", Value("u" + std::to_string(rng.uniform_int(0, 999)))},
+        {"spl", Value(rng.uniform(30, 90))}}));
+  }
+  docstore::Query query = docstore::Query::eq("user", Value("u500"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection.count(query));
+  }
+}
+BENCHMARK(BM_DocstoreScanQuery);
+
+void BM_BlueAnalysis(benchmark::State& state) {
+  assim::Grid background(48, 48, 20'000, 20'000, 50.0);
+  Rng rng(4);
+  std::vector<assim::AssimObservation> observations;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    observations.push_back({rng.uniform(0, 20'000), rng.uniform(0, 20'000),
+                            rng.uniform(40, 70), 3.0});
+  }
+  assim::BlueParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assim::blue_analysis(background, observations, params));
+  }
+}
+BENCHMARK(BM_BlueAnalysis)->Arg(10)->Arg(100)->Arg(400);
+
+void BM_ObservationSerialization(benchmark::State& state) {
+  phone::Observation obs;
+  obs.user = "u";
+  obs.model = "SAMSUNG GT-I9505";
+  obs.captured_at = 123456789;
+  obs.spl_db = 61.5;
+  phone::LocationFix fix;
+  fix.provider = phone::LocationProvider::kNetwork;
+  fix.x_m = 1234.5;
+  fix.y_m = 6789.0;
+  fix.accuracy_m = 35.0;
+  obs.location = fix;
+  for (auto _ : state) {
+    std::string json = obs.to_document().to_json();
+    benchmark::DoNotOptimize(
+        phone::Observation::from_document(Value::parse_json(json)));
+  }
+}
+BENCHMARK(BM_ObservationSerialization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

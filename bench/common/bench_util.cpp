@@ -1,0 +1,93 @@
+#include "common/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/histogram.h"
+
+namespace mps::bench {
+
+namespace {
+double env_double(const char* name, double dflt) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return dflt;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  return end != value && parsed > 0.0 ? parsed : dflt;
+}
+}  // namespace
+
+BenchScale bench_scale_from_env() {
+  BenchScale scale;
+  scale.device_scale = env_double("MPS_BENCH_DEVICE_SCALE", scale.device_scale);
+  scale.obs_scale = env_double("MPS_BENCH_OBS_SCALE", scale.obs_scale);
+  scale.seed = static_cast<std::uint64_t>(
+      env_double("MPS_BENCH_SEED", static_cast<double>(scale.seed)));
+  return scale;
+}
+
+crowd::Population make_population(const BenchScale& scale) {
+  crowd::PopulationConfig config;
+  config.seed = scale.seed;
+  config.device_scale = scale.device_scale;
+  config.obs_scale = scale.obs_scale;
+  config.horizon = days(305);
+  return crowd::Population::generate(config);
+}
+
+void print_header(const std::string& bench_name, const std::string& paper_ref,
+                  const BenchScale& scale) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", bench_name.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Scale: device_scale=%.3f obs_scale=%.3f seed=%llu\n",
+              scale.device_scale, scale.obs_scale,
+              static_cast<unsigned long long>(scale.seed));
+  std::printf("================================================================\n");
+}
+
+void print_share(const std::string& label, double share_percent) {
+  std::printf("  %-14s %6.2f%%\n", label.c_str(), share_percent);
+}
+
+std::string bar(double value, double max_value, std::size_t max_width) {
+  if (max_value <= 0.0) return "";
+  auto n = static_cast<std::size_t>(value / max_value *
+                                    static_cast<double>(max_width));
+  return std::string(std::min(n, max_width), '#');
+}
+
+AccuracySweep collect_accuracy(const crowd::Population& population,
+                               const BenchScale& scale) {
+  AccuracySweep sweep;
+  crowd::DatasetConfig config;
+  config.seed = scale.seed;
+  crowd::DatasetGenerator generator(population, config);
+  generator.generate([&](const phone::Observation& obs) {
+    ++sweep.total_observations;
+    if (!obs.location.has_value()) return;
+    ++sweep.localized;
+    auto provider = static_cast<std::size_t>(obs.location->provider);
+    sweep.accuracy_by_provider[provider].push_back(obs.location->accuracy_m);
+    ++sweep.count_by_provider[provider];
+  });
+  return sweep;
+}
+
+void print_accuracy_histogram(const std::vector<double>& samples) {
+  BucketHistogram hist({0, 6, 20, 50, 100, 200, 500});
+  for (double a : samples) hist.add(a);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < hist.bin_count(); ++i)
+    peak = std::max(peak, hist.share(i));
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    std::printf("  %-10s m %6.2f%%  %s\n", hist.bin_label(i).c_str(),
+                hist.share(i), bar(hist.share(i), peak).c_str());
+  }
+  if (hist.total() > 0)
+    std::printf("  %-12s %6.2f%%\n", ">=500",
+                hist.overflow() / hist.total() * 100.0);
+}
+
+}  // namespace mps::bench

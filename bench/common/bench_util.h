@@ -1,0 +1,63 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench regenerates one table/figure of the paper from the
+// simulated 10-month dataset. Scale knobs come from the environment so a
+// full-size run is possible without recompiling:
+//   MPS_BENCH_DEVICE_SCALE  fraction of the paper's 2,091 devices (default 0.15)
+//   MPS_BENCH_OBS_SCALE     fraction of per-device observation volume (default 0.08)
+//   MPS_BENCH_SEED          RNG seed (default 42)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crowd/dataset.h"
+#include "crowd/population.h"
+
+namespace mps::bench {
+
+/// Scale configuration resolved from the environment.
+struct BenchScale {
+  double device_scale = 0.15;
+  double obs_scale = 0.08;
+  std::uint64_t seed = 42;
+};
+
+/// Reads MPS_BENCH_* from the environment.
+BenchScale bench_scale_from_env();
+
+/// Builds the standard population for dataset benches.
+crowd::Population make_population(const BenchScale& scale);
+
+/// Prints the standard bench header (name, paper reference, scale).
+void print_header(const std::string& bench_name, const std::string& paper_ref,
+                  const BenchScale& scale);
+
+/// Prints a labelled percentage row, e.g. "  gps       7.2%".
+void print_share(const std::string& label, double share_percent);
+
+/// Simple horizontal ASCII bar scaled to `max_width` at `value/max_value`.
+std::string bar(double value, double max_value, std::size_t max_width = 40);
+
+/// Location-accuracy distributions collected from one dataset run
+/// (Figures 10-13 and 20 share this sweep).
+struct AccuracySweep {
+  std::uint64_t total_observations = 0;
+  std::uint64_t localized = 0;
+  /// Accuracy samples per provider (index by phone::LocationProvider).
+  std::vector<std::vector<double>> accuracy_by_provider =
+      std::vector<std::vector<double>>(3);
+  /// Localized counts per provider.
+  std::vector<std::uint64_t> count_by_provider = std::vector<std::uint64_t>(3);
+};
+
+/// Runs the dataset once and collects the accuracy sweep.
+AccuracySweep collect_accuracy(const crowd::Population& population,
+                               const BenchScale& scale);
+
+/// Prints the paper's accuracy-bucket histogram ([0,6,20,50,100,200,500))
+/// for the given samples, as percent of the samples.
+void print_accuracy_histogram(const std::vector<double>& samples);
+
+}  // namespace mps::bench

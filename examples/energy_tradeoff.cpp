@@ -1,0 +1,104 @@
+// Energy tradeoff: choosing a buffering policy for your deployment.
+//
+// Shows how an application developer uses the library to pick the §5.3
+// energy-delay operating point: run the same sensing workload under
+// different buffer sizes and network technologies on a realistic
+// (intermittent) connectivity trace, then compare battery impact and
+// delivery timeliness.
+//
+// Build & run:  cmake --build build && ./build/examples/energy_tradeoff
+#include <cstdio>
+
+#include "broker/broker.h"
+#include "client/goflow_client.h"
+#include "common/histogram.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "phone/phone.h"
+#include "sim/simulation.h"
+
+using namespace mps;
+
+namespace {
+
+struct Outcome {
+  double battery_drop_points;
+  double radio_j;
+  double median_delay_min;
+  double p90_delay_min;
+  double share_over_2h;
+};
+
+Outcome run(std::size_t buffer_size, net::Technology tech) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  broker.declare_exchange("E", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_queue("sink").throw_if_error();
+  broker.bind_queue("E", "sink", "#").throw_if_error();
+
+  phone::PhoneConfig pc;
+  pc.model = *phone::find_model("LGE NEXUS 5");
+  pc.user = "dev";
+  pc.seed = 2024;
+  pc.technology = tech;
+  // A realistic urban connectivity trace: dead spots and the occasional
+  // long disconnection.
+  pc.connectivity.mean_up = hours(2);
+  pc.connectivity.mean_down_short = minutes(15);
+  pc.connectivity.p_long_down = 0.2;
+  pc.connectivity.mean_down_long = hours(4);
+  pc.horizon = days(3);
+  pc.start_battery_fraction = 1.0;
+  phone::Phone device(pc);
+
+  client::ClientConfig cc = client::ClientConfig::v1_3("dev", "E", buffer_size);
+  cc.sense_period = minutes(5);
+  client::GoFlowClient goflow(
+      sim, broker, device, cc, [](TimeMs) { return 60.0; },
+      [](TimeMs) { return std::pair<double, double>{0.0, 0.0}; });
+  goflow.start();
+  sim.run_until(days(2));
+  goflow.stop();
+  sim.run();
+  device.idle_to(days(2));
+
+  EmpiricalCdf delays;
+  for (const client::DeliveryRecord& r : goflow.deliveries())
+    delays.add(static_cast<double>(r.delay()));
+  Outcome o;
+  o.battery_drop_points = 100.0 - device.battery().level_percent();
+  o.radio_j = device.radio().total_energy_mj() / 1000.0;
+  o.median_delay_min = delays.empty() ? 0 : delays.quantile(0.5) / 60000.0;
+  o.p90_delay_min = delays.empty() ? 0 : delays.quantile(0.9) / 60000.0;
+  o.share_over_2h =
+      delays.empty()
+          ? 0
+          : (1.0 - delays.fraction_at_most(static_cast<double>(hours(2)))) * 100.0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("48h of 5-min sensing on an intermittent urban connection\n\n");
+  for (net::Technology tech : {net::Technology::kWifi, net::Technology::kCell3G}) {
+    std::printf("network: %s\n", net::technology_name(tech));
+    TextTable table;
+    table.set_header({"buffer", "battery drop pts", "radio J",
+                      "median delay min", "p90 delay min", ">2h share"});
+    for (std::size_t buffer : {1u, 5u, 10u, 20u}) {
+      Outcome o = run(buffer, tech);
+      table.add_row({std::to_string(buffer),
+                     format("%.1f", o.battery_drop_points),
+                     format("%.0f", o.radio_j),
+                     format("%.0f", o.median_delay_min),
+                     format("%.0f", o.p90_delay_min),
+                     format("%.0f%%", o.share_over_2h)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("reading: pick the smallest buffer whose battery cost you can "
+              "afford — the\npaper's SoundCity default (10) trades a ~50 min "
+              "median delay for most of the\nradio-energy savings.\n");
+  return 0;
+}

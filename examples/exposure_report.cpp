@@ -1,0 +1,145 @@
+// Exposure report: the quantified-self and web-application side of
+// SoundCity (paper §4.2 "Quantified self", Figure 6; §3 Web app; §8
+// feedback & crowd inference).
+//
+// One user senses for a simulated week; the web application then serves
+// their personal dashboard (daily/monthly Leq with health bands), the
+// feedback manager collects annoyance answers and derives the user's
+// noise-sensitivity threshold, and a gap in the user's own data is filled
+// from the crowd's assimilated map.
+//
+// Build & run:  cmake --build build && ./build/examples/exposure_report
+#include <cstdio>
+
+#include "assim/city_noise_model.h"
+#include "client/goflow_client.h"
+#include "core/goflow_server.h"
+#include "soundcity/feedback.h"
+#include "soundcity/webapp.h"
+
+using namespace mps;
+
+int main() {
+  // Middleware + web app.
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  auto app = server.register_app("soundcity").value_or_throw();
+  std::string service_token =
+      server.register_account(app.admin_token, "soundcity", "webapp",
+                              core::Role::kManager)
+          .value_or_throw();
+  std::string client_token =
+      server.register_account(app.admin_token, "soundcity", "alice",
+                              core::Role::kClient)
+          .value_or_throw();
+  soundcity::WebAppServer webapp(server, "soundcity", service_token);
+
+  // A city whose true field drives what the phone hears.
+  assim::CityModelParams city_params;
+  city_params.extent_m = 12'000;
+  city_params.grid_nx = 32;
+  city_params.grid_ny = 32;
+  assim::CityNoiseModel city(city_params, 21);
+
+  // Alice's phone + client, sensing for a week.
+  auto channels =
+      server.login_client(client_token, "soundcity", "alice").value_or_throw();
+  phone::PhoneConfig pc;
+  pc.model = *phone::find_model("SAMSUNG SM-G900F");
+  pc.user = "alice";
+  pc.seed = 5;
+  pc.connectivity = net::ConnectivityParams::always_connected();
+  pc.horizon = days(8);
+  phone::Phone device(pc);
+  client::ClientConfig cc = client::ClientConfig::v1_3("alice", channels.exchange, 10);
+  cc.sense_period = minutes(15);
+  auto position = [&](TimeMs t) {
+    // Home at night, office by day, with a commute through town.
+    int hour = hour_of_day(t);
+    if (hour < 8 || hour >= 19) return std::pair<double, double>{2'000.0, 2'000.0};
+    if (hour < 9 || hour >= 18) return std::pair<double, double>{5'000.0, 5'000.0};
+    return std::pair<double, double>{9'000.0, 8'000.0};
+  };
+  client::GoFlowClient goflow(
+      sim, broker, device, cc,
+      [&](TimeMs t) {
+        auto [x, y] = position(t);
+        return city.truth_at(x, y, t);
+      },
+      position);
+  goflow.start();
+  sim.run_until(days(7));
+  goflow.stop();
+  goflow.flush();
+  sim.run();
+
+  // --- Dashboard -----------------------------------------------------------
+  webapp.register_web_user("alice", "secret").throw_if_error();
+  soundcity::WebSession session = webapp.login("alice", "secret").value_or_throw();
+  Value dashboard =
+      webapp
+          .my_dashboard(session,
+                        [](const DeviceModelId&, double raw) { return raw; })
+          .value_or_throw();
+  std::printf("=== personal dashboard (Figure 6) ===\n");
+  std::printf("observations: %lld, overall Leq %.1f dB (%s)\n",
+              static_cast<long long>(dashboard.get_int("observations")),
+              dashboard.get_double("overall_leq_db"),
+              dashboard.get_string("overall_band").c_str());
+  for (const Value& day : dashboard.at("daily").as_array()) {
+    std::printf("  day %lld: Leq %5.1f dB  peak %5.1f dB  band=%s\n",
+                static_cast<long long>(day.get_int("day")),
+                day.get_double("leq_db"), day.get_double("peak_db"),
+                day.get_string("band").c_str());
+  }
+
+  // --- Feedback & sensitivity (par. 8) --------------------------------------
+  std::printf("\n=== feedback-driven sensitivity profile (par. 8) ===\n");
+  soundcity::FeedbackManager feedback;
+  Rng rng(77);
+  core::ObservationFilter filter;
+  filter.app = "soundcity";
+  filter.user = "alice";
+  auto docs = server.query_observations(service_token, filter).value_or_throw();
+  const double kTrueThreshold = 66.0;  // alice's actual annoyance level
+  for (const Value& doc : docs) {
+    phone::Observation obs = phone::Observation::from_document(doc);
+    if (feedback.should_prompt(obs)) {
+      bool annoyed = rng.bernoulli(obs.spl_db > kTrueThreshold ? 0.9 : 0.1);
+      feedback.record_answer("alice", obs.captured_at, obs.spl_db, annoyed);
+    }
+  }
+  soundcity::SensitivityProfile profile = feedback.profile_for("alice");
+  std::printf("prompts issued: %llu (suppressed %llu), answers: %zu\n",
+              static_cast<unsigned long long>(feedback.prompts_issued()),
+              static_cast<unsigned long long>(feedback.prompts_suppressed()),
+              profile.answers);
+  if (profile.annoyance_threshold_db.has_value()) {
+    std::printf("estimated annoyance threshold: %.0f dB (true: %.0f dB)\n",
+                *profile.annoyance_threshold_db, kTrueThreshold);
+  } else {
+    std::printf("answers do not separate on level yet (%.0f%% annoyed); more "
+                "feedback needed\n",
+                profile.annoyed_fraction * 100.0);
+  }
+
+  // --- Crowd inference of a data gap (par. 8) --------------------------------
+  std::printf("\n=== crowd inference for a trajectory without own data ===\n");
+  assim::Grid crowd_map = city.truth(hours(15));  // assume a well-corrected map
+  std::vector<std::pair<double, double>> sunday_walk;
+  for (int i = 0; i <= 20; ++i)
+    sunday_walk.emplace_back(2'000.0 + i * 300.0, 2'000.0 + i * 250.0);
+  auto inferred = soundcity::infer_exposure_from_map(crowd_map, sunday_walk);
+  std::printf("inferred Leq along the un-sensed Sunday walk: %.1f dB (%s)\n",
+              *inferred,
+              soundcity::exposure_band_name(
+                  soundcity::classify_exposure(*inferred)));
+
+  // --- Public anonymized view -------------------------------------------------
+  Value stats = webapp.community_stats().value_or_throw();
+  std::printf("\n=== community stats (anonymized public view) ===\n%s\n",
+              stats.to_json().c_str());
+  return 0;
+}

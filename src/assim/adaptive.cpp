@@ -1,0 +1,37 @@
+#include "assim/adaptive.h"
+
+namespace mps::assim {
+
+std::vector<SensingTarget> plan_sensing_locations(
+    const Grid& like, const std::vector<AssimObservation>& existing,
+    const BlueParams& params, std::size_t count, double planned_sigma_r) {
+  std::vector<SensingTarget> plan;
+  std::vector<AssimObservation> virtual_obs = existing;
+  for (std::size_t step = 0; step < count; ++step) {
+    Grid spread = analysis_spread(like, virtual_obs, params);
+    // Highest-uncertainty cell.
+    std::size_t best_ix = 0, best_iy = 0;
+    double best = -1.0;
+    for (std::size_t iy = 0; iy < spread.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < spread.nx(); ++ix) {
+        if (spread.at(ix, iy) > best) {
+          best = spread.at(ix, iy);
+          best_ix = ix;
+          best_iy = iy;
+        }
+      }
+    }
+    SensingTarget target;
+    target.x_m = spread.cell_x(best_ix);
+    target.y_m = spread.cell_y(best_iy);
+    target.spread_before = best;
+    plan.push_back(target);
+    // The planned measurement becomes a virtual observation (its value is
+    // irrelevant for the spread; only position and error matter).
+    virtual_obs.push_back(
+        AssimObservation{target.x_m, target.y_m, 0.0, planned_sigma_r});
+  }
+  return plan;
+}
+
+}  // namespace mps::assim

@@ -1,0 +1,37 @@
+// Adaptive sensing planning (paper §8 future work): "the sensing times
+// and locations could be chosen accordingly, with the objective of
+// collecting the most informative data while limiting energy
+// consumption."
+//
+// Greedy A-optimal-ish design: repeatedly pick the grid cell with the
+// highest posterior error spread given the observations already available
+// plus the virtual observations planned so far. Each planned location
+// maximally reduces remaining map uncertainty, so k planned measurements
+// buy far more accuracy than k random ones — fewer measurements (less
+// energy) for the same map quality.
+#pragma once
+
+#include <vector>
+
+#include "assim/blue.h"
+
+namespace mps::assim {
+
+/// A planned sensing location.
+struct SensingTarget {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  /// Posterior spread at the location when it was chosen (diagnostic:
+  /// decreasing across the plan).
+  double spread_before = 0.0;
+};
+
+/// Plans `count` sensing locations over the grid of `like` (values
+/// ignored), given `existing` observations. `planned_sigma_r` is the
+/// observation-error std dev the planned measurements are expected to
+/// have (e.g. a GPS-localized, calibrated phone).
+std::vector<SensingTarget> plan_sensing_locations(
+    const Grid& like, const std::vector<AssimObservation>& existing,
+    const BlueParams& params, std::size_t count, double planned_sigma_r);
+
+}  // namespace mps::assim

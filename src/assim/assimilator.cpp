@@ -1,0 +1,51 @@
+#include "assim/assimilator.h"
+
+namespace mps::assim {
+
+Calibration identity_calibration() {
+  return [](const DeviceModelId&, double raw) { return raw; };
+}
+
+std::vector<AssimObservation> convert_observations(
+    const std::vector<phone::Observation>& observations,
+    const ObservationPolicy& policy, const Calibration& calibration,
+    ConversionStats* stats) {
+  std::vector<AssimObservation> out;
+  out.reserve(observations.size());
+  for (const phone::Observation& obs : observations) {
+    if (!obs.location.has_value()) {
+      if (policy.require_location) {
+        if (stats != nullptr) ++stats->rejected_no_location;
+        continue;
+      }
+    } else if (obs.location->accuracy_m > policy.max_accuracy_m) {
+      if (stats != nullptr) ++stats->rejected_accuracy;
+      continue;
+    }
+    AssimObservation a;
+    if (obs.location.has_value()) {
+      a.x_m = obs.location->x_m;
+      a.y_m = obs.location->y_m;
+      a.sigma_r = policy.base_sigma_r_db +
+                  policy.sigma_per_accuracy_m * obs.location->accuracy_m;
+    } else {
+      a.sigma_r = policy.base_sigma_r_db;
+    }
+    a.value = calibration(obs.model, obs.spl_db);
+    out.push_back(a);
+    if (stats != nullptr) ++stats->accepted;
+  }
+  return out;
+}
+
+BlueResult assimilate(const Grid& background,
+                      const std::vector<phone::Observation>& observations,
+                      const BlueParams& blue_params,
+                      const ObservationPolicy& policy,
+                      const Calibration& calibration, ConversionStats* stats) {
+  std::vector<AssimObservation> converted =
+      convert_observations(observations, policy, calibration, stats);
+  return blue_analysis(background, converted, blue_params);
+}
+
+}  // namespace mps::assim

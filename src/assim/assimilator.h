@@ -1,0 +1,66 @@
+// Bridges crowd observations to the BLUE engine: quality filtering,
+// per-model calibration, and accuracy-dependent observation errors.
+//
+// This implements the paper's server-side pipeline (§5.2, §7): location
+// accuracy discards ~60% of observations; the rest are calibrated per
+// model and assimilated with an observation error that grows with the
+// location-accuracy estimate (a poorly located sample says less about any
+// one grid cell).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "assim/blue.h"
+#include "phone/observation.h"
+
+namespace mps::assim {
+
+/// Quality gate + observation-error model.
+struct ObservationPolicy {
+  /// Observations without a location fix are unusable for mapping.
+  bool require_location = true;
+  /// Discard fixes with accuracy estimates worse than this (meters).
+  double max_accuracy_m = 100.0;
+  /// Base observation-error std dev: microphone noise after calibration
+  /// *plus* representativeness error — a point measurement next to a
+  /// source can exceed the grid-cell value by several dB, which the
+  /// analysis must treat as observation error, not signal. Setting this
+  /// too small makes assimilation of point measurements actively harmful.
+  double base_sigma_r_db = 3.0;
+  /// Additional error per meter of location inaccuracy (spatial
+  /// representativeness: the sample may belong to a neighbouring cell).
+  double sigma_per_accuracy_m = 0.03;
+};
+
+/// Conversion accounting, reported alongside the analysis.
+struct ConversionStats {
+  std::size_t accepted = 0;
+  std::size_t rejected_no_location = 0;
+  std::size_t rejected_accuracy = 0;
+};
+
+/// Maps (device model, raw SPL) to a calibrated SPL. The calibration
+/// database (mps::calib) provides this; identity when absent.
+using Calibration = std::function<double(const DeviceModelId&, double)>;
+
+/// The identity calibration.
+Calibration identity_calibration();
+
+/// Converts phone observations to assimilation observations under
+/// `policy`, applying `calibration`. Appends accounting to `stats` when
+/// non-null.
+std::vector<AssimObservation> convert_observations(
+    const std::vector<phone::Observation>& observations,
+    const ObservationPolicy& policy, const Calibration& calibration,
+    ConversionStats* stats = nullptr);
+
+/// One-call pipeline: filter + calibrate + BLUE analysis.
+BlueResult assimilate(const Grid& background,
+                      const std::vector<phone::Observation>& observations,
+                      const BlueParams& blue_params,
+                      const ObservationPolicy& policy,
+                      const Calibration& calibration = identity_calibration(),
+                      ConversionStats* stats = nullptr);
+
+}  // namespace mps::assim

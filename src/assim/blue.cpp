@@ -1,0 +1,120 @@
+#include "assim/blue.h"
+
+#include <cmath>
+
+#include "assim/linalg.h"
+
+namespace mps::assim {
+
+BlueResult blue_analysis(const Grid& background,
+                         const std::vector<AssimObservation>& observations,
+                         const BlueParams& params) {
+  BlueResult result{background, 0.0, 0.0, observations.size()};
+  std::size_t n = observations.size();
+  if (n == 0) return result;
+
+  // Innovations d = y − H x_b.
+  std::vector<double> innovation(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AssimObservation& obs = observations[i];
+    innovation[i] = obs.value - background.sample(obs.x_m, obs.y_m);
+    result.innovation_rms += innovation[i] * innovation[i];
+  }
+  result.innovation_rms = std::sqrt(result.innovation_rms / static_cast<double>(n));
+
+  // S = H B Hᵀ + R (n x n).
+  double sb2 = params.sigma_b * params.sigma_b;
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double dx = observations[i].x_m - observations[j].x_m;
+      double dy = observations[i].y_m - observations[j].y_m;
+      double cov = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
+                                  params.corr_length_m);
+      s(i, j) = cov;
+      s(j, i) = cov;
+    }
+    s(i, i) += observations[i].sigma_r * observations[i].sigma_r;
+  }
+
+  // w = S⁻¹ d.
+  std::vector<double> w = solve_spd(std::move(s), innovation);
+
+  // x_a = x_b + (B Hᵀ) w : for each grid cell, sum of covariances with
+  // the observation points weighted by w.
+  Grid& analysis = result.analysis;
+  for (std::size_t iy = 0; iy < analysis.ny(); ++iy) {
+    double cy = analysis.cell_y(iy);
+    for (std::size_t ix = 0; ix < analysis.nx(); ++ix) {
+      double cx = analysis.cell_x(ix);
+      double update = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        double dx = cx - observations[k].x_m;
+        double dy = cy - observations[k].y_m;
+        update += w[k] * sb2 *
+                  std::exp(-std::sqrt(dx * dx + dy * dy) / params.corr_length_m);
+      }
+      analysis.at(ix, iy) += update;
+    }
+  }
+
+  // Residual diagnostics on the analysis.
+  for (std::size_t i = 0; i < n; ++i) {
+    const AssimObservation& obs = observations[i];
+    double r = obs.value - analysis.sample(obs.x_m, obs.y_m);
+    result.residual_rms += r * r;
+  }
+  result.residual_rms = std::sqrt(result.residual_rms / static_cast<double>(n));
+  return result;
+}
+
+Grid analysis_spread(const Grid& like,
+                     const std::vector<AssimObservation>& observations,
+                     const BlueParams& params) {
+  Grid spread(like.nx(), like.ny(), like.width_m(), like.height_m(),
+              params.sigma_b);
+  std::size_t n = observations.size();
+  if (n == 0) return spread;
+
+  double sb2 = params.sigma_b * params.sigma_b;
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double dx = observations[i].x_m - observations[j].x_m;
+      double dy = observations[i].y_m - observations[j].y_m;
+      double cov = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
+                                  params.corr_length_m);
+      s(i, j) = cov;
+      s(j, i) = cov;
+    }
+    s(i, i) += observations[i].sigma_r * observations[i].sigma_r;
+  }
+  cholesky(s);
+
+  std::vector<double> b(n), y(n);
+  for (std::size_t iy = 0; iy < spread.ny(); ++iy) {
+    double cy = spread.cell_y(iy);
+    for (std::size_t ix = 0; ix < spread.nx(); ++ix) {
+      double cx = spread.cell_x(ix);
+      for (std::size_t k = 0; k < n; ++k) {
+        double dx = cx - observations[k].x_m;
+        double dy = cy - observations[k].y_m;
+        b[k] = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
+                              params.corr_length_m);
+      }
+      // Forward substitution L y = b; variance reduction = ||y||^2.
+      double reduction = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k) v -= s(i, k) * y[k];
+        y[i] = v / s(i, i);
+        reduction += y[i] * y[i];
+      }
+      double variance = sb2 - reduction;
+      spread.at(ix, iy) = std::sqrt(std::max(variance, 0.0));
+    }
+  }
+  return spread;
+}
+
+}  // namespace mps::assim

@@ -1,0 +1,59 @@
+// BLUE (Best Linear Unbiased Estimator) analysis — the data-assimilation
+// engine (the Verdandi substitute; the paper's server-side component that
+// merges heterogeneous crowd observations into the model map, cf. [42]
+// "BLUE-based NO2 data assimilation at urban scale").
+//
+//   x_a = x_b + B Hᵀ (H B Hᵀ + R)⁻¹ (y − H x_b)
+//
+// with background covariance B modeled by an isotropic exponential
+// correlation: B(p, q) = σ_b² exp(−‖p−q‖ / L). B is never formed over the
+// full grid; only the columns at observation locations are needed, so the
+// dense solve is n_obs × n_obs.
+#pragma once
+
+#include <vector>
+
+#include "assim/grid.h"
+
+namespace mps::assim {
+
+/// One observation ready for assimilation: position, value (same physical
+/// unit as the grid) and its error standard deviation.
+struct AssimObservation {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  double value = 0.0;
+  double sigma_r = 1.0;  ///< observation-error std dev
+};
+
+/// BLUE parameters.
+struct BlueParams {
+  double sigma_b = 4.0;           ///< background-error std dev (dB)
+  double corr_length_m = 1'500;   ///< horizontal correlation length
+};
+
+/// Analysis outcome with standard diagnostics.
+struct BlueResult {
+  Grid analysis;                 ///< corrected field
+  double innovation_rms = 0.0;   ///< RMS of y − H x_b
+  double residual_rms = 0.0;     ///< RMS of y − H x_a (should shrink)
+  std::size_t observations_used = 0;
+};
+
+/// Runs one BLUE analysis step. Observations outside the grid are clamped
+/// to the border (H is bilinear interpolation). With no observations the
+/// analysis equals the background.
+BlueResult blue_analysis(const Grid& background,
+                         const std::vector<AssimObservation>& observations,
+                         const BlueParams& params);
+
+/// Posterior (analysis) error standard deviation per cell:
+/// sqrt(sigma_b^2 − b_xᵀ S⁻¹ b_x), where b_x is the background covariance
+/// between cell x and the observation points. Cells far from any
+/// observation keep sigma_b; cells near accurate observations approach 0.
+/// The grid's shape/extent are taken from `like`; its values are ignored.
+Grid analysis_spread(const Grid& like,
+                     const std::vector<AssimObservation>& observations,
+                     const BlueParams& params);
+
+}  // namespace mps::assim

@@ -1,0 +1,123 @@
+#include "assim/city_noise_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mps::assim {
+
+namespace {
+
+/// Squared distance from point (px, py) to segment (x1,y1)-(x2,y2).
+double segment_distance_sq(double px, double py, const Road& r) {
+  double dx = r.x2 - r.x1, dy = r.y2 - r.y1;
+  double len_sq = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((px - r.x1) * dx + (py - r.y1) * dy) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  double cx = r.x1 + t * dx, cy = r.y1 + t * dy;
+  return (px - cx) * (px - cx) + (py - cy) * (py - cy);
+}
+
+/// Power contribution of a source of level `emission_db` at distance d,
+/// with geometric spreading beyond the reference distance.
+double source_power(double emission_db, double dist_sq, double ref_m) {
+  double ref_sq = ref_m * ref_m;
+  double atten = 1.0 + dist_sq / ref_sq;  // ~ 1/d^2 far field, finite at 0
+  return std::pow(10.0, emission_db / 10.0) / atten;
+}
+
+}  // namespace
+
+CityNoiseModel::CityNoiseModel(const CityModelParams& params,
+                               std::uint64_t seed)
+    : params_(params) {
+  Rng rng = Rng(seed).child("city");
+  double e = params.extent_m;
+  // Roads: a loose grid of arterials plus random segments, louder ones
+  // near the center (ring-road effect).
+  Rng road_rng = rng.child("roads");
+  for (int i = 0; i < params.road_count; ++i) {
+    Road r;
+    if (road_rng.bernoulli(0.5)) {
+      // Axis-aligned arterial crossing the city.
+      double c = road_rng.uniform(0.05 * e, 0.95 * e);
+      bool horizontal = road_rng.bernoulli(0.5);
+      r = horizontal ? Road{0.0, c, e, c, 0.0} : Road{c, 0.0, c, e, 0.0};
+    } else {
+      r = Road{road_rng.uniform(0, e), road_rng.uniform(0, e),
+               road_rng.uniform(0, e), road_rng.uniform(0, e), 0.0};
+    }
+    r.emission_db = road_rng.uniform(58.0, 74.0);
+    roads_.push_back(r);
+  }
+  Rng poi_rng = rng.child("pois");
+  for (int i = 0; i < params.poi_count; ++i) {
+    Poi p;
+    p.x = poi_rng.uniform(0, e);
+    p.y = poi_rng.uniform(0, e);
+    p.emission_db = poi_rng.uniform(55.0, 72.0);
+    pois_.push_back(p);
+  }
+
+  // Build the model's (imperfect) view: perturbed emissions, some sources
+  // absent entirely.
+  Rng err_rng = rng.child("model-error");
+  for (const Road& r : roads_) {
+    if (err_rng.bernoulli(params.model_missing_fraction)) continue;
+    Road m = r;
+    m.emission_db += err_rng.normal(0.0, params.model_emission_error_db);
+    model_roads_.push_back(m);
+  }
+  for (const Poi& p : pois_) {
+    if (err_rng.bernoulli(params.model_missing_fraction)) continue;
+    Poi m = p;
+    m.emission_db += err_rng.normal(0.0, params.model_emission_error_db);
+    model_pois_.push_back(m);
+  }
+}
+
+double CityNoiseModel::diurnal_offset_db(TimeMs t) {
+  int hour = hour_of_day(t);
+  // Traffic/activity: minimum around 4 AM, peak around 8 AM - 7 PM.
+  double phase =
+      (static_cast<double>(hour) - 4.0) / 24.0 * 2.0 * 3.14159265358979;
+  return 6.0 * 0.5 * (1.0 - std::cos(phase)) - 6.0;  // [-6, 0] dB
+}
+
+double CityNoiseModel::field_at(double x, double y, TimeMs t,
+                                bool use_model_sources) const {
+  const std::vector<Road>& roads = use_model_sources ? model_roads_ : roads_;
+  const std::vector<Poi>& pois = use_model_sources ? model_pois_ : pois_;
+  double offset = diurnal_offset_db(t);
+  double power = std::pow(10.0, params_.background_db / 10.0);
+  for (const Road& r : roads) {
+    power += source_power(r.emission_db + offset, segment_distance_sq(x, y, r),
+                          params_.reference_distance_m);
+  }
+  for (const Poi& p : pois) {
+    double dist_sq = (x - p.x) * (x - p.x) + (y - p.y) * (y - p.y);
+    power += source_power(p.emission_db + offset, dist_sq,
+                          params_.reference_distance_m);
+  }
+  return 10.0 * std::log10(power);
+}
+
+Grid CityNoiseModel::compute(TimeMs t, bool use_model_sources) const {
+  Grid g(params_.grid_nx, params_.grid_ny, params_.extent_m, params_.extent_m);
+  for (std::size_t iy = 0; iy < g.ny(); ++iy)
+    for (std::size_t ix = 0; ix < g.nx(); ++ix)
+      g.at(ix, iy) = field_at(g.cell_x(ix), g.cell_y(iy), t, use_model_sources);
+  return g;
+}
+
+Grid CityNoiseModel::truth(TimeMs t) const { return compute(t, false); }
+
+Grid CityNoiseModel::model(TimeMs t) const { return compute(t, true); }
+
+double CityNoiseModel::truth_at(double x_m, double y_m, TimeMs t) const {
+  return field_at(x_m, y_m, t, false);
+}
+
+}  // namespace mps::assim

@@ -1,0 +1,89 @@
+// Synthetic urban noise model (the simulation side of data assimilation,
+// and the substitute for the paper's San Francisco open-data map in
+// Figure 4).
+//
+// The city is a set of noise sources — road segments carrying traffic and
+// points of interest (bars, restaurants, construction) — over a flat
+// background. Each source has an emission level that follows a diurnal
+// traffic/activity profile. The field at a point is the energetic sum of
+// all sources attenuated by geometric spreading.
+//
+// Two fields are exposed:
+//   - truth(t): computed from the full, exact source set — the "real
+//     city" the simulated phones hear;
+//   - model(t): computed from a perturbed source set (emission errors,
+//     some sources missing) — the imperfect numerical model whose errors
+//     the assimilation engine corrects with crowd observations (paper
+//     §4.2: "the models may show large errors").
+#pragma once
+
+#include <vector>
+
+#include "assim/grid.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mps::assim {
+
+/// A road segment source.
+struct Road {
+  double x1, y1, x2, y2;   ///< endpoints (m)
+  double emission_db;      ///< emission level at reference distance
+};
+
+/// A point source (bar, venue, works...).
+struct Poi {
+  double x, y;
+  double emission_db;
+};
+
+/// Model construction parameters.
+struct CityModelParams {
+  double extent_m = 20'000;     ///< square city side
+  std::size_t grid_nx = 64;
+  std::size_t grid_ny = 64;
+  int road_count = 60;
+  int poi_count = 120;
+  double background_db = 32.0;  ///< rural-ish noise floor
+  double reference_distance_m = 25.0;
+  /// Model-error magnitude: per-source emission perturbation (dB) and
+  /// fraction of sources unknown to the model.
+  double model_emission_error_db = 3.0;
+  double model_missing_fraction = 0.12;
+};
+
+/// The synthetic city and its two noise fields.
+class CityNoiseModel {
+ public:
+  CityNoiseModel(const CityModelParams& params, std::uint64_t seed);
+
+  /// Ground-truth field at time t.
+  Grid truth(TimeMs t) const;
+
+  /// Imperfect model (background/forecast) field at time t.
+  Grid model(TimeMs t) const;
+
+  /// Point evaluation of the truth (what a perfectly calibrated sensor at
+  /// (x, y) would measure as the long-term ambient level).
+  double truth_at(double x_m, double y_m, TimeMs t) const;
+
+  /// Diurnal emission modulation in [0 dB at ~4 AM .. ~+6 dB at peak].
+  static double diurnal_offset_db(TimeMs t);
+
+  const std::vector<Road>& roads() const { return roads_; }
+  const std::vector<Poi>& pois() const { return pois_; }
+  const CityModelParams& params() const { return params_; }
+
+ private:
+  double field_at(double x, double y, TimeMs t, bool use_model_sources) const;
+  Grid compute(TimeMs t, bool use_model_sources) const;
+
+  CityModelParams params_;
+  std::vector<Road> roads_;
+  std::vector<Poi> pois_;
+  // Perturbed copies used by model().
+  std::vector<Road> model_roads_;
+  std::vector<Poi> model_pois_;
+};
+
+}  // namespace mps::assim

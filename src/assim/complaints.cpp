@@ -1,0 +1,45 @@
+#include "assim/complaints.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace mps::assim {
+
+std::vector<Complaint> generate_complaints(const Grid& noise,
+                                           const ComplaintParams& params,
+                                           Rng& rng) {
+  std::vector<Complaint> out;
+  double cw = noise.width_m() / static_cast<double>(noise.nx());
+  double ch = noise.height_m() / static_cast<double>(noise.ny());
+  for (std::size_t iy = 0; iy < noise.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < noise.nx(); ++ix) {
+      double level = noise.at(ix, iy);
+      double rate = params.base_rate_per_cell +
+                    params.rate_per_db *
+                        std::max(0.0, level - params.threshold_db);
+      int n = rng.poisson(rate);
+      for (int k = 0; k < n; ++k) {
+        Complaint c;
+        c.x_m = noise.cell_x(ix) + rng.uniform(-0.5, 0.5) * cw;
+        c.y_m = noise.cell_y(iy) + rng.uniform(-0.5, 0.5) * ch;
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+ComplaintCorrelation correlate_complaints(
+    const Grid& noise, const std::vector<Complaint>& complaints) {
+  std::vector<double> counts(noise.size(), 0.0);
+  for (const Complaint& c : complaints)
+    counts[noise.flat_index_of(c.x_m, c.y_m)] += 1.0;
+  ComplaintCorrelation result;
+  result.complaint_count = complaints.size();
+  result.pearson = pearson_correlation(noise.values(), counts);
+  result.spearman = spearman_correlation(noise.values(), counts);
+  return result;
+}
+
+}  // namespace mps::assim

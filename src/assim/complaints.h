@@ -1,0 +1,50 @@
+// Noise-complaint point process (the Figure 4 reproduction).
+//
+// The paper overlays 311 noise complaints on a simulated San Francisco
+// noise map and observes a strong spatial correlation — the motivation
+// that "people are sensitive to noise pollution". We regenerate both
+// layers synthetically: the noise map comes from CityNoiseModel; the
+// complaints are an inhomogeneous Poisson process whose intensity grows
+// with the local level above an annoyance threshold.
+#pragma once
+
+#include <vector>
+
+#include "assim/grid.h"
+#include "common/rng.h"
+
+namespace mps::assim {
+
+/// Complaint-generation parameters.
+struct ComplaintParams {
+  /// Baseline complaints per cell regardless of noise (misdialed,
+  /// neighbour disputes...).
+  double base_rate_per_cell = 0.05;
+  /// Annoyance threshold: below this level noise adds no complaints.
+  double threshold_db = 55.0;
+  /// Complaints per cell per dB above the threshold.
+  double rate_per_db = 0.35;
+};
+
+/// A complaint at a city position.
+struct Complaint {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+/// Draws complaints over the noise map.
+std::vector<Complaint> generate_complaints(const Grid& noise,
+                                           const ComplaintParams& params,
+                                           Rng& rng);
+
+/// Correlation between per-cell complaint counts and noise levels.
+struct ComplaintCorrelation {
+  double pearson = 0.0;
+  double spearman = 0.0;
+  std::size_t complaint_count = 0;
+};
+
+ComplaintCorrelation correlate_complaints(const Grid& noise,
+                                          const std::vector<Complaint>& complaints);
+
+}  // namespace mps::assim

@@ -1,0 +1,49 @@
+#include "assim/cycle.h"
+
+#include <stdexcept>
+
+namespace mps::assim {
+
+AssimilationCycle::AssimilationCycle(ModelFn model, TimeMs start,
+                                     CycleConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      now_(start),
+      analysis_(model_(start)),
+      model_at_now_(analysis_) {
+  if (config_.step <= 0)
+    throw std::invalid_argument("AssimilationCycle: step must be positive");
+  if (config_.persistence_weight < 0.0 || config_.persistence_weight > 1.0)
+    throw std::invalid_argument(
+        "AssimilationCycle: persistence_weight must be in [0,1]");
+}
+
+CycleStep AssimilationCycle::advance(
+    const std::vector<phone::Observation>& window,
+    const Calibration& calibration) {
+  TimeMs next = now_ + config_.step;
+  Grid model_next = model_(next);
+
+  // background = model(next) + w * (analysis(now) - model(now)).
+  Grid background = model_next;
+  double w = config_.persistence_weight;
+  for (std::size_t i = 0; i < background.size(); ++i)
+    background[i] += w * (analysis_[i] - model_at_now_[i]);
+
+  BlueResult result = assimilate(background, window, config_.blue,
+                                 config_.policy, calibration);
+
+  analysis_ = std::move(result.analysis);
+  model_at_now_ = std::move(model_next);
+  now_ = next;
+  ++steps_;
+
+  CycleStep step;
+  step.at = now_;
+  step.innovation_rms = result.innovation_rms;
+  step.residual_rms = result.residual_rms;
+  step.observations_used = result.observations_used;
+  return step;
+}
+
+}  // namespace mps::assim

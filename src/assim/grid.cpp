@@ -1,0 +1,97 @@
+#include "assim/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mps::assim {
+
+Grid::Grid(std::size_t nx, std::size_t ny, double width_m, double height_m,
+           double fill)
+    : nx_(nx), ny_(ny), width_m_(width_m), height_m_(height_m),
+      values_(nx * ny, fill) {
+  if (nx == 0 || ny == 0)
+    throw std::invalid_argument("Grid: dimensions must be positive");
+  if (width_m <= 0.0 || height_m <= 0.0)
+    throw std::invalid_argument("Grid: extent must be positive");
+}
+
+double Grid::at(std::size_t ix, std::size_t iy) const {
+  return values_[iy * nx_ + ix];
+}
+
+double& Grid::at(std::size_t ix, std::size_t iy) {
+  return values_[iy * nx_ + ix];
+}
+
+double Grid::cell_x(std::size_t ix) const {
+  return (static_cast<double>(ix) + 0.5) * width_m_ / static_cast<double>(nx_);
+}
+
+double Grid::cell_y(std::size_t iy) const {
+  return (static_cast<double>(iy) + 0.5) * height_m_ / static_cast<double>(ny_);
+}
+
+std::pair<std::size_t, std::size_t> Grid::cell_of(double x_m,
+                                                  double y_m) const {
+  double fx = x_m / width_m_ * static_cast<double>(nx_);
+  double fy = y_m / height_m_ * static_cast<double>(ny_);
+  auto clamp_to = [](double f, std::size_t n) {
+    if (f < 0.0) return std::size_t{0};
+    auto i = static_cast<std::size_t>(f);
+    return std::min(i, n - 1);
+  };
+  return {clamp_to(fx, nx_), clamp_to(fy, ny_)};
+}
+
+std::size_t Grid::flat_index_of(double x_m, double y_m) const {
+  auto [ix, iy] = cell_of(x_m, y_m);
+  return iy * nx_ + ix;
+}
+
+double Grid::sample(double x_m, double y_m) const {
+  // Bilinear interpolation between cell centers, clamped at the borders.
+  double cw = width_m_ / static_cast<double>(nx_);
+  double ch = height_m_ / static_cast<double>(ny_);
+  double fx = x_m / cw - 0.5;
+  double fy = y_m / ch - 0.5;
+  fx = std::clamp(fx, 0.0, static_cast<double>(nx_ - 1));
+  fy = std::clamp(fy, 0.0, static_cast<double>(ny_ - 1));
+  auto ix0 = static_cast<std::size_t>(fx);
+  auto iy0 = static_cast<std::size_t>(fy);
+  std::size_t ix1 = std::min(ix0 + 1, nx_ - 1);
+  std::size_t iy1 = std::min(iy0 + 1, ny_ - 1);
+  double tx = fx - static_cast<double>(ix0);
+  double ty = fy - static_cast<double>(iy0);
+  double v00 = at(ix0, iy0), v10 = at(ix1, iy0);
+  double v01 = at(ix0, iy1), v11 = at(ix1, iy1);
+  return v00 * (1 - tx) * (1 - ty) + v10 * tx * (1 - ty) +
+         v01 * (1 - tx) * ty + v11 * tx * ty;
+}
+
+double Grid::rmse(const Grid& other) const {
+  if (other.nx_ != nx_ || other.ny_ != ny_)
+    throw std::invalid_argument("Grid::rmse: shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    double d = values_[i] - other.values_[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(values_.size()));
+}
+
+double Grid::min() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Grid::max() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Grid::mean() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace mps::assim

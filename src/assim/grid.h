@@ -1,0 +1,60 @@
+// Regular 2-D scalar field over the city extent — the state representation
+// of the noise model and the assimilation engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mps::assim {
+
+/// nx*ny scalar field over [0, width_m] x [0, height_m], cell-centered.
+class Grid {
+ public:
+  /// Creates a grid initialized to `fill`.
+  Grid(std::size_t nx, std::size_t ny, double width_m, double height_m,
+       double fill = 0.0);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  double width_m() const { return width_m_; }
+  double height_m() const { return height_m_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Cell value by index.
+  double at(std::size_t ix, std::size_t iy) const;
+  double& at(std::size_t ix, std::size_t iy);
+
+  /// Flat access (row-major, iy*nx+ix) for linear algebra.
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Center coordinates of cell (ix, iy).
+  double cell_x(std::size_t ix) const;
+  double cell_y(std::size_t iy) const;
+
+  /// Cell containing position (x, y); clamped to the grid bounds.
+  std::pair<std::size_t, std::size_t> cell_of(double x_m, double y_m) const;
+
+  /// Flat index of the cell containing (x, y).
+  std::size_t flat_index_of(double x_m, double y_m) const;
+
+  /// Bilinear interpolation of the field at (x, y), clamped at borders.
+  double sample(double x_m, double y_m) const;
+
+  /// Root-mean-square difference with another grid of identical shape;
+  /// throws std::invalid_argument otherwise.
+  double rmse(const Grid& other) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  std::size_t nx_, ny_;
+  double width_m_, height_m_;
+  std::vector<double> values_;
+};
+
+}  // namespace mps::assim

@@ -1,0 +1,56 @@
+#include "assim/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mps::assim {
+
+void cholesky(Matrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("cholesky: matrix must be square");
+  std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag <= 0.0)
+      throw std::runtime_error("cholesky: matrix not positive definite");
+    double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * a(j, k);
+      a(i, j) = v / ljj;
+    }
+    // Zero the upper triangle for cleanliness.
+    for (std::size_t c = j + 1; c < n; ++c) a(j, c) = 0.0;
+  }
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+  std::size_t n = l.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  // Backward substitution: Lᵀ x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l(k, ii) * x[k];
+    x[ii] = v / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(Matrix a, std::vector<double> b) {
+  cholesky(a);
+  return cholesky_solve(a, b);
+}
+
+}  // namespace mps::assim

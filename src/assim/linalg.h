@@ -1,0 +1,45 @@
+// Minimal dense linear algebra for the BLUE analysis: symmetric positive-
+// definite solves via Cholesky. Observation batches are at most a few
+// hundred per analysis, so O(n^3) dense factorization is ample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mps::assim {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky factorization A = L Lᵀ of a symmetric positive-
+/// definite matrix (lower triangle returned in `a`). Throws
+/// std::runtime_error when the matrix is not positive definite.
+void cholesky(Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L (as produced by
+/// cholesky()). Returns x.
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b);
+
+/// Convenience: solves the SPD system A x = b (A is copied).
+std::vector<double> solve_spd(Matrix a, std::vector<double> b);
+
+}  // namespace mps::assim

@@ -1,0 +1,337 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+
+#include "broker/topic.h"
+#include "common/log.h"
+
+namespace mps::broker {
+
+const char* exchange_type_name(ExchangeType t) {
+  switch (t) {
+    case ExchangeType::kDirect: return "direct";
+    case ExchangeType::kFanout: return "fanout";
+    case ExchangeType::kTopic: return "topic";
+  }
+  return "?";
+}
+
+Status Broker::declare_exchange(const std::string& name, ExchangeType type) {
+  auto it = exchanges_.find(name);
+  if (it != exchanges_.end()) {
+    if (it->second.type != type)
+      return err(ErrorCode::kConflict,
+                 "exchange '" + name + "' exists with type " +
+                     exchange_type_name(it->second.type));
+    return {};
+  }
+  exchanges_[name].type = type;
+  return {};
+}
+
+Status Broker::delete_exchange(const std::string& name) {
+  if (exchanges_.erase(name) == 0)
+    return err(ErrorCode::kNotFound, "exchange '" + name + "' not found");
+  // Remove bindings pointing at the deleted exchange.
+  for (auto& [_, ex] : exchanges_) {
+    std::erase_if(ex.bindings, [&](const Binding& b) {
+      return !b.to_queue && b.destination == name;
+    });
+  }
+  return {};
+}
+
+Status Broker::declare_queue(const std::string& name, QueueOptions options) {
+  auto it = queues_.find(name);
+  if (it != queues_.end()) return {};
+  queues_[name].options = options;
+  return {};
+}
+
+Status Broker::delete_queue(const std::string& name) {
+  auto it = queues_.find(name);
+  if (it == queues_.end())
+    return err(ErrorCode::kNotFound, "queue '" + name + "' not found");
+  for (const Consumer& c : it->second.consumers) consumer_queue_.erase(c.tag);
+  queues_.erase(it);
+  for (auto& [_, ex] : exchanges_) {
+    std::erase_if(ex.bindings, [&](const Binding& b) {
+      return b.to_queue && b.destination == name;
+    });
+  }
+  return {};
+}
+
+Status Broker::bind_exchange(const std::string& src, const std::string& dst,
+                             const std::string& binding_key) {
+  auto sit = exchanges_.find(src);
+  if (sit == exchanges_.end())
+    return err(ErrorCode::kNotFound, "source exchange '" + src + "' not found");
+  if (exchanges_.count(dst) == 0)
+    return err(ErrorCode::kNotFound,
+               "destination exchange '" + dst + "' not found");
+  if (!valid_binding_pattern(binding_key))
+    return err(ErrorCode::kInvalidArgument,
+               "invalid binding pattern '" + binding_key + "'");
+  for (const Binding& b : sit->second.bindings)
+    if (!b.to_queue && b.destination == dst && b.key == binding_key) return {};
+  sit->second.bindings.push_back(Binding{binding_key, dst, false});
+  return {};
+}
+
+Status Broker::bind_queue(const std::string& src, const std::string& queue,
+                          const std::string& binding_key) {
+  auto sit = exchanges_.find(src);
+  if (sit == exchanges_.end())
+    return err(ErrorCode::kNotFound, "source exchange '" + src + "' not found");
+  if (queues_.count(queue) == 0)
+    return err(ErrorCode::kNotFound, "queue '" + queue + "' not found");
+  if (!valid_binding_pattern(binding_key))
+    return err(ErrorCode::kInvalidArgument,
+               "invalid binding pattern '" + binding_key + "'");
+  for (const Binding& b : sit->second.bindings)
+    if (b.to_queue && b.destination == queue && b.key == binding_key) return {};
+  sit->second.bindings.push_back(Binding{binding_key, queue, true});
+  return {};
+}
+
+Status Broker::unbind_exchange(const std::string& src, const std::string& dst,
+                               const std::string& binding_key) {
+  auto sit = exchanges_.find(src);
+  if (sit == exchanges_.end())
+    return err(ErrorCode::kNotFound, "source exchange '" + src + "' not found");
+  auto& bindings = sit->second.bindings;
+  auto it = std::find_if(bindings.begin(), bindings.end(), [&](const Binding& b) {
+    return !b.to_queue && b.destination == dst && b.key == binding_key;
+  });
+  if (it == bindings.end())
+    return err(ErrorCode::kNotFound, "binding not found");
+  bindings.erase(it);
+  return {};
+}
+
+Status Broker::unbind_queue(const std::string& src, const std::string& queue,
+                            const std::string& binding_key) {
+  auto sit = exchanges_.find(src);
+  if (sit == exchanges_.end())
+    return err(ErrorCode::kNotFound, "source exchange '" + src + "' not found");
+  auto& bindings = sit->second.bindings;
+  auto it = std::find_if(bindings.begin(), bindings.end(), [&](const Binding& b) {
+    return b.to_queue && b.destination == queue && b.key == binding_key;
+  });
+  if (it == bindings.end())
+    return err(ErrorCode::kNotFound, "binding not found");
+  bindings.erase(it);
+  return {};
+}
+
+bool Broker::has_exchange(const std::string& name) const {
+  return exchanges_.count(name) > 0;
+}
+
+bool Broker::has_queue(const std::string& name) const {
+  return queues_.count(name) > 0;
+}
+
+std::vector<std::string> Broker::exchange_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : exchanges_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Broker::queue_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : queues_) out.push_back(name);
+  return out;
+}
+
+bool Broker::binding_matches(const Exchange& ex, const std::string& binding_key,
+                             const std::string& routing_key) const {
+  switch (ex.type) {
+    case ExchangeType::kFanout:
+      return true;  // binding key ignored
+    case ExchangeType::kDirect:
+      return binding_key == routing_key;
+    case ExchangeType::kTopic:
+      return topic_matches(binding_key, routing_key);
+  }
+  return false;
+}
+
+void Broker::enqueue(Queue& q, const Message& message,
+                     std::size_t& deliveries) {
+  ++deliveries;
+  ++stats_.delivered;
+  if (!q.consumers.empty()) {
+    // Push path: hand directly to the next consumer (round-robin).
+    const Consumer& c = q.consumers[q.next_consumer % q.consumers.size()];
+    q.next_consumer = (q.next_consumer + 1) % std::max<std::size_t>(q.consumers.size(), 1);
+    ++stats_.consumed;
+    c.callback(message);
+    return;
+  }
+  q.messages.push_back(message);
+  if (q.options.max_length > 0 && q.messages.size() > q.options.max_length) {
+    q.messages.pop_front();  // drop-head
+    ++stats_.dropped_overflow;
+  }
+}
+
+void Broker::route(const std::string& exchange_name, const Message& message,
+                   std::vector<std::string>& visited,
+                   std::size_t& deliveries) {
+  // Cycle protection for exchange-to-exchange forwarding.
+  if (std::find(visited.begin(), visited.end(), exchange_name) != visited.end())
+    return;
+  visited.push_back(exchange_name);
+  auto it = exchanges_.find(exchange_name);
+  if (it == exchanges_.end()) return;
+  const Exchange& ex = it->second;
+  // Copy bindings: a consumer callback may declare/bind and invalidate
+  // iterators into the live vector.
+  std::vector<Binding> bindings = ex.bindings;
+  for (const Binding& b : bindings) {
+    if (!binding_matches(ex, b.key, message.routing_key)) continue;
+    if (b.to_queue) {
+      auto qit = queues_.find(b.destination);
+      if (qit != queues_.end()) enqueue(qit->second, message, deliveries);
+    } else {
+      route(b.destination, message, visited, deliveries);
+    }
+  }
+}
+
+Result<PublishResult> Broker::publish(const std::string& exchange,
+                                      const std::string& routing_key,
+                                      Value payload, TimeMs now) {
+  if (exchanges_.count(exchange) == 0)
+    return err(ErrorCode::kNotFound, "exchange '" + exchange + "' not found");
+  if (!valid_routing_key(routing_key))
+    return err(ErrorCode::kInvalidArgument, "routing key too long");
+  Message message;
+  message.exchange = exchange;
+  message.routing_key = routing_key;
+  message.payload = std::move(payload);
+  message.sequence = next_sequence_++;
+  message.published_at = now;
+  ++stats_.published;
+  std::size_t deliveries = 0;
+  std::vector<std::string> visited;
+  route(exchange, message, visited, deliveries);
+  if (deliveries == 0) ++stats_.unroutable;
+  return PublishResult{deliveries, message.sequence};
+}
+
+std::optional<Message> Broker::pop(const std::string& queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end() || it->second.messages.empty()) return std::nullopt;
+  Message m = std::move(it->second.messages.front());
+  it->second.messages.pop_front();
+  ++stats_.consumed;
+  return m;
+}
+
+std::optional<Message> Broker::pop(const std::string& queue, TimeMs now) {
+  expire_messages(queue, now);
+  return pop(queue);
+}
+
+std::optional<Delivery> Broker::pop_reliable(const std::string& queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end() || it->second.messages.empty()) return std::nullopt;
+  Delivery delivery;
+  delivery.message = std::move(it->second.messages.front());
+  it->second.messages.pop_front();
+  delivery.delivery_tag = next_delivery_tag_++;
+  unacked_[delivery.delivery_tag] = Unacked{queue, delivery.message};
+  ++stats_.consumed;
+  return delivery;
+}
+
+Status Broker::ack(std::uint64_t delivery_tag) {
+  if (unacked_.erase(delivery_tag) == 0)
+    return err(ErrorCode::kNotFound, "unknown delivery tag");
+  return {};
+}
+
+Status Broker::nack(std::uint64_t delivery_tag, bool requeue) {
+  auto it = unacked_.find(delivery_tag);
+  if (it == unacked_.end())
+    return err(ErrorCode::kNotFound, "unknown delivery tag");
+  if (requeue) {
+    auto qit = queues_.find(it->second.queue);
+    if (qit != queues_.end()) {
+      Message message = std::move(it->second.message);
+      message.redelivered = true;
+      qit->second.messages.push_front(std::move(message));
+    }
+  }
+  unacked_.erase(it);
+  return {};
+}
+
+std::size_t Broker::purge_queue(const std::string& queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return 0;
+  std::size_t n = it->second.messages.size();
+  it->second.messages.clear();
+  return n;
+}
+
+std::size_t Broker::expire_messages(const std::string& queue, TimeMs now) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return 0;
+  Queue& q = it->second;
+  if (q.options.message_ttl <= 0) return 0;
+  std::size_t dropped = 0;
+  // Messages are FIFO by published_at from any single producer, but
+  // cross-producer order is by delivery; scan from the head while
+  // expired (the common case: a stale backlog).
+  while (!q.messages.empty() &&
+         q.messages.front().published_at + q.options.message_ttl <= now) {
+    q.messages.pop_front();
+    ++dropped;
+  }
+  stats_.expired += dropped;
+  return dropped;
+}
+
+Result<ConsumerTag> Broker::subscribe(
+    const std::string& queue, std::function<void(const Message&)> callback) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end())
+    return err(ErrorCode::kNotFound, "queue '" + queue + "' not found");
+  ConsumerTag tag = next_tag_++;
+  it->second.consumers.push_back(Consumer{tag, std::move(callback)});
+  consumer_queue_[tag] = queue;
+  // Drain anything buffered before the consumer arrived.
+  Queue& q = it->second;
+  while (!q.messages.empty()) {
+    Message m = std::move(q.messages.front());
+    q.messages.pop_front();
+    ++stats_.consumed;
+    q.consumers.back().callback(m);
+  }
+  return tag;
+}
+
+Status Broker::unsubscribe(ConsumerTag tag) {
+  auto it = consumer_queue_.find(tag);
+  if (it == consumer_queue_.end())
+    return err(ErrorCode::kNotFound, "consumer not found");
+  auto qit = queues_.find(it->second);
+  if (qit != queues_.end()) {
+    std::erase_if(qit->second.consumers,
+                  [&](const Consumer& c) { return c.tag == tag; });
+    qit->second.next_consumer = 0;
+  }
+  consumer_queue_.erase(it);
+  return {};
+}
+
+std::size_t Broker::queue_depth(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.messages.size();
+}
+
+}  // namespace mps::broker

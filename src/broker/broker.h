@@ -1,0 +1,228 @@
+// In-process AMQP-model message broker (the RabbitMQ substitute).
+//
+// Implements the subset of the AMQP 0-9-1 model the GoFlow middleware
+// relies on (paper §3.2, Figure 3):
+//   - exchanges of type direct, fanout and topic;
+//   - exchange-to-exchange bindings (client exchange -> app exchange ->
+//     GoFlow exchange) and exchange-to-queue bindings with binding keys;
+//   - queues with optional length limits (drop-head overflow, RabbitMQ's
+//     default for bounded queues);
+//   - push consumers (callbacks) and pull consumption (basic.get);
+//   - routing statistics for the analytics component.
+//
+// The broker is deliberately synchronous and single-threaded: network
+// latency, disconnection and buffering are modeled by mps::net and the
+// GoFlow client, which decide *when* publish() is called in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace mps::broker {
+
+/// AMQP exchange types used by GoFlow.
+enum class ExchangeType { kDirect, kFanout, kTopic };
+
+const char* exchange_type_name(ExchangeType t);
+
+/// A routed message. `payload` is the document published by the client;
+/// `sequence` is a broker-global publish counter used for ordering
+/// assertions in tests.
+struct Message {
+  std::string exchange;     ///< exchange it was published to
+  std::string routing_key;
+  Value payload;
+  std::uint64_t sequence = 0;
+  TimeMs published_at = 0;  ///< virtual time supplied by the publisher
+  bool redelivered = false; ///< true when requeued after a nack
+};
+
+/// Delivery handle returned by reliable consumption (pop_reliable): the
+/// message plus the tag used to ack or nack it.
+struct Delivery {
+  Message message;
+  std::uint64_t delivery_tag = 0;
+};
+
+/// Queue configuration.
+struct QueueOptions {
+  /// Maximum number of buffered messages; 0 = unbounded. On overflow the
+  /// oldest message is dropped (drop-head).
+  std::size_t max_length = 0;
+  /// Per-message time-to-live relative to its published_at timestamp;
+  /// 0 = never expires. Expired messages are discarded lazily when the
+  /// queue is consumed or purged with a later `now`.
+  DurationMs message_ttl = 0;
+};
+
+/// Outcome of a publish: how many queues received the message. routed == 0
+/// reproduces RabbitMQ's "unroutable" case (message silently dropped
+/// unless the publisher asked for mandatory semantics).
+struct PublishResult {
+  std::size_t queues_delivered = 0;
+  std::uint64_t sequence = 0;
+};
+
+/// Identifies a push consumer for cancellation.
+using ConsumerTag = std::uint64_t;
+
+/// Aggregate broker counters.
+struct BrokerStats {
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;   ///< message copies enqueued or pushed
+  std::uint64_t unroutable = 0;  ///< publishes that reached no queue
+  std::uint64_t dropped_overflow = 0;
+  std::uint64_t expired = 0;     ///< messages dropped by queue TTL
+  std::uint64_t consumed = 0;    ///< messages handed to consumers
+};
+
+/// The broker. All names are flat strings; GoFlow's channel management is
+/// responsible for naming conventions (client ids, app ids, location ids).
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // --- Management (the AMQP "channel" methods GoFlow calls) ------------
+
+  /// Declares an exchange. Redeclaring with the same type is a no-op;
+  /// with a different type it fails with kConflict (AMQP behaviour).
+  Status declare_exchange(const std::string& name, ExchangeType type);
+
+  /// Deletes an exchange and all bindings involving it.
+  Status delete_exchange(const std::string& name);
+
+  /// Declares a queue. Redeclaring keeps existing messages and options.
+  Status declare_queue(const std::string& name, QueueOptions options = {});
+
+  /// Deletes a queue; buffered messages are discarded.
+  Status delete_queue(const std::string& name);
+
+  /// Binds destination exchange `dst` to source exchange `src` with the
+  /// given binding key (pattern for topic exchanges). Fails with kNotFound
+  /// when either exchange is missing.
+  Status bind_exchange(const std::string& src, const std::string& dst,
+                       const std::string& binding_key);
+
+  /// Binds `queue` to exchange `src`.
+  Status bind_queue(const std::string& src, const std::string& queue,
+                    const std::string& binding_key);
+
+  /// Removes a previously created binding; kNotFound when absent.
+  Status unbind_exchange(const std::string& src, const std::string& dst,
+                         const std::string& binding_key);
+  Status unbind_queue(const std::string& src, const std::string& queue,
+                      const std::string& binding_key);
+
+  bool has_exchange(const std::string& name) const;
+  bool has_queue(const std::string& name) const;
+  std::vector<std::string> exchange_names() const;
+  std::vector<std::string> queue_names() const;
+
+  // --- Messaging --------------------------------------------------------
+
+  /// Publishes `payload` to `exchange` with `routing_key` at virtual time
+  /// `now`. Returns kNotFound when the exchange is missing. Routing
+  /// follows bindings transitively (exchange-to-exchange), with cycle
+  /// protection; each matching queue receives one copy.
+  Result<PublishResult> publish(const std::string& exchange,
+                                const std::string& routing_key, Value payload,
+                                TimeMs now = 0);
+
+  /// Pull-consumes the oldest message from a queue (basic.get). When
+  /// `now` is provided, messages whose TTL elapsed before `now` are
+  /// discarded first (counted in stats().expired).
+  std::optional<Message> pop(const std::string& queue);
+  std::optional<Message> pop(const std::string& queue, TimeMs now);
+
+  /// Reliable pull-consume (basic.get with manual acknowledgement): the
+  /// message stays tracked as "unacked" until ack()/nack(). Unacked
+  /// messages are not visible to other consumers; nack with requeue puts
+  /// them back at the queue head flagged `redelivered` — AMQP's
+  /// at-least-once contract.
+  std::optional<Delivery> pop_reliable(const std::string& queue);
+
+  /// Acknowledges a reliable delivery; the message is gone for good.
+  Status ack(std::uint64_t delivery_tag);
+
+  /// Rejects a reliable delivery. With `requeue`, the message returns to
+  /// the head of its queue (marked redelivered); otherwise it is dropped.
+  Status nack(std::uint64_t delivery_tag, bool requeue);
+
+  /// Messages delivered but neither acked nor nacked yet.
+  std::size_t unacked_count() const { return unacked_.size(); }
+
+  /// Discards all buffered messages of a queue; returns how many.
+  std::size_t purge_queue(const std::string& queue);
+
+  /// Drops expired messages (TTL relative to `now`) from a queue;
+  /// returns how many were dropped.
+  std::size_t expire_messages(const std::string& queue, TimeMs now);
+
+  /// Registers a push consumer on a queue: buffered messages are delivered
+  /// immediately, subsequent publishes synchronously. Multiple consumers
+  /// on one queue round-robin (AMQP competing consumers).
+  Result<ConsumerTag> subscribe(const std::string& queue,
+                                std::function<void(const Message&)> callback);
+
+  /// Cancels a push consumer.
+  Status unsubscribe(ConsumerTag tag);
+
+  /// Number of buffered messages in a queue (0 for missing queues).
+  std::size_t queue_depth(const std::string& queue) const;
+
+  const BrokerStats& stats() const { return stats_; }
+
+ private:
+  struct Binding {
+    std::string key;
+    std::string destination;  // exchange or queue name
+    bool to_queue = false;
+  };
+  struct Exchange {
+    ExchangeType type = ExchangeType::kTopic;
+    std::vector<Binding> bindings;
+  };
+  struct Consumer {
+    ConsumerTag tag;
+    std::function<void(const Message&)> callback;
+  };
+  struct Queue {
+    QueueOptions options;
+    std::deque<Message> messages;
+    std::vector<Consumer> consumers;
+    std::size_t next_consumer = 0;  // round-robin cursor
+  };
+
+  bool binding_matches(const Exchange& ex, const std::string& binding_key,
+                       const std::string& routing_key) const;
+  void route(const std::string& exchange_name, const Message& message,
+             std::vector<std::string>& visited, std::size_t& deliveries);
+  void enqueue(Queue& q, const Message& message, std::size_t& deliveries);
+
+  struct Unacked {
+    std::string queue;
+    Message message;
+  };
+
+  std::map<std::string, Exchange> exchanges_;
+  std::map<std::string, Queue> queues_;
+  std::map<ConsumerTag, std::string> consumer_queue_;
+  std::map<std::uint64_t, Unacked> unacked_;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t next_delivery_tag_ = 1;
+  ConsumerTag next_tag_ = 1;
+  BrokerStats stats_;
+};
+
+}  // namespace mps::broker

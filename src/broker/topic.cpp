@@ -1,0 +1,50 @@
+#include "broker/topic.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mps::broker {
+
+bool topic_matches(std::string_view pattern, std::string_view routing_key) {
+  std::vector<std::string> p = split(pattern, '.');
+  std::vector<std::string> k = split(routing_key, '.');
+
+  // Dynamic-programming match (equivalent to glob matching where '*' is a
+  // single-word wildcard and '#' a multi-word wildcard). match[i][j]:
+  // pattern words [0,i) match key words [0,j).
+  std::size_t np = p.size(), nk = k.size();
+  std::vector<std::vector<char>> match(np + 1, std::vector<char>(nk + 1, 0));
+  match[0][0] = 1;
+  for (std::size_t i = 1; i <= np; ++i) {
+    if (p[i - 1] == "#") match[i][0] = match[i - 1][0];
+  }
+  for (std::size_t i = 1; i <= np; ++i) {
+    for (std::size_t j = 1; j <= nk; ++j) {
+      if (p[i - 1] == "#") {
+        // '#' matches zero words (match[i-1][j]) or extends by one more
+        // word (match[i][j-1]).
+        match[i][j] = match[i - 1][j] || match[i][j - 1];
+      } else if (p[i - 1] == "*" || p[i - 1] == k[j - 1]) {
+        match[i][j] = match[i - 1][j - 1];
+      }
+    }
+  }
+  return match[np][nk] != 0;
+}
+
+bool valid_routing_key(std::string_view key) { return key.size() <= 255; }
+
+bool valid_binding_pattern(std::string_view pattern) {
+  if (pattern.size() > 255) return false;
+  for (const std::string& word : split(pattern, '.')) {
+    if (word == "*" || word == "#") continue;
+    // Wildcards must stand alone as words.
+    if (word.find('*') != std::string::npos ||
+        word.find('#') != std::string::npos)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace mps::broker

@@ -1,0 +1,27 @@
+// AMQP topic pattern matching.
+//
+// Routing keys are dot-separated words ("FR75013.Feedback.mob1"). Binding
+// patterns may use '*' (exactly one word) and '#' (zero or more words),
+// with RabbitMQ semantics. GoFlow's channel management (paper Figure 3)
+// binds location and datatype exchanges with such patterns.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mps::broker {
+
+/// True when `routing_key` matches `pattern` under AMQP topic rules.
+/// Both are split on '.'; '*' consumes exactly one word, '#' any number
+/// (including zero). Literal words must match exactly.
+bool topic_matches(std::string_view pattern, std::string_view routing_key);
+
+/// Validates a routing key: non-empty words are recommended but AMQP
+/// allows empties; we only reject keys longer than 255 bytes (AMQP limit).
+bool valid_routing_key(std::string_view key);
+
+/// Validates a binding pattern: same length limit; '*'/'#' must be whole
+/// words ("a.*b" is invalid).
+bool valid_binding_pattern(std::string_view pattern);
+
+}  // namespace mps::broker

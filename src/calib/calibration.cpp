@@ -1,0 +1,44 @@
+#include "calib/calibration.h"
+
+namespace mps::calib {
+
+void CalibrationDatabase::add_sample(const DeviceModelId& model,
+                                     double device_db, double reference_db) {
+  records_[model].difference.add(device_db - reference_db);
+}
+
+void CalibrationDatabase::add_session(
+    const DeviceModelId& model,
+    const std::vector<std::pair<double, double>>& pairs) {
+  for (const auto& [device_db, reference_db] : pairs)
+    add_sample(model, device_db, reference_db);
+  ++records_[model].sessions;
+}
+
+std::optional<double> CalibrationDatabase::bias_db(
+    const DeviceModelId& model) const {
+  auto it = records_.find(model);
+  if (it == records_.end() || it->second.difference.empty()) return std::nullopt;
+  return it->second.bias_db();
+}
+
+double CalibrationDatabase::correct(const DeviceModelId& model,
+                                    double raw_db) const {
+  std::optional<double> bias = bias_db(model);
+  return bias.has_value() ? raw_db - *bias : raw_db;
+}
+
+std::optional<double> CalibrationDatabase::residual_stddev(
+    const DeviceModelId& model) const {
+  auto it = records_.find(model);
+  if (it == records_.end() || it->second.difference.count() < 2)
+    return std::nullopt;
+  // Removing a constant bias leaves the spread unchanged.
+  return it->second.difference.stddev();
+}
+
+bool CalibrationDatabase::has_model(const DeviceModelId& model) const {
+  return records_.count(model) > 0;
+}
+
+}  // namespace mps::calib

@@ -1,0 +1,64 @@
+// Calibration database (paper §5.2).
+//
+// The authors maintain a database assessing each model's bias against a
+// reference sound level meter, populated at "calibration parties". The
+// key empirical finding is that calibration *per model* (not per device)
+// suffices: devices of one model share the response.
+//
+// A calibration session contributes paired (device reading, reference
+// reading) samples; the model bias is the mean difference. correct()
+// subtracts the estimated bias from raw readings.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mps::calib {
+
+/// Per-model calibration record.
+struct ModelCalibration {
+  RunningStats difference;  ///< device − reference, dB
+  int sessions = 0;
+
+  double bias_db() const { return difference.mean(); }
+  std::size_t sample_count() const { return difference.count(); }
+};
+
+/// The calibration database.
+class CalibrationDatabase {
+ public:
+  /// Records one paired sample from a calibration session.
+  void add_sample(const DeviceModelId& model, double device_db,
+                  double reference_db);
+
+  /// Records a whole session (a sequence of paired samples).
+  void add_session(const DeviceModelId& model,
+                   const std::vector<std::pair<double, double>>& pairs);
+
+  /// Estimated bias for a model, when known.
+  std::optional<double> bias_db(const DeviceModelId& model) const;
+
+  /// Corrects a raw reading: raw − bias, or raw unchanged for unknown
+  /// models (the safe default the paper's pipeline uses).
+  double correct(const DeviceModelId& model, double raw_db) const;
+
+  /// Residual spread of the model's calibration samples after bias
+  /// removal (how well per-model calibration works; small values support
+  /// the paper's per-model claim).
+  std::optional<double> residual_stddev(const DeviceModelId& model) const;
+
+  bool has_model(const DeviceModelId& model) const;
+  std::size_t model_count() const { return records_.size(); }
+  const std::map<DeviceModelId, ModelCalibration>& records() const {
+    return records_;
+  }
+
+ private:
+  std::map<DeviceModelId, ModelCalibration> records_;
+};
+
+}  // namespace mps::calib

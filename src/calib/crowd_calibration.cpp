@@ -1,0 +1,107 @@
+#include "calib/crowd_calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mps::calib {
+
+namespace {
+struct Edge {
+  double diff_sum = 0.0;  ///< sum over pairs of (spl_a − spl_b)
+  int pairs = 0;
+  double mean_diff() const { return diff_sum / pairs; }
+};
+}  // namespace
+
+CrowdCalibrationResult crowd_calibrate(
+    const std::vector<phone::Observation>& observations,
+    const DeviceModelId& anchor_model, double anchor_bias_db,
+    const CrowdCalibrationParams& params) {
+  CrowdCalibrationResult result;
+
+  // Keep only localized observations, sorted by time for windowed pairing.
+  std::vector<const phone::Observation*> localized;
+  for (const phone::Observation& obs : observations)
+    if (obs.location.has_value()) localized.push_back(&obs);
+  std::sort(localized.begin(), localized.end(),
+            [](const phone::Observation* a, const phone::Observation* b) {
+              return a->captured_at < b->captured_at;
+            });
+
+  // Collect co-located cross-model pairs within the sliding time window.
+  std::map<std::pair<DeviceModelId, DeviceModelId>, Edge> edges;
+  std::size_t window_start = 0;
+  for (std::size_t i = 0; i < localized.size(); ++i) {
+    const phone::Observation& a = *localized[i];
+    while (window_start < i &&
+           a.captured_at - localized[window_start]->captured_at >
+               params.max_time_gap)
+      ++window_start;
+    for (std::size_t j = window_start; j < i; ++j) {
+      const phone::Observation& b = *localized[j];
+      if (a.model == b.model) continue;
+      double dx = a.location->x_m - b.location->x_m;
+      double dy = a.location->y_m - b.location->y_m;
+      if (std::sqrt(dx * dx + dy * dy) > params.max_distance_m) continue;
+      // Normalize edge orientation to (min, max) model id.
+      if (a.model < b.model) {
+        Edge& e = edges[{a.model, b.model}];
+        e.diff_sum += a.spl_db - b.spl_db;
+        ++e.pairs;
+      } else {
+        Edge& e = edges[{b.model, a.model}];
+        e.diff_sum += b.spl_db - a.spl_db;
+        ++e.pairs;
+      }
+      ++result.pairs_used;
+    }
+  }
+
+  // Build adjacency with sufficiently supported edges.
+  std::map<DeviceModelId, std::vector<std::pair<DeviceModelId, Edge>>> adj;
+  for (const auto& [key, edge] : edges) {
+    if (edge.pairs < params.min_pairs_per_edge) continue;
+    const auto& [ma, mb] = key;
+    adj[ma].push_back({mb, edge});
+    Edge reversed = edge;
+    reversed.diff_sum = -reversed.diff_sum;
+    adj[mb].push_back({ma, reversed});
+  }
+  if (adj.count(anchor_model) == 0) return result;
+
+  // Restrict to the connected component of the anchor.
+  std::set<DeviceModelId> component;
+  std::vector<DeviceModelId> stack{anchor_model};
+  while (!stack.empty()) {
+    DeviceModelId m = stack.back();
+    stack.pop_back();
+    if (!component.insert(m).second) continue;
+    for (const auto& [other, _] : adj[m])
+      if (component.count(other) == 0) stack.push_back(other);
+  }
+
+  // Gauss–Seidel: bias[m] = weighted mean over neighbours of
+  // (bias[other] + mean(m − other)); anchor stays fixed.
+  std::map<DeviceModelId, double> bias;
+  for (const DeviceModelId& m : component) bias[m] = anchor_bias_db;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (const DeviceModelId& m : component) {
+      if (m == anchor_model) continue;
+      double weighted = 0.0;
+      double weight = 0.0;
+      for (const auto& [other, edge] : adj[m]) {
+        if (component.count(other) == 0) continue;
+        weighted += (bias[other] + edge.mean_diff()) * edge.pairs;
+        weight += edge.pairs;
+      }
+      if (weight > 0.0) bias[m] = weighted / weight;
+    }
+  }
+
+  result.bias_db = std::move(bias);
+  result.models_covered = component.size();
+  return result;
+}
+
+}  // namespace mps::calib

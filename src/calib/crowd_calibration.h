@@ -1,0 +1,52 @@
+// Crowd-calibration (the paper's future-work §8: "crowd-sensing to be
+// accompanied with crowd-calibration which calibrates individual devices
+// based on each other's devices").
+//
+// Idea: two observations taken close together in space and time measure
+// (approximately) the same true level, so their difference estimates the
+// difference of the two models' biases. Collecting many such co-located
+// pairs yields a system of relative constraints over models; anchoring
+// one model (whose absolute bias is known from a reference session) pins
+// the gauge. We solve the resulting weighted least-squares problem by
+// Gauss–Seidel iteration on the model-offset graph.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "phone/observation.h"
+
+namespace mps::calib {
+
+/// Pairing and solver parameters.
+struct CrowdCalibrationParams {
+  /// Two observations pair when within this distance...
+  double max_distance_m = 150.0;
+  /// ...and this time gap.
+  DurationMs max_time_gap = minutes(10);
+  /// Gauss–Seidel sweeps.
+  int iterations = 50;
+  /// Minimum pairs between two models for the edge to count.
+  int min_pairs_per_edge = 3;
+};
+
+/// Result: estimated per-model biases (dB), anchored so that
+/// bias[anchor] == anchor_bias.
+struct CrowdCalibrationResult {
+  std::map<DeviceModelId, double> bias_db;
+  std::size_t pairs_used = 0;
+  std::size_t models_covered = 0;
+};
+
+/// Runs crowd-calibration over a set of localized observations.
+/// `anchor_model` must appear in the data; its (known) absolute bias is
+/// `anchor_bias_db`. Models not connected to the anchor via co-located
+/// pairs are omitted from the result.
+CrowdCalibrationResult crowd_calibrate(
+    const std::vector<phone::Observation>& observations,
+    const DeviceModelId& anchor_model, double anchor_bias_db,
+    const CrowdCalibrationParams& params = {});
+
+}  // namespace mps::calib

@@ -1,0 +1,137 @@
+#include "calib/truth_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mps::calib {
+
+TruthDiscoveryResult discover_truth(const std::vector<TruthEvent>& events,
+                                    const TruthDiscoveryParams& params) {
+  TruthDiscoveryResult result;
+  result.truths.assign(events.size(), 0.0);
+
+  // Initialize truths with per-event medians (robust start).
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (events[e].claims.empty()) continue;
+    std::vector<double> values;
+    values.reserve(events[e].claims.size());
+    for (const TruthClaim& claim : events[e].claims)
+      values.push_back(claim.value);
+    auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    result.truths[e] = *mid;
+  }
+
+  // Collect sources.
+  std::map<std::string, double> weights;
+  for (const TruthEvent& event : events)
+    for (const TruthClaim& claim : event.claims) weights[claim.source] = 1.0;
+  if (weights.empty()) return result;
+
+  for (int iteration = 0; iteration < params.max_iterations; ++iteration) {
+    ++result.iterations_run;
+
+    // Source losses: sum of squared deviations from current truths.
+    std::map<std::string, double> loss;
+    for (const auto& [source, _] : weights) loss[source] = 0.0;
+    double total_loss = 0.0;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      for (const TruthClaim& claim : events[e].claims) {
+        double d = claim.value - result.truths[e];
+        loss[claim.source] += d * d;
+        total_loss += d * d;
+      }
+    }
+    // CRH weight update: w_s = log(total / loss_s); epsilon-guard perfect
+    // sources so they get a large-but-finite weight.
+    constexpr double kEpsilon = 1e-9;
+    if (total_loss < kEpsilon) total_loss = kEpsilon;
+    for (auto& [source, weight] : weights) {
+      double l = std::max(loss[source], kEpsilon * total_loss);
+      weight = std::log(total_loss / l) + 1e-6;
+      if (weight < 0.0) weight = 0.0;  // worse-than-everything source
+    }
+
+    // Truth update: weighted means.
+    double max_shift = 0.0;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (events[e].claims.empty()) continue;
+      double numerator = 0.0, denominator = 0.0;
+      for (const TruthClaim& claim : events[e].claims) {
+        double w = weights[claim.source];
+        numerator += w * claim.value;
+        denominator += w;
+      }
+      double updated = denominator > 0.0 ? numerator / denominator
+                                         : result.truths[e];
+      max_shift = std::max(max_shift, std::abs(updated - result.truths[e]));
+      result.truths[e] = updated;
+    }
+    if (max_shift < params.tolerance) break;
+  }
+
+  // Normalize weights to sum 1 for interpretability.
+  double total_weight = 0.0;
+  for (const auto& [_, w] : weights) total_weight += w;
+  if (total_weight > 0.0)
+    for (auto& [_, w] : weights) w /= total_weight;
+  result.source_weight = std::move(weights);
+  return result;
+}
+
+std::vector<TruthEvent> group_truth_events(
+    const std::vector<phone::Observation>& observations,
+    double max_distance_m, DurationMs max_time_gap, std::size_t min_claims) {
+  // Sort localized observations by time; greedily attach each to the
+  // first open event whose anchor is close in space and time.
+  std::vector<const phone::Observation*> localized;
+  for (const phone::Observation& obs : observations)
+    if (obs.location.has_value()) localized.push_back(&obs);
+  std::sort(localized.begin(), localized.end(),
+            [](const phone::Observation* a, const phone::Observation* b) {
+              return a->captured_at < b->captured_at;
+            });
+
+  struct OpenEvent {
+    const phone::Observation* anchor;
+    TruthEvent event;
+  };
+  std::vector<OpenEvent> open;
+  std::vector<TruthEvent> closed;
+  for (const phone::Observation* obs : localized) {
+    // Close stale events.
+    std::vector<OpenEvent> still_open;
+    for (OpenEvent& oe : open) {
+      if (obs->captured_at - oe.anchor->captured_at > max_time_gap) {
+        if (oe.event.claims.size() >= min_claims)
+          closed.push_back(std::move(oe.event));
+      } else {
+        still_open.push_back(std::move(oe));
+      }
+    }
+    open = std::move(still_open);
+
+    bool attached = false;
+    for (OpenEvent& oe : open) {
+      double dx = obs->location->x_m - oe.anchor->location->x_m;
+      double dy = obs->location->y_m - oe.anchor->location->y_m;
+      if (std::sqrt(dx * dx + dy * dy) <= max_distance_m) {
+        oe.event.claims.push_back(TruthClaim{obs->user, obs->spl_db});
+        attached = true;
+        break;
+      }
+    }
+    if (!attached) {
+      OpenEvent oe;
+      oe.anchor = obs;
+      oe.event.claims.push_back(TruthClaim{obs->user, obs->spl_db});
+      open.push_back(std::move(oe));
+    }
+  }
+  for (OpenEvent& oe : open)
+    if (oe.event.claims.size() >= min_claims)
+      closed.push_back(std::move(oe.event));
+  return closed;
+}
+
+}  // namespace mps::calib

@@ -1,0 +1,64 @@
+// Truth discovery over crowd-sensed observations (paper §2 "Analyzing":
+// server-side correlation of data "at a larger scale", citing Li et al.
+// KDD'15 and Meng et al. SenSys'15 — truth discovery on crowd sensing).
+//
+// When several devices measure the same physical quantity (co-located,
+// near-simultaneous noise readings), their claims conflict: devices are
+// differently reliable. Truth discovery jointly estimates the true value
+// of each event and a reliability weight per source, by iterating
+//   truth_e   <- weighted mean of claims on e,
+//   weight_s  <- log(total loss / loss_s)   (CRH-style),
+// until convergence. Reliable devices pull the estimates toward
+// themselves; noisy devices are discounted.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "phone/observation.h"
+
+namespace mps::calib {
+
+/// One source's claim about an event's true value.
+struct TruthClaim {
+  std::string source;  ///< device/user id
+  double value = 0.0;
+};
+
+/// A group of claims believed to measure the same ground truth.
+struct TruthEvent {
+  std::vector<TruthClaim> claims;
+};
+
+/// Algorithm parameters.
+struct TruthDiscoveryParams {
+  int max_iterations = 50;
+  /// Stop when no truth estimate moves more than this between sweeps.
+  double tolerance = 1e-6;
+};
+
+/// Result: one truth per event plus normalized source weights (sum 1).
+struct TruthDiscoveryResult {
+  std::vector<double> truths;
+  std::map<std::string, double> source_weight;
+  int iterations_run = 0;
+};
+
+/// Runs CRH-style truth discovery. Events without claims get truth 0 and
+/// are ignored by the weighting. Sources appearing in a single claim
+/// still receive a weight.
+TruthDiscoveryResult discover_truth(const std::vector<TruthEvent>& events,
+                                    const TruthDiscoveryParams& params = {});
+
+/// Groups localized observations into truth events by space-time
+/// proximity: observations within `max_distance_m` and `max_time_gap` of
+/// an event's first member join that event; events with fewer than
+/// `min_claims` claims are dropped. Sources are user ids.
+std::vector<TruthEvent> group_truth_events(
+    const std::vector<phone::Observation>& observations,
+    double max_distance_m = 150.0, DurationMs max_time_gap = minutes(10),
+    std::size_t min_claims = 2);
+
+}  // namespace mps::calib

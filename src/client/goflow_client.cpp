@@ -1,0 +1,217 @@
+#include "client/goflow_client.h"
+
+#include "common/log.h"
+#include "net/radio.h"
+
+namespace mps::client {
+
+const char* app_version_name(AppVersion v) {
+  switch (v) {
+    case AppVersion::kV1_1: return "v1.1";
+    case AppVersion::kV1_2_9: return "v1.2.9";
+    case AppVersion::kV1_3: return "v1.3";
+  }
+  return "?";
+}
+
+ClientConfig ClientConfig::v1_1(ClientId id, ExchangeId exchange) {
+  ClientConfig c;
+  c.client_id = std::move(id);
+  c.exchange = std::move(exchange);
+  c.version = AppVersion::kV1_1;
+  c.buffer_size = 1;
+  return c;
+}
+
+ClientConfig ClientConfig::v1_2_9(ClientId id, ExchangeId exchange) {
+  ClientConfig c;
+  c.client_id = std::move(id);
+  c.exchange = std::move(exchange);
+  c.version = AppVersion::kV1_2_9;
+  c.buffer_size = 1;
+  return c;
+}
+
+ClientConfig ClientConfig::v1_3(ClientId id, ExchangeId exchange,
+                                std::size_t buffer_size) {
+  ClientConfig c;
+  c.client_id = std::move(id);
+  c.exchange = std::move(exchange);
+  c.version = AppVersion::kV1_3;
+  c.buffer_size = buffer_size;
+  return c;
+}
+
+GoFlowClient::GoFlowClient(sim::Simulation& simulation, broker::Broker& broker,
+                           phone::Phone& phone, ClientConfig config,
+                           AmbientFn ambient, PositionFn position)
+    : sim_(simulation),
+      broker_(broker),
+      phone_(phone),
+      config_(std::move(config)),
+      ambient_(std::move(ambient)),
+      position_(std::move(position)),
+      timer_(simulation, config_.sense_period,
+             [this](TimeMs now) { on_sense_tick(now); }) {}
+
+void GoFlowClient::start() { timer_.start(); }
+
+void GoFlowClient::stop() { timer_.stop(); }
+
+void GoFlowClient::on_sense_tick(TimeMs now) {
+  auto [x, y] = position_(now);
+  // Mobility gate: a device that hasn't moved re-samples the same scene;
+  // back off to every Nth tick while stationary.
+  if (config_.still_backoff > 1 && has_last_position_) {
+    double dx = x - last_x_m_, dy = y - last_y_m_;
+    bool moved = dx * dx + dy * dy >
+                 config_.still_epsilon_m * config_.still_epsilon_m;
+    if (moved) {
+      still_ticks_ = 0;
+    } else {
+      ++still_ticks_;
+      if (still_ticks_ % config_.still_backoff != 0) {
+        ++stats_.skipped_still;
+        // Retry pending uploads even on skipped ticks (the paper's
+        // "sent at the next cycle" policy must not stall).
+        maybe_upload();
+        return;
+      }
+    }
+  }
+  has_last_position_ = true;
+  last_x_m_ = x;
+  last_y_m_ = y;
+  phone::Observation obs =
+      phone_.sense(now, phone::SensingMode::kOpportunistic, ambient_(now), x, y);
+  record(obs);
+}
+
+phone::Observation GoFlowClient::sense_now(phone::SensingMode mode) {
+  TimeMs now = sim_.now();
+  auto [x, y] = position_(now);
+  phone::Observation obs = phone_.sense(now, mode, ambient_(now), x, y);
+  record(obs);
+  return obs;
+}
+
+Status GoFlowClient::start_journey(DurationMs period) {
+  if (journey_timer_ != nullptr)
+    return err(ErrorCode::kConflict, "a journey is already being recorded");
+  if (period <= 0)
+    return err(ErrorCode::kInvalidArgument, "journey period must be positive");
+  journey_observations_ = 0;
+  journey_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, period, [this](TimeMs) {
+        sense_now(phone::SensingMode::kJourney);
+        ++journey_observations_;
+      });
+  // First measurement immediately, then every period.
+  sense_now(phone::SensingMode::kJourney);
+  ++journey_observations_;
+  journey_timer_->start();
+  return {};
+}
+
+std::size_t GoFlowClient::stop_journey() {
+  if (journey_timer_ == nullptr) return journey_observations_;
+  journey_timer_->stop();
+  journey_timer_.reset();
+  flush();  // a finished journey is worth shipping promptly
+  return journey_observations_;
+}
+
+void GoFlowClient::record(const phone::Observation& observation) {
+  ++stats_.observations_recorded;
+  if (!config_.share) {
+    ++stats_.dropped_not_shared;
+    return;  // quantified-self only: data stays on the device
+  }
+  buffer_.push_back(observation);
+  maybe_upload();
+}
+
+void GoFlowClient::maybe_upload() {
+  if (buffer_.empty()) return;
+  TimeMs now = sim_.now();
+  if (buffer_.size() >= config_.buffer_size) {
+    try_upload();
+    return;
+  }
+  // Piggyback: the radio is already warm thanks to another app — an
+  // upload right now is nearly free, so flush early.
+  if (config_.piggyback && phone_.foreground_active_at(now)) {
+    if (try_upload()) ++stats_.piggyback_uploads;
+    return;
+  }
+  // Age bound: don't let observations linger past max_buffer_age.
+  if (config_.max_buffer_age > 0 &&
+      now - buffer_.front().captured_at >= config_.max_buffer_age) {
+    if (try_upload()) ++stats_.age_forced_uploads;
+  }
+}
+
+bool GoFlowClient::flush() {
+  if (buffer_.empty()) return false;
+  return try_upload();
+}
+
+Value GoFlowClient::batch_document() const {
+  Array observations;
+  observations.reserve(buffer_.size());
+  for (const phone::Observation& obs : buffer_)
+    observations.push_back(obs.to_document());
+  // The batch id makes server-side ingestion idempotent: a batch
+  // redelivered by the at-least-once transport is stored exactly once.
+  return Value(Object{{"app", Value(config_.app)},
+                      {"client", Value(config_.client_id)},
+                      {"batch_id", Value(config_.client_id + "#" +
+                                         std::to_string(batch_counter_))},
+                      {"sent_at", Value(sim_.now())},
+                      {"observations", Value(std::move(observations))}});
+}
+
+bool GoFlowClient::try_upload() {
+  TimeMs now = sim_.now();
+  // The paper's store-and-forward policy: no connection at emission time
+  // means the batch is kept and retried at the next cycle.
+  if (!phone_.connectivity().connected_at(now)) {
+    ++stats_.deferred_uploads;
+    return false;
+  }
+
+  std::size_t bytes = net::estimate_message_bytes(buffer_.size());
+  DurationMs extra_latency = 0;
+  if (config_.version == AppVersion::kV1_1) {
+    bytes += config_.v1_1_connection_overhead_bytes;
+    extra_latency = config_.v1_1_connection_latency;
+  }
+
+  net::Transfer transfer = phone_.transmit(now, bytes);
+  TimeMs delivered_at = transfer.completed_at + extra_latency;
+
+  ++batch_counter_;
+  Value payload = batch_document();
+  std::size_t batch_size = buffer_.size();
+  for (const phone::Observation& obs : buffer_) {
+    deliveries_.push_back(DeliveryRecord{obs.captured_at, delivered_at,
+                                         batch_size});
+  }
+  buffer_.clear();
+  ++stats_.uploads;
+  stats_.observations_uploaded += batch_size;
+
+  std::string routing_key = config_.app + ".obs." + config_.client_id;
+  // Deliver to the broker when the transfer completes in virtual time.
+  sim_.at(delivered_at, [this, payload = std::move(payload), routing_key,
+                         delivered_at]() mutable {
+    auto result = broker_.publish(config_.exchange, routing_key,
+                                  std::move(payload), delivered_at);
+    if (!result.ok())
+      MPS_LOG_WARN("goflow-client",
+                   "publish failed: " + result.error().message);
+  });
+  return true;
+}
+
+}  // namespace mps::client

@@ -1,0 +1,159 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mps {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (bins < 1) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // guard FP edge
+    counts_[i] += weight;
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+double Histogram::bin_mid(std::size_t i) const { return lo_ + width_ * (static_cast<double>(i) + 0.5); }
+
+double Histogram::share(std::size_t i, double scale) const {
+  if (total_ <= 0.0) return 0.0;
+  return counts_[i] / total_ * scale;
+}
+
+std::vector<double> Histogram::shares(double scale) const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = share(i, scale);
+  return out;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_)
+    throw std::invalid_argument("Histogram::merge: incompatible binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+std::string Histogram::to_ascii(std::size_t max_width,
+                                const std::string& value_label) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::string out;
+  if (!value_label.empty()) out += value_label + "\n";
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    auto bar_len = peak > 0.0
+                       ? static_cast<std::size_t>(counts_[i] / peak *
+                                                  static_cast<double>(max_width))
+                       : 0;
+    std::snprintf(buf, sizeof buf, "[%8.1f,%8.1f) %7.2f%% |", bin_lo(i),
+                  bin_hi(i), share(i));
+    out += buf;
+    out.append(bar_len, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> edges)
+    : edges_(std::move(edges)) {
+  if (edges_.size() < 2)
+    throw std::invalid_argument("BucketHistogram: need >= 2 edges");
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    if (!(edges_[i] > edges_[i - 1]))
+      throw std::invalid_argument("BucketHistogram: edges must increase");
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+void BucketHistogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += weight;
+}
+
+double BucketHistogram::share(std::size_t i, double scale) const {
+  if (total_ <= 0.0) return 0.0;
+  return counts_[i] / total_ * scale;
+}
+
+std::string BucketHistogram::bin_label(std::size_t i) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[%g,%g)", edges_[i], edges_[i + 1]);
+  return buf;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  dirty_ = true;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double EmpiricalCdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  double idx = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+}  // namespace mps

@@ -1,0 +1,130 @@
+// Fixed-bin histograms and empirical CDFs.
+//
+// All of the paper's figures are distributions: location-accuracy
+// histograms (Figs 10-13), SPL distributions in per-mille (Figs 14-15),
+// hourly participation shares (Figs 18-19), provider/activity shares
+// (Figs 20-21) and transmission-delay CDFs (Fig 17). This header provides
+// the shared machinery the benches use to regenerate them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/// Histogram over [lo, hi) with uniformly sized bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  /// Creates a histogram with `bins` uniform bins spanning [lo, hi).
+  /// Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one sample (weight 1).
+  void add(double x) { add(x, 1.0); }
+
+  /// Adds a weighted sample.
+  void add(double x, double weight);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+  /// Midpoint of bin i.
+  double bin_mid(std::size_t i) const;
+
+  /// Raw (weighted) count in bin i.
+  double count(std::size_t i) const { return counts_[i]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+
+  /// Total weight added, including under/overflow.
+  double total() const { return total_; }
+
+  /// Bin share scaled by `scale` of the total (100 => percent, 1000 =>
+  /// per-mille as in the paper's SPL figures). Zero when the histogram is
+  /// empty.
+  double share(std::size_t i, double scale = 100.0) const;
+
+  /// All bin shares as a vector (same scaling convention as share()).
+  std::vector<double> shares(double scale = 100.0) const;
+
+  /// Index of the fullest bin (ties resolved to the lowest index).
+  std::size_t mode_bin() const;
+
+  /// Merges another histogram with identical binning; throws otherwise.
+  void merge(const Histogram& other);
+
+  /// Renders an ASCII bar chart, one row per bin, for bench output.
+  std::string to_ascii(std::size_t max_width = 50,
+                       const std::string& value_label = "") const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Histogram over explicit, possibly non-uniform bin edges. Used for the
+/// paper's accuracy buckets ([0-6), [6-20), [20-50), [50-100), ...).
+class BucketHistogram {
+ public:
+  /// `edges` must be strictly increasing with at least 2 entries; bin i
+  /// spans [edges[i], edges[i+1]).
+  explicit BucketHistogram(std::vector<double> edges);
+
+  void add(double x) { add(x, 1.0); }
+  void add(double x, double weight);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const { return edges_[i]; }
+  double bin_hi(std::size_t i) const { return edges_[i + 1]; }
+  double count(std::size_t i) const { return counts_[i]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const { return total_; }
+  double share(std::size_t i, double scale = 100.0) const;
+
+  /// Human-readable label for bin i, e.g. "[20,50)".
+  std::string bin_label(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Empirical CDF from raw samples.
+class EmpiricalCdf {
+ public:
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x, in [0,1]. Zero for an empty CDF.
+  double fraction_at_most(double x) const;
+
+  /// q-quantile for q in [0,1]; throws when empty.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace mps

@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mps {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "%-5s [%s] %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace mps

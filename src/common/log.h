@@ -1,0 +1,29 @@
+// Minimal leveled logger. The middleware components log at kDebug/kInfo;
+// tests and benches keep the default level at kWarn so output stays clean.
+#pragma once
+
+#include <string>
+
+namespace mps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a log line "LEVEL [component] message" to stderr when `level` is
+/// at or above the global level.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+#define MPS_LOG_DEBUG(component, msg) \
+  ::mps::log_message(::mps::LogLevel::kDebug, (component), (msg))
+#define MPS_LOG_INFO(component, msg) \
+  ::mps::log_message(::mps::LogLevel::kInfo, (component), (msg))
+#define MPS_LOG_WARN(component, msg) \
+  ::mps::log_message(::mps::LogLevel::kWarn, (component), (msg))
+#define MPS_LOG_ERROR(component, msg) \
+  ::mps::log_message(::mps::LogLevel::kError, (component), (msg))
+
+}  // namespace mps

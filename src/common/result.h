@@ -1,0 +1,112 @@
+// Lightweight expected-style result for API-layer errors.
+//
+// The GoFlow server mirrors a REST API: operations fail with status codes
+// (unauthorized, not found, conflict...) rather than exceptions, since
+// client misuse is an expected outcome, not a programming error.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mps {
+
+/// REST-flavoured error categories used by the GoFlow API surface.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kUnauthorized,
+  kForbidden,
+  kNotFound,
+  kConflict,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode.
+const char* error_code_name(ErrorCode code);
+
+/// Error payload: a code plus a message for diagnostics.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Result<T>: either a value or an Error. Deliberately minimal — just what
+/// the API layer needs (ok(), value(), error(), value_or_throw()).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The value; requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// The error; requires !ok().
+  const Error& error() const { return error_; }
+
+  /// Returns the value or throws std::runtime_error with the error text.
+  /// Convenient in tests and examples where failure is unexpected.
+  T& value_or_throw() {
+    if (!ok())
+      throw std::runtime_error(std::string(error_code_name(error_.code)) +
+                               ": " + error_.message);
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+
+  /// Throws std::runtime_error when not ok.
+  void throw_if_error() const {
+    if (failed_)
+      throw std::runtime_error(std::string(error_code_name(error_.code)) +
+                               ": " + error_.message);
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kUnauthorized: return "unauthorized";
+    case ErrorCode::kForbidden: return "forbidden";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Shorthand error factories.
+inline Error err(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace mps

@@ -1,0 +1,128 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mps {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  std::size_t n = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+  double my = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size());
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;  // average tied ranks
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return pearson_correlation(ranks(x), ranks(y));
+}
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  LinearFit fit;
+  if (x.size() != y.size() || x.size() < 2) return fit;
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+  double my = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double total_variation_distance(const std::vector<double>& p,
+                                const std::vector<double>& q) {
+  if (p.size() != q.size() || p.empty()) return 1.0;
+  double sp = std::accumulate(p.begin(), p.end(), 0.0);
+  double sq = std::accumulate(q.begin(), q.end(), 0.0);
+  if (sp <= 0.0 || sq <= 0.0) return 1.0;
+  double tv = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    tv += std::abs(p[i] / sp - q[i] / sq);
+  return tv / 2.0;
+}
+
+}  // namespace mps

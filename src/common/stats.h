@@ -1,0 +1,67 @@
+// Streaming and batch statistics used throughout the analysis benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mps {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory,
+/// numerically stable — suitable for the millions of simulated
+/// observations the benches push through it.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Combines two streams (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or sizes mismatch.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Spearman rank correlation of two equal-length series.
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+/// Ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Fits a line by OLS; requires x.size() == y.size() >= 2 and non-constant
+/// x, otherwise returns a zero fit.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Root-mean-square error between two equal-length series.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Total-variation distance between two discrete distributions given as
+/// (possibly unnormalized, non-negative) weight vectors of equal length.
+/// 0 = identical shapes, 1 = disjoint support.
+double total_variation_distance(const std::vector<double>& p,
+                                const std::vector<double>& q);
+
+}  // namespace mps

@@ -1,0 +1,28 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mps {
+
+/// Splits `s` on `sep`; adjacent separators yield empty tokens ("a..b" on
+/// '.' -> {"a", "", "b"}). An empty input yields one empty token, matching
+/// AMQP routing-key semantics where "" is a single empty word.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins tokens with `sep`.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a count with thousands separators ("23108136" -> "23 108 136"),
+/// matching the paper's Figure 9 table style.
+std::string with_thousands(std::int64_t n);
+
+}  // namespace mps

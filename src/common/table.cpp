@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mps {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != ' ' && c != 'e' && c != 'E')
+      return false;
+  }
+  return std::any_of(s.begin(), s.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : "";
+      bool right = looks_numeric(cell);
+      if (i > 0) out += "  ";
+      if (right) out.append(width[i] - cell.size(), ' ');
+      out += cell;
+      if (!right) out.append(width[i] - cell.size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i) total += width[i] + (i > 0 ? 2 : 0);
+    out.append(total, '-');
+    out.push_back('\n');
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+}  // namespace mps

@@ -1,0 +1,30 @@
+// Aligned text tables for bench/example output, matching the row/column
+// style of the paper's tables (e.g. Figure 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mps {
+
+/// Builds an ASCII table with a header row, automatic column widths, and
+/// right-aligned numeric-looking cells.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row (may have fewer cells than the header).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mps

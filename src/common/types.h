@@ -1,0 +1,47 @@
+// Core scalar types shared across the MPS middleware reproduction.
+//
+// All simulated time is expressed in integral milliseconds since the start
+// of the simulation epoch. Using a plain integer (rather than std::chrono
+// with a custom clock) keeps event timestamps trivially serializable into
+// documents and messages, and makes arithmetic in models explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mps {
+
+/// Simulated time in milliseconds since the simulation epoch.
+using TimeMs = std::int64_t;
+
+/// Duration in milliseconds (same representation as TimeMs).
+using DurationMs = std::int64_t;
+
+constexpr DurationMs milliseconds(std::int64_t n) { return n; }
+constexpr DurationMs seconds(std::int64_t n) { return n * 1000; }
+constexpr DurationMs minutes(std::int64_t n) { return n * 60 * 1000; }
+constexpr DurationMs hours(std::int64_t n) { return n * 60 * 60 * 1000; }
+constexpr DurationMs days(std::int64_t n) { return n * 24 * 60 * 60 * 1000; }
+
+/// Hour of day [0,24) for a simulated timestamp, assuming the epoch is
+/// midnight local time. Used by diurnal participation and ambient models.
+constexpr int hour_of_day(TimeMs t) {
+  return static_cast<int>((t / hours(1)) % 24);
+}
+
+/// Day index since the epoch for a simulated timestamp.
+constexpr std::int64_t day_index(TimeMs t) { return t / days(1); }
+
+/// Milliseconds elapsed within the current simulated day.
+constexpr DurationMs time_of_day(TimeMs t) { return t % days(1); }
+
+/// Opaque identifiers. They are plain strings on the wire (as in the real
+/// GoFlow REST/AMQP APIs) but get dedicated aliases so signatures read well.
+using ClientId = std::string;
+using UserId = std::string;
+using AppId = std::string;
+using DeviceModelId = std::string;
+using ExchangeId = std::string;
+using QueueId = std::string;
+
+}  // namespace mps

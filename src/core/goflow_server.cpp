@@ -1,0 +1,431 @@
+#include "core/goflow_server.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace mps::core {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kClient: return "client";
+    case Role::kManager: return "manager";
+    case Role::kAdmin: return "admin";
+  }
+  return "?";
+}
+
+GoFlowServer::GoFlowServer(sim::Simulation& simulation, broker::Broker& broker,
+                           docstore::Database& database, ServerConfig config)
+    : sim_(simulation), broker_(broker), db_(database), config_(std::move(config)) {
+  broker_.declare_exchange(config_.goflow_exchange, broker::ExchangeType::kTopic)
+      .throw_if_error();
+  broker_.declare_queue(config_.ingest_queue).throw_if_error();
+  broker_.bind_queue(config_.goflow_exchange, config_.ingest_queue, "#")
+      .throw_if_error();
+  ingest_tag_ = broker_
+                    .subscribe(config_.ingest_queue,
+                               [this](const broker::Message& m) { ingest(m); })
+                    .value_or_throw();
+  // Hot query paths get indexes up front.
+  auto& obs = db_.collection(config_.observations_collection);
+  obs.create_index("app");
+  obs.create_index("user");
+  obs.create_index("model");
+  obs.create_index("captured_at");
+}
+
+GoFlowServer::~GoFlowServer() { broker_.unsubscribe(ingest_tag_); }
+
+// --- App & account management ---------------------------------------------
+
+Result<AppRegistration> GoFlowServer::register_app(
+    const AppId& app, std::vector<std::string> private_fields) {
+  if (app.empty())
+    return err(ErrorCode::kInvalidArgument, "app id must be non-empty");
+  if (apps_.count(app) > 0)
+    return err(ErrorCode::kConflict, "app '" + app + "' already registered");
+  apps_[app].private_fields = std::move(private_fields);
+
+  // Figure 3: one exchange per application, forwarding everything to the
+  // GoFlow exchange for storage.
+  Status s = broker_.declare_exchange(app_exchange(app),
+                                      broker::ExchangeType::kTopic);
+  if (!s.ok()) return s.error();
+  s = broker_.bind_exchange(app_exchange(app), config_.goflow_exchange, "#");
+  if (!s.ok()) return s.error();
+
+  std::string token = "tok-" + app + "-" + std::to_string(++token_counter_);
+  tokens_[token] = Account{app, "app-admin", Role::kAdmin, token};
+  db_.collection(config_.accounts_collection)
+      .insert(Value(Object{{"app", Value(app)},
+                           {"user", Value("app-admin")},
+                           {"role", Value(role_name(Role::kAdmin))}}));
+  return AppRegistration{app, token};
+}
+
+const GoFlowServer::Account* GoFlowServer::authenticate(
+    const std::string& token) const {
+  auto it = tokens_.find(token);
+  return it == tokens_.end() ? nullptr : &it->second;
+}
+
+std::optional<Role> GoFlowServer::token_role(
+    const std::string& auth_token) const {
+  const Account* account = authenticate(auth_token);
+  if (account == nullptr) return std::nullopt;
+  return account->role;
+}
+
+Status GoFlowServer::require_role(const std::string& token, const AppId& app,
+                                  Role minimum) const {
+  const Account* account = authenticate(token);
+  if (account == nullptr)
+    return err(ErrorCode::kUnauthorized, "invalid token");
+  if (account->app != app)
+    return err(ErrorCode::kForbidden, "token belongs to another app");
+  if (static_cast<int>(account->role) < static_cast<int>(minimum))
+    return err(ErrorCode::kForbidden,
+               std::string("requires role ") + role_name(minimum));
+  return {};
+}
+
+Result<std::string> GoFlowServer::register_account(
+    const std::string& auth_token, const AppId& app, const UserId& user,
+    Role role) {
+  // Managers may add clients; adding managers/admins needs an admin.
+  Role needed = role == Role::kClient ? Role::kManager : Role::kAdmin;
+  Status s = require_role(auth_token, app, needed);
+  if (!s.ok()) return s.error();
+  for (const auto& [_, account] : tokens_)
+    if (account.app == app && account.user == user)
+      return err(ErrorCode::kConflict, "account exists for '" + user + "'");
+  std::string token = "tok-" + app + "-" + std::to_string(++token_counter_);
+  tokens_[token] = Account{app, user, role, token};
+  db_.collection(config_.accounts_collection)
+      .insert(Value(Object{{"app", Value(app)},
+                           {"user", Value(user)},
+                           {"role", Value(role_name(role))}}));
+  return token;
+}
+
+Status GoFlowServer::remove_account(const std::string& auth_token,
+                                    const AppId& app, const UserId& user) {
+  Status s = require_role(auth_token, app, Role::kAdmin);
+  if (!s.ok()) return s;
+  for (auto it = tokens_.begin(); it != tokens_.end(); ++it) {
+    if (it->second.app == app && it->second.user == user) {
+      tokens_.erase(it);
+      db_.collection(config_.accounts_collection)
+          .remove_many(docstore::Query::and_(
+              {docstore::Query::eq("app", Value(app)),
+               docstore::Query::eq("user", Value(user))}));
+      return {};
+    }
+  }
+  return err(ErrorCode::kNotFound, "no account for '" + user + "'");
+}
+
+// --- Channel management -----------------------------------------------------
+
+Result<ClientChannels> GoFlowServer::login_client(const std::string& auth_token,
+                                                  const AppId& app,
+                                                  const ClientId& client) {
+  Status s = require_role(auth_token, app, Role::kClient);
+  if (!s.ok()) return s.error();
+  if (apps_.count(app) == 0)
+    return err(ErrorCode::kNotFound, "app '" + app + "' not registered");
+
+  ExchangeId ex = client_exchange(app, client);
+  QueueId q = client_queue(app, client);
+  s = broker_.declare_exchange(ex, broker::ExchangeType::kTopic);
+  if (!s.ok()) return s.error();
+  // The client's exchange forwards everything it publishes to the app
+  // exchange (Figure 3: E1 -> SC).
+  s = broker_.bind_exchange(ex, app_exchange(app), "#");
+  if (!s.ok()) return s.error();
+  s = broker_.declare_queue(q);
+  if (!s.ok()) return s.error();
+  ++apps_[app].analytics.clients_logged_in;
+  return ClientChannels{ex, q};
+}
+
+Status GoFlowServer::logout_client(const std::string& auth_token,
+                                   const AppId& app, const ClientId& client) {
+  Status s = require_role(auth_token, app, Role::kClient);
+  if (!s.ok()) return s;
+  Status es = broker_.delete_exchange(client_exchange(app, client));
+  Status qs = broker_.delete_queue(client_queue(app, client));
+  if (!es.ok()) return es;
+  return qs;
+}
+
+Status GoFlowServer::subscribe(const std::string& auth_token, const AppId& app,
+                               const ClientId& client,
+                               const std::string& location_id,
+                               const std::string& datatype) {
+  Status s = require_role(auth_token, app, Role::kClient);
+  if (!s.ok()) return s;
+  if (!broker_.has_queue(client_queue(app, client)))
+    return err(ErrorCode::kNotFound, "client not logged in");
+
+  // Figure 3 topology: app exchange -> location exchange -> datatype
+  // exchange -> client queues. Messages are published with routing key
+  // "<location>.<datatype>.<client>".
+  ExchangeId loc_ex = location_exchange(app, location_id);
+  ExchangeId type_ex = datatype_exchange(app, location_id, datatype);
+  s = broker_.declare_exchange(loc_ex, broker::ExchangeType::kTopic);
+  if (!s.ok()) return s;
+  s = broker_.bind_exchange(app_exchange(app), loc_ex, location_id + ".#");
+  if (!s.ok()) return s;
+  s = broker_.declare_exchange(type_ex, broker::ExchangeType::kTopic);
+  if (!s.ok()) return s;
+  s = broker_.bind_exchange(loc_ex, type_ex, "*." + datatype + ".#");
+  if (!s.ok()) return s;
+  s = broker_.bind_queue(type_ex, client_queue(app, client), "#");
+  if (!s.ok()) return s;
+  ++apps_[app].analytics.subscriptions;
+  return {};
+}
+
+Status GoFlowServer::unsubscribe(const std::string& auth_token,
+                                 const AppId& app, const ClientId& client,
+                                 const std::string& location_id,
+                                 const std::string& datatype) {
+  Status s = require_role(auth_token, app, Role::kClient);
+  if (!s.ok()) return s;
+  return broker_.unbind_queue(datatype_exchange(app, location_id, datatype),
+                              client_queue(app, client), "#");
+}
+
+std::string GoFlowServer::publish_key(const std::string& location_id,
+                                      const std::string& datatype,
+                                      const ClientId& client) {
+  return location_id + "." + datatype + "." + client;
+}
+
+// --- Ingestion ---------------------------------------------------------------
+
+void GoFlowServer::ingest(const broker::Message& message) {
+  const Value* observations = message.payload.find("observations");
+  if (observations == nullptr || !observations->is_array()) {
+    // Not an observation batch (e.g. a Feedback message routed for
+    // storage): store it raw when it is an object.
+    if (message.payload.is_object()) {
+      Value doc = message.payload;
+      doc.as_object().set("routing_key", Value(message.routing_key));
+      doc.as_object().set("received_at", Value(message.published_at));
+      db_.collection("messages").insert(std::move(doc));
+    }
+    return;
+  }
+  // Idempotent ingestion: the transport is at-least-once (store-and-
+  // forward retries, broker redelivery), so a batch may arrive twice.
+  std::string batch_id = message.payload.get_string("batch_id");
+  if (!batch_id.empty() && !seen_batch_ids_.insert(batch_id).second) {
+    ++duplicate_batches_;
+    return;
+  }
+  AppId app = message.payload.get_string("app");
+  std::string client = message.payload.get_string("client");
+  AppState* state = nullptr;
+  auto it = apps_.find(app);
+  if (it != apps_.end()) state = &it->second;
+
+  auto& collection = db_.collection(config_.observations_collection);
+  for (const Value& obs : observations->as_array()) {
+    if (!obs.is_object()) continue;
+    Value doc = obs;
+    Object& o = doc.as_object();
+    o.set("app", Value(app));
+    o.set("client", Value(client));
+    o.set("received_at", Value(message.published_at));
+    TimeMs captured = doc.get_int("captured_at");
+    DurationMs delay = message.published_at - captured;
+    o.set("delay_ms", Value(delay));
+    collection.insert(std::move(doc));
+    ++total_observations_;
+    if (state != nullptr) {
+      ++state->analytics.observations_stored;
+      if (obs.find("location") != nullptr)
+        ++state->analytics.observations_localized;
+      state->analytics.delay_stats.add(static_cast<double>(delay));
+    }
+  }
+  ++total_batches_;
+  if (state != nullptr) ++state->analytics.batches_ingested;
+}
+
+// --- Data API ------------------------------------------------------------------
+
+docstore::Query GoFlowServer::build_query(
+    const ObservationFilter& filter) const {
+  using docstore::Query;
+  std::vector<Query> clauses;
+  clauses.push_back(Query::eq("app", Value(filter.app)));
+  if (filter.user.has_value())
+    clauses.push_back(Query::eq("user", Value(*filter.user)));
+  if (filter.model.has_value())
+    clauses.push_back(Query::eq("model", Value(*filter.model)));
+  if (filter.mode.has_value())
+    clauses.push_back(Query::eq("mode", Value(*filter.mode)));
+  if (filter.provider.has_value())
+    clauses.push_back(Query::eq("location.provider", Value(*filter.provider)));
+  if (filter.from.has_value())
+    clauses.push_back(Query::gte("captured_at", Value(*filter.from)));
+  if (filter.until.has_value())
+    clauses.push_back(Query::lt("captured_at", Value(*filter.until)));
+  if (filter.localized_only)
+    clauses.push_back(Query::exists("location"));
+  if (filter.max_accuracy_m.has_value())
+    clauses.push_back(
+        Query::lte("location.accuracy", Value(*filter.max_accuracy_m)));
+  return Query::and_(std::move(clauses));
+}
+
+Value GoFlowServer::strip_private_fields(const Value& doc,
+                                         const AppId& owner_app) const {
+  auto it = apps_.find(owner_app);
+  if (it == apps_.end() || it->second.private_fields.empty()) return doc;
+  Value out = doc;
+  for (const std::string& field : it->second.private_fields)
+    out.as_object().erase(field);
+  return out;
+}
+
+Result<std::vector<Value>> GoFlowServer::query_observations(
+    const std::string& auth_token, const ObservationFilter& filter) const {
+  const Account* account = authenticate(auth_token);
+  if (account == nullptr) return err(ErrorCode::kUnauthorized, "invalid token");
+  docstore::FindOptions options;
+  options.sort_by = "captured_at";
+  options.limit = filter.limit;
+  const docstore::Collection* collection =
+      db_.find_collection(config_.observations_collection);
+  if (collection == nullptr) return std::vector<Value>{};
+  std::vector<Value> docs =
+      collection->find(build_query(filter), options);
+  // Open-data policy: foreign apps see shared fields only.
+  if (account->app != filter.app) {
+    for (Value& doc : docs) doc = strip_private_fields(doc, filter.app);
+  }
+  return docs;
+}
+
+Result<std::size_t> GoFlowServer::count_observations(
+    const std::string& auth_token, const ObservationFilter& filter) const {
+  if (authenticate(auth_token) == nullptr)
+    return err(ErrorCode::kUnauthorized, "invalid token");
+  const docstore::Collection* collection =
+      db_.find_collection(config_.observations_collection);
+  if (collection == nullptr) return std::size_t{0};
+  return collection->count(build_query(filter));
+}
+
+Result<std::string> GoFlowServer::export_json(
+    const std::string& auth_token, const ObservationFilter& filter) const {
+  Result<std::vector<Value>> docs = query_observations(auth_token, filter);
+  if (!docs.ok()) return docs.error();
+  std::string out = "[";
+  bool first = true;
+  for (const Value& doc : docs.value()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += doc.to_json();
+  }
+  out.push_back(']');
+  return out;
+}
+
+Result<std::string> GoFlowServer::export_csv(
+    const std::string& auth_token, const ObservationFilter& filter) const {
+  Result<std::vector<Value>> docs = query_observations(auth_token, filter);
+  if (!docs.ok()) return docs.error();
+  std::string out =
+      "user,model,captured_at,spl,mode,activity,provider,x,y,accuracy,delay_ms\n";
+  auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+  };
+  for (const Value& doc : docs.value()) {
+    out += escape(doc.get_string("user")) + ',';
+    out += escape(doc.get_string("model")) + ',';
+    out += std::to_string(doc.get_int("captured_at")) + ',';
+    out += format("%.3f", doc.get_double("spl")) + ',';
+    out += doc.get_string("mode") + ',';
+    out += doc.get_string("activity") + ',';
+    const Value* location = doc.find("location");
+    if (location != nullptr) {
+      out += location->get_string("provider") + ',';
+      out += format("%.1f", location->get_double("x")) + ',';
+      out += format("%.1f", location->get_double("y")) + ',';
+      out += format("%.1f", location->get_double("accuracy")) + ',';
+    } else {
+      out += ",,,,";
+    }
+    out += std::to_string(doc.get_int("delay_ms"));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// --- Analytics -------------------------------------------------------------------
+
+Result<AppAnalytics> GoFlowServer::analytics(const AppId& app) const {
+  auto it = apps_.find(app);
+  if (it == apps_.end())
+    return err(ErrorCode::kNotFound, "app '" + app + "' not registered");
+  return it->second.analytics;
+}
+
+// --- Background jobs ----------------------------------------------------------------
+
+Result<JobId> GoFlowServer::submit_job(const std::string& auth_token,
+                                       const AppId& app,
+                                       const std::string& name, Job job,
+                                       DurationMs delay) {
+  Status s = require_role(auth_token, app, Role::kManager);
+  if (!s.ok()) return s.error();
+  JobId id = "job-" + std::to_string(++job_counter_);
+  Value doc(Object{{"_id", Value(id)},
+                   {"name", Value(name)},
+                   {"app", Value(app)},
+                   {"status", Value("scheduled")}});
+  db_.collection(config_.jobs_collection).insert(std::move(doc));
+  sim_.after(delay, [this, id, job = std::move(job)] {
+    Value result;
+    std::string status = "done";
+    try {
+      result = job(db_);
+    } catch (const std::exception& e) {
+      status = "failed";
+      result = Value(Object{{"error", Value(std::string(e.what()))}});
+    }
+    auto& jobs = db_.collection(config_.jobs_collection);
+    auto doc = jobs.get(id);
+    if (doc.has_value()) {
+      doc->as_object().set("status", Value(status));
+      doc->as_object().set("result", result);
+      jobs.replace(id, std::move(*doc));
+    }
+  });
+  return id;
+}
+
+Result<Value> GoFlowServer::job_info(const JobId& id) const {
+  const docstore::Collection* jobs =
+      db_.find_collection(config_.jobs_collection);
+  if (jobs == nullptr) return err(ErrorCode::kNotFound, "job not found");
+  auto doc = jobs->get(id);
+  if (!doc.has_value()) return err(ErrorCode::kNotFound, "job not found");
+  return *doc;
+}
+
+}  // namespace mps::core

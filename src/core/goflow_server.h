@@ -1,0 +1,260 @@
+// The GoFlow crowd-sensing server (paper §3.1, Figure 2).
+//
+// Components mirrored from the paper:
+//   - REST-flavoured API surface: every public method returns Result/
+//     Status with REST-like error codes; authentication is token-based;
+//   - account & access management: per-app accounts with admin/manager/
+//     client roles;
+//   - channel management: creates the RabbitMQ exchange/queue topology of
+//     Figure 3 on behalf of clients (client exchange -> app exchange ->
+//     GoFlow ingest queue; location exchange -> datatype exchange ->
+//     client queues for subscriptions);
+//   - data storage: observations and accounts persisted in the document
+//     store (the MongoDB substitute), with indexes on the hot fields;
+//   - crowd-sensed data management: filtered retrieval (time window,
+//     provider, accuracy threshold, model, mode, user) with privacy
+//     enforcement — an app's private fields are stripped when another
+//     app reads shared data (GoFlow's open-data policy);
+//   - crowd-sensing analytics: per-app operation statistics;
+//   - background jobs: manager-submitted scripts executed against the
+//     stored data at a scheduled virtual time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "docstore/database.h"
+#include "sim/simulation.h"
+
+namespace mps::core {
+
+/// Account roles, in increasing privilege order.
+enum class Role { kClient, kManager, kAdmin };
+
+const char* role_name(Role r);
+
+/// Server configuration.
+struct ServerConfig {
+  ExchangeId goflow_exchange = "goflow";
+  QueueId ingest_queue = "goflow.ingest";
+  /// Collection names in the document store.
+  std::string observations_collection = "observations";
+  std::string accounts_collection = "accounts";
+  std::string jobs_collection = "jobs";
+};
+
+/// Registration result for an application.
+struct AppRegistration {
+  AppId app;
+  std::string admin_token;
+};
+
+/// Channel ids handed to a client on login (Figure 3: E_i and Q_i).
+struct ClientChannels {
+  ExchangeId exchange;
+  QueueId queue;
+};
+
+/// Filter for the crowd-sensed data API.
+struct ObservationFilter {
+  AppId app;
+  std::optional<UserId> user;
+  std::optional<DeviceModelId> model;
+  std::optional<std::string> mode;      ///< sensing mode name
+  std::optional<std::string> provider;  ///< location provider name
+  std::optional<TimeMs> from;           ///< captured_at >= from
+  std::optional<TimeMs> until;          ///< captured_at < until
+  bool localized_only = false;
+  /// Keep only observations with accuracy <= this many meters.
+  std::optional<double> max_accuracy_m;
+  std::size_t limit = 0;  ///< 0 = unlimited
+};
+
+/// Per-app analytics snapshot (the "crowd-sensing analytics" component).
+struct AppAnalytics {
+  std::uint64_t clients_logged_in = 0;
+  std::uint64_t batches_ingested = 0;
+  std::uint64_t observations_stored = 0;
+  std::uint64_t observations_localized = 0;
+  std::uint64_t subscriptions = 0;
+  /// Transmission delay (capture -> server) statistics.
+  RunningStats delay_stats;
+};
+
+/// Identifier of a submitted background job.
+using JobId = std::string;
+
+/// The server.
+class GoFlowServer {
+ public:
+  /// Wires the server to its infrastructure and declares the GoFlow
+  /// exchange/ingest queue (consuming ingest messages immediately).
+  GoFlowServer(sim::Simulation& simulation, broker::Broker& broker,
+               docstore::Database& database, ServerConfig config = {});
+  ~GoFlowServer();
+
+  GoFlowServer(const GoFlowServer&) = delete;
+  GoFlowServer& operator=(const GoFlowServer&) = delete;
+
+  // --- App & account management ----------------------------------------
+
+  /// Registers an application; returns its admin token. `private_fields`
+  /// are observation fields never exposed to other apps (open-data
+  /// policy).
+  Result<AppRegistration> register_app(
+      const AppId& app, std::vector<std::string> private_fields = {});
+
+  /// Creates an account under `app`; requires a token of equal or higher
+  /// role (managers can add clients, admins can add anyone).
+  Result<std::string> register_account(const std::string& auth_token,
+                                       const AppId& app, const UserId& user,
+                                       Role role);
+
+  /// Removes an account; admin token required.
+  Status remove_account(const std::string& auth_token, const AppId& app,
+                        const UserId& user);
+
+  /// Role carried by a token, if valid.
+  std::optional<Role> token_role(const std::string& auth_token) const;
+
+  // --- Channel management (Figure 3) ------------------------------------
+
+  /// Client login: creates (idempotently) the client's exchange bound to
+  /// the app exchange and the client's queue, and returns both ids.
+  Result<ClientChannels> login_client(const std::string& auth_token,
+                                      const AppId& app,
+                                      const ClientId& client);
+
+  /// Tears down the client's exchange/queue.
+  Status logout_client(const std::string& auth_token, const AppId& app,
+                       const ClientId& client);
+
+  /// Registers a subscription: the client's queue will receive messages
+  /// published for (location, datatype) — e.g. Feedback reports at
+  /// FR75013. Creates the location and datatype exchanges on demand.
+  Status subscribe(const std::string& auth_token, const AppId& app,
+                   const ClientId& client, const std::string& location_id,
+                   const std::string& datatype);
+
+  /// Removes a subscription.
+  Status unsubscribe(const std::string& auth_token, const AppId& app,
+                     const ClientId& client, const std::string& location_id,
+                     const std::string& datatype);
+
+  /// Routing key a client must use to publish a datatype at a location
+  /// ("FR75013.Feedback.<client>").
+  static std::string publish_key(const std::string& location_id,
+                                 const std::string& datatype,
+                                 const ClientId& client);
+
+  // --- Crowd-sensed data management --------------------------------------
+
+  /// Retrieves observations matching `filter`. Requesting with a token
+  /// from a different app strips the owner app's private fields.
+  Result<std::vector<Value>> query_observations(
+      const std::string& auth_token, const ObservationFilter& filter) const;
+
+  /// Number of stored observations matching `filter`.
+  Result<std::size_t> count_observations(const std::string& auth_token,
+                                         const ObservationFilter& filter) const;
+
+  /// Packages matching observations as a JSON array string (the "file /
+  /// json stream" packaging of the paper).
+  Result<std::string> export_json(const std::string& auth_token,
+                                  const ObservationFilter& filter) const;
+
+  /// Packages matching observations as CSV with a fixed column set
+  /// (user, model, captured_at, spl, mode, activity, provider, x, y,
+  /// accuracy, delay_ms); absent location fields are empty. The other
+  /// "file" packaging option of §3.1.
+  Result<std::string> export_csv(const std::string& auth_token,
+                                 const ObservationFilter& filter) const;
+
+  // --- Analytics ----------------------------------------------------------
+
+  /// Analytics for one app; kNotFound when the app is not registered.
+  Result<AppAnalytics> analytics(const AppId& app) const;
+
+  // --- Background jobs -----------------------------------------------------
+
+  /// A job runs against the database and returns an arbitrary result
+  /// document.
+  using Job = std::function<Value(docstore::Database&)>;
+
+  /// Schedules `job` to run after `delay` in virtual time; requires a
+  /// manager or admin token of `app`. Returns the job id.
+  Result<JobId> submit_job(const std::string& auth_token, const AppId& app,
+                           const std::string& name, Job job,
+                           DurationMs delay = 0);
+
+  /// Job status/result document: {name, app, status, result?}.
+  Result<Value> job_info(const JobId& id) const;
+
+  // --- Introspection --------------------------------------------------------
+
+  const ServerConfig& config() const { return config_; }
+  std::uint64_t total_batches() const { return total_batches_; }
+  std::uint64_t total_observations() const { return total_observations_; }
+  /// Batches discarded because their batch_id was already ingested
+  /// (at-least-once transport redelivery made idempotent).
+  std::uint64_t duplicate_batches() const { return duplicate_batches_; }
+
+ private:
+  struct Account {
+    AppId app;
+    UserId user;
+    Role role;
+    std::string token;
+  };
+  struct AppState {
+    std::vector<std::string> private_fields;
+    AppAnalytics analytics;
+  };
+
+  void ingest(const broker::Message& message);
+  const Account* authenticate(const std::string& token) const;
+  Status require_role(const std::string& token, const AppId& app,
+                      Role minimum) const;
+  static ExchangeId app_exchange(const AppId& app) { return "app." + app; }
+  static ExchangeId client_exchange(const AppId& app, const ClientId& c) {
+    return "app." + app + ".client." + c;
+  }
+  static QueueId client_queue(const AppId& app, const ClientId& c) {
+    return "app." + app + ".queue." + c;
+  }
+  static ExchangeId location_exchange(const AppId& app,
+                                      const std::string& location) {
+    return "app." + app + ".loc." + location;
+  }
+  static ExchangeId datatype_exchange(const AppId& app,
+                                      const std::string& location,
+                                      const std::string& datatype) {
+    return "app." + app + ".loc." + location + ".type." + datatype;
+  }
+  docstore::Query build_query(const ObservationFilter& filter) const;
+  Value strip_private_fields(const Value& doc, const AppId& owner_app) const;
+
+  sim::Simulation& sim_;
+  broker::Broker& broker_;
+  docstore::Database& db_;
+  ServerConfig config_;
+  std::map<std::string, Account> tokens_;
+  std::map<AppId, AppState> apps_;
+  broker::ConsumerTag ingest_tag_ = 0;
+  std::uint64_t token_counter_ = 0;
+  std::uint64_t job_counter_ = 0;
+  std::uint64_t total_batches_ = 0;
+  std::uint64_t total_observations_ = 0;
+  std::uint64_t duplicate_batches_ = 0;
+  std::set<std::string> seen_batch_ids_;
+};
+
+}  // namespace mps::core

@@ -1,0 +1,100 @@
+#include "core/standard_jobs.h"
+
+#include <array>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace mps::core {
+
+namespace {
+docstore::Query app_query(const AppId& app) {
+  return docstore::Query::eq("app", Value(app));
+}
+}  // namespace
+
+GoFlowServer::Job job_per_model_counts(const AppId& app) {
+  return [app](docstore::Database& db) {
+    Object out;
+    for (const auto& [model, count] :
+         db.collection("observations").group_count("model", app_query(app)))
+      out.set(model.as_string(), Value(static_cast<std::int64_t>(count)));
+    return Value(std::move(out));
+  };
+}
+
+GoFlowServer::Job job_hourly_histogram(const AppId& app) {
+  return [app](docstore::Database& db) {
+    std::array<std::int64_t, 24> hours{};
+    docstore::Query query = app_query(app);
+    db.collection("observations").for_each([&](const Value& doc) {
+      if (!query.matches(doc)) return;
+      ++hours[static_cast<std::size_t>(hour_of_day(doc.get_int("captured_at")))];
+    });
+    Object out;
+    for (int h = 0; h < 24; ++h)
+      out.set(format("%02d", h), Value(hours[static_cast<std::size_t>(h)]));
+    return Value(std::move(out));
+  };
+}
+
+GoFlowServer::Job job_provider_shares(const AppId& app) {
+  return [app](docstore::Database& db) {
+    std::int64_t total = 0, localized = 0, gps = 0, network = 0, fused = 0;
+    docstore::Query query = app_query(app);
+    db.collection("observations").for_each([&](const Value& doc) {
+      if (!query.matches(doc)) return;
+      ++total;
+      const Value* provider = doc.find_path("location.provider");
+      if (provider == nullptr) return;
+      ++localized;
+      const std::string& name = provider->as_string();
+      if (name == "gps") ++gps;
+      else if (name == "network") ++network;
+      else if (name == "fused") ++fused;
+    });
+    double denom = localized > 0 ? static_cast<double>(localized) : 1.0;
+    return Value(Object{{"total", Value(total)},
+                        {"localized", Value(localized)},
+                        {"gps", Value(gps / denom)},
+                        {"network", Value(network / denom)},
+                        {"fused", Value(fused / denom)}});
+  };
+}
+
+GoFlowServer::Job job_delay_stats(const AppId& app) {
+  return [app](docstore::Database& db) {
+    RunningStats stats;
+    std::int64_t over_2h = 0;
+    docstore::Query query = app_query(app);
+    db.collection("observations").for_each([&](const Value& doc) {
+      if (!query.matches(doc)) return;
+      double delay = doc.get_double("delay_ms",
+                                    static_cast<double>(doc.get_int("delay_ms")));
+      stats.add(delay);
+      if (delay > static_cast<double>(hours(2))) ++over_2h;
+    });
+    return Value(Object{
+        {"count", Value(static_cast<std::int64_t>(stats.count()))},
+        {"mean_ms", Value(stats.mean())},
+        {"max_ms", Value(stats.empty() ? 0.0 : stats.max())},
+        {"over_2h_share",
+         Value(stats.count() > 0
+                   ? static_cast<double>(over_2h) /
+                         static_cast<double>(stats.count())
+                   : 0.0)}});
+  };
+}
+
+GoFlowServer::Job job_purge_before(const AppId& app, TimeMs cutoff) {
+  return [app, cutoff](docstore::Database& db) {
+    std::size_t removed = db.collection("observations")
+                              .remove_many(docstore::Query::and_(
+                                  {app_query(app),
+                                   docstore::Query::lt("captured_at",
+                                                       Value(cutoff))}));
+    return Value(Object{{"removed", Value(static_cast<std::int64_t>(removed))}});
+  };
+}
+
+}  // namespace mps::core

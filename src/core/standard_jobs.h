@@ -1,0 +1,34 @@
+// Canned background jobs (paper Figure 2, "Background jobs": scripts
+// "submitted by the application's managers [that] perform various
+// operations on the crowd-sensed data"). These are the jobs the SoundCity
+// operators ran routinely; they are plain GoFlowServer::Job functions so
+// they can be submitted directly or registered with the REST API's job
+// registry.
+#pragma once
+
+#include <string>
+
+#include "core/goflow_server.h"
+
+namespace mps::core {
+
+/// Per-model observation counts: {model: count, ...}.
+GoFlowServer::Job job_per_model_counts(const AppId& app);
+
+/// Hourly histogram of captured_at (the Figure 18 aggregation):
+/// {"00": n, ..., "23": n}.
+GoFlowServer::Job job_hourly_histogram(const AppId& app);
+
+/// Location-provider shares among localized observations:
+/// {gps: f, network: f, fused: f, localized: n, total: n}.
+GoFlowServer::Job job_provider_shares(const AppId& app);
+
+/// Capture->server delay statistics: {count, mean_ms, max_ms,
+/// over_2h_share} (the Figure 17 aggregation).
+GoFlowServer::Job job_delay_stats(const AppId& app);
+
+/// Data-retention cleanup: removes the app's observations captured before
+/// `cutoff`; returns {removed: n}. (CNIL retention limits.)
+GoFlowServer::Job job_purge_before(const AppId& app, TimeMs cutoff);
+
+}  // namespace mps::core

@@ -1,0 +1,22 @@
+#include "crowd/ambient.h"
+
+#include <cmath>
+
+namespace mps::crowd {
+
+double AmbientModel::p_active(TimeMs t) const {
+  int hour = hour_of_day(t);
+  // Smooth diurnal activity: lowest around 4 AM, highest around 4 PM.
+  double phase = (static_cast<double>(hour) - 4.0) / 24.0 * 2.0 * 3.14159265358979;
+  double daylight = 0.5 * (1.0 - std::cos(phase));  // 0 at 4AM, 1 at 4PM
+  return params_.p_active_night +
+         (params_.p_active_day - params_.p_active_night) * daylight;
+}
+
+double AmbientModel::sample(TimeMs t, Rng& rng) const {
+  if (rng.bernoulli(p_active(t)))
+    return rng.normal(params_.active_mean_db, params_.active_sigma_db);
+  return rng.normal(params_.quiet_mean_db, params_.quiet_sigma_db);
+}
+
+}  // namespace mps::crowd

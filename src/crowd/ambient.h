@@ -1,0 +1,45 @@
+// Ambient sound environment model.
+//
+// Figure 14's shape — a dominant peak at low levels plus a smaller bump
+// for active environments — reflects how phones actually live: most of
+// the time they sit in quiet rooms/pockets (true ambient below the mic's
+// noise floor), occasionally they are out in streets, transit and social
+// spaces. We model ambient SPL as a time-of-day-dependent mixture of a
+// "quiet" and an "active" component.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mps::crowd {
+
+/// Mixture parameters; defaults reproduce the Figure 14 shape.
+struct AmbientParams {
+  double quiet_mean_db = 24.0;   ///< below every model's noise floor
+  double quiet_sigma_db = 5.0;
+  double active_mean_db = 65.0;  ///< streets, cafes, transit
+  double active_sigma_db = 8.0;
+  /// Probability of being in an active environment at daytime peak.
+  double p_active_day = 0.32;
+  /// Probability of being in an active environment at night.
+  double p_active_night = 0.05;
+};
+
+/// Time-dependent ambient SPL model.
+class AmbientModel {
+ public:
+  explicit AmbientModel(AmbientParams params = {}) : params_(params) {}
+
+  /// Draws a true ambient level at simulated time `t`.
+  double sample(TimeMs t, Rng& rng) const;
+
+  /// Probability of the active mixture component at time `t`.
+  double p_active(TimeMs t) const;
+
+  const AmbientParams& params() const { return params_; }
+
+ private:
+  AmbientParams params_;
+};
+
+}  // namespace mps::crowd

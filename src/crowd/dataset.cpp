@@ -1,0 +1,90 @@
+#include "crowd/dataset.h"
+
+#include <algorithm>
+
+namespace mps::crowd {
+
+DatasetGenerator::DatasetGenerator(const Population& population,
+                                   DatasetConfig config)
+    : population_(population), config_(config), ambient_(config.ambient) {}
+
+void DatasetGenerator::day_times(const UserProfile& user, std::int64_t day,
+                                 double per_day, Rng& rng,
+                                 std::vector<TimeMs>& out) const {
+  int n = rng.poisson(per_day);
+  TimeMs day_start = day * days(1);
+  for (int i = 0; i < n; ++i) {
+    auto hour = static_cast<int>(rng.weighted_index(user.hourly_weight));
+    TimeMs t = day_start + hours(hour) +
+               static_cast<TimeMs>(rng.uniform() * static_cast<double>(hours(1)));
+    if (t >= user.active_from && t < user.active_until) out.push_back(t);
+  }
+}
+
+std::uint64_t DatasetGenerator::generate_user(const UserProfile& user,
+                                              const Sink& sink) const {
+  // The phone's connectivity is irrelevant for dataset generation (upload
+  // timing is the client library's concern), so use the trivial trace.
+  phone::PhoneConfig pc;
+  const phone::DeviceModelSpec* model = phone::find_model(user.model);
+  if (model == nullptr) return 0;
+  pc.model = *model;
+  pc.user = user.id;
+  pc.seed = user.seed;
+  pc.technology = user.technology;
+  pc.connectivity = net::ConnectivityParams::always_connected();
+  pc.horizon = std::max<TimeMs>(user.active_until, days(1));
+  phone::Phone device(pc);
+
+  Rng rng = Rng(user.seed).child("dataset").child(config_.seed);
+  std::uint64_t count = 0;
+
+  std::int64_t first_day = day_index(user.active_from);
+  std::int64_t last_day = day_index(std::max<TimeMs>(user.active_until - 1, 0));
+  std::vector<std::pair<TimeMs, phone::SensingMode>> events;
+  for (std::int64_t day = first_day; day <= last_day; ++day) {
+    events.clear();
+    std::vector<TimeMs> times;
+    day_times(user, day, user.obs_per_day, rng, times);
+    for (TimeMs t : times) events.emplace_back(t, phone::SensingMode::kOpportunistic);
+
+    times.clear();
+    day_times(user, day, user.manual_per_day, rng, times);
+    for (TimeMs t : times) events.emplace_back(t, phone::SensingMode::kManual);
+
+    // Journey mode exists only after its release.
+    TimeMs day_start = day * days(1);
+    if (day_start >= config_.journey_release) {
+      int journeys = rng.poisson(user.journeys_per_day);
+      for (int j = 0; j < journeys; ++j) {
+        auto hour = static_cast<int>(rng.weighted_index(user.hourly_weight));
+        TimeMs start = day_start + hours(hour);
+        DurationMs spacing = seconds(static_cast<std::int64_t>(rng.uniform(20, 90)));
+        for (int k = 0; k < user.journey_length; ++k) {
+          TimeMs t = start + spacing * k;
+          if (t >= user.active_from && t < user.active_until)
+            events.emplace_back(t, phone::SensingMode::kJourney);
+        }
+      }
+    }
+
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [t, mode] : events) {
+      auto [x, y] = user_position(user, t);
+      double ambient = ambient_.sample(t, rng);
+      sink(device.sense(t, mode, ambient, x, y));
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t DatasetGenerator::generate(const Sink& sink) const {
+  std::uint64_t total = 0;
+  for (const UserProfile& user : population_.users())
+    total += generate_user(user, sink);
+  return total;
+}
+
+}  // namespace mps::crowd

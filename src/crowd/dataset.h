@@ -1,0 +1,57 @@
+// Dataset generator: replays the 10-month study.
+//
+// Streams the observations every simulated user produces over the study
+// horizon — opportunistic background sensing, manual "sense now"
+// measurements and (after the Journey-mode release date) journey
+// recordings — through a per-user simulated Phone. This is the
+// statistical replacement for the paper's 23M-observation production
+// database; the analysis benches (Figures 9-15, 18-21) consume it
+// directly, while the middleware benches route the same observations
+// through the GoFlow client/broker/server stack.
+#pragma once
+
+#include <functional>
+
+#include "crowd/ambient.h"
+#include "crowd/population.h"
+#include "phone/phone.h"
+
+namespace mps::crowd {
+
+/// Generation parameters on top of a Population.
+struct DatasetConfig {
+  std::uint64_t seed = 1;
+  AmbientParams ambient;
+  /// Virtual release time of the Journey mode (paper: v1.3, April 2016 —
+  /// ~9 months into the 10-month window). No journey observations before.
+  TimeMs journey_release = days(275);
+};
+
+/// Streams observations for one user or a whole population.
+class DatasetGenerator {
+ public:
+  DatasetGenerator(const Population& population, DatasetConfig config = {});
+
+  using Sink = std::function<void(const phone::Observation&)>;
+
+  /// Generates all observations of all users, in per-user chronological
+  /// order, invoking `sink` for each. Returns the observation count.
+  std::uint64_t generate(const Sink& sink) const;
+
+  /// Generates observations for a single user profile.
+  std::uint64_t generate_user(const UserProfile& user, const Sink& sink) const;
+
+  const Population& population() const { return population_; }
+  const DatasetConfig& config() const { return config_; }
+
+ private:
+  /// Draws the capture timestamps of one day's observations for a user.
+  void day_times(const UserProfile& user, std::int64_t day, double per_day,
+                 Rng& rng, std::vector<TimeMs>& out) const;
+
+  const Population& population_;
+  DatasetConfig config_;
+  AmbientModel ambient_;
+};
+
+}  // namespace mps::crowd

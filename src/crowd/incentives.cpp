@@ -1,0 +1,176 @@
+#include "crowd/incentives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace mps::crowd {
+
+StackelbergOutcome stackelberg_equilibrium(const std::vector<double>& costs,
+                                           double reward) {
+  for (double c : costs)
+    if (c <= 0.0)
+      throw std::invalid_argument("stackelberg: costs must be positive");
+  if (reward <= 0.0)
+    throw std::invalid_argument("stackelberg: reward must be positive");
+
+  StackelbergOutcome outcome;
+  outcome.reward = reward;
+  outcome.times.assign(costs.size(), 0.0);
+  if (costs.size() < 2) return outcome;  // no interior equilibrium
+
+  // Sort user indices by ascending cost.
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return costs[a] < costs[b]; });
+
+  // Largest k >= 2 with c_(k) < (sum of first k costs) / (k - 1).
+  double prefix = costs[order[0]] + costs[order[1]];
+  std::size_t k = 2;
+  for (std::size_t i = 2; i < order.size(); ++i) {
+    double c = costs[order[i]];
+    if (c < (prefix + c) / static_cast<double>(i)) {
+      prefix += c;
+      k = i + 1;
+    } else {
+      break;
+    }
+  }
+
+  double cost_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) cost_sum += costs[order[i]];
+  double km1 = static_cast<double>(k - 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t user = order[i];
+    double t = reward * km1 / cost_sum *
+               (1.0 - km1 * costs[user] / cost_sum);
+    if (t > 0.0) {
+      outcome.times[user] = t;
+      outcome.participants.push_back(user);
+      outcome.total_time += t;
+    }
+  }
+  std::sort(outcome.participants.begin(), outcome.participants.end());
+  return outcome;
+}
+
+double stackelberg_utility(const std::vector<double>& costs, double reward,
+                           const std::vector<double>& times, std::size_t i,
+                           double t_i) {
+  double total = t_i;
+  for (std::size_t j = 0; j < times.size(); ++j)
+    if (j != i) total += times[j];
+  if (total <= 0.0) return 0.0;
+  return reward * t_i / total - costs[i] * t_i;
+}
+
+namespace {
+
+/// Marginal coverage value of a bidder given already-covered items.
+double marginal_value(const Bidder& bidder, const std::set<std::size_t>& covered,
+                      const std::vector<double>& item_value) {
+  double value = 0.0;
+  std::set<std::size_t> seen;  // items may repeat within a bid
+  for (std::size_t item : bidder.items) {
+    if (item >= item_value.size()) continue;
+    if (covered.count(item) > 0) continue;
+    if (!seen.insert(item).second) continue;
+    value += item_value[item];
+  }
+  return value;
+}
+
+/// One greedy selection pass over `pool` (indices into `bidders`),
+/// skipping `excluded` (or size() for none). Returns selection order.
+std::vector<std::size_t> greedy_select(const std::vector<Bidder>& bidders,
+                                       const std::vector<double>& item_value,
+                                       std::size_t excluded) {
+  std::vector<std::size_t> selected;
+  std::set<std::size_t> covered;
+  std::vector<bool> taken(bidders.size(), false);
+  while (true) {
+    double best_surplus = 0.0;
+    std::size_t best = bidders.size();
+    for (std::size_t i = 0; i < bidders.size(); ++i) {
+      if (taken[i] || i == excluded) continue;
+      double surplus =
+          marginal_value(bidders[i], covered, item_value) - bidders[i].bid;
+      if (surplus > best_surplus + 1e-12 ||
+          (best != bidders.size() && std::abs(surplus - best_surplus) <= 1e-12 &&
+           bidders[i].id < bidders[best].id)) {
+        if (surplus > 0.0) {
+          best_surplus = surplus;
+          best = i;
+        }
+      }
+    }
+    if (best == bidders.size()) break;
+    taken[best] = true;
+    selected.push_back(best);
+    for (std::size_t item : bidders[best].items)
+      if (item < item_value.size()) covered.insert(item);
+  }
+  return selected;
+}
+
+}  // namespace
+
+AuctionResult reverse_auction(const std::vector<Bidder>& bidders,
+                              const std::vector<double>& item_value) {
+  AuctionResult result;
+
+  // Selection with everyone present.
+  std::vector<std::size_t> selected =
+      greedy_select(bidders, item_value, bidders.size());
+  std::set<std::size_t> covered;
+  for (std::size_t i : selected) {
+    result.winners.push_back(bidders[i].id);
+    result.total_value += marginal_value(bidders[i], covered, item_value);
+    for (std::size_t item : bidders[i].items)
+      if (item < item_value.size()) covered.insert(item);
+  }
+
+  // Critical payments: rerun the greedy without each winner; the winner's
+  // payment is the highest bid they could have placed and still won at
+  // some step (capped by their marginal value at that step).
+  for (std::size_t i : selected) {
+    std::set<std::size_t> covered_without;
+    std::vector<bool> taken(bidders.size(), false);
+    double payment = 0.0;
+    while (true) {
+      // Winner of this step in the run without i.
+      double best_surplus = 0.0;
+      std::size_t best = bidders.size();
+      for (std::size_t j = 0; j < bidders.size(); ++j) {
+        if (taken[j] || j == i) continue;
+        double surplus =
+            marginal_value(bidders[j], covered_without, item_value) -
+            bidders[j].bid;
+        if (surplus > best_surplus + 1e-12) {
+          best_surplus = surplus;
+          best = j;
+        }
+      }
+      double my_value = marginal_value(bidders[i], covered_without, item_value);
+      if (best == bidders.size()) {
+        // Run ended: i can still be added while bidding up to my_value.
+        payment = std::max(payment, my_value);
+        break;
+      }
+      // To win *this* step, i's surplus must beat the step winner's:
+      // bid <= my_value - best_surplus; the bid is also capped by value.
+      payment = std::max(payment, std::min(my_value - best_surplus, my_value));
+      taken[best] = true;
+      for (std::size_t item : bidders[best].items)
+        if (item < item_value.size()) covered_without.insert(item);
+    }
+    result.payments[bidders[i].id] = payment;
+    result.total_payment += payment;
+  }
+  return result;
+}
+
+}  // namespace mps::crowd

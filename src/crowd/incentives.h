@@ -1,0 +1,79 @@
+// Incentive mechanisms for participation (paper §2: "MPS applications
+// should come along with the right incentive", citing Yang et al.,
+// MobiCom'12 — "Crowdsourcing to smartphones: incentive mechanism design
+// for mobile phone sensing", which studies a platform-centric and a
+// user-centric model).
+//
+// Platform-centric (Stackelberg game): the platform announces a total
+// reward R, shared among participants in proportion to their sensing
+// time; user i with unit cost c_i chooses t_i maximizing
+//     u_i = R * t_i / sum_j t_j  -  c_i * t_i.
+// The unique Nash equilibrium has a participant set S = the largest
+// prefix (by ascending cost) where each member's cost is below the
+// prefix's average scaled by |S|/(|S|-1), and closed-form times.
+//
+// User-centric (reverse auction): users bid their cost for a set of
+// coverage items (cells/time slots); the platform greedily selects
+// bidders by marginal coverage value minus bid, and pays each winner
+// their critical value (Myerson-style), which makes truthful bidding a
+// dominant strategy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mps::crowd {
+
+// --- Platform-centric -------------------------------------------------------
+
+/// Equilibrium of the Stackelberg sensing-time game.
+struct StackelbergOutcome {
+  /// Per-user equilibrium sensing time (0 for non-participants), indexed
+  /// like the input costs.
+  std::vector<double> times;
+  /// Indices of participating users.
+  std::vector<std::size_t> participants;
+  double total_time = 0.0;
+  /// Platform reward that was shared.
+  double reward = 0.0;
+};
+
+/// Computes the unique Nash equilibrium for unit costs `costs` under
+/// announced reward `reward` (> 0). At least two users with positive cost
+/// are required for a non-degenerate game; otherwise everyone stays out.
+StackelbergOutcome stackelberg_equilibrium(const std::vector<double>& costs,
+                                           double reward);
+
+/// Utility of user `i` when playing `t_i` against the other equilibrium
+/// times (used by tests to verify the Nash property).
+double stackelberg_utility(const std::vector<double>& costs, double reward,
+                           const std::vector<double>& times, std::size_t i,
+                           double t_i);
+
+// --- User-centric -----------------------------------------------------------
+
+/// A bidder in the reverse auction: claimed cost plus the coverage items
+/// (abstract ids) their participation would provide.
+struct Bidder {
+  std::string id;
+  double bid = 0.0;
+  std::vector<std::size_t> items;
+};
+
+/// Auction outcome.
+struct AuctionResult {
+  std::vector<std::string> winners;          ///< selection order
+  std::map<std::string, double> payments;    ///< winner -> payment (>= bid)
+  double total_value = 0.0;                  ///< coverage value achieved
+  double total_payment = 0.0;
+};
+
+/// Runs the greedy truthful reverse auction. `item_value[k]` is the value
+/// of covering item k (items may repeat across bidders; each item counts
+/// once). Bidders are selected while their marginal value exceeds their
+/// bid; payments are critical values.
+AuctionResult reverse_auction(const std::vector<Bidder>& bidders,
+                              const std::vector<double>& item_value);
+
+}  // namespace mps::crowd

@@ -1,0 +1,42 @@
+#include "crowd/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mps::crowd {
+
+Population Population::generate(const PopulationConfig& config) {
+  Population pop;
+  pop.config_ = config;
+  Rng rng(config.seed);
+  for (const phone::DeviceModelSpec& model : phone::top20_catalog()) {
+    int devices = std::max(
+        1, static_cast<int>(std::lround(model.paper_devices * config.device_scale)));
+    double per_device_total =
+        static_cast<double>(model.paper_measurements) /
+        static_cast<double>(model.paper_devices) * config.obs_scale;
+    Rng model_rng = rng.child(model.id);
+    for (int i = 0; i < devices; ++i) {
+      pop.users_.push_back(generate_user_profile(
+          model, i, config.horizon, per_device_total, config.profile_params,
+          model_rng.child(static_cast<std::uint64_t>(i))));
+    }
+  }
+  return pop;
+}
+
+std::vector<const UserProfile*> Population::users_of_model(
+    const DeviceModelId& model) const {
+  std::vector<const UserProfile*> out;
+  for (const UserProfile& u : users_)
+    if (u.model == model) out.push_back(&u);
+  return out;
+}
+
+double Population::expected_observations() const {
+  double total = 0.0;
+  for (const UserProfile& u : users_) total += u.obs_per_day * u.active_days();
+  return total;
+}
+
+}  // namespace mps::crowd

@@ -1,0 +1,50 @@
+// Population builder: instantiates the study's crowd from the device
+// catalog, scaled to the run's budget.
+#pragma once
+
+#include <vector>
+
+#include "crowd/user_profile.h"
+#include "phone/device_catalog.h"
+
+namespace mps::crowd {
+
+/// Scaling/config knobs for population generation.
+struct PopulationConfig {
+  std::uint64_t seed = 1;
+  /// Fraction of the paper's per-model device counts to instantiate
+  /// (1.0 = 2,091 devices; each model keeps at least one device).
+  double device_scale = 1.0;
+  /// Fraction of the paper's per-device observation intensity to
+  /// generate (1.0 regenerates ~23M observations; benches typically use
+  /// 0.01-0.1).
+  double obs_scale = 0.1;
+  /// Study horizon (the paper spans ~10 months).
+  TimeMs horizon = days(305);
+  UserProfileParams profile_params;
+};
+
+/// The generated crowd.
+class Population {
+ public:
+  /// Builds the population: per catalog model, round(paper_devices *
+  /// device_scale) users (min 1), each with an expected observation total
+  /// of paper_measurements / paper_devices * obs_scale.
+  static Population generate(const PopulationConfig& config);
+
+  const std::vector<UserProfile>& users() const { return users_; }
+  const PopulationConfig& config() const { return config_; }
+
+  /// Users owning a given model.
+  std::vector<const UserProfile*> users_of_model(
+      const DeviceModelId& model) const;
+
+  /// Expected total observation count across the population.
+  double expected_observations() const;
+
+ private:
+  PopulationConfig config_;
+  std::vector<UserProfile> users_;
+};
+
+}  // namespace mps::crowd

@@ -1,0 +1,37 @@
+#include "crowd/retention.h"
+
+#include <algorithm>
+
+namespace mps::crowd {
+
+double RetentionModel::daily_hazard(double app_drain_points_per_day,
+                                    int day) const {
+  double hazard = params_.base_daily_churn +
+                  params_.churn_per_drain_point *
+                      std::max(app_drain_points_per_day, 0.0);
+  if (day < params_.first_week_days) hazard *= params_.first_week_multiplier;
+  return std::clamp(hazard, 0.0, 1.0);
+}
+
+int RetentionModel::simulate_churn_day(double app_drain_points_per_day,
+                                       int horizon_days, Rng& rng) const {
+  for (int day = 0; day < horizon_days; ++day) {
+    if (rng.bernoulli(daily_hazard(app_drain_points_per_day, day))) return day;
+  }
+  return horizon_days;
+}
+
+std::vector<double> RetentionModel::survival_curve(
+    double app_drain_points_per_day, int horizon_days) const {
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(horizon_days) + 1);
+  double alive = 1.0;
+  curve.push_back(alive);
+  for (int day = 0; day < horizon_days; ++day) {
+    alive *= 1.0 - daily_hazard(app_drain_points_per_day, day);
+    curve.push_back(alive);
+  }
+  return curve;
+}
+
+}  // namespace mps::crowd

@@ -1,0 +1,60 @@
+// User-retention (churn) model.
+//
+// Paper §2: "Users get involved in MPS only if this brings them obvious
+// benefits and is not detrimental to their habits (including the battery
+// lifetime of their phone)"; §7: "energy efficiency is critical for the
+// adoption of MPS". We model each participant's daily churn hazard as a
+// base rate inflated by the battery drain attributable to the sensing
+// app — the mechanism by which an inefficient middleware destroys its own
+// crowd. The retention ablation couples this to the §5.3 buffering
+// policies: saving energy buys retention buys data.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mps::crowd {
+
+/// Hazard-model parameters.
+struct RetentionParams {
+  /// Organic daily churn probability (boredom, storage pressure...).
+  /// Calibrated so an efficient app keeps a median user ~2-3 months —
+  /// the participation-window scale of the paper's crowd.
+  double base_daily_churn = 0.004;
+  /// Additional hazard per percentage point of daily battery drain the
+  /// app is responsible for.
+  double churn_per_drain_point = 0.0015;
+  /// Hazard multiplier during the first week (install-and-abandon).
+  double first_week_multiplier = 2.0;
+  int first_week_days = 7;
+};
+
+/// Daily-hazard churn model.
+class RetentionModel {
+ public:
+  explicit RetentionModel(RetentionParams params = {}) : params_(params) {}
+
+  /// Churn probability on `day` (0-based since install) for a user whose
+  /// app drains `app_drain_points_per_day` percent of battery daily.
+  /// Clamped to [0, 1].
+  double daily_hazard(double app_drain_points_per_day, int day) const;
+
+  /// Simulates one user: returns the day they churn, or `horizon_days`
+  /// when they survive the whole study.
+  int simulate_churn_day(double app_drain_points_per_day, int horizon_days,
+                         Rng& rng) const;
+
+  /// Expected survival curve: fraction retained at each day in
+  /// [0, horizon_days] (analytic product of (1 - hazard)).
+  std::vector<double> survival_curve(double app_drain_points_per_day,
+                                     int horizon_days) const;
+
+  const RetentionParams& params() const { return params_; }
+
+ private:
+  RetentionParams params_;
+};
+
+}  // namespace mps::crowd

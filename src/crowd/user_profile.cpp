@@ -1,0 +1,99 @@
+#include "crowd/user_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mps::crowd {
+
+const std::array<double, 24>& base_diurnal_shape() {
+  // Hand-shaped to Figure 18: near-zero 2-6 AM, morning ramp, sustained
+  // 10AM-9PM plateau, evening decline.
+  static const std::array<double, 24> shape = [] {
+    std::array<double, 24> w{
+        1.5, 1.0, 0.6, 0.5, 0.5, 0.7,  // 0-5
+        1.2, 2.2, 3.5, 4.5, 5.5, 5.8,  // 6-11
+        6.0, 6.0, 5.8, 5.7, 5.8, 6.0,  // 12-17
+        6.2, 6.0, 5.5, 5.0, 3.8, 2.5,  // 18-23
+    };
+    double total = 0.0;
+    for (double x : w) total += x;
+    for (double& x : w) x /= total;
+    return w;
+  }();
+  return shape;
+}
+
+UserProfile generate_user_profile(const phone::DeviceModelSpec& model,
+                                  int index, TimeMs horizon,
+                                  double target_total_observations,
+                                  const UserProfileParams& params, Rng rng) {
+  UserProfile u;
+  u.model = model.id;
+  u.id = format("%s#%d", model.id.c_str(), index);
+  u.seed = rng.child("seed").uniform_int(0, std::numeric_limits<std::int64_t>::max());
+
+  Rng diurnal_rng = rng.child("diurnal");
+  const auto& base = base_diurnal_shape();
+  double total = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    // Strong multiplicative perturbation -> Figure 19 heterogeneity.
+    u.hourly_weight[h] =
+        base[h] * diurnal_rng.lognormal(0.0, params.diurnal_sigma);
+    total += u.hourly_weight[h];
+  }
+  for (double& w : u.hourly_weight) w /= total;
+
+  // Participation window: uniform start, duration with a heavy tail but
+  // clipped to the horizon.
+  Rng window_rng = rng.child("window");
+  DurationMs duration = std::max<DurationMs>(
+      params.min_active_duration,
+      static_cast<DurationMs>(window_rng.exponential_mean(
+          static_cast<double>(params.mean_active_duration))));
+  duration = std::min<DurationMs>(duration, horizon);
+  u.active_from = window_rng.uniform_int(0, std::max<TimeMs>(horizon - duration, 0));
+  u.active_until = std::min<TimeMs>(u.active_from + duration, horizon);
+
+  // Intensity: expected total over the active window matches the target in
+  // expectation (the lognormal has mean 1 with the -sigma^2/2 correction).
+  Rng intensity_rng = rng.child("intensity");
+  double active_days = u.active_days();
+  double mean_per_day =
+      active_days > 0.0 ? target_total_observations / active_days : 0.0;
+  double sigma = params.intensity_sigma;
+  u.obs_per_day =
+      mean_per_day * intensity_rng.lognormal(-0.5 * sigma * sigma, sigma);
+  u.manual_per_day =
+      params.manual_per_day * intensity_rng.lognormal(-0.5, 1.0);
+  u.journeys_per_day =
+      params.journeys_per_day * intensity_rng.lognormal(-0.5, 1.0);
+  u.journey_length = std::max(
+      5, static_cast<int>(intensity_rng.normal(params.journey_length_mean,
+                                               params.journey_length_mean / 3.0)));
+
+  Rng misc_rng = rng.child("misc");
+  u.shares = misc_rng.bernoulli(params.p_shares);
+  u.technology = misc_rng.bernoulli(params.p_wifi) ? net::Technology::kWifi
+                                                   : net::Technology::kCell3G;
+  u.home_x_m = misc_rng.uniform(0.0, params.city_extent_m);
+  u.home_y_m = misc_rng.uniform(0.0, params.city_extent_m);
+  u.roam_radius_m = misc_rng.exponential_mean(params.roam_radius_mean_m);
+  return u;
+}
+
+std::pair<double, double> user_position(const UserProfile& profile, TimeMs t) {
+  // Deterministic pseudo-random offset per (user, hour): users dwell at a
+  // location for about an hour, then move within their roaming disc.
+  std::uint64_t hour_key = static_cast<std::uint64_t>(t / hours(1));
+  Rng rng = Rng(profile.seed).child("position").child(hour_key);
+  double angle = rng.uniform(0.0, 2.0 * 3.14159265358979);
+  // sqrt for uniform density over the disc; occasional longer trips.
+  double r = profile.roam_radius_m * std::sqrt(rng.uniform());
+  if (rng.bernoulli(0.05)) r *= 3.0;  // cross-city trip
+  return {profile.home_x_m + r * std::cos(angle),
+          profile.home_y_m + r * std::sin(angle)};
+}
+
+}  // namespace mps::crowd

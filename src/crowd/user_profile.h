@@ -1,0 +1,105 @@
+// Per-user participation profiles.
+//
+// Section 6.1's finding: the aggregate crowd shows a common diurnal
+// pattern (peak 10AM-9PM), but individual users differ wildly (Figure
+// 19) — and that heterogeneity is an asset, because complementary
+// schedules cover the whole day. We encode each user as: a personal
+// 24-hour participation weight vector (a common base shape, strongly
+// perturbed per user), an observation intensity, a participation window
+// within the 10-month study, mode preferences, network technology and a
+// home location with a roaming radius.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/radio.h"
+#include "phone/device_catalog.h"
+#include "phone/observation.h"
+
+namespace mps::crowd {
+
+/// One simulated participant.
+struct UserProfile {
+  UserId id;
+  DeviceModelId model;
+  std::uint64_t seed = 0;
+
+  /// Personal diurnal participation weights; sum to 1.
+  std::array<double, 24> hourly_weight{};
+
+  /// Expected opportunistic observations per *active* day.
+  double obs_per_day = 0.0;
+  /// Expected manual ("sense now") measurements per active day.
+  double manual_per_day = 0.0;
+  /// Expected journeys per active day (journeys only occur after the
+  /// Journey-mode release date; see DatasetConfig::journey_release).
+  double journeys_per_day = 0.0;
+  /// Observations recorded within one journey.
+  int journey_length = 0;
+
+  /// Participation window within the study horizon.
+  TimeMs active_from = 0;
+  TimeMs active_until = 0;
+
+  /// Whether the user opted into sharing observations with the server.
+  bool shares = true;
+
+  net::Technology technology = net::Technology::kWifi;
+
+  /// Home position (meters in the city frame) and roaming radius.
+  double home_x_m = 0.0;
+  double home_y_m = 0.0;
+  double roam_radius_m = 0.0;
+
+  /// True when the user participates at time t.
+  bool active_at(TimeMs t) const { return t >= active_from && t < active_until; }
+
+  /// Number of whole active days.
+  double active_days() const {
+    return static_cast<double>(active_until - active_from) /
+           static_cast<double>(days(1));
+  }
+};
+
+/// Common base diurnal shape (peak 10AM-9PM, trough at night); sums to 1.
+const std::array<double, 24>& base_diurnal_shape();
+
+/// Parameters controlling profile generation.
+struct UserProfileParams {
+  /// Lognormal sigma of the per-user per-hour perturbation of the base
+  /// shape: larger = more Figure-19 heterogeneity.
+  double diurnal_sigma = 0.9;
+  /// Lognormal sigma of per-user intensity spread around the model mean.
+  double intensity_sigma = 0.8;
+  /// Mean participation duration.
+  DurationMs mean_active_duration = days(100);
+  /// Minimum participation duration.
+  DurationMs min_active_duration = days(3);
+  double p_shares = 0.85;       ///< opt-in rate for server sharing
+  double p_wifi = 0.6;          ///< technology mix
+  double manual_per_day = 0.25;
+  double journeys_per_day = 0.04;
+  int journey_length_mean = 30;
+  double city_extent_m = 20'000;  ///< users' homes spread over the city
+  double roam_radius_mean_m = 2'500;
+};
+
+/// Generates a user profile for device `index` of `model`.
+/// `target_total_observations` is the number of opportunistic
+/// observations this device should contribute in expectation over its
+/// active window (derived from the paper's per-model counts and the run's
+/// scale factor).
+UserProfile generate_user_profile(const phone::DeviceModelSpec& model,
+                                  int index, TimeMs horizon,
+                                  double target_total_observations,
+                                  const UserProfileParams& params, Rng rng);
+
+/// User position at time t: home plus bounded roaming, deterministic in
+/// (profile, t) at hour granularity so repeated queries within an hour
+/// agree.
+std::pair<double, double> user_position(const UserProfile& profile, TimeMs t);
+
+}  // namespace mps::crowd

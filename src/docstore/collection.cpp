@@ -1,0 +1,333 @@
+#include "docstore/collection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace mps::docstore {
+
+std::string Collection::generate_id() {
+  return name_ + "-" + std::to_string(++id_counter_);
+}
+
+std::string Collection::insert(Document doc) {
+  if (!doc.is_object())
+    throw std::invalid_argument("Collection::insert: document must be an object");
+  std::string id;
+  if (const Value* existing = doc.find("_id")) {
+    if (!existing->is_string())
+      throw std::invalid_argument("Collection::insert: _id must be a string");
+    id = existing->as_string();
+    if (id_to_slot_.count(id) > 0)
+      throw std::invalid_argument("Collection::insert: duplicate _id '" + id + "'");
+  } else {
+    id = generate_id();
+    doc.as_object().set("_id", Value(id));
+  }
+  Slot slot = slots_.size();
+  slots_.push_back(std::move(doc));
+  id_to_slot_[id] = slot;
+  index_document(slot, *slots_[slot]);
+  ++stats_.total_inserts;
+  stats_.document_count = id_to_slot_.size();
+  return id;
+}
+
+std::optional<Document> Collection::get(const std::string& id) const {
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return std::nullopt;
+  return slots_[it->second];
+}
+
+void Collection::index_document(Slot slot, const Document& doc) {
+  for (auto& [path, index] : indexes_) {
+    if (const Value* v = doc.find_path(path))
+      index.entries.insert({IndexKey{*v}, slot});
+  }
+}
+
+void Collection::unindex_document(Slot slot, const Document& doc) {
+  for (auto& [path, index] : indexes_) {
+    if (const Value* v = doc.find_path(path)) {
+      auto [lo, hi] = index.entries.equal_range(IndexKey{*v});
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == slot) {
+          index.entries.erase(it);
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool Collection::index_lookup(const Query& clause,
+                              std::vector<Slot>& out) const {
+  auto index_it = indexes_.find(clause.path());
+  if (index_it == indexes_.end()) return false;
+  const auto& entries = index_it->second.entries;
+  switch (clause.op()) {
+    case QueryOp::kEq: {
+      auto [lo, hi] = entries.equal_range(IndexKey{clause.values()[0]});
+      for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+      return true;
+    }
+    case QueryOp::kIn: {
+      for (const Value& v : clause.values()) {
+        auto [lo, hi] = entries.equal_range(IndexKey{v});
+        for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+      }
+      return true;
+    }
+    case QueryOp::kLt: {
+      auto hi = entries.lower_bound(IndexKey{clause.values()[0]});
+      for (auto it = entries.begin(); it != hi; ++it) out.push_back(it->second);
+      return true;
+    }
+    case QueryOp::kLte: {
+      auto hi = entries.upper_bound(IndexKey{clause.values()[0]});
+      for (auto it = entries.begin(); it != hi; ++it) out.push_back(it->second);
+      return true;
+    }
+    case QueryOp::kGt: {
+      auto lo = entries.upper_bound(IndexKey{clause.values()[0]});
+      for (auto it = lo; it != entries.end(); ++it) out.push_back(it->second);
+      return true;
+    }
+    case QueryOp::kGte: {
+      auto lo = entries.lower_bound(IndexKey{clause.values()[0]});
+      for (auto it = lo; it != entries.end(); ++it) out.push_back(it->second);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::optional<std::vector<Collection::Slot>> Collection::plan(
+    const Query& query) const {
+  std::vector<Slot> candidates;
+  // Directly indexable clause at the root?
+  if (index_lookup(query, candidates)) return candidates;
+  // AND: use the first indexable child as the access path; the remaining
+  // clauses are applied as a residual filter by the caller (which re-runs
+  // the full query on each candidate).
+  if (query.op() == QueryOp::kAnd) {
+    for (const Query& child : query.children()) {
+      candidates.clear();
+      if (index_lookup(child, candidates)) return candidates;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Document> Collection::find(const Query& query,
+                                       const FindOptions& options) const {
+  std::vector<Document> out;
+  auto consider = [&](const Document& doc) {
+    if (query.matches(doc)) out.push_back(doc);
+  };
+  if (auto candidates = plan(query)) {
+    ++stats_.indexed_finds;
+    std::sort(candidates->begin(), candidates->end());
+    candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                      candidates->end());
+    for (Slot s : *candidates)
+      if (slots_[s].has_value()) consider(*slots_[s]);
+  } else {
+    ++stats_.scanned_finds;
+    for (const auto& slot : slots_)
+      if (slot.has_value()) consider(*slot);
+  }
+
+  if (!options.sort_by.empty()) {
+    std::stable_sort(out.begin(), out.end(),
+                     [&](const Document& a, const Document& b) {
+                       const Value* va = a.find_path(options.sort_by);
+                       const Value* vb = b.find_path(options.sort_by);
+                       Value null_value;
+                       int c = Value::compare(va ? *va : null_value,
+                                              vb ? *vb : null_value);
+                       return options.descending ? c > 0 : c < 0;
+                     });
+  }
+  if (options.skip > 0) {
+    if (options.skip >= out.size()) {
+      out.clear();
+    } else {
+      out.erase(out.begin(),
+                out.begin() + static_cast<std::ptrdiff_t>(options.skip));
+    }
+  }
+  if (options.limit > 0 && out.size() > options.limit) out.resize(options.limit);
+  if (!options.projection.empty()) {
+    for (Document& d : out) d = project(d, options.projection);
+  }
+  return out;
+}
+
+std::size_t Collection::count(const Query& query) const {
+  if (query.op() == QueryOp::kAll) return id_to_slot_.size();
+  std::size_t n = 0;
+  if (auto candidates = plan(query)) {
+    ++stats_.indexed_finds;
+    std::sort(candidates->begin(), candidates->end());
+    candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                      candidates->end());
+    for (Slot s : *candidates)
+      if (slots_[s].has_value() && query.matches(*slots_[s])) ++n;
+  } else {
+    ++stats_.scanned_finds;
+    for (const auto& slot : slots_)
+      if (slot.has_value() && query.matches(*slot)) ++n;
+  }
+  return n;
+}
+
+bool Collection::replace(const std::string& id, Document doc) {
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  if (!doc.is_object())
+    throw std::invalid_argument("Collection::replace: document must be an object");
+  Slot slot = it->second;
+  unindex_document(slot, *slots_[slot]);
+  doc.as_object().set("_id", Value(id));
+  slots_[slot] = std::move(doc);
+  index_document(slot, *slots_[slot]);
+  return true;
+}
+
+std::size_t Collection::update_many(
+    const Query& query, const std::function<void(Document&)>& mutate) {
+  std::size_t updated = 0;
+  for (Slot slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].has_value() || !query.matches(*slots_[slot])) continue;
+    std::string id = slots_[slot]->at("_id").as_string();
+    unindex_document(slot, *slots_[slot]);
+    mutate(*slots_[slot]);
+    slots_[slot]->as_object().set("_id", Value(id));  // _id is immutable
+    index_document(slot, *slots_[slot]);
+    ++updated;
+  }
+  return updated;
+}
+
+bool Collection::remove(const std::string& id) {
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  Slot slot = it->second;
+  unindex_document(slot, *slots_[slot]);
+  slots_[slot].reset();
+  id_to_slot_.erase(it);
+  ++stats_.total_removes;
+  stats_.document_count = id_to_slot_.size();
+  return true;
+}
+
+std::size_t Collection::remove_many(const Query& query) {
+  std::vector<std::string> ids;
+  for (const auto& slot : slots_)
+    if (slot.has_value() && query.matches(*slot))
+      ids.push_back(slot->at("_id").as_string());
+  for (const std::string& id : ids) remove(id);
+  return ids.size();
+}
+
+void Collection::create_index(const std::string& path) {
+  if (indexes_.count(path) > 0) return;
+  Index& index = indexes_[path];
+  for (Slot slot = 0; slot < slots_.size(); ++slot) {
+    if (!slots_[slot].has_value()) continue;
+    if (const Value* v = slots_[slot]->find_path(path))
+      index.entries.insert({IndexKey{*v}, slot});
+  }
+  stats_.index_count = indexes_.size();
+}
+
+bool Collection::has_index(const std::string& path) const {
+  return indexes_.count(path) > 0;
+}
+
+std::vector<Value> Collection::distinct(const std::string& path,
+                                        const Query& query) const {
+  std::vector<Value> out;
+  for (const auto& slot : slots_) {
+    if (!slot.has_value() || !query.matches(*slot)) continue;
+    if (const Value* v = slot->find_path(path)) {
+      bool seen = false;
+      for (const Value& existing : out)
+        if (existing == *v) {
+          seen = true;
+          break;
+        }
+      if (!seen) out.push_back(*v);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Value& a, const Value& b) {
+    return Value::compare(a, b) < 0;
+  });
+  return out;
+}
+
+std::vector<std::pair<Value, std::size_t>> Collection::group_count(
+    const std::string& path, const Query& query) const {
+  std::map<IndexKey, std::size_t> groups;
+  for (const auto& slot : slots_) {
+    if (!slot.has_value() || !query.matches(*slot)) continue;
+    if (const Value* v = slot->find_path(path)) ++groups[IndexKey{*v}];
+  }
+  std::vector<std::pair<Value, std::size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [key, n] : groups) out.emplace_back(key.value, n);
+  return out;
+}
+
+std::vector<Collection::GroupAggregate> Collection::group_aggregate(
+    const std::string& group_path, const std::string& value_path,
+    const Query& query) const {
+  std::map<IndexKey, GroupAggregate> groups;
+  for (const auto& slot : slots_) {
+    if (!slot.has_value() || !query.matches(*slot)) continue;
+    const Value* key = slot->find_path(group_path);
+    const Value* value = slot->find_path(value_path);
+    if (key == nullptr || value == nullptr || !value->is_number()) continue;
+    double x = value->as_double();
+    auto [it, inserted] = groups.try_emplace(IndexKey{*key});
+    GroupAggregate& agg = it->second;
+    if (inserted) {
+      agg.key = *key;
+      agg.min = agg.max = x;
+    } else {
+      agg.min = std::min(agg.min, x);
+      agg.max = std::max(agg.max, x);
+    }
+    ++agg.count;
+    agg.sum += x;
+  }
+  std::vector<GroupAggregate> out;
+  out.reserve(groups.size());
+  for (auto& [_, agg] : groups) {
+    agg.mean = agg.sum / static_cast<double>(agg.count);
+    out.push_back(agg);
+  }
+  return out;
+}
+
+void Collection::for_each(
+    const std::function<void(const Document&)>& fn) const {
+  for (const auto& slot : slots_)
+    if (slot.has_value()) fn(*slot);
+}
+
+Document Collection::project(const Document& doc,
+                             const std::vector<std::string>& fields) {
+  Object out;
+  if (const Value* id = doc.find("_id")) out.set("_id", *id);
+  for (const std::string& f : fields) {
+    if (f == "_id") continue;
+    if (const Value* v = doc.find(f)) out.set(f, *v);
+  }
+  return Value(std::move(out));
+}
+
+}  // namespace mps::docstore

@@ -1,0 +1,142 @@
+// A collection of documents with secondary indexes — the unit of storage
+// GoFlow puts observations, accounts, jobs and analytics into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "docstore/query.h"
+
+namespace mps::docstore {
+
+/// Key wrapper so Values order correctly inside std::multimap indexes.
+struct IndexKey {
+  Value value;
+  bool operator<(const IndexKey& other) const {
+    return Value::compare(value, other.value) < 0;
+  }
+};
+
+/// Collection statistics for the analytics component.
+struct CollectionStats {
+  std::size_t document_count = 0;
+  std::size_t index_count = 0;
+  std::uint64_t total_inserts = 0;
+  std::uint64_t total_removes = 0;
+  std::uint64_t indexed_finds = 0;  ///< finds served through an index
+  std::uint64_t scanned_finds = 0;  ///< finds answered by full scan
+};
+
+/// Document collection. Every document gets a unique string "_id"
+/// (generated when absent). Single-threaded by design: the middleware runs
+/// inside the discrete-event simulation, which is single-threaded; callers
+/// needing concurrency wrap the Database in their own lock.
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Inserts a document (must be a JSON object) and returns its _id. If
+  /// the document carries an "_id" string it is used; inserting a
+  /// duplicate _id throws std::invalid_argument.
+  std::string insert(Document doc);
+
+  /// Fetches by _id.
+  std::optional<Document> get(const std::string& id) const;
+
+  /// All documents matching `query`, honoring sort/skip/limit/projection.
+  std::vector<Document> find(const Query& query,
+                             const FindOptions& options = {}) const;
+
+  /// Number of documents matching `query`.
+  std::size_t count(const Query& query) const;
+
+  /// Replaces the document with the given _id (the replacement's _id field
+  /// is overwritten to match). Returns false when absent.
+  bool replace(const std::string& id, Document doc);
+
+  /// Applies `mutate` to every matching document; returns how many were
+  /// updated. The _id field cannot be changed (it is restored after the
+  /// callback).
+  std::size_t update_many(const Query& query,
+                          const std::function<void(Document&)>& mutate);
+
+  /// Removes by _id; returns false when absent.
+  bool remove(const std::string& id);
+
+  /// Removes every match; returns how many were removed.
+  std::size_t remove_many(const Query& query);
+
+  /// Creates (or no-ops on an existing) index over a dotted path. Existing
+  /// documents are indexed immediately. eq/in/range queries rooted at this
+  /// path — including inside a top-level AND — use the index.
+  void create_index(const std::string& path);
+
+  /// True when an index exists on `path`.
+  bool has_index(const std::string& path) const;
+
+  /// Distinct values of a field across matching documents (unsorted ->
+  /// sorted by Value::compare).
+  std::vector<Value> distinct(const std::string& path,
+                              const Query& query = Query::all()) const;
+
+  /// Group-by-field counting: value -> number of matching docs having it.
+  std::vector<std::pair<Value, std::size_t>> group_count(
+      const std::string& path, const Query& query = Query::all()) const;
+
+  /// Numeric aggregate over one group of a group-by (see group_aggregate).
+  struct GroupAggregate {
+    Value key;
+    std::size_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Groups matching documents by `group_path` and aggregates the numeric
+  /// field at `value_path` within each group (documents lacking either
+  /// field are skipped). Groups are ordered by key.
+  std::vector<GroupAggregate> group_aggregate(
+      const std::string& group_path, const std::string& value_path,
+      const Query& query = Query::all()) const;
+
+  std::size_t size() const { return id_to_slot_.size(); }
+  bool empty() const { return id_to_slot_.empty(); }
+  const CollectionStats& stats() const { return stats_; }
+
+  /// Visits every document in insertion order (fast path for analytics
+  /// that would otherwise copy the whole collection).
+  void for_each(const std::function<void(const Document&)>& fn) const;
+
+ private:
+  using Slot = std::size_t;
+  struct Index {
+    std::multimap<IndexKey, Slot> entries;
+  };
+
+  std::string generate_id();
+  void index_document(Slot slot, const Document& doc);
+  void unindex_document(Slot slot, const Document& doc);
+  /// Candidate slots from the best applicable index, or nullopt when the
+  /// query has no indexable clause.
+  std::optional<std::vector<Slot>> plan(const Query& query) const;
+  bool index_lookup(const Query& clause, std::vector<Slot>& out) const;
+  static Document project(const Document& doc,
+                          const std::vector<std::string>& fields);
+
+  std::string name_;
+  std::vector<std::optional<Document>> slots_;
+  std::unordered_map<std::string, Slot> id_to_slot_;
+  std::map<std::string, Index> indexes_;
+  std::uint64_t id_counter_ = 0;
+  mutable CollectionStats stats_;
+};
+
+}  // namespace mps::docstore

@@ -1,0 +1,39 @@
+#include "docstore/database.h"
+
+namespace mps::docstore {
+
+Collection& Database::collection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+  }
+  return *it->second;
+}
+
+const Collection* Database::find_collection(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+bool Database::has_collection(const std::string& name) const {
+  return collections_.count(name) > 0;
+}
+
+bool Database::drop_collection(const std::string& name) {
+  return collections_.erase(name) > 0;
+}
+
+std::vector<std::string> Database::collection_names() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) out.push_back(name);
+  return out;
+}
+
+std::size_t Database::total_documents() const {
+  std::size_t n = 0;
+  for (const auto& [_, c] : collections_) n += c->size();
+  return n;
+}
+
+}  // namespace mps::docstore

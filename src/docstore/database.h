@@ -1,0 +1,44 @@
+// Named set of collections — the process-local MongoDB stand-in GoFlow
+// stores its state in.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "docstore/collection.h"
+
+namespace mps::docstore {
+
+/// A database owns named collections. Collections are created on first
+/// access (as with MongoDB) and remain valid for the database's lifetime.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// The collection with this name, creating it if needed.
+  Collection& collection(const std::string& name);
+
+  /// Pointer to an existing collection, or nullptr.
+  const Collection* find_collection(const std::string& name) const;
+
+  /// True when a collection with this name exists.
+  bool has_collection(const std::string& name) const;
+
+  /// Drops a collection and all of its documents. Returns false if absent.
+  bool drop_collection(const std::string& name);
+
+  /// Names of all collections, sorted.
+  std::vector<std::string> collection_names() const;
+
+  /// Total documents across all collections.
+  std::size_t total_documents() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace mps::docstore

@@ -1,0 +1,96 @@
+#include "net/connectivity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mps::net {
+
+ConnectivityParams ConnectivityParams::always_connected() {
+  ConnectivityParams p;
+  p.p_start_connected = 1.0;
+  p.mean_up = days(365 * 10);  // effectively never drops
+  return p;
+}
+
+ConnectivityTrace::ConnectivityTrace(const ConnectivityParams& params,
+                                     TimeMs horizon, Rng rng)
+    : horizon_(horizon) {
+  if (horizon <= 0) throw std::invalid_argument("ConnectivityTrace: horizon must be > 0");
+  TimeMs t = 0;
+  bool up = rng.bernoulli(params.p_start_connected);
+  while (t < horizon) {
+    if (up) {
+      auto duration = static_cast<DurationMs>(
+          rng.exponential_mean(static_cast<double>(params.mean_up)));
+      duration = std::max<DurationMs>(duration, seconds(1));
+      TimeMs end = std::min<TimeMs>(t + duration, horizon);
+      intervals_.emplace_back(t, end);
+      t = end;
+    } else {
+      bool long_down = rng.bernoulli(params.p_long_down);
+      double mean = static_cast<double>(long_down ? params.mean_down_long
+                                                  : params.mean_down_short);
+      auto duration = static_cast<DurationMs>(rng.exponential_mean(mean));
+      duration = std::max<DurationMs>(duration, seconds(1));
+      t += duration;
+    }
+    up = !up;
+  }
+}
+
+ConnectivityTrace ConnectivityTrace::always_connected(TimeMs horizon) {
+  ConnectivityTrace trace;
+  trace.horizon_ = horizon;
+  trace.intervals_.emplace_back(0, horizon);
+  return trace;
+}
+
+ConnectivityTrace ConnectivityTrace::from_intervals(
+    std::vector<std::pair<TimeMs, TimeMs>> intervals, TimeMs horizon) {
+  ConnectivityTrace trace;
+  trace.horizon_ = horizon;
+  TimeMs prev_end = -1;
+  for (const auto& [start, end] : intervals) {
+    if (start >= end || start <= prev_end)
+      throw std::invalid_argument(
+          "ConnectivityTrace: intervals must be sorted and disjoint");
+    prev_end = end;
+  }
+  trace.intervals_ = std::move(intervals);
+  return trace;
+}
+
+bool ConnectivityTrace::connected_at(TimeMs t) const {
+  // Binary search for the interval whose start is <= t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeMs value, const std::pair<TimeMs, TimeMs>& iv) {
+        return value < iv.first;
+      });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return t < it->second;
+}
+
+TimeMs ConnectivityTrace::next_connection_at(TimeMs t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeMs value, const std::pair<TimeMs, TimeMs>& iv) {
+        return value < iv.first;
+      });
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (t < prev->second) return t;  // already connected
+  }
+  if (it == intervals_.end()) return -1;
+  return it->first;
+}
+
+double ConnectivityTrace::uptime_fraction() const {
+  if (horizon_ <= 0) return 0.0;
+  DurationMs up = 0;
+  for (const auto& [start, end] : intervals_) up += end - start;
+  return static_cast<double>(up) / static_cast<double>(horizon_);
+}
+
+}  // namespace mps::net

@@ -1,0 +1,78 @@
+// Device connectivity model.
+//
+// The paper's Figure 17 shows that ~35% of observations reached the server
+// more than 2 hours after capture, i.e. phones spend long stretches
+// disconnected (no data plan, airplane mode, dead spots). We model a
+// device's connectivity as an alternating renewal process: exponential
+// "up" periods and a two-component mixture of "down" periods (short
+// dead-spots plus occasional very long disconnections). A trace is
+// materialized once per device per run so that every component (client
+// retries, delay analysis) sees a consistent world.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mps::net {
+
+/// Parameters of the alternating up/down connectivity process.
+struct ConnectivityParams {
+  /// Mean duration of a connected period.
+  DurationMs mean_up = hours(2);
+  /// Mean duration of a *short* disconnected period.
+  DurationMs mean_down_short = minutes(10);
+  /// Probability that a disconnection is a long one (overnight, no-plan).
+  double p_long_down = 0.25;
+  /// Mean duration of a long disconnected period.
+  DurationMs mean_down_long = hours(5);
+  /// Probability the device starts connected.
+  double p_start_connected = 0.8;
+
+  /// An always-connected profile (lab conditions of Figure 16).
+  static ConnectivityParams always_connected();
+};
+
+/// Immutable per-device connectivity timeline over [0, horizon).
+class ConnectivityTrace {
+ public:
+  /// Generates a trace; the trace is a pure function of (params, rng
+  /// stream, horizon).
+  ConnectivityTrace(const ConnectivityParams& params, TimeMs horizon,
+                    Rng rng);
+
+  /// Builds a trace that is connected over the entire horizon.
+  static ConnectivityTrace always_connected(TimeMs horizon);
+
+  /// Builds a trace from explicit connected intervals [start, end);
+  /// intervals must be disjoint and sorted. Used by tests.
+  static ConnectivityTrace from_intervals(
+      std::vector<std::pair<TimeMs, TimeMs>> intervals, TimeMs horizon);
+
+  /// True when the device has connectivity at time t. Times at or beyond
+  /// the horizon report the state of the last interval boundary (i.e.
+  /// disconnected unless the final interval is open-ended).
+  bool connected_at(TimeMs t) const;
+
+  /// Earliest time >= t at which the device is connected, or -1 when it
+  /// never reconnects before the horizon.
+  TimeMs next_connection_at(TimeMs t) const;
+
+  /// Fraction of [0, horizon) spent connected.
+  double uptime_fraction() const;
+
+  TimeMs horizon() const { return horizon_; }
+
+  /// Connected intervals (for inspection/tests).
+  const std::vector<std::pair<TimeMs, TimeMs>>& intervals() const {
+    return intervals_;
+  }
+
+ private:
+  ConnectivityTrace() = default;
+  std::vector<std::pair<TimeMs, TimeMs>> intervals_;  // sorted, disjoint
+  TimeMs horizon_ = 0;
+};
+
+}  // namespace mps::net

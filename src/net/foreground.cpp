@@ -1,0 +1,65 @@
+#include "net/foreground.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mps::net {
+
+ForegroundTraffic::ForegroundTraffic(const ForegroundTrafficParams& params,
+                                     TimeMs horizon, Rng rng) {
+  if (horizon <= 0)
+    throw std::invalid_argument("ForegroundTraffic: horizon must be > 0");
+  horizon_ = horizon;
+  if (params.sessions_per_hour <= 0.0) return;
+  double mean_gap = static_cast<double>(hours(1)) / params.sessions_per_hour;
+  TimeMs t = static_cast<TimeMs>(rng.exponential_mean(mean_gap));
+  while (t < horizon) {
+    auto duration = std::max<DurationMs>(
+        seconds(1), static_cast<DurationMs>(rng.exponential_mean(
+                        static_cast<double>(params.mean_session))));
+    TimeMs end = std::min<TimeMs>(t + duration, horizon);
+    intervals_.emplace_back(t, end);
+    t = end + static_cast<TimeMs>(rng.exponential_mean(mean_gap));
+  }
+}
+
+ForegroundTraffic ForegroundTraffic::none(TimeMs horizon) {
+  ForegroundTraffic trace;
+  trace.horizon_ = horizon;
+  return trace;
+}
+
+ForegroundTraffic ForegroundTraffic::from_intervals(
+    std::vector<std::pair<TimeMs, TimeMs>> intervals, TimeMs horizon) {
+  ForegroundTraffic trace;
+  trace.horizon_ = horizon;
+  TimeMs prev_end = -1;
+  for (const auto& [start, end] : intervals) {
+    if (start >= end || start <= prev_end)
+      throw std::invalid_argument(
+          "ForegroundTraffic: intervals must be sorted and disjoint");
+    prev_end = end;
+  }
+  trace.intervals_ = std::move(intervals);
+  return trace;
+}
+
+bool ForegroundTraffic::active_at(TimeMs t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeMs value, const std::pair<TimeMs, TimeMs>& iv) {
+        return value < iv.first;
+      });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return t < it->second;
+}
+
+double ForegroundTraffic::active_fraction() const {
+  if (horizon_ <= 0) return 0.0;
+  DurationMs active = 0;
+  for (const auto& [start, end] : intervals_) active += end - start;
+  return static_cast<double>(active) / static_cast<double>(horizon_);
+}
+
+}  // namespace mps::net

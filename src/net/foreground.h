@@ -1,0 +1,56 @@
+// Foreground radio activity of *other* apps on the device — the
+// piggyback-crowdsensing opportunity (paper §2 background, citing
+// Lane et al. "Piggyback crowdsensing": coordinate uploads with existing
+// app activity so the sensing app never pays the radio wake-up cost).
+//
+// Modeled, like connectivity, as a materialized trace of intervals during
+// which some other app keeps the radio in its high-power state.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mps::net {
+
+/// Parameters of the foreground-activity renewal process.
+struct ForegroundTrafficParams {
+  /// App radio sessions per hour (messaging, browsing, sync...).
+  double sessions_per_hour = 4.0;
+  /// Mean duration of one session.
+  DurationMs mean_session = seconds(45);
+};
+
+/// Immutable per-device foreground-radio-activity timeline.
+class ForegroundTraffic {
+ public:
+  /// Generates a trace over [0, horizon).
+  ForegroundTraffic(const ForegroundTrafficParams& params, TimeMs horizon,
+                    Rng rng);
+
+  /// A trace with no foreground activity at all.
+  static ForegroundTraffic none(TimeMs horizon);
+
+  /// Builds from explicit intervals (tests).
+  static ForegroundTraffic from_intervals(
+      std::vector<std::pair<TimeMs, TimeMs>> intervals, TimeMs horizon);
+
+  /// True when some other app is actively using the radio at `t`.
+  bool active_at(TimeMs t) const;
+
+  /// Fraction of the horizon with foreground activity.
+  double active_fraction() const;
+
+  const std::vector<std::pair<TimeMs, TimeMs>>& intervals() const {
+    return intervals_;
+  }
+  TimeMs horizon() const { return horizon_; }
+
+ private:
+  ForegroundTraffic() = default;
+  std::vector<std::pair<TimeMs, TimeMs>> intervals_;
+  TimeMs horizon_ = 0;
+};
+
+}  // namespace mps::net

@@ -1,0 +1,100 @@
+// Radio energy and latency model (WiFi vs 3G).
+//
+// The paper's Figure 16 compares battery depletion of the SoundCity app
+// under WiFi and 3G, with and without observation buffering. The dominant
+// effects on cellular radios are well documented: a fixed *promotion*
+// (ramp) cost to bring the radio to the high-power state, a per-transfer
+// cost, and a *tail* period during which the radio stays in high power
+// after the transfer finishes. Batching 10 observations into one transfer
+// amortizes ramp+tail across 10 messages — that is exactly the energy
+// saving the paper measures. WiFi has much smaller ramp/tail, so the
+// relative gain of buffering is smaller there.
+//
+// Energy is tracked in millijoules; the phone's battery model converts to
+// percent of capacity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mps::net {
+
+/// Radio access technology of a transfer.
+enum class Technology { kWifi, kCell3G };
+
+const char* technology_name(Technology t);
+
+/// Energy/latency parameters of a radio technology.
+struct RadioParams {
+  double ramp_mj = 0.0;         ///< promotion cost when radio was idle
+  double per_message_mj = 0.0;  ///< fixed cost per transfer
+  double per_kb_mj = 0.0;       ///< payload-size-dependent cost
+  double tail_mj = 0.0;         ///< energy burned in the post-transfer tail
+  DurationMs tail_duration = 0; ///< how long the radio lingers high-power
+  DurationMs latency_base = 0;  ///< round-trip setup latency
+  DurationMs latency_per_kb = 0;
+
+  /// Typical WiFi radio: cheap ramp, short tail.
+  static RadioParams wifi();
+  /// Typical 3G radio: expensive DCH promotion, ~5 s tail.
+  static RadioParams cell3g();
+};
+
+/// Outcome of a modeled transfer.
+struct Transfer {
+  double energy_mj = 0.0;
+  DurationMs latency = 0;
+  TimeMs completed_at = 0;
+};
+
+/// Stateful radio: tracks the last time the radio was active so
+/// consecutive transfers within the tail window skip the ramp cost.
+class Radio {
+ public:
+  Radio(Technology technology, RadioParams params)
+      : technology_(technology), params_(params) {}
+
+  /// Convenience constructor with the technology's default parameters.
+  explicit Radio(Technology technology);
+
+  Technology technology() const { return technology_; }
+  const RadioParams& params() const { return params_; }
+
+  /// Models sending `bytes` at time `now`. Accumulates energy and returns
+  /// the transfer's energy/latency. Caller is responsible for checking
+  /// connectivity first.
+  Transfer send(TimeMs now, std::size_t bytes);
+
+  /// Notes that something else (another app) has the radio in its
+  /// high-power state until `until`: a subsequent send() inside that
+  /// window skips the ramp cost — the piggyback effect.
+  void mark_active(TimeMs until) { busy_until_ = std::max(busy_until_, until); }
+
+  /// True when the radio is (still) in the high-power state at `now`.
+  bool warm_at(TimeMs now) const { return busy_until_ >= now; }
+
+  /// Total energy consumed by this radio so far (mJ).
+  double total_energy_mj() const { return total_energy_mj_; }
+
+  /// Number of transfers performed.
+  std::uint64_t transfer_count() const { return transfer_count_; }
+
+  /// Number of transfers that paid the ramp cost (radio was cold).
+  std::uint64_t cold_starts() const { return cold_starts_; }
+
+ private:
+  Technology technology_;
+  RadioParams params_;
+  TimeMs busy_until_ = -1;  ///< end of the current tail window; -1 = cold
+  double total_energy_mj_ = 0.0;
+  std::uint64_t transfer_count_ = 0;
+  std::uint64_t cold_starts_ = 0;
+};
+
+/// Approximate wire size of an observation batch: AMQP framing plus JSON
+/// payload. Used to feed Radio::send with realistic sizes.
+std::size_t estimate_message_bytes(std::size_t observation_count);
+
+}  // namespace mps::net

@@ -1,0 +1,55 @@
+#include "phone/activity.h"
+
+#include <array>
+
+namespace mps::phone {
+
+Activity ActivityModel::sample_true(TimeMs t, Rng& rng) const {
+  int hour = hour_of_day(t);
+  bool commute = (hour >= 7 && hour < 9) || (hour >= 17 && hour < 19);
+  double boost = commute ? params_.commute_mobility_boost : 0.0;
+
+  double p_foot = params_.p_foot + boost * 0.5;
+  double p_vehicle = params_.p_vehicle + boost * 0.4;
+  double p_bicycle = params_.p_bicycle + boost * 0.1;
+  double p_still = params_.p_still - boost;
+  std::array<double, 5> weights{p_still, p_foot, p_bicycle, p_vehicle,
+                                params_.p_tilting};
+  static constexpr std::array<Activity, 5> classes{
+      Activity::kStill, Activity::kFoot, Activity::kBicycle,
+      Activity::kVehicle, Activity::kTilting};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng.uniform() /* in [0,1) */;
+  // The remaining mass (1 - total) corresponds to times when recognition
+  // produces nothing usable; represent the true state as still.
+  if (u >= total) return Activity::kStill;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (u < weights[i]) return classes[i];
+    u -= weights[i];
+  }
+  return Activity::kStill;
+}
+
+ActivityReading ActivityModel::sample(TimeMs t, Rng& rng) const {
+  ActivityReading reading;
+  reading.true_activity = sample_true(t, rng);
+
+  // Unqualified share: the paper reports ~20% of observations where the
+  // activity "cannot be characterized".
+  double unqualified = 1.0 - (params_.p_still + params_.p_foot +
+                              params_.p_bicycle + params_.p_vehicle +
+                              params_.p_tilting);
+  if (rng.bernoulli(unqualified)) {
+    bool undefined = rng.bernoulli(params_.p_undefined_share);
+    reading.recognized = undefined ? Activity::kUndefined : Activity::kUnknown;
+    // Unknown = a result was produced but with low confidence.
+    reading.confidence = undefined ? 0.0 : rng.uniform(0.3, 0.8);
+    return reading;
+  }
+  reading.recognized = reading.true_activity;
+  reading.confidence = rng.uniform(0.8, 1.0);
+  return reading;
+}
+
+}  // namespace mps::phone

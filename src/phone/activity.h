@@ -1,0 +1,56 @@
+// User-activity recognition model (paper Figure 21).
+//
+// SoundCity logged Google activity-recognition results with each
+// observation. The paper reports: users still ~70% of the time, moving
+// (foot/bicycle/vehicle) under 10%, tilting a few percent, and ~20% of
+// observations with no qualified activity (confidence < 80% -> "unknown",
+// or no result at all -> "undefined"). We model the *true* activity as a
+// time-of-day-dependent draw and the *recognized* activity as the truth
+// passed through a confidence filter.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "phone/observation.h"
+
+namespace mps::phone {
+
+/// Parameters of the activity model; defaults reproduce Figure 21.
+struct ActivityModelParams {
+  double p_still = 0.70;
+  double p_foot = 0.045;
+  double p_bicycle = 0.012;
+  double p_vehicle = 0.033;
+  double p_tilting = 0.03;
+  // Remainder (~18%) splits between unknown and undefined.
+  double p_undefined_share = 0.45;  ///< share of the remainder that is undefined
+  /// Extra probability mass moved from still to moving during commute
+  /// hours (7-9h, 17-19h).
+  double commute_mobility_boost = 0.10;
+};
+
+/// Result of a recognition: the label plus its confidence in [0,1].
+/// SoundCity discards labels with confidence < 0.8 as "unknown".
+struct ActivityReading {
+  Activity recognized = Activity::kUndefined;
+  Activity true_activity = Activity::kStill;
+  double confidence = 0.0;
+};
+
+/// Stochastic activity model shared by all simulated users (individual
+/// heterogeneity enters through each user's RNG stream and schedule).
+class ActivityModel {
+ public:
+  explicit ActivityModel(ActivityModelParams params = {}) : params_(params) {}
+
+  /// Draws the recognized activity at simulated time `t`.
+  ActivityReading sample(TimeMs t, Rng& rng) const;
+
+  const ActivityModelParams& params() const { return params_; }
+
+ private:
+  Activity sample_true(TimeMs t, Rng& rng) const;
+  ActivityModelParams params_;
+};
+
+}  // namespace mps::phone

@@ -1,0 +1,21 @@
+#include "phone/battery.h"
+
+namespace mps::phone {
+
+void Battery::advance_to(TimeMs now) {
+  if (now <= last_update_) return;
+  // mW * ms = microjoules; convert to millijoules.
+  double mj = baseline_power_mw_ * static_cast<double>(now - last_update_) / 1000.0;
+  last_update_ = now;
+  remaining_mj_ -= mj;
+  drained_mj_ += mj;
+}
+
+void Battery::drain(double energy_mj) {
+  if (energy_mj <= 0.0) return;
+  remaining_mj_ -= energy_mj;
+  drained_mj_ += energy_mj;
+  discrete_mj_ += energy_mj;
+}
+
+}  // namespace mps::phone

@@ -1,0 +1,60 @@
+// Battery model for the Figure 16 energy experiments.
+//
+// Tracks remaining energy in millijoules. Two drain paths: continuous
+// baseline power (integrated over elapsed time) and discrete charges from
+// sensing and radio transfers. The paper's protocol starts at 80% because
+// "battery usage over the first 20% is not linear"; our model is linear,
+// so the start level is just a parameter.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace mps::phone {
+
+/// A linear battery with baseline drain and discrete energy charges.
+class Battery {
+ public:
+  /// `capacity_mj` full-charge energy; `start_fraction` initial level in
+  /// [0,1]; `baseline_power_mw` continuous non-app drain.
+  Battery(double capacity_mj, double start_fraction, double baseline_power_mw)
+      : capacity_mj_(capacity_mj),
+        remaining_mj_(capacity_mj * start_fraction),
+        baseline_power_mw_(baseline_power_mw) {}
+
+  /// Advances time to `now`, integrating baseline drain since the last
+  /// call. Must be called with non-decreasing timestamps.
+  void advance_to(TimeMs now);
+
+  /// Applies a discrete energy charge (sensing, radio transfer, GPS fix).
+  void drain(double energy_mj);
+
+  /// Remaining level in [0,1].
+  double level_fraction() const {
+    return std::max(remaining_mj_, 0.0) / capacity_mj_;
+  }
+
+  /// Remaining level in percent.
+  double level_percent() const { return level_fraction() * 100.0; }
+
+  bool depleted() const { return remaining_mj_ <= 0.0; }
+
+  /// Total energy drained so far (baseline + discrete), mJ.
+  double total_drained_mj() const { return drained_mj_; }
+
+  /// Energy drained by discrete charges only, mJ.
+  double discrete_drained_mj() const { return discrete_mj_; }
+
+  double capacity_mj() const { return capacity_mj_; }
+
+ private:
+  double capacity_mj_;
+  double remaining_mj_;
+  double baseline_power_mw_;
+  TimeMs last_update_ = 0;
+  double drained_mj_ = 0.0;
+  double discrete_mj_ = 0.0;
+};
+
+}  // namespace mps::phone

@@ -1,0 +1,87 @@
+#include "phone/device_catalog.h"
+
+namespace mps::phone {
+
+namespace {
+
+DeviceModelSpec make(const char* id, int devices, std::int64_t measurements,
+                     std::int64_t localized, double mic_bias_db,
+                     double noise_floor_db, double mic_sigma_db,
+                     bool supports_fused) {
+  DeviceModelSpec spec;
+  spec.id = id;
+  spec.paper_devices = devices;
+  spec.paper_measurements = measurements;
+  spec.paper_localized = localized;
+  spec.mic_bias_db = mic_bias_db;
+  spec.mic_noise_floor_db = noise_floor_db;
+  spec.mic_sigma_db = mic_sigma_db;
+  spec.supports_fused = supports_fused;
+  return spec;
+}
+
+std::vector<DeviceModelSpec> build_catalog() {
+  // Columns 2-4 are verbatim from paper Figure 9. The microphone
+  // parameters are synthetic but chosen to reproduce the qualitative
+  // structure of Figure 14: low-level peaks spread over roughly
+  // [28, 46] dB(A) across models, with per-model biases up to ~8 dB in
+  // either direction (consistent with published smartphone microphone
+  // calibration studies).
+  std::vector<DeviceModelSpec> c;
+  c.push_back(make("SAMSUNG GT-I9505", 253, 2'346'755, 1'014'261, -2.0, 33.0, 2.0, true));
+  c.push_back(make("SAMSUNG SM-G900F", 211, 2'048'523,   847'591,  1.5, 35.0, 1.8, true));
+  c.push_back(make("SONY D5803",       112, 1'097'018,   778'732, -5.0, 30.0, 2.2, false));
+  c.push_back(make("LGE LG-D855",       87, 1'098'479,   669'446,  3.0, 37.0, 2.0, true));
+  c.push_back(make("ONEPLUS A0001",     84, 1'177'343,   657'992,  6.0, 40.0, 2.4, false));
+  c.push_back(make("LGE NEXUS 5",      129,   843'472,   530'597, -1.0, 34.0, 1.6, true));
+  c.push_back(make("SAMSUNG GT-I9300", 185, 1'432'594,   528'950, -7.5, 28.0, 2.6, false));
+  c.push_back(make("SAMSUNG SM-G901F",  73, 1'113'082,   524'761,  2.5, 36.0, 1.7, true));
+  c.push_back(make("SONY D6603",        51,   815'239,   524'287, -4.0, 31.0, 2.1, false));
+  c.push_back(make("SAMSUNG SM-N9005", 134, 1'448'701,   503'379,  0.5, 34.5, 1.9, true));
+  c.push_back(make("SAMSUNG GT-I9195", 174, 2'192'925,   464'916, -6.0, 29.0, 2.5, false));
+  c.push_back(make("SAMSUNG SM-G800F",  66,   989'210,   393'045,  4.0, 38.0, 2.0, false));
+  c.push_back(make("HTC HTCONE_M8",     76,   854'593,   177'342,  7.5, 42.0, 2.8, false));
+  c.push_back(make("LGE NEXUS 4",       67,   702'895,   380'751, -3.0, 32.0, 2.0, false));
+  c.push_back(make("SONY D6503",        52,   716'627,   200'360,  5.0, 39.0, 2.3, false));
+  c.push_back(make("SAMSUNG SM-N910F", 116,   812'207,   344'337,  1.0, 35.5, 1.8, true));
+  c.push_back(make("SAMSUNG GT-I9305",  39,   692'420,   209'917, -8.0, 28.5, 2.7, false));
+  c.push_back(make("LGE LG-D802",       46,   728'469,   278'089,  2.0, 36.5, 2.1, false));
+  c.push_back(make("SONY D2303",        40,   585'396,   221'686,  8.0, 44.0, 3.0, false));
+  c.push_back(make("SAMSUNG GT-P5210",  96, 1'412'188,   305'735, -6.5, 29.5, 3.2, false));
+  return c;
+}
+
+}  // namespace
+
+const std::vector<DeviceModelSpec>& top20_catalog() {
+  static const std::vector<DeviceModelSpec> catalog = build_catalog();
+  return catalog;
+}
+
+const DeviceModelSpec* find_model(const DeviceModelId& id) {
+  for (const DeviceModelSpec& spec : top20_catalog())
+    if (spec.id == id) return &spec;
+  return nullptr;
+}
+
+std::int64_t catalog_total_measurements() {
+  std::int64_t total = 0;
+  for (const DeviceModelSpec& spec : top20_catalog())
+    total += spec.paper_measurements;
+  return total;
+}
+
+int catalog_total_devices() {
+  int total = 0;
+  for (const DeviceModelSpec& spec : top20_catalog()) total += spec.paper_devices;
+  return total;
+}
+
+std::int64_t catalog_total_localized() {
+  std::int64_t total = 0;
+  for (const DeviceModelSpec& spec : top20_catalog())
+    total += spec.paper_localized;
+  return total;
+}
+
+}  // namespace mps::phone

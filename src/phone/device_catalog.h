@@ -1,0 +1,72 @@
+// The top-20 device-model catalog (paper Figure 9) plus per-model sensor
+// characteristics.
+//
+// The paper's core heterogeneity finding (§5.2) is that microphone
+// response differs strongly *across* models but is consistent *within* a
+// model (Figures 14-15). We encode that as per-model parameters: a dB
+// offset of the microphone response, a noise floor where the response
+// clips (producing the model-specific low-level peak of Figure 14), and
+// measurement noise. The device/measurement counts come verbatim from
+// Figure 9 and are used to scale workloads so the regenerated dataset has
+// the paper's per-model proportions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mps::phone {
+
+/// Static description of a phone model.
+struct DeviceModelSpec {
+  DeviceModelId id;                ///< e.g. "SAMSUNG GT-I9505"
+  int paper_devices = 0;           ///< #devices in the paper's dataset
+  std::int64_t paper_measurements = 0;
+  std::int64_t paper_localized = 0;
+
+  // Microphone characteristics (drive Figures 14-15).
+  double mic_bias_db = 0.0;        ///< model-specific response offset
+  double mic_noise_floor_db = 30;  ///< response clips below this level
+  double mic_sigma_db = 2.0;       ///< per-measurement noise
+
+  /// Whether the model's Google Play services deliver "fused" fixes
+  /// (paper Fig 13: only few models do).
+  bool supports_fused = false;
+
+  // Energy characteristics (drive Figure 16).
+  double battery_capacity_mj = 34'000'000;  ///< ~2500 mAh @ 3.8 V
+  double baseline_power_mw = 200;    ///< non-app drain in the Fig 16 protocol
+  /// Wakeup + ~3 s microphone sampling + processing per observation.
+  double sense_energy_mj = 4'000;
+  /// Extra energy when a GPS fix is taken for the observation.
+  double gps_fix_energy_mj = 7'000;
+
+  /// Fraction of this model's observations that carry a location,
+  /// derived from the paper columns.
+  double localized_fraction() const {
+    return paper_measurements > 0
+               ? static_cast<double>(paper_localized) /
+                     static_cast<double>(paper_measurements)
+               : 0.0;
+  }
+};
+
+/// The 20 models of Figure 9, in the paper's order (sorted by localized
+/// measurements). Counts match the paper exactly.
+const std::vector<DeviceModelSpec>& top20_catalog();
+
+/// Looks up a model by id; nullptr when absent.
+const DeviceModelSpec* find_model(const DeviceModelId& id);
+
+/// Sum of paper_measurements over the catalog (23,108,136).
+std::int64_t catalog_total_measurements();
+
+/// Sum of paper_devices over the catalog (2,091).
+int catalog_total_devices();
+
+/// Sum of paper_localized over the catalog (9,556,174).
+std::int64_t catalog_total_localized();
+
+}  // namespace mps::phone

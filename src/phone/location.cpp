@@ -1,0 +1,70 @@
+#include "phone/location.h"
+
+#include <cmath>
+
+namespace mps::phone {
+
+LocationSimulator::LocationSimulator(const DeviceModelSpec& model,
+                                     LocationModelParams params)
+    : p_localized_opportunistic_(model.localized_fraction()),
+      supports_fused_(model.supports_fused),
+      params_(params) {}
+
+double LocationSimulator::p_localized(SensingMode mode) const {
+  switch (mode) {
+    case SensingMode::kOpportunistic: return p_localized_opportunistic_;
+    case SensingMode::kManual: return params_.p_localized_manual;
+    case SensingMode::kJourney: return params_.p_localized_journey;
+  }
+  return 0.0;
+}
+
+LocationProvider LocationSimulator::sample_provider(SensingMode mode,
+                                                    Rng& rng) const {
+  double gps = params_.gps_share_opportunistic;
+  if (mode == SensingMode::kManual) gps += params_.gps_boost_manual;
+  if (mode == SensingMode::kJourney) gps += params_.gps_boost_journey;
+  double fused = supports_fused_ ? params_.fused_share : 0.0;
+  double u = rng.uniform();
+  if (u < gps) return LocationProvider::kGps;
+  if (u < gps + fused) return LocationProvider::kFused;
+  return LocationProvider::kNetwork;
+}
+
+double LocationSimulator::sample_accuracy(LocationProvider provider,
+                                          Rng& rng) {
+  switch (provider) {
+    case LocationProvider::kGps:
+      // Mostly 6-20 m (paper Fig 11).
+      return rng.lognormal(std::log(11.0), 0.35);
+    case LocationProvider::kNetwork: {
+      // Main mass 20-50 m plus a secondary bump just below 100 m
+      // (paper Figs 10/12).
+      if (rng.bernoulli(0.78)) return rng.lognormal(std::log(32.0), 0.28);
+      return rng.lognormal(std::log(85.0), 0.22);
+    }
+    case LocationProvider::kFused:
+      // Broad, "rather low" accuracy (paper Fig 13).
+      return rng.lognormal(std::log(60.0), 0.60);
+  }
+  return 0.0;
+}
+
+std::optional<LocationFix> LocationSimulator::sample(SensingMode mode,
+                                                     double true_x_m,
+                                                     double true_y_m,
+                                                     Rng& rng) const {
+  if (!rng.bernoulli(p_localized(mode))) return std::nullopt;
+  LocationFix fix;
+  fix.provider = sample_provider(mode, rng);
+  fix.accuracy_m = sample_accuracy(fix.provider, rng);
+  // The reported position errs from truth consistently with the accuracy
+  // estimate: for a 2-D Gaussian error, the 68%-confidence radius maps to
+  // a per-axis sigma of accuracy / 1.515.
+  double sigma = fix.accuracy_m / 1.515;
+  fix.x_m = true_x_m + rng.normal(0.0, sigma);
+  fix.y_m = true_y_m + rng.normal(0.0, sigma);
+  return fix;
+}
+
+}  // namespace mps::phone

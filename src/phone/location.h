@@ -1,0 +1,67 @@
+// Location provider simulator.
+//
+// Reproduces the structure of paper §5.1 and §6.2:
+//   - only a fraction of observations is localized at all (~41% overall,
+//     model-dependent; catalog carries each model's fraction);
+//   - among localized observations, provider shares in opportunistic mode
+//     are ~7% GPS / ~86% network / ~7% fused (Figures 11-13, 20-left);
+//   - participatory sensing raises the GPS share by ~20 points (manual)
+//     and ~40 points (journey) — Figure 20 middle/right;
+//   - accuracy distributions per provider: GPS mostly 6-20 m, network
+//     mostly 20-50 m with a secondary bump below 100 m, fused broad and
+//     "rather low" accuracy;
+//   - models that do not support fused fixes fall back to network.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "phone/device_catalog.h"
+#include "phone/observation.h"
+
+namespace mps::phone {
+
+/// Tunable parameters of the provider-choice / accuracy model.
+struct LocationModelParams {
+  double gps_share_opportunistic = 0.07;
+  double fused_share = 0.07;
+  double gps_boost_manual = 0.20;   ///< Figure 20 middle: +20 points
+  double gps_boost_journey = 0.40;  ///< Figure 20 right: +40 points
+  /// Probability that a *manual* observation is localized (user is
+  /// actively sensing, so location services are usually on).
+  double p_localized_manual = 0.75;
+  /// Probability that a *journey* observation is localized (journeys are
+  /// location recordings; almost always localized).
+  double p_localized_journey = 0.95;
+};
+
+/// Per-device location source simulator.
+class LocationSimulator {
+ public:
+  LocationSimulator(const DeviceModelSpec& model,
+                    LocationModelParams params = {});
+
+  /// Draws whether this observation is localized and, if so, with which
+  /// provider and accuracy. `true_x_m`/`true_y_m` is the device's actual
+  /// position; the returned fix perturbs it consistently with the drawn
+  /// accuracy estimate.
+  std::optional<LocationFix> sample(SensingMode mode, double true_x_m,
+                                    double true_y_m, Rng& rng) const;
+
+  /// Accuracy draw for a provider (exposed for distribution tests and the
+  /// Figures 10-13 benches).
+  static double sample_accuracy(LocationProvider provider, Rng& rng);
+
+  /// Provider choice among localized observations for a mode.
+  LocationProvider sample_provider(SensingMode mode, Rng& rng) const;
+
+  /// Probability that an observation in `mode` carries a location.
+  double p_localized(SensingMode mode) const;
+
+ private:
+  double p_localized_opportunistic_;
+  bool supports_fused_;
+  LocationModelParams params_;
+};
+
+}  // namespace mps::phone

@@ -1,0 +1,20 @@
+#include "phone/microphone.h"
+
+#include <algorithm>
+
+namespace mps::phone {
+
+double Microphone::measure(double ambient_db, Rng& rng) const {
+  double raw = ambient_db + bias_db_ + rng.normal(0.0, sigma_db_);
+  // The device cannot report below its effective noise floor: quiet
+  // environments all read as (roughly) the floor, which is what produces
+  // the model-specific low-level peak of Figure 14. A little jitter keeps
+  // the peak a narrow bump rather than a delta.
+  if (raw < noise_floor_db_) {
+    raw = noise_floor_db_ + std::abs(rng.normal(0.0, 0.8));
+  }
+  // Physical upper bound of phone microphones before clipping.
+  return std::min(raw, 110.0);
+}
+
+}  // namespace mps::phone

@@ -1,0 +1,41 @@
+// Microphone SPL measurement model.
+//
+// A phone microphone measuring ambient sound pressure level applies its
+// model-specific frequency/gain response (simplified here to a dB offset),
+// adds measurement noise, and clips at the device's effective noise floor
+// — the microphone + ADC cannot report levels below it, which creates the
+// model-specific low-level peak seen in paper Figure 14.
+#pragma once
+
+#include "common/rng.h"
+#include "phone/device_catalog.h"
+
+namespace mps::phone {
+
+/// Per-device microphone. Two devices of the same model share response
+/// parameters (the paper's finding) but may carry a small unit-to-unit
+/// deviation, configurable via `unit_spread_db`.
+class Microphone {
+ public:
+  /// `unit_offset_db` is this physical unit's deviation from the model
+  /// response (drawn once per device, typically < 1 dB).
+  Microphone(const DeviceModelSpec& model, double unit_offset_db = 0.0)
+      : bias_db_(model.mic_bias_db + unit_offset_db),
+        noise_floor_db_(model.mic_noise_floor_db),
+        sigma_db_(model.mic_sigma_db) {}
+
+  /// Measures an ambient level (true dB(A)); returns the raw value the
+  /// device would report: response offset + noise, clipped at the floor.
+  double measure(double ambient_db, Rng& rng) const;
+
+  double bias_db() const { return bias_db_; }
+  double noise_floor_db() const { return noise_floor_db_; }
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  double bias_db_;
+  double noise_floor_db_;
+  double sigma_db_;
+};
+
+}  // namespace mps::phone

@@ -1,0 +1,101 @@
+#include "phone/observation.h"
+
+#include <stdexcept>
+
+namespace mps::phone {
+
+const char* sensing_mode_name(SensingMode m) {
+  switch (m) {
+    case SensingMode::kOpportunistic: return "opportunistic";
+    case SensingMode::kManual: return "manual";
+    case SensingMode::kJourney: return "journey";
+  }
+  return "?";
+}
+
+SensingMode sensing_mode_from_name(const std::string& name) {
+  if (name == "opportunistic") return SensingMode::kOpportunistic;
+  if (name == "manual") return SensingMode::kManual;
+  if (name == "journey") return SensingMode::kJourney;
+  throw std::invalid_argument("unknown sensing mode '" + name + "'");
+}
+
+const char* location_provider_name(LocationProvider p) {
+  switch (p) {
+    case LocationProvider::kGps: return "gps";
+    case LocationProvider::kNetwork: return "network";
+    case LocationProvider::kFused: return "fused";
+  }
+  return "?";
+}
+
+LocationProvider location_provider_from_name(const std::string& name) {
+  if (name == "gps") return LocationProvider::kGps;
+  if (name == "network") return LocationProvider::kNetwork;
+  if (name == "fused") return LocationProvider::kFused;
+  throw std::invalid_argument("unknown location provider '" + name + "'");
+}
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kUndefined: return "undefined";
+    case Activity::kUnknown: return "unknown";
+    case Activity::kTilting: return "tilting";
+    case Activity::kStill: return "still";
+    case Activity::kFoot: return "foot";
+    case Activity::kBicycle: return "bicycle";
+    case Activity::kVehicle: return "vehicle";
+  }
+  return "?";
+}
+
+Activity activity_from_name(const std::string& name) {
+  if (name == "undefined") return Activity::kUndefined;
+  if (name == "unknown") return Activity::kUnknown;
+  if (name == "tilting") return Activity::kTilting;
+  if (name == "still") return Activity::kStill;
+  if (name == "foot") return Activity::kFoot;
+  if (name == "bicycle") return Activity::kBicycle;
+  if (name == "vehicle") return Activity::kVehicle;
+  throw std::invalid_argument("unknown activity '" + name + "'");
+}
+
+Value Observation::to_document() const {
+  Object doc;
+  doc.set("user", Value(user));
+  doc.set("model", Value(model));
+  doc.set("captured_at", Value(captured_at));
+  doc.set("spl", Value(spl_db));
+  doc.set("mode", Value(sensing_mode_name(mode)));
+  doc.set("activity", Value(activity_name(activity)));
+  if (location.has_value()) {
+    doc.set("location",
+            Value(Object{{"provider", Value(location_provider_name(location->provider))},
+                         {"x", Value(location->x_m)},
+                         {"y", Value(location->y_m)},
+                         {"accuracy", Value(location->accuracy_m)}}));
+  }
+  return Value(std::move(doc));
+}
+
+Observation Observation::from_document(const Value& doc) {
+  if (!doc.is_object()) throw std::runtime_error("observation: not an object");
+  Observation obs;
+  obs.user = doc.get_string("user");
+  obs.model = doc.get_string("model");
+  obs.captured_at = doc.get_int("captured_at");
+  obs.spl_db = doc.get_double("spl");
+  obs.mode = sensing_mode_from_name(doc.get_string("mode", "opportunistic"));
+  obs.activity = activity_from_name(doc.get_string("activity", "undefined"));
+  if (const Value* loc = doc.find("location")) {
+    LocationFix fix;
+    fix.provider = location_provider_from_name(loc->get_string("provider", "network"));
+    fix.x_m = loc->get_double("x");
+    fix.y_m = loc->get_double("y");
+    fix.accuracy_m = loc->get_double("accuracy");
+    obs.location = fix;
+  }
+  return obs;
+}
+
+}  // namespace mps::phone

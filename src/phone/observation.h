@@ -1,0 +1,79 @@
+// Observation: the unit of crowd-sensed data in SoundCity.
+//
+// Each observation carries a raw sound pressure level, an optional
+// location fix (provider + estimated accuracy, as reported by Android),
+// the recognized user activity, the sensing mode that produced it and
+// timestamps. Observations serialize to JSON documents for the broker and
+// document store.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace mps::phone {
+
+/// How the observation was triggered (paper §4.2 / §6.2).
+enum class SensingMode {
+  kOpportunistic,  ///< periodic background measurement
+  kManual,         ///< user pressed "sense now"
+  kJourney,        ///< participatory journey recording
+};
+
+const char* sensing_mode_name(SensingMode m);
+/// Inverse of sensing_mode_name; throws std::invalid_argument on unknown.
+SensingMode sensing_mode_from_name(const std::string& name);
+
+/// Android location source (paper §5.1).
+enum class LocationProvider { kGps, kNetwork, kFused };
+
+const char* location_provider_name(LocationProvider p);
+LocationProvider location_provider_from_name(const std::string& name);
+
+/// A location fix as Android reports it: position plus an accuracy
+/// *estimate* in meters (the radius of 68% confidence). Positions are in
+/// a local metric city frame (meters east/north of the city origin),
+/// which is what the assimilation grid consumes; converting to WGS84 is a
+/// fixed affine transform outside the scope of the analysis.
+struct LocationFix {
+  LocationProvider provider = LocationProvider::kNetwork;
+  double x_m = 0.0;  ///< meters east of the city origin
+  double y_m = 0.0;  ///< meters north of the city origin
+  double accuracy_m = 0.0;
+};
+
+/// Google activity-recognition classes as logged by SoundCity (Fig 21).
+enum class Activity {
+  kUndefined,  ///< no recognition result at all
+  kUnknown,    ///< confidence below threshold
+  kTilting,
+  kStill,
+  kFoot,
+  kBicycle,
+  kVehicle,
+};
+
+const char* activity_name(Activity a);
+Activity activity_from_name(const std::string& name);
+
+/// One crowd-sensed measurement.
+struct Observation {
+  UserId user;
+  DeviceModelId model;
+  TimeMs captured_at = 0;
+  double spl_db = 0.0;  ///< raw sound pressure level, dB(A)
+  SensingMode mode = SensingMode::kOpportunistic;
+  Activity activity = Activity::kUndefined;
+  std::optional<LocationFix> location;
+
+  /// Serializes to the wire/storage document format.
+  Value to_document() const;
+
+  /// Parses a document produced by to_document(); throws
+  /// std::runtime_error on malformed input.
+  static Observation from_document(const Value& doc);
+};
+
+}  // namespace mps::phone

@@ -1,0 +1,64 @@
+#include "phone/phone.h"
+
+namespace mps::phone {
+
+namespace {
+Microphone make_microphone(const PhoneConfig& config, Rng seed_rng) {
+  double unit_offset =
+      seed_rng.child("mic-unit").normal(0.0, config.mic_unit_spread_db);
+  return Microphone(config.model, unit_offset);
+}
+}  // namespace
+
+Phone::Phone(const PhoneConfig& config)
+    : model_(config.model),
+      user_(config.user),
+      rng_(Rng(config.seed).child("phone")),
+      microphone_(make_microphone(config, Rng(config.seed))),
+      location_(config.model, config.location_params),
+      activity_model_(config.activity_params),
+      battery_(config.model.battery_capacity_mj, config.start_battery_fraction,
+               config.model.baseline_power_mw),
+      radio_(config.technology),
+      connectivity_(config.connectivity, config.horizon,
+                    Rng(config.seed).child("connectivity")),
+      foreground_(config.foreground.sessions_per_hour > 0.0
+                      ? net::ForegroundTraffic(
+                            config.foreground, config.horizon,
+                            Rng(config.seed).child("foreground"))
+                      : net::ForegroundTraffic::none(config.horizon)) {}
+
+Observation Phone::sense(TimeMs now, SensingMode mode, double ambient_db,
+                         double true_x_m, double true_y_m) {
+  battery_.advance_to(now);
+
+  Observation obs;
+  obs.user = user_;
+  obs.model = model_.id;
+  obs.captured_at = now;
+  obs.mode = mode;
+  obs.spl_db = microphone_.measure(ambient_db, rng_);
+  obs.activity = activity_model_.sample(now, rng_).recognized;
+  obs.location = location_.sample(mode, true_x_m, true_y_m, rng_);
+
+  double energy = model_.sense_energy_mj;
+  if (obs.location.has_value() &&
+      obs.location->provider == LocationProvider::kGps)
+    energy += model_.gps_fix_energy_mj;
+  battery_.drain(energy);
+
+  ++observation_count_;
+  return obs;
+}
+
+net::Transfer Phone::transmit(TimeMs now, std::size_t bytes) {
+  battery_.advance_to(now);
+  // Piggyback effect: when another app holds the radio high-power, our
+  // transfer starts warm and skips the ramp (the other app paid it).
+  if (foreground_.active_at(now)) radio_.mark_active(now);
+  net::Transfer t = radio_.send(now, bytes);
+  battery_.drain(t.energy_mj);
+  return t;
+}
+
+}  // namespace mps::phone

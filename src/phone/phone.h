@@ -1,0 +1,98 @@
+// The simulated phone: sensors + battery + radio + connectivity, bundled
+// per device. The GoFlow client (mps::client) drives it; the phone itself
+// only knows how to produce observations and account for their energy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "net/connectivity.h"
+#include "net/foreground.h"
+#include "net/radio.h"
+#include "phone/activity.h"
+#include "phone/battery.h"
+#include "phone/device_catalog.h"
+#include "phone/location.h"
+#include "phone/microphone.h"
+#include "phone/observation.h"
+
+namespace mps::phone {
+
+/// Everything needed to instantiate one simulated device.
+struct PhoneConfig {
+  DeviceModelSpec model;
+  UserId user;
+  std::uint64_t seed = 0;
+  net::Technology technology = net::Technology::kWifi;
+  net::ConnectivityParams connectivity;
+  /// Simulation horizon for the connectivity trace.
+  TimeMs horizon = days(1);
+  double start_battery_fraction = 0.8;
+  /// Foreground radio activity of other apps (piggyback opportunities).
+  /// sessions_per_hour = 0 disables it.
+  net::ForegroundTrafficParams foreground{.sessions_per_hour = 0.0};
+  /// Per-unit microphone deviation from the model response (dB); the
+  /// paper's finding is that this is small relative to the model bias.
+  double mic_unit_spread_db = 0.7;
+  LocationModelParams location_params;
+  ActivityModelParams activity_params;
+};
+
+/// A simulated device. Deterministic given its config (all randomness
+/// flows from config.seed).
+class Phone {
+ public:
+  explicit Phone(const PhoneConfig& config);
+
+  /// Takes one measurement at virtual time `now` with the device at true
+  /// position (x, y) in an ambient field of `ambient_db`. Drains the
+  /// battery for the sensing work (and GPS fix, if one was taken).
+  Observation sense(TimeMs now, SensingMode mode, double ambient_db,
+                    double true_x_m, double true_y_m);
+
+  /// Models an upload of `bytes` at `now`: drains the battery by the
+  /// radio cost and returns the transfer descriptor. Callers must check
+  /// connectivity first (Radio assumes a link). If another app has the
+  /// radio warm at `now` (foreground traffic), the ramp cost is skipped.
+  net::Transfer transmit(TimeMs now, std::size_t bytes);
+
+  /// True when other apps are actively using the radio at `now` — the
+  /// signal a piggyback upload policy keys on.
+  bool foreground_active_at(TimeMs now) const {
+    return foreground_.active_at(now);
+  }
+
+  const net::ForegroundTraffic& foreground_traffic() const {
+    return foreground_;
+  }
+
+  /// Integrates baseline battery drain up to `now` without sensing.
+  void idle_to(TimeMs now) { battery_.advance_to(now); }
+
+  const DeviceModelSpec& model() const { return model_; }
+  const UserId& user() const { return user_; }
+  const Battery& battery() const { return battery_; }
+  const net::Radio& radio() const { return radio_; }
+  const net::ConnectivityTrace& connectivity() const { return connectivity_; }
+  const ActivityModel& activity_model() const { return activity_model_; }
+  const LocationSimulator& location_simulator() const { return location_; }
+
+  /// Observations produced so far.
+  std::uint64_t observation_count() const { return observation_count_; }
+
+ private:
+  DeviceModelSpec model_;
+  UserId user_;
+  Rng rng_;
+  Microphone microphone_;
+  LocationSimulator location_;
+  ActivityModel activity_model_;
+  Battery battery_;
+  net::Radio radio_;
+  net::ConnectivityTrace connectivity_;
+  net::ForegroundTraffic foreground_;
+  std::uint64_t observation_count_ = 0;
+};
+
+}  // namespace mps::phone

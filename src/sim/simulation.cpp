@@ -1,0 +1,100 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace mps::sim {
+
+EventId Simulation::at(TimeMs t, std::function<void()> fn) {
+  EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
+  return id;
+}
+
+EventId Simulation::after(DurationMs delay, std::function<void()> fn) {
+  return at(now_ + std::max<DurationMs>(delay, 0), std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: mark; the id is dropped when popped.
+  return cancelled_.insert(id).second;
+}
+
+void Simulation::execute(Event& e) {
+  now_ = e.time;
+  ++executed_;
+  // Move the callback out before invoking so it can reschedule itself.
+  std::function<void()> fn = std::move(e.fn);
+  fn();
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(e.id) > 0) continue;
+    execute(e);
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(TimeMs t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    execute(e);
+  }
+  now_ = std::max(now_, t);
+}
+
+PeriodicTimer::PeriodicTimer(Simulation& simulation, DurationMs period,
+                             std::function<void(TimeMs)> fn)
+    : sim_(simulation), period_(period), fn_(std::move(fn)) {}
+
+void PeriodicTimer::start() { start(period_); }
+
+void PeriodicTimer::start(DurationMs initial_delay) {
+  stop();
+  running_ = true;
+  schedule_next(initial_delay);
+}
+
+void PeriodicTimer::stop() {
+  if (pending_event_ != 0) {
+    sim_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::set_period(DurationMs period) {
+  period_ = period;
+  if (running_ && pending_event_ != 0) {
+    sim_.cancel(pending_event_);
+    schedule_next(period_);
+  }
+}
+
+void PeriodicTimer::schedule_next(DurationMs delay) {
+  pending_event_ = sim_.after(delay, [this] {
+    pending_event_ = 0;
+    if (!running_) return;
+    fn_(sim_.now());
+    if (running_) schedule_next(period_);
+  });
+}
+
+}  // namespace mps::sim

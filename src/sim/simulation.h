@@ -1,0 +1,122 @@
+// Discrete-event simulation kernel.
+//
+// The paper's dataset was produced by thousands of phones running for 10
+// months. We regenerate it by driving simulated phones, radios and GoFlow
+// clients through this kernel against the *real* middleware stack (broker,
+// server, document store), with virtual time compressed to seconds of CPU.
+//
+// Determinism: events with equal timestamps fire in scheduling order
+// (FIFO), so a run is a pure function of (models, seeds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mps::sim {
+
+/// Handle for a scheduled event, usable with Simulation::cancel().
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event scheduler with a virtual millisecond
+/// clock.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time. Starts at 0 and only advances inside run*().
+  TimeMs now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t`. Scheduling in the past
+  /// (t < now) clamps to now, i.e. the event fires next.
+  EventId at(TimeMs t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` milliseconds from now (clamped at >= 0).
+  EventId after(DurationMs delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was cancelled before.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then sets the clock to `t`.
+  void run_until(TimeMs t);
+
+  /// Runs at most one event; returns false when the queue is empty.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeMs time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    // Min-heap: earliest time first, then lowest id (FIFO at equal times).
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void execute(Event& e);
+
+  TimeMs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Repeating timer built on Simulation: fires `fn(now)` every `period`
+/// until stopped. Used by sensing schedulers and upload cycles.
+class PeriodicTimer {
+ public:
+  /// Creates a stopped timer bound to `simulation`.
+  PeriodicTimer(Simulation& simulation, DurationMs period,
+                std::function<void(TimeMs)> fn);
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts firing; the first tick happens one period from now (or after
+  /// `initial_delay` when given).
+  void start();
+  void start(DurationMs initial_delay);
+
+  /// Stops future ticks; in-flight callbacks are unaffected.
+  void stop();
+
+  bool running() const { return running_; }
+  DurationMs period() const { return period_; }
+
+  /// Changes the period. If a tick is pending it is rescheduled to fire
+  /// one new period from now.
+  void set_period(DurationMs period);
+
+ private:
+  void schedule_next(DurationMs delay);
+
+  Simulation& sim_;
+  DurationMs period_;
+  std::function<void(TimeMs)> fn_;
+  EventId pending_event_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mps::sim

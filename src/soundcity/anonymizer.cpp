@@ -1,0 +1,54 @@
+#include "soundcity/anonymizer.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace mps::soundcity {
+
+std::string pseudonymize(const std::string& user_id, const std::string& salt) {
+  // Keyed FNV-1a; double hashing with the salt on both sides resists
+  // trivial extension attacks. Not cryptographic — a stand-in for the
+  // HMAC the production deployment would use.
+  std::uint64_t h1 = fnv1a64(salt + ":" + user_id);
+  std::uint64_t h2 = fnv1a64(user_id + ":" + salt);
+  return format("anon-%016llx%08llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2 & 0xFFFFFFFFull));
+}
+
+double generalize_coordinate(double value_m, double granularity_m) {
+  if (granularity_m <= 0.0) return value_m;
+  return (std::floor(value_m / granularity_m) + 0.5) * granularity_m;
+}
+
+Value anonymize_observation(const Value& document,
+                            const AnonymizationPolicy& policy) {
+  if (!document.is_object()) return document;
+  Value out = document;
+  Object& obj = out.as_object();
+  if (const Value* user = obj.find("user")) {
+    if (user->is_string())
+      obj.set("user", Value(pseudonymize(user->as_string(), policy.salt)));
+  }
+  if (Value* location = obj.find("location")) {
+    if (location->is_object()) {
+      Object& loc = location->as_object();
+      if (const Value* x = loc.find("x")) {
+        if (x->is_number())
+          loc.set("x", Value(generalize_coordinate(
+                           x->as_double(), policy.location_granularity_m)));
+      }
+      if (const Value* y = loc.find("y")) {
+        if (y->is_number())
+          loc.set("y", Value(generalize_coordinate(
+                           y->as_double(), policy.location_granularity_m)));
+      }
+    }
+  }
+  for (const std::string& field : policy.drop_fields) obj.erase(field);
+  return out;
+}
+
+}  // namespace mps::soundcity

@@ -1,0 +1,44 @@
+// Privacy / anonymization (paper §3: GoFlow "implements the privacy
+// policy set by the French CNIL"; "the Web application server maintains
+// data about the contributing users in an anonymized way, so that
+// specific contributions may be retrieved provided the user's
+// credentials").
+//
+// Two mechanisms:
+//   - pseudonymization: user ids are replaced by a salted keyed hash, so
+//     datasets can be joined per-user without exposing identity; knowing
+//     the salt (the user's credential secret) lets the owner re-derive
+//     their own pseudonym and retrieve their contributions;
+//   - spatial generalization: locations are snapped to a coarse grid so a
+//     shared observation cannot pinpoint a home address.
+#pragma once
+
+#include <string>
+
+#include "common/value.h"
+
+namespace mps::soundcity {
+
+/// Anonymization parameters.
+struct AnonymizationPolicy {
+  /// Salt mixed into the pseudonym hash (deployment secret).
+  std::string salt = "soundcity-cnil";
+  /// Spatial generalization cell size in meters (0 = keep exact).
+  double location_granularity_m = 500.0;
+  /// Fields removed entirely from shared documents.
+  std::vector<std::string> drop_fields = {"client"};
+};
+
+/// Stable pseudonym for a user id under the given salt.
+std::string pseudonymize(const std::string& user_id, const std::string& salt);
+
+/// Anonymizes an observation document in place per the policy:
+/// pseudonymizes "user", coarsens "location.x"/"location.y", drops the
+/// listed fields. Non-object inputs are returned unchanged.
+Value anonymize_observation(const Value& document,
+                            const AnonymizationPolicy& policy);
+
+/// Snaps a coordinate to the center of its generalization cell.
+double generalize_coordinate(double value_m, double granularity_m);
+
+}  // namespace mps::soundcity

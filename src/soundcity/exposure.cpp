@@ -1,0 +1,110 @@
+#include "soundcity/exposure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mps::soundcity {
+
+std::optional<double> energetic_mean_db(const std::vector<double>& levels_db) {
+  if (levels_db.empty()) return std::nullopt;
+  double power = 0.0;
+  for (double level : levels_db) power += std::pow(10.0, level / 10.0);
+  return 10.0 * std::log10(power / static_cast<double>(levels_db.size()));
+}
+
+const char* exposure_band_name(ExposureBand band) {
+  switch (band) {
+    case ExposureBand::kLow: return "low";
+    case ExposureBand::kModerate: return "moderate";
+    case ExposureBand::kHigh: return "high";
+    case ExposureBand::kVeryHigh: return "very-high";
+  }
+  return "?";
+}
+
+ExposureBand classify_exposure(double leq_db) {
+  if (leq_db < 55.0) return ExposureBand::kLow;
+  if (leq_db < 65.0) return ExposureBand::kModerate;
+  if (leq_db < 75.0) return ExposureBand::kHigh;
+  return ExposureBand::kVeryHigh;
+}
+
+const char* exposure_health_note(ExposureBand band) {
+  switch (band) {
+    case ExposureBand::kLow:
+      return "little risk of annoyance (WHO daytime guideline)";
+    case ExposureBand::kModerate:
+      return "serious annoyance possible; may disturb sleep and learning";
+    case ExposureBand::kHigh:
+      return "sustained exposure increases risk of heart disease";
+    case ExposureBand::kVeryHigh:
+      return "hearing-relevant exposure; limit time at this level";
+  }
+  return "";
+}
+
+ExposureReport compute_exposure(
+    const std::vector<phone::Observation>& observations,
+    const std::function<double(const DeviceModelId&, double)>& calibrate) {
+  struct Accumulator {
+    std::vector<double> levels;
+    double peak = -1e9;
+  };
+  std::map<std::int64_t, Accumulator> per_day;
+  std::vector<double> all;
+  for (const phone::Observation& obs : observations) {
+    double level = calibrate(obs.model, obs.spl_db);
+    Accumulator& acc = per_day[day_index(obs.captured_at)];
+    acc.levels.push_back(level);
+    acc.peak = std::max(acc.peak, level);
+    all.push_back(level);
+  }
+
+  ExposureReport report;
+  struct MonthAccumulator {
+    std::vector<double> levels;
+    double peak = -1e9;
+    int days = 0;
+  };
+  std::map<std::int64_t, MonthAccumulator> per_month;
+  for (const auto& [day, acc] : per_day) {
+    DailyExposure daily;
+    daily.day = day;
+    daily.leq_db = *energetic_mean_db(acc.levels);
+    daily.peak_db = acc.peak;
+    daily.samples = acc.levels.size();
+    daily.band = classify_exposure(daily.leq_db);
+    report.daily.push_back(daily);
+
+    MonthAccumulator& month = per_month[day / 30];
+    month.levels.insert(month.levels.end(), acc.levels.begin(),
+                        acc.levels.end());
+    month.peak = std::max(month.peak, acc.peak);
+    ++month.days;
+  }
+  for (const auto& [month, acc] : per_month) {
+    MonthlyExposure monthly;
+    monthly.month = month;
+    monthly.leq_db = *energetic_mean_db(acc.levels);
+    monthly.peak_db = acc.peak;
+    monthly.samples = acc.levels.size();
+    monthly.band = classify_exposure(monthly.leq_db);
+    monthly.days_covered = acc.days;
+    report.monthly.push_back(monthly);
+  }
+  report.overall_leq_db = energetic_mean_db(all);
+  return report;
+}
+
+std::optional<double> infer_exposure_from_map(
+    const assim::Grid& noise_map,
+    const std::vector<std::pair<double, double>>& trajectory) {
+  if (trajectory.empty()) return std::nullopt;
+  std::vector<double> levels;
+  levels.reserve(trajectory.size());
+  for (const auto& [x, y] : trajectory) levels.push_back(noise_map.sample(x, y));
+  return energetic_mean_db(levels);
+}
+
+}  // namespace mps::soundcity

@@ -1,0 +1,85 @@
+// Quantified-self noise exposure (paper §4.2, Figure 6 left/middle):
+// "SoundCity shows the individual's daily and monthly exposure to noise
+// in relation with its impact on health."
+//
+// Exposure is summarized as the equivalent continuous level Leq — the
+// energetic (not arithmetic) mean of sound levels — per day and per
+// month, and classified into health-impact bands following the WHO
+// community-noise guidance the paper cites ([44]).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assim/grid.h"
+#include "common/types.h"
+#include "phone/observation.h"
+
+namespace mps::soundcity {
+
+/// Energetic mean: Leq = 10 log10( mean(10^(L/10)) ). Returns nullopt for
+/// an empty input.
+std::optional<double> energetic_mean_db(const std::vector<double>& levels_db);
+
+/// Health-impact classification of an exposure level.
+enum class ExposureBand {
+  kLow,       ///< < 55 dB(A): little risk of annoyance
+  kModerate,  ///< 55-65 dB(A): serious annoyance, sleep/learning impact
+  kHigh,      ///< 65-75 dB(A): long-term cardiovascular risk
+  kVeryHigh,  ///< >= 75 dB(A): hearing-relevant exposure over time
+};
+
+const char* exposure_band_name(ExposureBand band);
+
+/// Band of a given Leq (WHO-guideline-derived thresholds).
+ExposureBand classify_exposure(double leq_db);
+
+/// One-line health note for a band, shown in the app UI.
+const char* exposure_health_note(ExposureBand band);
+
+/// Daily exposure summary.
+struct DailyExposure {
+  std::int64_t day = 0;  ///< day index since the study epoch
+  double leq_db = 0.0;
+  double peak_db = 0.0;
+  std::size_t samples = 0;
+  ExposureBand band = ExposureBand::kLow;
+};
+
+/// Monthly rollup (30-day buckets).
+struct MonthlyExposure {
+  std::int64_t month = 0;
+  double leq_db = 0.0;
+  double peak_db = 0.0;
+  std::size_t samples = 0;
+  ExposureBand band = ExposureBand::kLow;
+  int days_covered = 0;
+};
+
+/// Full exposure report for one user.
+struct ExposureReport {
+  std::vector<DailyExposure> daily;
+  std::vector<MonthlyExposure> monthly;
+  /// Leq over the whole period, when any sample exists.
+  std::optional<double> overall_leq_db;
+};
+
+/// Computes the exposure report from a user's observations. `calibrate`
+/// maps (model, raw SPL) to a corrected level; pass an identity for raw
+/// data. Observations need not be sorted.
+ExposureReport compute_exposure(
+    const std::vector<phone::Observation>& observations,
+    const std::function<double(const DeviceModelId&, double)>& calibrate);
+
+/// Crowd-based inference (paper §8: "some missing data for one individual
+/// user may also be inferred from the crowd measurements"): estimates the
+/// Leq a user experienced along a trajectory from the crowd's assimilated
+/// noise map — useful when the user's own phone recorded nothing there.
+/// Returns nullopt for an empty trajectory.
+std::optional<double> infer_exposure_from_map(
+    const assim::Grid& noise_map,
+    const std::vector<std::pair<double, double>>& trajectory);
+
+}  // namespace mps::soundcity

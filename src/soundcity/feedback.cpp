@@ -1,0 +1,113 @@
+#include "soundcity/feedback.h"
+
+#include <algorithm>
+#include <array>
+
+namespace mps::soundcity {
+
+bool FeedbackManager::should_prompt(const phone::Observation& observation) {
+  // Quantitative quality gates: only ask where the noise is accurately
+  // measured (the paper's criterion).
+  bool quality_ok =
+      observation.location.has_value() &&
+      observation.location->accuracy_m <= policy_.max_accuracy_m &&
+      observation.spl_db >= policy_.min_level_db &&
+      observation.spl_db <= policy_.max_level_db;
+  if (!quality_ok) {
+    ++prompts_suppressed_;
+    return false;
+  }
+
+  PromptState& state = prompt_state_[observation.user];
+  std::int64_t day = day_index(observation.captured_at);
+  if (day != state.last_day) {
+    state.last_day = day;
+    state.prompts_today = 0;
+  }
+  bool rate_ok =
+      state.prompts_today < policy_.max_prompts_per_day &&
+      (state.last_prompt < 0 ||
+       observation.captured_at - state.last_prompt >= policy_.min_prompt_gap);
+  if (!rate_ok) {
+    ++prompts_suppressed_;
+    return false;
+  }
+  state.last_prompt = observation.captured_at;
+  ++state.prompts_today;
+  ++prompts_issued_;
+  return true;
+}
+
+void FeedbackManager::record_answer(const UserId& user, TimeMs at,
+                                    double level_db, bool annoyed) {
+  entries_.push_back(FeedbackEntry{user, at, level_db, annoyed});
+}
+
+std::vector<FeedbackEntry> FeedbackManager::answers_for(
+    const UserId& user) const {
+  std::vector<FeedbackEntry> out;
+  for (const FeedbackEntry& e : entries_)
+    if (e.user == user) out.push_back(e);
+  return out;
+}
+
+SensitivityProfile FeedbackManager::profile_for(const UserId& user,
+                                                std::size_t min_answers) const {
+  SensitivityProfile profile;
+  profile.user = user;
+  std::vector<FeedbackEntry> answers = answers_for(user);
+  profile.answers = answers.size();
+  if (answers.empty()) return profile;
+
+  std::size_t annoyed = 0;
+  for (const FeedbackEntry& e : answers)
+    if (e.annoyed) ++annoyed;
+  profile.annoyed_fraction =
+      static_cast<double>(annoyed) / static_cast<double>(answers.size());
+  if (answers.size() < min_answers) return profile;
+
+  // A threshold is only meaningful when the user's answers actually
+  // separate on level: both classes must be present.
+  if (annoyed == 0 || annoyed == answers.size()) return profile;
+
+  // Threshold = the level boundary that best separates "annoyed" from
+  // "not annoyed" answers (minimum misclassification over 5-dB candidate
+  // boundaries).
+  constexpr double kBandLo = 40.0, kBandWidth = 5.0;
+  constexpr std::size_t kBands = 12;
+  std::array<int, kBands> annoyed_count{}, total_count{};
+  for (const FeedbackEntry& e : answers) {
+    double idx = (e.level_db - kBandLo) / kBandWidth;
+    if (idx < 0) idx = 0;
+    auto band = static_cast<std::size_t>(idx);
+    if (band >= kBands) band = kBands - 1;
+    ++total_count[band];
+    if (e.annoyed) ++annoyed_count[band];
+  }
+  // Candidate boundary b: predict "annoyed" for bands >= b. Error =
+  // annoyed answers below b + non-annoyed answers at/above b.
+  std::size_t best_boundary = 0;
+  int best_error = -1;
+  for (std::size_t boundary = 0; boundary <= kBands; ++boundary) {
+    int error = 0;
+    for (std::size_t band = 0; band < kBands; ++band) {
+      if (band < boundary) {
+        error += annoyed_count[band];
+      } else {
+        error += total_count[band] - annoyed_count[band];
+      }
+    }
+    if (best_error < 0 || error < best_error) {
+      best_error = error;
+      best_boundary = boundary;
+    }
+  }
+  // Extremes mean the user's answers don't separate on level.
+  if (best_boundary > 0 && best_boundary < kBands) {
+    profile.annoyance_threshold_db =
+        kBandLo + kBandWidth * static_cast<double>(best_boundary);
+  }
+  return profile;
+}
+
+}  // namespace mps::soundcity

@@ -1,0 +1,100 @@
+// Qualitative feedback collection (paper §8 future work): "the feedback
+// mechanism should be easily accessible and yet not invasive ... it might
+// be beneficial to trigger it at some proper times, to be determined by
+// the available quantitative information. ... user feedback at locations
+// where the noise is accurately measured would be helpful to build an
+// individual profile of sensitivity to noise."
+//
+// FeedbackManager decides *when* to prompt (accurate measurement, level
+// worth asking about, rate-limited so it is not invasive), stores the
+// answers, and builds a per-user noise-sensitivity profile: the level at
+// which the user starts reporting annoyance.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "phone/observation.h"
+
+namespace mps::soundcity {
+
+/// Prompt-triggering policy.
+struct FeedbackPolicy {
+  /// Only prompt on observations with a fix at least this accurate.
+  double max_accuracy_m = 30.0;
+  /// Only prompt when the measured level is in this range (quiet scenes
+  /// carry no annoyance signal; extreme ones are obvious).
+  double min_level_db = 45.0;
+  double max_level_db = 95.0;
+  /// Non-invasiveness: at most this many prompts per user per day.
+  int max_prompts_per_day = 3;
+  /// Minimum gap between two prompts to the same user.
+  DurationMs min_prompt_gap = hours(2);
+};
+
+/// A collected answer: was the user annoyed by the noise at that moment?
+struct FeedbackEntry {
+  UserId user;
+  TimeMs at = 0;
+  double level_db = 0.0;
+  bool annoyed = false;
+};
+
+/// Per-user sensitivity profile derived from feedback.
+struct SensitivityProfile {
+  UserId user;
+  std::size_t answers = 0;
+  /// Estimated annoyance threshold: the level above which the user is
+  /// annoyed at least half the time (logistic-free estimate: midpoint
+  /// between the highest mostly-not-annoyed band and the lowest
+  /// mostly-annoyed band). Unset with insufficient data.
+  std::optional<double> annoyance_threshold_db;
+  /// Fraction of answers that were "annoyed".
+  double annoyed_fraction = 0.0;
+};
+
+/// Collects feedback and builds sensitivity profiles.
+class FeedbackManager {
+ public:
+  explicit FeedbackManager(FeedbackPolicy policy = {}) : policy_(policy) {}
+
+  /// Whether the app should prompt the user for feedback on this
+  /// observation right now. A positive answer *counts as a prompt* for
+  /// rate-limiting purposes.
+  bool should_prompt(const phone::Observation& observation);
+
+  /// Stores an answer to a prompt.
+  void record_answer(const UserId& user, TimeMs at, double level_db,
+                     bool annoyed);
+
+  /// All stored answers for a user.
+  std::vector<FeedbackEntry> answers_for(const UserId& user) const;
+
+  /// Sensitivity profile; needs at least `min_answers` to produce a
+  /// threshold estimate.
+  SensitivityProfile profile_for(const UserId& user,
+                                 std::size_t min_answers = 10) const;
+
+  std::size_t total_answers() const { return entries_.size(); }
+  std::uint64_t prompts_issued() const { return prompts_issued_; }
+  std::uint64_t prompts_suppressed() const { return prompts_suppressed_; }
+
+  const FeedbackPolicy& policy() const { return policy_; }
+
+ private:
+  struct PromptState {
+    TimeMs last_prompt = -1;
+    std::int64_t last_day = -1;
+    int prompts_today = 0;
+  };
+
+  FeedbackPolicy policy_;
+  std::vector<FeedbackEntry> entries_;
+  std::map<UserId, PromptState> prompt_state_;
+  std::uint64_t prompts_issued_ = 0;
+  std::uint64_t prompts_suppressed_ = 0;
+};
+
+}  // namespace mps::soundcity

@@ -1,0 +1,216 @@
+#include "soundcity/webapp.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace mps::soundcity {
+
+WebAppServer::WebAppServer(core::GoFlowServer& server, AppId app,
+                           std::string service_token,
+                           AnonymizationPolicy policy)
+    : server_(server),
+      app_(std::move(app)),
+      service_token_(std::move(service_token)),
+      policy_(std::move(policy)) {}
+
+std::string WebAppServer::hash_password(const UserId& user,
+                                        const std::string& password) {
+  // Salted double hash (a bcrypt stand-in; see anonymizer.cpp note).
+  return format("%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a64(user + "\x1f" + password + "\x1fsoundcity-web")));
+}
+
+Status WebAppServer::register_web_user(const UserId& user,
+                                       const std::string& password) {
+  if (user.empty() || password.empty())
+    return err(ErrorCode::kInvalidArgument, "user and password required");
+  if (password_hashes_.count(user) > 0)
+    return err(ErrorCode::kConflict, "web user '" + user + "' exists");
+  password_hashes_[user] = hash_password(user, password);
+  return {};
+}
+
+Result<WebSession> WebAppServer::login(const UserId& user,
+                                       const std::string& password) {
+  auto it = password_hashes_.find(user);
+  if (it == password_hashes_.end() ||
+      it->second != hash_password(user, password))
+    return err(ErrorCode::kUnauthorized, "bad credentials");
+  WebSession session =
+      format("web-%s-%llu", pseudonymize(user, policy_.salt).c_str(),
+             static_cast<unsigned long long>(++session_counter_));
+  sessions_[session] = user;
+  return session;
+}
+
+Status WebAppServer::logout(const WebSession& session) {
+  if (sessions_.erase(session) == 0)
+    return err(ErrorCode::kNotFound, "unknown session");
+  return {};
+}
+
+std::optional<UserId> WebAppServer::session_user(
+    const WebSession& session) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<Value> WebAppServer::my_dashboard(
+    const WebSession& session,
+    const std::function<double(const DeviceModelId&, double)>& calibrate)
+    const {
+  std::optional<UserId> user = session_user(session);
+  if (!user.has_value()) return err(ErrorCode::kUnauthorized, "not logged in");
+
+  core::ObservationFilter filter;
+  filter.app = app_;
+  filter.user = *user;
+  Result<std::vector<Value>> docs =
+      server_.query_observations(service_token_, filter);
+  if (!docs.ok()) return docs.error();
+
+  std::vector<phone::Observation> observations;
+  observations.reserve(docs.value().size());
+  for (const Value& doc : docs.value())
+    observations.push_back(phone::Observation::from_document(doc));
+  ExposureReport report = compute_exposure(observations, calibrate);
+
+  Array daily;
+  for (const DailyExposure& d : report.daily) {
+    daily.push_back(Value(Object{{"day", Value(d.day)},
+                                 {"leq_db", Value(d.leq_db)},
+                                 {"peak_db", Value(d.peak_db)},
+                                 {"samples", Value(static_cast<std::int64_t>(d.samples))},
+                                 {"band", Value(exposure_band_name(d.band))}}));
+  }
+  Array monthly;
+  for (const MonthlyExposure& m : report.monthly) {
+    monthly.push_back(
+        Value(Object{{"month", Value(m.month)},
+                     {"leq_db", Value(m.leq_db)},
+                     {"peak_db", Value(m.peak_db)},
+                     {"band", Value(exposure_band_name(m.band))},
+                     {"health_note", Value(exposure_health_note(m.band))},
+                     {"days_covered", Value(static_cast<std::int64_t>(m.days_covered))}}));
+  }
+  Object dashboard;
+  dashboard.set("user", Value(*user));
+  dashboard.set("observations", Value(static_cast<std::int64_t>(observations.size())));
+  if (report.overall_leq_db.has_value()) {
+    dashboard.set("overall_leq_db", Value(*report.overall_leq_db));
+    dashboard.set("overall_band",
+                  Value(exposure_band_name(classify_exposure(*report.overall_leq_db))));
+  }
+  dashboard.set("daily", Value(std::move(daily)));
+  dashboard.set("monthly", Value(std::move(monthly)));
+  return Value(std::move(dashboard));
+}
+
+Result<std::vector<Value>> WebAppServer::my_contributions(
+    const WebSession& session, std::size_t limit) const {
+  std::optional<UserId> user = session_user(session);
+  if (!user.has_value()) return err(ErrorCode::kUnauthorized, "not logged in");
+  core::ObservationFilter filter;
+  filter.app = app_;
+  filter.user = *user;
+  filter.limit = limit;
+  return server_.query_observations(service_token_, filter);
+}
+
+Result<Value> WebAppServer::my_map(
+    const WebSession& session,
+    const std::function<double(const DeviceModelId&, double)>& calibrate,
+    double cell_m) const {
+  std::optional<UserId> user = session_user(session);
+  if (!user.has_value()) return err(ErrorCode::kUnauthorized, "not logged in");
+  if (cell_m <= 0.0)
+    return err(ErrorCode::kInvalidArgument, "cell size must be positive");
+
+  core::ObservationFilter filter;
+  filter.app = app_;
+  filter.user = *user;
+  filter.localized_only = true;
+  Result<std::vector<Value>> docs =
+      server_.query_observations(service_token_, filter);
+  if (!docs.ok()) return docs.error();
+
+  struct CellAccumulator {
+    double power_sum = 0.0;  // energetic aggregation, like Leq
+    std::size_t samples = 0;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, CellAccumulator> cells;
+  for (const Value& doc : docs.value()) {
+    const Value* location = doc.find("location");
+    if (location == nullptr) continue;
+    double level = calibrate(doc.get_string("model"), doc.get_double("spl"));
+    auto cx = static_cast<std::int64_t>(
+        std::floor(location->get_double("x") / cell_m));
+    auto cy = static_cast<std::int64_t>(
+        std::floor(location->get_double("y") / cell_m));
+    CellAccumulator& acc = cells[{cx, cy}];
+    acc.power_sum += std::pow(10.0, level / 10.0);
+    ++acc.samples;
+  }
+
+  Array entries;
+  for (const auto& [cell, acc] : cells) {
+    double leq =
+        10.0 * std::log10(acc.power_sum / static_cast<double>(acc.samples));
+    entries.push_back(Value(Object{
+        {"x", Value((static_cast<double>(cell.first) + 0.5) * cell_m)},
+        {"y", Value((static_cast<double>(cell.second) + 0.5) * cell_m)},
+        {"mean_spl", Value(leq)},
+        {"samples", Value(static_cast<std::int64_t>(acc.samples))}}));
+  }
+  return Value(Object{{"user", Value(*user)},
+                      {"cell_m", Value(cell_m)},
+                      {"cells", Value(std::move(entries))}});
+}
+
+Result<std::vector<Value>> WebAppServer::public_observations(
+    std::size_t limit) const {
+  core::ObservationFilter filter;
+  filter.app = app_;
+  filter.limit = limit;
+  Result<std::vector<Value>> docs =
+      server_.query_observations(service_token_, filter);
+  if (!docs.ok()) return docs.error();
+  std::vector<Value> out;
+  out.reserve(docs.value().size());
+  for (const Value& doc : docs.value())
+    out.push_back(anonymize_observation(doc, policy_));
+  return out;
+}
+
+Result<Value> WebAppServer::community_stats() const {
+  core::ObservationFilter all;
+  all.app = app_;
+  Result<std::vector<Value>> docs =
+      server_.query_observations(service_token_, all);
+  if (!docs.ok()) return docs.error();
+
+  std::map<std::string, std::int64_t> per_model;
+  std::map<std::string, bool> contributors;
+  std::int64_t localized = 0;
+  for (const Value& doc : docs.value()) {
+    ++per_model[doc.get_string("model", "unknown")];
+    contributors[doc.get_string("user")] = true;
+    if (doc.find("location") != nullptr) ++localized;
+  }
+  Object models;
+  for (const auto& [model, count] : per_model) models.set(model, Value(count));
+  auto total = static_cast<std::int64_t>(docs.value().size());
+  return Value(Object{
+      {"observations", Value(total)},
+      {"contributors", Value(static_cast<std::int64_t>(contributors.size()))},
+      {"localized_share",
+       Value(total > 0 ? static_cast<double>(localized) / static_cast<double>(total)
+                       : 0.0)},
+      {"per_model", Value(std::move(models))}});
+}
+
+}  // namespace mps::soundcity

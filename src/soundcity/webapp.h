@@ -1,0 +1,97 @@
+// The SoundCity Web application server (paper §3, Figure 1: "The
+// application features Web and mobile instances ... The Web application
+// server maintains data about the contributing users in an anonymized
+// way, so that specific contributions may be retrieved provided the
+// user's credentials").
+//
+// Responsibilities:
+//   - web-user credential store (salted password hashes) and sessions;
+//   - personal dashboard: the quantified-self exposure view (Figure 6)
+//     computed from the user's own observations fetched through the
+//     GoFlow data API;
+//   - retrieval of the user's own raw contributions (credential-gated);
+//   - public, anonymized views: community statistics and an anonymized
+//     observation feed (CNIL policy).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/goflow_server.h"
+#include "soundcity/anonymizer.h"
+#include "soundcity/exposure.h"
+
+namespace mps::soundcity {
+
+/// Web session token.
+using WebSession = std::string;
+
+/// The web application server. Talks to GoFlow through a service account
+/// token (a manager-role account of the SoundCity app).
+class WebAppServer {
+ public:
+  /// `service_token` must be valid for `app` on `server`.
+  WebAppServer(core::GoFlowServer& server, AppId app,
+               std::string service_token, AnonymizationPolicy policy = {});
+
+  // --- Credentials & sessions -------------------------------------------
+
+  /// Registers a web user with a password. kConflict when taken.
+  Status register_web_user(const UserId& user, const std::string& password);
+
+  /// Logs in; returns a session token. kUnauthorized on bad credentials.
+  Result<WebSession> login(const UserId& user, const std::string& password);
+
+  /// Ends a session. kNotFound for unknown sessions.
+  Status logout(const WebSession& session);
+
+  /// The user behind a session, when valid.
+  std::optional<UserId> session_user(const WebSession& session) const;
+
+  // --- Personal (credential-gated) views ----------------------------------
+
+  /// The quantified-self dashboard (Figure 6): daily/monthly exposure with
+  /// health bands, as a JSON document. `calibrate` corrects raw SPLs.
+  Result<Value> my_dashboard(
+      const WebSession& session,
+      const std::function<double(const DeviceModelId&, double)>& calibrate) const;
+
+  /// The user's own raw contributions, newest first.
+  Result<std::vector<Value>> my_contributions(const WebSession& session,
+                                              std::size_t limit = 100) const;
+
+  /// The personal noise map (paper Figure 7): the user's localized
+  /// observations aggregated on a `cell_m`-sized grid — one entry per
+  /// visited cell with {x, y, mean_spl, samples}. Sorted by cell.
+  Result<Value> my_map(const WebSession& session,
+                       const std::function<double(const DeviceModelId&, double)>&
+                           calibrate,
+                       double cell_m = 250.0) const;
+
+  // --- Public (anonymized) views -------------------------------------------
+
+  /// Anonymized observation feed: pseudonymized users, generalized
+  /// locations (the open-data surface).
+  Result<std::vector<Value>> public_observations(std::size_t limit = 100) const;
+
+  /// Community statistics: contributors, observations, localized share,
+  /// per-model counts.
+  Result<Value> community_stats() const;
+
+  const AnonymizationPolicy& policy() const { return policy_; }
+
+ private:
+  static std::string hash_password(const UserId& user,
+                                   const std::string& password);
+
+  core::GoFlowServer& server_;
+  AppId app_;
+  std::string service_token_;
+  AnonymizationPolicy policy_;
+  std::map<UserId, std::string> password_hashes_;
+  std::map<WebSession, UserId> sessions_;
+  std::uint64_t session_counter_ = 0;
+};
+
+}  // namespace mps::soundcity

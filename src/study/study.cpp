@@ -1,0 +1,166 @@
+#include "study/study.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mps::study {
+
+StudyRunner::StudyRunner(const crowd::Population& population,
+                         StudyConfig config, sim::Simulation& sim,
+                         broker::Broker& broker, core::GoFlowServer& server)
+    : population_(population),
+      config_(std::move(config)),
+      sim_(sim),
+      broker_(broker),
+      server_(server),
+      ambient_(config_.ambient) {
+  setup_accounts();
+}
+
+void StudyRunner::setup_accounts() {
+  auto registration = server_.register_app(config_.app).value_or_throw();
+  admin_token_ = registration.admin_token;
+  client_token_ = server_
+                      .register_account(admin_token_, config_.app,
+                                        "study-fleet", core::Role::kClient)
+                      .value_or_throw();
+}
+
+std::vector<const client::GoFlowClient*> StudyRunner::clients() const {
+  std::vector<const client::GoFlowClient*> out;
+  out.reserve(devices_.size());
+  for (const Device& d : devices_) out.push_back(d.client.get());
+  return out;
+}
+
+void StudyRunner::build_device(const crowd::UserProfile& profile) {
+  auto channels =
+      server_.login_client(client_token_, config_.app, profile.id)
+          .value_or_throw();
+
+  phone::PhoneConfig pc;
+  const phone::DeviceModelSpec* model = phone::find_model(profile.model);
+  if (model == nullptr) return;
+  pc.model = *model;
+  pc.user = profile.id;
+  pc.seed = profile.seed;
+  pc.technology = profile.technology;
+  pc.connectivity = config_.connectivity;
+  pc.horizon = days(config_.duration_days) + hours(1);
+  pc.start_battery_fraction = 1.0;
+
+  Device device;
+  device.profile = &profile;
+  device.phone = std::make_unique<phone::Phone>(pc);
+
+  client::ClientConfig cc;
+  cc.app = config_.app;
+  cc.client_id = profile.id;
+  cc.exchange = channels.exchange;
+  cc.version = config_.version;
+  cc.buffer_size = config_.buffer_size;
+  cc.sense_period = config_.sense_period;
+  cc.share = profile.shares;
+
+  // Ambient and position track the user's simulated life.
+  Rng ambient_rng = Rng(profile.seed).child("study-ambient");
+  const crowd::UserProfile* p = &profile;
+  crowd::AmbientModel* ambient = &ambient_;
+  auto ambient_fn = [ambient, ambient_rng](TimeMs t) mutable {
+    return ambient->sample(t, ambient_rng);
+  };
+  auto position_fn = [p](TimeMs t) { return crowd::user_position(*p, t); };
+
+  device.client = std::make_unique<client::GoFlowClient>(
+      sim_, broker_, *device.phone, std::move(cc), std::move(ambient_fn),
+      std::move(position_fn));
+  devices_.push_back(std::move(device));
+}
+
+void StudyRunner::schedule_user_activity(Device& device) {
+  const crowd::UserProfile& profile = *device.profile;
+  TimeMs horizon = days(config_.duration_days);
+  TimeMs from = std::min(profile.active_from, horizon);
+  TimeMs until = std::min(profile.active_until, horizon);
+  if (from >= until) return;
+
+  std::int64_t first_day = day_index(from);
+  std::int64_t last_day = day_index(std::max<TimeMs>(until - 1, 0));
+  client::GoFlowClient* goflow = device.client.get();
+
+  for (std::int64_t day = first_day; day <= last_day; ++day) {
+    TimeMs planner_at = std::max<TimeMs>(day * days(1), from);
+    sim_.at(planner_at, [this, goflow, &profile, day, from, until] {
+      // Plan one day of activity: per hour, Poisson-many opportunistic
+      // and manual measurements weighted by the user's diurnal profile.
+      Rng rng = Rng(profile.seed)
+                    .child("study-day")
+                    .child(static_cast<std::uint64_t>(day));
+      TimeMs day_start = day * days(1);
+      for (int hour = 0; hour < 24; ++hour) {
+        double w = profile.hourly_weight[static_cast<std::size_t>(hour)];
+        auto schedule_kind = [&](double per_day, phone::SensingMode mode) {
+          int n = rng.poisson(per_day * w);
+          for (int i = 0; i < n; ++i) {
+            TimeMs t = day_start + hours(hour) +
+                       static_cast<TimeMs>(rng.uniform() *
+                                           static_cast<double>(hours(1)));
+            if (t < from || t >= until) continue;
+            sim_.at(t, [goflow, mode] { goflow->sense_now(mode); });
+          }
+        };
+        schedule_kind(profile.obs_per_day, phone::SensingMode::kOpportunistic);
+        schedule_kind(profile.manual_per_day, phone::SensingMode::kManual);
+        if (day_start >= config_.journey_release) {
+          int journeys = rng.poisson(profile.journeys_per_day * w);
+          for (int j = 0; j < journeys; ++j) {
+            TimeMs start = day_start + hours(hour);
+            DurationMs spacing =
+                seconds(static_cast<std::int64_t>(rng.uniform(20, 90)));
+            for (int k = 0; k < profile.journey_length; ++k) {
+              TimeMs t = start + spacing * k;
+              if (t < from || t >= until) continue;
+              sim_.at(t, [goflow] {
+                goflow->sense_now(phone::SensingMode::kJourney);
+              });
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+StudyReport StudyRunner::run() {
+  if (ran_) throw std::logic_error("StudyRunner::run: already ran");
+  ran_ = true;
+
+  devices_.reserve(population_.users().size());
+  for (const crowd::UserProfile& profile : population_.users())
+    build_device(profile);
+  for (Device& device : devices_) schedule_user_activity(device);
+
+  TimeMs horizon = days(config_.duration_days);
+  sim_.run_until(horizon);
+  // Drain in-flight transfers (uploads started before the horizon).
+  sim_.run_until(horizon + minutes(5));
+
+  StudyReport report;
+  report.devices = devices_.size();
+  for (const Device& device : devices_) {
+    const client::ClientStats& stats = device.client->stats();
+    report.observations_recorded += stats.observations_recorded;
+    report.uploads += stats.uploads;
+    report.deferred_uploads += stats.deferred_uploads;
+    report.buffered_unsent += device.client->buffered();
+  }
+  auto analytics = server_.analytics(config_.app);
+  if (analytics.ok()) {
+    report.observations_stored = analytics.value().observations_stored;
+    report.mean_delay_ms = analytics.value().delay_stats.mean();
+  }
+  return report;
+}
+
+}  // namespace mps::study

@@ -1,0 +1,101 @@
+// The full deployment in one object: the "SoundCity in Paris" study
+// (paper §4.3) replayed end-to-end through the real middleware path.
+//
+// StudyRunner wires a generated Population into per-user simulated Phones
+// and GoFlow clients, logs every client into the GoFlow server (creating
+// the Figure-3 topology), and drives the whole fleet through the
+// discrete-event kernel for the configured number of virtual days. Every
+// observation flows phone -> client buffer -> (store-and-forward across
+// the user's connectivity trace) -> broker -> server ingest -> document
+// store, exactly as in production — unlike crowd::DatasetGenerator, which
+// synthesizes the dataset directly for the distribution benches.
+//
+// Per-user sensing schedules honour the profile's diurnal weights by
+// modulating the opportunistic duty cycle hour by hour; manual and
+// journey measurements are injected per the profile's rates (journeys
+// only after the release date).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/goflow_client.h"
+#include "core/goflow_server.h"
+#include "crowd/ambient.h"
+#include "crowd/population.h"
+
+namespace mps::study {
+
+/// Study configuration.
+struct StudyConfig {
+  std::uint64_t seed = 1;
+  /// How many virtual days to run (the paper's study: ~305).
+  int duration_days = 30;
+  AppId app = "soundcity";
+  /// Sensing period while the user's phone is actively participating.
+  DurationMs sense_period = minutes(5);
+  /// Buffering policy applied fleet-wide (the app release in force).
+  client::AppVersion version = client::AppVersion::kV1_3;
+  std::size_t buffer_size = 10;
+  /// Journey-mode release, relative to study start.
+  TimeMs journey_release = days(275);
+  crowd::AmbientParams ambient;
+  net::ConnectivityParams connectivity;
+};
+
+/// Aggregated outcome of a run.
+struct StudyReport {
+  std::uint64_t observations_recorded = 0;
+  std::uint64_t observations_stored = 0;   ///< reached the server
+  std::uint64_t uploads = 0;
+  std::uint64_t deferred_uploads = 0;
+  std::uint64_t buffered_unsent = 0;       ///< still on devices at the end
+  double mean_delay_ms = 0.0;
+  std::size_t devices = 0;
+};
+
+/// Runs the study.
+class StudyRunner {
+ public:
+  /// Builds the fleet for `population` against fresh middleware instances
+  /// owned by the caller. The server must outlive the runner.
+  StudyRunner(const crowd::Population& population, StudyConfig config,
+              sim::Simulation& sim, broker::Broker& broker,
+              core::GoFlowServer& server);
+
+  /// Registers the app/accounts, logs every device in, schedules all
+  /// per-user activity and runs the simulation to the horizon. Returns
+  /// the aggregated report. Call once.
+  StudyReport run();
+
+  /// The admin token of the study app (valid after run() registered it,
+  /// or immediately after construction).
+  const std::string& admin_token() const { return admin_token_; }
+
+  /// Per-device clients (valid after run()); exposed for inspection.
+  std::vector<const client::GoFlowClient*> clients() const;
+
+ private:
+  struct Device {
+    const crowd::UserProfile* profile;
+    std::unique_ptr<phone::Phone> phone;
+    std::unique_ptr<client::GoFlowClient> client;
+  };
+
+  void setup_accounts();
+  void build_device(const crowd::UserProfile& profile);
+  void schedule_user_activity(Device& device);
+
+  const crowd::Population& population_;
+  StudyConfig config_;
+  sim::Simulation& sim_;
+  broker::Broker& broker_;
+  core::GoFlowServer& server_;
+  crowd::AmbientModel ambient_;
+  std::string admin_token_;
+  std::string client_token_;
+  std::vector<Device> devices_;
+  bool ran_ = false;
+};
+
+}  // namespace mps::study

@@ -1,0 +1,107 @@
+#include "assim/adaptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::assim {
+namespace {
+
+Grid like_grid() { return Grid(16, 16, 1600, 1600, 0.0); }
+
+TEST(AdaptivePlanner, EmptyPlan) {
+  BlueParams params;
+  EXPECT_TRUE(plan_sensing_locations(like_grid(), {}, params, 0, 1.0).empty());
+}
+
+TEST(AdaptivePlanner, PlansRequestedCount) {
+  BlueParams params;
+  auto plan = plan_sensing_locations(like_grid(), {}, params, 5, 1.0);
+  EXPECT_EQ(plan.size(), 5u);
+  for (const SensingTarget& t : plan) {
+    EXPECT_GE(t.x_m, 0.0);
+    EXPECT_LE(t.x_m, 1600.0);
+    EXPECT_GE(t.y_m, 0.0);
+    EXPECT_LE(t.y_m, 1600.0);
+  }
+}
+
+TEST(AdaptivePlanner, SpreadsTargetsApart) {
+  // Greedy uncertainty maximization never puts two targets in the same
+  // spot: each planned measurement collapses the variance around it.
+  BlueParams params;
+  params.corr_length_m = 400.0;
+  auto plan = plan_sensing_locations(like_grid(), {}, params, 6, 0.5);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.size(); ++j) {
+      double d = std::hypot(plan[i].x_m - plan[j].x_m,
+                            plan[i].y_m - plan[j].y_m);
+      EXPECT_GT(d, 300.0) << "targets " << i << "," << j;
+    }
+  }
+}
+
+TEST(AdaptivePlanner, SpreadBeforeDecreases) {
+  BlueParams params;
+  auto plan = plan_sensing_locations(like_grid(), {}, params, 8, 0.5);
+  for (std::size_t i = 1; i < plan.size(); ++i)
+    EXPECT_LE(plan[i].spread_before, plan[i - 1].spread_before + 1e-9);
+}
+
+TEST(AdaptivePlanner, AvoidsAlreadyObservedRegions) {
+  BlueParams params;
+  params.corr_length_m = 500.0;
+  // Dense existing observations in the left half.
+  std::vector<AssimObservation> existing;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i)
+    existing.push_back({rng.uniform(0, 700), rng.uniform(0, 1600), 0.0, 0.5});
+  auto plan = plan_sensing_locations(like_grid(), existing, params, 4, 0.5);
+  for (const SensingTarget& t : plan)
+    EXPECT_GT(t.x_m, 700.0) << "should target the unobserved right half";
+}
+
+TEST(AdaptivePlanner, AdaptiveBeatsRandomForMapError) {
+  // The §8 claim: choosing sensing locations by information content gives
+  // a better map for the same number of (energy-costly) measurements.
+  Grid truth(16, 16, 1600, 1600);
+  for (std::size_t iy = 0; iy < 16; ++iy)
+    for (std::size_t ix = 0; ix < 16; ++ix)
+      truth.at(ix, iy) = 60.0 + 6.0 * std::sin(truth.cell_x(ix) / 350.0) +
+                         4.0 * std::cos(truth.cell_y(iy) / 250.0);
+  Grid background(16, 16, 1600, 1600, 60.0);
+  BlueParams params;
+  params.sigma_b = 5.0;
+  params.corr_length_m = 350.0;
+  const std::size_t kBudget = 12;
+
+  auto measure_at = [&](double x, double y) {
+    return AssimObservation{x, y, truth.sample(x, y), 0.5};
+  };
+
+  // Adaptive plan.
+  auto plan = plan_sensing_locations(background, {}, params, kBudget, 0.5);
+  std::vector<AssimObservation> adaptive_obs;
+  for (const SensingTarget& t : plan) adaptive_obs.push_back(measure_at(t.x_m, t.y_m));
+  double adaptive_rmse =
+      blue_analysis(background, adaptive_obs, params).analysis.rmse(truth);
+
+  // Random plans (mean over several draws).
+  Rng rng(17);
+  double random_rmse_sum = 0.0;
+  const int kDraws = 10;
+  for (int d = 0; d < kDraws; ++d) {
+    std::vector<AssimObservation> random_obs;
+    for (std::size_t i = 0; i < kBudget; ++i)
+      random_obs.push_back(
+          measure_at(rng.uniform(0, 1600), rng.uniform(0, 1600)));
+    random_rmse_sum +=
+        blue_analysis(background, random_obs, params).analysis.rmse(truth);
+  }
+  EXPECT_LT(adaptive_rmse, random_rmse_sum / kDraws);
+}
+
+}  // namespace
+}  // namespace mps::assim

@@ -1,0 +1,123 @@
+#include "assim/assimilator.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::assim {
+namespace {
+
+phone::Observation make_obs(double spl, std::optional<double> accuracy,
+                            double x = 800, double y = 800,
+                            const char* model = "M1") {
+  phone::Observation obs;
+  obs.user = "u";
+  obs.model = model;
+  obs.spl_db = spl;
+  if (accuracy.has_value()) {
+    phone::LocationFix fix;
+    fix.x_m = x;
+    fix.y_m = y;
+    fix.accuracy_m = *accuracy;
+    obs.location = fix;
+  }
+  return obs;
+}
+
+TEST(Assimilator, FiltersUnlocalized) {
+  ObservationPolicy policy;
+  ConversionStats stats;
+  auto out = convert_observations(
+      {make_obs(50, std::nullopt), make_obs(55, 30.0)}, policy,
+      identity_calibration(), &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected_no_location, 1u);
+}
+
+TEST(Assimilator, FiltersBadAccuracy) {
+  ObservationPolicy policy;
+  policy.max_accuracy_m = 100.0;
+  ConversionStats stats;
+  auto out = convert_observations(
+      {make_obs(50, 30.0), make_obs(55, 250.0)}, policy,
+      identity_calibration(), &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.rejected_accuracy, 1u);
+}
+
+TEST(Assimilator, AllowUnlocalizedWhenPolicyPermits) {
+  ObservationPolicy policy;
+  policy.require_location = false;
+  auto out = convert_observations({make_obs(50, std::nullopt)}, policy,
+                                  identity_calibration(), nullptr);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].sigma_r, policy.base_sigma_r_db);
+}
+
+TEST(Assimilator, SigmaGrowsWithInaccuracy) {
+  ObservationPolicy policy;
+  auto out = convert_observations(
+      {make_obs(50, 10.0), make_obs(50, 90.0)}, policy,
+      identity_calibration(), nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_LT(out[0].sigma_r, out[1].sigma_r);
+  EXPECT_NEAR(out[1].sigma_r - out[0].sigma_r,
+              80.0 * policy.sigma_per_accuracy_m, 1e-9);
+}
+
+TEST(Assimilator, CalibrationApplied) {
+  ObservationPolicy policy;
+  Calibration calib = [](const DeviceModelId& model, double raw) {
+    return model == "M1" ? raw - 5.0 : raw;
+  };
+  auto out = convert_observations(
+      {make_obs(60, 20.0, 800, 800, "M1"), make_obs(60, 20.0, 800, 800, "M2")},
+      policy, calib, nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].value, 55.0);
+  EXPECT_DOUBLE_EQ(out[1].value, 60.0);
+}
+
+TEST(Assimilator, PositionsCopiedFromFix) {
+  ObservationPolicy policy;
+  auto out = convert_observations({make_obs(50, 20.0, 123, 456)}, policy,
+                                  identity_calibration(), nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x_m, 123.0);
+  EXPECT_DOUBLE_EQ(out[0].y_m, 456.0);
+}
+
+TEST(Assimilator, EndToEndPipelineCorrectsMap) {
+  Grid bg(8, 8, 1600, 1600, 50.0);
+  std::vector<phone::Observation> observations;
+  for (int i = 0; i < 20; ++i)
+    observations.push_back(make_obs(58.0, 15.0, 800, 800));
+  ConversionStats stats;
+  BlueResult r = assimilate(bg, observations, BlueParams{},
+                            ObservationPolicy{}, identity_calibration(),
+                            &stats);
+  EXPECT_EQ(stats.accepted, 20u);
+  EXPECT_GT(r.analysis.sample(800, 800), 55.0);
+}
+
+TEST(Assimilator, CalibratedBeatsUncalibrated) {
+  // Devices with a +6 dB bias observe a true field of 55 dB; background
+  // is 50. Calibrated assimilation lands closer to truth.
+  Grid bg(8, 8, 1600, 1600, 50.0);
+  Grid truth(8, 8, 1600, 1600, 55.0);
+  std::vector<phone::Observation> observations;
+  for (int i = 0; i < 40; ++i) {
+    double x = 100.0 + (i % 8) * 200.0, y = 100.0 + (i / 8) * 300.0;
+    observations.push_back(make_obs(55.0 + 6.0, 15.0, x, y));
+  }
+  Calibration calibrated = [](const DeviceModelId&, double raw) {
+    return raw - 6.0;
+  };
+  BlueResult with = assimilate(bg, observations, BlueParams{},
+                               ObservationPolicy{}, calibrated);
+  BlueResult without = assimilate(bg, observations, BlueParams{},
+                                  ObservationPolicy{});
+  EXPECT_LT(with.analysis.rmse(truth), without.analysis.rmse(truth));
+}
+
+}  // namespace
+}  // namespace mps::assim

@@ -1,0 +1,189 @@
+#include "assim/blue.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::assim {
+namespace {
+
+Grid flat_grid(double value = 50.0) { return Grid(16, 16, 1600, 1600, value); }
+
+TEST(Blue, NoObservationsReturnsBackground) {
+  Grid bg = flat_grid();
+  BlueResult r = blue_analysis(bg, {}, BlueParams{});
+  EXPECT_DOUBLE_EQ(r.analysis.rmse(bg), 0.0);
+  EXPECT_EQ(r.observations_used, 0u);
+}
+
+TEST(Blue, SingleObservationPullsFieldTowardIt) {
+  Grid bg = flat_grid(50.0);
+  AssimObservation obs{800, 800, 60.0, 2.0};
+  BlueParams params;
+  params.sigma_b = 4.0;
+  params.corr_length_m = 400.0;
+  BlueResult r = blue_analysis(bg, {obs}, params);
+  double at_obs = r.analysis.sample(800, 800);
+  EXPECT_GT(at_obs, 50.0);
+  EXPECT_LT(at_obs, 60.0);
+  // Weight = sigma_b^2 / (sigma_b^2 + sigma_r^2) = 16/20 = 0.8, i.e. 58 dB
+  // in continuous space; the discrete H (bilinear between cell centers)
+  // lowers it slightly.
+  EXPECT_NEAR(at_obs, 58.0, 1.5);
+}
+
+TEST(Blue, CorrectionDecaysWithDistance) {
+  Grid bg = flat_grid(50.0);
+  BlueParams params;
+  params.corr_length_m = 300.0;
+  BlueResult r = blue_analysis(bg, {{800, 800, 60.0, 1.0}}, params);
+  double near = r.analysis.sample(850, 800) - 50.0;
+  double mid = r.analysis.sample(1200, 800) - 50.0;
+  double far = r.analysis.sample(1550, 1550) - 50.0;
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  EXPECT_GT(far, -1e-9);
+}
+
+TEST(Blue, TrustReflectsObservationError) {
+  Grid bg = flat_grid(50.0);
+  BlueParams params;
+  BlueResult precise = blue_analysis(bg, {{800, 800, 60.0, 0.5}}, params);
+  BlueResult vague = blue_analysis(bg, {{800, 800, 60.0, 10.0}}, params);
+  EXPECT_GT(precise.analysis.sample(800, 800),
+            vague.analysis.sample(800, 800) + 2.0);
+}
+
+TEST(Blue, ResidualSmallerThanInnovation) {
+  Grid bg = flat_grid(50.0);
+  std::vector<AssimObservation> obs;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i)
+    obs.push_back({rng.uniform(0, 1600), rng.uniform(0, 1600),
+                   rng.uniform(55, 65), 2.0});
+  BlueResult r = blue_analysis(bg, obs, BlueParams{});
+  EXPECT_GT(r.innovation_rms, 0.0);
+  EXPECT_LT(r.residual_rms, r.innovation_rms);
+  EXPECT_EQ(r.observations_used, 30u);
+}
+
+TEST(Blue, RecoversTrueFieldWithDenseObservations) {
+  // Truth is a smooth gradient; background is flat and wrong; dense
+  // accurate observations should reconstruct most of the truth.
+  Grid truth(16, 16, 1600, 1600);
+  for (std::size_t iy = 0; iy < 16; ++iy)
+    for (std::size_t ix = 0; ix < 16; ++ix)
+      truth.at(ix, iy) = 45.0 + 0.01 * truth.cell_x(ix);
+  Grid bg = flat_grid(50.0);
+  std::vector<AssimObservation> obs;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.uniform(0, 1600), y = rng.uniform(0, 1600);
+    obs.push_back({x, y, truth.sample(x, y), 0.5});
+  }
+  BlueParams params;
+  params.sigma_b = 5.0;
+  params.corr_length_m = 250.0;
+  BlueResult r = blue_analysis(bg, obs, params);
+  EXPECT_LT(r.analysis.rmse(truth), bg.rmse(truth) * 0.35);
+}
+
+TEST(Blue, MoreObservationsMoreCorrection) {
+  // The paper's §7 claim: the number of contributed measures must be high
+  // enough; map error decreases with observation count.
+  Grid truth(16, 16, 1600, 1600);
+  for (std::size_t iy = 0; iy < 16; ++iy)
+    for (std::size_t ix = 0; ix < 16; ++ix)
+      truth.at(ix, iy) =
+          55.0 + 5.0 * std::sin(truth.cell_x(ix) / 400.0) *
+                     std::cos(truth.cell_y(iy) / 400.0);
+  Grid bg = flat_grid(55.0);
+  Rng rng(7);
+  std::vector<AssimObservation> all;
+  for (int i = 0; i < 160; ++i) {
+    double x = rng.uniform(0, 1600), y = rng.uniform(0, 1600);
+    all.push_back({x, y, truth.sample(x, y), 1.0});
+  }
+  BlueParams params;
+  params.corr_length_m = 300.0;
+  double prev_rmse = bg.rmse(truth);
+  for (std::size_t n : {10u, 40u, 160u}) {
+    std::vector<AssimObservation> subset(all.begin(), all.begin() + n);
+    BlueResult r = blue_analysis(bg, subset, params);
+    double rmse = r.analysis.rmse(truth);
+    EXPECT_LT(rmse, prev_rmse);
+    prev_rmse = rmse;
+  }
+}
+
+TEST(Blue, ObservationMatchingBackgroundChangesNothing) {
+  Grid bg = flat_grid(50.0);
+  BlueResult r = blue_analysis(bg, {{800, 800, 50.0, 1.0}}, BlueParams{});
+  EXPECT_NEAR(r.analysis.rmse(bg), 0.0, 1e-9);
+  EXPECT_NEAR(r.innovation_rms, 0.0, 1e-12);
+}
+
+TEST(BlueSpread, NoObservationsKeepsSigmaB) {
+  Grid like = flat_grid();
+  BlueParams params;
+  params.sigma_b = 4.0;
+  Grid spread = analysis_spread(like, {}, params);
+  EXPECT_DOUBLE_EQ(spread.min(), 4.0);
+  EXPECT_DOUBLE_EQ(spread.max(), 4.0);
+}
+
+TEST(BlueSpread, ShrinksNearObservations) {
+  Grid like = flat_grid();
+  BlueParams params;
+  params.sigma_b = 4.0;
+  params.corr_length_m = 300.0;
+  // Observation placed exactly at a cell center (750, 750) so the
+  // point-wise BLUE spread sqrt(sb^2 - sb^4/(sb^2+sr^2)) ~= 0.5 applies
+  // without interpolation blur.
+  Grid spread = analysis_spread(like, {{750, 750, 0.0, 0.5}}, params);
+  double near = spread.sample(750, 750);
+  double far = spread.sample(50, 1550);
+  EXPECT_LT(near, 1.0);
+  EXPECT_GT(far, 3.8);
+  // Spread is bounded by [0, sigma_b].
+  EXPECT_GE(spread.min(), 0.0);
+  EXPECT_LE(spread.max(), 4.0 + 1e-9);
+}
+
+TEST(BlueSpread, MoreAccurateObservationShrinksMore) {
+  Grid like = flat_grid();
+  BlueParams params;
+  Grid precise = analysis_spread(like, {{800, 800, 0, 0.5}}, params);
+  Grid vague = analysis_spread(like, {{800, 800, 0, 8.0}}, params);
+  EXPECT_LT(precise.sample(800, 800), vague.sample(800, 800));
+}
+
+TEST(BlueSpread, MonotoneInObservationCount) {
+  Grid like = flat_grid();
+  BlueParams params;
+  Rng rng(11);
+  std::vector<AssimObservation> obs;
+  double prev_mean = params.sigma_b;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 10; ++i)
+      obs.push_back({rng.uniform(0, 1600), rng.uniform(0, 1600), 0.0, 1.0});
+    double mean = analysis_spread(like, obs, params).mean();
+    EXPECT_LT(mean, prev_mean);
+    prev_mean = mean;
+  }
+}
+
+TEST(Blue, DuplicateObservationsDoNotExplode) {
+  // Two identical observations make H B Ht singular up to R; R > 0 keeps
+  // the solve well-posed.
+  Grid bg = flat_grid(50.0);
+  std::vector<AssimObservation> obs{{800, 800, 60, 1.0}, {800, 800, 60, 1.0}};
+  BlueResult r = blue_analysis(bg, obs, BlueParams{});
+  EXPECT_LT(r.analysis.max(), 61.0);
+  EXPECT_GT(r.analysis.sample(800, 800), 55.0);
+}
+
+}  // namespace
+}  // namespace mps::assim

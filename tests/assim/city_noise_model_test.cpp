@@ -1,0 +1,96 @@
+#include "assim/city_noise_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::assim {
+namespace {
+
+CityModelParams small_params() {
+  CityModelParams p;
+  p.extent_m = 5000;
+  p.grid_nx = 16;
+  p.grid_ny = 16;
+  p.road_count = 10;
+  p.poi_count = 20;
+  return p;
+}
+
+TEST(CityNoiseModel, Deterministic) {
+  CityNoiseModel a(small_params(), 5), b(small_params(), 5);
+  Grid ga = a.truth(hours(12)), gb = b.truth(hours(12));
+  EXPECT_DOUBLE_EQ(ga.rmse(gb), 0.0);
+}
+
+TEST(CityNoiseModel, DifferentSeedsDifferentCities) {
+  CityNoiseModel a(small_params(), 1), b(small_params(), 2);
+  EXPECT_GT(a.truth(hours(12)).rmse(b.truth(hours(12))), 1.0);
+}
+
+TEST(CityNoiseModel, LevelsPhysicallyPlausible) {
+  CityNoiseModel model(small_params(), 3);
+  Grid g = model.truth(hours(12));
+  EXPECT_GT(g.min(), 25.0);   // above background
+  EXPECT_LT(g.max(), 100.0);  // below pain threshold
+  EXPECT_GT(g.max() - g.min(), 5.0);  // spatial structure exists
+}
+
+TEST(CityNoiseModel, NightQuieterThanDay) {
+  CityNoiseModel model(small_params(), 3);
+  EXPECT_GT(model.truth(hours(14)).mean(), model.truth(hours(4)).mean() + 2.0);
+}
+
+TEST(CityNoiseModel, DiurnalOffsetShape) {
+  EXPECT_NEAR(CityNoiseModel::diurnal_offset_db(hours(4)), -6.0, 0.2);
+  EXPECT_NEAR(CityNoiseModel::diurnal_offset_db(hours(16)), 0.0, 0.2);
+  for (int h = 0; h < 24; ++h) {
+    double off = CityNoiseModel::diurnal_offset_db(hours(h));
+    EXPECT_GE(off, -6.01);
+    EXPECT_LE(off, 0.01);
+  }
+}
+
+TEST(CityNoiseModel, ModelDiffersFromTruth) {
+  // The model field carries deliberate error (perturbed + missing
+  // sources) — that is what assimilation will correct.
+  CityNoiseModel model(small_params(), 7);
+  double rmse = model.model(hours(12)).rmse(model.truth(hours(12)));
+  EXPECT_GT(rmse, 0.5);
+  EXPECT_LT(rmse, 15.0);
+}
+
+TEST(CityNoiseModel, ModelMissingSources) {
+  CityNoiseModel model(small_params(), 9);
+  EXPECT_LT(model.params().model_missing_fraction, 1.0);
+  // Construction dropped roughly model_missing_fraction of sources.
+  EXPECT_LT(model.roads().size() + model.pois().size(),
+            static_cast<std::size_t>(small_params().road_count +
+                                     small_params().poi_count) +
+                1);
+}
+
+TEST(CityNoiseModel, TruthAtMatchesGridSample) {
+  CityNoiseModel model(small_params(), 11);
+  Grid g = model.truth(hours(10));
+  // Grid value at a cell center equals the point evaluation there.
+  double x = g.cell_x(5), y = g.cell_y(7);
+  EXPECT_NEAR(g.at(5, 7), model.truth_at(x, y, hours(10)), 1e-9);
+}
+
+TEST(CityNoiseModel, NearRoadLouderThanFarField) {
+  CityModelParams p = small_params();
+  p.road_count = 1;
+  p.poi_count = 0;
+  CityNoiseModel model(p, 13);
+  ASSERT_EQ(model.roads().size(), 1u);
+  const Road& r = model.roads()[0];
+  double mid_x = (r.x1 + r.x2) / 2, mid_y = (r.y1 + r.y2) / 2;
+  double near = model.truth_at(mid_x, mid_y, hours(12));
+  // A point far away from the single road.
+  double fx = mid_x > p.extent_m / 2 ? 100.0 : p.extent_m - 100.0;
+  double fy = mid_y > p.extent_m / 2 ? 100.0 : p.extent_m - 100.0;
+  double far = model.truth_at(fx, fy, hours(12));
+  EXPECT_GT(near, far + 6.0);
+}
+
+}  // namespace
+}  // namespace mps::assim

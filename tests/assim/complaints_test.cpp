@@ -1,0 +1,75 @@
+#include "assim/complaints.h"
+
+#include <gtest/gtest.h>
+
+#include "assim/city_noise_model.h"
+
+namespace mps::assim {
+namespace {
+
+TEST(Complaints, NoneWhenSilentAndNoBaseRate) {
+  Grid quiet(8, 8, 800, 800, 30.0);
+  ComplaintParams params;
+  params.base_rate_per_cell = 0.0;
+  Rng rng(1);
+  EXPECT_TRUE(generate_complaints(quiet, params, rng).empty());
+}
+
+TEST(Complaints, LoudCellsComplainMore) {
+  Grid noise(2, 1, 200, 100, 40.0);
+  noise.at(1, 0) = 80.0;  // one very loud cell
+  ComplaintParams params;
+  params.base_rate_per_cell = 0.0;
+  params.rate_per_db = 0.5;
+  Rng rng(2);
+  auto complaints = generate_complaints(noise, params, rng);
+  ASSERT_FALSE(complaints.empty());
+  for (const Complaint& c : complaints) EXPECT_GT(c.x_m, 100.0);
+}
+
+TEST(Complaints, PositionsInsideCity) {
+  Grid noise(8, 8, 800, 800, 70.0);
+  ComplaintParams params;
+  Rng rng(3);
+  for (const Complaint& c : generate_complaints(noise, params, rng)) {
+    EXPECT_GE(c.x_m, -50.0);
+    EXPECT_LE(c.x_m, 850.0);
+    EXPECT_GE(c.y_m, -50.0);
+    EXPECT_LE(c.y_m, 850.0);
+  }
+}
+
+TEST(Complaints, CorrelationStrongOnRealCity) {
+  // The Figure 4 claim: complaints correlate with the noise map.
+  CityModelParams city_params;
+  city_params.extent_m = 8000;
+  city_params.grid_nx = 32;
+  city_params.grid_ny = 32;
+  CityNoiseModel city(city_params, 4);
+  Grid noise = city.truth(hours(20));  // evening
+  ComplaintParams params;
+  Rng rng(5);
+  auto complaints = generate_complaints(noise, params, rng);
+  ASSERT_GT(complaints.size(), 50u);
+  ComplaintCorrelation corr = correlate_complaints(noise, complaints);
+  EXPECT_GT(corr.pearson, 0.4);
+  EXPECT_GT(corr.spearman, 0.3);
+  EXPECT_EQ(corr.complaint_count, complaints.size());
+}
+
+TEST(Complaints, UncorrelatedComplaintsScoreLow) {
+  Grid noise(16, 16, 1600, 1600, 40.0);
+  for (std::size_t iy = 0; iy < 16; ++iy)
+    for (std::size_t ix = 0; ix < 16; ++ix)
+      noise.at(ix, iy) = 40.0 + (ix % 2) * 20.0;
+  // Complaints scattered uniformly — no relation to the field.
+  Rng rng(6);
+  std::vector<Complaint> complaints;
+  for (int i = 0; i < 300; ++i)
+    complaints.push_back({rng.uniform(0, 1600), rng.uniform(0, 1600)});
+  ComplaintCorrelation corr = correlate_complaints(noise, complaints);
+  EXPECT_LT(std::abs(corr.pearson), 0.2);
+}
+
+}  // namespace
+}  // namespace mps::assim

@@ -1,0 +1,142 @@
+#include "assim/cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "assim/city_noise_model.h"
+#include "common/rng.h"
+
+namespace mps::assim {
+namespace {
+
+phone::Observation obs_at(double x, double y, double value, TimeMs t) {
+  phone::Observation obs;
+  obs.user = "u";
+  obs.model = "M";
+  obs.captured_at = t;
+  obs.spl_db = value;
+  phone::LocationFix fix;
+  fix.x_m = x;
+  fix.y_m = y;
+  fix.accuracy_m = 15.0;
+  obs.location = fix;
+  return obs;
+}
+
+TEST(Cycle, StartsFromModel) {
+  auto model = [](TimeMs) { return Grid(8, 8, 800, 800, 50.0); };
+  AssimilationCycle cycle(model, hours(6));
+  EXPECT_EQ(cycle.time(), hours(6));
+  EXPECT_DOUBLE_EQ(cycle.analysis().mean(), 50.0);
+  EXPECT_EQ(cycle.steps(), 0u);
+}
+
+TEST(Cycle, InvalidConfigThrows) {
+  auto model = [](TimeMs) { return Grid(4, 4, 400, 400, 50.0); };
+  CycleConfig bad_step;
+  bad_step.step = 0;
+  EXPECT_THROW(AssimilationCycle(model, 0, bad_step), std::invalid_argument);
+  CycleConfig bad_weight;
+  bad_weight.persistence_weight = 1.5;
+  EXPECT_THROW(AssimilationCycle(model, 0, bad_weight), std::invalid_argument);
+}
+
+TEST(Cycle, AdvanceMovesClockAndCountsSteps) {
+  auto model = [](TimeMs) { return Grid(8, 8, 800, 800, 50.0); };
+  CycleConfig config;
+  config.step = hours(2);
+  AssimilationCycle cycle(model, 0, config);
+  CycleStep step = cycle.advance({});
+  EXPECT_EQ(step.at, hours(2));
+  EXPECT_EQ(cycle.time(), hours(2));
+  EXPECT_EQ(cycle.steps(), 1u);
+  EXPECT_EQ(step.observations_used, 0u);
+}
+
+TEST(Cycle, NoObservationsNoPersistenceEqualsModel) {
+  // With w arbitrary but no observations ever, increments stay zero and
+  // the analysis tracks the model exactly.
+  auto model = [](TimeMs t) {
+    return Grid(8, 8, 800, 800, 50.0 + static_cast<double>(t) / 3.6e6);
+  };
+  AssimilationCycle cycle(model, 0);
+  for (int i = 0; i < 5; ++i) cycle.advance({});
+  EXPECT_NEAR(cycle.analysis().mean(), model(cycle.time()).mean(), 1e-9);
+}
+
+TEST(Cycle, PersistenceCarriesCorrectionForward) {
+  // Model is flat 50; truth is flat 56 (static model bias). One round of
+  // observations corrects the field; later steps WITHOUT observations
+  // keep most of the correction when w is high, none when w = 0.
+  auto model = [](TimeMs) { return Grid(8, 8, 1600, 1600, 50.0); };
+  std::vector<phone::Observation> window;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i)
+    window.push_back(obs_at(rng.uniform(0, 1600), rng.uniform(0, 1600), 56.0,
+                            minutes(30)));
+
+  CycleConfig persistent;
+  persistent.persistence_weight = 0.9;
+  AssimilationCycle with(model, 0, persistent);
+  with.advance(window);
+  double corrected = with.analysis().mean();
+  EXPECT_GT(corrected, 53.0);
+  for (int i = 0; i < 3; ++i) with.advance({});
+  EXPECT_GT(with.analysis().mean(), 50.0 + (corrected - 50.0) * 0.6);
+
+  CycleConfig memoryless;
+  memoryless.persistence_weight = 0.0;
+  AssimilationCycle without(model, 0, memoryless);
+  without.advance(window);
+  without.advance({});
+  EXPECT_NEAR(without.analysis().mean(), 50.0, 1e-9);
+}
+
+TEST(Cycle, TracksRealCityBetterThanModelAlone) {
+  CityModelParams params;
+  params.extent_m = 8000;
+  params.grid_nx = 24;
+  params.grid_ny = 24;
+  CityNoiseModel city(params, 11);
+  auto model = [&](TimeMs t) { return city.model(t); };
+
+  // Well-specified error statistics: sigma_b matches the model's actual
+  // error, observations are accurate and assigned a matching small error.
+  CycleConfig config;
+  config.blue.corr_length_m = 700.0;
+  config.blue.sigma_b = city.model(hours(9)).rmse(city.truth(hours(9)));
+  config.policy.base_sigma_r_db = 0.8;
+  config.policy.sigma_per_accuracy_m = 0.0;
+  AssimilationCycle cycle(model, hours(8), config);
+
+  Rng rng(13);
+  double model_rmse_sum = 0.0, cycle_rmse_sum = 0.0;
+  for (int step = 0; step < 6; ++step) {
+    TimeMs t = hours(9 + step);
+    Grid truth = city.truth(t);
+    std::vector<phone::Observation> window;
+    for (int i = 0; i < 150; ++i) {
+      double x = rng.uniform(0, 8000), y = rng.uniform(0, 8000);
+      // Grid-representative measurements (a minute-long Leq averages the
+      // neighbourhood): point samples next to a source would carry a
+      // representativeness error the 333 m grid cannot absorb.
+      window.push_back(obs_at(x, y, truth.sample(x, y) + rng.normal(0, 0.5), t));
+    }
+    cycle.advance(window);
+    model_rmse_sum += city.model(t).rmse(truth);
+    cycle_rmse_sum += cycle.analysis().rmse(truth);
+  }
+  EXPECT_LT(cycle_rmse_sum, model_rmse_sum * 0.85);
+}
+
+TEST(Cycle, DiagnosticsReported) {
+  auto model = [](TimeMs) { return Grid(8, 8, 800, 800, 50.0); };
+  AssimilationCycle cycle(model, 0);
+  std::vector<phone::Observation> window{obs_at(400, 400, 58.0, minutes(30))};
+  CycleStep step = cycle.advance(window);
+  EXPECT_EQ(step.observations_used, 1u);
+  EXPECT_GT(step.innovation_rms, 0.0);
+  EXPECT_LT(step.residual_rms, step.innovation_rms);
+}
+
+}  // namespace
+}  // namespace mps::assim

@@ -1,0 +1,90 @@
+#include "assim/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::assim {
+namespace {
+
+TEST(GridTest, ConstructionAndFill) {
+  Grid g(4, 3, 400, 300, 7.0);
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 3u);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(g.at(3, 2), 7.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 7.0);
+}
+
+TEST(GridTest, InvalidConstruction) {
+  EXPECT_THROW(Grid(0, 3, 100, 100), std::invalid_argument);
+  EXPECT_THROW(Grid(3, 3, 0, 100), std::invalid_argument);
+}
+
+TEST(GridTest, CellCenters) {
+  Grid g(4, 2, 400, 200);
+  EXPECT_DOUBLE_EQ(g.cell_x(0), 50.0);
+  EXPECT_DOUBLE_EQ(g.cell_x(3), 350.0);
+  EXPECT_DOUBLE_EQ(g.cell_y(0), 50.0);
+  EXPECT_DOUBLE_EQ(g.cell_y(1), 150.0);
+}
+
+TEST(GridTest, CellOfAndClamping) {
+  Grid g(4, 4, 400, 400);
+  EXPECT_EQ(g.cell_of(50, 50), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(g.cell_of(399, 399), (std::pair<std::size_t, std::size_t>{3, 3}));
+  EXPECT_EQ(g.cell_of(-10, 500), (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(g.cell_of(400, 0).first, 3u);  // boundary clamps inside
+}
+
+TEST(GridTest, FlatIndexConsistent) {
+  Grid g(5, 4, 500, 400);
+  auto [ix, iy] = g.cell_of(333, 222);
+  EXPECT_EQ(g.flat_index_of(333, 222), iy * 5 + ix);
+}
+
+TEST(GridTest, FlatAccessMatchesAt) {
+  Grid g(3, 3, 300, 300);
+  g.at(1, 2) = 42.0;
+  EXPECT_DOUBLE_EQ(g[2 * 3 + 1], 42.0);
+}
+
+TEST(GridTest, SampleInterpolatesLinearly) {
+  Grid g(2, 1, 200, 100);
+  g.at(0, 0) = 10.0;
+  g.at(1, 0) = 20.0;
+  // Cell centers at x=50 and x=150.
+  EXPECT_DOUBLE_EQ(g.sample(50, 50), 10.0);
+  EXPECT_DOUBLE_EQ(g.sample(150, 50), 20.0);
+  EXPECT_DOUBLE_EQ(g.sample(100, 50), 15.0);
+  // Outside the center span: clamped.
+  EXPECT_DOUBLE_EQ(g.sample(0, 50), 10.0);
+  EXPECT_DOUBLE_EQ(g.sample(200, 50), 20.0);
+}
+
+TEST(GridTest, SampleBilinear) {
+  Grid g(2, 2, 200, 200);
+  g.at(0, 0) = 0.0;
+  g.at(1, 0) = 10.0;
+  g.at(0, 1) = 20.0;
+  g.at(1, 1) = 30.0;
+  EXPECT_DOUBLE_EQ(g.sample(100, 100), 15.0);  // center of the four
+}
+
+TEST(GridTest, RmseAndErrors) {
+  Grid a(2, 2, 100, 100, 1.0), b(2, 2, 100, 100, 4.0);
+  EXPECT_DOUBLE_EQ(a.rmse(b), 3.0);
+  Grid c(3, 2, 100, 100);
+  EXPECT_THROW(a.rmse(c), std::invalid_argument);
+}
+
+TEST(GridTest, MinMaxMean) {
+  Grid g(2, 1, 100, 100);
+  g.at(0, 0) = -5.0;
+  g.at(1, 0) = 15.0;
+  EXPECT_DOUBLE_EQ(g.min(), -5.0);
+  EXPECT_DOUBLE_EQ(g.max(), 15.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace mps::assim

@@ -1,0 +1,98 @@
+#include "assim/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::assim {
+namespace {
+
+TEST(Linalg, CholeskyKnownFactor) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  cholesky(a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_NEAR(a(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);  // upper triangle zeroed
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::runtime_error);
+}
+
+TEST(Linalg, CholeskyRejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(cholesky(a), std::invalid_argument);
+}
+
+TEST(Linalg, SolveIdentity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+  std::vector<double> b{1.0, 2.0, 3.0};
+  std::vector<double> x = solve_spd(a, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+TEST(Linalg, SolveKnownSystem) {
+  // [[4,2],[2,3]] x = [10, 9] -> x = [1.5, 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  std::vector<double> x = solve_spd(a, {10.0, 9.0});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, SolveSizeMismatchThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = a(1, 1) = 1.0;
+  cholesky(a);
+  EXPECT_THROW(cholesky_solve(a, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+// Property: random SPD systems (A = M Mᵀ + n*I) solve to machine accuracy.
+class RandomSpdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSpdTest, ResidualSmall) {
+  int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7 + 1);
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.uniform(-1, 1);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = 0;
+      for (int k = 0; k < n; ++k) s += m(i, k) * m(j, k);
+      a(i, j) = s + (i == j ? n : 0.0);
+    }
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform(-5, 5);
+  Matrix a_copy = a;
+  std::vector<double> x = solve_spd(a, b);
+  // Residual ||A x - b||_inf.
+  for (int i = 0; i < n; ++i) {
+    double r = -b[i];
+    for (int j = 0; j < n; ++j) r += a_copy(i, j) * x[j];
+    EXPECT_NEAR(r, 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSpdTest, ::testing::Values(1, 2, 5, 20, 80));
+
+}  // namespace
+}  // namespace mps::assim

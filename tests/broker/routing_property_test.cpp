@@ -1,0 +1,158 @@
+// Property tests of broker routing against a reference evaluation: a
+// random topology of exchanges/queues/bindings is built, random messages
+// are published, and deliveries are compared with a naive graph-walk
+// oracle that re-implements the routing semantics independently.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "broker/broker.h"
+#include "broker/topic.h"
+#include "common/rng.h"
+
+namespace mps::broker {
+namespace {
+
+struct OracleTopology {
+  struct Binding {
+    std::string key;
+    std::string destination;
+    bool to_queue;
+  };
+  std::map<std::string, ExchangeType> exchanges;
+  std::map<std::string, std::vector<Binding>> bindings;  // by source exchange
+  std::set<std::string> queues;
+
+  /// Expected delivery multiset for a publish.
+  std::multiset<std::string> route(const std::string& exchange,
+                                   const std::string& key) const {
+    std::multiset<std::string> delivered;
+    std::set<std::string> visited;
+    walk(exchange, key, visited, delivered);
+    return delivered;
+  }
+
+ private:
+  static bool matches(ExchangeType type, const std::string& binding,
+                      const std::string& key) {
+    switch (type) {
+      case ExchangeType::kFanout: return true;
+      case ExchangeType::kDirect: return binding == key;
+      case ExchangeType::kTopic: return topic_matches(binding, key);
+    }
+    return false;
+  }
+
+  void walk(const std::string& exchange, const std::string& key,
+            std::set<std::string>& visited,
+            std::multiset<std::string>& delivered) const {
+    if (!visited.insert(exchange).second) return;
+    auto type_it = exchanges.find(exchange);
+    if (type_it == exchanges.end()) return;
+    auto binding_it = bindings.find(exchange);
+    if (binding_it == bindings.end()) return;
+    for (const Binding& b : binding_it->second) {
+      if (!matches(type_it->second, b.key, key)) continue;
+      if (b.to_queue) {
+        if (queues.count(b.destination) > 0) delivered.insert(b.destination);
+      } else {
+        walk(b.destination, key, visited, delivered);
+      }
+    }
+  }
+};
+
+std::string random_key(Rng& rng, int max_words = 3) {
+  static const char* words[] = {"a", "b", "c", "FR75013", "Feedback"};
+  auto n = rng.uniform_int(1, max_words);
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back('.');
+    out += words[rng.uniform_int(0, 4)];
+  }
+  return out;
+}
+
+std::string random_pattern(Rng& rng) {
+  static const char* words[] = {"a", "b", "c", "FR75013", "Feedback", "*", "#"};
+  auto n = rng.uniform_int(1, 3);
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back('.');
+    out += words[rng.uniform_int(0, 6)];
+  }
+  return out;
+}
+
+class RoutingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingPropertyTest, RandomTopologiesAgreeWithOracle) {
+  Rng rng(GetParam());
+  Broker broker;
+  OracleTopology oracle;
+
+  // Build a random topology: 6 exchanges, 5 queues, ~20 bindings.
+  std::vector<std::string> exchange_names, queue_names;
+  for (int i = 0; i < 6; ++i) {
+    std::string name = "ex" + std::to_string(i);
+    auto type = static_cast<ExchangeType>(rng.uniform_int(0, 2));
+    broker.declare_exchange(name, type).throw_if_error();
+    oracle.exchanges[name] = type;
+    exchange_names.push_back(name);
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "q" + std::to_string(i);
+    broker.declare_queue(name).throw_if_error();
+    oracle.queues.insert(name);
+    queue_names.push_back(name);
+  }
+  auto oracle_has = [&](const std::string& src, const std::string& dst,
+                        const std::string& key, bool to_queue) {
+    for (const auto& b : oracle.bindings[src])
+      if (b.destination == dst && b.key == key && b.to_queue == to_queue)
+        return true;
+    return false;
+  };
+  for (int i = 0; i < 20; ++i) {
+    const std::string& src =
+        exchange_names[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    std::string pattern = random_pattern(rng);
+    if (rng.bernoulli(0.5)) {
+      const std::string& dst =
+          exchange_names[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      // Mirror the broker's duplicate-binding idempotence in the oracle.
+      if (broker.bind_exchange(src, dst, pattern).ok() &&
+          !oracle_has(src, dst, pattern, false))
+        oracle.bindings[src].push_back({pattern, dst, false});
+    } else {
+      const std::string& q =
+          queue_names[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+      if (broker.bind_queue(src, q, pattern).ok() &&
+          !oracle_has(src, q, pattern, true))
+        oracle.bindings[src].push_back({pattern, q, true});
+    }
+  }
+
+  // Publish random messages and compare depths with oracle expectations.
+  std::map<std::string, std::size_t> expected_depth;
+  for (int i = 0; i < 100; ++i) {
+    const std::string& exchange =
+        exchange_names[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    std::string key = random_key(rng);
+    auto result =
+        broker.publish(exchange, key, Value(Object{{"n", Value(i)}})).value_or_throw();
+    std::multiset<std::string> expected = oracle.route(exchange, key);
+    EXPECT_EQ(result.queues_delivered, expected.size())
+        << "exchange=" << exchange << " key=" << key;
+    for (const std::string& q : expected) ++expected_depth[q];
+  }
+  for (const std::string& q : queue_names)
+    EXPECT_EQ(broker.queue_depth(q), expected_depth[q]) << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mps::broker

@@ -1,0 +1,102 @@
+#include "calib/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phone/microphone.h"
+
+namespace mps::calib {
+namespace {
+
+TEST(CalibrationDatabase, UnknownModelPassthrough) {
+  CalibrationDatabase db;
+  EXPECT_FALSE(db.bias_db("X").has_value());
+  EXPECT_DOUBLE_EQ(db.correct("X", 57.0), 57.0);
+  EXPECT_FALSE(db.has_model("X"));
+  EXPECT_EQ(db.model_count(), 0u);
+}
+
+TEST(CalibrationDatabase, BiasIsMeanDifference) {
+  CalibrationDatabase db;
+  db.add_sample("M", 62.0, 60.0);
+  db.add_sample("M", 63.0, 60.0);
+  db.add_sample("M", 64.0, 60.0);
+  ASSERT_TRUE(db.bias_db("M").has_value());
+  EXPECT_DOUBLE_EQ(*db.bias_db("M"), 3.0);
+  EXPECT_DOUBLE_EQ(db.correct("M", 70.0), 67.0);
+}
+
+TEST(CalibrationDatabase, SessionsAccumulate) {
+  CalibrationDatabase db;
+  db.add_session("M", {{61, 60}, {62, 60}});
+  db.add_session("M", {{64, 60}});
+  EXPECT_EQ(db.records().at("M").sessions, 2);
+  EXPECT_EQ(db.records().at("M").sample_count(), 3u);
+  EXPECT_NEAR(*db.bias_db("M"), (1.0 + 2.0 + 4.0) / 3.0, 1e-12);
+}
+
+TEST(CalibrationDatabase, ResidualStddev) {
+  CalibrationDatabase db;
+  EXPECT_FALSE(db.residual_stddev("M").has_value());
+  db.add_sample("M", 62.0, 60.0);
+  EXPECT_FALSE(db.residual_stddev("M").has_value());  // needs >= 2
+  db.add_sample("M", 64.0, 60.0);
+  ASSERT_TRUE(db.residual_stddev("M").has_value());
+  EXPECT_NEAR(*db.residual_stddev("M"), std::sqrt(2.0), 1e-9);
+}
+
+TEST(CalibrationDatabase, CalibrationPartyRecoversModelBias) {
+  // Simulate a calibration party: several devices of one model measured
+  // against a reference meter across varied levels. The estimated bias
+  // should match the model's true microphone bias.
+  const phone::DeviceModelSpec* spec = phone::find_model("ONEPLUS A0001");
+  ASSERT_NE(spec, nullptr);
+  CalibrationDatabase db;
+  Rng rng(11);
+  for (int device = 0; device < 5; ++device) {
+    phone::Microphone mic(*spec, rng.normal(0.0, 0.5));
+    std::vector<std::pair<double, double>> pairs;
+    for (int i = 0; i < 100; ++i) {
+      double reference = rng.uniform(50.0, 90.0);  // above the noise floor
+      pairs.emplace_back(mic.measure(reference, rng), reference);
+    }
+    db.add_session(spec->id, pairs);
+  }
+  ASSERT_TRUE(db.bias_db(spec->id).has_value());
+  EXPECT_NEAR(*db.bias_db(spec->id), spec->mic_bias_db, 0.7);
+}
+
+TEST(CalibrationDatabase, PerModelCalibrationTamesHeterogeneity) {
+  // The §5.2 claim: calibrating per model removes most cross-model
+  // spread. Measure the spread of corrected readings across models.
+  CalibrationDatabase db;
+  Rng rng(13);
+  std::vector<const phone::DeviceModelSpec*> models;
+  for (const auto& spec : phone::top20_catalog()) models.push_back(&spec);
+
+  // Calibration phase.
+  for (const auto* spec : models) {
+    phone::Microphone mic(*spec);
+    std::vector<std::pair<double, double>> pairs;
+    for (int i = 0; i < 200; ++i) {
+      double reference = rng.uniform(55.0, 90.0);
+      pairs.emplace_back(mic.measure(reference, rng), reference);
+    }
+    db.add_session(spec->id, pairs);
+  }
+
+  // Evaluation phase: every model measures the same 70 dB scene.
+  RunningStats raw_spread, corrected_spread;
+  for (const auto* spec : models) {
+    phone::Microphone mic(*spec);
+    RunningStats raw;
+    for (int i = 0; i < 500; ++i) raw.add(mic.measure(70.0, rng));
+    raw_spread.add(raw.mean());
+    corrected_spread.add(db.correct(spec->id, raw.mean()));
+  }
+  EXPECT_GT(raw_spread.stddev(), 3.0);       // heterogeneous raw responses
+  EXPECT_LT(corrected_spread.stddev(), 1.0); // tamed after calibration
+}
+
+}  // namespace
+}  // namespace mps::calib

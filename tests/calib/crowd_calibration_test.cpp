@@ -1,0 +1,139 @@
+#include "calib/crowd_calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::calib {
+namespace {
+
+/// Builds observations from `model` at (x, y) and time t, where the true
+/// ambient is `ambient` and the model has bias `bias`.
+phone::Observation co_located_obs(const char* model, double bias,
+                                  double ambient, double x, double y,
+                                  TimeMs t, Rng& rng) {
+  phone::Observation obs;
+  obs.model = model;
+  obs.user = std::string(model) + "-user";
+  obs.captured_at = t;
+  obs.spl_db = ambient + bias + rng.normal(0.0, 0.8);
+  phone::LocationFix fix;
+  fix.x_m = x;
+  fix.y_m = y;
+  fix.accuracy_m = 20.0;
+  obs.location = fix;
+  return obs;
+}
+
+std::vector<phone::Observation> build_dataset(Rng& rng) {
+  // Three models with biases A:0 (anchor), B:+4, C:-3; many co-located
+  // encounters A-B and B-C (C never meets A directly: tests transitivity).
+  std::vector<phone::Observation> out;
+  for (int i = 0; i < 200; ++i) {
+    double ambient = rng.uniform(45, 75);
+    double x = rng.uniform(0, 5000), y = rng.uniform(0, 5000);
+    TimeMs t = minutes(i * 20);
+    out.push_back(co_located_obs("A", 0.0, ambient, x, y, t, rng));
+    out.push_back(co_located_obs("B", 4.0, ambient, x + 30, y - 20,
+                                 t + seconds(60), rng));
+  }
+  for (int i = 0; i < 200; ++i) {
+    double ambient = rng.uniform(45, 75);
+    double x = rng.uniform(0, 5000), y = rng.uniform(0, 5000);
+    TimeMs t = minutes(100000 + i * 20);
+    out.push_back(co_located_obs("B", 4.0, ambient, x, y, t, rng));
+    out.push_back(co_located_obs("C", -3.0, ambient, x - 40, y + 10,
+                                 t + seconds(90), rng));
+  }
+  return out;
+}
+
+TEST(CrowdCalibration, RecoversRelativeBiases) {
+  Rng rng(1);
+  auto observations = build_dataset(rng);
+  CrowdCalibrationResult result = crowd_calibrate(observations, "A", 0.0);
+  ASSERT_EQ(result.models_covered, 3u);
+  EXPECT_NEAR(result.bias_db.at("A"), 0.0, 1e-9);
+  EXPECT_NEAR(result.bias_db.at("B"), 4.0, 0.5);
+  EXPECT_NEAR(result.bias_db.at("C"), -3.0, 0.7);  // via B, transitively
+  EXPECT_GT(result.pairs_used, 100u);
+}
+
+TEST(CrowdCalibration, AnchorOffsetShiftsAll) {
+  Rng rng(2);
+  auto observations = build_dataset(rng);
+  CrowdCalibrationResult result = crowd_calibrate(observations, "A", 2.0);
+  EXPECT_NEAR(result.bias_db.at("A"), 2.0, 1e-9);
+  EXPECT_NEAR(result.bias_db.at("B"), 6.0, 0.5);
+}
+
+TEST(CrowdCalibration, MissingAnchorReturnsEmpty) {
+  Rng rng(3);
+  auto observations = build_dataset(rng);
+  CrowdCalibrationResult result = crowd_calibrate(observations, "ZZZ", 0.0);
+  EXPECT_TRUE(result.bias_db.empty());
+  EXPECT_EQ(result.models_covered, 0u);
+}
+
+TEST(CrowdCalibration, DisconnectedModelOmitted) {
+  Rng rng(4);
+  auto observations = build_dataset(rng);
+  // Model D appears but never near anyone (huge coordinates).
+  for (int i = 0; i < 50; ++i)
+    observations.push_back(co_located_obs("D", 9.0, 60.0, 1e7, 1e7,
+                                          minutes(i), rng));
+  CrowdCalibrationResult result = crowd_calibrate(observations, "A", 0.0);
+  EXPECT_EQ(result.bias_db.count("D"), 0u);
+  EXPECT_EQ(result.models_covered, 3u);
+}
+
+TEST(CrowdCalibration, FarApartPairsIgnored) {
+  Rng rng(5);
+  std::vector<phone::Observation> observations;
+  // A and B co-occur in time but 10 km apart: no pairs, no estimate.
+  for (int i = 0; i < 100; ++i) {
+    TimeMs t = minutes(i * 30);
+    observations.push_back(co_located_obs("A", 0.0, 60, 0, 0, t, rng));
+    observations.push_back(co_located_obs("B", 4.0, 60, 10000, 10000,
+                                          t + seconds(30), rng));
+  }
+  CrowdCalibrationResult result = crowd_calibrate(observations, "A", 0.0);
+  EXPECT_EQ(result.pairs_used, 0u);
+  EXPECT_EQ(result.bias_db.count("B"), 0u);
+}
+
+TEST(CrowdCalibration, TimeGapRespected) {
+  Rng rng(6);
+  std::vector<phone::Observation> observations;
+  CrowdCalibrationParams params;
+  params.max_time_gap = minutes(5);
+  for (int i = 0; i < 100; ++i) {
+    TimeMs t = hours(i);
+    observations.push_back(co_located_obs("A", 0.0, 60, 100, 100, t, rng));
+    // Same place but 30 minutes later: outside the window.
+    observations.push_back(
+        co_located_obs("B", 4.0, 60, 110, 100, t + minutes(30), rng));
+  }
+  CrowdCalibrationResult result =
+      crowd_calibrate(observations, "A", 0.0, params);
+  EXPECT_EQ(result.pairs_used, 0u);
+}
+
+TEST(CrowdCalibration, UnlocalizedObservationsIgnored) {
+  Rng rng(7);
+  std::vector<phone::Observation> observations;
+  for (int i = 0; i < 50; ++i) {
+    phone::Observation a = co_located_obs("A", 0.0, 60, 100, 100, minutes(i), rng);
+    phone::Observation b = co_located_obs("B", 4.0, 60, 100, 100,
+                                          minutes(i) + seconds(10), rng);
+    a.location.reset();
+    b.location.reset();
+    observations.push_back(a);
+    observations.push_back(b);
+  }
+  CrowdCalibrationResult result = crowd_calibrate(observations, "A", 0.0);
+  EXPECT_EQ(result.pairs_used, 0u);
+}
+
+}  // namespace
+}  // namespace mps::calib

@@ -1,0 +1,185 @@
+#include "calib/truth_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::calib {
+namespace {
+
+TEST(TruthDiscovery, EmptyInput) {
+  TruthDiscoveryResult result = discover_truth({});
+  EXPECT_TRUE(result.truths.empty());
+  EXPECT_TRUE(result.source_weight.empty());
+}
+
+TEST(TruthDiscovery, SingleUnanimousEvent) {
+  TruthEvent event;
+  event.claims = {{"a", 60.0}, {"b", 60.0}, {"c", 60.0}};
+  TruthDiscoveryResult result = discover_truth({event});
+  ASSERT_EQ(result.truths.size(), 1u);
+  EXPECT_NEAR(result.truths[0], 60.0, 1e-9);
+}
+
+TEST(TruthDiscovery, OutlierSourceDownweighted) {
+  // Sources a, b agree across many events; source c is consistently off.
+  std::vector<TruthEvent> events;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    double truth = rng.uniform(40, 80);
+    TruthEvent e;
+    e.claims = {{"a", truth + rng.normal(0, 0.5)},
+                {"b", truth + rng.normal(0, 0.5)},
+                {"c", truth + rng.normal(8.0, 4.0)}};  // biased & noisy
+    events.push_back(e);
+  }
+  TruthDiscoveryResult result = discover_truth(events);
+  EXPECT_GT(result.source_weight.at("a"), result.source_weight.at("c") * 2.0);
+  EXPECT_GT(result.source_weight.at("b"), result.source_weight.at("c") * 2.0);
+}
+
+TEST(TruthDiscovery, TruthCloserToReliableSources) {
+  std::vector<TruthEvent> events;
+  Rng rng(5);
+  // Calibration events where a and b demonstrate reliability...
+  for (int i = 0; i < 30; ++i) {
+    double truth = rng.uniform(40, 80);
+    events.push_back(TruthEvent{{{"a", truth + rng.normal(0, 0.3)},
+                                 {"b", truth + rng.normal(0, 0.3)},
+                                 {"noisy", truth + rng.normal(0, 10.0)}}});
+  }
+  // ...then a contested event: reliable sources say 60, noisy says 90.
+  events.push_back(TruthEvent{{{"a", 60.0}, {"b", 60.2}, {"noisy", 90.0}}});
+  TruthDiscoveryResult result = discover_truth(events);
+  EXPECT_NEAR(result.truths.back(), 60.1, 2.0);
+}
+
+TEST(TruthDiscovery, WeightsNormalized) {
+  std::vector<TruthEvent> events{
+      TruthEvent{{{"a", 50.0}, {"b", 52.0}}},
+      TruthEvent{{{"a", 61.0}, {"b", 60.0}}},
+  };
+  TruthDiscoveryResult result = discover_truth(events);
+  double total = 0.0;
+  for (const auto& [_, w] : result.source_weight) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TruthDiscovery, ConvergesWithinIterationCap) {
+  std::vector<TruthEvent> events;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    double truth = rng.uniform(40, 80);
+    events.push_back(TruthEvent{{{"a", truth + rng.normal(0, 1)},
+                                 {"b", truth + rng.normal(0, 2)},
+                                 {"c", truth + rng.normal(0, 3)}}});
+  }
+  TruthDiscoveryParams params;
+  params.max_iterations = 200;
+  params.tolerance = 1e-4;
+  TruthDiscoveryResult result = discover_truth(events, params);
+  EXPECT_LT(result.iterations_run, 200);
+}
+
+TEST(TruthDiscovery, EventWithoutClaimsIgnored) {
+  std::vector<TruthEvent> events{TruthEvent{}, TruthEvent{{{"a", 55.0}}}};
+  TruthDiscoveryResult result = discover_truth(events);
+  ASSERT_EQ(result.truths.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.truths[0], 0.0);
+  EXPECT_NEAR(result.truths[1], 55.0, 1e-9);
+}
+
+// --- group_truth_events ------------------------------------------------
+
+phone::Observation localized_obs(const char* user, double x, double y,
+                                 TimeMs t, double spl = 60.0) {
+  phone::Observation obs;
+  obs.user = user;
+  obs.model = "M";
+  obs.captured_at = t;
+  obs.spl_db = spl;
+  phone::LocationFix fix;
+  fix.x_m = x;
+  fix.y_m = y;
+  fix.accuracy_m = 20.0;
+  obs.location = fix;
+  return obs;
+}
+
+TEST(GroupTruthEvents, CoLocatedGrouped) {
+  std::vector<phone::Observation> obs{
+      localized_obs("a", 100, 100, minutes(0), 60),
+      localized_obs("b", 120, 110, minutes(2), 62),
+      localized_obs("c", 5000, 5000, minutes(1), 70),  // far away: alone
+  };
+  auto events = group_truth_events(obs, 150.0, minutes(10), 2);
+  ASSERT_EQ(events.size(), 1u);  // the far-away singleton is dropped
+  EXPECT_EQ(events[0].claims.size(), 2u);
+}
+
+TEST(GroupTruthEvents, TimeGapSplitsEvents) {
+  std::vector<phone::Observation> obs{
+      localized_obs("a", 100, 100, minutes(0)),
+      localized_obs("b", 100, 100, minutes(2)),
+      localized_obs("c", 100, 100, hours(5)),
+      localized_obs("d", 100, 100, hours(5) + minutes(1)),
+  };
+  auto events = group_truth_events(obs, 150.0, minutes(10), 2);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].claims.size(), 2u);
+  EXPECT_EQ(events[1].claims.size(), 2u);
+}
+
+TEST(GroupTruthEvents, MinClaimsFilters) {
+  std::vector<phone::Observation> obs{
+      localized_obs("a", 100, 100, minutes(0)),
+  };
+  EXPECT_TRUE(group_truth_events(obs, 150.0, minutes(10), 2).empty());
+  EXPECT_EQ(group_truth_events(obs, 150.0, minutes(10), 1).size(), 1u);
+}
+
+TEST(GroupTruthEvents, UnlocalizedSkipped) {
+  phone::Observation no_loc;
+  no_loc.user = "x";
+  no_loc.spl_db = 50;
+  std::vector<phone::Observation> obs{no_loc, no_loc};
+  EXPECT_TRUE(group_truth_events(obs, 150.0, minutes(10), 1).empty());
+}
+
+TEST(TruthDiscovery, EndToEndWithGrouping) {
+  // Three devices repeatedly co-measure: one has a strong bias. Truth
+  // discovery should land near the two unbiased ones.
+  std::vector<phone::Observation> obs;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    double truth = rng.uniform(50, 70);
+    double x = rng.uniform(0, 10000), y = rng.uniform(0, 10000);
+    TimeMs t = hours(i);
+    obs.push_back(localized_obs("good1", x, y, t, truth + rng.normal(0, 1)));
+    obs.push_back(localized_obs("good2", x + 20, y, t + minutes(1),
+                                truth + rng.normal(0, 1)));
+    obs.push_back(localized_obs("biased", x, y + 30, t + minutes(2),
+                                truth + 7.0 + rng.normal(0, 1)));
+  }
+  auto events = group_truth_events(obs);
+  ASSERT_GE(events.size(), 40u);
+  TruthDiscoveryResult result = discover_truth(events);
+  EXPECT_GT(result.source_weight.at("good1"),
+            result.source_weight.at("biased"));
+  // Mean absolute deviation of truths from the unbiased sources' claims
+  // should be small.
+  double dev = 0.0;
+  int n = 0;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    for (const TruthClaim& claim : events[e].claims) {
+      if (claim.source == "good1") {
+        dev += std::abs(claim.value - result.truths[e]);
+        ++n;
+      }
+    }
+  }
+  EXPECT_LT(dev / n, 2.5);
+}
+
+}  // namespace
+}  // namespace mps::calib

@@ -1,0 +1,194 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(9), 90.0);
+  EXPECT_DOUBLE_EQ(h.bin_mid(4), 45.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST(Histogram, AddRoutesToCorrectBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive -> overflow
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, SharesSumToScaleWhenNoOverflow) {
+  Histogram h(0.0, 10.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(0.1 * i);
+  double sum = 0.0;
+  for (double s : h.shares(100.0)) sum += s;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Histogram, PerMilleScale) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(6.0);
+  h.add(7.0);
+  EXPECT_NEAR(h.share(1, 1000.0), 666.6667, 0.01);
+}
+
+TEST(Histogram, EmptyShareIsZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(h.share(0), 0.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0, 3.0);
+  h.add(6.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.share(0), 75.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 30.0, 3);
+  h.add(5.0);
+  h.add(15.0);
+  h.add(16.0);
+  h.add(25.0);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, MergeCompatible) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  b.add(1.5);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(a.total(), 3.0);
+}
+
+TEST(Histogram, MergeIncompatibleThrows) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 4), c(0.0, 20.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRenderContainsBars) {
+  Histogram h(0.0, 10.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(1.0);
+  std::string art = h.to_ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('%'), std::string::npos);
+}
+
+TEST(BucketHistogram, PaperAccuracyBuckets) {
+  // The paper's location-accuracy buckets.
+  BucketHistogram h({0, 6, 20, 50, 100, 500, 2000});
+  h.add(3.0);    // [0,6)
+  h.add(10.0);   // [6,20)
+  h.add(25.0);   // [20,50)
+  h.add(25.0);
+  h.add(75.0);   // [50,100)
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.share(2), 40.0);
+}
+
+TEST(BucketHistogram, EdgeInclusivity) {
+  BucketHistogram h({0, 10, 20});
+  h.add(10.0);  // belongs to [10,20)
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  h.add(20.0);  // overflow: hi edge exclusive
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+}
+
+TEST(BucketHistogram, InvalidEdges) {
+  EXPECT_THROW(BucketHistogram({1.0}), std::invalid_argument);
+  EXPECT_THROW(BucketHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(BucketHistogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(BucketHistogram, Labels) {
+  BucketHistogram h({0, 6, 20});
+  EXPECT_EQ(h.bin_label(0), "[0,6)");
+  EXPECT_EQ(h.bin_label(1), "[6,20)");
+}
+
+TEST(EmpiricalCdf, FractionAtMost) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1e-9);
+  EXPECT_NEAR(cdf.quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(cdf.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(cdf.quantile(0.25), 25.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(5.0), 0.0);
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  EXPECT_THROW(cdf.min(), std::logic_error);
+}
+
+TEST(EmpiricalCdf, AddAllAndMinMax) {
+  EmpiricalCdf cdf;
+  cdf.add_all({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+// Property: fraction_at_most is monotone non-decreasing.
+class CdfMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfMonotoneTest, Monotone) {
+  EmpiricalCdf cdf;
+  unsigned seed = static_cast<unsigned>(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    cdf.add(static_cast<double>(seed % 1000) / 10.0);
+  }
+  double prev = -1.0;
+  for (double x = -5.0; x <= 105.0; x += 0.7) {
+    double f = cdf.fraction_at_most(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfMonotoneTest, ::testing::Values(1, 2, 3, 7, 42));
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,51 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(Result, OkValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or_throw(), 42);
+}
+
+TEST(Result, ErrorPath) {
+  Result<int> r(err(ErrorCode::kNotFound, "missing thing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing thing");
+  EXPECT_THROW(r.value_or_throw(), std::runtime_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_NO_THROW(s.throw_if_error());
+}
+
+TEST(StatusTest, ErrorStatus) {
+  Status s(err(ErrorCode::kConflict, "dup"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kConflict);
+  EXPECT_THROW(s.throw_if_error(), std::runtime_error);
+}
+
+TEST(ErrorCodeNames, AllDistinct) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnauthorized), "unauthorized");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,146 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChildStreamsReproducible) {
+  Rng parent(7);
+  Rng c1 = parent.child("battery");
+  Rng c2 = Rng(7).child("battery");
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+}
+
+TEST(Rng, ChildStreamsIndependentOfParentConsumption) {
+  Rng p1(9), p2(9);
+  p1.uniform();  // consume from one parent only
+  Rng c1 = p1.child("x");
+  Rng c2 = p2.child("x");
+  EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+}
+
+TEST(Rng, DifferentLabelsGiveDifferentStreams) {
+  Rng parent(7);
+  Rng a = parent.child("a"), b = parent.child("b");
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, IntegerChildKeys) {
+  Rng parent(3);
+  Rng u0 = parent.child(std::uint64_t{0});
+  Rng u1 = parent.child(std::uint64_t{1});
+  EXPECT_NE(u0.seed(), u1.seed());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(5.0, 6.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t x = rng.uniform_int(1, 3);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 1);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesP) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsZero) {
+  Rng rng(37);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(w), 0u);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(41);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64(""), fnv1a64("a"));
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,139 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats copy = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+  EXPECT_NEAR(spearman_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Correlation, MismatchedSizesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Correlation, SpearmanRobustToMonotoneTransform) {
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));  // nonlinear but monotone
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson_correlation(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  std::vector<double> x{1, 2, 2, 3};
+  std::vector<double> y{1, 2, 2, 3};
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, RecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, DegenerateInput) {
+  LinearFit fit = linear_fit({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  fit = linear_fit({2.0, 2.0}, {1.0, 5.0});  // constant x
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_NEAR(rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(TotalVariation, IdenticalAndDisjoint) {
+  EXPECT_NEAR(total_variation_distance({1, 2, 3}, {2, 4, 6}), 0.0, 1e-12);
+  EXPECT_NEAR(total_variation_distance({1, 0}, {0, 1}), 1.0, 1e-12);
+}
+
+TEST(TotalVariation, Range) {
+  double tv = total_variation_distance({3, 1, 1}, {1, 1, 3});
+  EXPECT_GT(tv, 0.0);
+  EXPECT_LT(tv, 1.0);
+}
+
+}  // namespace
+}  // namespace mps

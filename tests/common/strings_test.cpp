@@ -1,0 +1,62 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmptyTokens) {
+  auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitTrailingSeparator) {
+  auto parts = split("a.", '.');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  std::vector<std::string> parts{"FR75013", "Feedback", "mob1"};
+  EXPECT_EQ(join(parts, '.'), "FR75013.Feedback.mob1");
+  EXPECT_EQ(split(join(parts, '.'), '.'), parts);
+}
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, '.'), ""); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("goflow.client", "goflow"));
+  EXPECT_FALSE(starts_with("go", "goflow"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1 000");
+  EXPECT_EQ(with_thousands(23108136), "23 108 136");
+  EXPECT_EQ(with_thousands(-1234567), "-1 234 567");
+}
+
+}  // namespace
+}  // namespace mps

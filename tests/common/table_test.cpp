@@ -1,0 +1,47 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"Model", "Devices"});
+  t.add_row({"SAMSUNG GT-I9505", "253"});
+  t.add_row({"SONY D5803", "112"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("SAMSUNG GT-I9505"), std::string::npos);
+  EXPECT_NE(s.find("253"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t;
+  t.set_header({"name", "count"});
+  t.add_row({"a", "5"});
+  t.add_row({"b", "12345"});
+  std::string s = t.to_string();
+  // "5" should be right-aligned to the width of "12345".
+  EXPECT_NE(s.find("    5"), std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, NoHeader) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  std::string s = t.to_string();
+  EXPECT_EQ(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,98 @@
+// Property tests for Value::compare: it must be a strict weak ordering
+// (docstore indexes and sorts depend on it), consistent with operator==
+// for comparable types, and stable under JSON round-trips.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace mps {
+namespace {
+
+Value random_value(Rng& rng, int depth = 0) {
+  int kind = static_cast<int>(rng.uniform_int(0, depth < 2 ? 6 : 4));
+  switch (kind) {
+    case 0: return Value();
+    case 1: return Value(rng.bernoulli(0.5));
+    case 2: return Value(rng.uniform_int(-5, 5));
+    case 3: return Value(rng.uniform(-5.0, 5.0));
+    case 4: {
+      static const char* strs[] = {"", "a", "b", "ab", "FR75013"};
+      return Value(strs[rng.uniform_int(0, 4)]);
+    }
+    case 5: {
+      Array arr;
+      auto n = rng.uniform_int(0, 3);
+      for (int i = 0; i < n; ++i) arr.push_back(random_value(rng, depth + 1));
+      return Value(std::move(arr));
+    }
+    default: {
+      Object obj;
+      auto n = rng.uniform_int(0, 3);
+      for (int i = 0; i < n; ++i)
+        obj.set("k" + std::to_string(i), random_value(rng, depth + 1));
+      return Value(std::move(obj));
+    }
+  }
+}
+
+int sign(int x) { return (x > 0) - (x < 0); }
+
+class ValueOrderPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueOrderPropertyTest, Antisymmetry) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    Value a = random_value(rng), b = random_value(rng);
+    EXPECT_EQ(sign(Value::compare(a, b)), -sign(Value::compare(b, a)))
+        << a.to_json() << " vs " << b.to_json();
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, Reflexivity) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 300; ++i) {
+    Value a = random_value(rng);
+    EXPECT_EQ(Value::compare(a, a), 0) << a.to_json();
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, Transitivity) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 200; ++i) {
+    Value a = random_value(rng), b = random_value(rng), c = random_value(rng);
+    if (Value::compare(a, b) <= 0 && Value::compare(b, c) <= 0) {
+      EXPECT_LE(Value::compare(a, c), 0)
+          << a.to_json() << " <= " << b.to_json() << " <= " << c.to_json();
+    }
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, EqualityConsistentForScalars) {
+  // For scalar (non-container) values, compare()==0 iff operator==.
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 300; ++i) {
+    Value a = random_value(rng), b = random_value(rng);
+    if (a.is_array() || a.is_object() || b.is_array() || b.is_object())
+      continue;
+    EXPECT_EQ(Value::compare(a, b) == 0, a == b)
+        << a.to_json() << " vs " << b.to_json();
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, StableUnderJsonRoundTrip) {
+  Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 200; ++i) {
+    Value a = random_value(rng), b = random_value(rng);
+    Value a2 = Value::parse_json(a.to_json());
+    Value b2 = Value::parse_json(b.to_json());
+    EXPECT_EQ(sign(Value::compare(a, b)), sign(Value::compare(a2, b2)))
+        << a.to_json() << " vs " << b.to_json();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,168 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace mps {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+}
+
+TEST(Value, ScalarConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(std::int64_t{1} << 40).is_int());
+  EXPECT_TRUE(Value(3.14).is_double());
+  EXPECT_TRUE(Value("hello").is_string());
+  EXPECT_TRUE(Value(std::string("hi")).is_string());
+}
+
+TEST(Value, CheckedAccessors) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("x").as_string(), "x");
+}
+
+TEST(Value, AsDoubleAcceptsInt) {
+  EXPECT_DOUBLE_EQ(Value(7).as_double(), 7.0);
+}
+
+TEST(Value, TypeMismatchThrows) {
+  EXPECT_THROW(Value(1).as_string(), std::runtime_error);
+  EXPECT_THROW(Value("x").as_int(), std::runtime_error);
+  EXPECT_THROW(Value().as_bool(), std::runtime_error);
+  EXPECT_THROW(Value("x").as_double(), std::runtime_error);
+}
+
+TEST(Value, ObjectSetAndFind) {
+  Object o;
+  o.set("a", Value(1)).set("b", Value("two"));
+  Value v(std::move(o));
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->as_int(), 1);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.at("b").as_string(), "two");
+}
+
+TEST(Value, ObjectSetReplacesExisting) {
+  Object o;
+  o.set("k", Value(1));
+  o.set("k", Value(2));
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_EQ(o.at("k").as_int(), 2);
+}
+
+TEST(Value, ObjectErase) {
+  Object o{{"a", Value(1)}, {"b", Value(2)}};
+  EXPECT_TRUE(o.erase("a"));
+  EXPECT_FALSE(o.erase("a"));
+  EXPECT_FALSE(o.contains("a"));
+  EXPECT_TRUE(o.contains("b"));
+}
+
+TEST(Value, FindPathTraversesNestedObjects) {
+  Value doc(Object{
+      {"location", Value(Object{{"accuracy", Value(25.5)},
+                                {"provider", Value("network")}})},
+      {"spl", Value(60.0)}});
+  ASSERT_NE(doc.find_path("location.accuracy"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find_path("location.accuracy")->as_double(), 25.5);
+  EXPECT_EQ(doc.find_path("location.missing"), nullptr);
+  EXPECT_EQ(doc.find_path("spl.x"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find_path("spl")->as_double(), 60.0);
+}
+
+TEST(Value, GettersWithDefaults) {
+  Value doc(Object{{"n", Value(5)}, {"s", Value("str")}, {"b", Value(true)},
+                   {"d", Value(1.5)}});
+  EXPECT_EQ(doc.get_int("n"), 5);
+  EXPECT_EQ(doc.get_int("missing", -1), -1);
+  EXPECT_EQ(doc.get_string("s"), "str");
+  EXPECT_EQ(doc.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(doc.get_bool("b"));
+  EXPECT_DOUBLE_EQ(doc.get_double("d"), 1.5);
+  EXPECT_DOUBLE_EQ(doc.get_double("n"), 5.0);  // int readable as double
+}
+
+TEST(Value, EqualityMixedNumerics) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_EQ(Value(1.0), Value(1));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value("1"));
+}
+
+TEST(Value, ObjectEqualityIsOrderInsensitive) {
+  Value a(Object{{"x", Value(1)}, {"y", Value(2)}});
+  Value b(Object{{"y", Value(2)}, {"x", Value(1)}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Value, CompareTotalOrder) {
+  EXPECT_LT(Value::compare(Value(), Value(false)), 0);   // null < bool
+  EXPECT_LT(Value::compare(Value(true), Value(0)), 0);   // bool < number
+  EXPECT_LT(Value::compare(Value(5), Value("a")), 0);    // number < string
+  EXPECT_EQ(Value::compare(Value(2), Value(2.0)), 0);    // numeric equality
+  EXPECT_LT(Value::compare(Value(1), Value(2)), 0);
+  EXPECT_GT(Value::compare(Value("b"), Value("a")), 0);
+  EXPECT_LT(Value::compare(Value(Array{Value(1)}), Value(Array{Value(1), Value(2)})), 0);
+}
+
+TEST(Value, JsonRoundTripScalars) {
+  for (const char* text :
+       {"null", "true", "false", "0", "-17", "3.5", "\"hello\"", "[]", "{}"}) {
+    Value v = Value::parse_json(text);
+    EXPECT_EQ(Value::parse_json(v.to_json()), v) << text;
+  }
+}
+
+TEST(Value, JsonRoundTripNested) {
+  Value doc(Object{
+      {"user", Value("u-1")},
+      {"spl", Value(55.25)},
+      {"tags", Value(Array{Value("a"), Value("b")})},
+      {"loc", Value(Object{{"lat", Value(48.85)}, {"lon", Value(2.35)}})},
+      {"ok", Value(true)},
+      {"none", Value()}});
+  EXPECT_EQ(Value::parse_json(doc.to_json()), doc);
+}
+
+TEST(Value, JsonStringEscapes) {
+  Value v(std::string("line1\nline2\t\"quoted\"\\"));
+  Value back = Value::parse_json(v.to_json());
+  EXPECT_EQ(back.as_string(), v.as_string());
+}
+
+TEST(Value, JsonParseWhitespace) {
+  Value v = Value::parse_json("  { \"a\" :\n [ 1 , 2 ] }  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Value, JsonParseUnicodeEscape) {
+  Value v = Value::parse_json("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(Value, JsonParseErrors) {
+  EXPECT_THROW(Value::parse_json(""), std::runtime_error);
+  EXPECT_THROW(Value::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(Value::parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(Value::parse_json("tru"), std::runtime_error);
+  EXPECT_THROW(Value::parse_json("1 2"), std::runtime_error);
+  EXPECT_THROW(Value::parse_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(Value::parse_json("\"unterminated"), std::runtime_error);
+}
+
+TEST(Value, JsonParseNumbers) {
+  EXPECT_EQ(Value::parse_json("12345").as_int(), 12345);
+  EXPECT_TRUE(Value::parse_json("1.0").is_double());
+  EXPECT_TRUE(Value::parse_json("1e3").is_double());
+  EXPECT_DOUBLE_EQ(Value::parse_json("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Value::parse_json("-2.5e-1").as_double(), -0.25);
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,89 @@
+#include "core/standard_jobs.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::core {
+namespace {
+
+class StandardJobsTest : public ::testing::Test {
+ protected:
+  StandardJobsTest() {
+    auto& col = db.collection("observations");
+    col.insert(obs("soundcity", "M1", 60.0, hours(9), "gps", minutes(1)));
+    col.insert(obs("soundcity", "M1", 62.0, hours(9) + minutes(10), "network",
+                   hours(3)));
+    col.insert(obs("soundcity", "M2", 70.0, hours(22), nullptr, minutes(2)));
+    col.insert(obs("otherapp", "M9", 50.0, hours(9), "gps", minutes(1)));
+  }
+
+  static Value obs(const char* app, const char* model, double spl,
+                   TimeMs captured, const char* provider, DurationMs delay) {
+    Object o;
+    o.set("app", Value(app));
+    o.set("model", Value(model));
+    o.set("spl", Value(spl));
+    o.set("captured_at", Value(captured));
+    o.set("delay_ms", Value(delay));
+    if (provider != nullptr)
+      o.set("location", Value(Object{{"provider", Value(provider)},
+                                     {"accuracy", Value(20.0)}}));
+    return Value(std::move(o));
+  }
+
+  docstore::Database db;
+};
+
+TEST_F(StandardJobsTest, PerModelCounts) {
+  Value result = job_per_model_counts("soundcity")(db);
+  EXPECT_EQ(result.get_int("M1"), 2);
+  EXPECT_EQ(result.get_int("M2"), 1);
+  EXPECT_EQ(result.find("M9"), nullptr);  // other app excluded
+}
+
+TEST_F(StandardJobsTest, HourlyHistogram) {
+  Value result = job_hourly_histogram("soundcity")(db);
+  EXPECT_EQ(result.get_int("09"), 2);
+  EXPECT_EQ(result.get_int("22"), 1);
+  EXPECT_EQ(result.get_int("03"), 0);
+}
+
+TEST_F(StandardJobsTest, ProviderShares) {
+  Value result = job_provider_shares("soundcity")(db);
+  EXPECT_EQ(result.get_int("total"), 3);
+  EXPECT_EQ(result.get_int("localized"), 2);
+  EXPECT_NEAR(result.get_double("gps"), 0.5, 1e-9);
+  EXPECT_NEAR(result.get_double("network"), 0.5, 1e-9);
+  EXPECT_NEAR(result.get_double("fused"), 0.0, 1e-9);
+}
+
+TEST_F(StandardJobsTest, DelayStats) {
+  Value result = job_delay_stats("soundcity")(db);
+  EXPECT_EQ(result.get_int("count"), 3);
+  EXPECT_NEAR(result.get_double("max_ms"), static_cast<double>(hours(3)), 1.0);
+  EXPECT_NEAR(result.get_double("over_2h_share"), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(StandardJobsTest, PurgeBefore) {
+  Value result = job_purge_before("soundcity", hours(12))(db);
+  EXPECT_EQ(result.get_int("removed"), 2);
+  EXPECT_EQ(db.collection("observations").size(), 2u);  // M2 + otherapp kept
+}
+
+TEST_F(StandardJobsTest, RunThroughServerJobPipeline) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  GoFlowServer server(sim, broker, db);
+  // The db already holds observations; register the app and submit.
+  auto reg = server.register_app("soundcity").value_or_throw();
+  JobId id = server
+                 .submit_job(reg.admin_token, "soundcity", "per-model",
+                             job_per_model_counts("soundcity"), minutes(1))
+                 .value_or_throw();
+  sim.run();
+  Value info = server.job_info(id).value_or_throw();
+  EXPECT_EQ(info.get_string("status"), "done");
+  EXPECT_EQ(info.at("result").get_int("M1"), 2);
+}
+
+}  // namespace
+}  // namespace mps::core

@@ -1,0 +1,68 @@
+#include "crowd/ambient.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+
+namespace mps::crowd {
+namespace {
+
+TEST(AmbientModel, ActiveProbabilityDiurnal) {
+  AmbientModel model;
+  EXPECT_LT(model.p_active(hours(4)), model.p_active(hours(16)));
+  EXPECT_NEAR(model.p_active(hours(4)), model.params().p_active_night, 0.02);
+  EXPECT_NEAR(model.p_active(hours(16)), model.params().p_active_day, 0.02);
+}
+
+TEST(AmbientModel, ProbabilityBounded) {
+  AmbientModel model;
+  for (int h = 0; h < 24; ++h) {
+    double p = model.p_active(hours(h));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AmbientModel, BimodalDistribution) {
+  // Daytime samples form the quiet peak plus the active bump of Fig 14.
+  AmbientModel model;
+  Rng rng(1);
+  Histogram h(0.0, 100.0, 50);
+  for (int i = 0; i < 50000; ++i) h.add(model.sample(hours(14), rng));
+  // Quiet component around 24 dB dominates.
+  std::size_t mode = h.mode_bin();
+  EXPECT_NEAR(h.bin_mid(mode), 24.0, 6.0);
+  // Active bump: meaningful mass in [55, 80].
+  double active_mass = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i)
+    if (h.bin_mid(i) >= 55.0 && h.bin_mid(i) <= 80.0) active_mass += h.share(i);
+  EXPECT_GT(active_mass, 20.0);
+  EXPECT_LT(active_mass, 45.0);
+}
+
+TEST(AmbientModel, NightQuieterThanDay) {
+  AmbientModel model;
+  Rng rng1(2), rng2(2);
+  RunningStats night, day;
+  for (int i = 0; i < 20000; ++i) {
+    night.add(model.sample(hours(3), rng1));
+    day.add(model.sample(hours(15), rng2));
+  }
+  EXPECT_LT(night.mean(), day.mean() - 5.0);
+}
+
+TEST(AmbientModel, CustomParams) {
+  AmbientParams params;
+  params.p_active_day = 0.0;
+  params.p_active_night = 0.0;
+  params.quiet_mean_db = 30.0;
+  AmbientModel model(params);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 10000; ++i) stats.add(model.sample(hours(12), rng));
+  EXPECT_NEAR(stats.mean(), 30.0, 0.3);
+}
+
+}  // namespace
+}  // namespace mps::crowd

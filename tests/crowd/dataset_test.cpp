@@ -1,0 +1,131 @@
+#include "crowd/dataset.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace mps::crowd {
+namespace {
+
+Population small_population(std::uint64_t seed = 1, double obs_scale = 0.002) {
+  PopulationConfig config;
+  config.seed = seed;
+  config.device_scale = 0.01;  // ~20 users
+  config.obs_scale = obs_scale;
+  config.horizon = days(305);
+  return Population::generate(config);
+}
+
+TEST(Dataset, GeneratesObservations) {
+  Population pop = small_population();
+  DatasetGenerator gen(pop);
+  std::uint64_t n = 0;
+  std::uint64_t returned = gen.generate([&](const phone::Observation&) { ++n; });
+  EXPECT_EQ(n, returned);
+  EXPECT_GT(n, 100u);
+}
+
+TEST(Dataset, Deterministic) {
+  Population pop = small_population();
+  DatasetGenerator gen(pop);
+  std::vector<double> run1, run2;
+  gen.generate([&](const phone::Observation& o) { run1.push_back(o.spl_db); });
+  gen.generate([&](const phone::Observation& o) { run2.push_back(o.spl_db); });
+  EXPECT_EQ(run1, run2);
+}
+
+TEST(Dataset, ObservationsWithinUserWindows) {
+  Population pop = small_population();
+  DatasetGenerator gen(pop);
+  std::map<std::string, const UserProfile*> by_id;
+  for (const UserProfile& u : pop.users()) by_id[u.id] = &u;
+  gen.generate([&](const phone::Observation& o) {
+    const UserProfile* u = by_id.at(o.user);
+    EXPECT_GE(o.captured_at, u->active_from);
+    EXPECT_LT(o.captured_at, u->active_until);
+  });
+}
+
+TEST(Dataset, PerUserChronologicalOrder) {
+  Population pop = small_population();
+  DatasetGenerator gen(pop);
+  std::map<std::string, TimeMs> last;
+  gen.generate([&](const phone::Observation& o) {
+    auto it = last.find(o.user);
+    if (it != last.end()) {
+      EXPECT_GE(o.captured_at, it->second);
+    }
+    last[o.user] = o.captured_at;
+  });
+}
+
+TEST(Dataset, NoJourneysBeforeRelease) {
+  Population pop = small_population(2, 0.005);
+  DatasetConfig config;
+  config.journey_release = days(275);
+  DatasetGenerator gen(pop, config);
+  gen.generate([&](const phone::Observation& o) {
+    if (o.mode == phone::SensingMode::kJourney) {
+      EXPECT_GE(o.captured_at, days(275));
+    }
+  });
+}
+
+TEST(Dataset, OpportunisticDominates) {
+  Population pop = small_population(3, 0.01);
+  DatasetGenerator gen(pop);
+  std::map<phone::SensingMode, std::uint64_t> by_mode;
+  gen.generate([&](const phone::Observation& o) { ++by_mode[o.mode]; });
+  EXPECT_GT(by_mode[phone::SensingMode::kOpportunistic],
+            by_mode[phone::SensingMode::kManual]);
+}
+
+TEST(Dataset, VolumeTracksExpectation) {
+  Population pop = small_population(4, 0.01);
+  DatasetGenerator gen(pop);
+  std::uint64_t n = gen.generate([](const phone::Observation&) {});
+  double expected = pop.expected_observations();
+  // Poisson thinning + manual/journey extras: within a factor ~2.
+  EXPECT_GT(static_cast<double>(n), expected * 0.5);
+  EXPECT_LT(static_cast<double>(n), expected * 2.5);
+}
+
+TEST(Dataset, ModelsTaggedCorrectly) {
+  Population pop = small_population();
+  DatasetGenerator gen(pop);
+  gen.generate([&](const phone::Observation& o) {
+    EXPECT_NE(phone::find_model(o.model), nullptr);
+    EXPECT_NE(o.user.find(o.model), std::string::npos)
+        << "user id embeds model name";
+  });
+}
+
+TEST(Dataset, GenerateSingleUser) {
+  Population pop = small_population();
+  DatasetGenerator gen(pop);
+  const UserProfile& u = pop.users().front();
+  std::uint64_t n = gen.generate_user(u, [&](const phone::Observation& o) {
+    EXPECT_EQ(o.user, u.id);
+  });
+  // A user with a multi-day window at these scales yields some data;
+  // zero is possible only for near-empty windows.
+  (void)n;
+}
+
+TEST(Dataset, LocalizedShareNearModelFractions) {
+  Population pop = small_population(5, 0.02);
+  DatasetGenerator gen(pop);
+  std::uint64_t localized = 0, total = 0;
+  gen.generate([&](const phone::Observation& o) {
+    ++total;
+    if (o.location.has_value()) ++localized;
+  });
+  ASSERT_GT(total, 500u);
+  double share = static_cast<double>(localized) / static_cast<double>(total);
+  // Paper: ~41% overall; manual/journey raise it slightly.
+  EXPECT_GT(share, 0.3);
+  EXPECT_LT(share, 0.6);
+}
+
+}  // namespace
+}  // namespace mps::crowd

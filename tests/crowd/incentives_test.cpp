@@ -1,0 +1,195 @@
+#include "crowd/incentives.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::crowd {
+namespace {
+
+// --- Stackelberg -------------------------------------------------------
+
+TEST(Stackelberg, RejectsInvalidInput) {
+  EXPECT_THROW(stackelberg_equilibrium({1.0, -1.0}, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(stackelberg_equilibrium({1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Stackelberg, FewerThanTwoUsersNoParticipation) {
+  StackelbergOutcome outcome = stackelberg_equilibrium({1.0}, 10.0);
+  EXPECT_TRUE(outcome.participants.empty());
+  EXPECT_DOUBLE_EQ(outcome.total_time, 0.0);
+}
+
+TEST(Stackelberg, SymmetricUsersSplitEqually) {
+  StackelbergOutcome outcome = stackelberg_equilibrium({1.0, 1.0, 1.0, 1.0}, 12.0);
+  EXPECT_EQ(outcome.participants.size(), 4u);
+  for (double t : outcome.times) EXPECT_NEAR(t, outcome.times[0], 1e-12);
+  EXPECT_GT(outcome.times[0], 0.0);
+}
+
+TEST(Stackelberg, ExpensiveUserExcluded) {
+  // Costs 1,1,1 and one outlier at 100: the outlier's best response is 0.
+  StackelbergOutcome outcome =
+      stackelberg_equilibrium({1.0, 1.0, 1.0, 100.0}, 10.0);
+  EXPECT_EQ(outcome.participants.size(), 3u);
+  EXPECT_DOUBLE_EQ(outcome.times[3], 0.0);
+}
+
+TEST(Stackelberg, CheaperUsersContributeMore) {
+  // Note: {1, 2, 3} would sit exactly on the participation boundary
+  // (c_3 = (1+2+3)/2), which the strict rule excludes.
+  StackelbergOutcome outcome = stackelberg_equilibrium({1.0, 2.0, 2.5}, 10.0);
+  ASSERT_EQ(outcome.participants.size(), 3u);
+  EXPECT_GT(outcome.times[0], outcome.times[1]);
+  EXPECT_GT(outcome.times[1], outcome.times[2]);
+}
+
+TEST(Stackelberg, TimesScaleWithReward) {
+  StackelbergOutcome small = stackelberg_equilibrium({1.0, 2.0}, 5.0);
+  StackelbergOutcome large = stackelberg_equilibrium({1.0, 2.0}, 10.0);
+  EXPECT_NEAR(large.total_time / small.total_time, 2.0, 1e-9);
+}
+
+// Property: no unilateral deviation improves a participant's utility
+// (Nash equilibrium), on random instances.
+class StackelbergNashTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackelbergNashTest, NoProfitableDeviation) {
+  Rng rng(GetParam());
+  std::vector<double> costs;
+  auto n = rng.uniform_int(2, 8);
+  for (int i = 0; i < n; ++i) costs.push_back(rng.uniform(0.5, 5.0));
+  double reward = rng.uniform(1.0, 50.0);
+  StackelbergOutcome outcome = stackelberg_equilibrium(costs, reward);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    double at_equilibrium = stackelberg_utility(costs, reward, outcome.times,
+                                                i, outcome.times[i]);
+    EXPECT_GE(at_equilibrium, -1e-9);  // individual rationality
+    for (double factor : {0.0, 0.5, 0.9, 1.1, 2.0}) {
+      double deviation = outcome.times[i] * factor + (outcome.times[i] == 0.0 ? factor : 0.0);
+      double deviated =
+          stackelberg_utility(costs, reward, outcome.times, i, deviation);
+      EXPECT_LE(deviated, at_equilibrium + 1e-6)
+          << "user " << i << " gains by playing " << deviation;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackelbergNashTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 20));
+
+// --- Reverse auction ----------------------------------------------------
+
+std::vector<double> unit_items(std::size_t n, double value = 1.0) {
+  return std::vector<double>(n, value);
+}
+
+TEST(ReverseAuction, EmptyInputs) {
+  AuctionResult result = reverse_auction({}, unit_items(3));
+  EXPECT_TRUE(result.winners.empty());
+  EXPECT_DOUBLE_EQ(result.total_value, 0.0);
+}
+
+TEST(ReverseAuction, SelectsProfitableBidders) {
+  std::vector<Bidder> bidders{
+      {"cheap", 0.5, {0, 1}},     // marginal 2, surplus 1.5
+      {"pricey", 5.0, {2}},       // marginal 1, surplus -4 -> out
+  };
+  AuctionResult result = reverse_auction(bidders, unit_items(3));
+  ASSERT_EQ(result.winners.size(), 1u);
+  EXPECT_EQ(result.winners[0], "cheap");
+  EXPECT_DOUBLE_EQ(result.total_value, 2.0);
+}
+
+TEST(ReverseAuction, OverlappingCoverageCountedOnce) {
+  std::vector<Bidder> bidders{
+      {"a", 0.1, {0, 1}},
+      {"b", 0.1, {1, 2}},  // item 1 already covered after a
+  };
+  AuctionResult result = reverse_auction(bidders, unit_items(3));
+  EXPECT_EQ(result.winners.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.total_value, 3.0);
+}
+
+TEST(ReverseAuction, PaymentsAtLeastBids) {
+  // Individual rationality for truthful bidders.
+  Rng rng(3);
+  std::vector<Bidder> bidders;
+  for (int i = 0; i < 8; ++i) {
+    Bidder b;
+    b.id = "u" + std::to_string(i);
+    b.bid = rng.uniform(0.1, 2.0);
+    for (int k = 0; k < 4; ++k)
+      b.items.push_back(static_cast<std::size_t>(rng.uniform_int(0, 11)));
+    bidders.push_back(b);
+  }
+  AuctionResult result = reverse_auction(bidders, unit_items(12));
+  for (const std::string& winner : result.winners) {
+    double bid = 0.0;
+    for (const Bidder& b : bidders)
+      if (b.id == winner) bid = b.bid;
+    EXPECT_GE(result.payments.at(winner), bid - 1e-9) << winner;
+  }
+}
+
+TEST(ReverseAuction, DuplicateItemsWithinBidCountedOnce) {
+  std::vector<Bidder> bidders{{"a", 0.1, {0, 0, 0}}};
+  AuctionResult result = reverse_auction(bidders, unit_items(1));
+  EXPECT_DOUBLE_EQ(result.total_value, 1.0);
+}
+
+TEST(ReverseAuction, OutOfRangeItemsIgnored) {
+  std::vector<Bidder> bidders{{"a", 0.1, {0, 99}}};
+  AuctionResult result = reverse_auction(bidders, unit_items(1));
+  EXPECT_DOUBLE_EQ(result.total_value, 1.0);
+}
+
+// Property: truthfulness — misreporting the bid never increases utility
+// (payment - true cost), spot-checked on random instances.
+class AuctionTruthfulnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuctionTruthfulnessTest, MisreportingDoesNotPay) {
+  Rng rng(GetParam());
+  std::vector<Bidder> bidders;
+  auto n = rng.uniform_int(3, 7);
+  for (int i = 0; i < n; ++i) {
+    Bidder b;
+    b.id = "u" + std::to_string(i);
+    b.bid = rng.uniform(0.2, 2.5);  // true cost
+    auto items = rng.uniform_int(1, 4);
+    for (int k = 0; k < items; ++k)
+      b.items.push_back(static_cast<std::size_t>(rng.uniform_int(0, 9)));
+    bidders.push_back(b);
+  }
+  std::vector<double> values = unit_items(10, 1.5);
+
+  auto utility = [&](std::size_t i, const AuctionResult& result) {
+    auto it = result.payments.find(bidders[i].id);
+    if (it == result.payments.end()) return 0.0;  // lost: zero utility
+    return it->second - bidders[i].bid;            // payment - true cost
+  };
+
+  AuctionResult truthful = reverse_auction(bidders, values);
+  for (std::size_t i = 0; i < bidders.size(); ++i) {
+    double honest = utility(i, truthful);
+    EXPECT_GE(honest, -1e-9);  // individual rationality
+    for (double factor : {0.3, 0.7, 1.3, 2.0}) {
+      std::vector<Bidder> lying = bidders;
+      lying[i].bid = bidders[i].bid * factor;
+      AuctionResult result = reverse_auction(lying, values);
+      // Utility still measured against the true cost.
+      double deviated = 0.0;
+      auto it = result.payments.find(bidders[i].id);
+      if (it != result.payments.end()) deviated = it->second - bidders[i].bid;
+      EXPECT_LE(deviated, honest + 1e-6)
+          << "bidder " << i << " gains by bidding x" << factor;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionTruthfulnessTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace mps::crowd

@@ -1,0 +1,84 @@
+#include "crowd/population.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace mps::crowd {
+namespace {
+
+TEST(Population, FullScaleMatchesPaperDeviceCounts) {
+  PopulationConfig config;
+  config.device_scale = 1.0;
+  config.obs_scale = 0.01;
+  Population pop = Population::generate(config);
+  EXPECT_EQ(pop.users().size(), 2091u);
+  EXPECT_EQ(pop.users_of_model("SAMSUNG GT-I9505").size(), 253u);
+  EXPECT_EQ(pop.users_of_model("SONY D2303").size(), 40u);
+}
+
+TEST(Population, ScaledDownKeepsEveryModel) {
+  PopulationConfig config;
+  config.device_scale = 0.02;  // tiny
+  Population pop = Population::generate(config);
+  std::map<std::string, int> per_model;
+  for (const UserProfile& u : pop.users()) ++per_model[u.model];
+  EXPECT_EQ(per_model.size(), 20u);  // min 1 device per model
+  for (const auto& [model, n] : per_model) EXPECT_GE(n, 1);
+}
+
+TEST(Population, Deterministic) {
+  PopulationConfig config;
+  config.device_scale = 0.05;
+  Population a = Population::generate(config);
+  Population b = Population::generate(config);
+  ASSERT_EQ(a.users().size(), b.users().size());
+  for (std::size_t i = 0; i < a.users().size(); ++i) {
+    EXPECT_EQ(a.users()[i].id, b.users()[i].id);
+    EXPECT_DOUBLE_EQ(a.users()[i].obs_per_day, b.users()[i].obs_per_day);
+  }
+}
+
+TEST(Population, DifferentSeedsDifferentUsers) {
+  PopulationConfig c1, c2;
+  c1.device_scale = c2.device_scale = 0.05;
+  c1.seed = 1;
+  c2.seed = 2;
+  Population a = Population::generate(c1);
+  Population b = Population::generate(c2);
+  ASSERT_EQ(a.users().size(), b.users().size());
+  int same = 0;
+  for (std::size_t i = 0; i < a.users().size(); ++i)
+    if (a.users()[i].obs_per_day == b.users()[i].obs_per_day) ++same;
+  EXPECT_LT(same, static_cast<int>(a.users().size() / 10));
+}
+
+TEST(Population, ExpectedObservationsScaleWithObsScale) {
+  PopulationConfig lo, hi;
+  lo.device_scale = hi.device_scale = 0.1;
+  lo.obs_scale = 0.01;
+  hi.obs_scale = 0.02;
+  double e_lo = Population::generate(lo).expected_observations();
+  double e_hi = Population::generate(hi).expected_observations();
+  EXPECT_GT(e_lo, 0.0);
+  EXPECT_NEAR(e_hi / e_lo, 2.0, 0.4);
+}
+
+TEST(Population, PerModelProportionsTrackPaper) {
+  // With full device scale, the expected per-model observation totals
+  // should be ordered like the paper's measurement counts.
+  PopulationConfig config;
+  config.device_scale = 1.0;
+  config.obs_scale = 0.01;
+  config.seed = 3;
+  Population pop = Population::generate(config);
+  std::map<std::string, double> expected;
+  for (const UserProfile& u : pop.users())
+    expected[u.model] += u.obs_per_day * u.active_days();
+  // Highest-volume model (GT-I9505, 2.35M) should far exceed the lowest
+  // (SONY D2303, 0.59M).
+  EXPECT_GT(expected["SAMSUNG GT-I9505"], expected["SONY D2303"] * 1.8);
+}
+
+}  // namespace
+}  // namespace mps::crowd

@@ -1,0 +1,79 @@
+#include "crowd/retention.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::crowd {
+namespace {
+
+TEST(Retention, HazardGrowsWithDrain) {
+  RetentionModel model;
+  EXPECT_GT(model.daily_hazard(5.0, 30), model.daily_hazard(1.0, 30));
+  EXPECT_GT(model.daily_hazard(1.0, 30), model.daily_hazard(0.0, 30));
+}
+
+TEST(Retention, NegativeDrainTreatedAsZero) {
+  RetentionModel model;
+  EXPECT_DOUBLE_EQ(model.daily_hazard(-3.0, 30), model.daily_hazard(0.0, 30));
+}
+
+TEST(Retention, FirstWeekMultiplier) {
+  RetentionModel model;
+  EXPECT_NEAR(model.daily_hazard(2.0, 3),
+              model.daily_hazard(2.0, 30) * model.params().first_week_multiplier,
+              1e-12);
+}
+
+TEST(Retention, HazardClamped) {
+  RetentionParams params;
+  params.churn_per_drain_point = 1.0;
+  RetentionModel model(params);
+  EXPECT_DOUBLE_EQ(model.daily_hazard(500.0, 30), 1.0);
+  Rng rng(1);
+  EXPECT_EQ(model.simulate_churn_day(500.0, 100, rng), 0);
+}
+
+TEST(Retention, SurvivalCurveMonotoneAndNormalized) {
+  RetentionModel model;
+  std::vector<double> curve = model.survival_curve(2.0, 100);
+  ASSERT_EQ(curve.size(), 101u);
+  EXPECT_DOUBLE_EQ(curve.front(), 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1]);
+    EXPECT_GE(curve[i], 0.0);
+  }
+}
+
+TEST(Retention, MoreDrainLowerSurvival) {
+  RetentionModel model;
+  std::vector<double> low = model.survival_curve(0.5, 305);
+  std::vector<double> high = model.survival_curve(10.0, 305);
+  EXPECT_GT(low.back(), high.back() * 5.0);
+}
+
+TEST(Retention, SimulationMatchesAnalyticCurve) {
+  RetentionModel model;
+  Rng rng(7);
+  const int kUsers = 20000;
+  const int kHorizon = 60;
+  const double kDrain = 3.0;
+  int survivors = 0;
+  for (int i = 0; i < kUsers; ++i)
+    if (model.simulate_churn_day(kDrain, kHorizon, rng) == kHorizon)
+      ++survivors;
+  double simulated = static_cast<double>(survivors) / kUsers;
+  double analytic = model.survival_curve(kDrain, kHorizon).back();
+  EXPECT_NEAR(simulated, analytic, 0.02);
+}
+
+TEST(Retention, ZeroHazardNeverChurns) {
+  RetentionParams params;
+  params.base_daily_churn = 0.0;
+  params.churn_per_drain_point = 0.0;
+  RetentionModel model(params);
+  Rng rng(9);
+  EXPECT_EQ(model.simulate_churn_day(0.0, 365, rng), 365);
+  EXPECT_DOUBLE_EQ(model.survival_curve(0.0, 365).back(), 1.0);
+}
+
+}  // namespace
+}  // namespace mps::crowd

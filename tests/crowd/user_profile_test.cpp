@@ -1,0 +1,140 @@
+#include "crowd/user_profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mps::crowd {
+namespace {
+
+const phone::DeviceModelSpec& test_model() {
+  return phone::top20_catalog().front();
+}
+
+UserProfile make_user(int index, std::uint64_t seed = 1,
+                      double target_total = 1000.0) {
+  UserProfileParams params;
+  return generate_user_profile(
+      test_model(), index, days(305), target_total, params,
+      Rng(seed).child("test").child(static_cast<std::uint64_t>(index)));
+}
+
+TEST(UserProfile, BaseShapeNormalizedAndPeaked) {
+  const auto& base = base_diurnal_shape();
+  double total = 0.0;
+  for (double w : base) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Peak 10AM-9PM vs trough 2-6AM (Figure 18).
+  EXPECT_GT(base[12], base[3] * 5.0);
+  EXPECT_GT(base[19], base[4] * 5.0);
+}
+
+TEST(UserProfile, HourlyWeightsNormalized) {
+  UserProfile u = make_user(0);
+  double total = 0.0;
+  for (double w : u.hourly_weight) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(UserProfile, Deterministic) {
+  UserProfile a = make_user(3, 9);
+  UserProfile b = make_user(3, 9);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_DOUBLE_EQ(a.obs_per_day, b.obs_per_day);
+  EXPECT_EQ(a.hourly_weight, b.hourly_weight);
+  EXPECT_EQ(a.active_from, b.active_from);
+}
+
+TEST(UserProfile, UsersAreHeterogeneous) {
+  // Figure 19: individual diurnal shapes differ strongly.
+  UserProfile a = make_user(0), b = make_user(1);
+  double l1 = 0.0;
+  for (int h = 0; h < 24; ++h)
+    l1 += std::abs(a.hourly_weight[h] - b.hourly_weight[h]);
+  EXPECT_GT(l1, 0.2);
+}
+
+TEST(UserProfile, ActiveWindowWithinHorizon) {
+  for (int i = 0; i < 50; ++i) {
+    UserProfile u = make_user(i);
+    EXPECT_GE(u.active_from, 0);
+    EXPECT_GT(u.active_until, u.active_from);
+    EXPECT_LE(u.active_until, days(305));
+    EXPECT_TRUE(u.active_at(u.active_from));
+    EXPECT_FALSE(u.active_at(u.active_until));
+  }
+}
+
+TEST(UserProfile, ExpectedTotalMatchesTargetOnAverage) {
+  // Mean of obs_per_day * active_days over many users ~= target.
+  double total = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    UserProfile u = make_user(i, 5, 2000.0);
+    total += u.obs_per_day * u.active_days();
+  }
+  EXPECT_NEAR(total / n, 2000.0, 300.0);
+}
+
+TEST(UserProfile, IntensityHeterogeneous) {
+  RunningStats stats;
+  for (int i = 0; i < 200; ++i) stats.add(make_user(i).obs_per_day);
+  EXPECT_GT(stats.stddev() / stats.mean(), 0.4);  // strong spread
+}
+
+TEST(UserProfile, MixOfTechnologiesAndSharing) {
+  int wifi = 0, shares = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    UserProfile u = make_user(i);
+    if (u.technology == net::Technology::kWifi) ++wifi;
+    if (u.shares) ++shares;
+  }
+  EXPECT_GT(wifi, n / 3);
+  EXPECT_LT(wifi, n);
+  EXPECT_GT(shares, n / 2);
+  EXPECT_LT(shares, n);
+}
+
+TEST(UserProfile, HomesSpreadOverCity) {
+  RunningStats xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    UserProfile u = make_user(i);
+    xs.add(u.home_x_m);
+    ys.add(u.home_y_m);
+  }
+  EXPECT_GT(xs.max() - xs.min(), 10'000);
+  EXPECT_GT(ys.max() - ys.min(), 10'000);
+}
+
+TEST(UserPosition, DeterministicWithinHour) {
+  UserProfile u = make_user(0);
+  auto p1 = user_position(u, hours(10) + minutes(5));
+  auto p2 = user_position(u, hours(10) + minutes(50));
+  EXPECT_DOUBLE_EQ(p1.first, p2.first);
+  EXPECT_DOUBLE_EQ(p1.second, p2.second);
+  auto p3 = user_position(u, hours(11));
+  EXPECT_TRUE(p3.first != p1.first || p3.second != p1.second);
+}
+
+TEST(UserPosition, StaysNearHomeMostly) {
+  UserProfile u = make_user(0);
+  int near = 0;
+  const int n = 500;
+  for (int h = 0; h < n; ++h) {
+    auto [x, y] = user_position(u, hours(h));
+    double d = std::hypot(x - u.home_x_m, y - u.home_y_m);
+    if (d <= u.roam_radius_m * 1.01) ++near;
+  }
+  EXPECT_GT(near, n * 8 / 10);  // ~95% within radius (5% long trips)
+}
+
+TEST(UserProfile, JourneyLengthPositive) {
+  for (int i = 0; i < 50; ++i) EXPECT_GE(make_user(i).journey_length, 5);
+}
+
+}  // namespace
+}  // namespace mps::crowd

@@ -1,0 +1,53 @@
+#include "docstore/database.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::docstore {
+namespace {
+
+TEST(Database, CreatesCollectionsOnDemand) {
+  Database db;
+  EXPECT_FALSE(db.has_collection("obs"));
+  Collection& c = db.collection("obs");
+  EXPECT_TRUE(db.has_collection("obs"));
+  EXPECT_EQ(c.name(), "obs");
+  // Same object on re-access.
+  EXPECT_EQ(&db.collection("obs"), &c);
+}
+
+TEST(Database, FindCollection) {
+  Database db;
+  EXPECT_EQ(db.find_collection("x"), nullptr);
+  db.collection("x");
+  EXPECT_NE(db.find_collection("x"), nullptr);
+}
+
+TEST(Database, DropCollection) {
+  Database db;
+  db.collection("a").insert(Value(Object{{"v", Value(1)}}));
+  EXPECT_TRUE(db.drop_collection("a"));
+  EXPECT_FALSE(db.drop_collection("a"));
+  EXPECT_FALSE(db.has_collection("a"));
+}
+
+TEST(Database, CollectionNamesSorted) {
+  Database db;
+  db.collection("zeta");
+  db.collection("alpha");
+  db.collection("mid");
+  auto names = db.collection_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(Database, TotalDocuments) {
+  Database db;
+  db.collection("a").insert(Value(Object{{"v", Value(1)}}));
+  db.collection("a").insert(Value(Object{{"v", Value(2)}}));
+  db.collection("b").insert(Value(Object{{"v", Value(3)}}));
+  EXPECT_EQ(db.total_documents(), 3u);
+}
+
+}  // namespace
+}  // namespace mps::docstore

@@ -1,0 +1,119 @@
+// Model-based fuzz test: random CRUD sequences on a Collection (with
+// indexes enabled) checked against a trivially correct reference oracle
+// (std::map of documents, linear-scan query evaluation).
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "docstore/collection.h"
+
+namespace mps::docstore {
+namespace {
+
+/// The oracle: naive storage and query evaluation.
+class Oracle {
+ public:
+  void insert(const std::string& id, const Document& doc) { docs_[id] = doc; }
+  bool remove(const std::string& id) { return docs_.erase(id) > 0; }
+  bool replace(const std::string& id, Document doc) {
+    auto it = docs_.find(id);
+    if (it == docs_.end()) return false;
+    doc.as_object().set("_id", Value(id));
+    it->second = std::move(doc);
+    return true;
+  }
+  std::size_t count(const Query& q) const {
+    std::size_t n = 0;
+    for (const auto& [_, doc] : docs_)
+      if (q.matches(doc)) ++n;
+    return n;
+  }
+  std::size_t size() const { return docs_.size(); }
+
+ private:
+  std::map<std::string, Document> docs_;
+};
+
+Document random_doc(Rng& rng) {
+  Object o;
+  o.set("k", Value(rng.uniform_int(0, 7)));
+  o.set("x", Value(rng.uniform(0.0, 100.0)));
+  if (rng.bernoulli(0.7))
+    o.set("tag", Value("t" + std::to_string(rng.uniform_int(0, 3))));
+  if (rng.bernoulli(0.5))
+    o.set("nested", Value(Object{{"v", Value(rng.uniform_int(0, 20))}}));
+  return Value(std::move(o));
+}
+
+Query random_query(Rng& rng) {
+  switch (rng.uniform_int(0, 6)) {
+    case 0: return Query::eq("k", Value(rng.uniform_int(0, 7)));
+    case 1: return Query::lt("x", Value(rng.uniform(0.0, 100.0)));
+    case 2: return Query::gte("x", Value(rng.uniform(0.0, 100.0)));
+    case 3: return Query::exists("tag");
+    case 4:
+      return Query::and_({Query::eq("k", Value(rng.uniform_int(0, 7))),
+                          Query::lt("x", Value(rng.uniform(0.0, 100.0)))});
+    case 5:
+      return Query::or_({Query::eq("tag", Value("t1")),
+                         Query::gt("nested.v", Value(rng.uniform_int(0, 20)))});
+    default:
+      return Query::not_(Query::eq("k", Value(rng.uniform_int(0, 7))));
+  }
+}
+
+class FuzzOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzOracleTest, RandomCrudSequencesAgree) {
+  Rng rng(GetParam());
+  Collection collection("fuzz");
+  collection.create_index("k");
+  collection.create_index("x");
+  Oracle oracle;
+  std::vector<std::string> ids;
+
+  for (int step = 0; step < 600; ++step) {
+    double action = rng.uniform();
+    if (action < 0.5 || ids.empty()) {
+      // Insert.
+      Document doc = random_doc(rng);
+      std::string id = collection.insert(doc);
+      Document stored = *collection.get(id);
+      oracle.insert(id, stored);
+      ids.push_back(id);
+    } else if (action < 0.65) {
+      // Remove a random id (possibly already removed).
+      const std::string& id =
+          ids[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(ids.size()) - 1))];
+      EXPECT_EQ(collection.remove(id), oracle.remove(id));
+    } else if (action < 0.8) {
+      // Replace.
+      const std::string& id =
+          ids[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(ids.size()) - 1))];
+      Document doc = random_doc(rng);
+      EXPECT_EQ(collection.replace(id, doc), oracle.replace(id, doc));
+    } else {
+      // Query: counts must agree.
+      Query q = random_query(rng);
+      EXPECT_EQ(collection.count(q), oracle.count(q)) << q.to_string();
+    }
+    if (step % 97 == 0) {
+      EXPECT_EQ(collection.size(), oracle.size());
+    }
+  }
+  EXPECT_EQ(collection.size(), oracle.size());
+  // Final sweep of queries.
+  for (int i = 0; i < 40; ++i) {
+    Query q = random_query(rng);
+    EXPECT_EQ(collection.count(q), oracle.count(q)) << q.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOracleTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace mps::docstore

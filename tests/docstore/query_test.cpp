@@ -1,0 +1,113 @@
+#include "docstore/query.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::docstore {
+namespace {
+
+Document make_obs(double spl, double accuracy, const char* provider,
+                  std::int64_t time) {
+  return Value(Object{
+      {"spl", Value(spl)},
+      {"time", Value(time)},
+      {"location",
+       Value(Object{{"accuracy", Value(accuracy)}, {"provider", Value(provider)}})}});
+}
+
+TEST(Query, AllMatchesEverything) {
+  EXPECT_TRUE(Query::all().matches(make_obs(50, 20, "gps", 0)));
+  EXPECT_TRUE(Query::all().matches(Value(Object{})));
+}
+
+TEST(Query, EqOnTopLevel) {
+  Document d = make_obs(55.0, 10.0, "gps", 100);
+  EXPECT_TRUE(Query::eq("spl", Value(55.0)).matches(d));
+  EXPECT_FALSE(Query::eq("spl", Value(56.0)).matches(d));
+}
+
+TEST(Query, EqMissingFieldNeverMatches) {
+  Document d = make_obs(55.0, 10.0, "gps", 100);
+  EXPECT_FALSE(Query::eq("nope", Value(55.0)).matches(d));
+}
+
+TEST(Query, EqNestedPath) {
+  Document d = make_obs(55.0, 10.0, "network", 100);
+  EXPECT_TRUE(Query::eq("location.provider", Value("network")).matches(d));
+  EXPECT_FALSE(Query::eq("location.provider", Value("gps")).matches(d));
+}
+
+TEST(Query, NeRequiresFieldPresence) {
+  Document d = make_obs(55.0, 10.0, "gps", 100);
+  EXPECT_TRUE(Query::ne("spl", Value(1.0)).matches(d));
+  EXPECT_FALSE(Query::ne("spl", Value(55.0)).matches(d));
+  // Missing field: ne does not match (Mongo semantics differ; ours is strict).
+  EXPECT_FALSE(Query::ne("missing", Value(1.0)).matches(d));
+}
+
+TEST(Query, OrderingOperators) {
+  Document d = make_obs(55.0, 30.0, "network", 100);
+  EXPECT_TRUE(Query::lt("location.accuracy", Value(50.0)).matches(d));
+  EXPECT_FALSE(Query::lt("location.accuracy", Value(30.0)).matches(d));
+  EXPECT_TRUE(Query::lte("location.accuracy", Value(30.0)).matches(d));
+  EXPECT_TRUE(Query::gt("spl", Value(54.9)).matches(d));
+  EXPECT_FALSE(Query::gt("spl", Value(55.0)).matches(d));
+  EXPECT_TRUE(Query::gte("spl", Value(55.0)).matches(d));
+}
+
+TEST(Query, MixedIntDoubleComparison) {
+  Document d = Value(Object{{"n", Value(5)}});
+  EXPECT_TRUE(Query::lt("n", Value(5.5)).matches(d));
+  EXPECT_TRUE(Query::eq("n", Value(5.0)).matches(d));
+}
+
+TEST(Query, InOperator) {
+  Document d = make_obs(55.0, 30.0, "fused", 100);
+  EXPECT_TRUE(Query::in("location.provider",
+                        {Value("gps"), Value("fused")}).matches(d));
+  EXPECT_FALSE(Query::in("location.provider",
+                         {Value("gps"), Value("network")}).matches(d));
+  EXPECT_FALSE(Query::in("location.provider", {}).matches(d));
+}
+
+TEST(Query, Exists) {
+  Document d = make_obs(55.0, 30.0, "gps", 100);
+  EXPECT_TRUE(Query::exists("location.accuracy").matches(d));
+  EXPECT_FALSE(Query::exists("location.altitude").matches(d));
+  Document with_null = Value(Object{{"x", Value()}});
+  EXPECT_TRUE(Query::exists("x").matches(with_null));
+}
+
+TEST(Query, RangeClosedOpen) {
+  Query q = Query::range("time", Value(100), Value(200));
+  EXPECT_TRUE(q.matches(make_obs(0, 0, "gps", 100)));
+  EXPECT_TRUE(q.matches(make_obs(0, 0, "gps", 199)));
+  EXPECT_FALSE(q.matches(make_obs(0, 0, "gps", 200)));
+  EXPECT_FALSE(q.matches(make_obs(0, 0, "gps", 99)));
+}
+
+TEST(Query, AndOrNot) {
+  Document d = make_obs(55.0, 30.0, "network", 100);
+  Query good = Query::and_({Query::eq("location.provider", Value("network")),
+                            Query::lt("location.accuracy", Value(50.0))});
+  EXPECT_TRUE(good.matches(d));
+  Query bad = Query::and_({Query::eq("location.provider", Value("network")),
+                           Query::lt("location.accuracy", Value(10.0))});
+  EXPECT_FALSE(bad.matches(d));
+  Query either = Query::or_({bad, good});
+  EXPECT_TRUE(either.matches(d));
+  EXPECT_FALSE(Query::not_(either).matches(d));
+  EXPECT_TRUE(Query::and_({}).matches(d));   // vacuous AND
+  EXPECT_FALSE(Query::or_({}).matches(d));   // vacuous OR
+}
+
+TEST(Query, ToStringReadable) {
+  Query q = Query::and_({Query::eq("app", Value("soundcity")),
+                         Query::gte("time", Value(0))});
+  std::string s = q.to_string();
+  EXPECT_NE(s.find("and("), std::string::npos);
+  EXPECT_NE(s.find("eq(app"), std::string::npos);
+  EXPECT_NE(s.find("gte(time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mps::docstore

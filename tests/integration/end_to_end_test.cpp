@@ -1,0 +1,223 @@
+// Full-stack integration: simulated phones -> GoFlow client (buffering,
+// store-and-forward) -> broker (Figure 3 topology) -> GoFlow server
+// (ingest, storage) -> data API -> calibration -> BLUE assimilation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assim/assimilator.h"
+#include "assim/city_noise_model.h"
+#include "calib/calibration.h"
+#include "client/goflow_client.h"
+#include "core/goflow_server.h"
+#include "crowd/ambient.h"
+
+namespace mps {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest() : server(sim, broker, db) {
+    auto reg = server.register_app("soundcity").value_or_throw();
+    admin_token = reg.admin_token;
+    client_token =
+        server
+            .register_account(admin_token, "soundcity", "field", core::Role::kClient)
+            .value_or_throw();
+  }
+
+  struct Device {
+    std::unique_ptr<phone::Phone> phone;
+    std::unique_ptr<client::GoFlowClient> goflow;
+  };
+
+  Device make_device(const std::string& id, const phone::DeviceModelSpec& model,
+                     std::uint64_t seed, std::size_t buffer_size,
+                     double x, double y) {
+    auto channels =
+        server.login_client(client_token, "soundcity", id).value_or_throw();
+    phone::PhoneConfig pc;
+    pc.model = model;
+    pc.user = id;
+    pc.seed = seed;
+    pc.connectivity = net::ConnectivityParams::always_connected();
+    pc.horizon = days(3);
+    Device d;
+    d.phone = std::make_unique<phone::Phone>(pc);
+    client::ClientConfig cc =
+        client::ClientConfig::v1_3(id, channels.exchange, buffer_size);
+    d.goflow = std::make_unique<client::GoFlowClient>(
+        sim, broker, *d.phone, cc, [](TimeMs) { return 62.0; },
+        [x, y](TimeMs) { return std::pair<double, double>{x, y}; });
+    return d;
+  }
+
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server;
+  std::string admin_token;
+  std::string client_token;
+};
+
+TEST_F(EndToEndTest, ObservationsFlowFromPhoneToStore) {
+  Device d = make_device("mob1", phone::top20_catalog().front(), 1, 10,
+                         5000, 5000);
+  d.goflow->start();
+  sim.run_until(hours(6));
+  // 6h at 5-min period = 72 observations, 7 full batches of 10 uploaded.
+  EXPECT_EQ(d.goflow->stats().observations_recorded, 72u);
+  EXPECT_EQ(d.goflow->stats().uploads, 7u);
+  EXPECT_EQ(server.total_observations(), 70u);
+
+  core::ObservationFilter filter;
+  filter.app = "soundcity";
+  EXPECT_EQ(server.count_observations(admin_token, filter).value_or_throw(),
+            70u);
+  // Stored docs carry ingest enrichment.
+  auto docs = server.query_observations(admin_token, filter).value_or_throw();
+  EXPECT_EQ(docs[0].get_string("client"), "mob1");
+  EXPECT_GE(docs[0].get_int("delay_ms"), 0);
+}
+
+TEST_F(EndToEndTest, MultipleDevicesIsolatedPerUserQueries) {
+  Device a = make_device("mobA", phone::top20_catalog()[0], 1, 1, 1000, 1000);
+  Device b = make_device("mobB", phone::top20_catalog()[5], 2, 1, 2000, 2000);
+  a.goflow->start();
+  b.goflow->start();
+  sim.run_until(hours(2) + seconds(5));  // include the final transfer
+  core::ObservationFilter fa;
+  fa.app = "soundcity";
+  fa.user = "mobA";
+  core::ObservationFilter fb;
+  fb.app = "soundcity";
+  fb.user = "mobB";
+  std::size_t na = server.count_observations(admin_token, fa).value_or_throw();
+  std::size_t nb = server.count_observations(admin_token, fb).value_or_throw();
+  EXPECT_EQ(na, 24u);
+  EXPECT_EQ(nb, 24u);
+  core::AppAnalytics analytics = server.analytics("soundcity").value_or_throw();
+  EXPECT_EQ(analytics.observations_stored, 48u);
+  EXPECT_EQ(analytics.clients_logged_in, 2u);
+}
+
+TEST_F(EndToEndTest, DelayMeasuredThroughStack) {
+  // Buffered client: first observation of each batch waits ~45 min.
+  Device d = make_device("mob1", phone::top20_catalog().front(), 3, 10,
+                         5000, 5000);
+  d.goflow->start();
+  sim.run_until(hours(1));
+  core::AppAnalytics analytics = server.analytics("soundcity").value_or_throw();
+  ASSERT_GT(analytics.delay_stats.count(), 0u);
+  EXPECT_NEAR(analytics.delay_stats.max(), static_cast<double>(minutes(45)),
+              static_cast<double>(minutes(1)));
+}
+
+TEST_F(EndToEndTest, QueryFeedsAssimilation) {
+  // Several devices at distinct positions; retrieve their localized
+  // observations from the server and assimilate against a flat background.
+  std::vector<Device> devices;
+  for (int i = 0; i < 6; ++i) {
+    devices.push_back(make_device("mob" + std::to_string(i),
+                                  phone::top20_catalog()[i], 10 + i, 5,
+                                  2000.0 + i * 2500.0, 8000.0));
+    devices.back().goflow->start();
+  }
+  sim.run_until(hours(8));
+
+  core::ObservationFilter filter;
+  filter.app = "soundcity";
+  filter.localized_only = true;
+  filter.max_accuracy_m = 100.0;
+  auto docs = server.query_observations(admin_token, filter).value_or_throw();
+  ASSERT_GT(docs.size(), 20u);
+
+  std::vector<phone::Observation> observations;
+  for (const Value& doc : docs)
+    observations.push_back(phone::Observation::from_document(doc));
+
+  assim::Grid background(32, 32, 20'000, 20'000, 45.0);
+  assim::ConversionStats stats;
+  assim::BlueResult result = assim::assimilate(
+      background, observations, assim::BlueParams{},
+      assim::ObservationPolicy{}, assim::identity_calibration(), &stats);
+  EXPECT_EQ(stats.accepted, docs.size());
+  // Ambient is 62 dB at the devices; the analysis must move that way.
+  EXPECT_GT(result.analysis.sample(5000, 8000), 47.0);
+  EXPECT_LT(result.residual_rms, result.innovation_rms);
+}
+
+TEST_F(EndToEndTest, CalibrationIntegratesWithServerData) {
+  // Two models with very different biases sense the same 62 dB ambient;
+  // after per-model calibration their stored readings align.
+  const phone::DeviceModelSpec* low = phone::find_model("SAMSUNG GT-I9305");
+  const phone::DeviceModelSpec* high = phone::find_model("SONY D2303");
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  Device a = make_device("mobL", *low, 21, 1, 3000, 3000);
+  Device b = make_device("mobH", *high, 22, 1, 3000, 3000);
+  a.goflow->start();
+  b.goflow->start();
+  sim.run_until(hours(10));
+
+  // Calibration database built from reference sessions.
+  calib::CalibrationDatabase cal;
+  Rng rng(5);
+  for (const auto* spec : {low, high}) {
+    phone::Microphone mic(*spec);
+    std::vector<std::pair<double, double>> pairs;
+    for (int i = 0; i < 200; ++i) {
+      double ref = rng.uniform(55, 85);
+      pairs.emplace_back(mic.measure(ref, rng), ref);
+    }
+    cal.add_session(spec->id, pairs);
+  }
+
+  auto mean_spl = [&](const std::string& user, bool corrected) {
+    core::ObservationFilter f;
+    f.app = "soundcity";
+    f.user = user;
+    auto docs = server.query_observations(admin_token, f).value_or_throw();
+    RunningStats stats;
+    for (const Value& doc : docs) {
+      double spl = doc.get_double("spl");
+      if (corrected) spl = cal.correct(doc.get_string("model"), spl);
+      stats.add(spl);
+    }
+    return stats.mean();
+  };
+  double raw_gap = std::abs(mean_spl("mobL", false) - mean_spl("mobH", false));
+  double corrected_gap =
+      std::abs(mean_spl("mobL", true) - mean_spl("mobH", true));
+  EXPECT_GT(raw_gap, 8.0);        // -8 vs +8 dB biases
+  EXPECT_LT(corrected_gap, 2.0);  // tamed per-model
+}
+
+TEST_F(EndToEndTest, BackgroundJobComputesModelStatistics) {
+  Device d = make_device("mob1", phone::top20_catalog().front(), 31, 1,
+                         4000, 4000);
+  d.goflow->start();
+  sim.run_until(hours(2));
+  core::JobId job =
+      server
+          .submit_job(admin_token, "soundcity", "per-model-count",
+                      [](docstore::Database& database) {
+                        auto groups =
+                            database.collection("observations")
+                                .group_count("model");
+                        Object out;
+                        for (const auto& [model, n] : groups)
+                          out.set(model.as_string(),
+                                  Value(static_cast<std::int64_t>(n)));
+                        return Value(std::move(out));
+                      },
+                      minutes(1))
+          .value_or_throw();
+  sim.run_until(hours(2) + minutes(2));
+  Value info = server.job_info(job).value_or_throw();
+  EXPECT_EQ(info.get_string("status"), "done");
+  EXPECT_EQ(info.at("result").get_int("SAMSUNG GT-I9505"), 24);
+}
+
+}  // namespace
+}  // namespace mps

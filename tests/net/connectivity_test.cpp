@@ -1,0 +1,122 @@
+#include "net/connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::net {
+namespace {
+
+TEST(ConnectivityTrace, AlwaysConnected) {
+  ConnectivityTrace t = ConnectivityTrace::always_connected(hours(10));
+  EXPECT_TRUE(t.connected_at(0));
+  EXPECT_TRUE(t.connected_at(hours(5)));
+  EXPECT_DOUBLE_EQ(t.uptime_fraction(), 1.0);
+  EXPECT_EQ(t.next_connection_at(hours(3)), hours(3));
+}
+
+TEST(ConnectivityTrace, FromIntervals) {
+  auto t = ConnectivityTrace::from_intervals(
+      {{0, 100}, {200, 300}}, 400);
+  EXPECT_TRUE(t.connected_at(0));
+  EXPECT_TRUE(t.connected_at(99));
+  EXPECT_FALSE(t.connected_at(100));  // end exclusive
+  EXPECT_FALSE(t.connected_at(150));
+  EXPECT_TRUE(t.connected_at(250));
+  EXPECT_FALSE(t.connected_at(350));
+}
+
+TEST(ConnectivityTrace, FromIntervalsValidation) {
+  EXPECT_THROW(ConnectivityTrace::from_intervals({{100, 50}}, 200),
+               std::invalid_argument);
+  EXPECT_THROW(ConnectivityTrace::from_intervals({{0, 100}, {50, 200}}, 300),
+               std::invalid_argument);
+  EXPECT_THROW(ConnectivityTrace::from_intervals({{100, 200}, {0, 50}}, 300),
+               std::invalid_argument);
+}
+
+TEST(ConnectivityTrace, NextConnectionAt) {
+  auto t = ConnectivityTrace::from_intervals({{100, 200}, {400, 500}}, 600);
+  EXPECT_EQ(t.next_connection_at(0), 100);
+  EXPECT_EQ(t.next_connection_at(150), 150);  // already connected
+  EXPECT_EQ(t.next_connection_at(200), 400);  // just dropped
+  EXPECT_EQ(t.next_connection_at(450), 450);
+  EXPECT_EQ(t.next_connection_at(500), -1);   // never reconnects
+}
+
+TEST(ConnectivityTrace, UptimeFraction) {
+  auto t = ConnectivityTrace::from_intervals({{0, 250}, {500, 750}}, 1000);
+  EXPECT_DOUBLE_EQ(t.uptime_fraction(), 0.5);
+}
+
+TEST(ConnectivityTrace, GeneratedTraceDeterministic) {
+  ConnectivityParams params;
+  ConnectivityTrace a(params, days(7), Rng(5));
+  ConnectivityTrace b(params, days(7), Rng(5));
+  EXPECT_EQ(a.intervals(), b.intervals());
+}
+
+TEST(ConnectivityTrace, GeneratedTraceRespectsHorizon) {
+  ConnectivityParams params;
+  ConnectivityTrace t(params, days(3), Rng(9));
+  for (const auto& [start, end] : t.intervals()) {
+    EXPECT_GE(start, 0);
+    EXPECT_LE(end, days(3));
+    EXPECT_LT(start, end);
+  }
+  EXPECT_EQ(t.horizon(), days(3));
+}
+
+TEST(ConnectivityTrace, IntervalsSortedDisjoint) {
+  ConnectivityParams params;
+  params.mean_up = minutes(30);
+  params.mean_down_short = minutes(5);
+  ConnectivityTrace t(params, days(2), Rng(13));
+  TimeMs prev_end = -1;
+  for (const auto& [start, end] : t.intervals()) {
+    EXPECT_GT(start, prev_end);
+    prev_end = end;
+  }
+  EXPECT_GT(t.intervals().size(), 5u);  // plenty of churn at these params
+}
+
+TEST(ConnectivityTrace, UptimeMatchesParamsRoughly) {
+  // mean_up 2h vs mean short-down 10min / long-down 5h (25%):
+  // expected downtime mean = 0.75*10min + 0.25*5h = 82.5 min.
+  // uptime ~ 120 / (120 + 82.5) = 0.59.
+  ConnectivityParams params;
+  double total = 0.0;
+  const int kRuns = 40;
+  for (int i = 0; i < kRuns; ++i) {
+    ConnectivityTrace t(params, days(30), Rng(100 + i));
+    total += t.uptime_fraction();
+  }
+  EXPECT_NEAR(total / kRuns, 0.59, 0.08);
+}
+
+TEST(ConnectivityTrace, AlwaysConnectedParams) {
+  ConnectivityParams params = ConnectivityParams::always_connected();
+  ConnectivityTrace t(params, days(30), Rng(3));
+  EXPECT_GT(t.uptime_fraction(), 0.999);
+}
+
+TEST(ConnectivityTrace, InvalidHorizonThrows) {
+  ConnectivityParams params;
+  EXPECT_THROW(ConnectivityTrace(params, 0, Rng(1)), std::invalid_argument);
+}
+
+TEST(ConnectivityTrace, ConnectedAtMatchesNextConnectionInvariant) {
+  ConnectivityParams params;
+  params.mean_up = hours(1);
+  ConnectivityTrace t(params, days(5), Rng(77));
+  for (TimeMs probe = 0; probe < days(5); probe += minutes(17)) {
+    TimeMs next = t.next_connection_at(probe);
+    if (t.connected_at(probe)) {
+      EXPECT_EQ(next, probe);
+    } else if (next >= 0) {
+      EXPECT_GT(next, probe);
+      EXPECT_TRUE(t.connected_at(next));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mps::net

@@ -1,0 +1,90 @@
+#include "net/foreground.h"
+
+#include <gtest/gtest.h>
+
+#include "net/radio.h"
+
+namespace mps::net {
+namespace {
+
+TEST(ForegroundTraffic, NoneNeverActive) {
+  ForegroundTraffic t = ForegroundTraffic::none(hours(10));
+  EXPECT_FALSE(t.active_at(0));
+  EXPECT_FALSE(t.active_at(hours(5)));
+  EXPECT_DOUBLE_EQ(t.active_fraction(), 0.0);
+}
+
+TEST(ForegroundTraffic, ZeroRateGeneratesNothing) {
+  ForegroundTrafficParams params;
+  params.sessions_per_hour = 0.0;
+  ForegroundTraffic t(params, days(1), Rng(1));
+  EXPECT_TRUE(t.intervals().empty());
+}
+
+TEST(ForegroundTraffic, FromIntervals) {
+  auto t = ForegroundTraffic::from_intervals({{100, 200}, {300, 400}}, 500);
+  EXPECT_FALSE(t.active_at(50));
+  EXPECT_TRUE(t.active_at(150));
+  EXPECT_FALSE(t.active_at(200));  // end exclusive
+  EXPECT_TRUE(t.active_at(399));
+  EXPECT_FALSE(t.active_at(450));
+}
+
+TEST(ForegroundTraffic, FromIntervalsValidation) {
+  EXPECT_THROW(ForegroundTraffic::from_intervals({{200, 100}}, 500),
+               std::invalid_argument);
+  EXPECT_THROW(ForegroundTraffic::from_intervals({{0, 100}, {50, 150}}, 500),
+               std::invalid_argument);
+}
+
+TEST(ForegroundTraffic, Deterministic) {
+  ForegroundTrafficParams params;
+  ForegroundTraffic a(params, days(1), Rng(7));
+  ForegroundTraffic b(params, days(1), Rng(7));
+  EXPECT_EQ(a.intervals(), b.intervals());
+}
+
+TEST(ForegroundTraffic, ActiveFractionTracksParams) {
+  // 4 sessions/h of mean 45 s => ~180 s/h active => fraction ~0.05.
+  ForegroundTrafficParams params;
+  double total = 0.0;
+  const int kRuns = 30;
+  for (int i = 0; i < kRuns; ++i) {
+    ForegroundTraffic t(params, days(10), Rng(100 + i));
+    total += t.active_fraction();
+  }
+  EXPECT_NEAR(total / kRuns, 0.05, 0.015);
+}
+
+TEST(ForegroundTraffic, RespectsHorizon) {
+  ForegroundTrafficParams params;
+  params.sessions_per_hour = 60;
+  ForegroundTraffic t(params, hours(2), Rng(3));
+  for (const auto& [start, end] : t.intervals()) {
+    EXPECT_GE(start, 0);
+    EXPECT_LE(end, hours(2));
+    EXPECT_LT(start, end);
+  }
+  EXPECT_THROW(ForegroundTraffic(params, 0, Rng(1)), std::invalid_argument);
+}
+
+TEST(Radio, MarkActiveSkipsRamp) {
+  Radio radio(Technology::kCell3G);
+  EXPECT_FALSE(radio.warm_at(minutes(5)));
+  radio.mark_active(minutes(5) + seconds(2));
+  EXPECT_TRUE(radio.warm_at(minutes(5)));
+  Transfer t = radio.send(minutes(5), 512);
+  RadioParams p = RadioParams::cell3g();
+  EXPECT_NEAR(t.energy_mj, p.per_message_mj + p.per_kb_mj * 0.5, 1e-9);
+  EXPECT_EQ(radio.cold_starts(), 0u);
+}
+
+TEST(Radio, MarkActiveDoesNotShrinkWindow) {
+  Radio radio(Technology::kWifi);
+  radio.mark_active(seconds(100));
+  radio.mark_active(seconds(50));  // earlier: must not shrink
+  EXPECT_TRUE(radio.warm_at(seconds(100)));
+}
+
+}  // namespace
+}  // namespace mps::net

@@ -1,0 +1,102 @@
+#include "net/radio.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::net {
+namespace {
+
+TEST(Radio, TechnologyNames) {
+  EXPECT_STREQ(technology_name(Technology::kWifi), "wifi");
+  EXPECT_STREQ(technology_name(Technology::kCell3G), "3g");
+}
+
+TEST(Radio, DefaultParamsOrdering) {
+  // 3G must be strictly more expensive than WiFi in ramp/tail — that is
+  // the physical basis of the paper's +50% 3G depletion finding.
+  RadioParams wifi = RadioParams::wifi();
+  RadioParams cell = RadioParams::cell3g();
+  EXPECT_GT(cell.ramp_mj, wifi.ramp_mj);
+  EXPECT_GT(cell.tail_mj, wifi.tail_mj);
+  EXPECT_GT(cell.tail_duration, wifi.tail_duration);
+  EXPECT_GT(cell.latency_base, wifi.latency_base);
+}
+
+TEST(Radio, ColdTransferPaysRampAndTail) {
+  Radio r(Technology::kWifi);
+  Transfer t = r.send(0, 1024);
+  RadioParams p = RadioParams::wifi();
+  EXPECT_NEAR(t.energy_mj, p.ramp_mj + p.per_message_mj + p.per_kb_mj + p.tail_mj,
+              1e-9);
+  EXPECT_EQ(r.cold_starts(), 1u);
+}
+
+TEST(Radio, WarmTransferSkipsRamp) {
+  Radio r(Technology::kCell3G);
+  Transfer first = r.send(0, 512);
+  // Second transfer just after the first completes, inside the 5 s tail.
+  Transfer second = r.send(first.completed_at + 100, 512);
+  EXPECT_LT(second.energy_mj, first.energy_mj);
+  RadioParams p = RadioParams::cell3g();
+  EXPECT_NEAR(second.energy_mj, p.per_message_mj + p.per_kb_mj * 0.5, 1e-9);
+  EXPECT_EQ(r.cold_starts(), 1u);
+  EXPECT_EQ(r.transfer_count(), 2u);
+}
+
+TEST(Radio, TransferAfterTailIsColdAgain) {
+  Radio r(Technology::kWifi);
+  Transfer first = r.send(0, 100);
+  RadioParams p = RadioParams::wifi();
+  Transfer later = r.send(first.completed_at + p.tail_duration + 1, 100);
+  EXPECT_DOUBLE_EQ(later.energy_mj, first.energy_mj);
+  EXPECT_EQ(r.cold_starts(), 2u);
+}
+
+TEST(Radio, LatencyGrowsWithSize) {
+  Radio r(Technology::kCell3G);
+  Transfer small = r.send(0, 100);
+  Radio r2(Technology::kCell3G);
+  Transfer large = r2.send(0, 100 * 1024);
+  EXPECT_GT(large.latency, small.latency);
+  EXPECT_EQ(small.completed_at, small.latency);
+}
+
+TEST(Radio, EnergyAccumulates) {
+  Radio r(Technology::kWifi);
+  double total = 0.0;
+  TimeMs now = 0;
+  for (int i = 0; i < 5; ++i) {
+    Transfer t = r.send(now, 1000);
+    total += t.energy_mj;
+    now = t.completed_at + hours(1);  // always cold
+  }
+  EXPECT_NEAR(r.total_energy_mj(), total, 1e-9);
+  EXPECT_EQ(r.transfer_count(), 5u);
+  EXPECT_EQ(r.cold_starts(), 5u);
+}
+
+TEST(Radio, BatchingSavesEnergyVersusSingles) {
+  // The Figure 16 mechanism: sending 10 observations in one batch is far
+  // cheaper than 10 spaced single-observation transfers on 3G.
+  Radio batched(Technology::kCell3G);
+  Transfer batch = batched.send(0, estimate_message_bytes(10));
+
+  Radio singles(Technology::kCell3G);
+  double singles_energy = 0.0;
+  TimeMs now = 0;
+  for (int i = 0; i < 10; ++i) {
+    Transfer t = singles.send(now, estimate_message_bytes(1));
+    singles_energy += t.energy_mj;
+    now += minutes(5);  // spaced beyond the tail -> each is cold
+  }
+  EXPECT_LT(batch.energy_mj, singles_energy / 3.0);
+}
+
+TEST(Radio, MessageBytesEstimate) {
+  EXPECT_GT(estimate_message_bytes(1), 200u);
+  EXPECT_GT(estimate_message_bytes(10), estimate_message_bytes(1));
+  // Batch overhead is amortized: 10 obs < 10x the bytes of 1 obs.
+  EXPECT_LT(estimate_message_bytes(10), 10 * estimate_message_bytes(1));
+}
+
+}  // namespace
+}  // namespace mps::net

@@ -1,0 +1,126 @@
+#include "phone/activity.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace mps::phone {
+namespace {
+
+std::map<Activity, int> sample_distribution(const ActivityModel& model,
+                                            TimeMs t, int n, Rng& rng) {
+  std::map<Activity, int> counts;
+  for (int i = 0; i < n; ++i) ++counts[model.sample(t, rng).recognized];
+  return counts;
+}
+
+TEST(ActivityModel, StillDominatesAtSeventyPercent) {
+  ActivityModel model;
+  Rng rng(1);
+  // Sample across the whole day to average out commute effects.
+  std::map<Activity, int> counts;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    TimeMs t = hours(i % 24);
+    ++counts[model.sample(t, rng).recognized];
+  }
+  EXPECT_NEAR(counts[Activity::kStill] / static_cast<double>(n), 0.68, 0.04);
+}
+
+TEST(ActivityModel, UnqualifiedAroundTwentyPercent) {
+  ActivityModel model;
+  Rng rng(2);
+  const int n = 40000;
+  int unqualified = 0;
+  for (int i = 0; i < n; ++i) {
+    Activity a = model.sample(hours(i % 24), rng).recognized;
+    if (a == Activity::kUnknown || a == Activity::kUndefined) ++unqualified;
+  }
+  EXPECT_NEAR(unqualified / static_cast<double>(n), 0.18, 0.03);
+}
+
+TEST(ActivityModel, MovingUnderTenPercent) {
+  ActivityModel model;
+  Rng rng(3);
+  const int n = 40000;
+  int moving = 0;
+  for (int i = 0; i < n; ++i) {
+    Activity a = model.sample(hours(i % 24), rng).recognized;
+    if (a == Activity::kFoot || a == Activity::kBicycle ||
+        a == Activity::kVehicle)
+      ++moving;
+  }
+  EXPECT_LT(moving / static_cast<double>(n), 0.12);
+  EXPECT_GT(moving / static_cast<double>(n), 0.04);
+}
+
+TEST(ActivityModel, CommuteHoursMoreMobile) {
+  ActivityModel model;
+  Rng rng1(4), rng2(4);
+  auto moving_share = [&](TimeMs t, Rng& rng) {
+    int moving = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      Activity a = model.sample(t, rng).recognized;
+      if (a == Activity::kFoot || a == Activity::kBicycle ||
+          a == Activity::kVehicle)
+        ++moving;
+    }
+    return moving / static_cast<double>(n);
+  };
+  double commute = moving_share(hours(8), rng1);   // 8 AM
+  double midnight = moving_share(hours(2), rng2);  // 2 AM
+  EXPECT_GT(commute, midnight + 0.03);
+}
+
+TEST(ActivityModel, QualifiedReadingsHaveHighConfidence) {
+  ActivityModel model;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    ActivityReading r = model.sample(hours(12), rng);
+    if (r.recognized != Activity::kUnknown &&
+        r.recognized != Activity::kUndefined) {
+      EXPECT_GE(r.confidence, 0.8);
+    } else if (r.recognized == Activity::kUnknown) {
+      EXPECT_LT(r.confidence, 0.8);
+      EXPECT_GE(r.confidence, 0.3);
+    } else {
+      EXPECT_DOUBLE_EQ(r.confidence, 0.0);
+    }
+  }
+}
+
+TEST(ActivityModel, AllSevenClassesAppear) {
+  ActivityModel model;
+  Rng rng(6);
+  std::map<Activity, int> counts;
+  for (int i = 0; i < 100000; ++i)
+    ++counts[model.sample(hours(i % 24), rng).recognized];
+  EXPECT_EQ(counts.size(), 7u);
+}
+
+TEST(ActivityModel, TrueActivityAlwaysConcrete) {
+  ActivityModel model;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    ActivityReading r = model.sample(hours(i % 24), rng);
+    EXPECT_NE(r.true_activity, Activity::kUnknown);
+    EXPECT_NE(r.true_activity, Activity::kUndefined);
+  }
+}
+
+TEST(ActivityModel, CustomParams) {
+  ActivityModelParams params;
+  params.p_still = 0.95;
+  params.p_foot = 0.01;
+  params.p_bicycle = 0.005;
+  params.p_vehicle = 0.005;
+  params.p_tilting = 0.01;
+  ActivityModel model(params);
+  Rng rng(8);
+  auto counts = sample_distribution(model, hours(12), 20000, rng);
+  EXPECT_GT(counts[Activity::kStill], 17000);
+}
+
+}  // namespace
+}  // namespace mps::phone

@@ -1,0 +1,71 @@
+#include "phone/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::phone {
+namespace {
+
+TEST(Battery, StartsAtConfiguredFraction) {
+  Battery b(1'000'000, 0.8, 100);
+  EXPECT_DOUBLE_EQ(b.level_fraction(), 0.8);
+  EXPECT_DOUBLE_EQ(b.level_percent(), 80.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, BaselineDrainIntegratesOverTime) {
+  // 100 mW for 1000 s = 100 J = 100,000 mJ.
+  Battery b(1'000'000, 1.0, 100);
+  b.advance_to(seconds(1000));
+  EXPECT_NEAR(b.total_drained_mj(), 100'000, 1e-6);
+  EXPECT_NEAR(b.level_fraction(), 0.9, 1e-9);
+}
+
+TEST(Battery, DiscreteDrain) {
+  Battery b(1'000'000, 1.0, 0);
+  b.drain(250'000);
+  EXPECT_NEAR(b.level_fraction(), 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(b.discrete_drained_mj(), 250'000);
+}
+
+TEST(Battery, NegativeDrainIgnored) {
+  Battery b(1'000'000, 1.0, 0);
+  b.drain(-5);
+  EXPECT_DOUBLE_EQ(b.level_fraction(), 1.0);
+}
+
+TEST(Battery, AdvanceBackwardsIsNoop) {
+  Battery b(1'000'000, 1.0, 100);
+  b.advance_to(seconds(10));
+  double level = b.level_fraction();
+  b.advance_to(seconds(5));
+  EXPECT_DOUBLE_EQ(b.level_fraction(), level);
+}
+
+TEST(Battery, LevelClampsAtZero) {
+  Battery b(1000, 1.0, 0);
+  b.drain(5000);
+  EXPECT_DOUBLE_EQ(b.level_fraction(), 0.0);
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(Battery, MonotoneNonIncreasing) {
+  Battery b(10'000'000, 0.8, 150);
+  double prev = b.level_fraction();
+  for (int i = 1; i <= 100; ++i) {
+    b.advance_to(minutes(i));
+    if (i % 7 == 0) b.drain(500);
+    EXPECT_LE(b.level_fraction(), prev);
+    prev = b.level_fraction();
+  }
+}
+
+TEST(Battery, CombinedAccounting) {
+  Battery b(1'000'000, 1.0, 200);
+  b.advance_to(seconds(100));  // 20,000 mJ baseline
+  b.drain(30'000);
+  EXPECT_NEAR(b.total_drained_mj(), 50'000, 1e-6);
+  EXPECT_NEAR(b.discrete_drained_mj(), 30'000, 1e-6);
+}
+
+}  // namespace
+}  // namespace mps::phone

@@ -1,0 +1,103 @@
+#include "phone/device_catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mps::phone {
+namespace {
+
+TEST(DeviceCatalog, Has20Models) {
+  EXPECT_EQ(top20_catalog().size(), 20u);
+}
+
+TEST(DeviceCatalog, TotalsMatchPaperFigure9) {
+  EXPECT_EQ(catalog_total_devices(), 2091);
+  EXPECT_EQ(catalog_total_measurements(), 23'108'136);
+  EXPECT_EQ(catalog_total_localized(), 9'556'174);
+}
+
+TEST(DeviceCatalog, TopModelMatchesPaper) {
+  const DeviceModelSpec& top = top20_catalog().front();
+  EXPECT_EQ(top.id, "SAMSUNG GT-I9505");
+  EXPECT_EQ(top.paper_devices, 253);
+  EXPECT_EQ(top.paper_measurements, 2'346'755);
+  EXPECT_EQ(top.paper_localized, 1'014'261);
+}
+
+TEST(DeviceCatalog, MostlyOrderedByLocalized) {
+  // Figure 9 is roughly ordered by the localized-measurements column
+  // (the paper's own table has a few out-of-order rows, which we keep
+  // verbatim); at minimum the first entry is the global maximum and the
+  // first ten rows are strictly ordered.
+  const auto& catalog = top20_catalog();
+  for (const auto& spec : catalog)
+    EXPECT_GE(catalog.front().paper_localized, spec.paper_localized);
+  for (std::size_t i = 1; i < 10; ++i)
+    EXPECT_GE(catalog[i - 1].paper_localized, catalog[i].paper_localized);
+}
+
+TEST(DeviceCatalog, UniqueIds) {
+  std::set<std::string> ids;
+  for (const auto& spec : top20_catalog()) ids.insert(spec.id);
+  EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(DeviceCatalog, LocalizedFractionAround40Percent) {
+  // Paper: "about 40% of the observations ... are localized".
+  double total_fraction =
+      static_cast<double>(catalog_total_localized()) /
+      static_cast<double>(catalog_total_measurements());
+  EXPECT_NEAR(total_fraction, 0.41, 0.02);
+  for (const auto& spec : top20_catalog()) {
+    EXPECT_GT(spec.localized_fraction(), 0.1);
+    EXPECT_LT(spec.localized_fraction(), 0.8);
+  }
+}
+
+TEST(DeviceCatalog, MicBiasesSpreadAcrossModels) {
+  // Figure 14: peak position varies significantly across models.
+  double lo = 1e9, hi = -1e9;
+  for (const auto& spec : top20_catalog()) {
+    lo = std::min(lo, spec.mic_bias_db);
+    hi = std::max(hi, spec.mic_bias_db);
+  }
+  EXPECT_LT(lo, -5.0);
+  EXPECT_GT(hi, 5.0);
+}
+
+TEST(DeviceCatalog, NoiseFloorsWithinPhysicalRange) {
+  for (const auto& spec : top20_catalog()) {
+    EXPECT_GE(spec.mic_noise_floor_db, 25.0);
+    EXPECT_LE(spec.mic_noise_floor_db, 48.0);
+    EXPECT_GT(spec.mic_sigma_db, 0.0);
+  }
+}
+
+TEST(DeviceCatalog, SomeButNotAllSupportFused) {
+  // Figure 13: "few models provide fused data".
+  int fused = 0;
+  for (const auto& spec : top20_catalog())
+    if (spec.supports_fused) ++fused;
+  EXPECT_GT(fused, 2);
+  EXPECT_LT(fused, 12);
+}
+
+TEST(DeviceCatalog, FindModel) {
+  const DeviceModelSpec* spec = find_model("LGE NEXUS 5");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->paper_devices, 129);
+  EXPECT_EQ(find_model("IPHONE 6"), nullptr);
+}
+
+TEST(DeviceCatalog, EnergyParamsSane) {
+  for (const auto& spec : top20_catalog()) {
+    EXPECT_GT(spec.battery_capacity_mj, 1e6);
+    EXPECT_GT(spec.baseline_power_mw, 0.0);
+    EXPECT_GT(spec.sense_energy_mj, 0.0);
+    EXPECT_GT(spec.gps_fix_energy_mj, spec.sense_energy_mj);
+  }
+}
+
+}  // namespace
+}  // namespace mps::phone

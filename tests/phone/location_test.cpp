@@ -1,0 +1,190 @@
+#include "phone/location.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace mps::phone {
+namespace {
+
+DeviceModelSpec spec_with_fused(bool fused, double localized_fraction = 0.41) {
+  DeviceModelSpec s;
+  s.id = "TEST";
+  s.supports_fused = fused;
+  s.paper_measurements = 1'000'000;
+  s.paper_localized =
+      static_cast<std::int64_t>(1'000'000 * localized_fraction);
+  return s;
+}
+
+std::map<LocationProvider, int> provider_counts(const LocationSimulator& sim,
+                                                SensingMode mode, int n,
+                                                Rng& rng) {
+  std::map<LocationProvider, int> counts;
+  int localized = 0;
+  for (int i = 0; i < n; ++i) {
+    auto fix = sim.sample(mode, 0.0, 0.0, rng);
+    if (fix.has_value()) {
+      ++counts[fix->provider];
+      ++localized;
+    }
+  }
+  counts[LocationProvider::kGps] += 0;  // ensure keys exist
+  counts[LocationProvider::kNetwork] += 0;
+  counts[LocationProvider::kFused] += 0;
+  return counts;
+}
+
+TEST(LocationSimulator, OpportunisticLocalizedFractionMatchesModel) {
+  LocationSimulator sim(spec_with_fused(true, 0.41));
+  Rng rng(1);
+  int localized = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (sim.sample(SensingMode::kOpportunistic, 0, 0, rng).has_value())
+      ++localized;
+  EXPECT_NEAR(localized / static_cast<double>(n), 0.41, 0.02);
+}
+
+TEST(LocationSimulator, OpportunisticProviderMixMatchesPaper) {
+  // Paper: GPS 7%, network 86%, fused 7% of localized observations.
+  LocationSimulator sim(spec_with_fused(true));
+  Rng rng(2);
+  auto counts = provider_counts(sim, SensingMode::kOpportunistic, 40000, rng);
+  double total = counts[LocationProvider::kGps] +
+                 counts[LocationProvider::kNetwork] +
+                 counts[LocationProvider::kFused];
+  EXPECT_NEAR(counts[LocationProvider::kGps] / total, 0.07, 0.02);
+  EXPECT_NEAR(counts[LocationProvider::kNetwork] / total, 0.86, 0.03);
+  EXPECT_NEAR(counts[LocationProvider::kFused] / total, 0.07, 0.02);
+}
+
+TEST(LocationSimulator, NoFusedWhenUnsupported) {
+  LocationSimulator sim(spec_with_fused(false));
+  Rng rng(3);
+  auto counts = provider_counts(sim, SensingMode::kOpportunistic, 20000, rng);
+  EXPECT_EQ(counts[LocationProvider::kFused], 0);
+}
+
+TEST(LocationSimulator, ManualBoostsGpsByTwentyPoints) {
+  LocationSimulator sim(spec_with_fused(true));
+  Rng rng(4);
+  auto opp = provider_counts(sim, SensingMode::kOpportunistic, 40000, rng);
+  auto manual = provider_counts(sim, SensingMode::kManual, 40000, rng);
+  auto share = [](std::map<LocationProvider, int>& c, LocationProvider p) {
+    double total = c[LocationProvider::kGps] + c[LocationProvider::kNetwork] +
+                   c[LocationProvider::kFused];
+    return c[p] / total;
+  };
+  double boost = share(manual, LocationProvider::kGps) -
+                 share(opp, LocationProvider::kGps);
+  EXPECT_NEAR(boost, 0.20, 0.03);
+}
+
+TEST(LocationSimulator, JourneyBoostsGpsByFortyPoints) {
+  LocationSimulator sim(spec_with_fused(true));
+  Rng rng(5);
+  auto opp = provider_counts(sim, SensingMode::kOpportunistic, 40000, rng);
+  auto journey = provider_counts(sim, SensingMode::kJourney, 40000, rng);
+  auto share = [](std::map<LocationProvider, int>& c, LocationProvider p) {
+    double total = c[LocationProvider::kGps] + c[LocationProvider::kNetwork] +
+                   c[LocationProvider::kFused];
+    return c[p] / total;
+  };
+  double boost = share(journey, LocationProvider::kGps) -
+                 share(opp, LocationProvider::kGps);
+  EXPECT_NEAR(boost, 0.40, 0.03);
+}
+
+TEST(LocationSimulator, ParticipatoryModesLocalizeMore) {
+  LocationSimulator sim(spec_with_fused(true, 0.41));
+  EXPECT_GT(sim.p_localized(SensingMode::kManual),
+            sim.p_localized(SensingMode::kOpportunistic));
+  EXPECT_GT(sim.p_localized(SensingMode::kJourney),
+            sim.p_localized(SensingMode::kManual));
+}
+
+TEST(LocationSimulator, GpsAccuracyMostlySixToTwenty) {
+  Rng rng(6);
+  int in_band = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double acc = LocationSimulator::sample_accuracy(LocationProvider::kGps, rng);
+    if (acc >= 6.0 && acc < 20.0) ++in_band;
+  }
+  EXPECT_GT(in_band / static_cast<double>(n), 0.60);
+}
+
+TEST(LocationSimulator, NetworkAccuracyMostlyTwentyToFifty) {
+  Rng rng(7);
+  int in_band = 0, below_100 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double acc =
+        LocationSimulator::sample_accuracy(LocationProvider::kNetwork, rng);
+    if (acc >= 20.0 && acc < 50.0) ++in_band;
+    if (acc < 100.0) ++below_100;
+  }
+  EXPECT_GT(in_band / static_cast<double>(n), 0.45);
+  EXPECT_GT(below_100 / static_cast<double>(n), 0.85);
+}
+
+TEST(LocationSimulator, ProvidersOrderedByAccuracy) {
+  // GPS must deliver the best median accuracy; fused the worst (Fig 13).
+  Rng rng(8);
+  auto median = [&](LocationProvider p) {
+    std::vector<double> xs;
+    for (int i = 0; i < 5001; ++i)
+      xs.push_back(LocationSimulator::sample_accuracy(p, rng));
+    std::nth_element(xs.begin(), xs.begin() + 2500, xs.end());
+    return xs[2500];
+  };
+  double gps = median(LocationProvider::kGps);
+  double network = median(LocationProvider::kNetwork);
+  double fused = median(LocationProvider::kFused);
+  EXPECT_LT(gps, network);
+  EXPECT_LT(network, fused);
+}
+
+TEST(LocationSimulator, ReportedPositionErrorScalesWithAccuracy) {
+  LocationSimulator sim(spec_with_fused(true, 1.0));
+  Rng rng(9);
+  double err_sum = 0.0, acc_sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto fix = sim.sample(SensingMode::kJourney, 500.0, 500.0, rng);
+    if (!fix.has_value()) continue;
+    double err = std::hypot(fix->x_m - 500.0, fix->y_m - 500.0);
+    err_sum += err;
+    acc_sum += fix->accuracy_m;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  // Mean radial error of a 2-D Gaussian with per-axis sigma acc/1.515 is
+  // sigma * sqrt(pi/2) ~= 0.83 * acc.
+  EXPECT_NEAR(err_sum / acc_sum, 0.83, 0.08);
+}
+
+// Property sweep: for every mode, the localized share among samples equals
+// p_localized within tolerance.
+class LocalizedShareTest : public ::testing::TestWithParam<SensingMode> {};
+
+TEST_P(LocalizedShareTest, MatchesProbability) {
+  LocationSimulator sim(spec_with_fused(true, 0.35));
+  Rng rng(10);
+  int localized = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (sim.sample(GetParam(), 0, 0, rng).has_value()) ++localized;
+  EXPECT_NEAR(localized / static_cast<double>(n), sim.p_localized(GetParam()),
+              0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LocalizedShareTest,
+                         ::testing::Values(SensingMode::kOpportunistic,
+                                           SensingMode::kManual,
+                                           SensingMode::kJourney));
+
+}  // namespace
+}  // namespace mps::phone

@@ -1,0 +1,88 @@
+#include "phone/microphone.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mps::phone {
+namespace {
+
+DeviceModelSpec spec_with(double bias, double floor, double sigma) {
+  DeviceModelSpec s;
+  s.id = "TEST";
+  s.mic_bias_db = bias;
+  s.mic_noise_floor_db = floor;
+  s.mic_sigma_db = sigma;
+  return s;
+}
+
+TEST(Microphone, AppliesModelBias) {
+  Microphone mic(spec_with(5.0, 30.0, 0.5));
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(mic.measure(65.0, rng));
+  EXPECT_NEAR(stats.mean(), 70.0, 0.3);
+}
+
+TEST(Microphone, ClipsAtNoiseFloor) {
+  Microphone mic(spec_with(0.0, 35.0, 1.0));
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    double raw = mic.measure(10.0, rng);  // far below floor
+    EXPECT_GE(raw, 35.0);
+    EXPECT_LT(raw, 42.0);  // floor plus small jitter
+  }
+}
+
+TEST(Microphone, QuietEnvironmentPeaksAtFloor) {
+  // The Figure 14 low-level peak: quiet ambient maps to a narrow bump at
+  // the model's noise floor.
+  Microphone mic(spec_with(0.0, 33.0, 1.5));
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(mic.measure(20.0, rng));
+  EXPECT_NEAR(stats.mean(), 33.6, 0.5);
+  EXPECT_LT(stats.stddev(), 1.5);
+}
+
+TEST(Microphone, DifferentModelsDifferentPeaks) {
+  Microphone low(spec_with(-7.5, 28.0, 1.0));
+  Microphone high(spec_with(8.0, 44.0, 1.0));
+  Rng rng1(4), rng2(4);
+  RunningStats a, b;
+  for (int i = 0; i < 3000; ++i) {
+    a.add(low.measure(20.0, rng1));
+    b.add(high.measure(20.0, rng2));
+  }
+  EXPECT_GT(b.mean() - a.mean(), 10.0);
+}
+
+TEST(Microphone, UnitOffsetShiftsResponse) {
+  DeviceModelSpec spec = spec_with(0.0, 30.0, 0.1);
+  Microphone base(spec, 0.0);
+  Microphone offset(spec, 2.0);
+  Rng rng1(5), rng2(5);
+  RunningStats a, b;
+  for (int i = 0; i < 3000; ++i) {
+    a.add(base.measure(60.0, rng1));
+    b.add(offset.measure(60.0, rng2));
+  }
+  EXPECT_NEAR(b.mean() - a.mean(), 2.0, 0.1);
+}
+
+TEST(Microphone, ClipsAtUpperBound) {
+  Microphone mic(spec_with(10.0, 30.0, 5.0));
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(mic.measure(108.0, rng), 110.0);
+}
+
+TEST(Microphone, MeasurementNoiseMatchesSigma) {
+  Microphone mic(spec_with(0.0, 10.0, 2.5));
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 10000; ++i) stats.add(mic.measure(70.0, rng));
+  EXPECT_NEAR(stats.stddev(), 2.5, 0.15);
+}
+
+}  // namespace
+}  // namespace mps::phone

@@ -1,0 +1,84 @@
+#include "phone/observation.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::phone {
+namespace {
+
+Observation sample_obs() {
+  Observation obs;
+  obs.user = "u-1";
+  obs.model = "SAMSUNG GT-I9505";
+  obs.captured_at = 123456;
+  obs.spl_db = 58.25;
+  obs.mode = SensingMode::kManual;
+  obs.activity = Activity::kFoot;
+  LocationFix fix;
+  fix.provider = LocationProvider::kGps;
+  fix.x_m = 1200.5;
+  fix.y_m = 880.0;
+  fix.accuracy_m = 12.0;
+  obs.location = fix;
+  return obs;
+}
+
+TEST(Observation, DocumentRoundTripWithLocation) {
+  Observation obs = sample_obs();
+  Observation back = Observation::from_document(obs.to_document());
+  EXPECT_EQ(back.user, obs.user);
+  EXPECT_EQ(back.model, obs.model);
+  EXPECT_EQ(back.captured_at, obs.captured_at);
+  EXPECT_DOUBLE_EQ(back.spl_db, obs.spl_db);
+  EXPECT_EQ(back.mode, obs.mode);
+  EXPECT_EQ(back.activity, obs.activity);
+  ASSERT_TRUE(back.location.has_value());
+  EXPECT_EQ(back.location->provider, LocationProvider::kGps);
+  EXPECT_DOUBLE_EQ(back.location->x_m, 1200.5);
+  EXPECT_DOUBLE_EQ(back.location->accuracy_m, 12.0);
+}
+
+TEST(Observation, DocumentRoundTripWithoutLocation) {
+  Observation obs = sample_obs();
+  obs.location.reset();
+  Value doc = obs.to_document();
+  EXPECT_EQ(doc.find("location"), nullptr);
+  Observation back = Observation::from_document(doc);
+  EXPECT_FALSE(back.location.has_value());
+}
+
+TEST(Observation, DocumentSurvivesJsonSerialization) {
+  Observation obs = sample_obs();
+  Value doc = Value::parse_json(obs.to_document().to_json());
+  Observation back = Observation::from_document(doc);
+  EXPECT_EQ(back.user, obs.user);
+  EXPECT_DOUBLE_EQ(back.spl_db, obs.spl_db);
+  ASSERT_TRUE(back.location.has_value());
+  EXPECT_DOUBLE_EQ(back.location->y_m, 880.0);
+}
+
+TEST(Observation, FromDocumentRejectsNonObject) {
+  EXPECT_THROW(Observation::from_document(Value(1)), std::runtime_error);
+}
+
+TEST(Observation, NameRoundTrips) {
+  for (SensingMode m : {SensingMode::kOpportunistic, SensingMode::kManual,
+                        SensingMode::kJourney})
+    EXPECT_EQ(sensing_mode_from_name(sensing_mode_name(m)), m);
+  for (LocationProvider p :
+       {LocationProvider::kGps, LocationProvider::kNetwork,
+        LocationProvider::kFused})
+    EXPECT_EQ(location_provider_from_name(location_provider_name(p)), p);
+  for (Activity a : {Activity::kUndefined, Activity::kUnknown,
+                     Activity::kTilting, Activity::kStill, Activity::kFoot,
+                     Activity::kBicycle, Activity::kVehicle})
+    EXPECT_EQ(activity_from_name(activity_name(a)), a);
+}
+
+TEST(Observation, UnknownNamesThrow) {
+  EXPECT_THROW(sensing_mode_from_name("bogus"), std::invalid_argument);
+  EXPECT_THROW(location_provider_from_name("bogus"), std::invalid_argument);
+  EXPECT_THROW(activity_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mps::phone

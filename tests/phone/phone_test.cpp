@@ -1,0 +1,147 @@
+#include "phone/phone.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::phone {
+namespace {
+
+PhoneConfig test_config(std::uint64_t seed = 42) {
+  PhoneConfig c;
+  c.model = top20_catalog().front();
+  c.user = "tester";
+  c.seed = seed;
+  c.connectivity = net::ConnectivityParams::always_connected();
+  c.horizon = days(2);
+  return c;
+}
+
+TEST(Phone, SenseProducesPopulatedObservation) {
+  Phone phone(test_config());
+  Observation obs = phone.sense(minutes(10), SensingMode::kOpportunistic,
+                                55.0, 100.0, 200.0);
+  EXPECT_EQ(obs.user, "tester");
+  EXPECT_EQ(obs.model, "SAMSUNG GT-I9505");
+  EXPECT_EQ(obs.captured_at, minutes(10));
+  EXPECT_GT(obs.spl_db, 20.0);
+  EXPECT_LT(obs.spl_db, 110.0);
+  EXPECT_EQ(obs.mode, SensingMode::kOpportunistic);
+  EXPECT_EQ(phone.observation_count(), 1u);
+}
+
+TEST(Phone, DeterministicGivenSeed) {
+  Phone a(test_config(7)), b(test_config(7));
+  for (int i = 0; i < 50; ++i) {
+    Observation oa = a.sense(minutes(i), SensingMode::kOpportunistic, 50, 0, 0);
+    Observation ob = b.sense(minutes(i), SensingMode::kOpportunistic, 50, 0, 0);
+    EXPECT_DOUBLE_EQ(oa.spl_db, ob.spl_db);
+    EXPECT_EQ(oa.location.has_value(), ob.location.has_value());
+    EXPECT_EQ(oa.activity, ob.activity);
+  }
+}
+
+TEST(Phone, DifferentSeedsDiverge) {
+  Phone a(test_config(1)), b(test_config(2));
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    Observation oa = a.sense(minutes(i), SensingMode::kOpportunistic, 50, 0, 0);
+    Observation ob = b.sense(minutes(i), SensingMode::kOpportunistic, 50, 0, 0);
+    if (oa.spl_db == ob.spl_db) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(Phone, SensingDrainsBattery) {
+  Phone phone(test_config());
+  double before = phone.battery().level_fraction();
+  for (int i = 0; i < 100; ++i)
+    phone.sense(seconds(i), SensingMode::kOpportunistic, 50, 0, 0);
+  EXPECT_LT(phone.battery().level_fraction(), before);
+}
+
+TEST(Phone, GpsFixCostsMoreEnergy) {
+  // Journey mode takes many GPS fixes; compare net discrete drain.
+  PhoneConfig config = test_config(3);
+  Phone journey_phone(config);
+  Phone opp_phone(test_config(3));
+  for (int i = 0; i < 500; ++i) {
+    journey_phone.sense(seconds(i), SensingMode::kJourney, 50, 0, 0);
+    opp_phone.sense(seconds(i), SensingMode::kOpportunistic, 50, 0, 0);
+  }
+  EXPECT_GT(journey_phone.battery().discrete_drained_mj(),
+            opp_phone.battery().discrete_drained_mj());
+}
+
+TEST(Phone, TransmitDrainsBatteryAndCountsTransfers) {
+  Phone phone(test_config());
+  double before = phone.battery().discrete_drained_mj();
+  net::Transfer t = phone.transmit(minutes(1), 2048);
+  EXPECT_GT(t.energy_mj, 0.0);
+  EXPECT_GT(phone.battery().discrete_drained_mj(), before);
+  EXPECT_EQ(phone.radio().transfer_count(), 1u);
+}
+
+TEST(Phone, IdleAdvancesBaselineDrain) {
+  Phone phone(test_config());
+  phone.idle_to(hours(3));
+  // 200 mW * 3 h = 2160 J = 2,160,000 mJ.
+  EXPECT_NEAR(phone.battery().total_drained_mj(), 2'160'000, 10'000);
+}
+
+TEST(Phone, ConnectivityTraceExposed) {
+  Phone phone(test_config());
+  EXPECT_TRUE(phone.connectivity().connected_at(minutes(30)));
+}
+
+TEST(Phone, ForegroundTrafficMakesTransmitWarm) {
+  PhoneConfig config = test_config();
+  config.foreground.sessions_per_hour = 30.0;  // frequent other-app radio use
+  config.foreground.mean_session = minutes(1);
+  Phone phone(config);
+  // Find a foreground-active moment and a quiet one.
+  TimeMs warm_time = -1, cold_time = -1;
+  for (TimeMs t = 0; t < hours(12); t += seconds(30)) {
+    if (phone.foreground_active_at(t) && warm_time < 0) warm_time = t;
+    if (!phone.foreground_active_at(t) && cold_time < 0) cold_time = t;
+    if (warm_time >= 0 && cold_time >= 0) break;
+  }
+  ASSERT_GE(warm_time, 0);
+  ASSERT_GE(cold_time, 0);
+  // Two identical phones: one transmits during foreground activity.
+  Phone warm_phone(config), cold_phone(config);
+  net::Transfer warm = warm_phone.transmit(warm_time, 1024);
+  net::Transfer cold = cold_phone.transmit(cold_time, 1024);
+  EXPECT_LT(warm.energy_mj, cold.energy_mj);  // ramp + tail skipped
+  EXPECT_EQ(warm_phone.radio().cold_starts(), 0u);
+  EXPECT_EQ(cold_phone.radio().cold_starts(), 1u);
+}
+
+TEST(Phone, ForegroundDisabledByDefault) {
+  Phone phone(test_config());
+  for (TimeMs t = 0; t < hours(24); t += minutes(10))
+    EXPECT_FALSE(phone.foreground_active_at(t));
+}
+
+TEST(Phone, SameModelPhonesShareResponseShape) {
+  // Two devices of one model: raw SPL distributions nearly coincide
+  // (paper Figure 15). Different models shift (Figure 14).
+  PhoneConfig c1 = test_config(10), c2 = test_config(20);
+  Phone a(c1), b(c2);
+  double sum_a = 0, sum_b = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    sum_a += a.sense(seconds(i), SensingMode::kOpportunistic, 60, 0, 0).spl_db;
+    sum_b += b.sense(seconds(i), SensingMode::kOpportunistic, 60, 0, 0).spl_db;
+  }
+  EXPECT_NEAR(sum_a / n, sum_b / n, 2.0);  // unit spread only
+
+  PhoneConfig c3 = test_config(30);
+  c3.model = top20_catalog()[18];  // SONY D2303, +8 dB bias vs -2 dB
+  Phone c(c3);
+  double sum_c = 0;
+  for (int i = 0; i < n; ++i)
+    sum_c += c.sense(seconds(i), SensingMode::kOpportunistic, 60, 0, 0).spl_db;
+  EXPECT_GT(sum_c / n - sum_a / n, 5.0);
+}
+
+}  // namespace
+}  // namespace mps::phone

@@ -1,0 +1,245 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulation, EqualTimesFifo) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) s.at(100, [&order, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation s;
+  TimeMs fired_at = -1;
+  s.at(50, [&] { s.after(25, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(Simulation, PastSchedulingClampsToNow) {
+  Simulation s;
+  TimeMs fired_at = -1;
+  s.at(100, [&] { s.at(10, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, NegativeDelayClamps) {
+  Simulation s;
+  TimeMs fired_at = -1;
+  s.at(40, [&] { s.after(-500, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired_at, 40);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation s;
+  bool ran = false;
+  EventId id = s.at(10, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Simulation, CancelTwiceFails) {
+  Simulation s;
+  EventId id = s.at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulation, CancelUnknownIdFails) {
+  Simulation s;
+  EXPECT_FALSE(s.cancel(0));
+  EXPECT_FALSE(s.cancel(9999));
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation s;
+  std::vector<TimeMs> fired;
+  for (TimeMs t : {10, 20, 30, 40}) s.at(t, [&fired, &s] { fired.push_back(s.now()); });
+  s.run_until(25);
+  EXPECT_EQ(fired, (std::vector<TimeMs>{10, 20}));
+  EXPECT_EQ(s.now(), 25);
+  s.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulation, RunUntilIncludesBoundaryEvents) {
+  Simulation s;
+  bool ran = false;
+  s.at(25, [&] { ran = true; });
+  s.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, StepExecutesOne) {
+  Simulation s;
+  int n = 0;
+  s.at(1, [&] { ++n; });
+  s.at(2, [&] { ++n; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(n, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) s.after(5, recurse);
+  };
+  s.after(5, recurse);
+  s.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(Simulation, PendingExcludesCancelled) {
+  Simulation s;
+  s.at(1, [] {});
+  EventId id = s.at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulation, StressManyInterleavedEventsStayOrdered) {
+  // 100k events scheduled in shuffled order must execute in time order
+  // with FIFO ties — the property every model in the stack leans on.
+  Simulation s;
+  const int kEvents = 100'000;
+  std::vector<TimeMs> fired;
+  fired.reserve(kEvents);
+  unsigned seed = 12345;
+  for (int i = 0; i < kEvents; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    TimeMs t = static_cast<TimeMs>(seed % 10'000);
+    s.at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents));
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    ASSERT_GE(fired[i], fired[i - 1]);
+  EXPECT_EQ(s.executed(), static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(Simulation, CancelInterleavedWithExecution) {
+  Simulation s;
+  std::vector<EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(s.at(i, [&executed] { ++executed; }));
+  // Cancel every third event, some of which may be cancelled after others
+  // with equal times already ran.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3)
+    if (s.cancel(ids[i])) ++cancelled;
+  s.run();
+  EXPECT_EQ(executed + cancelled, 1000);
+  EXPECT_EQ(cancelled, 334);
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulation s;
+  std::vector<TimeMs> ticks;
+  PeriodicTimer timer(s, 100, [&](TimeMs t) { ticks.push_back(t); });
+  timer.start();
+  s.run_until(350);
+  EXPECT_EQ(ticks, (std::vector<TimeMs>{100, 200, 300}));
+}
+
+TEST(PeriodicTimer, InitialDelay) {
+  Simulation s;
+  std::vector<TimeMs> ticks;
+  PeriodicTimer timer(s, 100, [&](TimeMs t) { ticks.push_back(t); });
+  timer.start(10);
+  s.run_until(250);
+  EXPECT_EQ(ticks, (std::vector<TimeMs>{10, 110, 210}));
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+  Simulation s;
+  int n = 0;
+  PeriodicTimer timer(s, 50, [&](TimeMs) { ++n; });
+  timer.start();
+  s.run_until(120);
+  timer.stop();
+  s.run_until(1000);
+  EXPECT_EQ(n, 2);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback) {
+  Simulation s;
+  int n = 0;
+  PeriodicTimer timer(s, 50, [&](TimeMs) {
+    if (++n == 3) timer.stop();
+  });
+  timer.start();
+  s.run();
+  EXPECT_EQ(n, 3);
+}
+
+TEST(PeriodicTimer, ChangePeriodTakesEffect) {
+  Simulation s;
+  std::vector<TimeMs> ticks;
+  PeriodicTimer timer(s, 100, [&](TimeMs t) { ticks.push_back(t); });
+  timer.start();
+  s.run_until(100);  // first tick at 100
+  timer.set_period(50);
+  s.run_until(220);
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0], 100);
+  EXPECT_EQ(ticks[1], 150);
+  EXPECT_EQ(ticks[2], 200);
+}
+
+TEST(PeriodicTimer, RestartReschedules) {
+  Simulation s;
+  std::vector<TimeMs> ticks;
+  PeriodicTimer timer(s, 100, [&](TimeMs t) { ticks.push_back(t); });
+  timer.start();
+  s.run_until(150);
+  timer.start();  // restart at t=150 -> next tick 250
+  s.run_until(300);
+  EXPECT_EQ(ticks, (std::vector<TimeMs>{100, 250}));
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulation s;
+  int n = 0;
+  {
+    PeriodicTimer timer(s, 10, [&](TimeMs) { ++n; });
+    timer.start();
+  }
+  s.run();
+  EXPECT_EQ(n, 0);
+}
+
+}  // namespace
+}  // namespace mps::sim

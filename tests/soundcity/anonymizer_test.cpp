@@ -1,0 +1,92 @@
+#include "soundcity/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::soundcity {
+namespace {
+
+Value sample_doc() {
+  return Value(Object{
+      {"user", Value("alice")},
+      {"client", Value("mob1")},
+      {"spl", Value(61.5)},
+      {"location", Value(Object{{"provider", Value("network")},
+                                {"x", Value(1234.0)},
+                                {"y", Value(5678.0)},
+                                {"accuracy", Value(30.0)}})}});
+}
+
+TEST(Pseudonymize, StablePerSalt) {
+  EXPECT_EQ(pseudonymize("alice", "s1"), pseudonymize("alice", "s1"));
+  EXPECT_NE(pseudonymize("alice", "s1"), pseudonymize("alice", "s2"));
+  EXPECT_NE(pseudonymize("alice", "s1"), pseudonymize("bob", "s1"));
+}
+
+TEST(Pseudonymize, DoesNotLeakUserId) {
+  std::string p = pseudonymize("alice", "salt");
+  EXPECT_EQ(p.find("alice"), std::string::npos);
+  EXPECT_EQ(p.rfind("anon-", 0), 0u);
+}
+
+TEST(GeneralizeCoordinate, SnapsToCellCenter) {
+  EXPECT_DOUBLE_EQ(generalize_coordinate(1234.0, 500.0), 1250.0);
+  EXPECT_DOUBLE_EQ(generalize_coordinate(0.0, 500.0), 250.0);
+  EXPECT_DOUBLE_EQ(generalize_coordinate(999.0, 500.0), 750.0);
+}
+
+TEST(GeneralizeCoordinate, ZeroGranularityKeepsExact) {
+  EXPECT_DOUBLE_EQ(generalize_coordinate(1234.5, 0.0), 1234.5);
+}
+
+TEST(Anonymize, PseudonymizesUser) {
+  AnonymizationPolicy policy;
+  Value out = anonymize_observation(sample_doc(), policy);
+  EXPECT_EQ(out.get_string("user"), pseudonymize("alice", policy.salt));
+}
+
+TEST(Anonymize, CoarsensLocation) {
+  AnonymizationPolicy policy;
+  policy.location_granularity_m = 500.0;
+  Value out = anonymize_observation(sample_doc(), policy);
+  EXPECT_DOUBLE_EQ(out.find_path("location.x")->as_double(), 1250.0);
+  EXPECT_DOUBLE_EQ(out.find_path("location.y")->as_double(), 5750.0);
+  // Provider/accuracy untouched.
+  EXPECT_EQ(out.find_path("location.provider")->as_string(), "network");
+}
+
+TEST(Anonymize, DropsConfiguredFields) {
+  AnonymizationPolicy policy;  // default drops "client"
+  Value out = anonymize_observation(sample_doc(), policy);
+  EXPECT_EQ(out.find("client"), nullptr);
+  EXPECT_NE(out.find("spl"), nullptr);
+}
+
+TEST(Anonymize, SameUserSamePseudonymAcrossDocs) {
+  AnonymizationPolicy policy;
+  Value a = anonymize_observation(sample_doc(), policy);
+  Value b = anonymize_observation(sample_doc(), policy);
+  EXPECT_EQ(a.get_string("user"), b.get_string("user"));
+}
+
+TEST(Anonymize, NonObjectPassthrough) {
+  AnonymizationPolicy policy;
+  EXPECT_EQ(anonymize_observation(Value(5), policy), Value(5));
+}
+
+TEST(Anonymize, MissingLocationTolerated) {
+  AnonymizationPolicy policy;
+  Value doc(Object{{"user", Value("x")}, {"spl", Value(50.0)}});
+  Value out = anonymize_observation(doc, policy);
+  EXPECT_EQ(out.find("location"), nullptr);
+}
+
+TEST(Anonymize, OriginalDocumentUntouched) {
+  AnonymizationPolicy policy;
+  Value doc = sample_doc();
+  anonymize_observation(doc, policy);
+  EXPECT_EQ(doc.get_string("user"), "alice");
+  EXPECT_NE(doc.find("client"), nullptr);
+}
+
+}  // namespace
+}  // namespace mps::soundcity

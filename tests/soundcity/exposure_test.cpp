@@ -1,0 +1,138 @@
+#include "soundcity/exposure.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::soundcity {
+namespace {
+
+double identity(const DeviceModelId&, double raw) { return raw; }
+
+phone::Observation obs_at(TimeMs t, double spl, const char* model = "M") {
+  phone::Observation obs;
+  obs.user = "u";
+  obs.model = model;
+  obs.captured_at = t;
+  obs.spl_db = spl;
+  return obs;
+}
+
+TEST(EnergeticMean, EmptyIsNullopt) {
+  EXPECT_FALSE(energetic_mean_db({}).has_value());
+}
+
+TEST(EnergeticMean, ConstantInput) {
+  EXPECT_NEAR(*energetic_mean_db({60.0, 60.0, 60.0}), 60.0, 1e-12);
+}
+
+TEST(EnergeticMean, DominatedByLoudEvents) {
+  // Leq of {40, 80} is ~77 dB: energetic, not arithmetic, averaging.
+  double leq = *energetic_mean_db({40.0, 80.0});
+  EXPECT_GT(leq, 76.0);
+  EXPECT_LT(leq, 78.0);
+}
+
+TEST(EnergeticMean, TwoEqualSourcesPlus3dB) {
+  // Doubling sound energy adds ~3 dB; the mean of two equal levels stays
+  // equal, but sum-of-two at equal level = level + 3.01.
+  double one = *energetic_mean_db({70.0});
+  EXPECT_NEAR(one, 70.0, 1e-12);
+}
+
+TEST(ExposureBands, Thresholds) {
+  EXPECT_EQ(classify_exposure(40.0), ExposureBand::kLow);
+  EXPECT_EQ(classify_exposure(54.99), ExposureBand::kLow);
+  EXPECT_EQ(classify_exposure(55.0), ExposureBand::kModerate);
+  EXPECT_EQ(classify_exposure(64.99), ExposureBand::kModerate);
+  EXPECT_EQ(classify_exposure(65.0), ExposureBand::kHigh);
+  EXPECT_EQ(classify_exposure(75.0), ExposureBand::kVeryHigh);
+}
+
+TEST(ExposureBands, NamesAndNotes) {
+  EXPECT_STREQ(exposure_band_name(ExposureBand::kLow), "low");
+  EXPECT_STREQ(exposure_band_name(ExposureBand::kVeryHigh), "very-high");
+  EXPECT_NE(std::string(exposure_health_note(ExposureBand::kHigh)).find("heart"),
+            std::string::npos);
+}
+
+TEST(ComputeExposure, EmptyInput) {
+  ExposureReport report = compute_exposure({}, identity);
+  EXPECT_TRUE(report.daily.empty());
+  EXPECT_TRUE(report.monthly.empty());
+  EXPECT_FALSE(report.overall_leq_db.has_value());
+}
+
+TEST(ComputeExposure, GroupsByDay) {
+  std::vector<phone::Observation> obs{
+      obs_at(hours(10), 60), obs_at(hours(14), 60),      // day 0
+      obs_at(days(1) + hours(9), 45),                    // day 1
+      obs_at(days(2) + hours(9), 72), obs_at(days(2), 72)};  // day 2
+  ExposureReport report = compute_exposure(obs, identity);
+  ASSERT_EQ(report.daily.size(), 3u);
+  EXPECT_EQ(report.daily[0].day, 0);
+  EXPECT_NEAR(report.daily[0].leq_db, 60.0, 1e-9);
+  EXPECT_EQ(report.daily[0].samples, 2u);
+  EXPECT_EQ(report.daily[0].band, ExposureBand::kModerate);
+  EXPECT_EQ(report.daily[1].band, ExposureBand::kLow);
+  EXPECT_EQ(report.daily[2].band, ExposureBand::kHigh);
+}
+
+TEST(ComputeExposure, PeakTracked) {
+  std::vector<phone::Observation> obs{obs_at(hours(1), 50),
+                                      obs_at(hours(2), 85),
+                                      obs_at(hours(3), 60)};
+  ExposureReport report = compute_exposure(obs, identity);
+  ASSERT_EQ(report.daily.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.daily[0].peak_db, 85.0);
+}
+
+TEST(ComputeExposure, MonthlyRollup) {
+  std::vector<phone::Observation> obs;
+  for (int day = 0; day < 35; ++day)
+    obs.push_back(obs_at(days(day) + hours(12), 58.0));
+  ExposureReport report = compute_exposure(obs, identity);
+  ASSERT_EQ(report.monthly.size(), 2u);  // days 0-29 and 30-34
+  EXPECT_EQ(report.monthly[0].days_covered, 30);
+  EXPECT_EQ(report.monthly[1].days_covered, 5);
+  EXPECT_NEAR(report.monthly[0].leq_db, 58.0, 1e-9);
+}
+
+TEST(ComputeExposure, CalibrationApplied) {
+  std::vector<phone::Observation> obs{obs_at(hours(1), 66, "biased")};
+  auto calibrate = [](const DeviceModelId& model, double raw) {
+    return model == "biased" ? raw - 6.0 : raw;
+  };
+  ExposureReport report = compute_exposure(obs, calibrate);
+  ASSERT_EQ(report.daily.size(), 1u);
+  EXPECT_NEAR(report.daily[0].leq_db, 60.0, 1e-9);
+}
+
+TEST(ComputeExposure, OverallLeq) {
+  std::vector<phone::Observation> obs{obs_at(hours(1), 55),
+                                      obs_at(days(1), 55)};
+  ExposureReport report = compute_exposure(obs, identity);
+  ASSERT_TRUE(report.overall_leq_db.has_value());
+  EXPECT_NEAR(*report.overall_leq_db, 55.0, 1e-9);
+}
+
+TEST(InferExposure, EmptyTrajectory) {
+  assim::Grid map(4, 4, 400, 400, 60.0);
+  EXPECT_FALSE(infer_exposure_from_map(map, {}).has_value());
+}
+
+TEST(InferExposure, ConstantMap) {
+  assim::Grid map(4, 4, 400, 400, 63.0);
+  auto leq = infer_exposure_from_map(map, {{100, 100}, {300, 300}});
+  ASSERT_TRUE(leq.has_value());
+  EXPECT_NEAR(*leq, 63.0, 1e-9);
+}
+
+TEST(InferExposure, LoudSegmentDominates) {
+  assim::Grid map(2, 1, 200, 100, 40.0);
+  map.at(1, 0) = 80.0;
+  auto leq = infer_exposure_from_map(map, {{50, 50}, {150, 50}});
+  ASSERT_TRUE(leq.has_value());
+  EXPECT_GT(*leq, 75.0);
+}
+
+}  // namespace
+}  // namespace mps::soundcity

@@ -1,0 +1,137 @@
+#include "soundcity/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mps::soundcity {
+namespace {
+
+phone::Observation good_obs(const char* user, TimeMs t, double spl = 62.0,
+                            double accuracy = 15.0) {
+  phone::Observation obs;
+  obs.user = user;
+  obs.model = "M";
+  obs.captured_at = t;
+  obs.spl_db = spl;
+  phone::LocationFix fix;
+  fix.accuracy_m = accuracy;
+  obs.location = fix;
+  return obs;
+}
+
+TEST(Feedback, PromptsOnAccurateInterestingObservation) {
+  FeedbackManager manager;
+  EXPECT_TRUE(manager.should_prompt(good_obs("u", hours(10))));
+  EXPECT_EQ(manager.prompts_issued(), 1u);
+}
+
+TEST(Feedback, NoPromptWithoutLocation) {
+  FeedbackManager manager;
+  phone::Observation obs = good_obs("u", hours(10));
+  obs.location.reset();
+  EXPECT_FALSE(manager.should_prompt(obs));
+  EXPECT_EQ(manager.prompts_suppressed(), 1u);
+}
+
+TEST(Feedback, NoPromptWithPoorAccuracy) {
+  FeedbackManager manager;
+  EXPECT_FALSE(manager.should_prompt(good_obs("u", hours(10), 62.0, 80.0)));
+}
+
+TEST(Feedback, NoPromptOutsideLevelRange) {
+  FeedbackManager manager;
+  EXPECT_FALSE(manager.should_prompt(good_obs("u", hours(10), 30.0)));
+  EXPECT_FALSE(manager.should_prompt(good_obs("u", hours(10), 99.0)));
+}
+
+TEST(Feedback, MinimumGapEnforced) {
+  FeedbackManager manager;
+  EXPECT_TRUE(manager.should_prompt(good_obs("u", hours(10))));
+  EXPECT_FALSE(manager.should_prompt(good_obs("u", hours(10) + minutes(30))));
+  EXPECT_TRUE(manager.should_prompt(good_obs("u", hours(13))));
+}
+
+TEST(Feedback, DailyCapEnforced) {
+  FeedbackPolicy policy;
+  policy.max_prompts_per_day = 2;
+  policy.min_prompt_gap = minutes(1);
+  FeedbackManager manager(policy);
+  EXPECT_TRUE(manager.should_prompt(good_obs("u", hours(8))));
+  EXPECT_TRUE(manager.should_prompt(good_obs("u", hours(10))));
+  EXPECT_FALSE(manager.should_prompt(good_obs("u", hours(12))));
+  // Next day resets the counter.
+  EXPECT_TRUE(manager.should_prompt(good_obs("u", days(1) + hours(8))));
+}
+
+TEST(Feedback, RateLimitPerUser) {
+  FeedbackManager manager;
+  EXPECT_TRUE(manager.should_prompt(good_obs("a", hours(10))));
+  // A different user is unaffected by a's rate limit.
+  EXPECT_TRUE(manager.should_prompt(good_obs("b", hours(10))));
+}
+
+TEST(Feedback, AnswersStoredAndQueried) {
+  FeedbackManager manager;
+  manager.record_answer("a", hours(1), 60, true);
+  manager.record_answer("a", hours(2), 50, false);
+  manager.record_answer("b", hours(3), 70, true);
+  EXPECT_EQ(manager.total_answers(), 3u);
+  EXPECT_EQ(manager.answers_for("a").size(), 2u);
+  EXPECT_EQ(manager.answers_for("b").size(), 1u);
+  EXPECT_TRUE(manager.answers_for("c").empty());
+}
+
+TEST(Feedback, ProfileNeedsMinimumAnswers) {
+  FeedbackManager manager;
+  for (int i = 0; i < 5; ++i)
+    manager.record_answer("u", hours(i), 80.0, true);
+  SensitivityProfile profile = manager.profile_for("u", 10);
+  EXPECT_EQ(profile.answers, 5u);
+  EXPECT_FALSE(profile.annoyance_threshold_db.has_value());
+  EXPECT_DOUBLE_EQ(profile.annoyed_fraction, 1.0);
+}
+
+TEST(Feedback, ThresholdRecoveredFromSyntheticUser) {
+  // A user annoyed above 65 dB (with a little noise in their answers).
+  FeedbackManager manager;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    double level = rng.uniform(45.0, 90.0);
+    double p_annoyed = level > 65.0 ? 0.9 : 0.08;
+    manager.record_answer("u", minutes(i), level, rng.bernoulli(p_annoyed));
+  }
+  SensitivityProfile profile = manager.profile_for("u");
+  ASSERT_TRUE(profile.annoyance_threshold_db.has_value());
+  EXPECT_NEAR(*profile.annoyance_threshold_db, 65.0, 5.1);
+}
+
+TEST(Feedback, SensitiveVsTolerantUsersDiffer) {
+  FeedbackManager manager;
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    double level = rng.uniform(45.0, 90.0);
+    manager.record_answer("sensitive", minutes(i), level,
+                          rng.bernoulli(level > 55.0 ? 0.9 : 0.05));
+    manager.record_answer("tolerant", minutes(i), level,
+                          rng.bernoulli(level > 80.0 ? 0.9 : 0.05));
+  }
+  auto sensitive = manager.profile_for("sensitive");
+  auto tolerant = manager.profile_for("tolerant");
+  ASSERT_TRUE(sensitive.annoyance_threshold_db.has_value());
+  ASSERT_TRUE(tolerant.annoyance_threshold_db.has_value());
+  EXPECT_LT(*sensitive.annoyance_threshold_db,
+            *tolerant.annoyance_threshold_db - 10.0);
+}
+
+TEST(Feedback, NeverAnnoyedUserHasNoThreshold) {
+  FeedbackManager manager;
+  for (int i = 0; i < 50; ++i)
+    manager.record_answer("calm", minutes(i), 50.0 + i * 0.5, false);
+  SensitivityProfile profile = manager.profile_for("calm");
+  EXPECT_FALSE(profile.annoyance_threshold_db.has_value());
+  EXPECT_DOUBLE_EQ(profile.annoyed_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace mps::soundcity

@@ -1,0 +1,180 @@
+#include "soundcity/webapp.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::soundcity {
+namespace {
+
+class WebAppTest : public ::testing::Test {
+ protected:
+  WebAppTest() : server(sim, broker, db) {
+    auto reg = server.register_app("soundcity").value_or_throw();
+    service_token = server
+                        .register_account(reg.admin_token, "soundcity",
+                                          "webapp", core::Role::kManager)
+                        .value_or_throw();
+    client_token = server
+                       .register_account(reg.admin_token, "soundcity", "mob",
+                                         core::Role::kClient)
+                       .value_or_throw();
+    webapp = std::make_unique<WebAppServer>(server, "soundcity", service_token);
+  }
+
+  /// Ingests observations for `user` directly through the broker.
+  void ingest(const std::string& user, std::vector<std::pair<TimeMs, double>>
+                                           time_and_spl) {
+    auto channels = server.login_client(client_token, "soundcity", user)
+                        .value_or_throw();
+    Array arr;
+    for (auto [t, spl] : time_and_spl) {
+      arr.push_back(Value(Object{
+          {"user", Value(user)},
+          {"model", Value("LGE NEXUS 5")},
+          {"captured_at", Value(t)},
+          {"spl", Value(spl)},
+          {"mode", Value("opportunistic")},
+          {"activity", Value("still")},
+          {"location", Value(Object{{"provider", Value("network")},
+                                    {"x", Value(1234.0)},
+                                    {"y", Value(777.0)},
+                                    {"accuracy", Value(30.0)}})}}));
+    }
+    Value batch(Object{{"app", Value("soundcity")},
+                       {"client", Value(user)},
+                       {"observations", Value(std::move(arr))}});
+    broker.publish(channels.exchange, "soundcity.obs." + user, std::move(batch),
+                   hours(1))
+        .value_or_throw();
+  }
+
+  static double identity(const DeviceModelId&, double raw) { return raw; }
+
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server;
+  std::string service_token;
+  std::string client_token;
+  std::unique_ptr<WebAppServer> webapp;
+};
+
+TEST_F(WebAppTest, RegisterAndLogin) {
+  EXPECT_TRUE(webapp->register_web_user("alice", "pw1").ok());
+  Status dup = webapp->register_web_user("alice", "other");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ErrorCode::kConflict);
+
+  auto session = webapp->login("alice", "pw1");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(webapp->session_user(session.value()), "alice");
+
+  EXPECT_FALSE(webapp->login("alice", "wrong").ok());
+  EXPECT_FALSE(webapp->login("ghost", "pw1").ok());
+}
+
+TEST_F(WebAppTest, EmptyCredentialsRejected) {
+  EXPECT_FALSE(webapp->register_web_user("", "pw").ok());
+  EXPECT_FALSE(webapp->register_web_user("u", "").ok());
+}
+
+TEST_F(WebAppTest, LogoutInvalidatesSession) {
+  webapp->register_web_user("alice", "pw").throw_if_error();
+  WebSession session = webapp->login("alice", "pw").value_or_throw();
+  EXPECT_TRUE(webapp->logout(session).ok());
+  EXPECT_FALSE(webapp->session_user(session).has_value());
+  EXPECT_FALSE(webapp->logout(session).ok());
+  EXPECT_FALSE(webapp->my_contributions(session).ok());
+}
+
+TEST_F(WebAppTest, SessionTokenDoesNotLeakUser) {
+  webapp->register_web_user("alice", "pw").throw_if_error();
+  WebSession session = webapp->login("alice", "pw").value_or_throw();
+  EXPECT_EQ(session.find("alice"), std::string::npos);
+}
+
+TEST_F(WebAppTest, DashboardShowsExposure) {
+  ingest("alice", {{hours(9), 60.0}, {hours(10), 60.0},
+                   {days(1) + hours(9), 70.0}});
+  webapp->register_web_user("alice", "pw").throw_if_error();
+  WebSession session = webapp->login("alice", "pw").value_or_throw();
+  Value dashboard = webapp->my_dashboard(session, identity).value_or_throw();
+  EXPECT_EQ(dashboard.get_string("user"), "alice");
+  EXPECT_EQ(dashboard.get_int("observations"), 3);
+  const Array& daily = dashboard.at("daily").as_array();
+  ASSERT_EQ(daily.size(), 2u);
+  EXPECT_NEAR(daily[0].get_double("leq_db"), 60.0, 1e-9);
+  EXPECT_EQ(daily[0].get_string("band"), "moderate");
+  EXPECT_EQ(daily[1].get_string("band"), "high");
+  const Array& monthly = dashboard.at("monthly").as_array();
+  ASSERT_EQ(monthly.size(), 1u);
+  EXPECT_EQ(monthly[0].get_int("days_covered"), 2);
+  EXPECT_FALSE(monthly[0].get_string("health_note").empty());
+}
+
+TEST_F(WebAppTest, DashboardRequiresSession) {
+  EXPECT_FALSE(webapp->my_dashboard("bogus", identity).ok());
+}
+
+TEST_F(WebAppTest, MyContributionsOnlyOwnData) {
+  ingest("alice", {{hours(9), 60.0}});
+  ingest("bob", {{hours(9), 70.0}, {hours(10), 71.0}});
+  webapp->register_web_user("alice", "pw").throw_if_error();
+  WebSession session = webapp->login("alice", "pw").value_or_throw();
+  auto docs = webapp->my_contributions(session).value_or_throw();
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].get_string("user"), "alice");
+}
+
+TEST_F(WebAppTest, PublicObservationsAnonymized) {
+  ingest("alice", {{hours(9), 60.0}});
+  auto docs = webapp->public_observations().value_or_throw();
+  ASSERT_EQ(docs.size(), 1u);
+  const Value& doc = docs[0];
+  EXPECT_NE(doc.get_string("user"), "alice");
+  EXPECT_EQ(doc.get_string("user").rfind("anon-", 0), 0u);
+  EXPECT_EQ(doc.find("client"), nullptr);  // dropped field
+  // Location coarsened to the 500 m grid.
+  EXPECT_DOUBLE_EQ(doc.find_path("location.x")->as_double(), 1250.0);
+}
+
+TEST_F(WebAppTest, MyMapAggregatesPerCell) {
+  // Two observations in one 250 m cell, one in another.
+  ingest("alice", {{hours(9), 60.0}});   // at (1234, 777) per the fixture
+  ingest("alice", {{hours(10), 66.0}});  // same place
+  webapp->register_web_user("alice", "pw").throw_if_error();
+  WebSession session = webapp->login("alice", "pw").value_or_throw();
+  Value map = webapp->my_map(session, identity, 250.0).value_or_throw();
+  EXPECT_EQ(map.get_string("user"), "alice");
+  EXPECT_DOUBLE_EQ(map.get_double("cell_m"), 250.0);
+  const Array& cells = map.at("cells").as_array();
+  ASSERT_EQ(cells.size(), 1u);
+  // Energetic mean of 60 and 66 dB is ~63.97 dB, not the arithmetic 63.
+  EXPECT_NEAR(cells[0].get_double("mean_spl"), 63.97, 0.05);
+  EXPECT_EQ(cells[0].get_int("samples"), 2);
+  // Cell center of (1234, 777) on the 250 m grid.
+  EXPECT_DOUBLE_EQ(cells[0].get_double("x"), 1125.0);
+  EXPECT_DOUBLE_EQ(cells[0].get_double("y"), 875.0);
+}
+
+TEST_F(WebAppTest, MyMapRequiresSessionAndValidCell) {
+  EXPECT_FALSE(webapp->my_map("bogus", identity).ok());
+  webapp->register_web_user("alice", "pw").throw_if_error();
+  WebSession session = webapp->login("alice", "pw").value_or_throw();
+  EXPECT_FALSE(webapp->my_map(session, identity, 0.0).ok());
+  // No data: empty cell list, not an error.
+  Value map = webapp->my_map(session, identity).value_or_throw();
+  EXPECT_TRUE(map.at("cells").as_array().empty());
+}
+
+TEST_F(WebAppTest, CommunityStats) {
+  ingest("alice", {{hours(9), 60.0}, {hours(10), 61.0}});
+  ingest("bob", {{hours(9), 70.0}});
+  Value stats = webapp->community_stats().value_or_throw();
+  EXPECT_EQ(stats.get_int("observations"), 3);
+  EXPECT_EQ(stats.get_int("contributors"), 2);
+  EXPECT_NEAR(stats.get_double("localized_share"), 1.0, 1e-9);
+  EXPECT_EQ(stats.at("per_model").get_int("LGE NEXUS 5"), 3);
+}
+
+}  // namespace
+}  // namespace mps::soundcity

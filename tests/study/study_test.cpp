@@ -1,0 +1,143 @@
+#include "study/study.h"
+
+#include <gtest/gtest.h>
+
+namespace mps::study {
+namespace {
+
+crowd::Population tiny_population(std::uint64_t seed = 1) {
+  crowd::PopulationConfig config;
+  config.seed = seed;
+  config.device_scale = 0.005;  // ~20 devices (min 1 per model)
+  config.obs_scale = 0.02;
+  config.horizon = days(20);
+  return crowd::Population::generate(config);
+}
+
+StudyConfig tiny_config() {
+  StudyConfig config;
+  config.duration_days = 10;
+  config.connectivity = net::ConnectivityParams::always_connected();
+  return config;
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server{sim, broker, db};
+};
+
+TEST(Study, RunsEndToEndThroughMiddleware) {
+  Fixture f;
+  crowd::Population pop = tiny_population();
+  StudyRunner runner(pop, tiny_config(), f.sim, f.broker, f.server);
+  StudyReport report = runner.run();
+  EXPECT_EQ(report.devices, pop.users().size());
+  EXPECT_GT(report.observations_recorded, 50u);
+  EXPECT_GT(report.uploads, 0u);
+  // Everything that was uploaded reached the document store.
+  EXPECT_EQ(report.observations_stored,
+            f.db.collection("observations").size());
+  EXPECT_GT(report.observations_stored, 0u);
+}
+
+TEST(Study, ConservationOfObservations) {
+  // recorded = stored + still-buffered + locally-dropped (non-sharers).
+  Fixture f;
+  crowd::Population pop = tiny_population(2);
+  StudyRunner runner(pop, tiny_config(), f.sim, f.broker, f.server);
+  StudyReport report = runner.run();
+  std::uint64_t dropped = 0;
+  for (const client::GoFlowClient* c : runner.clients())
+    dropped += c->stats().dropped_not_shared;
+  EXPECT_EQ(report.observations_recorded,
+            report.observations_stored + report.buffered_unsent + dropped);
+}
+
+TEST(Study, Deterministic) {
+  auto run_once = [] {
+    Fixture f;
+    crowd::Population pop = tiny_population(3);
+    StudyRunner runner(pop, tiny_config(), f.sim, f.broker, f.server);
+    return runner.run();
+  };
+  StudyReport a = run_once();
+  StudyReport b = run_once();
+  EXPECT_EQ(a.observations_recorded, b.observations_recorded);
+  EXPECT_EQ(a.observations_stored, b.observations_stored);
+  EXPECT_EQ(a.uploads, b.uploads);
+}
+
+TEST(Study, QueryableThroughDataApi) {
+  Fixture f;
+  crowd::Population pop = tiny_population(4);
+  StudyRunner runner(pop, tiny_config(), f.sim, f.broker, f.server);
+  StudyReport report = runner.run();
+  core::ObservationFilter filter;
+  filter.app = "soundcity";
+  EXPECT_EQ(
+      f.server.count_observations(runner.admin_token(), filter).value_or_throw(),
+      report.observations_stored);
+  filter.localized_only = true;
+  std::size_t localized =
+      f.server.count_observations(runner.admin_token(), filter).value_or_throw();
+  // Roughly the catalog's ~40% localized share.
+  EXPECT_GT(localized, report.observations_stored / 5);
+  EXPECT_LT(localized, report.observations_stored * 4 / 5);
+}
+
+TEST(Study, DisconnectionsDeferUploads) {
+  Fixture f;
+  crowd::Population pop = tiny_population(5);
+  StudyConfig config = tiny_config();
+  config.connectivity = net::ConnectivityParams{};  // realistic, with downs
+  config.connectivity.p_long_down = 0.5;
+  config.connectivity.mean_down_long = hours(12);
+  StudyRunner runner(pop, config, f.sim, f.broker, f.server);
+  StudyReport report = runner.run();
+  EXPECT_GT(report.deferred_uploads, 0u);
+  EXPECT_GT(report.mean_delay_ms, 0.0);
+}
+
+TEST(Study, BufferingRaisesMeanDelay) {
+  auto mean_delay = [](std::size_t buffer_size) {
+    Fixture f;
+    crowd::Population pop = tiny_population(6);
+    StudyConfig config = tiny_config();
+    config.buffer_size = buffer_size;
+    StudyRunner runner(pop, config, f.sim, f.broker, f.server);
+    return runner.run().mean_delay_ms;
+  };
+  double unbuffered = mean_delay(1);
+  double buffered = mean_delay(10);
+  EXPECT_GT(buffered, unbuffered);
+}
+
+TEST(Study, RunTwiceThrows) {
+  Fixture f;
+  crowd::Population pop = tiny_population(7);
+  StudyRunner runner(pop, tiny_config(), f.sim, f.broker, f.server);
+  runner.run();
+  EXPECT_THROW(runner.run(), std::logic_error);
+}
+
+TEST(Study, HonoursDiurnalPattern) {
+  Fixture f;
+  crowd::Population pop = tiny_population(8);
+  StudyRunner runner(pop, tiny_config(), f.sim, f.broker, f.server);
+  runner.run();
+  // Count stored observations by hour: night trough must hold.
+  std::uint64_t day_count = 0, night_count = 0;
+  f.db.collection("observations").for_each([&](const Value& doc) {
+    int h = hour_of_day(doc.get_int("captured_at"));
+    if (h >= 10 && h < 21) ++day_count;
+    if (h >= 2 && h < 6) ++night_count;
+  });
+  ASSERT_GT(day_count + night_count, 0u);
+  // 11 daytime hours should carry far more than 4 night hours.
+  EXPECT_GT(day_count, night_count * 4);
+}
+
+}  // namespace
+}  // namespace mps::study
