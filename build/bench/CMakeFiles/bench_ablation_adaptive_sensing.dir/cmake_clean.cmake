@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive_sensing.dir/bench_ablation_adaptive_sensing.cpp.o"
+  "CMakeFiles/bench_ablation_adaptive_sensing.dir/bench_ablation_adaptive_sensing.cpp.o.d"
+  "bench_ablation_adaptive_sensing"
+  "bench_ablation_adaptive_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

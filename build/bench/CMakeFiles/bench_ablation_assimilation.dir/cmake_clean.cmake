@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_assimilation.dir/bench_ablation_assimilation.cpp.o"
+  "CMakeFiles/bench_ablation_assimilation.dir/bench_ablation_assimilation.cpp.o.d"
+  "bench_ablation_assimilation"
+  "bench_ablation_assimilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assimilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

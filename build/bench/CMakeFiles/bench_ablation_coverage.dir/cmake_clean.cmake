@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coverage.dir/bench_ablation_coverage.cpp.o"
+  "CMakeFiles/bench_ablation_coverage.dir/bench_ablation_coverage.cpp.o.d"
+  "bench_ablation_coverage"
+  "bench_ablation_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

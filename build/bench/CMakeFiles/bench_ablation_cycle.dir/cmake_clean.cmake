@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cycle.dir/bench_ablation_cycle.cpp.o"
+  "CMakeFiles/bench_ablation_cycle.dir/bench_ablation_cycle.cpp.o.d"
+  "bench_ablation_cycle"
+  "bench_ablation_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

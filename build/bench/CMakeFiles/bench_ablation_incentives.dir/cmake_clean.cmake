@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incentives.dir/bench_ablation_incentives.cpp.o"
+  "CMakeFiles/bench_ablation_incentives.dir/bench_ablation_incentives.cpp.o.d"
+  "bench_ablation_incentives"
+  "bench_ablation_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mobility_gate.dir/bench_ablation_mobility_gate.cpp.o"
+  "CMakeFiles/bench_ablation_mobility_gate.dir/bench_ablation_mobility_gate.cpp.o.d"
+  "bench_ablation_mobility_gate"
+  "bench_ablation_mobility_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mobility_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

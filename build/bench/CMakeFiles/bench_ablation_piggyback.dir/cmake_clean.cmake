@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_piggyback.dir/bench_ablation_piggyback.cpp.o"
+  "CMakeFiles/bench_ablation_piggyback.dir/bench_ablation_piggyback.cpp.o.d"
+  "bench_ablation_piggyback"
+  "bench_ablation_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

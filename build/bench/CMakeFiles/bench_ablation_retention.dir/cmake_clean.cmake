@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_retention.dir/bench_ablation_retention.cpp.o"
+  "CMakeFiles/bench_ablation_retention.dir/bench_ablation_retention.cpp.o.d"
+  "bench_ablation_retention"
+  "bench_ablation_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_truth_discovery.dir/bench_ablation_truth_discovery.cpp.o"
+  "CMakeFiles/bench_ablation_truth_discovery.dir/bench_ablation_truth_discovery.cpp.o.d"
+  "bench_ablation_truth_discovery"
+  "bench_ablation_truth_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_truth_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_noise_complaints.dir/bench_fig04_noise_complaints.cpp.o"
+  "CMakeFiles/bench_fig04_noise_complaints.dir/bench_fig04_noise_complaints.cpp.o.d"
+  "bench_fig04_noise_complaints"
+  "bench_fig04_noise_complaints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_noise_complaints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_contributions.dir/bench_fig08_contributions.cpp.o"
+  "CMakeFiles/bench_fig08_contributions.dir/bench_fig08_contributions.cpp.o.d"
+  "bench_fig08_contributions"
+  "bench_fig08_contributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_contributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_top20_table.dir/bench_fig09_top20_table.cpp.o"
+  "CMakeFiles/bench_fig09_top20_table.dir/bench_fig09_top20_table.cpp.o.d"
+  "bench_fig09_top20_table"
+  "bench_fig09_top20_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_top20_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_accuracy_all.dir/bench_fig10_accuracy_all.cpp.o"
+  "CMakeFiles/bench_fig10_accuracy_all.dir/bench_fig10_accuracy_all.cpp.o.d"
+  "bench_fig10_accuracy_all"
+  "bench_fig10_accuracy_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_accuracy_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_accuracy_gps.dir/bench_fig11_accuracy_gps.cpp.o"
+  "CMakeFiles/bench_fig11_accuracy_gps.dir/bench_fig11_accuracy_gps.cpp.o.d"
+  "bench_fig11_accuracy_gps"
+  "bench_fig11_accuracy_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_accuracy_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_accuracy_fused.dir/bench_fig13_accuracy_fused.cpp.o"
+  "CMakeFiles/bench_fig13_accuracy_fused.dir/bench_fig13_accuracy_fused.cpp.o.d"
+  "bench_fig13_accuracy_fused"
+  "bench_fig13_accuracy_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_accuracy_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_spl_models.dir/bench_fig14_spl_models.cpp.o"
+  "CMakeFiles/bench_fig14_spl_models.dir/bench_fig14_spl_models.cpp.o.d"
+  "bench_fig14_spl_models"
+  "bench_fig14_spl_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_spl_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

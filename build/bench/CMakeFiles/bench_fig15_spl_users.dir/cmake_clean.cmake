@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_spl_users.dir/bench_fig15_spl_users.cpp.o"
+  "CMakeFiles/bench_fig15_spl_users.dir/bench_fig15_spl_users.cpp.o.d"
+  "bench_fig15_spl_users"
+  "bench_fig15_spl_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_spl_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

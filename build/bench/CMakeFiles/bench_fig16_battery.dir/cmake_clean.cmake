@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_battery.dir/bench_fig16_battery.cpp.o"
+  "CMakeFiles/bench_fig16_battery.dir/bench_fig16_battery.cpp.o.d"
+  "bench_fig16_battery"
+  "bench_fig16_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

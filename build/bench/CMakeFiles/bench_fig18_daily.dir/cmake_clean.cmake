@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_daily.dir/bench_fig18_daily.cpp.o"
+  "CMakeFiles/bench_fig18_daily.dir/bench_fig18_daily.cpp.o.d"
+  "bench_fig18_daily"
+  "bench_fig18_daily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_daily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_user_diversity.dir/bench_fig19_user_diversity.cpp.o"
+  "CMakeFiles/bench_fig19_user_diversity.dir/bench_fig19_user_diversity.cpp.o.d"
+  "bench_fig19_user_diversity"
+  "bench_fig19_user_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_user_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

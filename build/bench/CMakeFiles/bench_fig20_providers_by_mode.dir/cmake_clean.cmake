@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_providers_by_mode.dir/bench_fig20_providers_by_mode.cpp.o"
+  "CMakeFiles/bench_fig20_providers_by_mode.dir/bench_fig20_providers_by_mode.cpp.o.d"
+  "bench_fig20_providers_by_mode"
+  "bench_fig20_providers_by_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_providers_by_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_activities.dir/bench_fig21_activities.cpp.o"
+  "CMakeFiles/bench_fig21_activities.dir/bench_fig21_activities.cpp.o.d"
+  "bench_fig21_activities"
+  "bench_fig21_activities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_activities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_middleware.cpp" "bench/CMakeFiles/bench_micro_middleware.dir/bench_micro_middleware.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_middleware.dir/bench_micro_middleware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/mps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/docstore/CMakeFiles/mps_docstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/assim/CMakeFiles/mps_assim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_middleware.dir/bench_micro_middleware.cpp.o"
+  "CMakeFiles/bench_micro_middleware.dir/bench_micro_middleware.cpp.o.d"
+  "bench_micro_middleware"
+  "bench_micro_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_deployment.dir/city_deployment.cpp.o"
+  "CMakeFiles/city_deployment.dir/city_deployment.cpp.o.d"
+  "city_deployment"
+  "city_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tradeoff.dir/energy_tradeoff.cpp.o"
+  "CMakeFiles/energy_tradeoff.dir/energy_tradeoff.cpp.o.d"
+  "energy_tradeoff"
+  "energy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exposure_report.dir/exposure_report.cpp.o"
+  "CMakeFiles/exposure_report.dir/exposure_report.cpp.o.d"
+  "exposure_report"
+  "exposure_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exposure_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

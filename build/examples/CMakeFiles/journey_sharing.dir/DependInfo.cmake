@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/journey_sharing.cpp" "examples/CMakeFiles/journey_sharing.dir/journey_sharing.cpp.o" "gcc" "examples/CMakeFiles/journey_sharing.dir/journey_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/mps_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/mps_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/assim/CMakeFiles/mps_assim.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/mps_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/soundcity/CMakeFiles/mps_soundcity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/mps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/docstore/CMakeFiles/mps_docstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journey_sharing.dir/journey_sharing.cpp.o"
+  "CMakeFiles/journey_sharing.dir/journey_sharing.cpp.o.d"
+  "journey_sharing"
+  "journey_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journey_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

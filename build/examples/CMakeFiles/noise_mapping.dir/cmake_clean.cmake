@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_mapping.dir/noise_mapping.cpp.o"
+  "CMakeFiles/noise_mapping.dir/noise_mapping.cpp.o.d"
+  "noise_mapping"
+  "noise_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

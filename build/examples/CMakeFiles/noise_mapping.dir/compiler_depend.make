@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for noise_mapping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("docstore")
+subdirs("broker")
+subdirs("net")
+subdirs("phone")
+subdirs("crowd")
+subdirs("client")
+subdirs("core")
+subdirs("assim")
+subdirs("calib")
+subdirs("soundcity")
+subdirs("study")

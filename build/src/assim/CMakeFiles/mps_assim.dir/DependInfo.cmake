@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assim/adaptive.cpp" "src/assim/CMakeFiles/mps_assim.dir/adaptive.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/adaptive.cpp.o.d"
+  "/root/repo/src/assim/assimilator.cpp" "src/assim/CMakeFiles/mps_assim.dir/assimilator.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/assimilator.cpp.o.d"
+  "/root/repo/src/assim/blue.cpp" "src/assim/CMakeFiles/mps_assim.dir/blue.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/blue.cpp.o.d"
+  "/root/repo/src/assim/city_noise_model.cpp" "src/assim/CMakeFiles/mps_assim.dir/city_noise_model.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/city_noise_model.cpp.o.d"
+  "/root/repo/src/assim/complaints.cpp" "src/assim/CMakeFiles/mps_assim.dir/complaints.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/complaints.cpp.o.d"
+  "/root/repo/src/assim/cycle.cpp" "src/assim/CMakeFiles/mps_assim.dir/cycle.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/cycle.cpp.o.d"
+  "/root/repo/src/assim/grid.cpp" "src/assim/CMakeFiles/mps_assim.dir/grid.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/grid.cpp.o.d"
+  "/root/repo/src/assim/linalg.cpp" "src/assim/CMakeFiles/mps_assim.dir/linalg.cpp.o" "gcc" "src/assim/CMakeFiles/mps_assim.dir/linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_assim.dir/adaptive.cpp.o"
+  "CMakeFiles/mps_assim.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/assimilator.cpp.o"
+  "CMakeFiles/mps_assim.dir/assimilator.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/blue.cpp.o"
+  "CMakeFiles/mps_assim.dir/blue.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/city_noise_model.cpp.o"
+  "CMakeFiles/mps_assim.dir/city_noise_model.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/complaints.cpp.o"
+  "CMakeFiles/mps_assim.dir/complaints.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/cycle.cpp.o"
+  "CMakeFiles/mps_assim.dir/cycle.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/grid.cpp.o"
+  "CMakeFiles/mps_assim.dir/grid.cpp.o.d"
+  "CMakeFiles/mps_assim.dir/linalg.cpp.o"
+  "CMakeFiles/mps_assim.dir/linalg.cpp.o.d"
+  "libmps_assim.a"
+  "libmps_assim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_assim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmps_assim.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for mps_assim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_broker.dir/broker.cpp.o"
+  "CMakeFiles/mps_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/mps_broker.dir/topic.cpp.o"
+  "CMakeFiles/mps_broker.dir/topic.cpp.o.d"
+  "libmps_broker.a"
+  "libmps_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/calibration.cpp" "src/calib/CMakeFiles/mps_calib.dir/calibration.cpp.o" "gcc" "src/calib/CMakeFiles/mps_calib.dir/calibration.cpp.o.d"
+  "/root/repo/src/calib/crowd_calibration.cpp" "src/calib/CMakeFiles/mps_calib.dir/crowd_calibration.cpp.o" "gcc" "src/calib/CMakeFiles/mps_calib.dir/crowd_calibration.cpp.o.d"
+  "/root/repo/src/calib/truth_discovery.cpp" "src/calib/CMakeFiles/mps_calib.dir/truth_discovery.cpp.o" "gcc" "src/calib/CMakeFiles/mps_calib.dir/truth_discovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

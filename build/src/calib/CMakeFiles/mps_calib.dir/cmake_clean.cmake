@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_calib.dir/calibration.cpp.o"
+  "CMakeFiles/mps_calib.dir/calibration.cpp.o.d"
+  "CMakeFiles/mps_calib.dir/crowd_calibration.cpp.o"
+  "CMakeFiles/mps_calib.dir/crowd_calibration.cpp.o.d"
+  "CMakeFiles/mps_calib.dir/truth_discovery.cpp.o"
+  "CMakeFiles/mps_calib.dir/truth_discovery.cpp.o.d"
+  "libmps_calib.a"
+  "libmps_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mps_calib.
+# This may be replaced when dependencies are built.

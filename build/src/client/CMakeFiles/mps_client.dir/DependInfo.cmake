@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/goflow_client.cpp" "src/client/CMakeFiles/mps_client.dir/goflow_client.cpp.o" "gcc" "src/client/CMakeFiles/mps_client.dir/goflow_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/mps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_client.dir/goflow_client.cpp.o"
+  "CMakeFiles/mps_client.dir/goflow_client.cpp.o.d"
+  "libmps_client.a"
+  "libmps_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

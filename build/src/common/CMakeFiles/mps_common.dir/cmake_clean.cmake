@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_common.dir/histogram.cpp.o"
+  "CMakeFiles/mps_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/mps_common.dir/log.cpp.o"
+  "CMakeFiles/mps_common.dir/log.cpp.o.d"
+  "CMakeFiles/mps_common.dir/stats.cpp.o"
+  "CMakeFiles/mps_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mps_common.dir/strings.cpp.o"
+  "CMakeFiles/mps_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mps_common.dir/table.cpp.o"
+  "CMakeFiles/mps_common.dir/table.cpp.o.d"
+  "CMakeFiles/mps_common.dir/value.cpp.o"
+  "CMakeFiles/mps_common.dir/value.cpp.o.d"
+  "libmps_common.a"
+  "libmps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/goflow_server.cpp" "src/core/CMakeFiles/mps_core.dir/goflow_server.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/goflow_server.cpp.o.d"
+  "/root/repo/src/core/rest_api.cpp" "src/core/CMakeFiles/mps_core.dir/rest_api.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/rest_api.cpp.o.d"
+  "/root/repo/src/core/standard_jobs.cpp" "src/core/CMakeFiles/mps_core.dir/standard_jobs.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/standard_jobs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/mps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/docstore/CMakeFiles/mps_docstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_core.dir/goflow_server.cpp.o"
+  "CMakeFiles/mps_core.dir/goflow_server.cpp.o.d"
+  "CMakeFiles/mps_core.dir/rest_api.cpp.o"
+  "CMakeFiles/mps_core.dir/rest_api.cpp.o.d"
+  "CMakeFiles/mps_core.dir/standard_jobs.cpp.o"
+  "CMakeFiles/mps_core.dir/standard_jobs.cpp.o.d"
+  "libmps_core.a"
+  "libmps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/ambient.cpp" "src/crowd/CMakeFiles/mps_crowd.dir/ambient.cpp.o" "gcc" "src/crowd/CMakeFiles/mps_crowd.dir/ambient.cpp.o.d"
+  "/root/repo/src/crowd/dataset.cpp" "src/crowd/CMakeFiles/mps_crowd.dir/dataset.cpp.o" "gcc" "src/crowd/CMakeFiles/mps_crowd.dir/dataset.cpp.o.d"
+  "/root/repo/src/crowd/incentives.cpp" "src/crowd/CMakeFiles/mps_crowd.dir/incentives.cpp.o" "gcc" "src/crowd/CMakeFiles/mps_crowd.dir/incentives.cpp.o.d"
+  "/root/repo/src/crowd/population.cpp" "src/crowd/CMakeFiles/mps_crowd.dir/population.cpp.o" "gcc" "src/crowd/CMakeFiles/mps_crowd.dir/population.cpp.o.d"
+  "/root/repo/src/crowd/retention.cpp" "src/crowd/CMakeFiles/mps_crowd.dir/retention.cpp.o" "gcc" "src/crowd/CMakeFiles/mps_crowd.dir/retention.cpp.o.d"
+  "/root/repo/src/crowd/user_profile.cpp" "src/crowd/CMakeFiles/mps_crowd.dir/user_profile.cpp.o" "gcc" "src/crowd/CMakeFiles/mps_crowd.dir/user_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

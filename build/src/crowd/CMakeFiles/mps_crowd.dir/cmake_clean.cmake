@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_crowd.dir/ambient.cpp.o"
+  "CMakeFiles/mps_crowd.dir/ambient.cpp.o.d"
+  "CMakeFiles/mps_crowd.dir/dataset.cpp.o"
+  "CMakeFiles/mps_crowd.dir/dataset.cpp.o.d"
+  "CMakeFiles/mps_crowd.dir/incentives.cpp.o"
+  "CMakeFiles/mps_crowd.dir/incentives.cpp.o.d"
+  "CMakeFiles/mps_crowd.dir/population.cpp.o"
+  "CMakeFiles/mps_crowd.dir/population.cpp.o.d"
+  "CMakeFiles/mps_crowd.dir/retention.cpp.o"
+  "CMakeFiles/mps_crowd.dir/retention.cpp.o.d"
+  "CMakeFiles/mps_crowd.dir/user_profile.cpp.o"
+  "CMakeFiles/mps_crowd.dir/user_profile.cpp.o.d"
+  "libmps_crowd.a"
+  "libmps_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/docstore/collection.cpp" "src/docstore/CMakeFiles/mps_docstore.dir/collection.cpp.o" "gcc" "src/docstore/CMakeFiles/mps_docstore.dir/collection.cpp.o.d"
+  "/root/repo/src/docstore/database.cpp" "src/docstore/CMakeFiles/mps_docstore.dir/database.cpp.o" "gcc" "src/docstore/CMakeFiles/mps_docstore.dir/database.cpp.o.d"
+  "/root/repo/src/docstore/query.cpp" "src/docstore/CMakeFiles/mps_docstore.dir/query.cpp.o" "gcc" "src/docstore/CMakeFiles/mps_docstore.dir/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

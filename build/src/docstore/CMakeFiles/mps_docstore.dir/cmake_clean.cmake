@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_docstore.dir/collection.cpp.o"
+  "CMakeFiles/mps_docstore.dir/collection.cpp.o.d"
+  "CMakeFiles/mps_docstore.dir/database.cpp.o"
+  "CMakeFiles/mps_docstore.dir/database.cpp.o.d"
+  "CMakeFiles/mps_docstore.dir/query.cpp.o"
+  "CMakeFiles/mps_docstore.dir/query.cpp.o.d"
+  "libmps_docstore.a"
+  "libmps_docstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

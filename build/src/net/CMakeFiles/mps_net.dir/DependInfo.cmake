@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/connectivity.cpp" "src/net/CMakeFiles/mps_net.dir/connectivity.cpp.o" "gcc" "src/net/CMakeFiles/mps_net.dir/connectivity.cpp.o.d"
+  "/root/repo/src/net/foreground.cpp" "src/net/CMakeFiles/mps_net.dir/foreground.cpp.o" "gcc" "src/net/CMakeFiles/mps_net.dir/foreground.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/net/CMakeFiles/mps_net.dir/radio.cpp.o" "gcc" "src/net/CMakeFiles/mps_net.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_net.dir/connectivity.cpp.o"
+  "CMakeFiles/mps_net.dir/connectivity.cpp.o.d"
+  "CMakeFiles/mps_net.dir/foreground.cpp.o"
+  "CMakeFiles/mps_net.dir/foreground.cpp.o.d"
+  "CMakeFiles/mps_net.dir/radio.cpp.o"
+  "CMakeFiles/mps_net.dir/radio.cpp.o.d"
+  "libmps_net.a"
+  "libmps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

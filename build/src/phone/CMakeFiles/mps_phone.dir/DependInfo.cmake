@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phone/activity.cpp" "src/phone/CMakeFiles/mps_phone.dir/activity.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/activity.cpp.o.d"
+  "/root/repo/src/phone/battery.cpp" "src/phone/CMakeFiles/mps_phone.dir/battery.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/battery.cpp.o.d"
+  "/root/repo/src/phone/device_catalog.cpp" "src/phone/CMakeFiles/mps_phone.dir/device_catalog.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/device_catalog.cpp.o.d"
+  "/root/repo/src/phone/location.cpp" "src/phone/CMakeFiles/mps_phone.dir/location.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/location.cpp.o.d"
+  "/root/repo/src/phone/microphone.cpp" "src/phone/CMakeFiles/mps_phone.dir/microphone.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/microphone.cpp.o.d"
+  "/root/repo/src/phone/observation.cpp" "src/phone/CMakeFiles/mps_phone.dir/observation.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/observation.cpp.o.d"
+  "/root/repo/src/phone/phone.cpp" "src/phone/CMakeFiles/mps_phone.dir/phone.cpp.o" "gcc" "src/phone/CMakeFiles/mps_phone.dir/phone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

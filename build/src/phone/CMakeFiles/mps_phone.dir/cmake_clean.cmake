@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_phone.dir/activity.cpp.o"
+  "CMakeFiles/mps_phone.dir/activity.cpp.o.d"
+  "CMakeFiles/mps_phone.dir/battery.cpp.o"
+  "CMakeFiles/mps_phone.dir/battery.cpp.o.d"
+  "CMakeFiles/mps_phone.dir/device_catalog.cpp.o"
+  "CMakeFiles/mps_phone.dir/device_catalog.cpp.o.d"
+  "CMakeFiles/mps_phone.dir/location.cpp.o"
+  "CMakeFiles/mps_phone.dir/location.cpp.o.d"
+  "CMakeFiles/mps_phone.dir/microphone.cpp.o"
+  "CMakeFiles/mps_phone.dir/microphone.cpp.o.d"
+  "CMakeFiles/mps_phone.dir/observation.cpp.o"
+  "CMakeFiles/mps_phone.dir/observation.cpp.o.d"
+  "CMakeFiles/mps_phone.dir/phone.cpp.o"
+  "CMakeFiles/mps_phone.dir/phone.cpp.o.d"
+  "libmps_phone.a"
+  "libmps_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mps_phone.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mps_phone.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_sim.dir/simulation.cpp.o"
+  "CMakeFiles/mps_sim.dir/simulation.cpp.o.d"
+  "libmps_sim.a"
+  "libmps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

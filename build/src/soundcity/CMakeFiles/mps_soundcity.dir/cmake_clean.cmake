@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_soundcity.dir/anonymizer.cpp.o"
+  "CMakeFiles/mps_soundcity.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/mps_soundcity.dir/exposure.cpp.o"
+  "CMakeFiles/mps_soundcity.dir/exposure.cpp.o.d"
+  "CMakeFiles/mps_soundcity.dir/feedback.cpp.o"
+  "CMakeFiles/mps_soundcity.dir/feedback.cpp.o.d"
+  "CMakeFiles/mps_soundcity.dir/webapp.cpp.o"
+  "CMakeFiles/mps_soundcity.dir/webapp.cpp.o.d"
+  "libmps_soundcity.a"
+  "libmps_soundcity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_soundcity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_study.dir/study.cpp.o"
+  "CMakeFiles/mps_study.dir/study.cpp.o.d"
+  "libmps_study.a"
+  "libmps_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

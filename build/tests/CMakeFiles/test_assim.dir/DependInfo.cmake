@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assim/adaptive_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/adaptive_test.cpp.o.d"
+  "/root/repo/tests/assim/assimilator_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/assimilator_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/assimilator_test.cpp.o.d"
+  "/root/repo/tests/assim/blue_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/blue_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/blue_test.cpp.o.d"
+  "/root/repo/tests/assim/city_noise_model_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/city_noise_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/city_noise_model_test.cpp.o.d"
+  "/root/repo/tests/assim/complaints_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/complaints_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/complaints_test.cpp.o.d"
+  "/root/repo/tests/assim/cycle_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/cycle_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/cycle_test.cpp.o.d"
+  "/root/repo/tests/assim/grid_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/grid_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/grid_test.cpp.o.d"
+  "/root/repo/tests/assim/linalg_test.cpp" "tests/CMakeFiles/test_assim.dir/assim/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/test_assim.dir/assim/linalg_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assim/CMakeFiles/mps_assim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assim.dir/assim/adaptive_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/assimilator_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/assimilator_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/blue_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/blue_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/city_noise_model_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/city_noise_model_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/complaints_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/complaints_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/cycle_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/cycle_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/grid_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/grid_test.cpp.o.d"
+  "CMakeFiles/test_assim.dir/assim/linalg_test.cpp.o"
+  "CMakeFiles/test_assim.dir/assim/linalg_test.cpp.o.d"
+  "test_assim"
+  "test_assim.pdb"
+  "test_assim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/broker/broker_test.cpp" "tests/CMakeFiles/test_broker.dir/broker/broker_test.cpp.o" "gcc" "tests/CMakeFiles/test_broker.dir/broker/broker_test.cpp.o.d"
+  "/root/repo/tests/broker/routing_property_test.cpp" "tests/CMakeFiles/test_broker.dir/broker/routing_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_broker.dir/broker/routing_property_test.cpp.o.d"
+  "/root/repo/tests/broker/topic_test.cpp" "tests/CMakeFiles/test_broker.dir/broker/topic_test.cpp.o" "gcc" "tests/CMakeFiles/test_broker.dir/broker/topic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/mps_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

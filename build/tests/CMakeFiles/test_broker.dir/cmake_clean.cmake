@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broker.dir/broker/broker_test.cpp.o"
+  "CMakeFiles/test_broker.dir/broker/broker_test.cpp.o.d"
+  "CMakeFiles/test_broker.dir/broker/routing_property_test.cpp.o"
+  "CMakeFiles/test_broker.dir/broker/routing_property_test.cpp.o.d"
+  "CMakeFiles/test_broker.dir/broker/topic_test.cpp.o"
+  "CMakeFiles/test_broker.dir/broker/topic_test.cpp.o.d"
+  "test_broker"
+  "test_broker.pdb"
+  "test_broker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

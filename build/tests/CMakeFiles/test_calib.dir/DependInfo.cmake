@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/calib/calibration_test.cpp" "tests/CMakeFiles/test_calib.dir/calib/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/test_calib.dir/calib/calibration_test.cpp.o.d"
+  "/root/repo/tests/calib/crowd_calibration_test.cpp" "tests/CMakeFiles/test_calib.dir/calib/crowd_calibration_test.cpp.o" "gcc" "tests/CMakeFiles/test_calib.dir/calib/crowd_calibration_test.cpp.o.d"
+  "/root/repo/tests/calib/truth_discovery_test.cpp" "tests/CMakeFiles/test_calib.dir/calib/truth_discovery_test.cpp.o" "gcc" "tests/CMakeFiles/test_calib.dir/calib/truth_discovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calib/CMakeFiles/mps_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/mps_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib.dir/calib/calibration_test.cpp.o"
+  "CMakeFiles/test_calib.dir/calib/calibration_test.cpp.o.d"
+  "CMakeFiles/test_calib.dir/calib/crowd_calibration_test.cpp.o"
+  "CMakeFiles/test_calib.dir/calib/crowd_calibration_test.cpp.o.d"
+  "CMakeFiles/test_calib.dir/calib/truth_discovery_test.cpp.o"
+  "CMakeFiles/test_calib.dir/calib/truth_discovery_test.cpp.o.d"
+  "test_calib"
+  "test_calib.pdb"
+  "test_calib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client.dir/client/goflow_client_test.cpp.o"
+  "CMakeFiles/test_client.dir/client/goflow_client_test.cpp.o.d"
+  "test_client"
+  "test_client.pdb"
+  "test_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/test_common.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/result_test.cpp" "tests/CMakeFiles/test_common.dir/common/result_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/result_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/value_order_property_test.cpp" "tests/CMakeFiles/test_common.dir/common/value_order_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/value_order_property_test.cpp.o.d"
+  "/root/repo/tests/common/value_test.cpp" "tests/CMakeFiles/test_common.dir/common/value_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/histogram_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/histogram_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/result_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/result_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/table_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/value_order_property_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/value_order_property_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/value_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/value_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

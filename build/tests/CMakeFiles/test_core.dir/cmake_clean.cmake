@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/goflow_server_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/goflow_server_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rest_api_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rest_api_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/standard_jobs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/standard_jobs_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crowd/ambient_test.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/ambient_test.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/ambient_test.cpp.o.d"
+  "/root/repo/tests/crowd/dataset_test.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/dataset_test.cpp.o.d"
+  "/root/repo/tests/crowd/incentives_test.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/incentives_test.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/incentives_test.cpp.o.d"
+  "/root/repo/tests/crowd/population_test.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/population_test.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/population_test.cpp.o.d"
+  "/root/repo/tests/crowd/retention_test.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/retention_test.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/retention_test.cpp.o.d"
+  "/root/repo/tests/crowd/user_profile_test.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/user_profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/user_profile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crowd/CMakeFiles/mps_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

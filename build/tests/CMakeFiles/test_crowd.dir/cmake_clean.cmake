@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowd.dir/crowd/ambient_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/ambient_test.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/dataset_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/dataset_test.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/incentives_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/incentives_test.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/population_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/population_test.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/retention_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/retention_test.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/user_profile_test.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/user_profile_test.cpp.o.d"
+  "test_crowd"
+  "test_crowd.pdb"
+  "test_crowd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/docstore/collection_test.cpp" "tests/CMakeFiles/test_docstore.dir/docstore/collection_test.cpp.o" "gcc" "tests/CMakeFiles/test_docstore.dir/docstore/collection_test.cpp.o.d"
+  "/root/repo/tests/docstore/database_test.cpp" "tests/CMakeFiles/test_docstore.dir/docstore/database_test.cpp.o" "gcc" "tests/CMakeFiles/test_docstore.dir/docstore/database_test.cpp.o.d"
+  "/root/repo/tests/docstore/fuzz_oracle_test.cpp" "tests/CMakeFiles/test_docstore.dir/docstore/fuzz_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/test_docstore.dir/docstore/fuzz_oracle_test.cpp.o.d"
+  "/root/repo/tests/docstore/query_test.cpp" "tests/CMakeFiles/test_docstore.dir/docstore/query_test.cpp.o" "gcc" "tests/CMakeFiles/test_docstore.dir/docstore/query_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/docstore/CMakeFiles/mps_docstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docstore.dir/docstore/collection_test.cpp.o"
+  "CMakeFiles/test_docstore.dir/docstore/collection_test.cpp.o.d"
+  "CMakeFiles/test_docstore.dir/docstore/database_test.cpp.o"
+  "CMakeFiles/test_docstore.dir/docstore/database_test.cpp.o.d"
+  "CMakeFiles/test_docstore.dir/docstore/fuzz_oracle_test.cpp.o"
+  "CMakeFiles/test_docstore.dir/docstore/fuzz_oracle_test.cpp.o.d"
+  "CMakeFiles/test_docstore.dir/docstore/query_test.cpp.o"
+  "CMakeFiles/test_docstore.dir/docstore/query_test.cpp.o.d"
+  "test_docstore"
+  "test_docstore.pdb"
+  "test_docstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

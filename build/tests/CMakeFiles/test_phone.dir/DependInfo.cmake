@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phone/activity_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/activity_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/activity_test.cpp.o.d"
+  "/root/repo/tests/phone/battery_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/battery_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/battery_test.cpp.o.d"
+  "/root/repo/tests/phone/device_catalog_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/device_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/device_catalog_test.cpp.o.d"
+  "/root/repo/tests/phone/location_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/location_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/location_test.cpp.o.d"
+  "/root/repo/tests/phone/microphone_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/microphone_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/microphone_test.cpp.o.d"
+  "/root/repo/tests/phone/observation_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/observation_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/observation_test.cpp.o.d"
+  "/root/repo/tests/phone/phone_test.cpp" "tests/CMakeFiles/test_phone.dir/phone/phone_test.cpp.o" "gcc" "tests/CMakeFiles/test_phone.dir/phone/phone_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phone/CMakeFiles/mps_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

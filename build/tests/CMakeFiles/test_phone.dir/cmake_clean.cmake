@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phone.dir/phone/activity_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/activity_test.cpp.o.d"
+  "CMakeFiles/test_phone.dir/phone/battery_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/battery_test.cpp.o.d"
+  "CMakeFiles/test_phone.dir/phone/device_catalog_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/device_catalog_test.cpp.o.d"
+  "CMakeFiles/test_phone.dir/phone/location_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/location_test.cpp.o.d"
+  "CMakeFiles/test_phone.dir/phone/microphone_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/microphone_test.cpp.o.d"
+  "CMakeFiles/test_phone.dir/phone/observation_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/observation_test.cpp.o.d"
+  "CMakeFiles/test_phone.dir/phone/phone_test.cpp.o"
+  "CMakeFiles/test_phone.dir/phone/phone_test.cpp.o.d"
+  "test_phone"
+  "test_phone.pdb"
+  "test_phone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

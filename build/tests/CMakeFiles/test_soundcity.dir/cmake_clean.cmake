@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soundcity.dir/soundcity/anonymizer_test.cpp.o"
+  "CMakeFiles/test_soundcity.dir/soundcity/anonymizer_test.cpp.o.d"
+  "CMakeFiles/test_soundcity.dir/soundcity/exposure_test.cpp.o"
+  "CMakeFiles/test_soundcity.dir/soundcity/exposure_test.cpp.o.d"
+  "CMakeFiles/test_soundcity.dir/soundcity/feedback_test.cpp.o"
+  "CMakeFiles/test_soundcity.dir/soundcity/feedback_test.cpp.o.d"
+  "CMakeFiles/test_soundcity.dir/soundcity/webapp_test.cpp.o"
+  "CMakeFiles/test_soundcity.dir/soundcity/webapp_test.cpp.o.d"
+  "test_soundcity"
+  "test_soundcity.pdb"
+  "test_soundcity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soundcity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
