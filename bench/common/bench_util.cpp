@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/histogram.h"
+#include "common/strings.h"
 
 namespace mps::bench {
 
@@ -56,6 +57,28 @@ std::string bar(double value, double max_value, std::size_t max_width) {
   auto n = static_cast<std::size_t>(value / max_value *
                                     static_cast<double>(max_width));
   return std::string(std::min(n, max_width), '#');
+}
+
+std::string human_ms(double ms) {
+  if (ms >= 3600000.0) return format("%.1fh", ms / 3600000.0);
+  if (ms >= 60000.0) return format("%.1fmin", ms / 60000.0);
+  if (ms >= 1000.0) return format("%.1fs", ms / 1000.0);
+  return format("%.2fms", ms);
+}
+
+void print_metrics_dashboard(const obs::MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters)
+    std::printf("  %-36s %14llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  for (const auto& [name, value] : snapshot.gauges)
+    std::printf("  %-36s %14g\n", name.c_str(), value);
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count == 0) continue;
+    std::printf("  %-36s n=%-8llu mean=%-9s p50=%-9s p90=%-9s p99=%s\n",
+                name.c_str(), static_cast<unsigned long long>(hist.count),
+                human_ms(hist.mean).c_str(), human_ms(hist.p50).c_str(),
+                human_ms(hist.p90).c_str(), human_ms(hist.p99).c_str());
+  }
 }
 
 AccuracySweep collect_accuracy(const crowd::Population& population,

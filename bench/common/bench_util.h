@@ -14,6 +14,7 @@
 
 #include "crowd/dataset.h"
 #include "crowd/population.h"
+#include "obs/metrics.h"
 
 namespace mps::bench {
 
@@ -39,6 +40,14 @@ void print_share(const std::string& label, double share_percent);
 
 /// Simple horizontal ASCII bar scaled to `max_width` at `value/max_value`.
 std::string bar(double value, double max_value, std::size_t max_width = 40);
+
+/// Humanizes a duration in milliseconds ("3.20ms", "4.5s", "2.1h").
+std::string human_ms(double ms);
+
+/// Prints a metrics snapshot as a pipeline dashboard: counters and gauges
+/// as aligned name/value rows, latency histograms with humanized
+/// count/mean/p50/p90/p99 columns.
+void print_metrics_dashboard(const obs::MetricsSnapshot& snapshot);
 
 /// Location-accuracy distributions collected from one dataset run
 /// (Figures 10-13 and 20 share this sweep).

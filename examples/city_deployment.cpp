@@ -10,8 +10,11 @@
 // Build & run:  cmake --build build && ./build/examples/city_deployment
 #include <cstdio>
 
+#include "common/bench_util.h"
 #include "core/rest_api.h"
 #include "core/standard_jobs.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "study/study.h"
 
 using namespace mps;
@@ -23,6 +26,15 @@ int main() {
   docstore::Database db;
   core::GoFlowServer server(sim, broker, db);
 
+  // One registry observes every layer; one tracker follows each
+  // observation's sensed->...->assimilated lifecycle across them.
+  obs::Registry registry;
+  obs::SpanTracker tracker(&registry);
+  broker.set_metrics(&registry);
+  db.set_metrics(&registry);
+  server.set_metrics(&registry);
+  server.set_tracer(&tracker);
+
   crowd::PopulationConfig pop_config;
   pop_config.seed = 7;
   pop_config.device_scale = 0.03;  // ~65 devices
@@ -33,10 +45,30 @@ int main() {
   study::StudyConfig study_config;
   study_config.duration_days = 14;
   study_config.journey_release = days(10);  // journey mode ships mid-study
+  study_config.metrics = &registry;
+  study_config.tracer = &tracker;
   study::StudyRunner runner(population, study_config, sim, broker, server);
+
+  // Daily ops report, straight off the sim clock: the hook fires at every
+  // virtual 48-h boundary while the study runs.
+  sim.set_metrics_hook(hours(48), [&](TimeMs now) {
+    std::printf("  [day %2lld] recorded=%llu uploaded=%llu stored=%llu "
+                "spans=%llu\n",
+                static_cast<long long>(now / days(1)),
+                static_cast<unsigned long long>(
+                    registry.counter("client.recorded").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("client.observations_uploaded").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("server.observations_stored").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("span.started").value()));
+  });
+
   std::printf("running a %zu-device fleet for %d virtual days...\n",
               population.users().size(), study_config.duration_days);
   study::StudyReport report = runner.run();
+  sim.clear_metrics_hook();
   std::printf("recorded %llu observations; %llu stored server-side; "
               "%llu still on devices\n\n",
               static_cast<unsigned long long>(report.observations_recorded),
@@ -82,5 +114,28 @@ int main() {
        {{"provider", "gps"}, {"limit", "3"}}});
   std::printf("\nGPS sample export:\n%s\n",
               exported.body.get_string("json").c_str());
+
+  // --- Observability: one endpoint, the whole pipeline --------------------
+  core::RestResponse metrics =
+      api.handle({"GET", "/metrics", admin, Value(), {}});
+  std::printf("\nGET /metrics -> %d (%zu counters, %zu histograms)\n",
+              metrics.status, metrics.body.find("counters")->as_object().size(),
+              metrics.body.find("histograms")->as_object().size());
+
+  std::printf("\npipeline dashboard:\n");
+  bench::print_metrics_dashboard(registry.snapshot());
+
+  std::printf("\ndrop attribution (traced observations):\n");
+  for (const auto& [stage, count] : tracker.drop_counts())
+    std::printf("  %-20s %llu\n", obs::drop_stage_name(stage),
+                static_cast<unsigned long long>(count));
+  std::printf("end-to-end: %zu of %zu spans persisted; capture->server "
+              "median %.0fs\n",
+              tracker.count_through(obs::Hop::kPersisted), tracker.size(),
+              tracker.delay_cdf(obs::Hop::kSensed, obs::Hop::kRouted).empty()
+                  ? 0.0
+                  : tracker.delay_cdf(obs::Hop::kSensed, obs::Hop::kRouted)
+                            .quantile(0.5) /
+                        1000.0);
   return 0;
 }

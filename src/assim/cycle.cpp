@@ -1,5 +1,6 @@
 #include "assim/cycle.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace mps::assim {
@@ -18,9 +19,26 @@ AssimilationCycle::AssimilationCycle(ModelFn model, TimeMs start,
         "AssimilationCycle: persistence_weight must be in [0,1]");
 }
 
+void AssimilationCycle::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.steps = &registry->counter("assim.steps");
+  metrics_.observations_used = &registry->counter("assim.observations_used");
+  metrics_.innovation_rms = &registry->gauge("assim.innovation_rms");
+  metrics_.residual_rms = &registry->gauge("assim.residual_rms");
+  // Wall-clock step cost, not virtual time: an analysis step takes
+  // microseconds-to-milliseconds of real compute.
+  metrics_.cycle_ms = &registry->histogram(
+      "assim.cycle_ms",
+      {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+}
+
 CycleStep AssimilationCycle::advance(
     const std::vector<phone::Observation>& window,
     const Calibration& calibration) {
+  auto wall_start = std::chrono::steady_clock::now();
   TimeMs next = now_ + config_.step;
   Grid model_next = model_(next);
 
@@ -43,6 +61,22 @@ CycleStep AssimilationCycle::advance(
   step.innovation_rms = result.innovation_rms;
   step.residual_rms = result.residual_rms;
   step.observations_used = result.observations_used;
+
+  if (tracer_ != nullptr) {
+    for (const phone::Observation& obs : window)
+      if (obs.span_id != 0)
+        tracer_->stamp(obs.span_id, obs::Hop::kAssimilated, next);
+  }
+  if (metrics_.steps != nullptr) {
+    metrics_.steps->inc();
+    metrics_.observations_used->inc(result.observations_used);
+    metrics_.innovation_rms->set(result.innovation_rms);
+    metrics_.residual_rms->set(result.residual_rms);
+    metrics_.cycle_ms->observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+  }
   return step;
 }
 

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "assim/assimilator.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace mps::assim {
 
@@ -69,6 +71,15 @@ class AssimilationCycle {
   /// Steps executed so far.
   std::size_t steps() const { return steps_; }
 
+  /// Mirrors step diagnostics into "assim.*" registry metrics: steps /
+  /// observations_used counters, innovation_rms / residual_rms gauges and
+  /// the assim.cycle_ms wall-clock histogram. Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
+  /// Attaches a span tracker: observations of each advance() window that
+  /// carry a span id are stamped kAssimilated at the analysis time.
+  void set_tracer(obs::SpanTracker* tracer) { tracer_ = tracer; }
+
  private:
   ModelFn model_;
   CycleConfig config_;
@@ -76,6 +87,17 @@ class AssimilationCycle {
   Grid analysis_;
   Grid model_at_now_;
   std::size_t steps_ = 0;
+
+  /// Hoisted registry handles, null when no registry is attached.
+  struct Metrics {
+    obs::Counter* steps = nullptr;
+    obs::Counter* observations_used = nullptr;
+    obs::Gauge* innovation_rms = nullptr;
+    obs::Gauge* residual_rms = nullptr;
+    obs::LatencyHistogram* cycle_ms = nullptr;
+  };
+  Metrics metrics_;
+  obs::SpanTracker* tracer_ = nullptr;
 };
 
 }  // namespace mps::assim

@@ -16,6 +16,44 @@ const char* exchange_type_name(ExchangeType t) {
   return "?";
 }
 
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kOverflow: return "overflow";
+    case DropReason::kExpired: return "expired";
+    case DropReason::kUnroutable: return "unroutable";
+  }
+  return "?";
+}
+
+BrokerStats Broker::take_stats() {
+  BrokerStats snapshot = stats_;
+  stats_ = BrokerStats{};
+  return snapshot;
+}
+
+void Broker::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.published = &registry->counter("broker.published");
+  metrics_.delivered = &registry->counter("broker.delivered");
+  metrics_.consumed = &registry->counter("broker.consumed");
+  metrics_.unroutable = &registry->counter("broker.unroutable");
+  metrics_.dropped_overflow = &registry->counter("broker.dropped_overflow");
+  metrics_.expired = &registry->counter("broker.expired");
+  metrics_.exchanges = &registry->gauge("broker.exchanges");
+  metrics_.queues = &registry->gauge("broker.queues");
+  update_topology_gauges();
+}
+
+void Broker::update_topology_gauges() {
+  if (metrics_.exchanges != nullptr)
+    metrics_.exchanges->set(static_cast<double>(exchanges_.size()));
+  if (metrics_.queues != nullptr)
+    metrics_.queues->set(static_cast<double>(queues_.size()));
+}
+
 Status Broker::declare_exchange(const std::string& name, ExchangeType type) {
   auto it = exchanges_.find(name);
   if (it != exchanges_.end()) {
@@ -26,6 +64,7 @@ Status Broker::declare_exchange(const std::string& name, ExchangeType type) {
     return {};
   }
   exchanges_[name].type = type;
+  update_topology_gauges();
   return {};
 }
 
@@ -38,6 +77,7 @@ Status Broker::delete_exchange(const std::string& name) {
       return !b.to_queue && b.destination == name;
     });
   }
+  update_topology_gauges();
   return {};
 }
 
@@ -45,6 +85,7 @@ Status Broker::declare_queue(const std::string& name, QueueOptions options) {
   auto it = queues_.find(name);
   if (it != queues_.end()) return {};
   queues_[name].options = options;
+  update_topology_gauges();
   return {};
 }
 
@@ -59,6 +100,7 @@ Status Broker::delete_queue(const std::string& name) {
       return b.to_queue && b.destination == name;
     });
   }
+  update_topology_gauges();
   return {};
 }
 
@@ -162,18 +204,23 @@ void Broker::enqueue(Queue& q, const Message& message,
                      std::size_t& deliveries) {
   ++deliveries;
   ++stats_.delivered;
+  if (metrics_.delivered != nullptr) metrics_.delivered->inc();
   if (!q.consumers.empty()) {
     // Push path: hand directly to the next consumer (round-robin).
     const Consumer& c = q.consumers[q.next_consumer % q.consumers.size()];
     q.next_consumer = (q.next_consumer + 1) % std::max<std::size_t>(q.consumers.size(), 1);
     ++stats_.consumed;
+    if (metrics_.consumed != nullptr) metrics_.consumed->inc();
     c.callback(message);
     return;
   }
   q.messages.push_back(message);
   if (q.options.max_length > 0 && q.messages.size() > q.options.max_length) {
+    Message dropped = std::move(q.messages.front());
     q.messages.pop_front();  // drop-head
     ++stats_.dropped_overflow;
+    if (metrics_.dropped_overflow != nullptr) metrics_.dropped_overflow->inc();
+    if (drop_hook_) drop_hook_(dropped, DropReason::kOverflow);
   }
 }
 
@@ -215,10 +262,15 @@ Result<PublishResult> Broker::publish(const std::string& exchange,
   message.sequence = next_sequence_++;
   message.published_at = now;
   ++stats_.published;
+  if (metrics_.published != nullptr) metrics_.published->inc();
   std::size_t deliveries = 0;
   std::vector<std::string> visited;
   route(exchange, message, visited, deliveries);
-  if (deliveries == 0) ++stats_.unroutable;
+  if (deliveries == 0) {
+    ++stats_.unroutable;
+    if (metrics_.unroutable != nullptr) metrics_.unroutable->inc();
+    if (drop_hook_) drop_hook_(message, DropReason::kUnroutable);
+  }
   return PublishResult{deliveries, message.sequence};
 }
 
@@ -228,6 +280,7 @@ std::optional<Message> Broker::pop(const std::string& queue) {
   Message m = std::move(it->second.messages.front());
   it->second.messages.pop_front();
   ++stats_.consumed;
+  if (metrics_.consumed != nullptr) metrics_.consumed->inc();
   return m;
 }
 
@@ -245,6 +298,7 @@ std::optional<Delivery> Broker::pop_reliable(const std::string& queue) {
   delivery.delivery_tag = next_delivery_tag_++;
   unacked_[delivery.delivery_tag] = Unacked{queue, delivery.message};
   ++stats_.consumed;
+  if (metrics_.consumed != nullptr) metrics_.consumed->inc();
   return delivery;
 }
 
@@ -289,8 +343,11 @@ std::size_t Broker::expire_messages(const std::string& queue, TimeMs now) {
   // expired (the common case: a stale backlog).
   while (!q.messages.empty() &&
          q.messages.front().published_at + q.options.message_ttl <= now) {
+    Message expired = std::move(q.messages.front());
     q.messages.pop_front();
     ++dropped;
+    if (metrics_.expired != nullptr) metrics_.expired->inc();
+    if (drop_hook_) drop_hook_(expired, DropReason::kExpired);
   }
   stats_.expired += dropped;
   return dropped;
@@ -310,6 +367,7 @@ Result<ConsumerTag> Broker::subscribe(
     Message m = std::move(q.messages.front());
     q.messages.pop_front();
     ++stats_.consumed;
+    if (metrics_.consumed != nullptr) metrics_.consumed->inc();
     q.consumers.back().callback(m);
   }
   return tag;

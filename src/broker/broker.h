@@ -26,6 +26,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 
 namespace mps::broker {
 
@@ -74,6 +75,11 @@ struct PublishResult {
 
 /// Identifies a push consumer for cancellation.
 using ConsumerTag = std::uint64_t;
+
+/// Why the broker discarded a message without delivering it.
+enum class DropReason { kOverflow, kExpired, kUnroutable };
+
+const char* drop_reason_name(DropReason r);
 
 /// Aggregate broker counters.
 struct BrokerStats {
@@ -181,7 +187,31 @@ class Broker {
   /// Number of buffered messages in a queue (0 for missing queues).
   std::size_t queue_depth(const std::string& queue) const;
 
+  // --- Observability ----------------------------------------------------
+
+  /// Cumulative counters since construction (or the last reset).
   const BrokerStats& stats() const { return stats_; }
+
+  /// Snapshot-and-reset: returns the counters accumulated since the last
+  /// take and zeroes them, so bench phases measure deltas. Registry
+  /// metrics (set_metrics) are NOT reset — they stay the process-wide
+  /// aggregate, with their own Registry::snapshot_and_reset().
+  BrokerStats take_stats();
+
+  void reset_stats() { stats_ = BrokerStats{}; }
+
+  /// Mirrors every counter bump into `registry` under "broker.*" names
+  /// (published, delivered, consumed, unroutable, dropped_overflow,
+  /// expired) and keeps "broker.exchanges"/"broker.queues" gauges current.
+  /// Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
+  /// Called for every message the broker discards (drop-head overflow,
+  /// TTL expiry, unroutable publish), with the dropped message and the
+  /// reason. Lets observability layers attribute per-observation drops
+  /// without the broker knowing anything about payload schemas.
+  using DropHook = std::function<void(const Message&, DropReason)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
  private:
   struct Binding {
@@ -215,6 +245,20 @@ class Broker {
     Message message;
   };
 
+  void update_topology_gauges();
+
+  /// Hoisted registry handles, null when no registry is attached.
+  struct Metrics {
+    obs::Counter* published = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* consumed = nullptr;
+    obs::Counter* unroutable = nullptr;
+    obs::Counter* dropped_overflow = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Gauge* exchanges = nullptr;
+    obs::Gauge* queues = nullptr;
+  };
+
   std::map<std::string, Exchange> exchanges_;
   std::map<std::string, Queue> queues_;
   std::map<ConsumerTag, std::string> consumer_queue_;
@@ -223,6 +267,8 @@ class Broker {
   std::uint64_t next_delivery_tag_ = 1;
   ConsumerTag next_tag_ = 1;
   BrokerStats stats_;
+  Metrics metrics_;
+  DropHook drop_hook_;
 };
 
 }  // namespace mps::broker

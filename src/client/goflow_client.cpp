@@ -58,6 +58,26 @@ void GoFlowClient::start() { timer_.start(); }
 
 void GoFlowClient::stop() { timer_.stop(); }
 
+ClientStats GoFlowClient::take_stats() {
+  ClientStats snapshot = stats_;
+  stats_ = ClientStats{};
+  return snapshot;
+}
+
+void GoFlowClient::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.recorded = &registry->counter("client.recorded");
+  metrics_.uploads = &registry->counter("client.uploads");
+  metrics_.deferred_uploads = &registry->counter("client.deferred_uploads");
+  metrics_.observations_uploaded =
+      &registry->counter("client.observations_uploaded");
+  metrics_.dropped_not_shared = &registry->counter("client.dropped_not_shared");
+  metrics_.delivery_delay = &registry->histogram("client.delivery_delay_ms");
+}
+
 void GoFlowClient::on_sense_tick(TimeMs now) {
   auto [x, y] = position_(now);
   // Mobility gate: a device that hasn't moved re-samples the same scene;
@@ -123,11 +143,22 @@ std::size_t GoFlowClient::stop_journey() {
 
 void GoFlowClient::record(const phone::Observation& observation) {
   ++stats_.observations_recorded;
+  if (metrics_.recorded != nullptr) metrics_.recorded->inc();
+  std::uint64_t span_id = observation.span_id;
+  if (tracer_ != nullptr && span_id == 0)
+    span_id = tracer_->begin(observation.captured_at);
   if (!config_.share) {
     ++stats_.dropped_not_shared;
+    if (metrics_.dropped_not_shared != nullptr)
+      metrics_.dropped_not_shared->inc();
+    if (tracer_ != nullptr)
+      tracer_->drop(span_id, obs::DropStage::kNotShared, sim_.now());
     return;  // quantified-self only: data stays on the device
   }
   buffer_.push_back(observation);
+  buffer_.back().span_id = span_id;
+  if (tracer_ != nullptr)
+    tracer_->stamp(span_id, obs::Hop::kBuffered, sim_.now());
   maybe_upload();
 }
 
@@ -177,6 +208,7 @@ bool GoFlowClient::try_upload() {
   // means the batch is kept and retried at the next cycle.
   if (!phone_.connectivity().connected_at(now)) {
     ++stats_.deferred_uploads;
+    if (metrics_.deferred_uploads != nullptr) metrics_.deferred_uploads->inc();
     return false;
   }
 
@@ -196,10 +228,18 @@ bool GoFlowClient::try_upload() {
   for (const phone::Observation& obs : buffer_) {
     deliveries_.push_back(DeliveryRecord{obs.captured_at, delivered_at,
                                          batch_size});
+    if (tracer_ != nullptr)
+      tracer_->stamp(obs.span_id, obs::Hop::kUploaded, delivered_at);
+    if (metrics_.delivery_delay != nullptr)
+      metrics_.delivery_delay->observe(
+          static_cast<double>(delivered_at - obs.captured_at));
   }
   buffer_.clear();
   ++stats_.uploads;
   stats_.observations_uploaded += batch_size;
+  if (metrics_.uploads != nullptr) metrics_.uploads->inc();
+  if (metrics_.observations_uploaded != nullptr)
+    metrics_.observations_uploaded->inc(batch_size);
 
   std::string routing_key = config_.app + ".obs." + config_.client_id;
   // Deliver to the broker when the transfer completes in virtual time.

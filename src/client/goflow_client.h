@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "phone/phone.h"
 #include "sim/simulation.h"
 
@@ -155,6 +157,26 @@ class GoFlowClient {
   const std::vector<DeliveryRecord>& deliveries() const { return deliveries_; }
   phone::Phone& phone() { return phone_; }
 
+  // --- Observability ----------------------------------------------------
+
+  /// Snapshot-and-reset of the client counters: returns the stats
+  /// accumulated since the last take and zeroes them (bench phases
+  /// measure deltas; registry metrics keep aggregating independently).
+  ClientStats take_stats();
+
+  void reset_stats() { stats_ = ClientStats{}; }
+
+  /// Mirrors counter bumps into `registry` under "client.*" names and
+  /// records per-observation delivery delays into the
+  /// "client.delivery_delay_ms" histogram. Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
+  /// Attaches a span tracker: every recorded observation gets a span
+  /// (kSensed at captured_at, kBuffered at record time, kUploaded when
+  /// the transfer completes), and the span id travels inside the
+  /// serialized document so server and assimilation stamp the same span.
+  void set_tracer(obs::SpanTracker* tracer) { tracer_ = tracer; }
+
  private:
   void on_sense_tick(TimeMs now);
   void maybe_upload();
@@ -179,6 +201,18 @@ class GoFlowClient {
   int still_ticks_ = 0;
   std::vector<DeliveryRecord> deliveries_;
   ClientStats stats_;
+
+  /// Hoisted registry handles, null when no registry is attached.
+  struct Metrics {
+    obs::Counter* recorded = nullptr;
+    obs::Counter* uploads = nullptr;
+    obs::Counter* deferred_uploads = nullptr;
+    obs::Counter* observations_uploaded = nullptr;
+    obs::Counter* dropped_not_shared = nullptr;
+    obs::LatencyHistogram* delivery_delay = nullptr;
+  };
+  Metrics metrics_;
+  obs::SpanTracker* tracer_ = nullptr;
 };
 
 }  // namespace mps::client

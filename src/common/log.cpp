@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "common/strings.h"
 
 namespace mps {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -17,16 +22,76 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+bool needs_quoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value)
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  return false;
+}
+
+void emit(LogLevel level, const std::string& component,
+          const std::string& message, const LogFields* fields) {
+  if (level < g_level.load()) return;
+  // Format the whole line first, then write it in one call under the
+  // mutex: concurrent callers can never interleave within a line.
+  std::string line = format("%-5s [%s] %s", level_name(level),
+                            component.c_str(), message.c_str());
+  if (fields != nullptr && !fields->empty()) {
+    line.push_back(' ');
+    line += fields->str();
+  }
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+LogFields& LogFields::kv(std::string_view key, std::string_view value) {
+  if (!out_.empty()) out_.push_back(' ');
+  out_.append(key);
+  out_.push_back('=');
+  if (needs_quoting(value)) {
+    out_.push_back('"');
+    for (char c : value) {
+      if (c == '"' || c == '\\') out_.push_back('\\');
+      out_.push_back(c);
+    }
+    out_.push_back('"');
+  } else {
+    out_.append(value);
+  }
+  return *this;
+}
+
+LogFields& LogFields::kv(std::string_view key, std::int64_t value) {
+  return kv(key, std::string_view(std::to_string(value)));
+}
+
+LogFields& LogFields::kv(std::string_view key, std::uint64_t value) {
+  return kv(key, std::string_view(std::to_string(value)));
+}
+
+LogFields& LogFields::kv(std::string_view key, double value) {
+  return kv(key, std::string_view(format("%g", value)));
+}
+
+LogFields& LogFields::kv(std::string_view key, bool value) {
+  return kv(key, std::string_view(value ? "true" : "false"));
+}
+
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
-  if (level < g_level.load()) return;
-  std::fprintf(stderr, "%-5s [%s] %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  emit(level, component, message, nullptr);
+}
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message, const LogFields& fields) {
+  emit(level, component, message, &fields);
 }
 
 }  // namespace mps

@@ -1,8 +1,16 @@
 // Minimal leveled logger. The middleware components log at kDebug/kInfo;
 // tests and benches keep the default level at kWarn so output stays clean.
+//
+// log_message is thread-safe: each call formats the full line up front and
+// emits it with a single write under a mutex, so lines from concurrent
+// callers never interleave. LogFields builds an optional structured
+// "key=value" suffix, keeping log lines parseable when components log
+// metric snapshots.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mps {
 
@@ -12,10 +20,35 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Builder for a structured "key=value key2=value2" log suffix. Values
+/// containing spaces, quotes or '=' are double-quoted with inner quotes
+/// escaped, so a line splits back into fields unambiguously.
+class LogFields {
+ public:
+  LogFields& kv(std::string_view key, std::string_view value);
+  LogFields& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  LogFields& kv(std::string_view key, std::int64_t value);
+  LogFields& kv(std::string_view key, std::uint64_t value);
+  LogFields& kv(std::string_view key, double value);
+  LogFields& kv(std::string_view key, bool value);
+
+  const std::string& str() const { return out_; }
+  bool empty() const { return out_.empty(); }
+
+ private:
+  std::string out_;
+};
+
 /// Emits a log line "LEVEL [component] message" to stderr when `level` is
 /// at or above the global level.
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
+
+/// Same, with a structured suffix: "LEVEL [component] message k=v k2=v2".
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message, const LogFields& fields);
 
 #define MPS_LOG_DEBUG(component, msg) \
   ::mps::log_message(::mps::LogLevel::kDebug, (component), (msg))

@@ -36,7 +36,59 @@ GoFlowServer::GoFlowServer(sim::Simulation& simulation, broker::Broker& broker,
   obs.create_index("captured_at");
 }
 
-GoFlowServer::~GoFlowServer() { broker_.unsubscribe(ingest_tag_); }
+GoFlowServer::~GoFlowServer() {
+  broker_.unsubscribe(ingest_tag_);
+  if (tracer_ != nullptr) broker_.set_drop_hook(nullptr);
+}
+
+void GoFlowServer::set_metrics(obs::Registry* registry) {
+  metrics_registry_ = registry;
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.batches_ingested = &registry->counter("server.batches_ingested");
+  metrics_.observations_stored =
+      &registry->counter("server.observations_stored");
+  metrics_.duplicate_batches = &registry->counter("server.duplicate_batches");
+  metrics_.ingest_delay = &registry->histogram("server.ingest_delay_ms");
+}
+
+void GoFlowServer::set_tracer(obs::SpanTracker* tracer) {
+  tracer_ = tracer;
+  if (tracer == nullptr) {
+    broker_.set_drop_hook(nullptr);
+    return;
+  }
+  broker_.set_drop_hook([this](const broker::Message& m,
+                               broker::DropReason reason) {
+    on_broker_drop(m, reason);
+  });
+}
+
+void GoFlowServer::on_broker_drop(const broker::Message& message,
+                                  broker::DropReason reason) {
+  if (tracer_ == nullptr) return;
+  obs::DropStage stage = obs::DropStage::kNone;
+  switch (reason) {
+    case broker::DropReason::kExpired:
+      stage = obs::DropStage::kExpiredInBroker;
+      break;
+    case broker::DropReason::kOverflow:
+      stage = obs::DropStage::kOverflowInBroker;
+      break;
+    case broker::DropReason::kUnroutable:
+      stage = obs::DropStage::kUnroutable;
+      break;
+  }
+  const Value* observations = message.payload.find("observations");
+  if (observations == nullptr || !observations->is_array()) return;
+  for (const Value& obs : observations->as_array()) {
+    if (!obs.is_object()) continue;
+    auto span = static_cast<std::uint64_t>(obs.get_int("span", 0));
+    if (span != 0) tracer_->drop(span, stage, sim_.now());
+  }
+}
 
 // --- App & account management ---------------------------------------------
 
@@ -225,6 +277,17 @@ void GoFlowServer::ingest(const broker::Message& message) {
   std::string batch_id = message.payload.get_string("batch_id");
   if (!batch_id.empty() && !seen_batch_ids_.insert(batch_id).second) {
     ++duplicate_batches_;
+    if (metrics_.duplicate_batches != nullptr)
+      metrics_.duplicate_batches->inc();
+    if (tracer_ != nullptr) {
+      // The batch was already stored; these redelivered copies go nowhere.
+      for (const Value& obs : observations->as_array()) {
+        if (!obs.is_object()) continue;
+        auto span = static_cast<std::uint64_t>(obs.get_int("span", 0));
+        if (span != 0)
+          tracer_->drop(span, obs::DropStage::kRejectedByServer, sim_.now());
+      }
+    }
     return;
   }
   AppId app = message.payload.get_string("app");
@@ -244,8 +307,17 @@ void GoFlowServer::ingest(const broker::Message& message) {
     TimeMs captured = doc.get_int("captured_at");
     DurationMs delay = message.published_at - captured;
     o.set("delay_ms", Value(delay));
+    auto span = static_cast<std::uint64_t>(doc.get_int("span", 0));
     collection.insert(std::move(doc));
     ++total_observations_;
+    if (metrics_.observations_stored != nullptr)
+      metrics_.observations_stored->inc();
+    if (metrics_.ingest_delay != nullptr)
+      metrics_.ingest_delay->observe(static_cast<double>(delay));
+    if (tracer_ != nullptr && span != 0) {
+      tracer_->stamp(span, obs::Hop::kRouted, message.published_at);
+      tracer_->stamp(span, obs::Hop::kPersisted, sim_.now());
+    }
     if (state != nullptr) {
       ++state->analytics.observations_stored;
       if (obs.find("location") != nullptr)
@@ -254,6 +326,7 @@ void GoFlowServer::ingest(const broker::Message& message) {
     }
   }
   ++total_batches_;
+  if (metrics_.batches_ingested != nullptr) metrics_.batches_ingested->inc();
   if (state != nullptr) ++state->analytics.batches_ingested;
 }
 

@@ -32,6 +32,8 @@
 #include "common/result.h"
 #include "common/stats.h"
 #include "docstore/database.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/simulation.h"
 
 namespace mps::core {
@@ -207,6 +209,24 @@ class GoFlowServer {
   /// (at-least-once transport redelivery made idempotent).
   std::uint64_t duplicate_batches() const { return duplicate_batches_; }
 
+  // --- Observability ----------------------------------------------------
+
+  /// Mirrors ingest activity into "server.*" registry metrics
+  /// (batches_ingested, observations_stored, duplicate_batches counters
+  /// and the server.ingest_delay_ms histogram). The registry is also what
+  /// the REST API serves at GET /metrics. Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
+  /// The registry attached via set_metrics (nullptr when detached).
+  obs::Registry* metrics() const { return metrics_registry_; }
+
+  /// Attaches a span tracker: ingested observations carrying a "span" id
+  /// get kRouted (broker publish time) and kPersisted (storage time)
+  /// stamps, duplicate batches are attributed kRejectedByServer, and a
+  /// broker drop hook attributes per-observation broker drops (TTL
+  /// expiry, queue overflow, unroutable). Pass nullptr to detach.
+  void set_tracer(obs::SpanTracker* tracer);
+
  private:
   struct Account {
     AppId app;
@@ -220,6 +240,8 @@ class GoFlowServer {
   };
 
   void ingest(const broker::Message& message);
+  void on_broker_drop(const broker::Message& message,
+                      broker::DropReason reason);
   const Account* authenticate(const std::string& token) const;
   Status require_role(const std::string& token, const AppId& app,
                       Role minimum) const;
@@ -255,6 +277,17 @@ class GoFlowServer {
   std::uint64_t total_observations_ = 0;
   std::uint64_t duplicate_batches_ = 0;
   std::set<std::string> seen_batch_ids_;
+
+  /// Hoisted registry handles, null when no registry is attached.
+  struct Metrics {
+    obs::Counter* batches_ingested = nullptr;
+    obs::Counter* observations_stored = nullptr;
+    obs::Counter* duplicate_batches = nullptr;
+    obs::LatencyHistogram* ingest_delay = nullptr;
+  };
+  Metrics metrics_;
+  obs::Registry* metrics_registry_ = nullptr;
+  obs::SpanTracker* tracer_ = nullptr;
 };
 
 }  // namespace mps::core

@@ -88,6 +88,21 @@ RestResponse GoFlowRestApi::handle(const RestRequest& request) {
 
   if (parts[0] == "apps") return handle_apps(request, parts);
   if (parts[0] == "jobs") return handle_jobs(request, parts);
+
+  // GET /metrics: one document with every counter/gauge/histogram of the
+  // deployment (broker, client ingest, docstore, assimilation — whatever
+  // was wired into the shared registry).
+  if (parts.size() == 1 && parts[0] == "metrics" && request.method == "GET") {
+    obs::Registry* registry = server_.metrics();
+    if (registry == nullptr)
+      return error_response(
+          err(ErrorCode::kUnavailable, "no metrics registry attached"));
+    auto fmt = request.query.find("format");
+    if (fmt != request.query.end() && fmt->second == "text")
+      return RestResponse{200,
+                          Value(Object{{"text", Value(registry->export_text())}})};
+    return RestResponse{200, registry->export_json()};
+  }
   return not_found();
 }
 

@@ -24,6 +24,10 @@
 //   GET    /apps/{app}/analytics
 //   POST   /apps/{app}/jobs                           {type, delay_ms?}
 //   GET    /jobs/{id}
+//   GET    /metrics                     ?format=text for the line export;
+//                                        JSON snapshot of the registry
+//                                        otherwise (503 when the server
+//                                        has no registry attached)
 #pragma once
 
 #include <functional>

@@ -11,6 +11,20 @@ std::string Collection::generate_id() {
   return name_ + "-" + std::to_string(++id_counter_);
 }
 
+void Collection::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.inserts = &registry->counter("docstore.inserts");
+  metrics_.removes = &registry->counter("docstore.removes");
+  metrics_.finds_indexed = &registry->counter("docstore.finds_indexed");
+  metrics_.finds_scanned = &registry->counter("docstore.finds_scanned");
+  metrics_.documents = &registry->gauge("docstore.documents");
+  // Count documents already stored before the registry was attached.
+  metrics_.documents->add(static_cast<double>(id_to_slot_.size()));
+}
+
 std::string Collection::insert(Document doc) {
   if (!doc.is_object())
     throw std::invalid_argument("Collection::insert: document must be an object");
@@ -31,6 +45,8 @@ std::string Collection::insert(Document doc) {
   index_document(slot, *slots_[slot]);
   ++stats_.total_inserts;
   stats_.document_count = id_to_slot_.size();
+  if (metrics_.inserts != nullptr) metrics_.inserts->inc();
+  if (metrics_.documents != nullptr) metrics_.documents->add(1.0);
   return id;
 }
 
@@ -129,6 +145,7 @@ std::vector<Document> Collection::find(const Query& query,
   };
   if (auto candidates = plan(query)) {
     ++stats_.indexed_finds;
+    if (metrics_.finds_indexed != nullptr) metrics_.finds_indexed->inc();
     std::sort(candidates->begin(), candidates->end());
     candidates->erase(std::unique(candidates->begin(), candidates->end()),
                       candidates->end());
@@ -136,6 +153,7 @@ std::vector<Document> Collection::find(const Query& query,
       if (slots_[s].has_value()) consider(*slots_[s]);
   } else {
     ++stats_.scanned_finds;
+    if (metrics_.finds_scanned != nullptr) metrics_.finds_scanned->inc();
     for (const auto& slot : slots_)
       if (slot.has_value()) consider(*slot);
   }
@@ -171,6 +189,7 @@ std::size_t Collection::count(const Query& query) const {
   std::size_t n = 0;
   if (auto candidates = plan(query)) {
     ++stats_.indexed_finds;
+    if (metrics_.finds_indexed != nullptr) metrics_.finds_indexed->inc();
     std::sort(candidates->begin(), candidates->end());
     candidates->erase(std::unique(candidates->begin(), candidates->end()),
                       candidates->end());
@@ -178,6 +197,7 @@ std::size_t Collection::count(const Query& query) const {
       if (slots_[s].has_value() && query.matches(*slots_[s])) ++n;
   } else {
     ++stats_.scanned_finds;
+    if (metrics_.finds_scanned != nullptr) metrics_.finds_scanned->inc();
     for (const auto& slot : slots_)
       if (slot.has_value() && query.matches(*slot)) ++n;
   }
@@ -221,6 +241,8 @@ bool Collection::remove(const std::string& id) {
   id_to_slot_.erase(it);
   ++stats_.total_removes;
   stats_.document_count = id_to_slot_.size();
+  if (metrics_.removes != nullptr) metrics_.removes->inc();
+  if (metrics_.documents != nullptr) metrics_.documents->add(-1.0);
   return true;
 }
 

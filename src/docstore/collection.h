@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "docstore/query.h"
+#include "obs/metrics.h"
 
 namespace mps::docstore {
 
@@ -111,6 +112,12 @@ class Collection {
   bool empty() const { return id_to_slot_.empty(); }
   const CollectionStats& stats() const { return stats_; }
 
+  /// Mirrors per-collection activity into database-wide "docstore.*"
+  /// registry metrics (inserts, removes, finds_indexed, finds_scanned
+  /// counters and the docstore.documents gauge). All collections of one
+  /// database share the same metric objects. Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
   /// Visits every document in insertion order (fast path for analytics
   /// that would otherwise copy the whole collection).
   void for_each(const std::function<void(const Document&)>& fn) const;
@@ -131,12 +138,22 @@ class Collection {
   static Document project(const Document& doc,
                           const std::vector<std::string>& fields);
 
+  /// Hoisted registry handles, null when no registry is attached.
+  struct Metrics {
+    obs::Counter* inserts = nullptr;
+    obs::Counter* removes = nullptr;
+    obs::Counter* finds_indexed = nullptr;
+    obs::Counter* finds_scanned = nullptr;
+    obs::Gauge* documents = nullptr;
+  };
+
   std::string name_;
   std::vector<std::optional<Document>> slots_;
   std::unordered_map<std::string, Slot> id_to_slot_;
   std::map<std::string, Index> indexes_;
   std::uint64_t id_counter_ = 0;
   mutable CollectionStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace mps::docstore

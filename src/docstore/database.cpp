@@ -6,6 +6,7 @@ Collection& Database::collection(const std::string& name) {
   auto it = collections_.find(name);
   if (it == collections_.end()) {
     it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+    it->second->set_metrics(metrics_registry_);
   }
   return *it->second;
 }
@@ -34,6 +35,11 @@ std::size_t Database::total_documents() const {
   std::size_t n = 0;
   for (const auto& [_, c] : collections_) n += c->size();
   return n;
+}
+
+void Database::set_metrics(obs::Registry* registry) {
+  metrics_registry_ = registry;
+  for (auto& [_, c] : collections_) c->set_metrics(registry);
 }
 
 }  // namespace mps::docstore

@@ -37,8 +37,14 @@ class Database {
   /// Total documents across all collections.
   std::size_t total_documents() const;
 
+  /// Attaches a metrics registry: existing collections and any created
+  /// later mirror their activity into shared "docstore.*" metrics (see
+  /// Collection::set_metrics). Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;
+  obs::Registry* metrics_registry_ = nullptr;
 };
 
 }  // namespace mps::docstore

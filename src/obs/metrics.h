@@ -1,0 +1,166 @@
+// Unified metrics registry: the middleware's measurement plane.
+//
+// Every headline result of the paper is a measurement of the middleware
+// itself (delay CDFs, battery drain vs buffering, participation shares),
+// so the reproduction needs a first-class way to observe itself. This
+// module provides named counters, gauges and latency histograms behind a
+// registry with snapshot/reset semantics and text + JSON exporters.
+//
+// Hot-path cost: metric objects are owned by the registry and handed out
+// as stable references; an increment is a single inlined add on a plain
+// integer (no locks, no atomics — the middleware runs inside the
+// single-threaded discrete-event simulation, like the docstore). Callers
+// hoist the name lookup (a map find) out of their hot loops by keeping
+// the returned pointer/reference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mps::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time numeric value (queue depths, RMS diagnostics, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket latency histogram over durations in milliseconds.
+///
+/// Buckets are defined by strictly increasing upper edges; a sample lands
+/// in the first bucket whose edge is >= the sample, or in the implicit
+/// overflow bucket past the last edge. The default edges are log-spaced
+/// from 1 ms to 24 h — wide enough for both broker routing times and the
+/// multi-hour store-and-forward delays of Figure 17.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : LatencyHistogram(default_latency_edges_ms()) {}
+  explicit LatencyHistogram(std::vector<double> edges);
+
+  /// Records one duration sample (milliseconds).
+  void observe(double ms);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  /// Upper edge of bucket i; the last bucket's edge is +infinity.
+  double bucket_edge(std::size_t i) const;
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+
+  /// Approximate q-quantile (q in [0,1]) with linear interpolation inside
+  /// the containing bucket. Samples in the overflow bucket report the last
+  /// finite edge. Returns 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+  /// The shared default edge set (log-spaced, 1 ms .. 24 h).
+  static const std::vector<double>& default_latency_edges_ms();
+
+ private:
+  std::vector<double> edges_;            // strictly increasing upper edges
+  std::vector<std::uint64_t> counts_;    // edges_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Point-in-time copy of one histogram, for exporters and dashboards.
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> buckets;  ///< edges.size() + 1, overflow last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of a whole registry. Entries are sorted by name so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Line-oriented text export, one metric per line:
+  ///   counter broker.published 42
+  ///   gauge docstore.documents 10
+  ///   histogram client.delivery_delay_ms count=5 mean=24.6 p50=... p90=...
+  std::string to_text() const;
+
+  /// JSON export: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  Value to_json() const;
+};
+
+/// Owns named metrics. Metric objects are created on first access (like
+/// docstore collections) and stay valid for the registry's lifetime, so
+/// components cache the reference and pay only the increment on hot paths.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The counter/gauge/histogram with this name, created if needed.
+  /// Redundant `edges` on an existing histogram are ignored.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name,
+                              std::vector<double> edges);
+
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  bool has_histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Copies the current values of every metric.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (names and objects survive — held references
+  /// stay valid). The phase-delta primitive for benches.
+  void reset();
+
+  /// snapshot() followed by reset(), as one call.
+  MetricsSnapshot snapshot_and_reset();
+
+  std::string export_text() const { return snapshot().to_text(); }
+  Value export_json() const { return snapshot().to_json(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace mps::obs

@@ -1,0 +1,129 @@
+// Observation-lifecycle tracing.
+//
+// An observation's life through the GoFlow pipeline is a fixed sequence of
+// hops:
+//
+//   sensed -> buffered -> uploaded -> routed -> persisted -> assimilated
+//
+// (capture on the phone, client buffer admission, upload completion at the
+// broker edge, broker routing into the ingest queue, document-store write,
+// consumption by the assimilation cycle). A SpanTracker stamps each hop
+// with the sim-clock time, so per-stage latency breakdowns — including the
+// paper's Figure 17 capture-to-server delay CDF — and drop attribution
+// (expired in buffer vs. expired in broker vs. rejected by server) all
+// fall out of one structure.
+//
+// Span ids travel inside observation documents (the "span" field, written
+// only for traced observations), which is how the client, server and
+// assimilation cycle — separate components with no shared state — stamp
+// the same record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace mps::obs {
+
+/// Pipeline hops, in flow order.
+enum class Hop {
+  kSensed = 0,     ///< captured on the phone (captured_at)
+  kBuffered,       ///< admitted to the client's upload buffer
+  kUploaded,       ///< transfer completed at the broker edge
+  kRouted,         ///< routed by the broker into the ingest queue
+  kPersisted,      ///< written to the document store
+  kAssimilated,    ///< consumed by an assimilation cycle step
+};
+
+inline constexpr std::size_t kHopCount = 6;
+
+const char* hop_name(Hop h);
+
+/// Where a traced observation left the pipeline without completing it.
+enum class DropStage {
+  kNone = 0,           ///< not dropped (so far)
+  kNotShared,          ///< user opted out of sharing; never left the device
+  kExpiredInBuffer,    ///< aged out of the client buffer
+  kExpiredInBroker,    ///< queue TTL elapsed before consumption
+  kOverflowInBroker,   ///< drop-head on a bounded queue
+  kUnroutable,         ///< published but matched no queue
+  kRejectedByServer,   ///< server discarded it (duplicate batch)
+};
+
+inline constexpr std::size_t kDropStageCount = 7;
+
+const char* drop_stage_name(DropStage s);
+
+/// One observation's trace: a timestamp per hop plus drop attribution.
+struct SpanRecord {
+  /// Sentinel for a hop that has not been stamped.
+  static constexpr TimeMs kUnstamped = -1;
+
+  std::uint64_t id = 0;
+  TimeMs hops[kHopCount] = {kUnstamped, kUnstamped, kUnstamped,
+                            kUnstamped, kUnstamped, kUnstamped};
+  DropStage dropped = DropStage::kNone;
+
+  bool stamped(Hop h) const {
+    return hops[static_cast<std::size_t>(h)] != kUnstamped;
+  }
+  TimeMs at(Hop h) const { return hops[static_cast<std::size_t>(h)]; }
+
+  /// Delay between two stamped hops; kUnstamped when either is missing.
+  DurationMs delay(Hop from, Hop to) const {
+    if (!stamped(from) || !stamped(to)) return kUnstamped;
+    return at(to) - at(from);
+  }
+};
+
+/// Allocates and stamps spans. When constructed with a Registry, each
+/// consecutive-hop latency feeds a `span.<from>_to_<to>_ms` histogram and
+/// drops bump `span.dropped.<stage>` counters, so the registry's /metrics
+/// export carries the per-stage breakdown for free.
+class SpanTracker {
+ public:
+  explicit SpanTracker(Registry* metrics = nullptr);
+
+  /// Starts a span stamped kSensed at `sensed_at`; returns its id (> 0).
+  std::uint64_t begin(TimeMs sensed_at);
+
+  /// Stamps `hop` at `at`. Unknown/zero ids are ignored (payloads from
+  /// untraced producers carry no span).
+  void stamp(std::uint64_t id, Hop hop, TimeMs at);
+
+  /// Marks the span dropped at `stage`. The first drop wins.
+  void drop(std::uint64_t id, DropStage stage, TimeMs at);
+
+  std::size_t size() const { return spans_.size(); }
+  const SpanRecord* find(std::uint64_t id) const;
+
+  /// Spans that reached `hop`.
+  std::size_t count_through(Hop hop) const;
+
+  /// Drop attribution: per-stage counts (kNone = still alive or complete).
+  std::vector<std::pair<DropStage, std::uint64_t>> drop_counts() const;
+
+  /// All (from -> to) delays in milliseconds across spans with both stamps.
+  std::vector<double> hop_delays(Hop from, Hop to) const;
+
+  /// Empirical CDF of (from -> to) delays — Figure 17 is
+  /// delay_cdf(Hop::kSensed, Hop::kRouted).
+  EmpiricalCdf delay_cdf(Hop from, Hop to) const;
+
+  /// Drops all recorded spans (ids restart from 1).
+  void clear();
+
+ private:
+  std::vector<SpanRecord> spans_;
+  Registry* metrics_ = nullptr;
+  // Hoisted metric handles (hot path: one stamp per observation per hop).
+  Counter* started_ = nullptr;
+  Counter* drop_counters_[kDropStageCount] = {};
+  LatencyHistogram* hop_histograms_[kHopCount] = {};  // [h] = (h-1) -> h
+};
+
+}  // namespace mps::obs

@@ -75,6 +75,8 @@ Value Observation::to_document() const {
                          {"y", Value(location->y_m)},
                          {"accuracy", Value(location->accuracy_m)}}));
   }
+  if (span_id != 0)
+    doc.set("span", Value(static_cast<std::int64_t>(span_id)));
   return Value(std::move(doc));
 }
 
@@ -95,6 +97,7 @@ Observation Observation::from_document(const Value& doc) {
     fix.accuracy_m = loc->get_double("accuracy");
     obs.location = fix;
   }
+  obs.span_id = static_cast<std::uint64_t>(doc.get_int("span", 0));
   return obs;
 }
 

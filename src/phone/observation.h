@@ -7,6 +7,7 @@
 // document store.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -67,6 +68,10 @@ struct Observation {
   SensingMode mode = SensingMode::kOpportunistic;
   Activity activity = Activity::kUndefined;
   std::optional<LocationFix> location;
+  /// Observation-lifecycle trace id (obs::SpanTracker); 0 = untraced. The
+  /// id rides inside the serialized document so client, server and
+  /// assimilation stamp the same span without sharing state.
+  std::uint64_t span_id = 0;
 
   /// Serializes to the wire/storage document format.
   Value to_document() const;

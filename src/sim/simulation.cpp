@@ -20,7 +20,29 @@ bool Simulation::cancel(EventId id) {
   return cancelled_.insert(id).second;
 }
 
+void Simulation::set_metrics_hook(DurationMs period,
+                                  std::function<void(TimeMs)> hook) {
+  hook_period_ = std::max<DurationMs>(period, 1);
+  metrics_hook_ = std::move(hook);
+  next_hook_at_ = now_ + hook_period_;
+}
+
+void Simulation::clear_metrics_hook() {
+  metrics_hook_ = nullptr;
+  hook_period_ = 0;
+  next_hook_at_ = 0;
+}
+
+void Simulation::fire_hook_until(TimeMs t) {
+  while (metrics_hook_ && next_hook_at_ <= t) {
+    now_ = next_hook_at_;
+    next_hook_at_ += hook_period_;
+    metrics_hook_(now_);
+  }
+}
+
 void Simulation::execute(Event& e) {
+  fire_hook_until(e.time);
   now_ = e.time;
   ++executed_;
   // Move the callback out before invoking so it can reschedule itself.
@@ -57,6 +79,7 @@ void Simulation::run_until(TimeMs t) {
     queue_.pop();
     execute(e);
   }
+  fire_hook_until(t);
   now_ = std::max(now_, t);
 }
 

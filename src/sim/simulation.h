@@ -59,6 +59,16 @@ class Simulation {
   /// Total number of events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
+  /// Installs a periodic observability hook: `hook(t)` fires once per
+  /// virtual `period` boundary as the clock advances (typically to
+  /// snapshot a metrics registry). The hook is driven by time actually
+  /// passing — it schedules no events of its own, so run() still
+  /// terminates when the event queue drains. The first firing is one
+  /// period after installation.
+  void set_metrics_hook(DurationMs period, std::function<void(TimeMs)> hook);
+
+  void clear_metrics_hook();
+
  private:
   struct Event {
     TimeMs time;
@@ -74,12 +84,18 @@ class Simulation {
   };
 
   void execute(Event& e);
+  /// Fires the metrics hook at every period boundary up to `t`, advancing
+  /// the clock to each boundary so the hook observes a consistent now().
+  void fire_hook_until(TimeMs t);
 
   TimeMs now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+  DurationMs hook_period_ = 0;
+  TimeMs next_hook_at_ = 0;
+  std::function<void(TimeMs)> metrics_hook_;
 };
 
 /// Repeating timer built on Simulation: fires `fn(now)` every `period`

@@ -75,6 +75,8 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   device.client = std::make_unique<client::GoFlowClient>(
       sim_, broker_, *device.phone, std::move(cc), std::move(ambient_fn),
       std::move(position_fn));
+  if (config_.metrics != nullptr) device.client->set_metrics(config_.metrics);
+  if (config_.tracer != nullptr) device.client->set_tracer(config_.tracer);
   devices_.push_back(std::move(device));
 }
 

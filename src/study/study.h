@@ -41,6 +41,12 @@ struct StudyConfig {
   TimeMs journey_release = days(275);
   crowd::AmbientParams ambient;
   net::ConnectivityParams connectivity;
+  /// Optional observability: when set, every device client mirrors its
+  /// counters into the registry and traces observation lifecycles through
+  /// the tracker (which the server side should share — see
+  /// GoFlowServer::set_metrics / set_tracer). Both may be null.
+  obs::Registry* metrics = nullptr;
+  obs::SpanTracker* tracer = nullptr;
 };
 
 /// Aggregated outcome of a run.

@@ -1,0 +1,146 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace mps::obs {
+namespace {
+
+TEST(SpanRecordTest, DelayRequiresBothStamps) {
+  SpanRecord record;
+  record.hops[static_cast<std::size_t>(Hop::kSensed)] = 100;
+  EXPECT_TRUE(record.stamped(Hop::kSensed));
+  EXPECT_FALSE(record.stamped(Hop::kUploaded));
+  EXPECT_EQ(record.delay(Hop::kSensed, Hop::kUploaded), SpanRecord::kUnstamped);
+  record.hops[static_cast<std::size_t>(Hop::kUploaded)] = 350;
+  EXPECT_EQ(record.delay(Hop::kSensed, Hop::kUploaded), 250);
+}
+
+TEST(SpanTrackerTest, BeginStampsSensed) {
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(1000);
+  EXPECT_GT(id, 0u);
+  const SpanRecord* record = tracker.find(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->at(Hop::kSensed), 1000);
+  EXPECT_EQ(record->dropped, DropStage::kNone);
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(SpanTrackerTest, FullLifecycle) {
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(0);
+  tracker.stamp(id, Hop::kBuffered, 10);
+  tracker.stamp(id, Hop::kUploaded, 250);
+  tracker.stamp(id, Hop::kRouted, 250);
+  tracker.stamp(id, Hop::kPersisted, 251);
+  tracker.stamp(id, Hop::kAssimilated, hours(1));
+
+  const SpanRecord* record = tracker.find(id);
+  ASSERT_NE(record, nullptr);
+  for (std::size_t h = 0; h < kHopCount; ++h)
+    EXPECT_TRUE(record->stamped(static_cast<Hop>(h)));
+  EXPECT_EQ(record->delay(Hop::kSensed, Hop::kUploaded), 250);
+  EXPECT_EQ(record->delay(Hop::kUploaded, Hop::kRouted), 0);
+  EXPECT_EQ(tracker.count_through(Hop::kAssimilated), 1u);
+}
+
+TEST(SpanTrackerTest, UnknownAndZeroIdsAreIgnored) {
+  SpanTracker tracker;
+  tracker.stamp(0, Hop::kUploaded, 10);    // untraced producer
+  tracker.stamp(999, Hop::kUploaded, 10);  // never allocated
+  tracker.drop(0, DropStage::kUnroutable, 10);
+  tracker.drop(999, DropStage::kUnroutable, 10);
+  EXPECT_EQ(tracker.size(), 0u);
+}
+
+TEST(SpanTrackerTest, FirstDropWins) {
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(0);
+  tracker.drop(id, DropStage::kExpiredInBroker, 100);
+  tracker.drop(id, DropStage::kRejectedByServer, 200);
+  EXPECT_EQ(tracker.find(id)->dropped, DropStage::kExpiredInBroker);
+
+  auto counts = tracker.drop_counts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].first, DropStage::kExpiredInBroker);
+  EXPECT_EQ(counts[0].second, 1u);
+}
+
+TEST(SpanTrackerTest, DropCountsGroupByStage) {
+  SpanTracker tracker;
+  tracker.drop(tracker.begin(0), DropStage::kNotShared, 0);
+  tracker.drop(tracker.begin(0), DropStage::kNotShared, 0);
+  tracker.drop(tracker.begin(0), DropStage::kOverflowInBroker, 0);
+  tracker.begin(0);  // alive
+
+  auto counts = tracker.drop_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].first, DropStage::kNone);
+  EXPECT_EQ(counts[0].second, 1u);
+  EXPECT_EQ(counts[1].first, DropStage::kNotShared);
+  EXPECT_EQ(counts[1].second, 2u);
+  EXPECT_EQ(counts[2].first, DropStage::kOverflowInBroker);
+  EXPECT_EQ(counts[2].second, 1u);
+}
+
+TEST(SpanTrackerTest, HopDelaysAndCdfSkipPartialSpans) {
+  SpanTracker tracker;
+  for (TimeMs delay : {100, 200, 300}) {
+    std::uint64_t id = tracker.begin(0);
+    tracker.stamp(id, Hop::kUploaded, delay);
+  }
+  tracker.begin(0);  // sensed only: no uploaded stamp, excluded
+
+  auto delays = tracker.hop_delays(Hop::kSensed, Hop::kUploaded);
+  ASSERT_EQ(delays.size(), 3u);
+  EmpiricalCdf cdf = tracker.delay_cdf(Hop::kSensed, Hop::kUploaded);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(200.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 300.0);
+}
+
+TEST(SpanTrackerTest, RegistryMirrorsHopLatenciesAndDrops) {
+  Registry registry;
+  SpanTracker tracker(&registry);
+
+  std::uint64_t id = tracker.begin(0);
+  tracker.stamp(id, Hop::kBuffered, 5);
+  tracker.stamp(id, Hop::kUploaded, 105);
+  std::uint64_t dropped = tracker.begin(0);
+  tracker.drop(dropped, DropStage::kExpiredInBroker, 50);
+
+  EXPECT_EQ(registry.counter("span.started").value(), 2u);
+  EXPECT_EQ(registry.counter("span.dropped.expired_in_broker").value(), 1u);
+  LatencyHistogram& buffered = registry.histogram("span.sensed_to_buffered_ms");
+  EXPECT_EQ(buffered.count(), 1u);
+  EXPECT_DOUBLE_EQ(buffered.sum(), 5.0);
+  LatencyHistogram& uploaded =
+      registry.histogram("span.buffered_to_uploaded_ms");
+  EXPECT_EQ(uploaded.count(), 1u);
+  EXPECT_DOUBLE_EQ(uploaded.sum(), 100.0);
+}
+
+TEST(SpanTrackerTest, SkippedHopDoesNotFeedHistogram) {
+  Registry registry;
+  SpanTracker tracker(&registry);
+  std::uint64_t id = tracker.begin(0);
+  // Jump straight to kUploaded without a kBuffered stamp: the
+  // buffered->uploaded histogram has no previous-hop time to diff against.
+  tracker.stamp(id, Hop::kUploaded, 100);
+  EXPECT_EQ(registry.histogram("span.buffered_to_uploaded_ms").count(), 0u);
+  EXPECT_EQ(registry.histogram("span.sensed_to_buffered_ms").count(), 0u);
+}
+
+TEST(SpanTrackerTest, ClearRestartsIds) {
+  SpanTracker tracker;
+  tracker.begin(0);
+  tracker.begin(0);
+  tracker.clear();
+  EXPECT_EQ(tracker.size(), 0u);
+  EXPECT_EQ(tracker.begin(0), 1u);
+}
+
+}  // namespace
+}  // namespace mps::obs
