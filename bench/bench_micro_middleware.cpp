@@ -4,6 +4,9 @@
 // observation batch size.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "assim/blue.h"
 #include "broker/broker.h"
 #include "broker/topic.h"
@@ -60,6 +63,61 @@ void BM_BrokerFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_BrokerFanout)->Arg(1)->Arg(10)->Arg(100);
 
+// Routing-table scaling: N selective topic bindings ("g<i>.obs.#" plus a
+// few wildcard-heavy patterns), publishes round-robin over the groups.
+// The linear variant forces the pre-trie O(bindings) matcher, so the pair
+// measures the compiled fast path's speedup at identical topology.
+void setup_routing_topology(broker::Broker& broker, std::int64_t bindings,
+                            std::uint64_t& consumed) {
+  broker.declare_exchange("e", broker::ExchangeType::kTopic).throw_if_error();
+  broker.declare_queue("sink", {.max_length = 4}).throw_if_error();
+  broker.subscribe("sink", [&](const broker::Message&) { ++consumed; })
+      .value_or_throw();
+  for (std::int64_t i = 0; i < bindings; ++i) {
+    std::string pattern;
+    switch (i % 8) {
+      case 0: pattern = "g" + std::to_string(i) + ".obs.#"; break;
+      case 1: pattern = "g" + std::to_string(i) + ".*.spl"; break;
+      case 2: pattern = "g" + std::to_string(i) + ".obs.*"; break;
+      default: pattern = "g" + std::to_string(i) + ".cmd.sync"; break;
+    }
+    broker.bind_queue("e", "sink", pattern).throw_if_error();
+  }
+}
+
+void BM_BrokerTopicRouting(benchmark::State& state) {
+  broker::Broker broker;
+  std::uint64_t consumed = 0;
+  setup_routing_topology(broker, state.range(0), consumed);
+  Value payload(Object{{"spl", Value(61.0)}});
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    std::string routing = "g" + std::to_string(key % state.range(0)) + ".obs.spl";
+    ++key;
+    benchmark::DoNotOptimize(broker.publish("e", routing, payload, 0));
+  }
+  state.counters["consumed"] = static_cast<double>(consumed);
+  state.counters["cache_hits"] =
+      static_cast<double>(broker.stats().route_cache_hits);
+}
+BENCHMARK(BM_BrokerTopicRouting)->Arg(100)->Arg(1000);
+
+void BM_BrokerTopicRoutingLinear(benchmark::State& state) {
+  broker::Broker broker;
+  broker.set_compiled_routing(false);
+  std::uint64_t consumed = 0;
+  setup_routing_topology(broker, state.range(0), consumed);
+  Value payload(Object{{"spl", Value(61.0)}});
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    std::string routing = "g" + std::to_string(key % state.range(0)) + ".obs.spl";
+    ++key;
+    benchmark::DoNotOptimize(broker.publish("e", routing, payload, 0));
+  }
+  state.counters["consumed"] = static_cast<double>(consumed);
+}
+BENCHMARK(BM_BrokerTopicRoutingLinear)->Arg(100)->Arg(1000);
+
 void BM_DocstoreInsert(benchmark::State& state) {
   docstore::Collection collection("obs");
   collection.create_index("user");
@@ -106,6 +164,31 @@ void BM_DocstoreScanQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_DocstoreScanQuery);
 
+// Sorted page query (find sorted by an indexed field, limit 20): the
+// planner walks the index in key order and stops at the page boundary;
+// the disabled variant materializes and stable_sorts every match.
+void BM_DocstoreSortedQuery(benchmark::State& state) {
+  docstore::Collection collection("obs");
+  collection.set_planner_enabled(state.range(0) != 0);
+  collection.create_index("captured_at");
+  Rng rng(5);
+  for (int i = 0; i < 50'000; ++i) {
+    collection.insert(Value(Object{
+        {"captured_at", Value(rng.uniform_int(0, 1'000'000))},
+        {"spl", Value(rng.uniform(30, 90))}}));
+  }
+  docstore::FindOptions options;
+  options.sort_by = "captured_at";
+  options.limit = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection.find(docstore::Query::all(), options));
+  }
+}
+BENCHMARK(BM_DocstoreSortedQuery)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("planner");
+
 void BM_BlueAnalysis(benchmark::State& state) {
   assim::Grid background(48, 48, 20'000, 20'000, 50.0);
   Rng rng(4);
@@ -144,4 +227,25 @@ BENCHMARK(BM_ObservationSerialization);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_micro_middleware.json so every run leaves a machine-readable
+// report next to the binary (explicit --benchmark_out flags still win).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_middleware.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,9 @@
 // hoisting out of loops, which is exactly what the middleware does.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -103,4 +106,25 @@ BENCHMARK(BM_RegistrySnapshot);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_micro_obs.json so every run leaves a machine-readable report
+// (explicit --benchmark_out flags still win).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_obs.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

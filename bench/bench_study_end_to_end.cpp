@@ -5,6 +5,7 @@
 // properties on the *stored* data (not the generator's output):
 // per-model volume ordering, ~40% localized, the diurnal pattern and the
 // capture-to-server delay profile.
+#include <chrono>
 #include <cstdio>
 #include <map>
 
@@ -20,6 +21,7 @@ int main() {
   print_header("bench_study_end_to_end",
                "par. 4.3 - the deployment replayed through the middleware",
                scale);
+  bench_set_report_name("study");
 
   crowd::PopulationConfig pop_config;
   pop_config.seed = scale.seed;
@@ -42,7 +44,25 @@ int main() {
   config.buffer_size = 10;
   config.journey_release = days(0);  // journeys active for this slice
   study::StudyRunner runner(population, config, sim, broker, server);
+  auto t0 = std::chrono::steady_clock::now();
   study::StudyReport report = runner.run();
+  double run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  bench_record("run_seconds", run_seconds);
+  bench_record_rate("observations_recorded",
+                    static_cast<double>(report.observations_recorded),
+                    run_seconds);
+  bench_record("observations_stored",
+               static_cast<double>(report.observations_stored));
+  bench_record("uploads", static_cast<double>(report.uploads));
+  bench_record("deferred_uploads",
+               static_cast<double>(report.deferred_uploads));
+  bench_record("mean_delay_ms", report.mean_delay_ms);
+  bench_record("sim_events_per_sec",
+               run_seconds > 0.0
+                   ? static_cast<double>(sim.executed()) / run_seconds
+                   : 0.0);
 
   std::printf("fleet: %zu devices, %d virtual days\n", report.devices,
               config.duration_days);

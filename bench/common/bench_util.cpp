@@ -1,8 +1,10 @@
 #include "common/bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "common/histogram.h"
 #include "common/strings.h"
@@ -17,6 +19,68 @@ double env_double(const char* name, double dflt) {
   double parsed = std::strtod(value, &end);
   return end != value && parsed > 0.0 ? parsed : dflt;
 }
+
+/// Process-wide JSON report, armed by print_header and flushed once at
+/// exit so benches cannot forget to write it (early returns included).
+struct BenchReport {
+  std::string name;
+  std::chrono::steady_clock::time_point start;
+  std::vector<std::pair<std::string, double>> metrics;
+  bool armed = false;
+
+  static BenchReport& instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  void arm(std::string bench_name) {
+    name = std::move(bench_name);
+    if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
+    start = std::chrono::steady_clock::now();
+    metrics.clear();
+    if (!armed) {
+      armed = true;
+      std::atexit([] { BenchReport::instance().flush(); });
+    }
+  }
+
+  void record(const std::string& key, double value) {
+    for (auto& [k, v] : metrics) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    metrics.emplace_back(key, value);
+  }
+
+  void flush() {
+    if (!armed || name.empty()) return;
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    std::string dir = ".";
+    if (const char* env = std::getenv("MPS_BENCH_JSON_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name.c_str());
+    std::fprintf(f, "  \"schema\": \"mps-bench-v1\",\n");
+    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall);
+    std::fprintf(f, "  \"metrics\": {");
+    const char* sep = "\n";
+    for (const auto& [key, value] : metrics) {
+      std::fprintf(f, "%s    \"%s\": %.17g", sep, key.c_str(), value);
+      sep = ",\n";
+    }
+    std::fprintf(f, "%s}\n}\n", metrics.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("[bench json: %s]\n", path.c_str());
+  }
+};
 }  // namespace
 
 BenchScale bench_scale_from_env() {
@@ -39,6 +103,10 @@ crowd::Population make_population(const BenchScale& scale) {
 
 void print_header(const std::string& bench_name, const std::string& paper_ref,
                   const BenchScale& scale) {
+  BenchReport::instance().arm(bench_name);
+  bench_record("device_scale", scale.device_scale);
+  bench_record("obs_scale", scale.obs_scale);
+  bench_record("seed", static_cast<double>(scale.seed));
   std::printf("================================================================\n");
   std::printf("%s\n", bench_name.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
@@ -46,6 +114,19 @@ void print_header(const std::string& bench_name, const std::string& paper_ref,
               scale.device_scale, scale.obs_scale,
               static_cast<unsigned long long>(scale.seed));
   std::printf("================================================================\n");
+}
+
+void bench_set_report_name(const std::string& name) {
+  BenchReport::instance().name = name;
+}
+
+void bench_record(const std::string& key, double value) {
+  BenchReport::instance().record(key, value);
+}
+
+void bench_record_rate(const std::string& key, double count, double seconds) {
+  bench_record(key, count);
+  if (seconds > 0.0) bench_record(key + "_per_sec", count / seconds);
 }
 
 void print_share(const std::string& label, double share_percent) {

@@ -31,9 +31,28 @@ BenchScale bench_scale_from_env();
 /// Builds the standard population for dataset benches.
 crowd::Population make_population(const BenchScale& scale);
 
-/// Prints the standard bench header (name, paper reference, scale).
+/// Prints the standard bench header (name, paper reference, scale) and
+/// starts the machine-readable report: at process exit the bench writes
+/// BENCH_<name>.json (name = bench_name minus its "bench_" prefix) into
+/// the current directory — or $MPS_BENCH_JSON_DIR when set — containing
+/// wall-clock seconds, the scale knobs and everything passed to
+/// bench_record(). CI and the committed bench/baselines/ files consume
+/// these instead of scraping stdout.
 void print_header(const std::string& bench_name, const std::string& paper_ref,
                   const BenchScale& scale);
+
+/// Overrides the report's name (and so the BENCH_<name>.json filename);
+/// call after print_header.
+void bench_set_report_name(const std::string& name);
+
+/// Records one key/value pair into this bench's JSON report. Re-recording
+/// a key overwrites its value (convenient for loops that refine a
+/// number). Keys appear in first-recorded order.
+void bench_record(const std::string& key, double value);
+
+/// Records `count` and also derives "<key>_per_sec" from `seconds`
+/// (guarded against zero) — the standard way benches report throughput.
+void bench_record_rate(const std::string& key, double count, double seconds);
 
 /// Prints a labelled percentage row, e.g. "  gps       7.2%".
 void print_share(const std::string& label, double share_percent);

@@ -25,6 +25,35 @@ const char* drop_reason_name(DropReason r) {
   return "?";
 }
 
+const std::vector<std::uint32_t>* RouteCache::find(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &lru_.front().matches;
+}
+
+void RouteCache::put(const std::string& key,
+                     const std::vector<std::uint32_t>& matches) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->matches = matches;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, matches});
+  map_.emplace(lru_.front().key, lru_.begin());
+}
+
+void RouteCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
 BrokerStats Broker::take_stats() {
   BrokerStats snapshot = stats_;
   stats_ = BrokerStats{};
@@ -42,6 +71,8 @@ void Broker::set_metrics(obs::Registry* registry) {
   metrics_.unroutable = &registry->counter("broker.unroutable");
   metrics_.dropped_overflow = &registry->counter("broker.dropped_overflow");
   metrics_.expired = &registry->counter("broker.expired");
+  metrics_.route_cache_hits = &registry->counter("broker.route_cache_hits");
+  metrics_.route_cache_misses = &registry->counter("broker.route_cache_misses");
   metrics_.exchanges = &registry->gauge("broker.exchanges");
   metrics_.queues = &registry->gauge("broker.queues");
   update_topology_gauges();
@@ -73,9 +104,10 @@ Status Broker::delete_exchange(const std::string& name) {
     return err(ErrorCode::kNotFound, "exchange '" + name + "' not found");
   // Remove bindings pointing at the deleted exchange.
   for (auto& [_, ex] : exchanges_) {
-    std::erase_if(ex.bindings, [&](const Binding& b) {
-      return !b.to_queue && b.destination == name;
-    });
+    if (std::erase_if(ex.bindings, [&](const Binding& b) {
+          return !b.to_queue && b.destination == name;
+        }) > 0)
+      recompile(ex);
   }
   update_topology_gauges();
   return {};
@@ -96,9 +128,10 @@ Status Broker::delete_queue(const std::string& name) {
   for (const Consumer& c : it->second.consumers) consumer_queue_.erase(c.tag);
   queues_.erase(it);
   for (auto& [_, ex] : exchanges_) {
-    std::erase_if(ex.bindings, [&](const Binding& b) {
-      return b.to_queue && b.destination == name;
-    });
+    if (std::erase_if(ex.bindings, [&](const Binding& b) {
+          return b.to_queue && b.destination == name;
+        }) > 0)
+      recompile(ex);
   }
   update_topology_gauges();
   return {};
@@ -118,6 +151,8 @@ Status Broker::bind_exchange(const std::string& src, const std::string& dst,
   for (const Binding& b : sit->second.bindings)
     if (!b.to_queue && b.destination == dst && b.key == binding_key) return {};
   sit->second.bindings.push_back(Binding{binding_key, dst, false});
+  compile_binding(sit->second,
+                  static_cast<std::uint32_t>(sit->second.bindings.size() - 1));
   return {};
 }
 
@@ -134,6 +169,8 @@ Status Broker::bind_queue(const std::string& src, const std::string& queue,
   for (const Binding& b : sit->second.bindings)
     if (b.to_queue && b.destination == queue && b.key == binding_key) return {};
   sit->second.bindings.push_back(Binding{binding_key, queue, true});
+  compile_binding(sit->second,
+                  static_cast<std::uint32_t>(sit->second.bindings.size() - 1));
   return {};
 }
 
@@ -149,6 +186,7 @@ Status Broker::unbind_exchange(const std::string& src, const std::string& dst,
   if (it == bindings.end())
     return err(ErrorCode::kNotFound, "binding not found");
   bindings.erase(it);
+  recompile(sit->second);
   return {};
 }
 
@@ -164,6 +202,7 @@ Status Broker::unbind_queue(const std::string& src, const std::string& queue,
   if (it == bindings.end())
     return err(ErrorCode::kNotFound, "binding not found");
   bindings.erase(it);
+  recompile(sit->second);
   return {};
 }
 
@@ -200,6 +239,66 @@ bool Broker::binding_matches(const Exchange& ex, const std::string& binding_key,
   return false;
 }
 
+void Broker::compile_binding(Exchange& ex, std::uint32_t index) {
+  switch (ex.type) {
+    case ExchangeType::kFanout:
+      break;  // every binding matches; nothing to compile
+    case ExchangeType::kDirect:
+      ex.direct[ex.bindings[index].key].push_back(index);
+      break;
+    case ExchangeType::kTopic:
+      ex.trie.add(ex.bindings[index].key, index);
+      break;
+  }
+  ex.cache.clear();
+}
+
+void Broker::recompile(Exchange& ex) {
+  ex.trie.clear();
+  ex.direct.clear();
+  ex.cache.clear();
+  for (std::uint32_t i = 0; i < ex.bindings.size(); ++i)
+    compile_binding(ex, i);
+}
+
+void Broker::collect_matches(Exchange& ex, const std::string& routing_key,
+                             std::vector<Binding>& out) {
+  if (!compiled_routing_) {
+    // Reference path: linear scan with the topic_matches oracle.
+    for (const Binding& b : ex.bindings)
+      if (binding_matches(ex, b.key, routing_key)) out.push_back(b);
+    return;
+  }
+  switch (ex.type) {
+    case ExchangeType::kFanout:
+      out = ex.bindings;
+      return;
+    case ExchangeType::kDirect: {
+      auto hit = ex.direct.find(routing_key);
+      if (hit == ex.direct.end()) return;
+      for (std::uint32_t i : hit->second) out.push_back(ex.bindings[i]);
+      return;
+    }
+    case ExchangeType::kTopic: {
+      if (const std::vector<std::uint32_t>* cached =
+              ex.cache.find(routing_key)) {
+        ++stats_.route_cache_hits;
+        if (metrics_.route_cache_hits != nullptr)
+          metrics_.route_cache_hits->inc();
+        for (std::uint32_t i : *cached) out.push_back(ex.bindings[i]);
+        return;
+      }
+      ++stats_.route_cache_misses;
+      if (metrics_.route_cache_misses != nullptr)
+        metrics_.route_cache_misses->inc();
+      ex.trie.match(routing_key, match_scratch_);
+      for (std::uint32_t i : match_scratch_) out.push_back(ex.bindings[i]);
+      ex.cache.put(routing_key, match_scratch_);
+      return;
+    }
+  }
+}
+
 void Broker::enqueue(Queue& q, const Message& message,
                      std::size_t& deliveries) {
   ++deliveries;
@@ -233,12 +332,11 @@ void Broker::route(const std::string& exchange_name, const Message& message,
   visited.push_back(exchange_name);
   auto it = exchanges_.find(exchange_name);
   if (it == exchanges_.end()) return;
-  const Exchange& ex = it->second;
-  // Copy bindings: a consumer callback may declare/bind and invalidate
-  // iterators into the live vector.
-  std::vector<Binding> bindings = ex.bindings;
-  for (const Binding& b : bindings) {
-    if (!binding_matches(ex, b.key, message.routing_key)) continue;
+  // Resolve matches to copies before delivering: a consumer callback may
+  // declare/bind and invalidate the bindings vector, trie and cache.
+  std::vector<Binding> matched;
+  collect_matches(it->second, message.routing_key, matched);
+  for (const Binding& b : matched) {
     if (b.to_queue) {
       auto qit = queues_.find(b.destination);
       if (qit != queues_.end()) enqueue(qit->second, message, deliveries);

@@ -18,11 +18,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "broker/topic_trie.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "common/value.h"
@@ -89,6 +92,33 @@ struct BrokerStats {
   std::uint64_t dropped_overflow = 0;
   std::uint64_t expired = 0;     ///< messages dropped by queue TTL
   std::uint64_t consumed = 0;    ///< messages handed to consumers
+  std::uint64_t route_cache_hits = 0;    ///< topic routes answered from LRU
+  std::uint64_t route_cache_misses = 0;  ///< topic routes that walked the trie
+};
+
+/// Small LRU cache of routing-key -> matched binding indices for one topic
+/// exchange. Cleared wholesale on any binding mutation (bind/unbind happen
+/// at setup time; publishes dominate).
+class RouteCache {
+ public:
+  explicit RouteCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Cached matches for `key`, or nullptr. A hit refreshes recency. The
+  /// pointer is invalidated by the next put()/clear().
+  const std::vector<std::uint32_t>* find(const std::string& key);
+  void put(const std::string& key, const std::vector<std::uint32_t>& matches);
+  void clear();
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<std::uint32_t> matches;
+  };
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  // Keys view into the stable list nodes, so no string is stored twice.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> map_;
 };
 
 /// The broker. All names are flat strings; GoFlow's channel management is
@@ -213,6 +243,13 @@ class Broker {
   using DropHook = std::function<void(const Message&, DropReason)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Toggles the compiled fast path (trie + direct map + LRU cache, the
+  /// default) versus the reference linear scan over bindings calling
+  /// topic_matches. The linear path is kept as the routing oracle for
+  /// property tests and as a kill switch; both must route identically.
+  void set_compiled_routing(bool enabled) { compiled_routing_ = enabled; }
+  bool compiled_routing() const { return compiled_routing_; }
+
  private:
   struct Binding {
     std::string key;
@@ -222,6 +259,12 @@ class Broker {
   struct Exchange {
     ExchangeType type = ExchangeType::kTopic;
     std::vector<Binding> bindings;
+    // Compiled routing state, kept in sync with `bindings` on every
+    // mutation. `trie` serves topic exchanges, `direct` direct exchanges
+    // (fanout needs nothing); `cache` memoizes trie walks per routing key.
+    TopicTrie trie;
+    std::unordered_map<std::string, std::vector<std::uint32_t>> direct;
+    RouteCache cache;
   };
   struct Consumer {
     ConsumerTag tag;
@@ -239,6 +282,15 @@ class Broker {
   void route(const std::string& exchange_name, const Message& message,
              std::vector<std::string>& visited, std::size_t& deliveries);
   void enqueue(Queue& q, const Message& message, std::size_t& deliveries);
+  /// Copies the bindings of `ex` matching `routing_key` into `out`
+  /// (consumer callbacks may mutate the topology mid-delivery, so matches
+  /// are resolved to copies before any delivery happens).
+  void collect_matches(Exchange& ex, const std::string& routing_key,
+                       std::vector<Binding>& out);
+  /// Rebuilds `ex`'s compiled routing state from its bindings.
+  void recompile(Exchange& ex);
+  /// Incrementally compiles the binding at `index` (just appended).
+  void compile_binding(Exchange& ex, std::uint32_t index);
 
   struct Unacked {
     std::string queue;
@@ -255,6 +307,8 @@ class Broker {
     obs::Counter* unroutable = nullptr;
     obs::Counter* dropped_overflow = nullptr;
     obs::Counter* expired = nullptr;
+    obs::Counter* route_cache_hits = nullptr;
+    obs::Counter* route_cache_misses = nullptr;
     obs::Gauge* exchanges = nullptr;
     obs::Gauge* queues = nullptr;
   };
@@ -266,9 +320,13 @@ class Broker {
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_delivery_tag_ = 1;
   ConsumerTag next_tag_ = 1;
+  bool compiled_routing_ = true;
   BrokerStats stats_;
   Metrics metrics_;
   DropHook drop_hook_;
+  /// Trie-match scratch, reused across publishes (single-threaded; match
+  /// results are copied into locals before any consumer callback runs).
+  std::vector<std::uint32_t> match_scratch_;
 };
 
 }  // namespace mps::broker

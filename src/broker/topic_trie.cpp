@@ -1,0 +1,95 @@
+#include "broker/topic_trie.h"
+
+#include <algorithm>
+
+namespace mps::broker {
+
+namespace {
+/// Splits on '.' into string_views with mps::split semantics: adjacent
+/// separators yield empty words and an empty input is one empty word.
+void split_words(std::string_view s, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (true) {
+    std::size_t dot = s.find('.', start);
+    if (dot == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return;
+    }
+    out.push_back(s.substr(start, dot - start));
+    start = dot + 1;
+  }
+}
+}  // namespace
+
+void TopicTrie::clear() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  pattern_count_ = 0;
+}
+
+int TopicTrie::ensure_child(int node, std::string_view word) {
+  if (word == "*") {
+    if (nodes_[node].star < 0) {
+      nodes_[node].star = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    return nodes_[node].star;
+  }
+  if (word == "#") {
+    if (nodes_[node].hash < 0) {
+      nodes_[node].hash = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    return nodes_[node].hash;
+  }
+  auto it = nodes_[node].children.find(word);
+  if (it != nodes_[node].children.end()) return it->second;
+  int child = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node].children.emplace(std::string(word), child);
+  return child;
+}
+
+void TopicTrie::add(std::string_view pattern, std::uint32_t binding_index) {
+  split_words(pattern, words_);
+  int node = 0;
+  for (std::string_view word : words_) node = ensure_child(node, word);
+  nodes_[node].terminals.push_back(binding_index);
+  ++pattern_count_;
+}
+
+void TopicTrie::walk(int node, std::size_t i) const {
+  char& seen = visited_[static_cast<std::size_t>(node) * (words_.size() + 1) + i];
+  if (seen) return;
+  seen = 1;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.hash >= 0) {
+    // '#' consumes zero or more of the remaining words.
+    for (std::size_t j = i; j <= words_.size(); ++j) walk(n.hash, j);
+  }
+  if (i == words_.size()) {
+    out_->insert(out_->end(), n.terminals.begin(), n.terminals.end());
+    return;
+  }
+  auto it = n.children.find(words_[i]);
+  if (it != n.children.end()) walk(it->second, i + 1);
+  if (n.star >= 0) walk(n.star, i + 1);
+}
+
+void TopicTrie::match(std::string_view routing_key,
+                      std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (pattern_count_ == 0) return;
+  split_words(routing_key, words_);
+  visited_.assign(nodes_.size() * (words_.size() + 1), 0);
+  out_ = &out;
+  walk(0, 0);
+  out_ = nullptr;
+  // Each pattern ends at exactly one terminal and each (node, position)
+  // state is visited once, so `out` has no duplicates — only reordering
+  // across trie branches. Sort to restore binding-declaration order.
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace mps::broker

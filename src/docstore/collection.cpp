@@ -20,6 +20,11 @@ void Collection::set_metrics(obs::Registry* registry) {
   metrics_.removes = &registry->counter("docstore.removes");
   metrics_.finds_indexed = &registry->counter("docstore.finds_indexed");
   metrics_.finds_scanned = &registry->counter("docstore.finds_scanned");
+  metrics_.plans_scan = &registry->counter("docstore.plans_scan");
+  metrics_.plans_indexed = &registry->counter("docstore.plans_indexed");
+  metrics_.plans_intersect = &registry->counter("docstore.plans_intersect");
+  metrics_.plans_covered = &registry->counter("docstore.plans_covered");
+  metrics_.plans_sort_index = &registry->counter("docstore.plans_sort_index");
   metrics_.documents = &registry->gauge("docstore.documents");
   // Count documents already stored before the registry was attached.
   metrics_.documents->add(static_cast<double>(id_to_slot_.size()));
@@ -120,42 +125,114 @@ bool Collection::index_lookup(const Query& clause,
   }
 }
 
-std::optional<std::vector<Collection::Slot>> Collection::plan(
-    const Query& query) const {
-  std::vector<Slot> candidates;
-  // Directly indexable clause at the root?
-  if (index_lookup(query, candidates)) return candidates;
-  // AND: use the first indexable child as the access path; the remaining
-  // clauses are applied as a residual filter by the caller (which re-runs
-  // the full query on each candidate).
-  if (query.op() == QueryOp::kAnd) {
-    for (const Query& child : query.children()) {
-      candidates.clear();
-      if (index_lookup(child, candidates)) return candidates;
-    }
+void Collection::note_plan(PlanKind kind) const {
+  switch (kind) {
+    case PlanKind::kScan:
+      ++stats_.plans_scan;
+      if (metrics_.plans_scan != nullptr) metrics_.plans_scan->inc();
+      break;
+    case PlanKind::kIndexed:
+      ++stats_.plans_indexed;
+      if (metrics_.plans_indexed != nullptr) metrics_.plans_indexed->inc();
+      break;
+    case PlanKind::kIntersect:
+      ++stats_.plans_intersect;
+      if (metrics_.plans_intersect != nullptr) metrics_.plans_intersect->inc();
+      break;
+    case PlanKind::kCovered:
+      ++stats_.plans_covered;
+      if (metrics_.plans_covered != nullptr) metrics_.plans_covered->inc();
+      break;
+    case PlanKind::kSortIndex:
+      ++stats_.plans_sort_index;
+      if (metrics_.plans_sort_index != nullptr) metrics_.plans_sort_index->inc();
+      break;
   }
-  return std::nullopt;
+}
+
+void Collection::note_find(bool indexed) const {
+  if (indexed) {
+    ++stats_.indexed_finds;
+    if (metrics_.finds_indexed != nullptr) metrics_.finds_indexed->inc();
+  } else {
+    ++stats_.scanned_finds;
+    if (metrics_.finds_scanned != nullptr) metrics_.finds_scanned->inc();
+  }
+}
+
+Collection::Plan Collection::plan(const Query& query) const {
+  Plan plan;
+  if (!planner_enabled_) return plan;
+  // Candidate slots per indexable clause: the root itself, or any conjunct
+  // reachable through ANDs (nested ANDs are flattened — Query::range
+  // desugars to one, so "user == u AND time in [lo, hi)" yields two sets).
+  // Cost model: materializing a clause's slot list is linear in its
+  // selectivity and touches no documents, so gathering every indexable
+  // clause and intersecting is cheaper than filtering documents through
+  // the residual query whenever any clause is selective.
+  std::vector<std::vector<Slot>> sets;
+  std::vector<Slot> tmp;
+  if (index_lookup(query, tmp)) {
+    sets.push_back(std::move(tmp));
+  } else if (query.op() == QueryOp::kAnd) {
+    auto gather = [&](auto&& self, const Query& conjunction) -> void {
+      for (const Query& child : conjunction.children()) {
+        if (child.op() == QueryOp::kAnd) {
+          self(self, child);
+          continue;
+        }
+        tmp.clear();
+        if (index_lookup(child, tmp)) sets.push_back(std::move(tmp));
+      }
+    };
+    gather(gather, query);
+  }
+  if (sets.empty()) return plan;
+  for (auto& set : sets) {
+    // kIn with repeated values can list a slot twice.
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+  // Cheapest (most selective) first, then intersect the rest into it.
+  std::sort(sets.begin(), sets.end(), [](const auto& a, const auto& b) {
+    return a.size() < b.size();
+  });
+  plan.candidates = std::move(sets[0]);
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    tmp.clear();
+    std::set_intersection(plan.candidates.begin(), plan.candidates.end(),
+                          sets[i].begin(), sets[i].end(),
+                          std::back_inserter(tmp));
+    plan.candidates.swap(tmp);
+  }
+  plan.use_index = true;
+  plan.intersected = sets.size() > 1;
+  return plan;
 }
 
 std::vector<Document> Collection::find(const Query& query,
                                        const FindOptions& options) const {
   std::vector<Document> out;
-  auto consider = [&](const Document& doc) {
-    if (query.matches(doc)) out.push_back(doc);
-  };
-  if (auto candidates = plan(query)) {
-    ++stats_.indexed_finds;
-    if (metrics_.finds_indexed != nullptr) metrics_.finds_indexed->inc();
-    std::sort(candidates->begin(), candidates->end());
-    candidates->erase(std::unique(candidates->begin(), candidates->end()),
-                      candidates->end());
-    for (Slot s : *candidates)
-      if (slots_[s].has_value()) consider(*slots_[s]);
+  Plan p = plan(query);
+  if (!p.use_index && planner_enabled_ && !options.sort_by.empty()) {
+    auto idx_it = indexes_.find(options.sort_by);
+    if (idx_it != indexes_.end()) {
+      note_plan(PlanKind::kSortIndex);
+      note_find(/*indexed=*/true);
+      return find_via_sort_index(query, options, idx_it->second);
+    }
+  }
+  note_plan(p.use_index
+                ? (p.intersected ? PlanKind::kIntersect : PlanKind::kIndexed)
+                : PlanKind::kScan);
+  note_find(p.use_index);
+  if (p.use_index) {
+    for (Slot s : p.candidates)
+      if (slots_[s].has_value() && query.matches(*slots_[s]))
+        out.push_back(*slots_[s]);
   } else {
-    ++stats_.scanned_finds;
-    if (metrics_.finds_scanned != nullptr) metrics_.finds_scanned->inc();
     for (const auto& slot : slots_)
-      if (slot.has_value()) consider(*slot);
+      if (slot.has_value() && query.matches(*slot)) out.push_back(*slot);
   }
 
   if (!options.sort_by.empty()) {
@@ -184,20 +261,174 @@ std::vector<Document> Collection::find(const Query& query,
   return out;
 }
 
+std::vector<Document> Collection::find_via_sort_index(
+    const Query& query, const FindOptions& options, const Index& index) const {
+  const auto& entries = index.entries;
+  // Documents missing the sort field sort as null; merge their slots with
+  // the explicit-null index entries into one group. Every document with
+  // the field contributes exactly one entry, so when the entry count
+  // equals the document count the missing-field scan can be skipped.
+  std::vector<Slot> null_group;
+  if (entries.size() != id_to_slot_.size()) {
+    for (Slot s = 0; s < slots_.size(); ++s)
+      if (slots_[s].has_value() &&
+          slots_[s]->find_path(options.sort_by) == nullptr)
+        null_group.push_back(s);
+  }
+  auto [null_lo, null_hi] = entries.equal_range(IndexKey{Value()});
+  for (auto it = null_lo; it != null_hi; ++it) null_group.push_back(it->second);
+  std::sort(null_group.begin(), null_group.end());
+
+  std::vector<Document> out;
+  // Once skip+limit results exist, later groups cannot alter them — stop
+  // before touching their documents (a page query over a large index
+  // reads only the page, not the collection).
+  const std::size_t want =
+      options.limit > 0 ? options.skip + options.limit : 0;
+  auto done = [&] { return want > 0 && out.size() >= want; };
+  // Within every equal-key group slots are emitted in ascending
+  // (insertion) order — exactly the tie order stable_sort produces over a
+  // scan. `group` is reused scratch; groups are materialized lazily.
+  std::vector<Slot> group;
+  auto emit_group = [&] {
+    std::sort(group.begin(), group.end());
+    for (Slot s : group) {
+      if (done()) return;
+      if (slots_[s].has_value() && query.matches(*slots_[s]))
+        out.push_back(*slots_[s]);
+    }
+  };
+  if (!options.descending) {
+    group = null_group;  // already sorted; emit_group's sort is a no-op
+    emit_group();
+    for (auto it = null_hi; it != entries.end() && !done();) {
+      auto hi = entries.upper_bound(it->first);
+      group.clear();
+      for (auto j = it; j != hi; ++j) group.push_back(j->second);
+      emit_group();
+      it = hi;
+    }
+  } else {
+    // Walk key groups in descending order, nulls last.
+    for (auto it = entries.end(); it != null_hi && !done();) {
+      auto lo = entries.lower_bound(std::prev(it)->first);
+      group.clear();
+      for (auto j = lo; j != it; ++j) group.push_back(j->second);
+      emit_group();
+      it = lo;
+    }
+    if (!done()) {
+      group = null_group;
+      emit_group();
+    }
+  }
+
+  if (options.skip > 0) {
+    if (options.skip >= out.size()) {
+      out.clear();
+    } else {
+      out.erase(out.begin(),
+                out.begin() + static_cast<std::ptrdiff_t>(options.skip));
+    }
+  }
+  if (options.limit > 0 && out.size() > options.limit) out.resize(options.limit);
+  if (!options.projection.empty()) {
+    for (Document& d : out) d = project(d, options.projection);
+  }
+  return out;
+}
+
+bool Collection::covered_count(const Query& query, std::size_t& out) const {
+  auto index_it = indexes_.find(query.path());
+  if (index_it == indexes_.end()) return false;
+  const auto& entries = index_it->second.entries;
+  switch (query.op()) {
+    case QueryOp::kEq: {
+      // compare-equality (the index order) admits keys the filter's
+      // operator== rejects — int64s that collide as doubles, objects with
+      // reordered fields — so re-check equality on the stored key. The
+      // key is a copy of the document's value at the path, so this is
+      // exactly the filter's predicate with no document access.
+      const Value& v = query.values()[0];
+      auto [lo, hi] = entries.equal_range(IndexKey{v});
+      out = 0;
+      for (auto it = lo; it != hi; ++it)
+        if (it->first.value == v) ++out;
+      return true;
+    }
+    case QueryOp::kIn: {
+      // One span per compare-distinct value (compare-equal values share a
+      // span; visiting it once prevents double counting), then the real
+      // `in` predicate on each key.
+      std::vector<const Value*> reps;
+      for (const Value& v : query.values()) {
+        bool dup = false;
+        for (const Value* r : reps)
+          if (Value::compare(*r, v) == 0) {
+            dup = true;
+            break;
+          }
+        if (!dup) reps.push_back(&v);
+      }
+      out = 0;
+      for (const Value* r : reps) {
+        auto [lo, hi] = entries.equal_range(IndexKey{*r});
+        for (auto it = lo; it != hi; ++it)
+          for (const Value& v : query.values())
+            if (it->first.value == v) {
+              ++out;
+              break;
+            }
+      }
+      return true;
+    }
+    // Range filters use Value::compare — the index order — so the range
+    // width is the exact answer.
+    case QueryOp::kLt:
+      out = static_cast<std::size_t>(std::distance(
+          entries.begin(), entries.lower_bound(IndexKey{query.values()[0]})));
+      return true;
+    case QueryOp::kLte:
+      out = static_cast<std::size_t>(std::distance(
+          entries.begin(), entries.upper_bound(IndexKey{query.values()[0]})));
+      return true;
+    case QueryOp::kGt:
+      out = static_cast<std::size_t>(std::distance(
+          entries.upper_bound(IndexKey{query.values()[0]}), entries.end()));
+      return true;
+    case QueryOp::kGte:
+      out = static_cast<std::size_t>(std::distance(
+          entries.lower_bound(IndexKey{query.values()[0]}), entries.end()));
+      return true;
+    case QueryOp::kExists:
+      // Every document with the path present has exactly one entry.
+      out = entries.size();
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::size_t Collection::count(const Query& query) const {
   if (query.op() == QueryOp::kAll) return id_to_slot_.size();
+  if (planner_enabled_) {
+    std::size_t covered = 0;
+    if (covered_count(query, covered)) {
+      note_plan(PlanKind::kCovered);
+      note_find(/*indexed=*/true);
+      return covered;
+    }
+  }
   std::size_t n = 0;
-  if (auto candidates = plan(query)) {
-    ++stats_.indexed_finds;
-    if (metrics_.finds_indexed != nullptr) metrics_.finds_indexed->inc();
-    std::sort(candidates->begin(), candidates->end());
-    candidates->erase(std::unique(candidates->begin(), candidates->end()),
-                      candidates->end());
-    for (Slot s : *candidates)
+  Plan p = plan(query);
+  note_plan(p.use_index
+                ? (p.intersected ? PlanKind::kIntersect : PlanKind::kIndexed)
+                : PlanKind::kScan);
+  note_find(p.use_index);
+  if (p.use_index) {
+    for (Slot s : p.candidates)
       if (slots_[s].has_value() && query.matches(*slots_[s])) ++n;
   } else {
-    ++stats_.scanned_finds;
-    if (metrics_.finds_scanned != nullptr) metrics_.finds_scanned->inc();
     for (const auto& slot : slots_)
       if (slot.has_value() && query.matches(*slot)) ++n;
   }
@@ -270,8 +501,50 @@ bool Collection::has_index(const std::string& path) const {
   return indexes_.count(path) > 0;
 }
 
+namespace {
+/// Walks an index's compare-equal key groups in order, calling
+/// `group(first_entry_key, group_size)` per group. Returns false (a
+/// planner bail-out to the scan path) when a group mixes keys that
+/// compare equal but are not operator==-equal (e.g. int64s that collide
+/// as doubles), where index grouping and scan semantics could diverge, or
+/// when the callback itself vetoes the group.
+template <typename Entries, typename GroupFn>
+bool walk_index_groups(const Entries& entries, GroupFn&& group) {
+  for (auto it = entries.begin(); it != entries.end();) {
+    auto hi = entries.upper_bound(it->first);
+    std::size_t n = 0;
+    for (auto j = it; j != hi; ++j, ++n)
+      if (!(j->first.value == it->first.value)) return false;
+    if (!group(it->first.value, n)) return false;
+    it = hi;
+  }
+  return true;
+}
+}  // namespace
+
 std::vector<Value> Collection::distinct(const std::string& path,
                                         const Query& query) const {
+  if (planner_enabled_ && query.op() == QueryOp::kAll) {
+    auto index_it = indexes_.find(path);
+    if (index_it != indexes_.end()) {
+      // Covered: one representative per key group, already in compare
+      // order — no documents touched, no quadratic dedup. Restricted to
+      // scalar keys: the scan below dedups by operator==, which for
+      // objects is field-order-insensitive while the index order is not.
+      std::vector<Value> out;
+      if (walk_index_groups(index_it->second.entries,
+                            [&](const Value& key, std::size_t) {
+                              if (key.is_array() || key.is_object())
+                                return false;
+                              out.push_back(key);
+                              return true;
+                            })) {
+        note_plan(PlanKind::kCovered);
+        note_find(/*indexed=*/true);
+        return out;
+      }
+    }
+  }
   std::vector<Value> out;
   for (const auto& slot : slots_) {
     if (!slot.has_value() || !query.matches(*slot)) continue;
@@ -293,6 +566,23 @@ std::vector<Value> Collection::distinct(const std::string& path,
 
 std::vector<std::pair<Value, std::size_t>> Collection::group_count(
     const std::string& path, const Query& query) const {
+  if (planner_enabled_ && query.op() == QueryOp::kAll) {
+    auto index_it = indexes_.find(path);
+    if (index_it != indexes_.end()) {
+      // Covered: group sizes are key-group widths in the index — the scan
+      // below groups by the same IndexKey order, so results are identical.
+      std::vector<std::pair<Value, std::size_t>> out;
+      if (walk_index_groups(index_it->second.entries,
+                            [&](const Value& key, std::size_t n) {
+                              out.emplace_back(key, n);
+                              return true;
+                            })) {
+        note_plan(PlanKind::kCovered);
+        note_find(/*indexed=*/true);
+        return out;
+      }
+    }
+  }
   std::map<IndexKey, std::size_t> groups;
   for (const auto& slot : slots_) {
     if (!slot.has_value() || !query.matches(*slot)) continue;

@@ -31,6 +31,12 @@ struct CollectionStats {
   std::uint64_t total_removes = 0;
   std::uint64_t indexed_finds = 0;  ///< finds served through an index
   std::uint64_t scanned_finds = 0;  ///< finds answered by full scan
+  // Planner decisions (one bump per planned find/count/distinct/group).
+  std::uint64_t plans_scan = 0;        ///< no usable index: full scan
+  std::uint64_t plans_indexed = 0;     ///< one index supplied candidates
+  std::uint64_t plans_intersect = 0;   ///< several AND indexes intersected
+  std::uint64_t plans_covered = 0;     ///< answered from index entries only
+  std::uint64_t plans_sort_index = 0;  ///< index order replaced the sort
 };
 
 /// Document collection. Every document gets a unique string "_id"
@@ -78,6 +84,13 @@ class Collection {
   /// documents are indexed immediately. eq/in/range queries rooted at this
   /// path — including inside a top-level AND — use the index.
   void create_index(const std::string& path);
+
+  /// Testing/diagnostics kill switch: with planning disabled every
+  /// find/count/distinct/group falls back to the full-scan reference
+  /// execution (and FindOptions sorting to stable_sort), which the planner
+  /// tests compare indexed execution against. Default on.
+  void set_planner_enabled(bool enabled) { planner_enabled_ = enabled; }
+  bool planner_enabled() const { return planner_enabled_; }
 
   /// True when an index exists on `path`.
   bool has_index(const std::string& path) const;
@@ -128,13 +141,36 @@ class Collection {
     std::multimap<IndexKey, Slot> entries;
   };
 
+  /// How the planner decided to execute a query (mirrored to the
+  /// `docstore.plans_*` registry counters).
+  enum class PlanKind { kScan, kIndexed, kIntersect, kCovered, kSortIndex };
+
+  /// An access-path decision: either a full scan (use_index false) or a
+  /// sorted, deduplicated candidate-slot list produced from the cheapest
+  /// applicable index — intersected across indexable AND clauses when the
+  /// query has several. The full query is still re-applied to every
+  /// candidate, so the plan only has to be a superset of the matches.
+  struct Plan {
+    bool use_index = false;
+    bool intersected = false;
+    std::vector<Slot> candidates;
+  };
+
   std::string generate_id();
   void index_document(Slot slot, const Document& doc);
   void unindex_document(Slot slot, const Document& doc);
-  /// Candidate slots from the best applicable index, or nullopt when the
-  /// query has no indexable clause.
-  std::optional<std::vector<Slot>> plan(const Query& query) const;
+  Plan plan(const Query& query) const;
   bool index_lookup(const Query& clause, std::vector<Slot>& out) const;
+  /// Exact match count from index entries alone (no document access);
+  /// false when the query shape is not covered by an index.
+  bool covered_count(const Query& query, std::size_t& out) const;
+  /// Executes a sorted find by walking the sort_by index in key order
+  /// instead of materializing and stable_sort-ing every match.
+  std::vector<Document> find_via_sort_index(const Query& query,
+                                            const FindOptions& options,
+                                            const Index& index) const;
+  void note_plan(PlanKind kind) const;
+  void note_find(bool indexed) const;
   static Document project(const Document& doc,
                           const std::vector<std::string>& fields);
 
@@ -144,6 +180,11 @@ class Collection {
     obs::Counter* removes = nullptr;
     obs::Counter* finds_indexed = nullptr;
     obs::Counter* finds_scanned = nullptr;
+    obs::Counter* plans_scan = nullptr;
+    obs::Counter* plans_indexed = nullptr;
+    obs::Counter* plans_intersect = nullptr;
+    obs::Counter* plans_covered = nullptr;
+    obs::Counter* plans_sort_index = nullptr;
     obs::Gauge* documents = nullptr;
   };
 
@@ -152,6 +193,7 @@ class Collection {
   std::unordered_map<std::string, Slot> id_to_slot_;
   std::map<std::string, Index> indexes_;
   std::uint64_t id_counter_ = 0;
+  bool planner_enabled_ = true;
   mutable CollectionStats stats_;
   Metrics metrics_;
 };

@@ -6,7 +6,9 @@ namespace mps::sim {
 
 EventId Simulation::at(TimeMs t, std::function<void()> fn) {
   EventId id = next_id_++;
-  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
+  heap_.push_back(Event{std::max(t, now_), id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_ids_.insert(id);
   return id;
 }
 
@@ -15,9 +17,35 @@ EventId Simulation::after(DurationMs delay, std::function<void()> fn) {
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy cancellation: mark; the id is dropped when popped.
-  return cancelled_.insert(id).second;
+  // pending_ids_ membership distinguishes "still scheduled" from "already
+  // fired / already cancelled", so neither case can leak a tombstone.
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  maybe_compact();
+  return true;
+}
+
+void Simulation::reserve(std::size_t n) {
+  heap_.reserve(n);
+  pending_ids_.reserve(n);
+}
+
+void Simulation::maybe_compact() {
+  // Compact only when tombstones dominate: amortized O(1) per cancel, and
+  // long-lived cancelled events (periodic timers rescheduled far ahead)
+  // cannot hold their closures and heap slots for the rest of the run.
+  if (cancelled_.size() < 64 || cancelled_.size() * 2 < heap_.size()) return;
+  std::erase_if(heap_,
+                [&](const Event& e) { return cancelled_.count(e.id) > 0; });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
+}
+
+Simulation::Event Simulation::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
 }
 
 void Simulation::set_metrics_hook(DurationMs period,
@@ -51,10 +79,10 @@ void Simulation::execute(Event& e) {
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty()) {
+    Event e = pop_event();
     if (cancelled_.erase(e.id) > 0) continue;
+    pending_ids_.erase(e.id);
     execute(e);
     return true;
   }
@@ -67,16 +95,16 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(TimeMs t) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
     if (cancelled_.count(top.id) > 0) {
       cancelled_.erase(top.id);
-      queue_.pop();
+      pop_event();
       continue;
     }
     if (top.time > t) break;
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event e = pop_event();
+    pending_ids_.erase(e.id);
     execute(e);
   }
   fire_hook_until(t);
@@ -85,7 +113,14 @@ void Simulation::run_until(TimeMs t) {
 
 PeriodicTimer::PeriodicTimer(Simulation& simulation, DurationMs period,
                              std::function<void(TimeMs)> fn)
-    : sim_(simulation), period_(period), fn_(std::move(fn)) {}
+    : sim_(simulation), period_(period), fn_(std::move(fn)) {
+  tick_ = [this] {
+    pending_event_ = 0;
+    if (!running_) return;
+    fn_(sim_.now());
+    if (running_) schedule_next(period_);
+  };
+}
 
 void PeriodicTimer::start() { start(period_); }
 
@@ -112,12 +147,9 @@ void PeriodicTimer::set_period(DurationMs period) {
 }
 
 void PeriodicTimer::schedule_next(DurationMs delay) {
-  pending_event_ = sim_.after(delay, [this] {
-    pending_event_ = 0;
-    if (!running_) return;
-    fn_(sim_.now());
-    if (running_) schedule_next(period_);
-  });
+  // Copying tick_ (a one-pointer closure) stays in std::function's
+  // small-buffer storage — the reschedule path performs no allocation.
+  pending_event_ = sim_.after(delay, tick_);
 }
 
 }  // namespace mps::sim

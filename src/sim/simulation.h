@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -41,8 +40,15 @@ class Simulation {
   EventId after(DurationMs delay, std::function<void()> fn);
 
   /// Cancels a pending event. Returns false if the event already fired or
-  /// was cancelled before.
+  /// was cancelled before. Cancellation is lazy (a tombstone is left in
+  /// the heap) but bounded: tombstones are purged when their events pop,
+  /// and the heap is compacted in place when they outnumber live events —
+  /// a 10-month city-scale run with heavy timer churn stays flat.
   bool cancel(EventId id);
+
+  /// Pre-allocates heap storage for `n` pending events (the storage is
+  /// reused across pushes/pops; this only avoids early regrowth).
+  void reserve(std::size_t n);
 
   /// Runs events until the queue is empty.
   void run();
@@ -54,7 +60,11 @@ class Simulation {
   bool step();
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return pending_ids_.size(); }
+
+  /// Cancelled events still occupying heap slots (observability for the
+  /// compaction tests; bounded by the compaction policy).
+  std::size_t tombstones() const { return cancelled_.size(); }
 
   /// Total number of events executed since construction.
   std::uint64_t executed() const { return executed_; }
@@ -87,11 +97,23 @@ class Simulation {
   /// Fires the metrics hook at every period boundary up to `t`, advancing
   /// the clock to each boundary so the hook observes a consistent now().
   void fire_hook_until(TimeMs t);
+  /// Pops the earliest event off the heap (no cancellation check).
+  Event pop_event();
+  /// Rewrites the heap without tombstoned events when they dominate it.
+  void maybe_compact();
 
   TimeMs now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Binary min-heap ordered by Later, managed with std::push_heap /
+  /// std::pop_heap so compaction can rebuild it in place (a
+  /// std::priority_queue hides its container).
+  std::vector<Event> heap_;
+  /// Ids scheduled and neither fired nor cancelled. Membership makes
+  /// cancel() exact: cancelling an already-fired id is a no-op instead of
+  /// an immortal tombstone.
+  std::unordered_set<EventId> pending_ids_;
+  /// Tombstones: cancelled ids whose events still sit in the heap.
   std::unordered_set<EventId> cancelled_;
   DurationMs hook_period_ = 0;
   TimeMs next_hook_at_ = 0;
@@ -131,6 +153,11 @@ class PeriodicTimer {
   Simulation& sim_;
   DurationMs period_;
   std::function<void(TimeMs)> fn_;
+  /// The tick closure, built once in the constructor and copied (not
+  /// rebuilt) on every reschedule. It captures only `this`, so the copy
+  /// fits std::function's small-buffer storage: rescheduling a timer
+  /// allocates nothing, however many times it fires.
+  std::function<void()> tick_;
   EventId pending_event_ = 0;
   bool running_ = false;
 };

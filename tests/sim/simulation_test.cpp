@@ -241,5 +241,98 @@ TEST(PeriodicTimer, DestructorCancels) {
   EXPECT_EQ(n, 0);
 }
 
+TEST(Simulation, CancelAfterFireReturnsFalse) {
+  Simulation s;
+  int n = 0;
+  EventId id = s.at(1, [&] { ++n; });
+  s.run();
+  EXPECT_EQ(n, 1);
+  // The id already fired: cancelling it must fail and must not poison a
+  // future lookup or the pending count.
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.tombstones(), 0u);
+}
+
+TEST(Simulation, TombstonesStayBoundedUnderTimerChurn) {
+  // A workload that cancels most of what it schedules (the upload-timer
+  // pattern) must not accumulate tombstoned heap entries: the compaction
+  // policy keeps them below the live-event count plus the purge threshold.
+  Simulation s;
+  int executed = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 200; ++round) {
+    ids.clear();
+    for (int i = 0; i < 100; ++i)
+      ids.push_back(s.at(1'000'000 + round, [&] { ++executed; }));
+    // Cancel 99 of the 100 — only one per round survives to fire.
+    for (std::size_t i = 1; i < ids.size(); ++i) s.cancel(ids[i]);
+    EXPECT_LE(s.tombstones(), s.pending() + 64) << round;
+  }
+  EXPECT_EQ(s.pending(), 200u);
+  s.run();
+  EXPECT_EQ(executed, 200);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.tombstones(), 0u);
+}
+
+TEST(Simulation, CompactionPreservesOrderAndFifoTies) {
+  Simulation s;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 300; ++i) {
+    int slot = i;
+    s.at(5, [&order, slot] { order.push_back(slot); });
+    doomed.push_back(s.at(4, [] {}));
+  }
+  for (EventId id : doomed) s.cancel(id);  // triggers in-place compaction
+  s.run();
+  ASSERT_EQ(order.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ReserveDoesNotDisturbScheduling) {
+  Simulation s;
+  s.reserve(10'000);
+  int n = 0;
+  for (int i = 0; i < 100; ++i) s.at(i, [&] { ++n; });
+  EXPECT_EQ(s.pending(), 100u);
+  s.run();
+  EXPECT_EQ(n, 100);
+}
+
+TEST(Simulation, PendingTracksLifecycleExactly) {
+  Simulation s;
+  EventId a = s.at(1, [] {});
+  EventId b = s.at(2, [] {});
+  s.at(3, [] {});
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_TRUE(s.cancel(a));
+  EXPECT_FALSE(s.cancel(a));  // double cancel
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_TRUE(s.step());      // fires b
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_FALSE(s.cancel(b));  // cancel after fire
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(PeriodicTimer, LongRunStaysFlat) {
+  // Ten thousand ticks with a stop/start every 100: pending events and
+  // tombstones must end where they started (no per-tick growth).
+  Simulation s;
+  int n = 0;
+  PeriodicTimer timer(s, 10, [&](TimeMs) { ++n; });
+  timer.start();
+  for (int i = 0; i < 100; ++i) {
+    s.run_until(s.now() + 1'000);
+    timer.stop();
+    timer.start();
+  }
+  EXPECT_EQ(n, 100 * 100);
+  EXPECT_EQ(s.pending(), 1u);  // just the next scheduled tick
+  EXPECT_LE(s.tombstones(), 64u);
+}
+
 }  // namespace
 }  // namespace mps::sim
