@@ -5,13 +5,19 @@
 // properties on the *stored* data (not the generator's output):
 // per-model volume ordering, ~40% localized, the diurnal pattern and the
 // capture-to-server delay profile.
+// Set MPS_BENCH_FAULT_PROFILE=lossy-network|crashy-client to replay the
+// study under a chaos profile (seeded from MPS_BENCH_SEED); the JSON
+// report then records the armed profile and seed so it is never confused
+// with a clean-run baseline.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "common/bench_util.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "fault/fault.h"
 #include "study/study.h"
 
 int main() {
@@ -43,6 +49,17 @@ int main() {
   config.version = client::AppVersion::kV1_3;
   config.buffer_size = 10;
   config.journey_release = days(0);  // journeys active for this slice
+
+  fault::FaultPlan faults = fault::FaultPlan::none();
+  if (const char* profile = std::getenv("MPS_BENCH_FAULT_PROFILE")) {
+    faults = fault::FaultPlan::profile(profile, scale.seed);
+    config.faults = &faults;
+    bench_record_fault_plan(faults);
+    std::printf("chaos: fault profile %s armed (seed %llu)\n",
+                faults.profile_name().c_str(),
+                static_cast<unsigned long long>(faults.seed()));
+  }
+
   study::StudyRunner runner(population, config, sim, broker, server);
   auto t0 = std::chrono::steady_clock::now();
   study::StudyReport report = runner.run();
@@ -63,6 +80,17 @@ int main() {
                run_seconds > 0.0
                    ? static_cast<double>(sim.executed()) / run_seconds
                    : 0.0);
+  if (config.faults != nullptr) {
+    bench_record("faults_injected",
+                 static_cast<double>(report.faults_injected));
+    bench_record("publish_failures",
+                 static_cast<double>(report.publish_failures));
+    bench_record("upload_retries",
+                 static_cast<double>(report.upload_retries));
+    bench_record("crashes", static_cast<double>(report.crashes));
+    bench_record("duplicate_observations",
+                 static_cast<double>(report.duplicate_observations));
+  }
 
   std::printf("fleet: %zu devices, %d virtual days\n", report.devices,
               config.duration_days);

@@ -22,10 +22,28 @@ double env_double(const char* name, double dflt) {
 
 /// Process-wide JSON report, armed by print_header and flushed once at
 /// exit so benches cannot forget to write it (early returns included).
+/// Minimal JSON string escaping — label values are profile names and
+/// similar short identifiers, but a stray quote must not corrupt the
+/// report.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
 struct BenchReport {
   std::string name;
   std::chrono::steady_clock::time_point start;
   std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, std::string>> labels;
   bool armed = false;
 
   static BenchReport& instance() {
@@ -38,6 +56,7 @@ struct BenchReport {
     if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
     start = std::chrono::steady_clock::now();
     metrics.clear();
+    labels.clear();
     if (!armed) {
       armed = true;
       std::atexit([] { BenchReport::instance().flush(); });
@@ -52,6 +71,16 @@ struct BenchReport {
       }
     }
     metrics.emplace_back(key, value);
+  }
+
+  void record_label(const std::string& key, const std::string& value) {
+    for (auto& [k, v] : labels) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    labels.emplace_back(key, value);
   }
 
   void flush() {
@@ -72,11 +101,18 @@ struct BenchReport {
     std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall);
     std::fprintf(f, "  \"metrics\": {");
     const char* sep = "\n";
-    for (const auto& [key, value] : metrics) {
-      std::fprintf(f, "%s    \"%s\": %.17g", sep, key.c_str(), value);
+    for (const auto& [key, value] : labels) {
+      std::fprintf(f, "%s    \"%s\": \"%s\"", sep, json_escape(key).c_str(),
+                   json_escape(value).c_str());
       sep = ",\n";
     }
-    std::fprintf(f, "%s}\n}\n", metrics.empty() ? "" : "\n  ");
+    for (const auto& [key, value] : metrics) {
+      std::fprintf(f, "%s    \"%s\": %.17g", sep, json_escape(key).c_str(),
+                   value);
+      sep = ",\n";
+    }
+    std::fprintf(f, "%s}\n}\n",
+                 metrics.empty() && labels.empty() ? "" : "\n  ");
     std::fclose(f);
     std::printf("[bench json: %s]\n", path.c_str());
   }
@@ -127,6 +163,15 @@ void bench_record(const std::string& key, double value) {
 void bench_record_rate(const std::string& key, double count, double seconds) {
   bench_record(key, count);
   if (seconds > 0.0) bench_record(key + "_per_sec", count / seconds);
+}
+
+void bench_record_label(const std::string& key, const std::string& value) {
+  BenchReport::instance().record_label(key, value);
+}
+
+void bench_record_fault_plan(const fault::FaultPlan& plan) {
+  bench_record_label("fault_profile", plan.profile_name());
+  bench_record("fault_seed", static_cast<double>(plan.seed()));
 }
 
 void print_share(const std::string& label, double share_percent) {

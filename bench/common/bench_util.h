@@ -14,6 +14,7 @@
 
 #include "crowd/dataset.h"
 #include "crowd/population.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace mps::bench {
@@ -53,6 +54,16 @@ void bench_record(const std::string& key, double value);
 /// Records `count` and also derives "<key>_per_sec" from `seconds`
 /// (guarded against zero) — the standard way benches report throughput.
 void bench_record_rate(const std::string& key, double count, double seconds);
+
+/// Records one string-valued key into this bench's JSON report, emitted
+/// as a JSON string alongside the numeric metrics. Same overwrite/order
+/// semantics as bench_record.
+void bench_record_label(const std::string& key, const std::string& value);
+
+/// Records the armed fault plan into the report ("fault_profile" label
+/// plus "fault_seed"), so a chaos bench run is distinguishable from a
+/// clean one when comparing BENCH_*.json files against baselines.
+void bench_record_fault_plan(const fault::FaultPlan& plan);
 
 /// Prints a labelled percentage row, e.g. "  gps       7.2%".
 void print_share(const std::string& label, double share_percent);

@@ -8,18 +8,43 @@
 // paper's evaluation section.
 //
 // Build & run:  cmake --build build && ./build/examples/city_deployment
+//
+// Chaos mode replays the same deployment under a deterministic fault
+// profile and proves the no-loss invariants at the end:
+//   ./build/examples/city_deployment --chaos=lossy-network --seed=7
+//   ./build/examples/city_deployment --chaos=crashy-client
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/bench_util.h"
 #include "core/rest_api.h"
 #include "core/standard_jobs.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "study/invariants.h"
 #include "study/study.h"
 
 using namespace mps;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string chaos_profile;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
+      chaos_profile = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--chaos=none|lossy-network|crashy-client] "
+                   "[--seed=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   // --- Infrastructure + fleet ------------------------------------------
   sim::Simulation sim;
   broker::Broker broker;
@@ -36,17 +61,32 @@ int main() {
   server.set_tracer(&tracker);
 
   crowd::PopulationConfig pop_config;
-  pop_config.seed = 7;
+  pop_config.seed = seed;
   pop_config.device_scale = 0.03;  // ~65 devices
   pop_config.obs_scale = 0.1;
   pop_config.horizon = days(14);
   crowd::Population population = crowd::Population::generate(pop_config);
 
   study::StudyConfig study_config;
+  study_config.seed = seed;
   study_config.duration_days = 14;
   study_config.journey_release = days(10);  // journey mode ships mid-study
   study_config.metrics = &registry;
   study_config.tracer = &tracker;
+
+  // Chaos mode: arm a deterministic fault profile. Same profile + same
+  // seed replays the exact fault schedule, so any invariant violation
+  // printed below is a reproducible bug report.
+  fault::FaultPlan faults = fault::FaultPlan::none();
+  if (!chaos_profile.empty() && chaos_profile != "none") {
+    faults = fault::FaultPlan::profile(chaos_profile, seed);
+    faults.set_metrics(&registry);
+    study_config.faults = &faults;
+    std::printf("chaos: profile %s armed with seed %llu\n",
+                faults.profile_name().c_str(),
+                static_cast<unsigned long long>(seed));
+  }
+
   study::StudyRunner runner(population, study_config, sim, broker, server);
 
   // Daily ops report, straight off the sim clock: the hook fires at every
@@ -74,6 +114,22 @@ int main() {
               static_cast<unsigned long long>(report.observations_recorded),
               static_cast<unsigned long long>(report.observations_stored),
               static_cast<unsigned long long>(report.buffered_unsent));
+
+  if (study_config.faults != nullptr) {
+    std::printf("chaos outcome: %llu faults injected, %llu crashes, "
+                "%llu publish failures, %llu upload retries, "
+                "%llu duplicates deduplicated\n",
+                static_cast<unsigned long long>(report.faults_injected),
+                static_cast<unsigned long long>(report.crashes),
+                static_cast<unsigned long long>(report.publish_failures),
+                static_cast<unsigned long long>(report.upload_retries),
+                static_cast<unsigned long long>(report.duplicate_observations));
+    study::InvariantReport inv =
+        study::check_invariants(tracker, server, runner.clients());
+    std::printf("invariants: %s\n  %s\n\n", inv.ok() ? "OK" : "VIOLATED",
+                inv.to_json().c_str());
+    if (!inv.ok()) return 1;
+  }
 
   // --- Operate via the REST API -----------------------------------------
   core::GoFlowRestApi api(server);

@@ -26,6 +26,7 @@ void AssimilationCycle::set_metrics(obs::Registry* registry) {
   }
   metrics_.steps = &registry->counter("assim.steps");
   metrics_.observations_used = &registry->counter("assim.observations_used");
+  metrics_.stalled_steps = &registry->counter("assim.stalled_steps");
   metrics_.innovation_rms = &registry->gauge("assim.innovation_rms");
   metrics_.residual_rms = &registry->gauge("assim.residual_rms");
   // Wall-clock step cost, not virtual time: an analysis step takes
@@ -40,6 +41,30 @@ CycleStep AssimilationCycle::advance(
     const Calibration& calibration) {
   auto wall_start = std::chrono::steady_clock::now();
   TimeMs next = now_ + config_.step;
+
+  // Injected engine stall: virtual time still advances and the previous
+  // increment persists, but this window is never assimilated (the spans
+  // simply never reach kAssimilated — persistence upstream is unaffected).
+  if (stall_fault_.should_fail(next)) {
+    Grid model_next = model_(next);
+    Grid stalled_background = model_next;
+    double w = config_.persistence_weight;
+    for (std::size_t i = 0; i < stalled_background.size(); ++i)
+      stalled_background[i] += w * (analysis_[i] - model_at_now_[i]);
+    analysis_ = std::move(stalled_background);
+    model_at_now_ = std::move(model_next);
+    now_ = next;
+    ++steps_;
+    if (metrics_.steps != nullptr) {
+      metrics_.steps->inc();
+      metrics_.stalled_steps->inc();
+    }
+    CycleStep step;
+    step.at = now_;
+    step.stalled = true;
+    return step;
+  }
+
   Grid model_next = model_(next);
 
   // background = model(next) + w * (analysis(now) - model(now)).

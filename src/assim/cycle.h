@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "assim/assimilator.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -42,6 +43,9 @@ struct CycleStep {
   double innovation_rms = 0.0;
   double residual_rms = 0.0;
   std::size_t observations_used = 0;
+  /// True when an injected kAssimStall fault skipped this step's
+  /// assimilation (time still advanced; the increment persisted).
+  bool stalled = false;
 };
 
 /// The running assimilation cycle. The model field is supplied by a
@@ -80,6 +84,13 @@ class AssimilationCycle {
   /// carry a span id are stamped kAssimilated at the analysis time.
   void set_tracer(obs::SpanTracker* tracer) { tracer_ = tracer; }
 
+  /// Arms fault injection: a kAssimStall fault makes advance() skip the
+  /// analysis for that step (engine hiccup) while virtual time still
+  /// moves forward. Pass nullptr to disarm.
+  void arm_faults(fault::FaultPlan* plan) {
+    stall_fault_ = fault::FaultPoint(plan, fault::FaultSite::kAssimStall);
+  }
+
  private:
   ModelFn model_;
   CycleConfig config_;
@@ -92,12 +103,14 @@ class AssimilationCycle {
   struct Metrics {
     obs::Counter* steps = nullptr;
     obs::Counter* observations_used = nullptr;
+    obs::Counter* stalled_steps = nullptr;
     obs::Gauge* innovation_rms = nullptr;
     obs::Gauge* residual_rms = nullptr;
     obs::LatencyHistogram* cycle_ms = nullptr;
   };
   Metrics metrics_;
   obs::SpanTracker* tracer_ = nullptr;
+  fault::FaultPoint stall_fault_;
 };
 
 }  // namespace mps::assim

@@ -78,6 +78,14 @@ void Broker::set_metrics(obs::Registry* registry) {
   update_topology_gauges();
 }
 
+void Broker::arm_faults(fault::FaultPlan* plan) {
+  using fault::FaultPoint;
+  using fault::FaultSite;
+  publish_fault_ = FaultPoint(plan, FaultSite::kBrokerPublish);
+  ack_lost_fault_ = FaultPoint(plan, FaultSite::kBrokerAckLost);
+  consume_fault_ = FaultPoint(plan, FaultSite::kBrokerConsume);
+}
+
 void Broker::update_topology_gauges() {
   if (metrics_.exchanges != nullptr)
     metrics_.exchanges->set(static_cast<double>(exchanges_.size()));
@@ -353,6 +361,11 @@ Result<PublishResult> Broker::publish(const std::string& exchange,
     return err(ErrorCode::kNotFound, "exchange '" + exchange + "' not found");
   if (!valid_routing_key(routing_key))
     return err(ErrorCode::kInvalidArgument, "routing key too long");
+  // Injected rejection: the broker refuses the publish outright. Nothing
+  // is routed and no sequence number is burned, exactly as if the TCP
+  // connection died before basic.publish reached the broker.
+  if (publish_fault_.should_fail(now))
+    return err(ErrorCode::kUnavailable, "injected fault: publish rejected");
   Message message;
   message.exchange = exchange;
   message.routing_key = routing_key;
@@ -369,12 +382,21 @@ Result<PublishResult> Broker::publish(const std::string& exchange,
     if (metrics_.unroutable != nullptr) metrics_.unroutable->inc();
     if (drop_hook_) drop_hook_(message, DropReason::kUnroutable);
   }
+  // Injected lost confirm: the message WAS routed, but the publisher
+  // never learns it — it sees an error and will retry, pushing a
+  // duplicate through the at-least-once boundary. This is the fault that
+  // exercises server-side idempotent dedup.
+  if (ack_lost_fault_.should_fail(now))
+    return err(ErrorCode::kUnavailable, "injected fault: publish confirm lost");
   return PublishResult{deliveries, message.sequence};
 }
 
 std::optional<Message> Broker::pop(const std::string& queue) {
   auto it = queues_.find(queue);
   if (it == queues_.end() || it->second.messages.empty()) return std::nullopt;
+  // Injected consume stall: basic.get returns empty although the queue
+  // has messages. The message stays queued — delayed, never lost.
+  if (consume_fault_.should_fail()) return std::nullopt;
   Message m = std::move(it->second.messages.front());
   it->second.messages.pop_front();
   ++stats_.consumed;
@@ -390,6 +412,7 @@ std::optional<Message> Broker::pop(const std::string& queue, TimeMs now) {
 std::optional<Delivery> Broker::pop_reliable(const std::string& queue) {
   auto it = queues_.find(queue);
   if (it == queues_.end() || it->second.messages.empty()) return std::nullopt;
+  if (consume_fault_.should_fail()) return std::nullopt;
   Delivery delivery;
   delivery.message = std::move(it->second.messages.front());
   it->second.messages.pop_front();

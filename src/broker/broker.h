@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "common/value.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace mps::broker {
@@ -243,6 +244,13 @@ class Broker {
   using DropHook = std::function<void(const Message&, DropReason)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Arms fault injection: publish may be rejected (kBrokerPublish),
+  /// routed-but-unconfirmed (kBrokerAckLost — the at-least-once dup
+  /// pressure case), and pull-consumes may transiently return nothing
+  /// (kBrokerConsume). Pass nullptr to disarm; when disarmed every check
+  /// is a single null test.
+  void arm_faults(fault::FaultPlan* plan);
+
   /// Toggles the compiled fast path (trie + direct map + LRU cache, the
   /// default) versus the reference linear scan over bindings calling
   /// topic_matches. The linear path is kept as the routing oracle for
@@ -321,6 +329,9 @@ class Broker {
   std::uint64_t next_delivery_tag_ = 1;
   ConsumerTag next_tag_ = 1;
   bool compiled_routing_ = true;
+  fault::FaultPoint publish_fault_;
+  fault::FaultPoint ack_lost_fault_;
+  fault::FaultPoint consume_fault_;
   BrokerStats stats_;
   Metrics metrics_;
   DropHook drop_hook_;

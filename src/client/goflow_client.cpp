@@ -52,7 +52,9 @@ GoFlowClient::GoFlowClient(sim::Simulation& simulation, broker::Broker& broker,
       ambient_(std::move(ambient)),
       position_(std::move(position)),
       timer_(simulation, config_.sense_period,
-             [this](TimeMs now) { on_sense_tick(now); }) {}
+             [this](TimeMs now) { on_sense_tick(now); }) {
+  retry_rng_ = Rng(config_.retry_seed).child(config_.client_id);
+}
 
 void GoFlowClient::start() { timer_.start(); }
 
@@ -75,6 +77,10 @@ void GoFlowClient::set_metrics(obs::Registry* registry) {
   metrics_.observations_uploaded =
       &registry->counter("client.observations_uploaded");
   metrics_.dropped_not_shared = &registry->counter("client.dropped_not_shared");
+  metrics_.publish_failures = &registry->counter("client.publish_failures");
+  metrics_.upload_retries = &registry->counter("retry.client_upload");
+  metrics_.retry_giveups = &registry->counter("retry.client_giveups");
+  metrics_.crashes = &registry->counter("client.crashes");
   metrics_.delivery_delay = &registry->histogram("client.delivery_delay_ms");
 }
 
@@ -108,6 +114,10 @@ void GoFlowClient::on_sense_tick(TimeMs now) {
 }
 
 phone::Observation GoFlowClient::sense_now(phone::SensingMode mode) {
+  if (down_) {
+    ++stats_.missed_while_down;
+    return {};
+  }
   TimeMs now = sim_.now();
   auto [x, y] = position_(now);
   phone::Observation obs = phone_.sense(now, mode, ambient_(now), x, y);
@@ -142,6 +152,10 @@ std::size_t GoFlowClient::stop_journey() {
 }
 
 void GoFlowClient::record(const phone::Observation& observation) {
+  if (down_) {
+    ++stats_.missed_while_down;
+    return;
+  }
   ++stats_.observations_recorded;
   if (metrics_.recorded != nullptr) metrics_.recorded->inc();
   std::uint64_t span_id = observation.span_id;
@@ -204,6 +218,14 @@ Value GoFlowClient::batch_document() const {
 
 bool GoFlowClient::try_upload() {
   TimeMs now = sim_.now();
+  // Head-of-line: one unconfirmed batch at a time. While the outbox is
+  // busy (transfer in flight or retries backing off), later uploads wait
+  // — this is what keeps per-device upload order monotone across
+  // failures. deliver_in_flight() drains the backlog on completion.
+  if (in_flight_ != nullptr) {
+    ++stats_.blocked_in_flight;
+    return false;
+  }
   // The paper's store-and-forward policy: no connection at emission time
   // means the batch is kept and retried at the next cycle.
   if (!phone_.connectivity().connected_at(now)) {
@@ -234,24 +256,109 @@ bool GoFlowClient::try_upload() {
       metrics_.delivery_delay->observe(
           static_cast<double>(delivered_at - obs.captured_at));
   }
+  auto batch = std::make_unique<InFlight>();
+  batch->observations = std::move(buffer_);
   buffer_.clear();
+  batch->payload = std::move(payload);
+  batch->routing_key = config_.app + ".obs." + config_.client_id;
+  in_flight_ = std::move(batch);
   ++stats_.uploads;
   stats_.observations_uploaded += batch_size;
   if (metrics_.uploads != nullptr) metrics_.uploads->inc();
   if (metrics_.observations_uploaded != nullptr)
     metrics_.observations_uploaded->inc(batch_size);
 
-  std::string routing_key = config_.app + ".obs." + config_.client_id;
   // Deliver to the broker when the transfer completes in virtual time.
-  sim_.at(delivered_at, [this, payload = std::move(payload), routing_key,
-                         delivered_at]() mutable {
-    auto result = broker_.publish(config_.exchange, routing_key,
-                                  std::move(payload), delivered_at);
-    if (!result.ok())
-      MPS_LOG_WARN("goflow-client",
-                   "publish failed: " + result.error().message);
-  });
+  in_flight_->event = sim_.at(delivered_at, [this] { deliver_in_flight(); });
   return true;
+}
+
+void GoFlowClient::deliver_in_flight() {
+  if (in_flight_ == nullptr) return;
+  InFlight& batch = *in_flight_;
+  batch.event = 0;
+  ++batch.attempts;
+  TimeMs now = sim_.now();
+  // Publish a copy: a lost confirm makes us retransmit the identical
+  // payload (same batch_id), which server-side idempotent ingest dedups.
+  auto result =
+      broker_.publish(config_.exchange, batch.routing_key, batch.payload, now);
+  if (result.ok()) {
+    if (batch.attempts > 1 && tracer_ != nullptr) {
+      // Retries landed later than the optimistic stamp — fix it up.
+      for (const phone::Observation& obs : batch.observations)
+        tracer_->stamp(obs.span_id, obs::Hop::kUploaded, now);
+    }
+    in_flight_.reset();
+    maybe_upload();  // drain uploads held back by the busy outbox
+    return;
+  }
+
+  ++stats_.publish_failures;
+  if (metrics_.publish_failures != nullptr) metrics_.publish_failures->inc();
+  if (batch.attempts >= config_.max_publish_attempts) {
+    // Give up on this transfer; the observations go back to the FRONT of
+    // the store-and-forward buffer (order!) for a future upload cycle.
+    ++stats_.retry_giveups;
+    if (metrics_.retry_giveups != nullptr) metrics_.retry_giveups->inc();
+    MPS_LOG_WARN("goflow-client",
+                 "publish abandoned after " +
+                     std::to_string(batch.attempts) +
+                     " attempts; batch requeued: " + result.error().message);
+    buffer_.insert(buffer_.begin(),
+                   std::make_move_iterator(batch.observations.begin()),
+                   std::make_move_iterator(batch.observations.end()));
+    in_flight_.reset();
+    return;
+  }
+  // Exponential backoff with jitter, driven by the sim clock.
+  ++stats_.upload_retries;
+  if (metrics_.upload_retries != nullptr) metrics_.upload_retries->inc();
+  DurationMs delay =
+      fault::backoff_delay(batch.attempts, config_.retry_base,
+                           config_.retry_max, config_.retry_jitter, retry_rng_);
+  batch.event = sim_.after(delay, [this] { deliver_in_flight(); });
+}
+
+void GoFlowClient::crash() {
+  if (down_) return;
+  ++stats_.crashes;
+  if (metrics_.crashes != nullptr) metrics_.crashes->inc();
+  down_ = true;
+  resume_sensing_ = timer_.running();
+  timer_.stop();
+  if (journey_timer_ != nullptr) {
+    journey_timer_->stop();
+    journey_timer_.reset();
+  }
+  if (in_flight_ != nullptr) {
+    // The process died mid-transfer: the batch is lost from the radio's
+    // point of view, but its observations live in the on-flash buffer —
+    // back to the front so upload order survives the crash.
+    if (in_flight_->event != 0) sim_.cancel(in_flight_->event);
+    buffer_.insert(buffer_.begin(),
+                   std::make_move_iterator(in_flight_->observations.begin()),
+                   std::make_move_iterator(in_flight_->observations.end()));
+    in_flight_.reset();
+  }
+}
+
+void GoFlowClient::restart() {
+  if (!down_) return;
+  ++stats_.restarts;
+  down_ = false;
+  if (resume_sensing_) timer_.start();
+  maybe_upload();  // the persisted buffer gets an immediate upload chance
+}
+
+std::vector<std::uint64_t> GoFlowClient::in_flight_span_ids() const {
+  std::vector<std::uint64_t> ids;
+  if (in_flight_ != nullptr) {
+    ids.reserve(in_flight_->observations.size());
+    for (const phone::Observation& obs : in_flight_->observations)
+      ids.push_back(obs.span_id);
+  }
+  return ids;
 }
 
 }  // namespace mps::client

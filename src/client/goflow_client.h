@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/rng.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "phone/phone.h"
@@ -72,6 +74,17 @@ struct ClientConfig {
   /// Extra latency of the v1.1 handshake.
   DurationMs v1_1_connection_latency = milliseconds(450);
 
+  // Retry policy for failed publishes (exponential backoff with jitter,
+  // driven by the sim clock). A batch that exhausts its attempts returns
+  // to the front of the store-and-forward buffer — delayed, never lost.
+  DurationMs retry_base = seconds(30);
+  DurationMs retry_max = minutes(16);
+  double retry_jitter = 0.2;
+  int max_publish_attempts = 6;
+  /// Seed for the jitter stream (kept separate from the phone's seed so
+  /// arming retries never perturbs sensing randomness).
+  std::uint64_t retry_seed = 0;
+
   /// Convenience factories matching the paper's releases.
   static ClientConfig v1_1(ClientId id, ExchangeId exchange);
   static ClientConfig v1_2_9(ClientId id, ExchangeId exchange);
@@ -97,6 +110,14 @@ struct ClientStats {
   std::uint64_t piggyback_uploads = 0;   ///< early flushes on warm radio
   std::uint64_t age_forced_uploads = 0;  ///< flushes forced by buffer age
   std::uint64_t skipped_still = 0;       ///< ticks gated off while stationary
+  // Fault-recovery counters (all zero in clean runs).
+  std::uint64_t publish_failures = 0;   ///< broker rejected / confirm lost
+  std::uint64_t upload_retries = 0;     ///< backoff retries scheduled
+  std::uint64_t retry_giveups = 0;      ///< batches requeued after max attempts
+  std::uint64_t blocked_in_flight = 0;  ///< uploads held by the busy outbox
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t missed_while_down = 0;  ///< sense calls while crashed (no-ops)
 };
 
 /// The GoFlow mobile client. Binds a simulated Phone to the broker
@@ -151,7 +172,34 @@ class GoFlowClient {
   /// foreground / shutdown). Returns true when an upload happened.
   bool flush();
 
+  // --- Crash/restart (fault injection) -----------------------------------
+  // The real app's store-and-forward buffer lives on flash, so a process
+  // death loses in-flight transfers but never buffered observations.
+
+  /// Simulates a process death: sensing and journey timers stop, the
+  /// in-flight batch (if any) is aborted and its observations return to
+  /// the front of the buffer. The buffer itself persists.
+  void crash();
+
+  /// Simulates the app coming back after a crash: sensing resumes (only
+  /// if the periodic loop was running when the crash hit) and a pending
+  /// buffer gets an immediate upload chance.
+  void restart();
+
+  /// True between crash() and restart(). While down, sense_now/record are
+  /// no-ops — a dead process measures nothing, so the skipped
+  /// observations are never sensed (they don't count as pipeline loss).
+  bool down() const { return down_; }
+
   std::size_t buffered() const { return buffer_.size(); }
+  /// Observations riding in the not-yet-confirmed outbox batch.
+  std::size_t in_flight_count() const {
+    return in_flight_ ? in_flight_->observations.size() : 0;
+  }
+  const std::vector<phone::Observation>& buffer() const { return buffer_; }
+  /// Span ids of in-flight observations (invariant harness: these are
+  /// on-device, not lost, until the batch is confirmed).
+  std::vector<std::uint64_t> in_flight_span_ids() const;
   const ClientStats& stats() const { return stats_; }
   const ClientConfig& config() const { return config_; }
   const std::vector<DeliveryRecord>& deliveries() const { return deliveries_; }
@@ -178,9 +226,22 @@ class GoFlowClient {
   void set_tracer(obs::SpanTracker* tracer) { tracer_ = tracer; }
 
  private:
+  /// One batch handed to the radio but not yet confirmed by the broker.
+  /// A single slot: while it is occupied, later uploads wait (head-of-
+  /// line), which keeps per-device upload order monotone even across
+  /// retries.
+  struct InFlight {
+    std::vector<phone::Observation> observations;
+    Value payload;
+    std::string routing_key;
+    int attempts = 0;
+    sim::EventId event = 0;
+  };
+
   void on_sense_tick(TimeMs now);
   void maybe_upload();
   bool try_upload();
+  void deliver_in_flight();
   Value batch_document() const;
 
   sim::Simulation& sim_;
@@ -193,6 +254,11 @@ class GoFlowClient {
   std::unique_ptr<sim::PeriodicTimer> journey_timer_;
   std::size_t journey_observations_ = 0;
   std::vector<phone::Observation> buffer_;
+  std::unique_ptr<InFlight> in_flight_;
+  Rng retry_rng_{0};
+  bool down_ = false;
+  /// Whether the periodic sensing loop should come back on restart().
+  bool resume_sensing_ = false;
   std::uint64_t batch_counter_ = 0;  ///< unique batch ids for idempotent ingest
   // Mobility-gate state.
   bool has_last_position_ = false;
@@ -209,6 +275,10 @@ class GoFlowClient {
     obs::Counter* deferred_uploads = nullptr;
     obs::Counter* observations_uploaded = nullptr;
     obs::Counter* dropped_not_shared = nullptr;
+    obs::Counter* publish_failures = nullptr;
+    obs::Counter* upload_retries = nullptr;
+    obs::Counter* retry_giveups = nullptr;
+    obs::Counter* crashes = nullptr;
     obs::LatencyHistogram* delivery_delay = nullptr;
   };
   Metrics metrics_;

@@ -51,6 +51,9 @@ void GoFlowServer::set_metrics(obs::Registry* registry) {
   metrics_.observations_stored =
       &registry->counter("server.observations_stored");
   metrics_.duplicate_batches = &registry->counter("server.duplicate_batches");
+  metrics_.duplicate_observations =
+      &registry->counter("server.duplicate_observations");
+  metrics_.ingest_retries = &registry->counter("retry.ingest_backoffs");
   metrics_.ingest_delay = &registry->histogram("server.ingest_delay_ms");
 }
 
@@ -268,7 +271,14 @@ void GoFlowServer::ingest(const broker::Message& message) {
       Value doc = message.payload;
       doc.as_object().set("routing_key", Value(message.routing_key));
       doc.as_object().set("received_at", Value(message.published_at));
-      db_.collection("messages").insert(std::move(doc));
+      PendingBatch batch;
+      batch.collection = "messages";
+      batch.published_at = message.published_at;
+      batch.docs.push_back(std::move(doc));
+      batch.delays.push_back(0);
+      std::uint64_t id = ++pending_counter_;
+      pending_batches_.emplace(id, std::move(batch));
+      store_batch(id);
     }
     return;
   }
@@ -292,11 +302,16 @@ void GoFlowServer::ingest(const broker::Message& message) {
   }
   AppId app = message.payload.get_string("app");
   std::string client = message.payload.get_string("client");
-  AppState* state = nullptr;
-  auto it = apps_.find(app);
-  if (it != apps_.end()) state = &it->second;
 
-  auto& collection = db_.collection(config_.observations_collection);
+  // Accepting a batch and storing it are separate steps: documents are
+  // prepared up front, and store_batch works through them with backoff
+  // retries on transient docstore errors. The tail of a half-stored batch
+  // is resumed internally — never redelivered through the broker, which
+  // would trip the batch_id dedup and lose it.
+  PendingBatch batch;
+  batch.collection = config_.observations_collection;
+  batch.app = app;
+  batch.published_at = message.published_at;
   for (const Value& obs : observations->as_array()) {
     if (!obs.is_object()) continue;
     Value doc = obs;
@@ -307,27 +322,96 @@ void GoFlowServer::ingest(const broker::Message& message) {
     TimeMs captured = doc.get_int("captured_at");
     DurationMs delay = message.published_at - captured;
     o.set("delay_ms", Value(delay));
+    batch.docs.push_back(std::move(doc));
+    batch.delays.push_back(delay);
+  }
+  std::uint64_t id = ++pending_counter_;
+  pending_batches_.emplace(id, std::move(batch));
+  store_batch(id);
+}
+
+void GoFlowServer::store_batch(std::uint64_t id) {
+  auto bit = pending_batches_.find(id);
+  if (bit == pending_batches_.end()) return;
+  PendingBatch& batch = bit->second;
+  bool is_observations = !batch.app.empty() || batch.collection ==
+                                                   config_.observations_collection;
+  AppState* state = nullptr;
+  auto ait = apps_.find(batch.app);
+  if (ait != apps_.end()) state = &ait->second;
+
+  auto& collection = db_.collection(batch.collection);
+  while (batch.next < batch.docs.size()) {
+    const Value& doc = batch.docs[batch.next];
     auto span = static_cast<std::uint64_t>(doc.get_int("span", 0));
-    collection.insert(std::move(doc));
-    ++total_observations_;
-    if (metrics_.observations_stored != nullptr)
-      metrics_.observations_stored->inc();
-    if (metrics_.ingest_delay != nullptr)
-      metrics_.ingest_delay->observe(static_cast<double>(delay));
-    if (tracer_ != nullptr && span != 0) {
-      tracer_->stamp(span, obs::Hop::kRouted, message.published_at);
-      tracer_->stamp(span, obs::Hop::kPersisted, sim_.now());
+    // Second dedup line: a crash can interrupt a client's retry cycle
+    // after the broker already routed the batch, and the re-packaged
+    // upload carries a fresh batch_id — so observations are also deduped
+    // individually by their stable (client, span) identity.
+    std::string key;
+    if (is_observations && span != 0)
+      key = doc.get_string("client") + "#" + std::to_string(span);
+    if (!key.empty() && seen_obs_keys_.count(key) > 0) {
+      ++duplicate_observations_;
+      if (metrics_.duplicate_observations != nullptr)
+        metrics_.duplicate_observations->inc();
+      if (tracer_ != nullptr)
+        tracer_->drop(span, obs::DropStage::kRejectedByServer, sim_.now());
+      ++batch.next;
+      batch.attempts = 0;
+      continue;
     }
-    if (state != nullptr) {
-      ++state->analytics.observations_stored;
-      if (obs.find("location") != nullptr)
-        ++state->analytics.observations_localized;
-      state->analytics.delay_stats.add(static_cast<double>(delay));
+    try {
+      collection.insert(doc);  // copies, so a failed attempt can retry
+    } catch (const fault::TransientError&) {
+      ++ingest_retries_;
+      if (metrics_.ingest_retries != nullptr) metrics_.ingest_retries->inc();
+      ++batch.attempts;
+      DurationMs delay = fault::backoff_delay(
+          batch.attempts, config_.ingest_retry_base, config_.ingest_retry_max,
+          config_.ingest_retry_jitter, ingest_retry_rng_);
+      sim_.after(delay, [this, id] { store_batch(id); });
+      return;
+    }
+    if (!key.empty()) seen_obs_keys_.insert(key);
+    batch.attempts = 0;
+    if (is_observations) {
+      DurationMs delay = batch.delays[batch.next];
+      ++total_observations_;
+      if (metrics_.observations_stored != nullptr)
+        metrics_.observations_stored->inc();
+      if (metrics_.ingest_delay != nullptr)
+        metrics_.ingest_delay->observe(static_cast<double>(delay));
+      if (tracer_ != nullptr && span != 0) {
+        tracer_->stamp(span, obs::Hop::kRouted, batch.published_at);
+        tracer_->stamp(span, obs::Hop::kPersisted, sim_.now());
+      }
+      if (state != nullptr) {
+        ++state->analytics.observations_stored;
+        if (doc.find("location") != nullptr)
+          ++state->analytics.observations_localized;
+        state->analytics.delay_stats.add(static_cast<double>(delay));
+      }
+    }
+    ++batch.next;
+  }
+  if (is_observations) {
+    ++total_batches_;
+    if (metrics_.batches_ingested != nullptr) metrics_.batches_ingested->inc();
+    if (state != nullptr) ++state->analytics.batches_ingested;
+  }
+  pending_batches_.erase(bit);
+}
+
+std::vector<std::uint64_t> GoFlowServer::pending_ingest_span_ids() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [_, batch] : pending_batches_) {
+    for (std::size_t i = batch.next; i < batch.docs.size(); ++i) {
+      auto span = static_cast<std::uint64_t>(batch.docs[i].get_int("span", 0));
+      if (span != 0) ids.push_back(span);
     }
   }
-  ++total_batches_;
-  if (metrics_.batches_ingested != nullptr) metrics_.batches_ingested->inc();
-  if (state != nullptr) ++state->analytics.batches_ingested;
+  return ids;
 }
 
 // --- Data API ------------------------------------------------------------------

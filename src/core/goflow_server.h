@@ -30,8 +30,10 @@
 #include "broker/broker.h"
 #include "common/histogram.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "docstore/database.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/simulation.h"
@@ -51,6 +53,13 @@ struct ServerConfig {
   std::string observations_collection = "observations";
   std::string accounts_collection = "accounts";
   std::string jobs_collection = "jobs";
+
+  // Retry pacing for transient docstore write failures during ingest
+  // (exponential backoff with jitter, sim-clock-driven, unlimited
+  // attempts — the server must never drop an accepted batch).
+  DurationMs ingest_retry_base = seconds(5);
+  DurationMs ingest_retry_max = minutes(5);
+  double ingest_retry_jitter = 0.2;
 };
 
 /// Registration result for an application.
@@ -203,11 +212,25 @@ class GoFlowServer {
   // --- Introspection --------------------------------------------------------
 
   const ServerConfig& config() const { return config_; }
+  docstore::Database& database() { return db_; }
   std::uint64_t total_batches() const { return total_batches_; }
   std::uint64_t total_observations() const { return total_observations_; }
   /// Batches discarded because their batch_id was already ingested
   /// (at-least-once transport redelivery made idempotent).
   std::uint64_t duplicate_batches() const { return duplicate_batches_; }
+  /// Individual observations skipped because their (client, span) key was
+  /// already stored — catches a batch that got re-packaged under a new
+  /// batch_id after a crash interrupted its retry cycle.
+  std::uint64_t duplicate_observations() const {
+    return duplicate_observations_;
+  }
+  /// Backoff retries taken by the ingest path on transient store errors.
+  std::uint64_t ingest_retries() const { return ingest_retries_; }
+  /// Accepted batches still waiting out a transient-store backoff.
+  std::size_t pending_ingest_batches() const { return pending_batches_.size(); }
+  /// Span ids inside pending (accepted, not yet fully stored) batches —
+  /// the invariant harness counts these as in-server, not lost.
+  std::vector<std::uint64_t> pending_ingest_span_ids() const;
 
   // --- Observability ----------------------------------------------------
 
@@ -239,7 +262,22 @@ class GoFlowServer {
     AppAnalytics analytics;
   };
 
+  /// A batch accepted from the broker whose documents are not all stored
+  /// yet. Prepared documents are kept so a transient docstore failure can
+  /// resume exactly where it stopped — never re-ingesting via the broker
+  /// (which would double-count) and never dropping the tail.
+  struct PendingBatch {
+    std::string collection;
+    AppId app;  ///< empty for raw (non-observation) messages
+    std::vector<Value> docs;
+    std::vector<DurationMs> delays;  ///< parallel to docs (observation path)
+    TimeMs published_at = 0;
+    std::size_t next = 0;  ///< first doc not yet stored
+    int attempts = 0;      ///< consecutive failures on docs[next]
+  };
+
   void ingest(const broker::Message& message);
+  void store_batch(std::uint64_t id);
   void on_broker_drop(const broker::Message& message,
                       broker::DropReason reason);
   const Account* authenticate(const std::string& token) const;
@@ -276,13 +314,22 @@ class GoFlowServer {
   std::uint64_t total_batches_ = 0;
   std::uint64_t total_observations_ = 0;
   std::uint64_t duplicate_batches_ = 0;
+  std::uint64_t duplicate_observations_ = 0;
+  std::uint64_t ingest_retries_ = 0;
   std::set<std::string> seen_batch_ids_;
+  /// Per-observation dedup keys ("client#span") of stored observations.
+  std::set<std::string> seen_obs_keys_;
+  std::map<std::uint64_t, PendingBatch> pending_batches_;
+  std::uint64_t pending_counter_ = 0;
+  Rng ingest_retry_rng_{fnv1a64("goflow-server-ingest")};
 
   /// Hoisted registry handles, null when no registry is attached.
   struct Metrics {
     obs::Counter* batches_ingested = nullptr;
     obs::Counter* observations_stored = nullptr;
     obs::Counter* duplicate_batches = nullptr;
+    obs::Counter* duplicate_observations = nullptr;
+    obs::Counter* ingest_retries = nullptr;
     obs::LatencyHistogram* ingest_delay = nullptr;
   };
   Metrics metrics_;

@@ -71,6 +71,9 @@ std::uint64_t DatasetGenerator::generate_user(const UserProfile& user,
     std::sort(events.begin(), events.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& [t, mode] : events) {
+      // Injected sensor failure: the read produces nothing, so the
+      // observation is never sensed (distinct from loss downstream).
+      if (sensor_fault_.should_fail(t)) continue;
       auto [x, y] = user_position(user, t);
       double ambient = ambient_.sample(t, rng);
       sink(device.sense(t, mode, ambient, x, y));

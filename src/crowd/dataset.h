@@ -14,6 +14,7 @@
 
 #include "crowd/ambient.h"
 #include "crowd/population.h"
+#include "fault/fault.h"
 #include "phone/phone.h"
 
 namespace mps::crowd {
@@ -44,6 +45,14 @@ class DatasetGenerator {
   const Population& population() const { return population_; }
   const DatasetConfig& config() const { return config_; }
 
+  /// Arms fault injection: a kSensorFail fault makes a scheduled sensing
+  /// event produce nothing (a failed sensor read is never sensed — it
+  /// does not count against the pipeline's no-loss invariant). Pass
+  /// nullptr to disarm.
+  void arm_faults(fault::FaultPlan* plan) {
+    sensor_fault_ = fault::FaultPoint(plan, fault::FaultSite::kSensorFail);
+  }
+
  private:
   /// Draws the capture timestamps of one day's observations for a user.
   void day_times(const UserProfile& user, std::int64_t day, double per_day,
@@ -52,6 +61,7 @@ class DatasetGenerator {
   const Population& population_;
   DatasetConfig config_;
   AmbientModel ambient_;
+  fault::FaultPoint sensor_fault_;
 };
 
 }  // namespace mps::crowd

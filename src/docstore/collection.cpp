@@ -30,7 +30,18 @@ void Collection::set_metrics(obs::Registry* registry) {
   metrics_.documents->add(static_cast<double>(id_to_slot_.size()));
 }
 
+void Collection::arm_faults(fault::FaultPlan* plan) {
+  insert_fault_ = fault::FaultPoint(plan, fault::FaultSite::kDocstoreInsert);
+  update_fault_ = fault::FaultPoint(plan, fault::FaultSite::kDocstoreUpdate);
+}
+
 std::string Collection::insert(Document doc) {
+  // Injected transient failure fires before any state is touched: the
+  // write never happened, so a catching caller can safely retry with the
+  // same document.
+  if (insert_fault_.should_fail())
+    throw fault::TransientError(fault::FaultSite::kDocstoreInsert,
+                                "injected fault: insert into '" + name_ + "'");
   if (!doc.is_object())
     throw std::invalid_argument("Collection::insert: document must be an object");
   std::string id;
@@ -450,6 +461,9 @@ bool Collection::replace(const std::string& id, Document doc) {
 
 std::size_t Collection::update_many(
     const Query& query, const std::function<void(Document&)>& mutate) {
+  if (update_fault_.should_fail())
+    throw fault::TransientError(fault::FaultSite::kDocstoreUpdate,
+                                "injected fault: update in '" + name_ + "'");
   std::size_t updated = 0;
   for (Slot slot = 0; slot < slots_.size(); ++slot) {
     if (!slots_[slot].has_value() || !query.matches(*slots_[slot])) continue;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "docstore/query.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace mps::docstore {
@@ -131,6 +132,12 @@ class Collection {
   /// database share the same metric objects. Pass nullptr to detach.
   void set_metrics(obs::Registry* registry);
 
+  /// Arms fault injection on the write paths: insert/update_many may
+  /// throw fault::TransientError *before touching any state* (the write
+  /// never happened, as with a timed-out Mongo round trip). Pass nullptr
+  /// to disarm.
+  void arm_faults(fault::FaultPlan* plan);
+
   /// Visits every document in insertion order (fast path for analytics
   /// that would otherwise copy the whole collection).
   void for_each(const std::function<void(const Document&)>& fn) const;
@@ -196,6 +203,8 @@ class Collection {
   bool planner_enabled_ = true;
   mutable CollectionStats stats_;
   Metrics metrics_;
+  fault::FaultPoint insert_fault_;
+  fault::FaultPoint update_fault_;
 };
 
 }  // namespace mps::docstore

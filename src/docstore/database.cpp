@@ -7,6 +7,7 @@ Collection& Database::collection(const std::string& name) {
   if (it == collections_.end()) {
     it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
     it->second->set_metrics(metrics_registry_);
+    it->second->arm_faults(fault_plan_);
   }
   return *it->second;
 }
@@ -40,6 +41,11 @@ std::size_t Database::total_documents() const {
 void Database::set_metrics(obs::Registry* registry) {
   metrics_registry_ = registry;
   for (auto& [_, c] : collections_) c->set_metrics(registry);
+}
+
+void Database::arm_faults(fault::FaultPlan* plan) {
+  fault_plan_ = plan;
+  for (auto& [_, c] : collections_) c->arm_faults(plan);
 }
 
 }  // namespace mps::docstore

@@ -42,9 +42,14 @@ class Database {
   /// Collection::set_metrics). Pass nullptr to detach.
   void set_metrics(obs::Registry* registry);
 
+  /// Arms fault injection on every collection's write paths (existing and
+  /// future — like set_metrics). Pass nullptr to disarm.
+  void arm_faults(fault::FaultPlan* plan);
+
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;
   obs::Registry* metrics_registry_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace mps::docstore

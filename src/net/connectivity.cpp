@@ -60,6 +60,40 @@ ConnectivityTrace ConnectivityTrace::from_intervals(
   return trace;
 }
 
+ConnectivityTrace ConnectivityTrace::without_windows(
+    std::vector<std::pair<TimeMs, TimeMs>> windows) const {
+  // Normalize: drop degenerate windows, sort, merge overlaps.
+  windows.erase(std::remove_if(windows.begin(), windows.end(),
+                               [](const std::pair<TimeMs, TimeMs>& w) {
+                                 return w.second <= w.first;
+                               }),
+                windows.end());
+  std::sort(windows.begin(), windows.end());
+  std::vector<std::pair<TimeMs, TimeMs>> merged;
+  for (const auto& w : windows) {
+    if (!merged.empty() && w.first <= merged.back().second)
+      merged.back().second = std::max(merged.back().second, w.second);
+    else
+      merged.push_back(w);
+  }
+
+  ConnectivityTrace out;
+  out.horizon_ = horizon_;
+  auto down = merged.begin();
+  for (auto [start, end] : intervals_) {
+    // Advance past windows that end before this connected interval.
+    while (down != merged.end() && down->second <= start) ++down;
+    TimeMs cursor = start;
+    for (auto w = down; w != merged.end() && w->first < end; ++w) {
+      if (w->first > cursor) out.intervals_.emplace_back(cursor, w->first);
+      cursor = std::max(cursor, w->second);
+      if (cursor >= end) break;
+    }
+    if (cursor < end) out.intervals_.emplace_back(cursor, end);
+  }
+  return out;
+}
+
 bool ConnectivityTrace::connected_at(TimeMs t) const {
   // Binary search for the interval whose start is <= t.
   auto it = std::upper_bound(

@@ -50,6 +50,13 @@ class ConnectivityTrace {
   static ConnectivityTrace from_intervals(
       std::vector<std::pair<TimeMs, TimeMs>> intervals, TimeMs horizon);
 
+  /// Returns a copy of this trace with the given down windows punched
+  /// out of its connected intervals (fault injection: radio flaps beyond
+  /// the renewal model). Windows may be unsorted and overlapping; empty
+  /// or inverted windows are ignored. The horizon is unchanged.
+  ConnectivityTrace without_windows(
+      std::vector<std::pair<TimeMs, TimeMs>> windows) const;
+
   /// True when the device has connectivity at time t. Times at or beyond
   /// the horizon report the state of the last interval boundary (i.e.
   /// disconnected unless the final interval is open-ended).

@@ -20,8 +20,10 @@ Phone::Phone(const PhoneConfig& config)
       battery_(config.model.battery_capacity_mj, config.start_battery_fraction,
                config.model.baseline_power_mw),
       radio_(config.technology),
-      connectivity_(config.connectivity, config.horizon,
-                    Rng(config.seed).child("connectivity")),
+      connectivity_(net::ConnectivityTrace(
+                        config.connectivity, config.horizon,
+                        Rng(config.seed).child("connectivity"))
+                        .without_windows(config.forced_down_windows)),
       foreground_(config.foreground.sessions_per_hour > 0.0
                       ? net::ForegroundTraffic(
                             config.foreground, config.horizon,

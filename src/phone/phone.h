@@ -37,6 +37,10 @@ struct PhoneConfig {
   double mic_unit_spread_db = 0.7;
   LocationModelParams location_params;
   ActivityModelParams activity_params;
+  /// Extra forced-disconnection windows punched out of the generated
+  /// connectivity trace (fault injection: radio flaps beyond the renewal
+  /// model). Empty in clean runs.
+  std::vector<std::pair<TimeMs, TimeMs>> forced_down_windows;
 };
 
 /// A simulated device. Deterministic given its config (all randomness

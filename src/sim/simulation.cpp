@@ -118,7 +118,12 @@ PeriodicTimer::PeriodicTimer(Simulation& simulation, DurationMs period,
     pending_event_ = 0;
     if (!running_) return;
     fn_(sim_.now());
-    if (running_) schedule_next(period_);
+    // fn_ may have called stop()/start() (crash-restart handlers do);
+    // start() already scheduled the next tick then, and scheduling a
+    // second one here would fork an orphan chain that doubles the
+    // cadence and outlives stop(). Only reschedule if nothing is
+    // pending.
+    if (running_ && pending_event_ == 0) schedule_next(period_);
   };
 }
 

@@ -1,0 +1,111 @@
+#include "study/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mps::study {
+
+std::string InvariantReport::to_json() const {
+  std::string out = "{";
+  auto field = [&out](const char* name, std::uint64_t v, bool first = false) {
+    if (!first) out += ",";
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("spans_total", spans_total, true);
+  field("persisted", persisted);
+  field("on_device", on_device);
+  field("in_server", in_server);
+  field("dropped_attributed", dropped_attributed);
+  field("never_shared", never_shared);
+  field("lost", lost);
+  field("duplicate_spans_stored", duplicate_spans_stored);
+  field("order_violations", order_violations);
+  out += ",\"ok\":";
+  out += ok() ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+InvariantReport check_invariants(
+    const obs::SpanTracker& tracer, core::GoFlowServer& server,
+    const std::vector<const client::GoFlowClient*>& clients) {
+  InvariantReport report;
+
+  // Where could a not-yet-persisted span legitimately be sitting?
+  std::unordered_set<std::uint64_t> on_device;
+  for (const client::GoFlowClient* c : clients) {
+    for (const phone::Observation& obs : c->buffer())
+      if (obs.span_id != 0) on_device.insert(obs.span_id);
+    for (std::uint64_t id : c->in_flight_span_ids()) on_device.insert(id);
+  }
+  std::unordered_set<std::uint64_t> in_server;
+  for (std::uint64_t id : server.pending_ingest_span_ids())
+    in_server.insert(id);
+
+  // Walk the stored observations once: span occurrence counts (duplicate
+  // detection) and per-client arrival sequences (order check).
+  struct Arrival {
+    TimeMs received_at;
+    TimeMs captured_at;
+  };
+  std::unordered_map<std::uint64_t, std::uint64_t> stored_count;
+  std::map<std::string, std::vector<Arrival>> per_client;
+  const docstore::Collection* observations =
+      server.database().find_collection(
+          server.config().observations_collection);
+  if (observations != nullptr) {
+    observations->for_each([&](const docstore::Document& doc) {
+      auto span = static_cast<std::uint64_t>(doc.get_int("span", 0));
+      if (span != 0) ++stored_count[span];
+      per_client[doc.get_string("client")].push_back(
+          Arrival{doc.get_int("received_at"), doc.get_int("captured_at")});
+    });
+  }
+  for (const auto& [span, count] : stored_count)
+    if (count > 1) report.duplicate_spans_stored += count - 1;
+
+  // Monotone per-device upload order: sorted by server arrival (stable,
+  // so same-batch observations keep their in-batch order), capture times
+  // never go backwards. Server-side ingest retries can interleave the
+  // *storage* of two batches, which is why raw insertion order is not
+  // the thing to check — arrival order is.
+  for (auto& [client_id, arrivals] : per_client) {
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Arrival& a, const Arrival& b) {
+                       return a.received_at < b.received_at;
+                     });
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+      if (arrivals[i].captured_at < arrivals[i - 1].captured_at)
+        ++report.order_violations;
+  }
+
+  // Account for every span the fleet ever created.
+  for (std::uint64_t id = 1; id <= tracer.size(); ++id) {
+    const obs::SpanRecord* r = tracer.find(id);
+    if (r == nullptr) continue;
+    ++report.spans_total;
+    if (r->stamped(obs::Hop::kPersisted)) {
+      // A later duplicate copy may have been rejected (kRejectedByServer)
+      // — the observation itself is safe, so persisted wins.
+      ++report.persisted;
+    } else if (on_device.count(id) != 0) {
+      ++report.on_device;
+    } else if (in_server.count(id) != 0) {
+      ++report.in_server;
+    } else if (r->dropped == obs::DropStage::kNotShared) {
+      ++report.never_shared;
+    } else if (r->dropped != obs::DropStage::kNone) {
+      ++report.dropped_attributed;
+    } else {
+      ++report.lost;
+    }
+  }
+  return report;
+}
+
+}  // namespace mps::study

@@ -1,0 +1,59 @@
+// End-to-end pipeline invariants for chaos runs.
+//
+// The fault layer (src/fault) makes the middleware hostile; this harness
+// proves the middleware's durability story holds anyway. After a study
+// run with a shared SpanTracker, check_invariants() accounts for every
+// span the fleet ever created and asserts the three properties the paper
+// implies a production MPS pipeline must keep under churn:
+//
+//   1. No loss: every sensed-and-shared observation is either stored,
+//      still on its device (buffer or in-flight outbox), still inside the
+//      server's ingest-retry queue, or attributably dropped (opt-out,
+//      TTL, overflow, duplicate rejection). Nothing vanishes silently.
+//   2. No duplication past the dedup boundary: no span id appears twice
+//      in the observations collection, however many times at-least-once
+//      delivery re-published its batch.
+//   3. Monotone per-device upload order: for each client, observations
+//      ordered by server arrival are non-decreasing in capture time (the
+//      single-slot outbox's head-of-line guarantee).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/goflow_client.h"
+#include "core/goflow_server.h"
+#include "obs/span.h"
+
+namespace mps::study {
+
+/// Per-run accounting: spans_total == persisted + on_device + in_server +
+/// dropped_attributed + never_shared + lost, and ok() demands lost == 0.
+struct InvariantReport {
+  std::uint64_t spans_total = 0;
+  std::uint64_t persisted = 0;           ///< reached the document store
+  std::uint64_t on_device = 0;           ///< buffered or in-flight at the end
+  std::uint64_t in_server = 0;           ///< in the ingest-retry queue
+  std::uint64_t dropped_attributed = 0;  ///< drop stage recorded (incl. dups)
+  std::uint64_t never_shared = 0;        ///< opt-out: never entered pipeline
+  std::uint64_t lost = 0;                ///< unaccounted for — the bug signal
+  std::uint64_t duplicate_spans_stored = 0;  ///< span ids stored twice
+  std::uint64_t order_violations = 0;        ///< capture-time order breaks
+
+  bool ok() const {
+    return lost == 0 && duplicate_spans_stored == 0 && order_violations == 0;
+  }
+
+  /// Compact JSON object (per-seed chaos reports; CI artifacts).
+  std::string to_json() const;
+};
+
+/// Audits a finished run: `tracer` is the tracker every client and the
+/// server shared, `server` owns the document store, `clients` the fleet
+/// (as returned by StudyRunner::clients()).
+InvariantReport check_invariants(
+    const obs::SpanTracker& tracer, core::GoFlowServer& server,
+    const std::vector<const client::GoFlowClient*>& clients);
+
+}  // namespace mps::study

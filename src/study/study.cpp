@@ -49,6 +49,9 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   pc.connectivity = config_.connectivity;
   pc.horizon = days(config_.duration_days) + hours(1);
   pc.start_battery_fraction = 1.0;
+  if (config_.faults != nullptr)
+    pc.forced_down_windows =
+        config_.faults->flap_windows(profile.id, pc.horizon);
 
   Device device;
   device.profile = &profile;
@@ -62,6 +65,7 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   cc.buffer_size = config_.buffer_size;
   cc.sense_period = config_.sense_period;
   cc.share = profile.shares;
+  if (config_.faults != nullptr) cc.retry_seed = config_.faults->seed();
 
   // Ambient and position track the user's simulated life.
   Rng ambient_rng = Rng(profile.seed).child("study-ambient");
@@ -134,19 +138,49 @@ void StudyRunner::schedule_user_activity(Device& device) {
   }
 }
 
+void StudyRunner::schedule_device_churn(Device& device) {
+  TimeMs horizon = days(config_.duration_days);
+  client::GoFlowClient* goflow = device.client.get();
+  for (const fault::FaultPlan::CrashEvent& ev :
+       config_.faults->crash_schedule(device.profile->id, horizon)) {
+    sim_.at(ev.at, [goflow] { goflow->crash(); });
+    sim_.at(ev.at + ev.down_for, [goflow] { goflow->restart(); });
+  }
+}
+
 StudyReport StudyRunner::run() {
   if (ran_) throw std::logic_error("StudyRunner::run: already ran");
   ran_ = true;
 
+  if (config_.faults != nullptr) {
+    config_.faults->set_clock([this] { return sim_.now(); });
+    broker_.arm_faults(config_.faults);
+    server_.database().arm_faults(config_.faults);
+    if (config_.metrics != nullptr)
+      config_.faults->set_metrics(config_.metrics);
+  }
+
   devices_.reserve(population_.users().size());
   for (const crowd::UserProfile& profile : population_.users())
     build_device(profile);
-  for (Device& device : devices_) schedule_user_activity(device);
+  for (Device& device : devices_) {
+    schedule_user_activity(device);
+    if (config_.faults != nullptr) schedule_device_churn(device);
+  }
 
   TimeMs horizon = days(config_.duration_days);
   sim_.run_until(horizon);
-  // Drain in-flight transfers (uploads started before the horizon).
-  sim_.run_until(horizon + minutes(5));
+  // Drain in-flight transfers (uploads started before the horizon) and,
+  // under chaos, pending backoff retries.
+  sim_.run_until(horizon + config_.drain);
+
+  // Chaos ends with the study: disarm the shared infrastructure so
+  // post-run operation (REST jobs, exports — which have no retry path)
+  // doesn't keep hitting injected faults.
+  if (config_.faults != nullptr) {
+    broker_.arm_faults(nullptr);
+    server_.database().arm_faults(nullptr);
+  }
 
   StudyReport report;
   report.devices = devices_.size();
@@ -156,7 +190,17 @@ StudyReport StudyRunner::run() {
     report.uploads += stats.uploads;
     report.deferred_uploads += stats.deferred_uploads;
     report.buffered_unsent += device.client->buffered();
+    report.in_flight_unsent += device.client->in_flight_count();
+    report.crashes += stats.crashes;
+    report.restarts += stats.restarts;
+    report.publish_failures += stats.publish_failures;
+    report.upload_retries += stats.upload_retries;
+    report.retry_giveups += stats.retry_giveups;
   }
+  report.pending_server_batches = server_.pending_ingest_batches();
+  report.duplicate_observations = server_.duplicate_observations();
+  if (config_.faults != nullptr)
+    report.faults_injected = config_.faults->total_injected();
   auto analytics = server_.analytics(config_.app);
   if (analytics.ok()) {
     report.observations_stored = analytics.value().observations_stored;

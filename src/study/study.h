@@ -23,6 +23,7 @@
 #include "core/goflow_server.h"
 #include "crowd/ambient.h"
 #include "crowd/population.h"
+#include "fault/fault.h"
 
 namespace mps::study {
 
@@ -41,12 +42,22 @@ struct StudyConfig {
   TimeMs journey_release = days(275);
   crowd::AmbientParams ambient;
   net::ConnectivityParams connectivity;
+  /// Extra virtual time after the horizon to let in-flight transfers and
+  /// backoff retries settle. Chaos runs want this larger than the client
+  /// retry_max so surviving batches get their last attempts in.
+  DurationMs drain = minutes(5);
   /// Optional observability: when set, every device client mirrors its
   /// counters into the registry and traces observation lifecycles through
   /// the tracker (which the server side should share — see
   /// GoFlowServer::set_metrics / set_tracer). Both may be null.
   obs::Registry* metrics = nullptr;
   obs::SpanTracker* tracer = nullptr;
+  /// Optional chaos: when set, the runner arms the broker and the
+  /// server's document store with the plan, attaches the sim clock for
+  /// window checks, punches each device's flap windows out of its
+  /// connectivity trace and schedules its crash/restart churn. The plan
+  /// must outlive the runner. Null disables injection entirely.
+  fault::FaultPlan* faults = nullptr;
 };
 
 /// Aggregated outcome of a run.
@@ -56,8 +67,18 @@ struct StudyReport {
   std::uint64_t uploads = 0;
   std::uint64_t deferred_uploads = 0;
   std::uint64_t buffered_unsent = 0;       ///< still on devices at the end
+  std::uint64_t in_flight_unsent = 0;      ///< mid-upload at the end
+  std::uint64_t pending_server_batches = 0;  ///< ingest retries still queued
   double mean_delay_ms = 0.0;
   std::size_t devices = 0;
+  // Chaos accounting (all zero when no fault plan is armed).
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t publish_failures = 0;
+  std::uint64_t upload_retries = 0;
+  std::uint64_t retry_giveups = 0;
+  std::uint64_t duplicate_observations = 0;  ///< caught at the dedup boundary
+  std::uint64_t faults_injected = 0;
 };
 
 /// Runs the study.
@@ -91,6 +112,7 @@ class StudyRunner {
   void setup_accounts();
   void build_device(const crowd::UserProfile& profile);
   void schedule_user_activity(Device& device);
+  void schedule_device_churn(Device& device);
 
   const crowd::Population& population_;
   StudyConfig config_;

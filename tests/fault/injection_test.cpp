@@ -1,0 +1,367 @@
+// Component-level fault injection: each injection point fires where the
+// plan says, the component recovers, and nothing is lost or double-stored.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assim/cycle.h"
+#include "client/goflow_client.h"
+#include "core/goflow_server.h"
+#include "crowd/dataset.h"
+#include "crowd/population.h"
+#include "fault/fault.h"
+
+namespace mps {
+namespace {
+
+// --- Broker ---------------------------------------------------------------
+
+class BrokerFaultTest : public ::testing::Test {
+ protected:
+  BrokerFaultTest() {
+    broker.declare_exchange("E", broker::ExchangeType::kTopic).throw_if_error();
+    broker.declare_queue("q").throw_if_error();
+    broker.bind_queue("E", "q", "#").throw_if_error();
+    broker.arm_faults(&plan);
+  }
+
+  broker::Broker broker;
+  fault::FaultPlan plan{1};
+};
+
+TEST_F(BrokerFaultTest, PublishFaultRejectsWithoutRouting) {
+  plan.fail_next(fault::FaultSite::kBrokerPublish, 1);
+  auto r1 = broker.publish("E", "k", Value(1), 0);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.error().code, ErrorCode::kUnavailable);
+  EXPECT_FALSE(broker.pop("q").has_value());  // nothing was routed
+  auto r2 = broker.publish("E", "k", Value(2), 0);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(broker.pop("q").has_value());
+}
+
+TEST_F(BrokerFaultTest, AckLostFaultRoutesButReportsFailure) {
+  plan.fail_next(fault::FaultSite::kBrokerAckLost, 1);
+  auto r = broker.publish("E", "k", Value(1), 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kUnavailable);
+  // The message went through — exactly the dup pressure at-least-once
+  // delivery has to survive.
+  EXPECT_TRUE(broker.pop("q").has_value());
+}
+
+TEST_F(BrokerFaultTest, ConsumeFaultStallsOnePop) {
+  broker.publish("E", "k", Value(1), 0).value_or_throw();
+  plan.fail_next(fault::FaultSite::kBrokerConsume, 1);
+  EXPECT_FALSE(broker.pop("q").has_value());  // stalled, not consumed
+  EXPECT_TRUE(broker.pop("q").has_value());   // still there afterwards
+}
+
+// --- Docstore -------------------------------------------------------------
+
+TEST(DocstoreFaultTest, InsertFaultThrowsTransientAndLeavesNoPartialState) {
+  docstore::Database db;
+  fault::FaultPlan plan(1);
+  db.arm_faults(&plan);
+  auto& col = db.collection("c");
+  plan.fail_next(fault::FaultSite::kDocstoreInsert, 1);
+  Value doc = Value::parse_json(R"({"x": 1})");
+  EXPECT_THROW(col.insert(doc), fault::TransientError);
+  EXPECT_EQ(col.size(), 0u);
+  col.insert(doc);  // the retry lands
+  EXPECT_EQ(col.size(), 1u);
+}
+
+TEST(DocstoreFaultTest, UpdateFaultThrowsTransient) {
+  docstore::Database db;
+  fault::FaultPlan plan(1);
+  db.arm_faults(&plan);
+  auto& col = db.collection("c");
+  col.insert(Value::parse_json(R"({"x": 1})"));
+  plan.fail_next(fault::FaultSite::kDocstoreUpdate, 1);
+  EXPECT_THROW(col.update_many(docstore::Query::all(),
+                               [](docstore::Document& d) {
+                                 d.as_object().set("x", Value(2));
+                               }),
+               fault::TransientError);
+}
+
+TEST(DocstoreFaultTest, ArmPropagatesToFutureCollections) {
+  docstore::Database db;
+  fault::FaultPlan plan(1);
+  db.arm_faults(&plan);
+  auto& later = db.collection("created-after-arming");
+  plan.fail_next(fault::FaultSite::kDocstoreInsert, 1);
+  Value doc = Value::parse_json(R"({"x": 1})");
+  EXPECT_THROW(later.insert(doc), fault::TransientError);
+}
+
+// --- Client retry / crash-restart ------------------------------------------
+
+class ClientFaultTest : public ::testing::Test {
+ protected:
+  ClientFaultTest() {
+    broker.declare_exchange("E1", broker::ExchangeType::kTopic)
+        .throw_if_error();
+    broker.declare_queue("sink").throw_if_error();
+    broker.bind_queue("E1", "sink", "#").throw_if_error();
+    broker.arm_faults(&plan);
+  }
+
+  phone::Phone make_phone(std::uint64_t seed = 1) {
+    phone::PhoneConfig c;
+    c.model = phone::top20_catalog().front();
+    c.user = "u1";
+    c.seed = seed;
+    c.connectivity = net::ConnectivityParams::always_connected();
+    c.horizon = days(2);
+    return phone::Phone(c);
+  }
+
+  client::GoFlowClient make_client(phone::Phone& phone,
+                                   client::ClientConfig config) {
+    config.exchange = "E1";
+    return client::GoFlowClient(
+        sim, broker, phone, std::move(config), [](TimeMs) { return 55.0; },
+        [](TimeMs) { return std::pair<double, double>{100.0, 100.0}; });
+  }
+
+  std::size_t drain_sink() {
+    std::size_t n = 0;
+    while (broker.pop("sink")) ++n;
+    return n;
+  }
+
+  sim::Simulation sim;
+  broker::Broker broker;
+  fault::FaultPlan plan{1};
+};
+
+TEST_F(ClientFaultTest, RetriesFailedPublishWithBackoff) {
+  phone::Phone phone = make_phone();
+  client::GoFlowClient client =
+      make_client(phone, client::ClientConfig::v1_2_9("c1", ""));
+  plan.fail_next(fault::FaultSite::kBrokerPublish, 2);
+  client.start();
+  sim.run_until(hours(1));  // first two delivery attempts fail, third lands
+  EXPECT_EQ(client.stats().publish_failures, 2u);
+  EXPECT_EQ(client.stats().upload_retries, 2u);
+  EXPECT_EQ(client.stats().retry_giveups, 0u);
+  EXPECT_GE(drain_sink(), 1u);
+}
+
+TEST_F(ClientFaultTest, GivesUpAfterMaxAttemptsAndRequeues) {
+  phone::Phone phone = make_phone();
+  client::ClientConfig cc = client::ClientConfig::v1_2_9("c1", "");
+  cc.max_publish_attempts = 2;
+  cc.retry_base = seconds(10);
+  client::GoFlowClient client = make_client(phone, cc);
+  plan.set_probability(fault::FaultSite::kBrokerPublish, 1.0);  // always fail
+  client.sense_now(phone::SensingMode::kManual);
+  sim.run_until(hours(1));
+  EXPECT_EQ(client.stats().retry_giveups, 1u);
+  EXPECT_EQ(client.in_flight_count(), 0u);
+  EXPECT_EQ(client.buffered(), 1u);  // requeued, never lost
+  EXPECT_EQ(drain_sink(), 0u);
+}
+
+TEST_F(ClientFaultTest, CrashRequeuesInFlightAndRestartRedelivers) {
+  phone::Phone phone = make_phone();
+  client::GoFlowClient client =
+      make_client(phone, client::ClientConfig::v1_3("c1", "", 3));
+  for (int i = 0; i < 3; ++i) client.sense_now(phone::SensingMode::kManual);
+  // The batch is in flight (transfer under way, not yet delivered).
+  EXPECT_EQ(client.in_flight_count(), 3u);
+  client.crash();
+  EXPECT_TRUE(client.down());
+  EXPECT_EQ(client.in_flight_count(), 0u);
+  EXPECT_EQ(client.buffered(), 3u);  // back on flash, order intact
+  sim.run_until(minutes(5));
+  EXPECT_EQ(drain_sink(), 0u);  // the aborted transfer never arrived
+  client.restart();
+  sim.run_until(minutes(10));
+  EXPECT_EQ(client.stats().uploads, 2u);  // original attempt + redelivery
+  EXPECT_EQ(client.buffered(), 0u);
+  EXPECT_EQ(drain_sink(), 1u);
+}
+
+TEST_F(ClientFaultTest, SensingWhileDownIsMissedNotLost) {
+  phone::Phone phone = make_phone();
+  client::GoFlowClient client =
+      make_client(phone, client::ClientConfig::v1_3("c1", "", 10));
+  client.crash();
+  client.sense_now(phone::SensingMode::kManual);
+  EXPECT_EQ(client.stats().observations_recorded, 0u);
+  EXPECT_EQ(client.stats().missed_while_down, 1u);
+  client.restart();
+  client.sense_now(phone::SensingMode::kManual);
+  EXPECT_EQ(client.stats().observations_recorded, 1u);
+}
+
+TEST_F(ClientFaultTest, RestartOnlyResumesSensingIfItWasRunning) {
+  phone::Phone phone = make_phone();
+  client::GoFlowClient idle =
+      make_client(phone, client::ClientConfig::v1_2_9("c1", ""));
+  idle.crash();
+  idle.restart();
+  sim.run_until(hours(1));
+  EXPECT_FALSE(idle.running());
+  EXPECT_EQ(idle.stats().observations_recorded, 0u);
+
+  phone::Phone phone2 = make_phone(2);
+  client::GoFlowClient active =
+      make_client(phone2, client::ClientConfig::v1_2_9("c2", ""));
+  active.start();
+  active.crash();
+  EXPECT_FALSE(active.running());
+  active.restart();
+  EXPECT_TRUE(active.running());
+}
+
+// --- Server ingest retry + dedup -------------------------------------------
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  ServerFaultTest() : server(sim, broker, db) {
+    auto reg = server.register_app("soundcity").value_or_throw();
+    auto token = server
+                     .register_account(reg.admin_token, "soundcity", "field",
+                                       core::Role::kClient)
+                     .value_or_throw();
+    channels = server.login_client(token, "soundcity", "mob1").value_or_throw();
+    broker.arm_faults(&plan);
+    db.arm_faults(&plan);
+    plan.set_clock([this] { return sim.now(); });
+
+    phone::PhoneConfig pc;
+    pc.model = phone::top20_catalog().front();
+    pc.user = "mob1";
+    pc.seed = 1;
+    pc.connectivity = net::ConnectivityParams::always_connected();
+    pc.horizon = days(2);
+    phone = std::make_unique<phone::Phone>(pc);
+    client::ClientConfig cc =
+        client::ClientConfig::v1_3("mob1", channels.exchange, 5);
+    cc.retry_base = seconds(10);
+    goflow = std::make_unique<client::GoFlowClient>(
+        sim, broker, *phone, cc, [](TimeMs) { return 60.0; },
+        [](TimeMs) { return std::pair<double, double>{500.0, 500.0}; });
+  }
+
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server;
+  fault::FaultPlan plan{1};
+  core::ClientChannels channels;
+  std::unique_ptr<phone::Phone> phone;
+  std::unique_ptr<client::GoFlowClient> goflow;
+};
+
+TEST_F(ServerFaultTest, IngestRetriesTransientInsertUntilStored) {
+  plan.fail_next(fault::FaultSite::kDocstoreInsert, 2);
+  for (int i = 0; i < 5; ++i) goflow->sense_now(phone::SensingMode::kManual);
+  sim.run_until(hours(1));  // transfer + ingest backoff retries
+  EXPECT_GE(server.ingest_retries(), 2u);
+  EXPECT_EQ(server.pending_ingest_batches(), 0u);
+  EXPECT_EQ(server.total_observations(), 5u);
+  EXPECT_EQ(db.collection("observations").size(), 5u);
+}
+
+TEST_F(ServerFaultTest, AckLostRedeliveryIsDeduplicatedByBatchId) {
+  plan.fail_next(fault::FaultSite::kBrokerAckLost, 1);
+  for (int i = 0; i < 5; ++i) goflow->sense_now(phone::SensingMode::kManual);
+  sim.run_until(hours(1));
+  // First copy was routed and stored; the client, seeing an error,
+  // re-published the same batch_id — the server must drop it.
+  EXPECT_EQ(goflow->stats().publish_failures, 1u);
+  EXPECT_GE(goflow->stats().upload_retries, 1u);
+  EXPECT_EQ(server.duplicate_batches(), 1u);
+  EXPECT_EQ(server.total_observations(), 5u);
+  EXPECT_EQ(db.collection("observations").size(), 5u);
+}
+
+TEST_F(ServerFaultTest, CrashAfterAckLossIsDeduplicatedPerObservation) {
+  obs::SpanTracker tracer;
+  goflow->set_tracer(&tracer);
+  server.set_tracer(&tracer);
+  plan.fail_next(fault::FaultSite::kBrokerAckLost, 1);
+  for (int i = 0; i < 5; ++i) goflow->sense_now(phone::SensingMode::kManual);
+  // Let the first delivery happen (routed, stored, confirm lost), then
+  // crash before the backoff retry fires: the re-upload gets a NEW
+  // batch_id, so batch dedup cannot catch it — only per-observation
+  // dedup can.
+  for (int t = 1; t <= 60 && goflow->stats().publish_failures == 0; ++t)
+    sim.run_until(seconds(t));
+  ASSERT_EQ(goflow->stats().publish_failures, 1u);
+  goflow->crash();
+  goflow->restart();
+  sim.run_until(hours(1));
+  EXPECT_EQ(server.duplicate_observations(), 5u);
+  EXPECT_EQ(server.total_observations(), 5u);
+  EXPECT_EQ(db.collection("observations").size(), 5u);
+}
+
+// --- Crowd sensor faults ----------------------------------------------------
+
+TEST(CrowdFaultTest, SensorFailureSuppressesObservations) {
+  crowd::PopulationConfig pc;
+  pc.seed = 1;
+  pc.device_scale = 0.005;
+  pc.obs_scale = 0.02;
+  pc.horizon = days(5);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  crowd::DatasetGenerator clean(pop);
+  std::uint64_t baseline = clean.generate([](const phone::Observation&) {});
+  ASSERT_GT(baseline, 0u);
+
+  fault::FaultPlan all_fail(1);
+  all_fail.set_probability(fault::FaultSite::kSensorFail, 1.0);
+  crowd::DatasetGenerator broken(pop);
+  broken.arm_faults(&all_fail);
+  EXPECT_EQ(broken.generate([](const phone::Observation&) {}), 0u);
+
+  fault::FaultPlan half(2);
+  half.set_probability(fault::FaultSite::kSensorFail, 0.5);
+  crowd::DatasetGenerator flaky(pop);
+  flaky.arm_faults(&half);
+  std::uint64_t degraded = flaky.generate([](const phone::Observation&) {});
+  EXPECT_GT(degraded, 0u);
+  EXPECT_LT(degraded, baseline);
+}
+
+// --- Assimilation stalls ----------------------------------------------------
+
+TEST(AssimFaultTest, StallSkipsAssimilationButAdvancesTime) {
+  auto model = [](TimeMs) { return assim::Grid(8, 8, 800, 800, 50.0); };
+  assim::AssimilationCycle cycle(model, 0);
+  fault::FaultPlan plan(1);
+  plan.fail_next(fault::FaultSite::kAssimStall, 1);
+  cycle.arm_faults(&plan);
+
+  phone::Observation obs;
+  obs.user = "u";
+  obs.model = "M";
+  obs.captured_at = minutes(30);
+  obs.spl_db = 80.0;
+  phone::LocationFix fix;
+  fix.x_m = 400;
+  fix.y_m = 400;
+  fix.accuracy_m = 10.0;
+  obs.location = fix;
+
+  assim::CycleStep s1 = cycle.advance({obs});
+  EXPECT_TRUE(s1.stalled);
+  EXPECT_EQ(s1.observations_used, 0u);
+  EXPECT_EQ(cycle.time(), hours(1));  // time still moved
+  EXPECT_EQ(cycle.steps(), 1u);
+
+  obs.captured_at = minutes(90);
+  assim::CycleStep s2 = cycle.advance({obs});
+  EXPECT_FALSE(s2.stalled);
+  EXPECT_EQ(s2.observations_used, 1u);
+}
+
+}  // namespace
+}  // namespace mps

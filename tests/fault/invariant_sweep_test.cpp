@@ -1,0 +1,136 @@
+// Property sweep (the chaos gate): the city deployment at small scale,
+// run under every fault profile across many seeds, must keep the
+// pipeline's no-loss / no-duplication / ordered-upload invariants. A
+// failing seed here is a deterministic bug report: re-run the same
+// (profile, seed) pair and the exact fault schedule replays.
+//
+// When MPS_FAULT_REPORT_DIR is set (CI does), a per-seed JSON report is
+// written there for artifact upload.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "fault/fault.h"
+#include "study/invariants.h"
+#include "study/study.h"
+
+namespace mps::study {
+namespace {
+
+constexpr std::uint64_t kSeeds = 21;  // >= 20 per profile, as the gate demands
+
+struct ChaosOutcome {
+  StudyReport study;
+  InvariantReport invariants;
+  std::uint64_t faults_injected = 0;
+};
+
+ChaosOutcome run_chaos(const std::string& profile, std::uint64_t seed) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  obs::Registry registry;
+  obs::SpanTracker tracer(&registry);
+  server.set_metrics(&registry);
+  server.set_tracer(&tracer);
+
+  fault::FaultPlan plan = fault::FaultPlan::profile(profile, seed);
+
+  crowd::PopulationConfig pc;
+  pc.seed = seed;
+  pc.device_scale = 0.005;  // ~20 devices (min 1 per model)
+  pc.obs_scale = 0.05;
+  pc.horizon = days(4);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  StudyConfig sc;
+  sc.seed = seed;
+  sc.duration_days = 2;
+  sc.metrics = &registry;
+  sc.tracer = &tracer;
+  sc.faults = &plan;
+  // Give backoff retries room to settle after the horizon (client
+  // retry_max is 16 min; server ingest backoff caps at 5 min).
+  sc.drain = hours(1);
+
+  StudyRunner runner(pop, sc, sim, broker, server);
+  ChaosOutcome out;
+  out.study = runner.run();
+  out.invariants = check_invariants(tracer, server, runner.clients());
+  out.faults_injected = plan.total_injected();
+  return out;
+}
+
+TEST(InvariantSweep, NoLossNoDupOrderedAcrossSeedsAndProfiles) {
+  const char* report_dir = std::getenv("MPS_FAULT_REPORT_DIR");
+  std::ofstream report_out;
+  if (report_dir != nullptr) {
+    report_out.open(std::string(report_dir) + "/fault_invariants.jsonl");
+    ASSERT_TRUE(report_out.is_open())
+        << "cannot write to MPS_FAULT_REPORT_DIR=" << report_dir;
+  }
+
+  for (const std::string& profile : fault::FaultPlan::profile_names()) {
+    std::uint64_t injected_across_seeds = 0;
+    std::uint64_t crashes_across_seeds = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      ChaosOutcome out = run_chaos(profile, seed);
+      injected_across_seeds += out.faults_injected;
+      crashes_across_seeds += out.study.crashes;
+
+      SCOPED_TRACE("profile=" + profile + " seed=" + std::to_string(seed));
+      // The three invariants, per run.
+      EXPECT_EQ(out.invariants.lost, 0u);
+      EXPECT_EQ(out.invariants.duplicate_spans_stored, 0u);
+      EXPECT_EQ(out.invariants.order_violations, 0u);
+      EXPECT_TRUE(out.invariants.ok());
+      // The accounting is complete: every span landed in exactly one
+      // bucket.
+      EXPECT_EQ(out.invariants.spans_total,
+                out.invariants.persisted + out.invariants.on_device +
+                    out.invariants.in_server +
+                    out.invariants.dropped_attributed +
+                    out.invariants.never_shared + out.invariants.lost);
+      // The run did real work.
+      EXPECT_GT(out.study.observations_recorded, 0u);
+      EXPECT_GT(out.invariants.persisted, 0u);
+
+      if (profile == "none") {
+        // The baseline profile is armed but inert.
+        EXPECT_EQ(out.faults_injected, 0u);
+        EXPECT_EQ(out.study.crashes, 0u);
+        EXPECT_EQ(out.study.publish_failures, 0u);
+        EXPECT_EQ(out.study.duplicate_observations, 0u);
+      }
+
+      if (report_out.is_open()) {
+        report_out << "{\"profile\":\"" << profile << "\",\"seed\":" << seed
+                   << ",\"faults_injected\":" << out.faults_injected
+                   << ",\"crashes\":" << out.study.crashes
+                   << ",\"publish_failures\":" << out.study.publish_failures
+                   << ",\"upload_retries\":" << out.study.upload_retries
+                   << ",\"invariants\":" << out.invariants.to_json() << "}\n";
+      }
+    }
+    // The hostile profiles must actually have been hostile — a sweep
+    // that injected nothing proves nothing.
+    if (profile == "lossy-network") EXPECT_GT(injected_across_seeds, 0u);
+    if (profile == "crashy-client") EXPECT_GT(crashes_across_seeds, 0u);
+  }
+}
+
+TEST(InvariantSweep, ChaosRunsAreDeterministicPerSeed) {
+  ChaosOutcome a = run_chaos("lossy-network", 7);
+  ChaosOutcome b = run_chaos("lossy-network", 7);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.study.observations_recorded, b.study.observations_recorded);
+  EXPECT_EQ(a.study.observations_stored, b.study.observations_stored);
+  EXPECT_EQ(a.study.publish_failures, b.study.publish_failures);
+  EXPECT_EQ(a.invariants.to_json(), b.invariants.to_json());
+}
+
+}  // namespace
+}  // namespace mps::study

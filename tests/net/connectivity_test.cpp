@@ -103,6 +103,87 @@ TEST(ConnectivityTrace, InvalidHorizonThrows) {
   EXPECT_THROW(ConnectivityTrace(params, 0, Rng(1)), std::invalid_argument);
 }
 
+TEST(ConnectivityTrace, DisconnectExactlyAtHorizon) {
+  // An interval that closes exactly at the horizon: connected up to (not
+  // including) the boundary, and next_connection_at never points past it.
+  auto t = ConnectivityTrace::from_intervals({{0, 1000}}, 1000);
+  EXPECT_TRUE(t.connected_at(999));
+  EXPECT_FALSE(t.connected_at(1000));
+  EXPECT_FALSE(t.connected_at(5000));
+  EXPECT_EQ(t.next_connection_at(1000), -1);
+  EXPECT_DOUBLE_EQ(t.uptime_fraction(), 1.0);
+}
+
+TEST(ConnectivityTrace, ReconnectAtHorizonBoundaryNeverHappens) {
+  // Down window ends exactly at the horizon: the device never comes back.
+  auto t = ConnectivityTrace::from_intervals({{0, 500}}, 1000);
+  EXPECT_EQ(t.next_connection_at(500), -1);
+  EXPECT_EQ(t.next_connection_at(999), -1);
+  EXPECT_DOUBLE_EQ(t.uptime_fraction(), 0.5);
+}
+
+TEST(ConnectivityTrace, BackToBackFlapsKeepInvariants) {
+  // Rapid alternation (1ms up, 1ms down) must stay sorted/disjoint and
+  // keep connected_at consistent with the interval set.
+  std::vector<std::pair<TimeMs, TimeMs>> intervals;
+  for (TimeMs t = 0; t < 100; t += 2) intervals.push_back({t, t + 1});
+  auto trace = ConnectivityTrace::from_intervals(intervals, 100);
+  for (TimeMs t = 0; t < 100; ++t)
+    EXPECT_EQ(trace.connected_at(t), t % 2 == 0) << "t=" << t;
+  EXPECT_DOUBLE_EQ(trace.uptime_fraction(), 0.5);
+  EXPECT_EQ(trace.next_connection_at(1), 2);
+}
+
+TEST(ConnectivityTrace, WithoutWindowsPunchesHoles) {
+  auto t = ConnectivityTrace::always_connected(1000);
+  auto punched = t.without_windows({{200, 300}, {600, 700}});
+  EXPECT_EQ(punched.horizon(), 1000);
+  EXPECT_TRUE(punched.connected_at(100));
+  EXPECT_FALSE(punched.connected_at(250));
+  EXPECT_TRUE(punched.connected_at(300));  // window end exclusive
+  EXPECT_FALSE(punched.connected_at(650));
+  EXPECT_TRUE(punched.connected_at(900));
+  EXPECT_EQ(punched.next_connection_at(250), 300);
+  EXPECT_DOUBLE_EQ(punched.uptime_fraction(), 0.8);
+}
+
+TEST(ConnectivityTrace, WithoutWindowsMergesOverlapsAndIgnoresDegenerate) {
+  auto t = ConnectivityTrace::always_connected(1000);
+  // Unsorted, overlapping, zero-length and inverted windows.
+  auto punched = t.without_windows(
+      {{500, 600}, {550, 650}, {100, 100}, {400, 300}, {640, 660}});
+  EXPECT_TRUE(punched.connected_at(100));  // zero-length window ignored
+  EXPECT_TRUE(punched.connected_at(350));  // inverted window ignored
+  EXPECT_FALSE(punched.connected_at(500));
+  EXPECT_FALSE(punched.connected_at(625));
+  EXPECT_FALSE(punched.connected_at(655));
+  EXPECT_TRUE(punched.connected_at(660));
+  // Intervals remain sorted and disjoint after the merge.
+  TimeMs prev_end = -1;
+  for (const auto& [start, end] : punched.intervals()) {
+    EXPECT_GT(start, prev_end);
+    EXPECT_LT(start, end);
+    prev_end = end;
+  }
+}
+
+TEST(ConnectivityTrace, WithoutWindowsEmptyIsIdentity) {
+  ConnectivityParams params;
+  ConnectivityTrace t(params, days(2), Rng(21));
+  ConnectivityTrace same = t.without_windows({});
+  EXPECT_EQ(same.intervals(), t.intervals());
+  EXPECT_EQ(same.horizon(), t.horizon());
+}
+
+TEST(ConnectivityTrace, WithoutWindowsSwallowingEverything) {
+  auto t = ConnectivityTrace::from_intervals({{100, 200}, {300, 400}}, 500);
+  auto punched = t.without_windows({{0, 500}});
+  EXPECT_TRUE(punched.intervals().empty());
+  EXPECT_DOUBLE_EQ(punched.uptime_fraction(), 0.0);
+  EXPECT_EQ(punched.next_connection_at(0), -1);
+  EXPECT_EQ(punched.horizon(), 500);
+}
+
 TEST(ConnectivityTrace, ConnectedAtMatchesNextConnectionInvariant) {
   ConnectivityParams params;
   params.mean_up = hours(1);

@@ -334,5 +334,33 @@ TEST(PeriodicTimer, LongRunStaysFlat) {
   EXPECT_LE(s.tombstones(), 64u);
 }
 
+TEST(PeriodicTimer, RestartFromWithinCallbackKeepsSingleCadence) {
+  // Regression: a crash/restart handler calling stop()+start() from
+  // inside the tick callback used to end with TWO live periodic chains —
+  // start() scheduled one event, then the returning tick scheduled
+  // another because running_ was true again. The orphan chain doubled
+  // the cadence and survived stop() (pending_event_ only tracks one id).
+  Simulation s;
+  std::vector<TimeMs> ticks;
+  PeriodicTimer timer(s, 100, [&](TimeMs t) {
+    ticks.push_back(t);
+    if (t == 100) {  // simulated crash/restart inside the tick
+      timer.stop();
+      timer.start();
+    }
+  });
+  timer.start();
+  s.run_until(600);
+  // One chain only: 100 (restart), then every 100 ms from there.
+  EXPECT_EQ(ticks, (std::vector<TimeMs>{100, 200, 300, 400, 500, 600}));
+  EXPECT_EQ(s.pending(), 1u);
+
+  // stop() must actually silence the timer afterwards.
+  timer.stop();
+  std::size_t before = ticks.size();
+  s.run_until(1'200);
+  EXPECT_EQ(ticks.size(), before);
+}
+
 }  // namespace
 }  // namespace mps::sim
