@@ -1,0 +1,194 @@
+// Parallel compute plane: what the exec thread pool buys on the two
+// workloads it was built for, with the sequential path run side by side
+// as both the baseline and the correctness oracle.
+//
+//   1. One BLUE analysis at city scale (the O(cells x obs) grid update
+//      plus the O(obs^2) covariance assembly) — sequential vs a
+//      ThreadPool at MPS_BENCH_THREADS workers, with a bit-exactness
+//      check (the determinism contract, DESIGN.md par. 10).
+//   2. A multi-seed fleet of small studies — serial vs an
+//      exec::SweepExecutor (run-level concurrency: whole independent
+//      simulations in flight at once), with a per-seed outcome digest
+//      compared across the two executions.
+//
+// The report records threads and host_cores (bench_util does this for
+// every bench), so a 1x speedup on a one-core container is legible as
+// such; the acceptance numbers come from the multi-core CI runner.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "assim/blue.h"
+#include "assim/city_noise_model.h"
+#include "common/bench_util.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/sweep.h"
+#include "study/study.h"
+
+namespace {
+
+using namespace mps;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<assim::AssimObservation> random_observations(std::size_t n,
+                                                         double extent_m,
+                                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<assim::AssimObservation> out(n);
+  for (assim::AssimObservation& obs : out) {
+    obs.x_m = rng.uniform(0, extent_m);
+    obs.y_m = rng.uniform(0, extent_m);
+    obs.value = rng.uniform(40.0, 80.0);
+    obs.sigma_r = rng.uniform(1.0, 5.0);
+  }
+  return out;
+}
+
+/// One self-contained small study; everything it touches is local, so a
+/// SweepExecutor can run many of these concurrently. Returns a digest of
+/// the run's accounting for the serial-vs-sweep equality check.
+std::string run_small_study(std::uint64_t seed) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+
+  crowd::PopulationConfig pc;
+  pc.seed = seed;
+  pc.device_scale = 0.008;  // ~25 devices
+  pc.obs_scale = 0.05;
+  pc.horizon = days(3);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  study::StudyConfig sc;
+  sc.seed = seed;
+  sc.duration_days = 1;
+  study::StudyRunner runner(pop, sc, sim, broker, server);
+  study::StudyReport report = runner.run();
+  return std::to_string(report.observations_recorded) + "/" +
+         std::to_string(report.observations_stored) + "/" +
+         std::to_string(report.uploads);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_assim",
+               "Parallel compute plane - BLUE analysis and study sweep, "
+               "sequential vs threaded",
+               scale);
+
+  // --- 1. BLUE analysis at city scale ------------------------------------
+  assim::CityModelParams params;
+  params.extent_m = 20'000;
+  params.grid_nx = 160;
+  params.grid_ny = 160;
+  assim::CityNoiseModel city(params, scale.seed);
+  const TimeMs t = hours(15);
+  auto observations = random_observations(500, params.extent_m, scale.seed);
+  assim::BlueParams blue;
+  blue.corr_length_m = 1'200;
+
+  exec::ThreadPool pool(scale.threads);
+
+  // The background field itself is the first parallel workload.
+  auto field_start = std::chrono::steady_clock::now();
+  assim::Grid background_seq = city.model(t);
+  double field_seq = seconds_since(field_start);
+  field_start = std::chrono::steady_clock::now();
+  assim::Grid background_par = city.model(t, &pool);
+  double field_par = seconds_since(field_start);
+  bool field_exact = background_seq.values() == background_par.values();
+
+  const int kReps = 3;
+  double assim_seq = 0.0, assim_par = 0.0;
+  assim::BlueResult result_seq{background_seq}, result_par{background_seq};
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    result_seq = assim::blue_analysis(background_seq, observations, blue);
+    assim_seq += seconds_since(start);
+    start = std::chrono::steady_clock::now();
+    result_par =
+        assim::blue_analysis(background_seq, observations, blue, &pool);
+    assim_par += seconds_since(start);
+  }
+  assim_seq /= kReps;
+  assim_par /= kReps;
+  bool assim_exact =
+      result_seq.analysis.values() == result_par.analysis.values() &&
+      result_seq.residual_rms == result_par.residual_rms;
+
+  std::printf("1) BLUE analysis, %zux%zu grid, %zu observations "
+              "(mean of %d reps):\n",
+              params.grid_nx, params.grid_ny, observations.size(), kReps);
+  std::printf("   field gen   sequential %.3fs  threads=%zu %.3fs  "
+              "(%.2fx, bit-exact: %s)\n",
+              field_seq, scale.threads, field_par,
+              field_par > 0 ? field_seq / field_par : 0.0,
+              field_exact ? "yes" : "NO");
+  std::printf("   analysis    sequential %.3fs  threads=%zu %.3fs  "
+              "(%.2fx, bit-exact: %s)\n\n",
+              assim_seq, scale.threads, assim_par,
+              assim_par > 0 ? assim_seq / assim_par : 0.0,
+              assim_exact ? "yes" : "NO");
+
+  bench_record("field_seq_seconds", field_seq);
+  bench_record("field_par_seconds", field_par);
+  bench_record("field_speedup", field_par > 0 ? field_seq / field_par : 0.0);
+  bench_record("assim_seq_seconds", assim_seq);
+  bench_record("assim_par_seconds", assim_par);
+  bench_record("assim_speedup", assim_par > 0 ? assim_seq / assim_par : 0.0);
+  bench_record("assim_bit_exact", assim_exact && field_exact ? 1.0 : 0.0);
+  bench_record("assim_observations", static_cast<double>(observations.size()));
+  bench_record("grid_cells",
+               static_cast<double>(params.grid_nx * params.grid_ny));
+
+  // --- 2. Multi-seed study sweep ------------------------------------------
+  const std::size_t kSeeds = 8;
+  std::printf("2) study sweep, %zu independent seeds:\n", kSeeds);
+
+  std::vector<std::string> serial_digests(kSeeds);
+  auto sweep_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kSeeds; ++i)
+    serial_digests[i] = run_small_study(scale.seed + i);
+  double sweep_seq = seconds_since(sweep_start);
+
+  std::vector<std::string> sweep_digests(kSeeds);
+  exec::SweepExecutor sweep(scale.threads);
+  sweep_start = std::chrono::steady_clock::now();
+  sweep.run(kSeeds, [&](std::size_t i) {
+    sweep_digests[i] = run_small_study(scale.seed + i);
+  });
+  double sweep_par = seconds_since(sweep_start);
+  bool sweep_match = serial_digests == sweep_digests;
+
+  std::printf("   serial %.3fs  threads=%zu %.3fs  (%.2fx, outcomes "
+              "identical: %s)\n\n",
+              sweep_seq, scale.threads, sweep_par,
+              sweep_par > 0 ? sweep_seq / sweep_par : 0.0,
+              sweep_match ? "yes" : "NO");
+
+  bench_record("sweep_seeds", static_cast<double>(kSeeds));
+  bench_record("sweep_seq_seconds", sweep_seq);
+  bench_record("sweep_par_seconds", sweep_par);
+  bench_record("sweep_speedup", sweep_par > 0 ? sweep_seq / sweep_par : 0.0);
+  bench_record("sweep_outcomes_match", sweep_match ? 1.0 : 0.0);
+
+  if (!assim_exact || !field_exact || !sweep_match) {
+    std::printf("DETERMINISM VIOLATION: parallel results differ from the "
+                "sequential oracle\n");
+    return 1;
+  }
+  std::printf("determinism: parallel results bit-identical to the sequential "
+              "oracle at threads=%zu\n", scale.threads);
+  return 0;
+}

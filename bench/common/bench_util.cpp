@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <utility>
 
+#include <thread>
+
 #include "common/histogram.h"
 #include "common/strings.h"
+#include "exec/executor.h"
 
 namespace mps::bench {
 
@@ -125,6 +128,7 @@ BenchScale bench_scale_from_env() {
   scale.obs_scale = env_double("MPS_BENCH_OBS_SCALE", scale.obs_scale);
   scale.seed = static_cast<std::uint64_t>(
       env_double("MPS_BENCH_SEED", static_cast<double>(scale.seed)));
+  scale.threads = exec::resolve_threads("MPS_BENCH_THREADS");
   return scale;
 }
 
@@ -143,12 +147,18 @@ void print_header(const std::string& bench_name, const std::string& paper_ref,
   bench_record("device_scale", scale.device_scale);
   bench_record("obs_scale", scale.obs_scale);
   bench_record("seed", static_cast<double>(scale.seed));
+  // Parallelism context: how many workers exec-aware benches use, and how
+  // many cores the machine actually has — a BENCH_*.json from a one-core
+  // CI runner is not comparable to a 16-core workstation without this.
+  bench_record("threads", static_cast<double>(scale.threads));
+  bench_record("host_cores",
+               static_cast<double>(std::thread::hardware_concurrency()));
   std::printf("================================================================\n");
   std::printf("%s\n", bench_name.c_str());
   std::printf("Reproduces: %s\n", paper_ref.c_str());
-  std::printf("Scale: device_scale=%.3f obs_scale=%.3f seed=%llu\n",
+  std::printf("Scale: device_scale=%.3f obs_scale=%.3f seed=%llu threads=%zu\n",
               scale.device_scale, scale.obs_scale,
-              static_cast<unsigned long long>(scale.seed));
+              static_cast<unsigned long long>(scale.seed), scale.threads);
   std::printf("================================================================\n");
 }
 

@@ -6,6 +6,8 @@
 //   MPS_BENCH_DEVICE_SCALE  fraction of the paper's 2,091 devices (default 0.15)
 //   MPS_BENCH_OBS_SCALE     fraction of per-device observation volume (default 0.08)
 //   MPS_BENCH_SEED          RNG seed (default 42)
+//   MPS_BENCH_THREADS       worker threads for exec-aware benches
+//                           (default: hardware concurrency, capped at 16)
 #pragma once
 
 #include <functional>
@@ -24,6 +26,9 @@ struct BenchScale {
   double device_scale = 0.15;
   double obs_scale = 0.08;
   std::uint64_t seed = 42;
+  /// Worker threads for benches that drive the exec compute plane
+  /// (resolved from MPS_BENCH_THREADS; always >= 1).
+  std::size_t threads = 1;
 };
 
 /// Reads MPS_BENCH_* from the environment.

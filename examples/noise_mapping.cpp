@@ -9,7 +9,14 @@
 // ASCII maps.
 //
 // Build & run:  cmake --build build && ./build/examples/noise_mapping
+//
+// `--threads=N` runs the field generation and the BLUE analysis on an
+// exec::ThreadPool with N workers (default 1 = sequential). The maps and
+// every printed number are bit-identical for any N — the compute plane's
+// determinism contract (DESIGN.md par. 10); only the wall-clock changes.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -18,6 +25,7 @@
 #include "calib/calibration.h"
 #include "client/goflow_client.h"
 #include "core/goflow_server.h"
+#include "exec/executor.h"
 #include "phone/location.h"
 
 using namespace mps;
@@ -42,8 +50,28 @@ void print_map(const assim::Grid& grid, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const TimeMs kSnapshot = hours(15);
+
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      long parsed = std::strtol(argv[i] + 10, nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+      threads = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  exec::ThreadPool pool(threads);
+  exec::Executor* executor = threads > 1 ? &pool : nullptr;
+  if (threads > 1)
+    std::printf("compute plane: %zu threads (results identical to "
+                "sequential)\n\n", threads);
 
   // --- The city: truth vs imperfect model -------------------------------
   assim::CityModelParams city_params;
@@ -51,8 +79,8 @@ int main() {
   city_params.grid_nx = 48;
   city_params.grid_ny = 48;
   assim::CityNoiseModel city(city_params, /*seed=*/7);
-  assim::Grid truth = city.truth(kSnapshot);
-  assim::Grid background = city.model(kSnapshot);
+  assim::Grid truth = city.truth(kSnapshot, executor);
+  assim::Grid background = city.model(kSnapshot, executor);
   std::printf("numerical model RMSE vs truth: %.2f dB\n\n",
               background.rmse(truth));
 
@@ -146,7 +174,7 @@ int main() {
   assim::ConversionStats stats;
   assim::BlueResult result = assim::assimilate(
       background, observations, blue, assim::ObservationPolicy{}, calibration,
-      &stats);
+      &stats, executor);
 
   std::printf("assimilated %zu observations (rejected: %zu no-location, %zu "
               "inaccurate)\n",

@@ -42,10 +42,11 @@ BlueResult assimilate(const Grid& background,
                       const std::vector<phone::Observation>& observations,
                       const BlueParams& blue_params,
                       const ObservationPolicy& policy,
-                      const Calibration& calibration, ConversionStats* stats) {
+                      const Calibration& calibration, ConversionStats* stats,
+                      exec::Executor* executor) {
   std::vector<AssimObservation> converted =
       convert_observations(observations, policy, calibration, stats);
-  return blue_analysis(background, converted, blue_params);
+  return blue_analysis(background, converted, blue_params, executor);
 }
 
 }  // namespace mps::assim

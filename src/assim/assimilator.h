@@ -55,12 +55,15 @@ std::vector<AssimObservation> convert_observations(
     const ObservationPolicy& policy, const Calibration& calibration,
     ConversionStats* stats = nullptr);
 
-/// One-call pipeline: filter + calibrate + BLUE analysis.
+/// One-call pipeline: filter + calibrate + BLUE analysis. The optional
+/// executor is forwarded to blue_analysis (bit-identical result for any
+/// thread count, nullptr = sequential oracle).
 BlueResult assimilate(const Grid& background,
                       const std::vector<phone::Observation>& observations,
                       const BlueParams& blue_params,
                       const ObservationPolicy& policy,
                       const Calibration& calibration = identity_calibration(),
-                      ConversionStats* stats = nullptr);
+                      ConversionStats* stats = nullptr,
+                      exec::Executor* executor = nullptr);
 
 }  // namespace mps::assim

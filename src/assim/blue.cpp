@@ -6,14 +6,43 @@
 
 namespace mps::assim {
 
+namespace {
+
+/// Fills the observation-covariance matrix S = H B Hᵀ + R. Element (i, j)
+/// with i > j is written by row task i, (j, i) by the same task, the
+/// diagonal once — every element has exactly one writer, so the parallel
+/// fill is race-free and bit-identical to the sequential one.
+void fill_obs_covariance(Matrix& s,
+                         const std::vector<AssimObservation>& observations,
+                         const BlueParams& params, exec::Executor* executor) {
+  std::size_t n = observations.size();
+  double sb2 = params.sigma_b * params.sigma_b;
+  exec::parallel_for(executor, n, [&](std::size_t row_begin,
+                                      std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double dx = observations[i].x_m - observations[j].x_m;
+        double dy = observations[i].y_m - observations[j].y_m;
+        double cov = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
+                                    params.corr_length_m);
+        s(i, j) = cov;
+        s(j, i) = cov;
+      }
+      s(i, i) += observations[i].sigma_r * observations[i].sigma_r;
+    }
+  });
+}
+
+}  // namespace
+
 BlueResult blue_analysis(const Grid& background,
                          const std::vector<AssimObservation>& observations,
-                         const BlueParams& params) {
+                         const BlueParams& params, exec::Executor* executor) {
   BlueResult result{background, 0.0, 0.0, observations.size()};
   std::size_t n = observations.size();
   if (n == 0) return result;
 
-  // Innovations d = y − H x_b.
+  // Innovations d = y − H x_b (O(n), stays sequential).
   std::vector<double> innovation(n);
   for (std::size_t i = 0; i < n; ++i) {
     const AssimObservation& obs = observations[i];
@@ -25,38 +54,34 @@ BlueResult blue_analysis(const Grid& background,
   // S = H B Hᵀ + R (n x n).
   double sb2 = params.sigma_b * params.sigma_b;
   Matrix s(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      double dx = observations[i].x_m - observations[j].x_m;
-      double dy = observations[i].y_m - observations[j].y_m;
-      double cov = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
-                                  params.corr_length_m);
-      s(i, j) = cov;
-      s(j, i) = cov;
-    }
-    s(i, i) += observations[i].sigma_r * observations[i].sigma_r;
-  }
+  fill_obs_covariance(s, observations, params, executor);
 
   // w = S⁻¹ d.
   std::vector<double> w = solve_spd(std::move(s), innovation);
 
   // x_a = x_b + (B Hᵀ) w : for each grid cell, sum of covariances with
-  // the observation points weighted by w.
+  // the observation points weighted by w. Rows are independent; the
+  // inner k-loop order is fixed, so the field is bit-identical however
+  // the rows are scheduled.
   Grid& analysis = result.analysis;
-  for (std::size_t iy = 0; iy < analysis.ny(); ++iy) {
-    double cy = analysis.cell_y(iy);
-    for (std::size_t ix = 0; ix < analysis.nx(); ++ix) {
-      double cx = analysis.cell_x(ix);
-      double update = 0.0;
-      for (std::size_t k = 0; k < n; ++k) {
-        double dx = cx - observations[k].x_m;
-        double dy = cy - observations[k].y_m;
-        update += w[k] * sb2 *
-                  std::exp(-std::sqrt(dx * dx + dy * dy) / params.corr_length_m);
+  exec::parallel_for(executor, analysis.ny(), [&](std::size_t iy_begin,
+                                                  std::size_t iy_end) {
+    for (std::size_t iy = iy_begin; iy < iy_end; ++iy) {
+      double cy = analysis.cell_y(iy);
+      for (std::size_t ix = 0; ix < analysis.nx(); ++ix) {
+        double cx = analysis.cell_x(ix);
+        double update = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          double dx = cx - observations[k].x_m;
+          double dy = cy - observations[k].y_m;
+          update += w[k] * sb2 *
+                    std::exp(-std::sqrt(dx * dx + dy * dy) /
+                             params.corr_length_m);
+        }
+        analysis.at(ix, iy) += update;
       }
-      analysis.at(ix, iy) += update;
     }
-  }
+  });
 
   // Residual diagnostics on the analysis.
   for (std::size_t i = 0; i < n; ++i) {
@@ -70,7 +95,7 @@ BlueResult blue_analysis(const Grid& background,
 
 Grid analysis_spread(const Grid& like,
                      const std::vector<AssimObservation>& observations,
-                     const BlueParams& params) {
+                     const BlueParams& params, exec::Executor* executor) {
   Grid spread(like.nx(), like.ny(), like.width_m(), like.height_m(),
               params.sigma_b);
   std::size_t n = observations.size();
@@ -78,42 +103,37 @@ Grid analysis_spread(const Grid& like,
 
   double sb2 = params.sigma_b * params.sigma_b;
   Matrix s(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      double dx = observations[i].x_m - observations[j].x_m;
-      double dy = observations[i].y_m - observations[j].y_m;
-      double cov = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
-                                  params.corr_length_m);
-      s(i, j) = cov;
-      s(j, i) = cov;
-    }
-    s(i, i) += observations[i].sigma_r * observations[i].sigma_r;
-  }
+  fill_obs_covariance(s, observations, params, executor);
   cholesky(s);
 
-  std::vector<double> b(n), y(n);
-  for (std::size_t iy = 0; iy < spread.ny(); ++iy) {
-    double cy = spread.cell_y(iy);
-    for (std::size_t ix = 0; ix < spread.nx(); ++ix) {
-      double cx = spread.cell_x(ix);
-      for (std::size_t k = 0; k < n; ++k) {
-        double dx = cx - observations[k].x_m;
-        double dy = cy - observations[k].y_m;
-        b[k] = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
-                              params.corr_length_m);
+  // Per-cell forward substitutions are independent given the factor, so
+  // rows parallelize with per-chunk scratch vectors.
+  exec::parallel_for(executor, spread.ny(), [&](std::size_t iy_begin,
+                                                std::size_t iy_end) {
+    std::vector<double> b(n), y(n);
+    for (std::size_t iy = iy_begin; iy < iy_end; ++iy) {
+      double cy = spread.cell_y(iy);
+      for (std::size_t ix = 0; ix < spread.nx(); ++ix) {
+        double cx = spread.cell_x(ix);
+        for (std::size_t k = 0; k < n; ++k) {
+          double dx = cx - observations[k].x_m;
+          double dy = cy - observations[k].y_m;
+          b[k] = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
+                                params.corr_length_m);
+        }
+        // Forward substitution L y = b; variance reduction = ||y||^2.
+        double reduction = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          double v = b[i];
+          for (std::size_t k = 0; k < i; ++k) v -= s(i, k) * y[k];
+          y[i] = v / s(i, i);
+          reduction += y[i] * y[i];
+        }
+        double variance = sb2 - reduction;
+        spread.at(ix, iy) = std::sqrt(std::max(variance, 0.0));
       }
-      // Forward substitution L y = b; variance reduction = ||y||^2.
-      double reduction = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        double v = b[i];
-        for (std::size_t k = 0; k < i; ++k) v -= s(i, k) * y[k];
-        y[i] = v / s(i, i);
-        reduction += y[i] * y[i];
-      }
-      double variance = sb2 - reduction;
-      spread.at(ix, iy) = std::sqrt(std::max(variance, 0.0));
     }
-  }
+  });
   return spread;
 }
 

@@ -43,9 +43,16 @@ struct BlueResult {
 /// Runs one BLUE analysis step. Observations outside the grid are clamped
 /// to the border (H is bilinear interpolation). With no observations the
 /// analysis equals the background.
+///
+/// `executor` parallelizes the O(n_obs²) covariance assembly and the
+/// O(cells × n_obs) B Hᵀ w grid update; each matrix element / grid cell
+/// is computed independently, so the result is bit-identical to the
+/// sequential path (executor == nullptr) for any thread count. The
+/// n_obs × n_obs solve stays sequential (Cholesky recurrences).
 BlueResult blue_analysis(const Grid& background,
                          const std::vector<AssimObservation>& observations,
-                         const BlueParams& params);
+                         const BlueParams& params,
+                         exec::Executor* executor = nullptr);
 
 /// Posterior (analysis) error standard deviation per cell:
 /// sqrt(sigma_b^2 − b_xᵀ S⁻¹ b_x), where b_x is the background covariance
@@ -54,6 +61,7 @@ BlueResult blue_analysis(const Grid& background,
 /// The grid's shape/extent are taken from `like`; its values are ignored.
 Grid analysis_spread(const Grid& like,
                      const std::vector<AssimObservation>& observations,
-                     const BlueParams& params);
+                     const BlueParams& params,
+                     exec::Executor* executor = nullptr);
 
 }  // namespace mps::assim

@@ -104,17 +104,26 @@ double CityNoiseModel::field_at(double x, double y, TimeMs t,
   return 10.0 * std::log10(power);
 }
 
-Grid CityNoiseModel::compute(TimeMs t, bool use_model_sources) const {
+Grid CityNoiseModel::compute(TimeMs t, bool use_model_sources,
+                             exec::Executor* executor) const {
   Grid g(params_.grid_nx, params_.grid_ny, params_.extent_m, params_.extent_m);
-  for (std::size_t iy = 0; iy < g.ny(); ++iy)
-    for (std::size_t ix = 0; ix < g.nx(); ++ix)
-      g.at(ix, iy) = field_at(g.cell_x(ix), g.cell_y(iy), t, use_model_sources);
+  exec::parallel_for(executor, g.ny(), [&](std::size_t iy_begin,
+                                           std::size_t iy_end) {
+    for (std::size_t iy = iy_begin; iy < iy_end; ++iy)
+      for (std::size_t ix = 0; ix < g.nx(); ++ix)
+        g.at(ix, iy) =
+            field_at(g.cell_x(ix), g.cell_y(iy), t, use_model_sources);
+  });
   return g;
 }
 
-Grid CityNoiseModel::truth(TimeMs t) const { return compute(t, false); }
+Grid CityNoiseModel::truth(TimeMs t, exec::Executor* executor) const {
+  return compute(t, false, executor);
+}
 
-Grid CityNoiseModel::model(TimeMs t) const { return compute(t, true); }
+Grid CityNoiseModel::model(TimeMs t, exec::Executor* executor) const {
+  return compute(t, true, executor);
+}
 
 double CityNoiseModel::truth_at(double x_m, double y_m, TimeMs t) const {
   return field_at(x_m, y_m, t, false);

@@ -57,11 +57,13 @@ class CityNoiseModel {
  public:
   CityNoiseModel(const CityModelParams& params, std::uint64_t seed);
 
-  /// Ground-truth field at time t.
-  Grid truth(TimeMs t) const;
+  /// Ground-truth field at time t. The optional executor parallelizes
+  /// the per-cell source summation (rows are independent; bit-identical
+  /// to the sequential field for any thread count).
+  Grid truth(TimeMs t, exec::Executor* executor = nullptr) const;
 
   /// Imperfect model (background/forecast) field at time t.
-  Grid model(TimeMs t) const;
+  Grid model(TimeMs t, exec::Executor* executor = nullptr) const;
 
   /// Point evaluation of the truth (what a perfectly calibrated sensor at
   /// (x, y) would measure as the long-term ambient level).
@@ -76,7 +78,8 @@ class CityNoiseModel {
 
  private:
   double field_at(double x, double y, TimeMs t, bool use_model_sources) const;
-  Grid compute(TimeMs t, bool use_model_sources) const;
+  Grid compute(TimeMs t, bool use_model_sources,
+               exec::Executor* executor) const;
 
   CityModelParams params_;
   std::vector<Road> roads_;

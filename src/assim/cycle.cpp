@@ -74,7 +74,8 @@ CycleStep AssimilationCycle::advance(
     background[i] += w * (analysis_[i] - model_at_now_[i]);
 
   BlueResult result = assimilate(background, window, config_.blue,
-                                 config_.policy, calibration);
+                                 config_.policy, calibration,
+                                 /*stats=*/nullptr, config_.executor);
 
   analysis_ = std::move(result.analysis);
   model_at_now_ = std::move(model_next);

@@ -35,6 +35,10 @@ struct CycleConfig {
   double persistence_weight = 0.8;
   BlueParams blue;
   ObservationPolicy policy;
+  /// Optional parallel compute plane for each step's BLUE analysis;
+  /// nullptr runs sequentially with a bit-identical field (DESIGN.md
+  /// §10). Must outlive the cycle.
+  exec::Executor* executor = nullptr;
 };
 
 /// Diagnostics of one cycle step.

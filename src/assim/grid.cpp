@@ -70,28 +70,53 @@ double Grid::sample(double x_m, double y_m) const {
          v01 * (1 - tx) * ty + v11 * tx * ty;
 }
 
-double Grid::rmse(const Grid& other) const {
+double Grid::rmse(const Grid& other, exec::Executor* executor) const {
   if (other.nx_ != nx_ || other.ny_ != ny_)
     throw std::invalid_argument("Grid::rmse: shape mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    double d = values_[i] - other.values_[i];
-    s += d * d;
-  }
+  double s = exec::parallel_reduce(
+      executor, values_.size(), 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          double d = values_[i] - other.values_[i];
+          partial += d * d;
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; });
   return std::sqrt(s / static_cast<double>(values_.size()));
 }
 
-double Grid::min() const {
-  return *std::min_element(values_.begin(), values_.end());
+double Grid::min(exec::Executor* executor) const {
+  return exec::parallel_reduce(
+      executor, values_.size(), values_[0],
+      [&](std::size_t begin, std::size_t end) {
+        return *std::min_element(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 values_.begin() + static_cast<std::ptrdiff_t>(end));
+      },
+      [](double a, double b) { return std::min(a, b); });
 }
 
-double Grid::max() const {
-  return *std::max_element(values_.begin(), values_.end());
+double Grid::max(exec::Executor* executor) const {
+  return exec::parallel_reduce(
+      executor, values_.size(), values_[0],
+      [&](std::size_t begin, std::size_t end) {
+        return *std::max_element(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 values_.begin() + static_cast<std::ptrdiff_t>(end));
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
-double Grid::mean() const {
-  return std::accumulate(values_.begin(), values_.end(), 0.0) /
-         static_cast<double>(values_.size());
+double Grid::mean(exec::Executor* executor) const {
+  double s = exec::parallel_reduce(
+      executor, values_.size(), 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        return std::accumulate(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                               values_.begin() + static_cast<std::ptrdiff_t>(end),
+                               0.0);
+      },
+      [](double a, double b) { return a + b; });
+  return s / static_cast<double>(values_.size());
 }
 
 }  // namespace mps::assim

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/executor.h"
+
 namespace mps::assim {
 
 /// nx*ny scalar field over [0, width_m] x [0, height_m], cell-centered.
@@ -44,12 +46,14 @@ class Grid {
   double sample(double x_m, double y_m) const;
 
   /// Root-mean-square difference with another grid of identical shape;
-  /// throws std::invalid_argument otherwise.
-  double rmse(const Grid& other) const;
+  /// throws std::invalid_argument otherwise. The reductions below accept
+  /// an optional executor; results are bit-identical for any thread
+  /// count (chunk-ordered folding — see exec::parallel_reduce).
+  double rmse(const Grid& other, exec::Executor* executor = nullptr) const;
 
-  double min() const;
-  double max() const;
-  double mean() const;
+  double min(exec::Executor* executor = nullptr) const;
+  double max(exec::Executor* executor = nullptr) const;
+  double mean(exec::Executor* executor = nullptr) const;
 
  private:
   std::size_t nx_, ny_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <random>
 #include <string_view>
 
@@ -96,8 +97,17 @@ class Rng {
   }
 
   /// Poisson draw with the given mean.
+  ///
+  /// Serialized on a process-wide mutex: libstdc++'s poisson_distribution
+  /// calls lgamma(), which writes the process-global `signgam` (a POSIX
+  /// relic) — a data race when independent Rngs draw from concurrent
+  /// exec::SweepExecutor jobs. The lock does not touch the engine, so
+  /// every stream's value sequence is unchanged; contention is negligible
+  /// (poisson backs low-rate event planning, not hot loops).
   int poisson(double mean) {
     if (mean <= 0.0) return 0;
+    static std::mutex lgamma_mutex;
+    std::scoped_lock lock(lgamma_mutex);
     return std::poisson_distribution<int>(mean)(engine_);
   }
 

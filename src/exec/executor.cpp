@@ -1,0 +1,197 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace mps::exec {
+
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+ParallelRegionGuard::ParallelRegionGuard() { t_in_parallel_region = true; }
+ParallelRegionGuard::~ParallelRegionGuard() { t_in_parallel_region = false; }
+
+std::size_t resolve_grain(std::size_t n, std::size_t grain) {
+  if (grain > 0) return grain;
+  // Fixed fan-out: at most 64 chunks, boundaries a pure function of n.
+  // 64 chunks keep any plausible pool busy while bounding the number of
+  // reduction partials (and the scheduling overhead) for huge ranges.
+  constexpr std::size_t kDefaultChunks = 64;
+  return std::max<std::size_t>(1, (n + kDefaultChunks - 1) / kDefaultChunks);
+}
+
+std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads > 0
+                   ? threads
+                   : std::max<unsigned>(1, std::thread::hardware_concurrency())) {
+  // A 1-thread pool is the inline executor; don't spawn its one worker.
+  if (threads_ <= 1) return;
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  ParallelRegionGuard in_region;
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    ++active_workers_;
+    lock.unlock();
+    claim_loop(/*is_caller=*/false);
+    lock.lock();
+    --active_workers_;
+    if (done_.load(std::memory_order_acquire) ==
+            job_count_.load(std::memory_order_relaxed) &&
+        active_workers_ == 0)
+      cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::claim_loop(bool is_caller) {
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= job_count_.load(std::memory_order_acquire)) return;
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      try {
+        job_(i);
+        stat_chunks_.fetch_add(1, std::memory_order_relaxed);
+        if (is_caller)
+          stat_chunks_on_caller_.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        cancelled_.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+  if (in_parallel_region())
+    throw std::logic_error(
+        "exec: nested parallel region (run_chunks called from inside a "
+        "pool or sweep task)");
+  if (count == 0) return;
+  stat_regions_.fetch_add(1, std::memory_order_relaxed);
+  if (threads_ <= 1 || count == 1) {
+    // Inline path: same chunk order a 1-thread schedule would produce.
+    // The guard keeps the no-nesting contract identical to the pooled
+    // path.
+    stat_inline_regions_.fetch_add(1, std::memory_order_relaxed);
+    ParallelRegionGuard in_region;
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    stat_chunks_.fetch_add(count, std::memory_order_relaxed);
+    stat_chunks_on_caller_.fetch_add(count, std::memory_order_relaxed);
+    return;
+  }
+
+  // Serialize whole regions: the pool runs one job at a time.
+  std::lock_guard<std::mutex> region(caller_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = fn;
+    job_count_.store(count, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    // Release-publish the region: a worker that claims an index sees the
+    // job_ assignment above (acquire side in claim_loop).
+    next_.store(0, std::memory_order_release);
+    cancelled_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  {
+    ParallelRegionGuard in_region;
+    claim_loop(/*is_caller=*/true);
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] {
+      return done_.load(std::memory_order_acquire) ==
+                 job_count_.load(std::memory_order_relaxed) &&
+             active_workers_ == 0;
+    });
+    error = error_;
+    error_ = nullptr;
+    job_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ExecStats ThreadPool::stats() const {
+  ExecStats s;
+  s.regions = stat_regions_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.chunks_on_caller = stat_chunks_on_caller_.load(std::memory_order_relaxed);
+  s.inline_regions = stat_inline_regions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::mirror_into(obs::Registry& registry) {
+  ExecStats now = stats();
+  registry.counter("exec.regions").inc(now.regions - mirrored_.regions);
+  registry.counter("exec.chunks").inc(now.chunks - mirrored_.chunks);
+  registry.counter("exec.chunks_on_caller")
+      .inc(now.chunks_on_caller - mirrored_.chunks_on_caller);
+  registry.counter("exec.inline_regions")
+      .inc(now.inline_regions - mirrored_.inline_regions);
+  registry.gauge("exec.threads").set(static_cast<double>(threads_));
+  mirrored_ = now;
+}
+
+void parallel_for(Executor* executor, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  std::size_t g = resolve_grain(n, grain);
+  std::size_t chunks = chunk_count(n, g);
+  auto chunk_body = [&](std::size_t c) {
+    std::size_t begin = c * g;
+    std::size_t end = begin + g < n ? begin + g : n;
+    body(begin, end);
+  };
+  if (executor == nullptr || executor->threads() <= 1 || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) chunk_body(c);
+    return;
+  }
+  executor->run_chunks(chunks, chunk_body);
+}
+
+std::size_t resolve_threads(const char* env_name, std::size_t cap) {
+  std::size_t picked = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  if (env_name != nullptr) {
+    if (const char* value = std::getenv(env_name)) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end != value && parsed > 0) picked = parsed;
+    }
+  }
+  return std::clamp<std::size_t>(picked, 1, std::max<std::size_t>(1, cap));
+}
+
+}  // namespace mps::exec

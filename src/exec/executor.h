@@ -1,0 +1,197 @@
+// Parallel compute plane: a fixed-size thread pool behind a minimal
+// Executor interface, plus parallel_for / parallel_reduce helpers with a
+// *deterministic* partitioning contract.
+//
+// Determinism contract (DESIGN.md §10):
+//   - A range [0, n) is split into chunks whose boundaries depend only on
+//     (n, grain) — never on the executor or its thread count. grain == 0
+//     selects a default that is itself a pure function of n.
+//   - parallel_for bodies write disjoint outputs per index, so results
+//     are bit-identical however chunks are scheduled.
+//   - parallel_reduce evaluates one partial per chunk and folds the
+//     partials *in chunk order* on the calling thread, so floating-point
+//     results are bit-identical for any thread count — including the
+//     sequential path (executor == nullptr or threads() <= 1), which runs
+//     the very same chunked code inline and is the oracle the
+//     equivalence tests compare against.
+//   - Work assignment is static-friendly: chunks are claimed from a
+//     shared cursor (no stealing, no re-splitting), and the caller
+//     participates, so a 1-thread pool degenerates to the inline path.
+//
+// What must never run on the pool: the discrete-event simulation kernel
+// and everything hanging off it (broker, docstore, clients, server) —
+// those are single-threaded by design. The pool is for pure data-parallel
+// kernels (field generation, BLUE grid loops, grid reductions); whole
+// *independent* simulations run concurrently via exec::SweepExecutor
+// instead (see sweep.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mps::obs {
+class Registry;
+}
+
+namespace mps::exec {
+
+/// Counters a pool accumulates internally (with atomics — the obs
+/// registry is deliberately not thread-safe, so workers never touch it;
+/// call mirror_into() from the owning thread between parallel regions).
+struct ExecStats {
+  std::uint64_t regions = 0;        ///< parallel regions executed
+  std::uint64_t chunks = 0;         ///< chunks executed, all threads
+  std::uint64_t chunks_on_caller = 0;  ///< chunks the calling thread ran
+  std::uint64_t inline_regions = 0;  ///< regions run inline (1 thread / 1 chunk)
+};
+
+/// Something that can run `count` independent chunks, possibly
+/// concurrently, blocking until all complete. Chunk bodies must not touch
+/// shared mutable state except through disjoint indices.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Worker thread count (>= 1). 1 means every region runs inline.
+  virtual std::size_t threads() const = 0;
+
+  /// Runs fn(0) .. fn(count-1), each exactly once, and returns when all
+  /// have finished. Rethrows the first exception a chunk threw (remaining
+  /// chunks are drained without running). Throws std::logic_error when
+  /// called from inside another parallel region (no nesting).
+  virtual void run_chunks(std::size_t count,
+                          const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// Fixed-size pool of persistent workers. One parallel region at a time;
+/// concurrent run_chunks callers from distinct threads are serialized.
+class ThreadPool final : public Executor {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  /// A 1-thread pool spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const override { return threads_; }
+  void run_chunks(std::size_t count,
+                  const std::function<void(std::size_t)>& fn) override;
+
+  /// Snapshot of the internal counters (safe from the owning thread).
+  ExecStats stats() const;
+
+  /// Mirrors stats into "exec.*" registry metrics: exec.regions,
+  /// exec.chunks, exec.chunks_on_caller, exec.inline_regions counters
+  /// (set-to-current semantics via reset+inc is avoided — the counters
+  /// are monotonic, so this adds the delta since the last mirror) and the
+  /// exec.threads gauge. Call from the thread that owns the registry.
+  void mirror_into(obs::Registry& registry);
+
+ private:
+  void worker_loop();
+  void claim_loop(bool is_caller);
+
+  const std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped per region, guarded by mu_
+  std::size_t active_workers_ = 0;
+
+  // Current region, valid while a region is in flight. Workers read job_
+  // only after claiming an index below job_count_ through next_, whose
+  // release-store/acquire-claim pair publishes the assignment.
+  std::function<void(std::size_t)> job_;
+  std::atomic<std::size_t> job_count_{0};
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> cancelled_{false};
+  std::exception_ptr error_;  ///< guarded by mu_
+
+  // Stats (atomics: workers bump them outside mu_).
+  std::atomic<std::uint64_t> stat_regions_{0};
+  std::atomic<std::uint64_t> stat_chunks_{0};
+  std::atomic<std::uint64_t> stat_chunks_on_caller_{0};
+  std::atomic<std::uint64_t> stat_inline_regions_{0};
+  ExecStats mirrored_;  ///< last values pushed to a registry
+
+  std::mutex caller_mu_;  ///< serializes concurrent run_chunks callers
+};
+
+/// True while the current thread is executing inside a parallel region
+/// (pool worker, sweep worker, or a caller participating in run_chunks).
+/// run_chunks refuses to start a region from such a thread.
+bool in_parallel_region();
+
+/// RAII marker used by the pool and SweepExecutor; exposed so tests can
+/// assert the rejection path.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+};
+
+/// Chunk size for a range of n elements: `grain` when given, otherwise a
+/// default that is a pure function of n (never of the executor), so the
+/// partition — and therefore every reduction order — is identical for
+/// any thread count.
+std::size_t resolve_grain(std::size_t n, std::size_t grain);
+
+/// Number of chunks the range [0, n) splits into under `grain`.
+std::size_t chunk_count(std::size_t n, std::size_t grain);
+
+/// Runs body(begin, end) over consecutive sub-ranges of [0, n).
+/// executor == nullptr or threads() <= 1 runs the chunks in order on the
+/// calling thread (the sequential oracle). Bodies must only write state
+/// indexed by their own sub-range.
+void parallel_for(Executor* executor, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 0);
+
+/// Chunked map/reduce: partials[c] = map(chunk c begin, end), folded in
+/// chunk order on the calling thread. Bit-identical for any executor
+/// because the partition depends only on (n, grain) — see the contract
+/// above.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(Executor* executor, std::size_t n, T identity,
+                  const Map& map, const Combine& combine,
+                  std::size_t grain = 0) {
+  if (n == 0) return identity;
+  std::size_t g = resolve_grain(n, grain);
+  std::size_t chunks = chunk_count(n, g);
+  std::vector<T> partials(chunks, identity);
+  auto chunk_body = [&](std::size_t c) {
+    std::size_t begin = c * g;
+    std::size_t end = begin + g < n ? begin + g : n;
+    partials[c] = map(begin, end);
+  };
+  if (executor == nullptr || executor->threads() <= 1 || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) chunk_body(c);
+  } else {
+    executor->run_chunks(chunks, chunk_body);
+  }
+  T acc = identity;
+  for (std::size_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(partials[c]));
+  return acc;
+}
+
+/// Thread count from an environment variable: unset/empty/invalid falls
+/// back to hardware_concurrency(), the result is clamped to [1, cap].
+std::size_t resolve_threads(const char* env_name, std::size_t cap = 16);
+
+}  // namespace mps::exec

@@ -1,0 +1,101 @@
+#include "exec/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/metrics.h"
+
+namespace mps::exec {
+
+SweepExecutor::SweepExecutor(std::size_t threads)
+    : threads_(threads > 0
+                   ? threads
+                   : std::max<unsigned>(1, std::thread::hardware_concurrency())) {}
+
+void SweepExecutor::run(std::size_t count,
+                        const std::function<void(std::size_t)>& job) {
+  if (in_parallel_region())
+    throw std::logic_error(
+        "exec: SweepExecutor::run called from inside a parallel region");
+  if (count == 0) return;
+  auto start = std::chrono::steady_clock::now();
+  ++stats_.sweeps;
+
+  std::size_t spawn = std::min(threads_, count);
+  if (spawn <= 1) {
+    ParallelRegionGuard in_region;
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    stats_.jobs += count;
+    stats_.max_concurrency = std::max<std::size_t>(stats_.max_concurrency, 1);
+    stats_.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> in_flight{0};
+  std::atomic<std::size_t> peak{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto drain = [&] {
+    ParallelRegionGuard in_region;
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= count || cancelled.load(std::memory_order_relaxed)) return;
+      std::size_t running = in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::size_t seen = peak.load(std::memory_order_relaxed);
+      while (running > seen &&
+             !peak.compare_exchange_weak(seen, running,
+                                         std::memory_order_relaxed)) {
+      }
+      try {
+        job(i);
+      } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+      in_flight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(spawn - 1);
+  for (std::size_t t = 0; t + 1 < spawn; ++t) workers.emplace_back(drain);
+  drain();  // the caller is a worker too
+  for (std::thread& w : workers) w.join();
+
+  stats_.jobs += next.load(std::memory_order_relaxed) > count
+                     ? count
+                     : next.load(std::memory_order_relaxed);
+  stats_.max_concurrency =
+      std::max(stats_.max_concurrency, peak.load(std::memory_order_relaxed));
+  stats_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (error) std::rethrow_exception(error);
+}
+
+void SweepExecutor::mirror_into(obs::Registry& registry) const {
+  // Gauges carry point-in-time values; the counters are monotonic so a
+  // repeated mirror would double-count — use set-style gauges for all
+  // sweep metrics instead.
+  registry.gauge("exec.sweep_runs").set(static_cast<double>(stats_.sweeps));
+  registry.gauge("exec.sweep_jobs").set(static_cast<double>(stats_.jobs));
+  registry.gauge("exec.sweep_wall_seconds").set(stats_.wall_seconds);
+  registry.gauge("exec.sweep_max_concurrency")
+      .set(static_cast<double>(stats_.max_concurrency));
+  registry.gauge("exec.sweep_threads").set(static_cast<double>(threads_));
+}
+
+}  // namespace mps::exec

@@ -1,0 +1,67 @@
+// Run-level concurrency: execute N independent jobs (whole StudyRunner
+// deployments, multi-seed bench replays) on up to T OS threads.
+//
+// Each job must be self-contained — it owns its simulation, broker,
+// docstore, registry and fault plan, and communicates results only
+// through state indexed by its own job number. Jobs are claimed from a
+// shared cursor, so completion *order* is nondeterministic, but every
+// job's result is a pure function of its inputs (the sim substrate is
+// seed-deterministic), so a sweep's outcome vector is identical for any
+// thread count — the property the chaos gate asserts with threads in
+// {1, 2, 8}.
+//
+// Sweep worker threads are marked as parallel regions: a job that tries
+// to use a ThreadPool inside a sweep throws (the pool's no-nesting
+// contract), which keeps the two levels of parallelism from
+// oversubscribing each other. Plain sequential code — including
+// parallel_for with a null executor — is fine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mps::obs {
+class Registry;
+}
+
+namespace mps::exec {
+
+/// Cumulative sweep accounting (safe to read between run() calls).
+struct SweepStats {
+  std::uint64_t sweeps = 0;        ///< run() invocations
+  std::uint64_t jobs = 0;          ///< jobs executed across all sweeps
+  double wall_seconds = 0.0;       ///< total wall-clock spent in run()
+  std::size_t max_concurrency = 0;  ///< peak simultaneous jobs observed
+};
+
+/// Executes batches of independent jobs with bounded concurrency.
+/// Threads are spawned per run() — a sweep is a run-level operation, so
+/// thread start-up cost is noise next to the jobs themselves.
+class SweepExecutor {
+ public:
+  /// threads == 0 picks hardware_concurrency(). 1 runs jobs inline, in
+  /// order — the sequential oracle.
+  explicit SweepExecutor(std::size_t threads = 0);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Runs job(0) .. job(count-1), each exactly once, with at most
+  /// threads() in flight; blocks until all finish. Rethrows the first
+  /// exception (remaining unclaimed jobs are skipped). Throws
+  /// std::logic_error from inside another parallel region.
+  void run(std::size_t count, const std::function<void(std::size_t)>& job);
+
+  const SweepStats& stats() const { return stats_; }
+
+  /// Mirrors stats into "exec.sweep_*" metrics (sweeps/jobs counters, the
+  /// exec.sweep_wall_seconds and exec.sweep_max_concurrency gauges).
+  /// Call from the thread that owns the registry, after run() returned.
+  void mirror_into(obs::Registry& registry) const;
+
+ private:
+  const std::size_t threads_;
+  SweepStats stats_;
+};
+
+}  // namespace mps::exec

@@ -184,19 +184,52 @@ StudyReport StudyRunner::run() {
 
   StudyReport report;
   report.devices = devices_.size();
-  for (const Device& device : devices_) {
-    const client::ClientStats& stats = device.client->stats();
-    report.observations_recorded += stats.observations_recorded;
-    report.uploads += stats.uploads;
-    report.deferred_uploads += stats.deferred_uploads;
-    report.buffered_unsent += device.client->buffered();
-    report.in_flight_unsent += device.client->in_flight_count();
-    report.crashes += stats.crashes;
-    report.restarts += stats.restarts;
-    report.publish_failures += stats.publish_failures;
-    report.upload_retries += stats.upload_retries;
-    report.retry_giveups += stats.retry_giveups;
-  }
+  // Per-device aggregation: pure reads of per-client counters after the
+  // sim stopped, so chunks reduce independently; integer sums make the
+  // fold order irrelevant (identical report with or without an executor).
+  StudyReport device_sums = exec::parallel_reduce(
+      config_.executor, devices_.size(), StudyReport{},
+      [&](std::size_t begin, std::size_t end) {
+        StudyReport partial;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Device& device = devices_[i];
+          const client::ClientStats& stats = device.client->stats();
+          partial.observations_recorded += stats.observations_recorded;
+          partial.uploads += stats.uploads;
+          partial.deferred_uploads += stats.deferred_uploads;
+          partial.buffered_unsent += device.client->buffered();
+          partial.in_flight_unsent += device.client->in_flight_count();
+          partial.crashes += stats.crashes;
+          partial.restarts += stats.restarts;
+          partial.publish_failures += stats.publish_failures;
+          partial.upload_retries += stats.upload_retries;
+          partial.retry_giveups += stats.retry_giveups;
+        }
+        return partial;
+      },
+      [](StudyReport a, const StudyReport& b) {
+        a.observations_recorded += b.observations_recorded;
+        a.uploads += b.uploads;
+        a.deferred_uploads += b.deferred_uploads;
+        a.buffered_unsent += b.buffered_unsent;
+        a.in_flight_unsent += b.in_flight_unsent;
+        a.crashes += b.crashes;
+        a.restarts += b.restarts;
+        a.publish_failures += b.publish_failures;
+        a.upload_retries += b.upload_retries;
+        a.retry_giveups += b.retry_giveups;
+        return a;
+      });
+  report.observations_recorded = device_sums.observations_recorded;
+  report.uploads = device_sums.uploads;
+  report.deferred_uploads = device_sums.deferred_uploads;
+  report.buffered_unsent = device_sums.buffered_unsent;
+  report.in_flight_unsent = device_sums.in_flight_unsent;
+  report.crashes = device_sums.crashes;
+  report.restarts = device_sums.restarts;
+  report.publish_failures = device_sums.publish_failures;
+  report.upload_retries = device_sums.upload_retries;
+  report.retry_giveups = device_sums.retry_giveups;
   report.pending_server_batches = server_.pending_ingest_batches();
   report.duplicate_observations = server_.duplicate_observations();
   if (config_.faults != nullptr)

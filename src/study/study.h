@@ -23,6 +23,7 @@
 #include "core/goflow_server.h"
 #include "crowd/ambient.h"
 #include "crowd/population.h"
+#include "exec/executor.h"
 #include "fault/fault.h"
 
 namespace mps::study {
@@ -58,6 +59,12 @@ struct StudyConfig {
   /// connectivity trace and schedules its crash/restart churn. The plan
   /// must outlive the runner. Null disables injection entirely.
   fault::FaultPlan* faults = nullptr;
+  /// Optional compute plane for the post-run per-device report
+  /// aggregation (the study analytics reduce). The simulation itself
+  /// stays single-threaded regardless — the kernel must never run on a
+  /// pool (DESIGN.md §10). Null aggregates sequentially; the report is
+  /// identical either way (integer sums).
+  exec::Executor* executor = nullptr;
 };
 
 /// Aggregated outcome of a run.

@@ -86,5 +86,56 @@ TEST(GridTest, MinMaxMean) {
   EXPECT_DOUBLE_EQ(g.mean(), 5.0);
 }
 
+TEST(GridTest, OneByOneGridIsDegenerate) {
+  Grid g(1, 1, 100, 100, 42.0);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.cell_x(0), 50.0);
+  EXPECT_DOUBLE_EQ(g.cell_y(0), 50.0);
+  // Every position maps to the single cell, and sampling is constant.
+  EXPECT_EQ(g.cell_of(0, 0), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(g.cell_of(100, 100), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(g.flat_index_of(99.9, 0.1), 0u);
+  EXPECT_DOUBLE_EQ(g.sample(0, 0), 42.0);
+  EXPECT_DOUBLE_EQ(g.sample(50, 50), 42.0);
+  EXPECT_DOUBLE_EQ(g.sample(100, 100), 42.0);
+  EXPECT_DOUBLE_EQ(g.min(), 42.0);
+  EXPECT_DOUBLE_EQ(g.max(), 42.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(g.rmse(g), 0.0);
+}
+
+TEST(GridTest, SampleAtExactBorders) {
+  Grid g(3, 3, 300, 300);
+  for (std::size_t iy = 0; iy < 3; ++iy)
+    for (std::size_t ix = 0; ix < 3; ++ix)
+      g.at(ix, iy) = static_cast<double>(iy * 3 + ix);
+  // Exact corners clamp to the corner cells.
+  EXPECT_DOUBLE_EQ(g.sample(0, 0), g.at(0, 0));
+  EXPECT_DOUBLE_EQ(g.sample(300, 0), g.at(2, 0));
+  EXPECT_DOUBLE_EQ(g.sample(0, 300), g.at(0, 2));
+  EXPECT_DOUBLE_EQ(g.sample(300, 300), g.at(2, 2));
+  // Exact cell centers hit the cell value with no interpolation.
+  EXPECT_DOUBLE_EQ(g.sample(g.cell_x(1), g.cell_y(1)), g.at(1, 1));
+  // On the border, interpolation happens only along the edge.
+  EXPECT_DOUBLE_EQ(g.sample(100, 0), (g.at(0, 0) + g.at(1, 0)) / 2.0);
+}
+
+TEST(GridTest, RmseShapeMismatchVariants) {
+  Grid a(3, 2, 300, 200);
+  // Same size, different shape: still a mismatch.
+  Grid transposed(2, 3, 300, 200);
+  EXPECT_THROW(a.rmse(transposed), std::invalid_argument);
+  Grid wider(4, 2, 300, 200);
+  EXPECT_THROW(a.rmse(wider), std::invalid_argument);
+  Grid taller(3, 3, 300, 200);
+  EXPECT_THROW(a.rmse(taller), std::invalid_argument);
+  // Same shape, different physical extent: values line up, compare fine.
+  Grid rescaled(3, 2, 600, 400, 0.0);
+  EXPECT_NO_THROW(a.rmse(rescaled));
+  // The shape check fires on the parallel path too, before any chunking.
+  exec::ThreadPool pool(2);
+  EXPECT_THROW(a.rmse(transposed, &pool), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mps::assim

@@ -1,0 +1,185 @@
+// Sequential-vs-parallel equivalence: the parallel compute plane must be
+// invisible in the results. Every field below is compared bit for bit
+// (EXPECT_EQ on doubles / whole value vectors, no tolerances) between the
+// sequential oracle (executor == nullptr) and pools of several sizes —
+// the determinism contract of DESIGN.md §10.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assim/assimilator.h"
+#include "assim/blue.h"
+#include "assim/city_noise_model.h"
+#include "assim/cycle.h"
+#include "assim/grid.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+
+namespace mps::assim {
+namespace {
+
+std::vector<AssimObservation> random_observations(std::size_t n,
+                                                  double extent_m,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AssimObservation> out(n);
+  for (AssimObservation& obs : out) {
+    obs.x_m = rng.uniform(0, extent_m);
+    obs.y_m = rng.uniform(0, extent_m);
+    obs.value = rng.uniform(40.0, 80.0);
+    obs.sigma_r = rng.uniform(1.0, 5.0);
+  }
+  return out;
+}
+
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kThreadCounts[3] = {1, 2, 8};
+};
+
+TEST_F(ParallelEquivalenceTest, BlueAnalysisFieldBitExact) {
+  CityModelParams params;
+  params.grid_nx = 37;  // deliberately not a power of two
+  params.grid_ny = 29;
+  CityNoiseModel city(params, 11);
+  Grid background = city.model(hours(9));
+  auto observations = random_observations(150, params.extent_m, 3);
+  BlueParams blue;
+
+  BlueResult sequential = blue_analysis(background, observations, blue);
+  for (std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    BlueResult parallel = blue_analysis(background, observations, blue, &pool);
+    EXPECT_EQ(sequential.analysis.values(), parallel.analysis.values())
+        << "threads=" << threads;
+    EXPECT_EQ(sequential.innovation_rms, parallel.innovation_rms);
+    EXPECT_EQ(sequential.residual_rms, parallel.residual_rms);
+    EXPECT_EQ(sequential.observations_used, parallel.observations_used);
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, BlueAnalysisNoObservationsParallel) {
+  Grid background(8, 8, 800, 800, 55.0);
+  exec::ThreadPool pool(4);
+  BlueResult r = blue_analysis(background, {}, BlueParams{}, &pool);
+  EXPECT_EQ(r.analysis.values(), background.values());
+  EXPECT_EQ(r.observations_used, 0u);
+}
+
+TEST_F(ParallelEquivalenceTest, AnalysisSpreadBitExact) {
+  Grid like(31, 23, 5'000, 4'000);
+  auto observations = random_observations(60, 5'000, 17);
+  BlueParams blue;
+
+  Grid sequential = analysis_spread(like, observations, blue);
+  for (std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    Grid parallel = analysis_spread(like, observations, blue, &pool);
+    EXPECT_EQ(sequential.values(), parallel.values()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, CityFieldsBitExact) {
+  CityModelParams params;
+  params.grid_nx = 53;
+  params.grid_ny = 41;
+  CityNoiseModel city(params, 23);
+  Grid truth_seq = city.truth(hours(15));
+  Grid model_seq = city.model(hours(15));
+  for (std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    EXPECT_EQ(truth_seq.values(), city.truth(hours(15), &pool).values())
+        << "threads=" << threads;
+    EXPECT_EQ(model_seq.values(), city.model(hours(15), &pool).values())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, GridReductionsBitExact) {
+  Rng rng(5);
+  Grid a(97, 61, 9'700, 6'100);
+  Grid b(97, 61, 9'700, 6'100);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform(-100.0, 100.0);
+    b[i] = rng.uniform(-100.0, 100.0);
+  }
+  double rmse_seq = a.rmse(b);
+  double min_seq = a.min();
+  double max_seq = a.max();
+  double mean_seq = a.mean();
+  for (std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    EXPECT_EQ(rmse_seq, a.rmse(b, &pool)) << "threads=" << threads;
+    EXPECT_EQ(min_seq, a.min(&pool)) << "threads=" << threads;
+    EXPECT_EQ(max_seq, a.max(&pool)) << "threads=" << threads;
+    EXPECT_EQ(mean_seq, a.mean(&pool)) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, AssimilatePipelinePassesExecutorThrough) {
+  CityModelParams params;
+  params.grid_nx = 24;
+  params.grid_ny = 24;
+  CityNoiseModel city(params, 31);
+  Grid background = city.model(hours(12));
+
+  // Phone observations with locations, through the full filter path.
+  Rng rng(41);
+  std::vector<phone::Observation> observations(80);
+  for (phone::Observation& obs : observations) {
+    obs.spl_db = rng.uniform(45.0, 75.0);
+    phone::LocationFix fix;
+    fix.x_m = rng.uniform(0, params.extent_m);
+    fix.y_m = rng.uniform(0, params.extent_m);
+    fix.accuracy_m = rng.uniform(5.0, 150.0);
+    obs.location = fix;
+  }
+
+  ConversionStats stats_seq, stats_par;
+  BlueResult sequential =
+      assimilate(background, observations, BlueParams{}, ObservationPolicy{},
+                 identity_calibration(), &stats_seq);
+  exec::ThreadPool pool(4);
+  BlueResult parallel =
+      assimilate(background, observations, BlueParams{}, ObservationPolicy{},
+                 identity_calibration(), &stats_par, &pool);
+  EXPECT_EQ(sequential.analysis.values(), parallel.analysis.values());
+  EXPECT_EQ(stats_seq.accepted, stats_par.accepted);
+  EXPECT_EQ(stats_seq.rejected_accuracy, stats_par.rejected_accuracy);
+}
+
+TEST_F(ParallelEquivalenceTest, CycledAssimilationBitExact) {
+  CityModelParams params;
+  params.grid_nx = 20;
+  params.grid_ny = 20;
+  CityNoiseModel city(params, 47);
+
+  auto run_cycle = [&](exec::Executor* executor) {
+    CycleConfig config;
+    config.executor = executor;
+    AssimilationCycle cycle([&](TimeMs t) { return city.model(t, executor); },
+                            hours(0), config);
+    Rng rng(53);
+    for (int step = 0; step < 5; ++step) {
+      std::vector<phone::Observation> window(30);
+      for (phone::Observation& obs : window) {
+        obs.spl_db = rng.uniform(45.0, 75.0);
+        phone::LocationFix fix;
+        fix.x_m = rng.uniform(0, params.extent_m);
+        fix.y_m = rng.uniform(0, params.extent_m);
+        fix.accuracy_m = rng.uniform(5.0, 80.0);
+        obs.location = fix;
+      }
+      cycle.advance(window);
+    }
+    return cycle.analysis();
+  };
+
+  Grid sequential = run_cycle(nullptr);
+  exec::ThreadPool pool(4);
+  Grid parallel = run_cycle(&pool);
+  EXPECT_EQ(sequential.values(), parallel.values());
+}
+
+}  // namespace
+}  // namespace mps::assim

@@ -1,0 +1,244 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace mps::exec {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(ThreadPoolTest, OneThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.run_chunks(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.stats().inline_regions, 1u);
+  EXPECT_EQ(pool.stats().chunks, 5u);
+}
+
+TEST(ThreadPoolTest, EmptyRegionIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.run_chunks(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(pool.stats().regions, 0u);
+}
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 1000;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run_chunks(kChunks, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kChunks; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(pool.stats().chunks, kChunks);
+  EXPECT_EQ(pool.stats().regions, 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRegions) {
+  ThreadPool pool(3);
+  for (int region = 0; region < 50; ++region) {
+    std::atomic<std::size_t> sum{0};
+    pool.run_chunks(17, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 17u * 16u / 2u);
+  }
+  EXPECT_EQ(pool.stats().regions, 50u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesOutOfARegion) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_chunks(100,
+                      [](std::size_t i) {
+                        if (i == 42) throw std::runtime_error("chunk 42");
+                      }),
+      std::runtime_error);
+  // The pool survives the failed region and keeps working.
+  std::atomic<std::size_t> ran{0};
+  pool.run_chunks(10, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 10u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromInlinePath) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.run_chunks(
+                   3, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedRegionIsRejected) {
+  ThreadPool pool(4);
+  std::atomic<bool> nested_threw{false};
+  pool.run_chunks(8, [&](std::size_t) {
+    ThreadPool inner(2);
+    try {
+      inner.run_chunks(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      nested_threw.store(true, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_TRUE(nested_threw.load());
+}
+
+TEST(ThreadPoolTest, NestedRejectionAppliesToInlinePoolsToo) {
+  ThreadPool pool(1);
+  bool nested_threw = false;
+  pool.run_chunks(1, [&](std::size_t) {
+    ThreadPool inner(1);
+    try {
+      inner.run_chunks(1, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      nested_threw = true;
+    }
+  });
+  EXPECT_TRUE(nested_threw);
+}
+
+TEST(ParallelForTest, NullExecutorRunsSequentially) {
+  std::vector<int> data(100, 0);
+  parallel_for(nullptr, data.size(),
+               [&](std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) data[i] = static_cast<int>(i);
+               });
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(data[i], static_cast<int>(i));
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  parallel_for(&pool, 0, [&](std::size_t, std::size_t) { ran = true; });
+  parallel_for(nullptr, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, ChunksCoverRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'001;  // deliberately not a multiple of anything
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ExplicitGrainControlsChunking) {
+  EXPECT_EQ(resolve_grain(100, 7), 7u);
+  EXPECT_EQ(chunk_count(100, 7), 15u);
+  EXPECT_EQ(chunk_count(0, 7), 0u);
+  // The default grain is a pure function of n.
+  EXPECT_EQ(resolve_grain(64, 0), 1u);
+  EXPECT_EQ(resolve_grain(6'400, 0), 100u);
+}
+
+// The determinism contract: identical results — bit for bit — for the
+// sequential path and pools of any size, because the partition depends
+// only on (n, grain) and partials fold in chunk order.
+TEST(ParallelReduceTest, BitIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  std::vector<double> data(50'000);
+  for (double& v : data) v = rng.uniform(-1000.0, 1000.0);
+
+  auto sum_with = [&](Executor* executor) {
+    return parallel_reduce(
+        executor, data.size(), 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+
+  double sequential = sum_with(nullptr);
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    double parallel = sum_with(&pool);
+    // Bit-exact, not approximately equal: the whole point of ordered
+    // chunk folding.
+    EXPECT_EQ(sequential, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeYieldsIdentity) {
+  ThreadPool pool(4);
+  double r = parallel_reduce(
+      &pool, 0, 123.0, [](std::size_t, std::size_t) { return 0.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(r, 123.0);
+}
+
+TEST(ParallelReduceTest, NonCommutativeCombineSeesChunkOrder) {
+  // Concatenation exposes ordering: any out-of-order fold scrambles the
+  // string.
+  auto concat_with = [&](Executor* executor) {
+    return parallel_reduce(
+        executor, 26, std::string(),
+        [](std::size_t b, std::size_t e) {
+          std::string s;
+          for (std::size_t i = b; i < e; ++i)
+            s.push_back(static_cast<char>('a' + i));
+          return s;
+        },
+        [](std::string a, std::string b) { return a + b; },
+        /*grain=*/3);
+  };
+  std::string expected = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(concat_with(nullptr), expected);
+  ThreadPool pool(4);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(concat_with(&pool), expected);
+}
+
+TEST(ExecStatsTest, MirrorIntoRegistryTracksDeltas) {
+  ThreadPool pool(2);
+  obs::Registry registry;
+  pool.run_chunks(10, [](std::size_t) {});
+  pool.mirror_into(registry);
+  EXPECT_EQ(registry.counter("exec.regions").value(), 1u);
+  EXPECT_EQ(registry.counter("exec.chunks").value(), 10u);
+  EXPECT_EQ(registry.gauge("exec.threads").value(), 2.0);
+
+  pool.run_chunks(4, [](std::size_t) {});
+  pool.mirror_into(registry);
+  EXPECT_EQ(registry.counter("exec.regions").value(), 2u);
+  EXPECT_EQ(registry.counter("exec.chunks").value(), 14u);
+}
+
+TEST(ResolveThreadsTest, EnvOverridesAndClamping) {
+  ASSERT_EQ(unsetenv("MPS_TEST_THREADS_UNIT"), 0);
+  std::size_t dflt = resolve_threads("MPS_TEST_THREADS_UNIT", 8);
+  EXPECT_GE(dflt, 1u);
+  EXPECT_LE(dflt, 8u);
+
+  ASSERT_EQ(setenv("MPS_TEST_THREADS_UNIT", "3", 1), 0);
+  EXPECT_EQ(resolve_threads("MPS_TEST_THREADS_UNIT", 8), 3u);
+
+  ASSERT_EQ(setenv("MPS_TEST_THREADS_UNIT", "64", 1), 0);
+  EXPECT_EQ(resolve_threads("MPS_TEST_THREADS_UNIT", 8), 8u);  // capped
+
+  ASSERT_EQ(setenv("MPS_TEST_THREADS_UNIT", "not-a-number", 1), 0);
+  EXPECT_EQ(resolve_threads("MPS_TEST_THREADS_UNIT", 8), dflt);  // fallback
+
+  ASSERT_EQ(unsetenv("MPS_TEST_THREADS_UNIT"), 0);
+}
+
+}  // namespace
+}  // namespace mps::exec

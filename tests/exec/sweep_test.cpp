@@ -1,0 +1,135 @@
+#include "exec/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/metrics.h"
+
+namespace mps::exec {
+namespace {
+
+TEST(SweepExecutorTest, RunsEveryJobExactlyOnce) {
+  SweepExecutor sweep(4);
+  constexpr std::size_t kJobs = 100;
+  std::vector<std::atomic<int>> hits(kJobs);
+  sweep.run(kJobs, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(sweep.stats().sweeps, 1u);
+  EXPECT_EQ(sweep.stats().jobs, kJobs);
+}
+
+TEST(SweepExecutorTest, OneThreadRunsInOrder) {
+  SweepExecutor sweep(1);
+  std::vector<std::size_t> order;
+  sweep.run(6, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SweepExecutorTest, EmptySweepIsANoOp) {
+  SweepExecutor sweep(4);
+  bool ran = false;
+  sweep.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sweep.stats().sweeps, 0u);
+}
+
+TEST(SweepExecutorTest, ConcurrencyNeverExceedsThreadBudget) {
+  constexpr std::size_t kThreads = 3;
+  SweepExecutor sweep(kThreads);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  sweep.run(24, [&](std::size_t) {
+    int now = running.fetch_add(1, std::memory_order_relaxed) + 1;
+    int seen = peak.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+    // A little real work so jobs overlap.
+    volatile double x = 0.0;
+    for (int i = 0; i < 10'000; ++i) x = x + static_cast<double>(i);
+    running.fetch_sub(1, std::memory_order_relaxed);
+  });
+  EXPECT_LE(peak.load(), static_cast<int>(kThreads));
+  EXPECT_LE(sweep.stats().max_concurrency, kThreads);
+}
+
+TEST(SweepExecutorTest, ExceptionPropagates) {
+  SweepExecutor sweep(4);
+  EXPECT_THROW(sweep.run(50,
+                         [](std::size_t i) {
+                           if (i == 13) throw std::runtime_error("job 13");
+                         }),
+               std::runtime_error);
+  // The executor stays usable afterwards.
+  std::atomic<std::size_t> ran{0};
+  sweep.run(5, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 5u);
+}
+
+TEST(SweepExecutorTest, PoolUseInsideASweepJobIsRejected) {
+  SweepExecutor sweep(2);
+  std::atomic<int> rejected{0};
+  sweep.run(4, [&](std::size_t) {
+    ThreadPool pool(2);
+    try {
+      pool.run_chunks(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 4);
+}
+
+TEST(SweepExecutorTest, NestedSweepIsRejected) {
+  SweepExecutor outer(2);
+  std::atomic<int> rejected{0};
+  outer.run(2, [&](std::size_t) {
+    SweepExecutor inner(2);
+    try {
+      inner.run(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 2);
+}
+
+TEST(SweepExecutorTest, ResultsIndependentOfThreadCount) {
+  // Each job derives a value from its index only; the filled vector must
+  // be identical for any concurrency.
+  auto run_with = [](std::size_t threads) {
+    SweepExecutor sweep(threads);
+    std::vector<std::uint64_t> out(64, 0);
+    sweep.run(out.size(), [&](std::size_t i) {
+      std::uint64_t v = i + 1;
+      for (int k = 0; k < 1000; ++k) v = v * 6364136223846793005ull + 1;
+      out[i] = v;
+    });
+    return out;
+  };
+  auto baseline = run_with(1);
+  EXPECT_EQ(run_with(2), baseline);
+  EXPECT_EQ(run_with(8), baseline);
+}
+
+TEST(SweepExecutorTest, MirrorIntoRegistry) {
+  SweepExecutor sweep(2);
+  sweep.run(6, [](std::size_t) {});
+  obs::Registry registry;
+  sweep.mirror_into(registry);
+  EXPECT_EQ(registry.gauge("exec.sweep_runs").value(), 1.0);
+  EXPECT_EQ(registry.gauge("exec.sweep_jobs").value(), 6.0);
+  EXPECT_EQ(registry.gauge("exec.sweep_threads").value(), 2.0);
+  EXPECT_GE(registry.gauge("exec.sweep_wall_seconds").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace mps::exec

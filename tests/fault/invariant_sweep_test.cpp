@@ -4,14 +4,28 @@
 // failing seed here is a deterministic bug report: re-run the same
 // (profile, seed) pair and the exact fault schedule replays.
 //
+// The runs are independent (each owns its sim, broker, docstore,
+// registry and fault plan), so the sweep executes them concurrently on
+// an exec::SweepExecutor. MPS_TEST_THREADS bounds the concurrency
+// (default: hardware concurrency, capped at 8 — CI machines and laptops
+// both finish fast without oversubscription); every outcome is a pure
+// function of (profile, seed), so the sweep's results are identical for
+// any thread count — which ThreadCountInvariance asserts explicitly.
+// All EXPECTs run on the main thread, after the sweep collected the
+// outcomes.
+//
 // When MPS_FAULT_REPORT_DIR is set (CI does), a per-seed JSON report is
-// written there for artifact upload.
+// written there for artifact upload, in deterministic (profile, seed)
+// order regardless of completion order.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "exec/executor.h"
+#include "exec/sweep.h"
 #include "fault/fault.h"
 #include "study/invariants.h"
 #include "study/study.h"
@@ -64,6 +78,10 @@ ChaosOutcome run_chaos(const std::string& profile, std::uint64_t seed) {
   return out;
 }
 
+std::size_t sweep_threads() {
+  return exec::resolve_threads("MPS_TEST_THREADS", /*cap=*/8);
+}
+
 TEST(InvariantSweep, NoLossNoDupOrderedAcrossSeedsAndProfiles) {
   const char* report_dir = std::getenv("MPS_FAULT_REPORT_DIR");
   std::ofstream report_out;
@@ -73,11 +91,31 @@ TEST(InvariantSweep, NoLossNoDupOrderedAcrossSeedsAndProfiles) {
         << "cannot write to MPS_FAULT_REPORT_DIR=" << report_dir;
   }
 
-  for (const std::string& profile : fault::FaultPlan::profile_names()) {
+  // Flatten the (profile, seed) grid into one job list and run it
+  // concurrently; each job writes only its own outcome slot.
+  const std::vector<std::string> profiles = fault::FaultPlan::profile_names();
+  struct Job {
+    std::string profile;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (const std::string& profile : profiles)
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+      jobs.push_back({profile, seed});
+
+  std::vector<ChaosOutcome> outcomes(jobs.size());
+  exec::SweepExecutor sweep(sweep_threads());
+  sweep.run(jobs.size(), [&](std::size_t i) {
+    outcomes[i] = run_chaos(jobs[i].profile, jobs[i].seed);
+  });
+
+  // Assert (and report) on the main thread, in deterministic job order.
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const std::string& profile = profiles[p];
     std::uint64_t injected_across_seeds = 0;
     std::uint64_t crashes_across_seeds = 0;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      ChaosOutcome out = run_chaos(profile, seed);
+      const ChaosOutcome& out = outcomes[p * kSeeds + (seed - 1)];
       injected_across_seeds += out.faults_injected;
       crashes_across_seeds += out.study.crashes;
 
@@ -117,8 +155,12 @@ TEST(InvariantSweep, NoLossNoDupOrderedAcrossSeedsAndProfiles) {
     }
     // The hostile profiles must actually have been hostile — a sweep
     // that injected nothing proves nothing.
-    if (profile == "lossy-network") EXPECT_GT(injected_across_seeds, 0u);
-    if (profile == "crashy-client") EXPECT_GT(crashes_across_seeds, 0u);
+    if (profile == "lossy-network") {
+      EXPECT_GT(injected_across_seeds, 0u);
+    }
+    if (profile == "crashy-client") {
+      EXPECT_GT(crashes_across_seeds, 0u);
+    }
   }
 }
 
@@ -130,6 +172,33 @@ TEST(InvariantSweep, ChaosRunsAreDeterministicPerSeed) {
   EXPECT_EQ(a.study.observations_stored, b.study.observations_stored);
   EXPECT_EQ(a.study.publish_failures, b.study.publish_failures);
   EXPECT_EQ(a.invariants.to_json(), b.invariants.to_json());
+}
+
+// The acceptance gate for the parallel sweep: per-seed outcomes are
+// identical whether the runs execute inline (1 thread) or concurrently
+// (2 or 8 threads) — concurrency only changes wall-clock, never results.
+TEST(InvariantSweep, OutcomesIdenticalAcrossSweepThreadCounts) {
+  constexpr std::uint64_t kCheckSeeds = 4;
+  const std::string profile = "crashy-client";
+
+  std::vector<std::vector<std::string>> per_thread_outcomes;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    exec::SweepExecutor sweep(threads);
+    std::vector<std::string> outcomes(kCheckSeeds);
+    sweep.run(kCheckSeeds, [&](std::size_t i) {
+      ChaosOutcome out = run_chaos(profile, i + 1);
+      outcomes[i] = out.invariants.to_json() + "|injected=" +
+                    std::to_string(out.faults_injected) + "|stored=" +
+                    std::to_string(out.study.observations_stored);
+    });
+    per_thread_outcomes.push_back(std::move(outcomes));
+  }
+  for (std::size_t t = 1; t < per_thread_outcomes.size(); ++t)
+    for (std::uint64_t s = 0; s < kCheckSeeds; ++s) {
+      SCOPED_TRACE("threads-case=" + std::to_string(t) + " seed=" +
+                   std::to_string(s + 1));
+      EXPECT_EQ(per_thread_outcomes[0][s], per_thread_outcomes[t][s]);
+    }
 }
 
 }  // namespace
