@@ -1,0 +1,168 @@
+// Durability plane: what the WAL + snapshot machinery costs and what it
+// buys. Four measurements, all on MemStorageEnv (the environment the
+// simulation itself runs on, so the numbers are the sim's own overhead,
+// deterministic and disk-independent):
+//
+//   1. Raw WAL append throughput, fsync-per-record vs group commit
+//      (sync_every=64) — the price of the strictest durability setting.
+//   2. Journaled vs unjournaled docstore insert throughput — the
+//      log-before-apply overhead on the ingest hot path.
+//   3. Recovery time as a function of log size: full-tail replay into a
+//      fresh docstore at 1k/10k/50k records.
+//   4. The same state recovered from a snapshot plus a short tail — the
+//      case the snapshot_period knob is there to create.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/bench_util.h"
+#include "docstore/database.h"
+#include "durable/journal.h"
+#include "durable/storage.h"
+#include "durable/wal.h"
+
+namespace {
+
+using namespace mps;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// A representative observation document (~the ingest path's shape).
+Value observation_doc(int i) {
+  return Value(Object{{"client", Value("dev" + std::to_string(i % 50))},
+                      {"seq", Value(i)},
+                      {"captured_at", Value(static_cast<std::int64_t>(i) * 60)},
+                      {"spl", Value(55.0 + (i % 20))},
+                      {"lat", Value(48.85 + 0.0001 * (i % 100))},
+                      {"lon", Value(2.35 + 0.0001 * (i % 100))}});
+}
+
+/// Journals `n` docstore inserts into `env` (the realistic record mix:
+/// every record is a real db.insert the recovery path will re-apply).
+void build_log(durable::MemStorageEnv& env, int n) {
+  durable::Journal journal(env);
+  docstore::Database db;
+  db.attach_journal(&journal);
+  auto& c = db.collection("observations");
+  for (int i = 0; i < n; ++i) c.insert(observation_doc(i));
+  db.attach_journal(nullptr);
+}
+
+/// Times one full recovery (journal open + snapshot restore + tail
+/// replay) into a fresh database; returns wall seconds.
+double time_recovery(durable::MemStorageEnv& env, std::uint64_t* replayed) {
+  docstore::Database db;
+  auto start = std::chrono::steady_clock::now();
+  durable::Journal journal(env);
+  durable::RecoveryStats stats = journal.recover(
+      [&](const Value& state) {
+        const Value* db_state = state.find("db");
+        if (db_state != nullptr) db.restore_snapshot(*db_state);
+      },
+      [&](const Value& record) { db.apply_journal_record(record); });
+  double secs = seconds_since(start);
+  if (replayed != nullptr) *replayed = stats.replayed;
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_durable",
+               "Durability plane - WAL append throughput, journaling "
+               "overhead, recovery time vs log size",
+               scale);
+
+  // --- 1. Raw WAL append throughput ---------------------------------------
+  const int kAppends = 50'000;
+  const std::string payload(200, 'x');  // ~a JSON-serialized db.insert
+  std::printf("1) WAL append, %d records of %zu bytes:\n", kAppends,
+              payload.size());
+  for (std::uint64_t sync_every : {std::uint64_t{1}, std::uint64_t{64}}) {
+    durable::MemStorageEnv env;
+    durable::WalConfig cfg;
+    cfg.sync_every = sync_every;
+    durable::Wal wal(env, cfg);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kAppends; ++i) wal.append(payload);
+    wal.sync();
+    double secs = seconds_since(start);
+    std::printf("   sync_every=%-3llu %.3fs (%.0f appends/s, %zu segments)\n",
+                static_cast<unsigned long long>(sync_every), secs,
+                kAppends / secs, wal.segment_count());
+    bench_record_rate("wal_appends_sync" + std::to_string(sync_every),
+                      kAppends, secs);
+  }
+
+  // --- 2. Journaling overhead on the insert path --------------------------
+  const int kInserts = 20'000;
+  std::printf("\n2) docstore insert, %d documents:\n", kInserts);
+  double plain_secs = 0;
+  {
+    docstore::Database db;
+    auto& c = db.collection("observations");
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kInserts; ++i) c.insert(observation_doc(i));
+    plain_secs = seconds_since(start);
+  }
+  double journaled_secs = 0;
+  {
+    durable::MemStorageEnv env;
+    auto start = std::chrono::steady_clock::now();
+    build_log(env, kInserts);
+    journaled_secs = seconds_since(start);
+  }
+  std::printf("   unjournaled %.3fs  journaled %.3fs  (%.2fx overhead)\n",
+              plain_secs, journaled_secs,
+              plain_secs > 0 ? journaled_secs / plain_secs : 0.0);
+  bench_record_rate("insert_unjournaled", kInserts, plain_secs);
+  bench_record_rate("insert_journaled", kInserts, journaled_secs);
+  bench_record("journal_overhead_ratio",
+               plain_secs > 0 ? journaled_secs / plain_secs : 0.0);
+
+  // --- 3. Recovery time vs log size ---------------------------------------
+  std::printf("\n3) recovery, full-tail replay:\n");
+  for (int n : {1'000, 10'000, 50'000}) {
+    durable::MemStorageEnv env;
+    build_log(env, n);
+    std::uint64_t replayed = 0;
+    double secs = time_recovery(env, &replayed);
+    std::printf("   %6d records: %.3fs (%.0f records/s, durable bytes %zu)\n",
+                n, secs, replayed / secs, env.total_durable_bytes());
+    bench_record("recover_tail_" + std::to_string(n) + "_seconds", secs);
+    bench_record_rate("recover_tail_" + std::to_string(n) + "_records",
+                      static_cast<double>(replayed), secs);
+  }
+
+  // --- 4. Snapshot + short tail -------------------------------------------
+  std::printf("\n4) recovery, snapshot + 100-record tail (same 50k state):\n");
+  {
+    durable::MemStorageEnv env;
+    durable::Journal journal(env);
+    docstore::Database db;
+    db.attach_journal(&journal);
+    auto& c = db.collection("observations");
+    for (int i = 0; i < 50'000 - 100; ++i) c.insert(observation_doc(i));
+    auto snap_start = std::chrono::steady_clock::now();
+    journal.write_snapshot(Value(Object{{"db", db.durable_snapshot()}}));
+    double snap_secs = seconds_since(snap_start);
+    for (int i = 50'000 - 100; i < 50'000; ++i) c.insert(observation_doc(i));
+    db.attach_journal(nullptr);
+
+    std::uint64_t replayed = 0;
+    double secs = time_recovery(env, &replayed);
+    std::printf("   snapshot write %.3fs; recovery %.3fs (replayed %llu)\n",
+                snap_secs, secs, static_cast<unsigned long long>(replayed));
+    bench_record("snapshot_write_seconds", snap_secs);
+    bench_record("recover_snapshot_seconds", secs);
+    bench_record("recover_snapshot_tail_records",
+                 static_cast<double>(replayed));
+  }
+  return 0;
+}

@@ -13,14 +13,20 @@
 // profile and proves the no-loss invariants at the end:
 //   ./build/examples/city_deployment --chaos=lossy-network --seed=7
 //   ./build/examples/city_deployment --chaos=crashy-client
+//   ./build/examples/city_deployment --chaos=server-kill        # host dies + recovers
+//   ./build/examples/city_deployment --chaos=server-kill-lossy  # + hostile network
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/bench_util.h"
+#include "common/strings.h"
+#include "core/recovery.h"
 #include "core/rest_api.h"
 #include "core/standard_jobs.h"
+#include "durable/storage.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -39,8 +45,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--chaos=none|lossy-network|crashy-client] "
-                   "[--seed=N]\n",
+                   "usage: %s [--chaos=none|lossy-network|crashy-client|"
+                   "server-kill|server-kill-lossy] [--seed=N]\n",
                    argv[0]);
       return 2;
     }
@@ -78,10 +84,23 @@ int main(int argc, char** argv) {
   // seed replays the exact fault schedule, so any invariant violation
   // printed below is a reproducible bug report.
   fault::FaultPlan faults = fault::FaultPlan::none();
+  // The server-kill profiles need a durable substrate to recover from:
+  // WAL + snapshots on the in-memory storage env (DESIGN.md §11). Only
+  // built when asked for — attaching a journal puts every run on the
+  // log-before-apply path.
+  durable::MemStorageEnv storage;
+  std::unique_ptr<core::ServerLifecycle> lifecycle;
   if (!chaos_profile.empty() && chaos_profile != "none") {
     faults = fault::FaultPlan::profile(chaos_profile, seed);
     faults.set_metrics(&registry);
     study_config.faults = &faults;
+    if (starts_with(chaos_profile, "server-kill")) {
+      lifecycle = std::make_unique<core::ServerLifecycle>(
+          storage, sim, broker, db, server, durable::JournalConfig{},
+          &registry);
+      study_config.lifecycle = lifecycle.get();
+      study_config.snapshot_period = hours(6);
+    }
     std::printf("chaos: profile %s armed with seed %llu\n",
                 faults.profile_name().c_str(),
                 static_cast<unsigned long long>(seed));
@@ -124,6 +143,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.publish_failures),
                 static_cast<unsigned long long>(report.upload_retries),
                 static_cast<unsigned long long>(report.duplicate_observations));
+    if (report.server_kills > 0)
+      std::printf("  server killed %llu times, recovered %llu times "
+                  "(%llu WAL records replayed, %llu snapshots)\n",
+                  static_cast<unsigned long long>(report.server_kills),
+                  static_cast<unsigned long long>(report.server_recoveries),
+                  static_cast<unsigned long long>(
+                      registry.counter("durable.replayed_records").value()),
+                  static_cast<unsigned long long>(
+                      registry.counter("durable.snapshots").value()));
     study::InvariantReport inv =
         study::check_invariants(tracker, server, runner.clients());
     std::printf("invariants: %s\n  %s\n\n", inv.ok() ? "OK" : "VIOLATED",

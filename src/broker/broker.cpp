@@ -4,8 +4,31 @@
 
 #include "broker/topic.h"
 #include "common/log.h"
+#include "durable/journal.h"
 
 namespace mps::broker {
+
+namespace {
+
+Value message_to_value(const Message& m) {
+  return Value(Object{{"ex", Value(m.exchange)},
+                      {"rk", Value(m.routing_key)},
+                      {"p", m.payload},
+                      {"seq", Value(static_cast<std::int64_t>(m.sequence))},
+                      {"at", Value(static_cast<std::int64_t>(m.published_at))}});
+}
+
+Message message_from_value(const Value& v) {
+  Message m;
+  m.exchange = v.get_string("ex");
+  m.routing_key = v.get_string("rk");
+  if (const Value* p = v.find("p")) m.payload = *p;
+  m.sequence = static_cast<std::uint64_t>(v.get_int("seq"));
+  m.published_at = static_cast<TimeMs>(v.get_int("at"));
+  return m;
+}
+
+}  // namespace
 
 const char* exchange_type_name(ExchangeType t) {
   switch (t) {
@@ -86,6 +109,27 @@ void Broker::arm_faults(fault::FaultPlan* plan) {
   consume_fault_ = FaultPoint(plan, FaultSite::kBrokerConsume);
 }
 
+void Broker::log_record(Value record) {
+  if (journal_ != nullptr) journal_->append(record);
+}
+
+void Broker::log_enqueue(const std::string& queue_name, const Queue& q,
+                         const Message& message) {
+  if (journal_ == nullptr || !q.options.durable) return;
+  journal_->append(Value(Object{{"op", Value("brk.enq")},
+                                {"q", Value(queue_name)},
+                                {"m", message_to_value(message)}}));
+}
+
+void Broker::log_dequeue(const std::string& queue_name, const Queue& q,
+                         std::uint64_t sequence) {
+  if (journal_ == nullptr || !q.options.durable) return;
+  journal_->append(
+      Value(Object{{"op", Value("brk.deq")},
+                   {"q", Value(queue_name)},
+                   {"seq", Value(static_cast<std::int64_t>(sequence))}}));
+}
+
 void Broker::update_topology_gauges() {
   if (metrics_.exchanges != nullptr)
     metrics_.exchanges->set(static_cast<double>(exchanges_.size()));
@@ -102,14 +146,20 @@ Status Broker::declare_exchange(const std::string& name, ExchangeType type) {
                      exchange_type_name(it->second.type));
     return {};
   }
+  log_record(Value(Object{{"op", Value("brk.decl_ex")},
+                          {"name", Value(name)},
+                          {"type", Value(static_cast<std::int64_t>(type))}}));
   exchanges_[name].type = type;
   update_topology_gauges();
   return {};
 }
 
 Status Broker::delete_exchange(const std::string& name) {
-  if (exchanges_.erase(name) == 0)
+  if (exchanges_.count(name) == 0)
     return err(ErrorCode::kNotFound, "exchange '" + name + "' not found");
+  log_record(
+      Value(Object{{"op", Value("brk.del_ex")}, {"name", Value(name)}}));
+  exchanges_.erase(name);
   // Remove bindings pointing at the deleted exchange.
   for (auto& [_, ex] : exchanges_) {
     if (std::erase_if(ex.bindings, [&](const Binding& b) {
@@ -124,6 +174,12 @@ Status Broker::delete_exchange(const std::string& name) {
 Status Broker::declare_queue(const std::string& name, QueueOptions options) {
   auto it = queues_.find(name);
   if (it != queues_.end()) return {};
+  log_record(Value(Object{
+      {"op", Value("brk.decl_q")},
+      {"name", Value(name)},
+      {"max_length", Value(static_cast<std::int64_t>(options.max_length))},
+      {"ttl", Value(static_cast<std::int64_t>(options.message_ttl))},
+      {"durable", Value(options.durable)}}));
   queues_[name].options = options;
   update_topology_gauges();
   return {};
@@ -133,6 +189,9 @@ Status Broker::delete_queue(const std::string& name) {
   auto it = queues_.find(name);
   if (it == queues_.end())
     return err(ErrorCode::kNotFound, "queue '" + name + "' not found");
+  // One record covers the queue and its buffered messages (replay of
+  // brk.del_q discards them, so no per-message deq is needed).
+  log_record(Value(Object{{"op", Value("brk.del_q")}, {"name", Value(name)}}));
   for (const Consumer& c : it->second.consumers) consumer_queue_.erase(c.tag);
   queues_.erase(it);
   for (auto& [_, ex] : exchanges_) {
@@ -158,6 +217,11 @@ Status Broker::bind_exchange(const std::string& src, const std::string& dst,
                "invalid binding pattern '" + binding_key + "'");
   for (const Binding& b : sit->second.bindings)
     if (!b.to_queue && b.destination == dst && b.key == binding_key) return {};
+  log_record(Value(Object{{"op", Value("brk.bind")},
+                          {"src", Value(src)},
+                          {"dst", Value(dst)},
+                          {"key", Value(binding_key)},
+                          {"to_queue", Value(false)}}));
   sit->second.bindings.push_back(Binding{binding_key, dst, false});
   compile_binding(sit->second,
                   static_cast<std::uint32_t>(sit->second.bindings.size() - 1));
@@ -176,6 +240,11 @@ Status Broker::bind_queue(const std::string& src, const std::string& queue,
                "invalid binding pattern '" + binding_key + "'");
   for (const Binding& b : sit->second.bindings)
     if (b.to_queue && b.destination == queue && b.key == binding_key) return {};
+  log_record(Value(Object{{"op", Value("brk.bind")},
+                          {"src", Value(src)},
+                          {"dst", Value(queue)},
+                          {"key", Value(binding_key)},
+                          {"to_queue", Value(true)}}));
   sit->second.bindings.push_back(Binding{binding_key, queue, true});
   compile_binding(sit->second,
                   static_cast<std::uint32_t>(sit->second.bindings.size() - 1));
@@ -193,6 +262,11 @@ Status Broker::unbind_exchange(const std::string& src, const std::string& dst,
   });
   if (it == bindings.end())
     return err(ErrorCode::kNotFound, "binding not found");
+  log_record(Value(Object{{"op", Value("brk.unbind")},
+                          {"src", Value(src)},
+                          {"dst", Value(dst)},
+                          {"key", Value(binding_key)},
+                          {"to_queue", Value(false)}}));
   bindings.erase(it);
   recompile(sit->second);
   return {};
@@ -209,6 +283,11 @@ Status Broker::unbind_queue(const std::string& src, const std::string& queue,
   });
   if (it == bindings.end())
     return err(ErrorCode::kNotFound, "binding not found");
+  log_record(Value(Object{{"op", Value("brk.unbind")},
+                          {"src", Value(src)},
+                          {"dst", Value(queue)},
+                          {"key", Value(binding_key)},
+                          {"to_queue", Value(true)}}));
   bindings.erase(it);
   recompile(sit->second);
   return {};
@@ -307,13 +386,15 @@ void Broker::collect_matches(Exchange& ex, const std::string& routing_key,
   }
 }
 
-void Broker::enqueue(Queue& q, const Message& message,
-                     std::size_t& deliveries) {
+void Broker::enqueue(const std::string& queue_name, Queue& q,
+                     const Message& message, std::size_t& deliveries) {
   ++deliveries;
   ++stats_.delivered;
   if (metrics_.delivered != nullptr) metrics_.delivered->inc();
   if (!q.consumers.empty()) {
-    // Push path: hand directly to the next consumer (round-robin).
+    // Push path: hand directly to the next consumer (round-robin). The
+    // message never buffers, so durability is the consumer's problem —
+    // GoFlow's ingest consumer journals its own state before returning.
     const Consumer& c = q.consumers[q.next_consumer % q.consumers.size()];
     q.next_consumer = (q.next_consumer + 1) % std::max<std::size_t>(q.consumers.size(), 1);
     ++stats_.consumed;
@@ -321,10 +402,12 @@ void Broker::enqueue(Queue& q, const Message& message,
     c.callback(message);
     return;
   }
+  log_enqueue(queue_name, q, message);
   q.messages.push_back(message);
   if (q.options.max_length > 0 && q.messages.size() > q.options.max_length) {
     Message dropped = std::move(q.messages.front());
     q.messages.pop_front();  // drop-head
+    log_dequeue(queue_name, q, dropped.sequence);
     ++stats_.dropped_overflow;
     if (metrics_.dropped_overflow != nullptr) metrics_.dropped_overflow->inc();
     if (drop_hook_) drop_hook_(dropped, DropReason::kOverflow);
@@ -347,7 +430,8 @@ void Broker::route(const std::string& exchange_name, const Message& message,
   for (const Binding& b : matched) {
     if (b.to_queue) {
       auto qit = queues_.find(b.destination);
-      if (qit != queues_.end()) enqueue(qit->second, message, deliveries);
+      if (qit != queues_.end())
+        enqueue(qit->first, qit->second, message, deliveries);
     } else {
       route(b.destination, message, visited, deliveries);
     }
@@ -399,6 +483,8 @@ std::optional<Message> Broker::pop(const std::string& queue) {
   if (consume_fault_.should_fail()) return std::nullopt;
   Message m = std::move(it->second.messages.front());
   it->second.messages.pop_front();
+  // basic.get with auto-ack: the message is gone for good at pop time.
+  log_dequeue(queue, it->second, m.sequence);
   ++stats_.consumed;
   if (metrics_.consumed != nullptr) metrics_.consumed->inc();
   return m;
@@ -424,8 +510,16 @@ std::optional<Delivery> Broker::pop_reliable(const std::string& queue) {
 }
 
 Status Broker::ack(std::uint64_t delivery_tag) {
-  if (unacked_.erase(delivery_tag) == 0)
+  auto it = unacked_.find(delivery_tag);
+  if (it == unacked_.end())
     return err(ErrorCode::kNotFound, "unknown delivery tag");
+  // The enq record has had no matching deq until now (the unacked
+  // message would be restored to its queue by a crash); the ack is the
+  // moment it leaves durably.
+  auto qit = queues_.find(it->second.queue);
+  if (qit != queues_.end())
+    log_dequeue(it->second.queue, qit->second, it->second.message.sequence);
+  unacked_.erase(it);
   return {};
 }
 
@@ -436,10 +530,16 @@ Status Broker::nack(std::uint64_t delivery_tag, bool requeue) {
   if (requeue) {
     auto qit = queues_.find(it->second.queue);
     if (qit != queues_.end()) {
+      // No journal record: the enq record still stands, which is
+      // exactly "back in the queue" (recovery flags redelivery anyway).
       Message message = std::move(it->second.message);
       message.redelivered = true;
       qit->second.messages.push_front(std::move(message));
     }
+  } else {
+    auto qit = queues_.find(it->second.queue);
+    if (qit != queues_.end())
+      log_dequeue(it->second.queue, qit->second, it->second.message.sequence);
   }
   unacked_.erase(it);
   return {};
@@ -449,6 +549,9 @@ std::size_t Broker::purge_queue(const std::string& queue) {
   auto it = queues_.find(queue);
   if (it == queues_.end()) return 0;
   std::size_t n = it->second.messages.size();
+  if (n > 0 && it->second.options.durable)
+    log_record(
+        Value(Object{{"op", Value("brk.purge")}, {"q", Value(queue)}}));
   it->second.messages.clear();
   return n;
 }
@@ -466,6 +569,7 @@ std::size_t Broker::expire_messages(const std::string& queue, TimeMs now) {
          q.messages.front().published_at + q.options.message_ttl <= now) {
     Message expired = std::move(q.messages.front());
     q.messages.pop_front();
+    log_dequeue(queue, q, expired.sequence);
     ++dropped;
     if (metrics_.expired != nullptr) metrics_.expired->inc();
     if (drop_hook_) drop_hook_(expired, DropReason::kExpired);
@@ -482,11 +586,15 @@ Result<ConsumerTag> Broker::subscribe(
   ConsumerTag tag = next_tag_++;
   it->second.consumers.push_back(Consumer{tag, std::move(callback)});
   consumer_queue_[tag] = queue;
-  // Drain anything buffered before the consumer arrived.
+  // Drain anything buffered before the consumer arrived. Each drained
+  // message is consumed for good (push delivery is auto-ack), so its
+  // deq is logged before the callback runs — the callback is expected
+  // to journal its own resulting state (log-before-apply end to end).
   Queue& q = it->second;
   while (!q.messages.empty()) {
     Message m = std::move(q.messages.front());
     q.messages.pop_front();
+    log_dequeue(queue, q, m.sequence);
     ++stats_.consumed;
     if (metrics_.consumed != nullptr) metrics_.consumed->inc();
     q.consumers.back().callback(m);
@@ -511,6 +619,149 @@ Status Broker::unsubscribe(ConsumerTag tag) {
 std::size_t Broker::queue_depth(const std::string& queue) const {
   auto it = queues_.find(queue);
   return it == queues_.end() ? 0 : it->second.messages.size();
+}
+
+Value Broker::durable_snapshot() const {
+  Array exchanges;
+  for (const auto& [name, ex] : exchanges_) {
+    Array bindings;
+    for (const Binding& b : ex.bindings)
+      bindings.push_back(Value(Object{{"key", Value(b.key)},
+                                      {"dst", Value(b.destination)},
+                                      {"to_queue", Value(b.to_queue)}}));
+    exchanges.push_back(
+        Value(Object{{"name", Value(name)},
+                     {"type", Value(static_cast<std::int64_t>(ex.type))},
+                     {"bindings", Value(std::move(bindings))}}));
+  }
+  Array queues;
+  for (const auto& [name, q] : queues_) {
+    Object qo{{"name", Value(name)},
+              {"max_length",
+               Value(static_cast<std::int64_t>(q.options.max_length))},
+              {"ttl", Value(static_cast<std::int64_t>(q.options.message_ttl))},
+              {"durable", Value(q.options.durable)}};
+    if (q.options.durable) {
+      // Unacked deliveries still belong to their queue (a crash would
+      // requeue them); snapshot them ahead of the buffered backlog, in
+      // delivery order (tag order).
+      Array messages;
+      for (const auto& [tag, u] : unacked_)
+        if (u.queue == name) messages.push_back(message_to_value(u.message));
+      for (const Message& m : q.messages)
+        messages.push_back(message_to_value(m));
+      qo.set("messages", Value(std::move(messages)));
+    }
+    queues.push_back(Value(std::move(qo)));
+  }
+  return Value(Object{
+      {"exchanges", Value(std::move(exchanges))},
+      {"queues", Value(std::move(queues))},
+      {"next_sequence", Value(static_cast<std::int64_t>(next_sequence_))}});
+}
+
+void Broker::restore_snapshot(const Value& state) {
+  if (const Value* exchanges = state.find("exchanges")) {
+    for (const Value& exv : exchanges->as_array()) {
+      Exchange& ex = exchanges_[exv.get_string("name")];
+      ex.type = static_cast<ExchangeType>(exv.get_int("type"));
+      if (const Value* bindings = exv.find("bindings"))
+        for (const Value& bv : bindings->as_array())
+          ex.bindings.push_back(Binding{bv.get_string("key"),
+                                        bv.get_string("dst"),
+                                        bv.get_bool("to_queue")});
+      recompile(ex);
+    }
+  }
+  if (const Value* queues = state.find("queues")) {
+    for (const Value& qv : queues->as_array()) {
+      Queue& q = queues_[qv.get_string("name")];
+      q.options.max_length =
+          static_cast<std::size_t>(qv.get_int("max_length"));
+      q.options.message_ttl = static_cast<DurationMs>(qv.get_int("ttl"));
+      q.options.durable = qv.get_bool("durable");
+      if (const Value* messages = qv.find("messages"))
+        for (const Value& mv : messages->as_array())
+          q.messages.push_back(message_from_value(mv));
+    }
+  }
+  std::uint64_t seq =
+      static_cast<std::uint64_t>(state.get_int("next_sequence"));
+  next_sequence_ = std::max(next_sequence_, seq);
+  update_topology_gauges();
+}
+
+void Broker::apply_journal_record(const Value& record) {
+  // Replay through the public methods with journaling suppressed, so
+  // the apply path and the original path share one implementation.
+  durable::Journal* saved = journal_;
+  journal_ = nullptr;
+  const std::string op = record.get_string("op");
+  if (op == "brk.decl_ex") {
+    declare_exchange(record.get_string("name"),
+                     static_cast<ExchangeType>(record.get_int("type")));
+  } else if (op == "brk.del_ex") {
+    delete_exchange(record.get_string("name"));
+  } else if (op == "brk.decl_q") {
+    QueueOptions options;
+    options.max_length = static_cast<std::size_t>(record.get_int("max_length"));
+    options.message_ttl = static_cast<DurationMs>(record.get_int("ttl"));
+    options.durable = record.get_bool("durable");
+    declare_queue(record.get_string("name"), options);
+  } else if (op == "brk.del_q") {
+    delete_queue(record.get_string("name"));
+  } else if (op == "brk.bind") {
+    if (record.get_bool("to_queue"))
+      bind_queue(record.get_string("src"), record.get_string("dst"),
+                 record.get_string("key"));
+    else
+      bind_exchange(record.get_string("src"), record.get_string("dst"),
+                    record.get_string("key"));
+  } else if (op == "brk.unbind") {
+    if (record.get_bool("to_queue"))
+      unbind_queue(record.get_string("src"), record.get_string("dst"),
+                   record.get_string("key"));
+    else
+      unbind_exchange(record.get_string("src"), record.get_string("dst"),
+                      record.get_string("key"));
+  } else if (op == "brk.enq") {
+    auto it = queues_.find(record.get_string("q"));
+    if (it != queues_.end() && record.find("m") != nullptr) {
+      Message m = message_from_value(record.at("m"));
+      next_sequence_ = std::max(next_sequence_, m.sequence + 1);
+      it->second.messages.push_back(std::move(m));
+    }
+  } else if (op == "brk.deq") {
+    auto it = queues_.find(record.get_string("q"));
+    if (it != queues_.end()) {
+      std::uint64_t seq = static_cast<std::uint64_t>(record.get_int("seq"));
+      auto& messages = it->second.messages;
+      for (auto mit = messages.begin(); mit != messages.end(); ++mit)
+        if (mit->sequence == seq) {
+          messages.erase(mit);
+          break;
+        }
+    }
+  } else if (op == "brk.purge") {
+    auto it = queues_.find(record.get_string("q"));
+    if (it != queues_.end()) it->second.messages.clear();
+  }
+  journal_ = saved;
+}
+
+void Broker::finish_recovery() {
+  for (auto& [name, q] : queues_) {
+    if (!q.options.durable) continue;
+    for (Message& m : q.messages) m.redelivered = true;
+  }
+}
+
+void Broker::crash() {
+  exchanges_.clear();
+  queues_.clear();
+  consumer_queue_.clear();
+  unacked_.clear();
+  update_topology_gauges();
 }
 
 }  // namespace mps::broker

@@ -32,6 +32,10 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 
+namespace mps::durable {
+class Journal;
+}
+
 namespace mps::broker {
 
 /// AMQP exchange types used by GoFlow.
@@ -67,6 +71,11 @@ struct QueueOptions {
   /// 0 = never expires. Expired messages are discarded lazily when the
   /// queue is consumed or purged with a later `now`.
   DurationMs message_ttl = 0;
+  /// Durable queue (AMQP durable + persistent delivery mode): with a
+  /// journal attached, buffered messages are logged and survive a
+  /// broker crash; recovery restores them flagged `redelivered`.
+  /// Non-durable queues lose their buffered messages on crash.
+  bool durable = false;
 };
 
 /// Outcome of a publish: how many queues received the message. routed == 0
@@ -258,6 +267,42 @@ class Broker {
   void set_compiled_routing(bool enabled) { compiled_routing_ = enabled; }
   bool compiled_routing() const { return compiled_routing_; }
 
+  // --- Durability (DESIGN.md §11) -----------------------------------
+  //
+  // With a journal attached, every topology mutation is logged (the
+  // clients of this broker do not redeclare on reconnect, so recovery
+  // must rebuild exchanges/queues/bindings itself — a documented
+  // divergence from AMQP, where declarations are client-driven), and
+  // durable queues log buffered-message lifecycles: "brk.enq" when a
+  // message buffers, "brk.deq" when it leaves for good (pop, ack,
+  // nack-drop, TTL expiry, overflow, subscribe drain). A message held
+  // unacked (pop_reliable) has no deq record yet, so a crash restores
+  // it to its queue — AMQP's at-least-once contract. Plain pop() is
+  // auto-ack: the deq is logged at pop time, so a crash right after
+  // loses it (use pop_reliable when that matters).
+
+  void attach_journal(durable::Journal* journal) { journal_ = journal; }
+
+  /// Full broker state as one Value: topology, durable-queue messages
+  /// (buffered + unacked, which conceptually still belong to their
+  /// queue), and the sequence counter.
+  Value durable_snapshot() const;
+  /// Rebuilds from durable_snapshot() output (crash() first); compiled
+  /// routing state is rebuilt immediately.
+  void restore_snapshot(const Value& state);
+  /// Re-applies one "brk.*" journal record without re-logging.
+  void apply_journal_record(const Value& record);
+  /// Post-recovery step: flags every buffered durable-queue message
+  /// `redelivered` (consumers must treat them as possible duplicates).
+  void finish_recovery();
+
+  /// Models the process dying: exchanges, queues, consumers and unacked
+  /// deliveries vanish. Sequence/tag counters, stats, metrics, the drop
+  /// hook and armed faults survive (they belong to the simulation's
+  /// observer, not the dead process); sequences stay monotonic across
+  /// incarnations so recovered and new messages never collide.
+  void crash();
+
  private:
   struct Binding {
     std::string key;
@@ -289,7 +334,15 @@ class Broker {
                        const std::string& routing_key) const;
   void route(const std::string& exchange_name, const Message& message,
              std::vector<std::string>& visited, std::size_t& deliveries);
-  void enqueue(Queue& q, const Message& message, std::size_t& deliveries);
+  void enqueue(const std::string& queue_name, Queue& q, const Message& message,
+               std::size_t& deliveries);
+  void log_record(Value record);
+  /// Logs "brk.enq"/"brk.deq" when `q` is durable and a journal is
+  /// attached.
+  void log_enqueue(const std::string& queue_name, const Queue& q,
+                   const Message& message);
+  void log_dequeue(const std::string& queue_name, const Queue& q,
+                   std::uint64_t sequence);
   /// Copies the bindings of `ex` matching `routing_key` into `out`
   /// (consumer callbacks may mutate the topology mid-delivery, so matches
   /// are resolved to copies before any delivery happens).
@@ -335,6 +388,7 @@ class Broker {
   BrokerStats stats_;
   Metrics metrics_;
   DropHook drop_hook_;
+  durable::Journal* journal_ = nullptr;
   /// Trie-match scratch, reused across publishes (single-threaded; match
   /// results are copied into locals before any consumer callback runs).
   std::vector<std::uint32_t> match_scratch_;

@@ -26,6 +26,22 @@ class RunningStats {
   /// Combines two streams (parallel Welford merge).
   void merge(const RunningStats& other);
 
+  /// Raw second moment — with count/mean/min/max it round-trips the
+  /// stream exactly (durable snapshots serialize these five numbers).
+  double m2() const { return m2_; }
+
+  /// Rebuilds a stream from its raw moments (see m2()).
+  static RunningStats from_raw(std::size_t n, double mean, double m2,
+                               double min, double max) {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

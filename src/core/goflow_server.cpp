@@ -1,11 +1,28 @@
 #include "core/goflow_server.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "durable/journal.h"
 
 namespace mps::core {
+
+namespace {
+
+// Tokens are "tok-<app>-<N>"; recovery re-derives the counter from the
+// highest N seen so freshly issued tokens never collide with replayed ones.
+std::uint64_t token_suffix(const std::string& token) {
+  auto pos = token.find_last_of('-');
+  if (pos == std::string::npos) return 0;
+  const char* digits = token.c_str() + pos + 1;
+  char* end = nullptr;
+  std::uint64_t n = std::strtoull(digits, &end, 10);
+  return (end != digits && *end == '\0') ? n : 0;
+}
+
+}  // namespace
 
 const char* role_name(Role r) {
   switch (r) {
@@ -21,13 +38,14 @@ GoFlowServer::GoFlowServer(sim::Simulation& simulation, broker::Broker& broker,
     : sim_(simulation), broker_(broker), db_(database), config_(std::move(config)) {
   broker_.declare_exchange(config_.goflow_exchange, broker::ExchangeType::kTopic)
       .throw_if_error();
-  broker_.declare_queue(config_.ingest_queue).throw_if_error();
+  // Durable: the ingest queue is the at-least-once boundary — anything
+  // that does buffer in it must survive a middleware restart.
+  broker::QueueOptions ingest_options;
+  ingest_options.durable = true;
+  broker_.declare_queue(config_.ingest_queue, ingest_options).throw_if_error();
   broker_.bind_queue(config_.goflow_exchange, config_.ingest_queue, "#")
       .throw_if_error();
-  ingest_tag_ = broker_
-                    .subscribe(config_.ingest_queue,
-                               [this](const broker::Message& m) { ingest(m); })
-                    .value_or_throw();
+  subscribe_ingest();
   // Hot query paths get indexes up front.
   auto& obs = db_.collection(config_.observations_collection);
   obs.create_index("app");
@@ -37,14 +55,24 @@ GoFlowServer::GoFlowServer(sim::Simulation& simulation, broker::Broker& broker,
 }
 
 GoFlowServer::~GoFlowServer() {
+  attribute_shutdown_drops();
   broker_.unsubscribe(ingest_tag_);
   if (tracer_ != nullptr) broker_.set_drop_hook(nullptr);
+}
+
+void GoFlowServer::subscribe_ingest() {
+  ingest_tag_ = broker_
+                    .subscribe(config_.ingest_queue,
+                               [this](const broker::Message& m) { ingest(m); })
+                    .value_or_throw();
 }
 
 void GoFlowServer::set_metrics(obs::Registry* registry) {
   metrics_registry_ = registry;
   if (registry == nullptr) {
     metrics_ = Metrics{};
+    seen_batch_ids_.set_eviction_counter(nullptr);
+    seen_obs_keys_.set_eviction_counter(nullptr);
     return;
   }
   metrics_.batches_ingested = &registry->counter("server.batches_ingested");
@@ -55,6 +83,9 @@ void GoFlowServer::set_metrics(obs::Registry* registry) {
       &registry->counter("server.duplicate_observations");
   metrics_.ingest_retries = &registry->counter("retry.ingest_backoffs");
   metrics_.ingest_delay = &registry->histogram("server.ingest_delay_ms");
+  obs::Counter* evictions = &registry->counter("server.dedup_evictions");
+  seen_batch_ids_.set_eviction_counter(evictions);
+  seen_obs_keys_.set_eviction_counter(evictions);
 }
 
 void GoFlowServer::set_tracer(obs::SpanTracker* tracer) {
@@ -113,6 +144,15 @@ Result<AppRegistration> GoFlowServer::register_app(
 
   std::string token = "tok-" + app + "-" + std::to_string(++token_counter_);
   tokens_[token] = Account{app, "app-admin", Role::kAdmin, token};
+  if (journal_ != nullptr) {
+    Array pf;
+    for (const std::string& f : apps_[app].private_fields)
+      pf.push_back(Value(f));
+    log_record(Value(Object{{"op", Value("srv.app")},
+                            {"app", Value(app)},
+                            {"pf", Value(std::move(pf))},
+                            {"token", Value(token)}}));
+  }
   db_.collection(config_.accounts_collection)
       .insert(Value(Object{{"app", Value(app)},
                            {"user", Value("app-admin")},
@@ -158,6 +198,11 @@ Result<std::string> GoFlowServer::register_account(
       return err(ErrorCode::kConflict, "account exists for '" + user + "'");
   std::string token = "tok-" + app + "-" + std::to_string(++token_counter_);
   tokens_[token] = Account{app, user, role, token};
+  log_record(Value(Object{{"op", Value("srv.acct")},
+                          {"app", Value(app)},
+                          {"user", Value(user)},
+                          {"role", Value(static_cast<std::int64_t>(role))},
+                          {"token", Value(token)}}));
   db_.collection(config_.accounts_collection)
       .insert(Value(Object{{"app", Value(app)},
                            {"user", Value(user)},
@@ -172,6 +217,9 @@ Status GoFlowServer::remove_account(const std::string& auth_token,
   for (auto it = tokens_.begin(); it != tokens_.end(); ++it) {
     if (it->second.app == app && it->second.user == user) {
       tokens_.erase(it);
+      log_record(Value(Object{{"op", Value("srv.acct_rm")},
+                              {"app", Value(app)},
+                              {"user", Value(user)}}));
       db_.collection(config_.accounts_collection)
           .remove_many(docstore::Query::and_(
               {docstore::Query::eq("app", Value(app)),
@@ -200,9 +248,14 @@ Result<ClientChannels> GoFlowServer::login_client(const std::string& auth_token,
   // exchange (Figure 3: E1 -> SC).
   s = broker_.bind_exchange(ex, app_exchange(app), "#");
   if (!s.ok()) return s.error();
-  s = broker_.declare_queue(q);
+  // Durable: subscription deliveries buffered in a client's queue while
+  // it is offline must survive a middleware restart.
+  broker::QueueOptions queue_options;
+  queue_options.durable = true;
+  s = broker_.declare_queue(q, queue_options);
   if (!s.ok()) return s.error();
   ++apps_[app].analytics.clients_logged_in;
+  log_record(Value(Object{{"op", Value("srv.login")}, {"app", Value(app)}}));
   return ClientChannels{ex, q};
 }
 
@@ -241,6 +294,7 @@ Status GoFlowServer::subscribe(const std::string& auth_token, const AppId& app,
   s = broker_.bind_queue(type_ex, client_queue(app, client), "#");
   if (!s.ok()) return s;
   ++apps_[app].analytics.subscriptions;
+  log_record(Value(Object{{"op", Value("srv.sub")}, {"app", Value(app)}}));
   return {};
 }
 
@@ -263,6 +317,7 @@ std::string GoFlowServer::publish_key(const std::string& location_id,
 // --- Ingestion ---------------------------------------------------------------
 
 void GoFlowServer::ingest(const broker::Message& message) {
+  if (down_) return;  // a crashed incarnation consumes nothing
   const Value* observations = message.payload.find("observations");
   if (observations == nullptr || !observations->is_array()) {
     // Not an observation batch (e.g. a Feedback message routed for
@@ -277,7 +332,8 @@ void GoFlowServer::ingest(const broker::Message& message) {
       batch.docs.push_back(std::move(doc));
       batch.delays.push_back(0);
       std::uint64_t id = ++pending_counter_;
-      pending_batches_.emplace(id, std::move(batch));
+      log_batch_accepted(id, "", pending_batches_.emplace(id, std::move(batch))
+                                     .first->second);
       store_batch(id);
     }
     return;
@@ -285,10 +341,13 @@ void GoFlowServer::ingest(const broker::Message& message) {
   // Idempotent ingestion: the transport is at-least-once (store-and-
   // forward retries, broker redelivery), so a batch may arrive twice.
   std::string batch_id = message.payload.get_string("batch_id");
-  if (!batch_id.empty() && !seen_batch_ids_.insert(batch_id).second) {
+  if (!batch_id.empty() && !seen_batch_ids_.insert(batch_id)) {
     ++duplicate_batches_;
     if (metrics_.duplicate_batches != nullptr)
       metrics_.duplicate_batches->inc();
+    // Recovery replays the rejection so the post-crash counter agrees
+    // with what the operator saw live.
+    log_record(Value(Object{{"op", Value("srv.dupb")}}));
     if (tracer_ != nullptr) {
       // The batch was already stored; these redelivered copies go nowhere.
       for (const Value& obs : observations->as_array()) {
@@ -326,19 +385,36 @@ void GoFlowServer::ingest(const broker::Message& message) {
     batch.delays.push_back(delay);
   }
   std::uint64_t id = ++pending_counter_;
-  pending_batches_.emplace(id, std::move(batch));
+  log_batch_accepted(id, batch_id, pending_batches_.emplace(id, std::move(batch))
+                                       .first->second);
   store_batch(id);
 }
 
+// Acceptance is the durability point: once srv.batch is logged, the batch
+// is the server's responsibility — a crash before the documents land is
+// recovered by rebuilding the pending batch and resuming store_batch.
+void GoFlowServer::log_batch_accepted(std::uint64_t id,
+                                      const std::string& batch_id,
+                                      const PendingBatch& batch) {
+  if (journal_ == nullptr) return;
+  Array docs;
+  for (const Value& d : batch.docs) docs.push_back(d);
+  log_record(Value(Object{{"op", Value("srv.batch")},
+                          {"id", Value(static_cast<std::int64_t>(id))},
+                          {"bid", Value(batch_id)},
+                          {"c", Value(batch.collection)},
+                          {"app", Value(batch.app)},
+                          {"at", Value(batch.published_at)},
+                          {"docs", Value(std::move(docs))}}));
+}
+
 void GoFlowServer::store_batch(std::uint64_t id) {
+  if (down_) return;
   auto bit = pending_batches_.find(id);
   if (bit == pending_batches_.end()) return;
   PendingBatch& batch = bit->second;
   bool is_observations = !batch.app.empty() || batch.collection ==
                                                    config_.observations_collection;
-  AppState* state = nullptr;
-  auto ait = apps_.find(batch.app);
-  if (ait != apps_.end()) state = &ait->second;
 
   auto& collection = db_.collection(batch.collection);
   while (batch.next < batch.docs.size()) {
@@ -351,14 +427,8 @@ void GoFlowServer::store_batch(std::uint64_t id) {
     std::string key;
     if (is_observations && span != 0)
       key = doc.get_string("client") + "#" + std::to_string(span);
-    if (!key.empty() && seen_obs_keys_.count(key) > 0) {
-      ++duplicate_observations_;
-      if (metrics_.duplicate_observations != nullptr)
-        metrics_.duplicate_observations->inc();
-      if (tracer_ != nullptr)
-        tracer_->drop(span, obs::DropStage::kRejectedByServer, sim_.now());
-      ++batch.next;
-      batch.attempts = 0;
+    if (!key.empty() && seen_obs_keys_.contains(key)) {
+      if (account_stored_doc(id, batch, /*dup=*/true, /*live=*/true)) return;
       continue;
     }
     try {
@@ -370,19 +440,56 @@ void GoFlowServer::store_batch(std::uint64_t id) {
       DurationMs delay = fault::backoff_delay(
           batch.attempts, config_.ingest_retry_base, config_.ingest_retry_max,
           config_.ingest_retry_jitter, ingest_retry_rng_);
-      sim_.after(delay, [this, id] { store_batch(id); });
+      // The timer belongs to this incarnation: if the server crashes
+      // before it fires, recovery resumes the batch itself and a stale
+      // timer must not double-drive it.
+      sim_.after(delay, [this, id, epoch = epoch_] {
+        if (epoch == epoch_) store_batch(id);
+      });
       return;
     }
+    if (account_stored_doc(id, batch, /*dup=*/false, /*live=*/true)) return;
+  }
+  // A batch with no storable documents closes out immediately.
+  finish_batch(id, batch, /*live=*/true);
+}
+
+bool GoFlowServer::account_stored_doc(std::uint64_t id, PendingBatch& batch,
+                                      bool dup, bool live) {
+  bool is_observations = !batch.app.empty() || batch.collection ==
+                                                   config_.observations_collection;
+  const Value& doc = batch.docs[batch.next];
+  auto span = static_cast<std::uint64_t>(doc.get_int("span", 0));
+  std::string key;
+  if (is_observations && span != 0)
+    key = doc.get_string("client") + "#" + std::to_string(span);
+  AppState* state = nullptr;
+  auto ait = apps_.find(batch.app);
+  if (ait != apps_.end()) state = &ait->second;
+
+  if (live)
+    log_record(Value(Object{{"op", Value("srv.prog")},
+                            {"id", Value(static_cast<std::int64_t>(id))},
+                            {"dup", Value(dup)}}));
+  if (dup) {
+    ++duplicate_observations_;
+    // Registry metrics and the tracer live outside the server process
+    // (operator monitoring): replay must not double-count what they
+    // already saw live.
+    if (live && metrics_.duplicate_observations != nullptr)
+      metrics_.duplicate_observations->inc();
+    if (live && tracer_ != nullptr && span != 0)
+      tracer_->drop(span, obs::DropStage::kRejectedByServer, sim_.now());
+  } else {
     if (!key.empty()) seen_obs_keys_.insert(key);
-    batch.attempts = 0;
     if (is_observations) {
       DurationMs delay = batch.delays[batch.next];
       ++total_observations_;
-      if (metrics_.observations_stored != nullptr)
+      if (live && metrics_.observations_stored != nullptr)
         metrics_.observations_stored->inc();
-      if (metrics_.ingest_delay != nullptr)
+      if (live && metrics_.ingest_delay != nullptr)
         metrics_.ingest_delay->observe(static_cast<double>(delay));
-      if (tracer_ != nullptr && span != 0) {
+      if (live && tracer_ != nullptr && span != 0) {
         tracer_->stamp(span, obs::Hop::kRouted, batch.published_at);
         tracer_->stamp(span, obs::Hop::kPersisted, sim_.now());
       }
@@ -393,14 +500,26 @@ void GoFlowServer::store_batch(std::uint64_t id) {
         state->analytics.delay_stats.add(static_cast<double>(delay));
       }
     }
-    ++batch.next;
   }
+  ++batch.next;
+  batch.attempts = 0;
+  if (batch.next < batch.docs.size()) return false;
+  finish_batch(id, batch, live);
+  return true;
+}
+
+void GoFlowServer::finish_batch(std::uint64_t id, PendingBatch& batch,
+                                bool live) {
+  bool is_observations = !batch.app.empty() || batch.collection ==
+                                                   config_.observations_collection;
   if (is_observations) {
     ++total_batches_;
-    if (metrics_.batches_ingested != nullptr) metrics_.batches_ingested->inc();
-    if (state != nullptr) ++state->analytics.batches_ingested;
+    if (live && metrics_.batches_ingested != nullptr)
+      metrics_.batches_ingested->inc();
+    auto ait = apps_.find(batch.app);
+    if (ait != apps_.end()) ++ait->second.analytics.batches_ingested;
   }
-  pending_batches_.erase(bit);
+  pending_batches_.erase(id);
 }
 
 std::vector<std::uint64_t> GoFlowServer::pending_ingest_span_ids() const {
@@ -412,6 +531,263 @@ std::vector<std::uint64_t> GoFlowServer::pending_ingest_span_ids() const {
     }
   }
   return ids;
+}
+
+// --- Durability (DESIGN.md §11) ---------------------------------------------
+
+void GoFlowServer::attach_journal(durable::Journal* journal) {
+  journal_ = journal;
+}
+
+void GoFlowServer::log_record(Value record) {
+  if (journal_ != nullptr) journal_->append(record);
+}
+
+void GoFlowServer::attribute_pending_drops(obs::DropStage stage) {
+  if (tracer_ == nullptr) return;
+  for (std::uint64_t span : pending_ingest_span_ids())
+    tracer_->drop(span, stage, sim_.now());
+}
+
+void GoFlowServer::attribute_shutdown_drops() {
+  attribute_pending_drops(obs::DropStage::kLostInServerShutdown);
+}
+
+void GoFlowServer::crash() {
+  // Without a journal there is no recovery: whatever was accepted but not
+  // yet stored is gone, and the books must say so.
+  if (journal_ == nullptr)
+    attribute_pending_drops(obs::DropStage::kLostInServerCrash);
+  broker_.unsubscribe(ingest_tag_);  // no-op if the broker crashed first
+  ingest_tag_ = 0;
+  tokens_.clear();
+  apps_.clear();
+  seen_batch_ids_.clear();
+  seen_obs_keys_.clear();
+  pending_batches_.clear();
+  token_counter_ = 0;
+  job_counter_ = 0;
+  total_batches_ = 0;
+  total_observations_ = 0;
+  duplicate_batches_ = 0;
+  duplicate_observations_ = 0;
+  ingest_retries_ = 0;
+  pending_counter_ = 0;
+  down_ = true;
+  ++epoch_;  // invalidates every scheduled ingest-retry timer
+}
+
+void GoFlowServer::finish_recovery() {
+  down_ = false;
+  // Resume half-stored batches before accepting new traffic so their
+  // documents land ahead of anything newly routed. Collect ids first:
+  // store_batch erases completed batches.
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, _] : pending_batches_) ids.push_back(id);
+  for (std::uint64_t id : ids) store_batch(id);
+  subscribe_ingest();
+}
+
+Value GoFlowServer::durable_snapshot() const {
+  Array accounts;
+  for (const auto& [token, a] : tokens_)
+    accounts.push_back(Value(Object{
+        {"app", Value(a.app)},
+        {"user", Value(a.user)},
+        {"role", Value(static_cast<std::int64_t>(a.role))},
+        {"token", Value(token)}}));
+  Array apps;
+  for (const auto& [app, state] : apps_) {
+    Array pf;
+    for (const std::string& f : state.private_fields) pf.push_back(Value(f));
+    const AppAnalytics& an = state.analytics;
+    const RunningStats& ds = an.delay_stats;
+    apps.push_back(Value(Object{
+        {"app", Value(app)},
+        {"pf", Value(std::move(pf))},
+        {"cli", Value(static_cast<std::int64_t>(an.clients_logged_in))},
+        {"bat", Value(static_cast<std::int64_t>(an.batches_ingested))},
+        {"obs", Value(static_cast<std::int64_t>(an.observations_stored))},
+        {"loc", Value(static_cast<std::int64_t>(an.observations_localized))},
+        {"sub", Value(static_cast<std::int64_t>(an.subscriptions))},
+        {"ds", Value(Object{{"n", Value(static_cast<std::int64_t>(ds.count()))},
+                            {"mean", Value(ds.mean())},
+                            {"m2", Value(ds.m2())},
+                            {"min", Value(ds.min())},
+                            {"max", Value(ds.max())}})}}));
+  }
+  auto keys_array = [](const BoundedKeySet& set) {
+    Array out;
+    for (const std::string& k : set.ordered()) out.push_back(Value(k));
+    return out;
+  };
+  Array pending;
+  for (const auto& [id, batch] : pending_batches_) {
+    Array docs;
+    for (const Value& d : batch.docs) docs.push_back(d);
+    pending.push_back(Value(Object{
+        {"id", Value(static_cast<std::int64_t>(id))},
+        {"c", Value(batch.collection)},
+        {"app", Value(batch.app)},
+        {"at", Value(batch.published_at)},
+        {"next", Value(static_cast<std::int64_t>(batch.next))},
+        {"docs", Value(std::move(docs))}}));
+  }
+  return Value(Object{
+      {"accounts", Value(std::move(accounts))},
+      {"apps", Value(std::move(apps))},
+      {"seen_batches", Value(keys_array(seen_batch_ids_))},
+      {"seen_obs", Value(keys_array(seen_obs_keys_))},
+      {"pending", Value(std::move(pending))},
+      {"token_counter", Value(static_cast<std::int64_t>(token_counter_))},
+      {"job_counter", Value(static_cast<std::int64_t>(job_counter_))},
+      {"total_batches", Value(static_cast<std::int64_t>(total_batches_))},
+      {"total_observations",
+       Value(static_cast<std::int64_t>(total_observations_))},
+      {"duplicate_batches",
+       Value(static_cast<std::int64_t>(duplicate_batches_))},
+      {"duplicate_observations",
+       Value(static_cast<std::int64_t>(duplicate_observations_))},
+      {"ingest_retries", Value(static_cast<std::int64_t>(ingest_retries_))},
+      {"pending_counter", Value(static_cast<std::int64_t>(pending_counter_))}});
+}
+
+void GoFlowServer::restore_snapshot(const Value& state) {
+  const Value* accounts = state.find("accounts");
+  if (accounts != nullptr) {
+    for (const Value& a : accounts->as_array()) {
+      std::string token = a.get_string("token");
+      tokens_[token] = Account{a.get_string("app"), a.get_string("user"),
+                               static_cast<Role>(a.get_int("role")), token};
+    }
+  }
+  const Value* apps = state.find("apps");
+  if (apps != nullptr) {
+    for (const Value& a : apps->as_array()) {
+      AppState& s = apps_[a.get_string("app")];
+      const Value* pf = a.find("pf");
+      if (pf != nullptr)
+        for (const Value& f : pf->as_array())
+          s.private_fields.push_back(f.as_string());
+      AppAnalytics& an = s.analytics;
+      an.clients_logged_in = static_cast<std::uint64_t>(a.get_int("cli"));
+      an.batches_ingested = static_cast<std::uint64_t>(a.get_int("bat"));
+      an.observations_stored = static_cast<std::uint64_t>(a.get_int("obs"));
+      an.observations_localized = static_cast<std::uint64_t>(a.get_int("loc"));
+      an.subscriptions = static_cast<std::uint64_t>(a.get_int("sub"));
+      const Value* ds = a.find("ds");
+      if (ds != nullptr)
+        an.delay_stats = RunningStats::from_raw(
+            static_cast<std::size_t>(ds->get_int("n")), ds->get_double("mean"),
+            ds->get_double("m2"), ds->get_double("min"), ds->get_double("max"));
+    }
+  }
+  // Re-inserting in eviction order rebuilds the exact FIFO queue.
+  const Value* seen_batches = state.find("seen_batches");
+  if (seen_batches != nullptr)
+    for (const Value& k : seen_batches->as_array())
+      seen_batch_ids_.insert(k.as_string());
+  const Value* seen_obs = state.find("seen_obs");
+  if (seen_obs != nullptr)
+    for (const Value& k : seen_obs->as_array())
+      seen_obs_keys_.insert(k.as_string());
+  const Value* pending = state.find("pending");
+  if (pending != nullptr) {
+    for (const Value& p : pending->as_array()) {
+      PendingBatch batch;
+      batch.collection = p.get_string("c");
+      batch.app = p.get_string("app");
+      batch.published_at = p.get_int("at");
+      batch.next = static_cast<std::size_t>(p.get_int("next"));
+      const Value* docs = p.find("docs");
+      if (docs != nullptr)
+        for (const Value& d : docs->as_array()) {
+          batch.delays.push_back(d.get_int("delay_ms", 0));
+          batch.docs.push_back(d);
+        }
+      pending_batches_.emplace(static_cast<std::uint64_t>(p.get_int("id")),
+                               std::move(batch));
+    }
+  }
+  token_counter_ = static_cast<std::uint64_t>(state.get_int("token_counter"));
+  job_counter_ = static_cast<std::uint64_t>(state.get_int("job_counter"));
+  total_batches_ = static_cast<std::uint64_t>(state.get_int("total_batches"));
+  total_observations_ =
+      static_cast<std::uint64_t>(state.get_int("total_observations"));
+  duplicate_batches_ =
+      static_cast<std::uint64_t>(state.get_int("duplicate_batches"));
+  duplicate_observations_ =
+      static_cast<std::uint64_t>(state.get_int("duplicate_observations"));
+  ingest_retries_ = static_cast<std::uint64_t>(state.get_int("ingest_retries"));
+  pending_counter_ =
+      static_cast<std::uint64_t>(state.get_int("pending_counter"));
+}
+
+void GoFlowServer::apply_journal_record(const Value& record) {
+  const std::string op = record.get_string("op");
+  if (op == "srv.app") {
+    std::string app = record.get_string("app");
+    std::string token = record.get_string("token");
+    AppState& s = apps_[app];
+    s.private_fields.clear();
+    const Value* pf = record.find("pf");
+    if (pf != nullptr)
+      for (const Value& f : pf->as_array())
+        s.private_fields.push_back(f.as_string());
+    tokens_[token] = Account{app, "app-admin", Role::kAdmin, token};
+    token_counter_ = std::max(token_counter_, token_suffix(token));
+  } else if (op == "srv.acct") {
+    std::string token = record.get_string("token");
+    tokens_[token] =
+        Account{record.get_string("app"), record.get_string("user"),
+                static_cast<Role>(record.get_int("role")), token};
+    token_counter_ = std::max(token_counter_, token_suffix(token));
+  } else if (op == "srv.acct_rm") {
+    std::string app = record.get_string("app");
+    std::string user = record.get_string("user");
+    for (auto it = tokens_.begin(); it != tokens_.end(); ++it) {
+      if (it->second.app == app && it->second.user == user) {
+        tokens_.erase(it);
+        break;
+      }
+    }
+  } else if (op == "srv.login") {
+    ++apps_[record.get_string("app")].analytics.clients_logged_in;
+  } else if (op == "srv.sub") {
+    ++apps_[record.get_string("app")].analytics.subscriptions;
+  } else if (op == "srv.job") {
+    job_counter_ =
+        std::max(job_counter_, static_cast<std::uint64_t>(record.get_int("n")));
+  } else if (op == "srv.dupb") {
+    ++duplicate_batches_;
+  } else if (op == "srv.batch") {
+    auto id = static_cast<std::uint64_t>(record.get_int("id"));
+    std::string bid = record.get_string("bid");
+    if (!bid.empty()) seen_batch_ids_.insert(bid);
+    PendingBatch batch;
+    batch.collection = record.get_string("c");
+    batch.app = record.get_string("app");
+    batch.published_at = record.get_int("at");
+    const Value* docs = record.find("docs");
+    if (docs != nullptr)
+      for (const Value& d : docs->as_array()) {
+        batch.delays.push_back(d.get_int("delay_ms", 0));
+        batch.docs.push_back(d);
+      }
+    pending_counter_ = std::max(pending_counter_, id);
+    auto [it, inserted] = pending_batches_.emplace(id, std::move(batch));
+    if (inserted && it->second.docs.empty())
+      finish_batch(id, it->second, /*live=*/false);
+  } else if (op == "srv.prog") {
+    auto id = static_cast<std::uint64_t>(record.get_int("id"));
+    auto it = pending_batches_.find(id);
+    if (it != pending_batches_.end() &&
+        it->second.next < it->second.docs.size())
+      account_stored_doc(id, it->second, record.get_bool("dup"),
+                         /*live=*/false);
+  }
+  // Unknown srv.* ops are skipped: a newer log replaying through older
+  // code degrades to the records it understands.
 }
 
 // --- Data API ------------------------------------------------------------------
@@ -551,6 +927,12 @@ Result<JobId> GoFlowServer::submit_job(const std::string& auth_token,
   Status s = require_role(auth_token, app, Role::kManager);
   if (!s.ok()) return s.error();
   JobId id = "job-" + std::to_string(++job_counter_);
+  // Only the counter is durable: the callback is process-local and a job
+  // in flight across a crash simply stays "scheduled" in the jobs
+  // collection. The counter must survive or a recovered server would
+  // reissue job ids and collide on _id.
+  log_record(Value(Object{{"op", Value("srv.job")},
+                          {"n", Value(static_cast<std::int64_t>(job_counter_))}}));
   Value doc(Object{{"_id", Value(id)},
                    {"name", Value(name)},
                    {"app", Value(app)},

@@ -23,11 +23,11 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/bounded_set.h"
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -37,6 +37,10 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/simulation.h"
+
+namespace mps::durable {
+class Journal;
+}  // namespace mps::durable
 
 namespace mps::core {
 
@@ -60,6 +64,13 @@ struct ServerConfig {
   DurationMs ingest_retry_base = seconds(5);
   DurationMs ingest_retry_max = minutes(5);
   double ingest_retry_jitter = 0.2;
+
+  // Ingest dedup is bounded: only the most recent N keys are kept (FIFO
+  // eviction). At-least-once redelivery happens within retry windows of
+  // minutes, so old keys protect nothing — and an unbounded set would
+  // grow forever in a long-running deployment.
+  std::size_t batch_dedup_capacity = 1 << 20;
+  std::size_t obs_dedup_capacity = 1 << 20;
 };
 
 /// Registration result for an application.
@@ -226,6 +237,14 @@ class GoFlowServer {
   }
   /// Backoff retries taken by the ingest path on transient store errors.
   std::uint64_t ingest_retries() const { return ingest_retries_; }
+  /// Dedup keys evicted to stay within the configured capacity bounds.
+  std::uint64_t dedup_evictions() const {
+    return seen_batch_ids_.evictions() + seen_obs_keys_.evictions();
+  }
+  /// Batch-id dedup set (bounded, insertion-ordered).
+  const BoundedKeySet& seen_batch_ids() const { return seen_batch_ids_; }
+  /// Per-observation dedup set (bounded, insertion-ordered).
+  const BoundedKeySet& seen_obs_keys() const { return seen_obs_keys_; }
   /// Accepted batches still waiting out a transient-store backoff.
   std::size_t pending_ingest_batches() const { return pending_batches_.size(); }
   /// Span ids inside pending (accepted, not yet fully stored) batches —
@@ -249,6 +268,46 @@ class GoFlowServer {
   /// broker drop hook attributes per-observation broker drops (TTL
   /// expiry, queue overflow, unroutable). Pass nullptr to detach.
   void set_tracer(obs::SpanTracker* tracer);
+
+  // --- Durability (DESIGN.md §11) ---------------------------------------
+
+  /// Attaches a journal: registrations, accepted batches and per-document
+  /// ingest progress log "srv.*" records before applying, so a recovered
+  /// server resumes with identical dedup state and pending work. The
+  /// document writes themselves are journaled by the attached docstore —
+  /// srv.* records only carry the server's own bookkeeping.
+  void attach_journal(durable::Journal* journal);
+
+  /// Full server state as one Value: accounts, apps (with analytics),
+  /// counters, both dedup sets (in eviction order) and pending batches.
+  Value durable_snapshot() const;
+  /// Rebuilds from durable_snapshot() output (crash() first).
+  void restore_snapshot(const Value& state);
+  /// Re-applies one "srv.*" journal record (no re-logging).
+  void apply_journal_record(const Value& record);
+
+  /// Models the server process dying: unsubscribes from the ingest queue
+  /// and empties all volatile state in place (the object survives —
+  /// callers hold references across the crash). With no journal attached
+  /// the in-flight pending batches are unrecoverable and their spans are
+  /// attributed kLostInServerCrash; with a journal they will be rebuilt
+  /// by recovery, so nothing is attributed here. Pending retry timers
+  /// from the old incarnation are invalidated (epoch guard).
+  void crash();
+
+  /// Completes recovery after restore_snapshot + journal replay:
+  /// re-subscribes to the ingest queue (consumer subscriptions are
+  /// process-local and never journaled) and resumes every pending batch.
+  void finish_recovery();
+
+  /// True between crash() and finish_recovery().
+  bool down() const { return down_; }
+
+  /// Attributes every span still inside pending batches as lost at final
+  /// shutdown (kLostInServerShutdown) — called by the destructor so
+  /// check_invariants can close the books on a server that was simply
+  /// destroyed with work in flight. Idempotent (first drop wins).
+  void attribute_shutdown_drops();
 
  private:
   struct Account {
@@ -280,6 +339,17 @@ class GoFlowServer {
   void store_batch(std::uint64_t id);
   void on_broker_drop(const broker::Message& message,
                       broker::DropReason reason);
+  void subscribe_ingest();
+  void log_record(Value record);
+  void log_batch_accepted(std::uint64_t id, const std::string& batch_id,
+                          const PendingBatch& batch);
+  void attribute_pending_drops(obs::DropStage stage);
+  /// Shared by store_batch (live, logs srv.prog) and replay: advances
+  /// batch.next over docs[batch.next], updating dedup/counters/analytics.
+  /// Returns true when that completed the batch (it is erased).
+  bool account_stored_doc(std::uint64_t id, PendingBatch& batch, bool dup,
+                          bool live);
+  void finish_batch(std::uint64_t id, PendingBatch& batch, bool live);
   const Account* authenticate(const std::string& token) const;
   Status require_role(const std::string& token, const AppId& app,
                       Role minimum) const;
@@ -316,12 +386,18 @@ class GoFlowServer {
   std::uint64_t duplicate_batches_ = 0;
   std::uint64_t duplicate_observations_ = 0;
   std::uint64_t ingest_retries_ = 0;
-  std::set<std::string> seen_batch_ids_;
+  /// Recently ingested batch ids (bounded FIFO; capacity from config_).
+  BoundedKeySet seen_batch_ids_{config_.batch_dedup_capacity};
   /// Per-observation dedup keys ("client#span") of stored observations.
-  std::set<std::string> seen_obs_keys_;
+  BoundedKeySet seen_obs_keys_{config_.obs_dedup_capacity};
   std::map<std::uint64_t, PendingBatch> pending_batches_;
   std::uint64_t pending_counter_ = 0;
   Rng ingest_retry_rng_{fnv1a64("goflow-server-ingest")};
+  durable::Journal* journal_ = nullptr;
+  bool down_ = false;
+  /// Incarnation counter: scheduled ingest-retry timers capture it and
+  /// no-op if the server crashed (and possibly recovered) since.
+  std::uint64_t epoch_ = 0;
 
   /// Hoisted registry handles, null when no registry is attached.
   struct Metrics {

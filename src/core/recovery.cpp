@@ -1,0 +1,100 @@
+#include "core/recovery.h"
+
+#include "common/strings.h"
+
+namespace mps::core {
+
+ServerLifecycle::ServerLifecycle(durable::StorageEnv& env,
+                                 sim::Simulation& sim, broker::Broker& broker,
+                                 docstore::Database& db, GoFlowServer& server,
+                                 durable::JournalConfig config,
+                                 obs::Registry* metrics)
+    : env_(env),
+      sim_(sim),
+      broker_(broker),
+      db_(db),
+      server_(server),
+      config_(config),
+      metrics_(metrics) {
+  journal_ = std::make_unique<durable::Journal>(env_, config_, metrics_);
+  attach(journal_.get());
+  // Base snapshot: everything the components did before the journal
+  // existed (topology, indexes, registrations) becomes recoverable.
+  snapshot();
+}
+
+ServerLifecycle::~ServerLifecycle() { attach(nullptr); }
+
+void ServerLifecycle::attach(durable::Journal* journal) {
+  db_.attach_journal(journal);
+  broker_.attach_journal(journal);
+  server_.attach_journal(journal);
+}
+
+Value ServerLifecycle::combined_snapshot() const {
+  return Value(Object{{"db", db_.durable_snapshot()},
+                      {"brk", broker_.durable_snapshot()},
+                      {"srv", server_.durable_snapshot()}});
+}
+
+void ServerLifecycle::snapshot() {
+  if (down_) return;
+  journal_->write_snapshot(combined_snapshot());
+}
+
+void ServerLifecycle::crash() {
+  if (down_) return;
+  ++crashes_;
+  down_ = true;
+  // Power cut first: whatever the WAL group-committed but never synced
+  // is gone before any component state is touched.
+  env_.crash();
+  // The server crashes with its journal still attached — that is how it
+  // knows its pending batches are recoverable and must NOT be attributed
+  // as lost. Nothing logs during a component crash(), so the stale
+  // journal is never written through. The server unsubscribes from the
+  // still-alive broker, then the broker and database lose their state.
+  server_.crash();
+  broker_.crash();
+  db_.crash();
+  attach(nullptr);
+  journal_.reset();  // its in-memory segment view no longer matches disk
+}
+
+void ServerLifecycle::recover() {
+  if (!down_) return;
+  // Re-opening the journal repairs any torn WAL tail in place.
+  journal_ = std::make_unique<durable::Journal>(env_, config_, metrics_);
+  last_ = journal_->recover(
+      [this](const Value& state) {
+        const Value* db_state = state.find("db");
+        if (db_state != nullptr) db_.restore_snapshot(*db_state);
+        const Value* brk_state = state.find("brk");
+        if (brk_state != nullptr) broker_.restore_snapshot(*brk_state);
+        const Value* srv_state = state.find("srv");
+        if (srv_state != nullptr) server_.restore_snapshot(*srv_state);
+      },
+      [this](const Value& record) {
+        const std::string op = record.get_string("op");
+        if (starts_with(op, "db.")) {
+          db_.apply_journal_record(record);
+        } else if (starts_with(op, "brk.")) {
+          broker_.apply_journal_record(record);
+        } else if (starts_with(op, "srv.")) {
+          server_.apply_journal_record(record);
+        }
+        // Records with an unknown prefix are skipped (forward compat).
+      });
+  down_ = false;
+  ++recoveries_;
+  // Journal back online before the components resume: everything they do
+  // from here on is logged again.
+  attach(journal_.get());
+  broker_.finish_recovery();
+  server_.finish_recovery();
+  // The recovered state becomes the new base snapshot, so a second crash
+  // replays from here instead of the whole history.
+  snapshot();
+}
+
+}  // namespace mps::core

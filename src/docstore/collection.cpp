@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/strings.h"
+#include "durable/journal.h"
 
 namespace mps::docstore {
 
@@ -35,6 +36,10 @@ void Collection::arm_faults(fault::FaultPlan* plan) {
   update_fault_ = fault::FaultPoint(plan, fault::FaultSite::kDocstoreUpdate);
 }
 
+void Collection::log_record(Value record) {
+  if (journal_ != nullptr) journal_->append(record);
+}
+
 std::string Collection::insert(Document doc) {
   // Injected transient failure fires before any state is touched: the
   // write never happened, so a catching caller can safely retry with the
@@ -42,6 +47,29 @@ std::string Collection::insert(Document doc) {
   if (insert_fault_.should_fail())
     throw fault::TransientError(fault::FaultSite::kDocstoreInsert,
                                 "injected fault: insert into '" + name_ + "'");
+  return insert_checked(std::move(doc), /*journaled=*/true);
+}
+
+std::string Collection::apply_insert(Document doc) {
+  // Replayed documents carry the _id the original insert generated;
+  // advance the generator past it so post-recovery inserts can't
+  // collide with replayed ones.
+  if (const Value* id = doc.find("_id")) {
+    if (id->is_string()) {
+      const std::string& s = id->as_string();
+      const std::string prefix = name_ + "-";
+      if (s.size() > prefix.size() &&
+          s.compare(0, prefix.size(), prefix) == 0) {
+        char* end = nullptr;
+        std::uint64_t n = std::strtoull(s.c_str() + prefix.size(), &end, 10);
+        if (end != nullptr && *end == '\0' && n > id_counter_) id_counter_ = n;
+      }
+    }
+  }
+  return insert_checked(std::move(doc), /*journaled=*/false);
+}
+
+std::string Collection::insert_checked(Document doc, bool journaled) {
   if (!doc.is_object())
     throw std::invalid_argument("Collection::insert: document must be an object");
   std::string id;
@@ -55,6 +83,12 @@ std::string Collection::insert(Document doc) {
     id = generate_id();
     doc.as_object().set("_id", Value(id));
   }
+  // Log-before-apply: validation is done, so the record re-applies
+  // cleanly on recovery; the state change below cannot throw.
+  if (journaled)
+    log_record(Value(Object{{"op", Value("db.insert")},
+                            {"c", Value(name_)},
+                            {"doc", doc}}));
   Slot slot = slots_.size();
   slots_.push_back(std::move(doc));
   id_to_slot_[id] = slot;
@@ -447,13 +481,27 @@ std::size_t Collection::count(const Query& query) const {
 }
 
 bool Collection::replace(const std::string& id, Document doc) {
+  return replace_checked(id, std::move(doc), /*journaled=*/true);
+}
+
+bool Collection::apply_replace(const std::string& id, Document doc) {
+  return replace_checked(id, std::move(doc), /*journaled=*/false);
+}
+
+bool Collection::replace_checked(const std::string& id, Document doc,
+                                 bool journaled) {
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) return false;
   if (!doc.is_object())
     throw std::invalid_argument("Collection::replace: document must be an object");
   Slot slot = it->second;
-  unindex_document(slot, *slots_[slot]);
   doc.as_object().set("_id", Value(id));
+  if (journaled)
+    log_record(Value(Object{{"op", Value("db.replace")},
+                            {"c", Value(name_)},
+                            {"id", Value(id)},
+                            {"doc", doc}}));
+  unindex_document(slot, *slots_[slot]);
   slots_[slot] = std::move(doc);
   index_document(slot, *slots_[slot]);
   return true;
@@ -464,13 +512,33 @@ std::size_t Collection::update_many(
   if (update_fault_.should_fail())
     throw fault::TransientError(fault::FaultSite::kDocstoreUpdate,
                                 "injected fault: update in '" + name_ + "'");
+  // Two passes: match first, then mutate. Mutating while scanning would
+  // break if the callback reentrantly inserts (slots_ reallocation under
+  // the loop) or removes the very document being updated (the old code
+  // dereferenced the now-empty slot — UB). The callback mutates a copy;
+  // if it removed the document mid-flight, the update is dropped rather
+  // than resurrecting it.
+  std::vector<Slot> matches;
+  for (Slot slot = 0; slot < slots_.size(); ++slot)
+    if (slots_[slot].has_value() && query.matches(*slots_[slot]))
+      matches.push_back(slot);
   std::size_t updated = 0;
-  for (Slot slot = 0; slot < slots_.size(); ++slot) {
-    if (!slots_[slot].has_value() || !query.matches(*slots_[slot])) continue;
+  for (Slot slot : matches) {
+    if (!slots_[slot].has_value()) continue;  // removed by an earlier mutate
     std::string id = slots_[slot]->at("_id").as_string();
+    Document next = *slots_[slot];
+    mutate(next);
+    next.as_object().set("_id", Value(id));  // _id is immutable
+    auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end() || it->second != slot) continue;
+    // Journaled as a replace of the post-mutation document: recovery
+    // replays final states, not callbacks.
+    log_record(Value(Object{{"op", Value("db.replace")},
+                            {"c", Value(name_)},
+                            {"id", Value(id)},
+                            {"doc", next}}));
     unindex_document(slot, *slots_[slot]);
-    mutate(*slots_[slot]);
-    slots_[slot]->as_object().set("_id", Value(id));  // _id is immutable
+    slots_[slot] = std::move(next);
     index_document(slot, *slots_[slot]);
     ++updated;
   }
@@ -478,8 +546,20 @@ std::size_t Collection::update_many(
 }
 
 bool Collection::remove(const std::string& id) {
+  return remove_checked(id, /*journaled=*/true);
+}
+
+bool Collection::apply_remove(const std::string& id) {
+  return remove_checked(id, /*journaled=*/false);
+}
+
+bool Collection::remove_checked(const std::string& id, bool journaled) {
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) return false;
+  if (journaled)
+    log_record(Value(Object{{"op", Value("db.remove")},
+                            {"c", Value(name_)},
+                            {"id", Value(id)}}));
   Slot slot = it->second;
   unindex_document(slot, *slots_[slot]);
   slots_[slot].reset();
@@ -501,6 +581,14 @@ std::size_t Collection::remove_many(const Query& query) {
 }
 
 void Collection::create_index(const std::string& path) {
+  if (indexes_.count(path) > 0) return;
+  log_record(Value(Object{{"op", Value("db.index")},
+                          {"c", Value(name_)},
+                          {"path", Value(path)}}));
+  apply_create_index(path);
+}
+
+void Collection::apply_create_index(const std::string& path) {
   if (indexes_.count(path) > 0) return;
   Index& index = indexes_[path];
   for (Slot slot = 0; slot < slots_.size(); ++slot) {
@@ -643,6 +731,42 @@ void Collection::for_each(
     const std::function<void(const Document&)>& fn) const {
   for (const auto& slot : slots_)
     if (slot.has_value()) fn(*slot);
+}
+
+Value Collection::durable_snapshot() const {
+  Array docs;
+  docs.reserve(id_to_slot_.size());
+  for (const auto& slot : slots_)
+    if (slot.has_value()) docs.push_back(*slot);
+  Array index_paths;
+  for (const auto& [path, _] : indexes_) index_paths.push_back(Value(path));
+  return Value(Object{
+      {"name", Value(name_)},
+      {"id_counter", Value(static_cast<std::int64_t>(id_counter_))},
+      {"indexes", Value(std::move(index_paths))},
+      {"docs", Value(std::move(docs))}});
+}
+
+void Collection::restore_snapshot(const Value& state) {
+  id_counter_ = static_cast<std::uint64_t>(state.get_int("id_counter"));
+  if (const Value* docs = state.find("docs"))
+    for (const Value& doc : docs->as_array())
+      insert_checked(doc, /*journaled=*/false);
+  // Indexes after documents: one bulk build instead of per-doc inserts.
+  if (const Value* paths = state.find("indexes"))
+    for (const Value& path : paths->as_array())
+      apply_create_index(path.as_string());
+}
+
+void Collection::crash() {
+  if (metrics_.documents != nullptr)
+    metrics_.documents->add(-static_cast<double>(id_to_slot_.size()));
+  slots_.clear();
+  id_to_slot_.clear();
+  indexes_.clear();
+  id_counter_ = 0;
+  stats_.document_count = 0;
+  stats_.index_count = 0;
 }
 
 Document Collection::project(const Document& doc,

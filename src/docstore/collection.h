@@ -14,6 +14,10 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 
+namespace mps::durable {
+class Journal;
+}
+
 namespace mps::docstore {
 
 /// Key wrapper so Values order correctly inside std::multimap indexes.
@@ -142,6 +146,38 @@ class Collection {
   /// that would otherwise copy the whole collection).
   void for_each(const std::function<void(const Document&)>& fn) const;
 
+  // --- Durability (DESIGN.md §11) -----------------------------------
+  //
+  // With a journal attached every mutation is logged *before* it is
+  // applied ("db.insert"/"db.replace"/"db.remove"/"db.index" records;
+  // update_many logs the post-mutation document as a replace), after
+  // validation — so every logged record re-applies cleanly. Pass
+  // nullptr to detach (recovery does, while replaying).
+
+  void attach_journal(durable::Journal* journal) { journal_ = journal; }
+  durable::Journal* journal() const { return journal_; }
+
+  /// Recovery-only appliers: identical state transitions to
+  /// insert/replace/remove/create_index but with no journaling and no
+  /// fault injection (re-applying an already-acknowledged write must
+  /// never fail, even under an armed chaos plan).
+  std::string apply_insert(Document doc);
+  bool apply_replace(const std::string& id, Document doc);
+  bool apply_remove(const std::string& id);
+  void apply_create_index(const std::string& path);
+
+  /// Full state as one Value (documents in insertion order, index
+  /// paths, the _id generator) — the collection's snapshot record.
+  Value durable_snapshot() const;
+  /// Rebuilds state from durable_snapshot() output. The collection must
+  /// be empty (crash() first).
+  void restore_snapshot(const Value& state);
+
+  /// Models the process dying: drops every document and index entry in
+  /// place (the object survives — callers hold references) and fixes
+  /// the documents gauge. Journal and metrics attachments survive.
+  void crash();
+
  private:
   using Slot = std::size_t;
   struct Index {
@@ -164,6 +200,12 @@ class Collection {
   };
 
   std::string generate_id();
+  /// Shared bodies of the public mutators and the apply_* recovery
+  /// path; `journaled` false suppresses the WAL record.
+  std::string insert_checked(Document doc, bool journaled);
+  bool replace_checked(const std::string& id, Document doc, bool journaled);
+  bool remove_checked(const std::string& id, bool journaled);
+  void log_record(Value record);
   void index_document(Slot slot, const Document& doc);
   void unindex_document(Slot slot, const Document& doc);
   Plan plan(const Query& query) const;
@@ -205,6 +247,7 @@ class Collection {
   Metrics metrics_;
   fault::FaultPoint insert_fault_;
   fault::FaultPoint update_fault_;
+  durable::Journal* journal_ = nullptr;
 };
 
 }  // namespace mps::docstore

@@ -8,6 +8,7 @@ Collection& Database::collection(const std::string& name) {
     it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
     it->second->set_metrics(metrics_registry_);
     it->second->arm_faults(fault_plan_);
+    it->second->attach_journal(journal_);
   }
   return *it->second;
 }
@@ -46,6 +47,45 @@ void Database::set_metrics(obs::Registry* registry) {
 void Database::arm_faults(fault::FaultPlan* plan) {
   fault_plan_ = plan;
   for (auto& [_, c] : collections_) c->arm_faults(plan);
+}
+
+void Database::attach_journal(durable::Journal* journal) {
+  journal_ = journal;
+  for (auto& [_, c] : collections_) c->attach_journal(journal);
+}
+
+Value Database::durable_snapshot() const {
+  Array collections;
+  for (const auto& [_, c] : collections_)
+    collections.push_back(c->durable_snapshot());
+  return Value(Object{{"collections", Value(std::move(collections))}});
+}
+
+void Database::restore_snapshot(const Value& state) {
+  const Value* collections = state.find("collections");
+  if (collections == nullptr) return;
+  for (const Value& snap : collections->as_array())
+    collection(snap.get_string("name")).restore_snapshot(snap);
+}
+
+void Database::apply_journal_record(const Value& record) {
+  const std::string op = record.get_string("op");
+  Collection& c = collection(record.get_string("c"));
+  if (op == "db.insert") {
+    c.apply_insert(record.at("doc"));
+  } else if (op == "db.replace") {
+    c.apply_replace(record.get_string("id"), record.at("doc"));
+  } else if (op == "db.remove") {
+    c.apply_remove(record.get_string("id"));
+  } else if (op == "db.index") {
+    c.apply_create_index(record.get_string("path"));
+  }
+  // Unknown db.* ops are skipped: a newer log replaying through older
+  // code degrades to the records it understands.
+}
+
+void Database::crash() {
+  for (auto& [_, c] : collections_) c->crash();
 }
 
 }  // namespace mps::docstore

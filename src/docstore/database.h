@@ -46,10 +46,28 @@ class Database {
   /// future — like set_metrics). Pass nullptr to disarm.
   void arm_faults(fault::FaultPlan* plan);
 
+  // --- Durability (DESIGN.md §11) -----------------------------------
+
+  /// Attaches a journal to every collection (existing and future — like
+  /// set_metrics): mutations log "db.*" records before applying.
+  void attach_journal(durable::Journal* journal);
+
+  /// Full database state as one Value ({"collections": [...]}).
+  Value durable_snapshot() const;
+  /// Rebuilds from durable_snapshot() output (crash() first).
+  void restore_snapshot(const Value& state);
+  /// Re-applies one "db.*" journal record (no re-logging, no faults).
+  void apply_journal_record(const Value& record);
+
+  /// Models the process dying: every collection is emptied in place
+  /// (objects survive — callers hold references across the crash).
+  void crash();
+
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;
   obs::Registry* metrics_registry_ = nullptr;
   fault::FaultPlan* fault_plan_ = nullptr;
+  durable::Journal* journal_ = nullptr;
 };
 
 }  // namespace mps::docstore

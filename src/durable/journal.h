@@ -1,0 +1,74 @@
+// Journal: the Value-record durability layer the middleware writes to.
+//
+// Components don't frame bytes — they append JSON-serializable Values
+// ({"op": "db.insert", ...}) and the journal handles WAL framing,
+// group commit, snapshots and recovery. One journal (one WAL) is shared
+// by the docstore, the broker and the server, so the global LSN order
+// totally orders every state change across components; records are
+// dispatched back on recovery by their "op" prefix ("db.", "brk.",
+// "srv." — see core::ServerLifecycle).
+//
+// Recovery = load the newest valid snapshot (restore_fn), then replay
+// the WAL tail after the snapshot's LSN (apply_fn per record). A fresh
+// Journal is constructed per process incarnation over the same
+// StorageEnv; construction itself repairs any torn WAL tail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/value.h"
+#include "durable/snapshot.h"
+#include "durable/storage.h"
+#include "durable/wal.h"
+
+namespace mps::durable {
+
+struct JournalConfig {
+  WalConfig wal;
+};
+
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_lsn = 0;
+  std::uint64_t replayed = 0;       ///< tail records applied
+  std::uint64_t skipped_bad = 0;    ///< tail records that failed to parse
+};
+
+class Journal {
+ public:
+  explicit Journal(StorageEnv& env, JournalConfig config = {},
+                   obs::Registry* metrics = nullptr);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Logs one record (serialized to JSON); returns its LSN. Durable per
+  /// the WAL's sync_every.
+  std::uint64_t append(const Value& record);
+
+  /// Forces group-committed appends durable.
+  void sync() { wal_.sync(); }
+
+  /// Full recovery: restore_fn(snapshot state) if a snapshot loads,
+  /// then apply_fn(record) for each valid tail record in LSN order.
+  /// Increments durable.recoveries.
+  RecoveryStats recover(
+      const std::function<void(const Value& snapshot_state)>& restore_fn,
+      const std::function<void(const Value& record)>& apply_fn);
+
+  /// Writes a snapshot of `state` covering everything logged so far,
+  /// then truncates the WAL through it and prunes older snapshots.
+  void write_snapshot(const Value& state);
+
+  Wal& wal() { return wal_; }
+  const Wal& wal() const { return wal_; }
+
+ private:
+  StorageEnv& env_;
+  obs::Registry* metrics_;
+  Wal wal_;
+};
+
+}  // namespace mps::durable

@@ -1,0 +1,79 @@
+#include "durable/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "durable/wal.h"
+#include "obs/metrics.h"
+
+namespace mps::durable {
+
+namespace {
+
+std::string snapshot_name(std::uint64_t lsn) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(lsn));
+  return std::string(kSnapshotPrefix) + buf;
+}
+
+bool is_snapshot_name(const std::string& name) {
+  const std::string prefix = kSnapshotPrefix;
+  return name.size() == prefix.size() + 16 &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::uint64_t lsn_of(const std::string& name) {
+  return std::strtoull(name.c_str() + std::string(kSnapshotPrefix).size(),
+                       nullptr, 10);
+}
+
+}  // namespace
+
+void write_snapshot(StorageEnv& env, std::uint64_t lsn, const Value& state,
+                    obs::Registry* metrics) {
+  std::string framed;
+  encode_record(lsn, state.to_json(), framed);
+  env.write_atomic(snapshot_name(lsn), framed);
+  if (metrics != nullptr) {
+    metrics->counter("durable.snapshots").inc();
+    metrics->gauge("durable.snapshot_bytes")
+        .set(static_cast<double>(framed.size()));
+  }
+}
+
+std::optional<LoadedSnapshot> load_latest_snapshot(StorageEnv& env,
+                                                   obs::Registry* metrics) {
+  std::vector<std::string> names;
+  for (const std::string& name : env.list())
+    if (is_snapshot_name(name)) names.push_back(name);
+  // Newest first; fall back on corruption.
+  std::sort(names.rbegin(), names.rend());
+  for (const std::string& name : names) {
+    std::string data = env.read(name);
+    std::optional<DecodedRecord> rec = decode_record(data, 0);
+    if (rec.has_value() && rec->lsn == lsn_of(name) &&
+        rec->end_offset == data.size()) {
+      try {
+        LoadedSnapshot out;
+        out.lsn = rec->lsn;
+        out.state = Value::parse_json(rec->payload);
+        return out;
+      } catch (const std::exception&) {
+        // fall through: treat unparseable payload like a CRC failure
+      }
+    }
+    if (metrics != nullptr)
+      metrics->counter("durable.snapshots_corrupt_skipped").inc();
+  }
+  return std::nullopt;
+}
+
+void prune_snapshots(StorageEnv& env, std::uint64_t keep_lsn) {
+  for (const std::string& name : env.list())
+    if (is_snapshot_name(name) && lsn_of(name) < keep_lsn) env.remove(name);
+}
+
+}  // namespace mps::durable

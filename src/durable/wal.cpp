@@ -1,0 +1,261 @@
+#include "durable/wal.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace mps::durable {
+
+// ---------------------------------------------------------------- crc
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::string_view buf, std::size_t off) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off + 3]))
+          << 24);
+}
+
+std::uint64_t get_u64(std::string_view buf, std::size_t off) {
+  return static_cast<std::uint64_t>(get_u32(buf, off)) |
+         (static_cast<std::uint64_t>(get_u32(buf, off + 4)) << 32);
+}
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;  // len, crc, lsn
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_record(std::uint64_t lsn, std::string_view payload,
+                   std::string& out) {
+  std::string body;
+  body.reserve(8 + payload.size());
+  put_u64(body, lsn);
+  body.append(payload.data(), payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(body));
+  out += body;
+}
+
+std::optional<DecodedRecord> decode_record(std::string_view buffer,
+                                           std::size_t offset) {
+  if (offset + kHeaderBytes > buffer.size()) return std::nullopt;
+  std::uint32_t len = get_u32(buffer, offset);
+  std::uint32_t stored_crc = get_u32(buffer, offset + 4);
+  std::size_t body_end = offset + kHeaderBytes + len;
+  if (body_end < offset || body_end > buffer.size()) return std::nullopt;
+  std::string_view body = buffer.substr(offset + 8, 8 + len);
+  if (crc32(body) != stored_crc) return std::nullopt;
+  DecodedRecord rec;
+  rec.lsn = get_u64(buffer, offset + 8);
+  rec.payload = buffer.substr(offset + kHeaderBytes, len);
+  rec.end_offset = body_end;
+  return rec;
+}
+
+// ---------------------------------------------------------------- Wal
+
+Wal::Wal(StorageEnv& env, WalConfig config, obs::Registry* metrics)
+    : env_(env), config_(std::move(config)) {
+  if (metrics != nullptr) {
+    appends_metric_ = &metrics->counter("durable.wal_appends");
+    fsync_metric_ = &metrics->counter("durable.fsync_batches");
+    replayed_metric_ = &metrics->counter("durable.replayed_records");
+    discarded_metric_ = &metrics->counter("durable.discarded_tail_records");
+    segments_metric_ = &metrics->gauge("durable.wal_segments");
+  }
+  open_existing();
+  publish_metrics();
+}
+
+std::string Wal::segment_name(std::uint64_t first_lsn) const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(first_lsn));
+  return config_.prefix + buf;
+}
+
+void Wal::open_existing() {
+  // Collect segments by prefix; lexicographic order == LSN order thanks
+  // to the zero-padded names.
+  for (const std::string& name : env_.list()) {
+    if (name.size() != config_.prefix.size() + 16 ||
+        name.compare(0, config_.prefix.size(), config_.prefix) != 0)
+      continue;
+    Segment seg;
+    seg.name = name;
+    seg.first_lsn =
+        std::strtoull(name.c_str() + config_.prefix.size(), nullptr, 10);
+    segments_.push_back(std::move(seg));
+  }
+
+  // Scan every segment, validating the record chain. The log's valid
+  // prefix ends at the first torn or corrupt record; everything after
+  // (rest of that segment plus any later segments) is discarded so the
+  // next append continues from a consistent state.
+  bool chain_broken = false;
+  std::size_t keep_segments = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    Segment& seg = segments_[i];
+    if (chain_broken) {
+      stats_.discarded_tail_bytes += env_.read(seg.name).size();
+      env_.remove(seg.name);
+      continue;
+    }
+    std::string data = env_.read(seg.name);
+    std::size_t offset = 0;
+    std::uint64_t expect = seg.first_lsn;
+    while (offset < data.size()) {
+      std::optional<DecodedRecord> rec = decode_record(data, offset);
+      if (!rec.has_value() || rec->lsn != expect) break;
+      offset = rec->end_offset;
+      ++expect;
+    }
+    if (offset < data.size()) {
+      // Torn/corrupt tail: atomically truncate to the valid prefix.
+      ++stats_.discarded_tail_records;
+      stats_.discarded_tail_bytes += data.size() - offset;
+      chain_broken = true;
+      if (offset == 0) {
+        env_.remove(seg.name);
+        continue;  // keep_segments not bumped: segment held nothing valid
+      }
+      env_.write_atomic(seg.name, std::string_view(data).substr(0, offset));
+    }
+    seg.size = offset;
+    next_lsn_ = expect;
+    if (keep_segments != i)  // self-move would clear the segment name
+      segments_[keep_segments] = std::move(seg);
+    ++keep_segments;
+  }
+  segments_.resize(keep_segments);
+  if (discarded_metric_ != nullptr)
+    discarded_metric_->inc(stats_.discarded_tail_records);
+}
+
+void Wal::start_segment(std::uint64_t first_lsn) {
+  Segment seg;
+  seg.name = segment_name(first_lsn);
+  seg.first_lsn = first_lsn;
+  seg.size = 0;
+  // Sync the outgoing segment so rotation never leaves a hole behind
+  // the new segment's records.
+  if (!segments_.empty() && unsynced_appends_ > 0) sync();
+  segments_.push_back(std::move(seg));
+  ++stats_.segments_created;
+  publish_metrics();
+}
+
+std::uint64_t Wal::append(std::string_view payload) {
+  std::uint64_t lsn = next_lsn_++;
+  if (segments_.empty() || segments_.back().size >= config_.segment_bytes)
+    start_segment(lsn);
+
+  std::string framed;
+  encode_record(lsn, payload, framed);
+  Segment& seg = segments_.back();
+  env_.append(seg.name, framed);
+  seg.size += framed.size();
+
+  ++stats_.appends;
+  if (appends_metric_ != nullptr) appends_metric_->inc();
+  if (++unsynced_appends_ >= config_.sync_every) sync();
+  return lsn;
+}
+
+void Wal::sync() {
+  if (unsynced_appends_ == 0) return;
+  env_.sync(segments_.back().name);
+  unsynced_appends_ = 0;
+  ++stats_.syncs;
+  if (fsync_metric_ != nullptr) fsync_metric_->inc();
+}
+
+std::uint64_t Wal::replay(
+    std::uint64_t after_lsn,
+    const std::function<void(std::uint64_t, std::string_view)>& fn) {
+  std::uint64_t delivered = 0;
+  for (const Segment& seg : segments_) {
+    std::string data = env_.read(seg.name);
+    std::size_t offset = 0;
+    std::uint64_t expect = seg.first_lsn;
+    while (offset < data.size()) {
+      std::optional<DecodedRecord> rec = decode_record(data, offset);
+      if (!rec.has_value() || rec->lsn != expect) return delivered;
+      if (rec->lsn > after_lsn) {
+        fn(rec->lsn, rec->payload);
+        ++delivered;
+        ++stats_.replayed_records;
+        if (replayed_metric_ != nullptr) replayed_metric_->inc();
+      }
+      offset = rec->end_offset;
+      ++expect;
+    }
+  }
+  return delivered;
+}
+
+void Wal::truncate_through(std::uint64_t lsn) {
+  // A segment is removable when the next segment starts at or below
+  // lsn+1 (so every record in it is <= lsn). The active (last) segment
+  // always stays.
+  std::size_t removed = 0;
+  while (segments_.size() - removed > 1 &&
+         segments_[removed + 1].first_lsn <= lsn + 1) {
+    env_.remove(segments_[removed].name);
+    ++removed;
+    ++stats_.truncated_segments;
+  }
+  if (removed > 0) {
+    segments_.erase(segments_.begin(),
+                    segments_.begin() + static_cast<std::ptrdiff_t>(removed));
+    publish_metrics();
+  }
+}
+
+void Wal::publish_metrics() {
+  if (segments_metric_ != nullptr)
+    segments_metric_->set(static_cast<double>(segments_.size()));
+}
+
+}  // namespace mps::durable

@@ -143,6 +143,45 @@ std::vector<std::pair<TimeMs, TimeMs>> FaultPlan::flap_windows(
   return windows;
 }
 
+void FaultPlan::kill_server_at(TimeMs at, DurationMs down_for) {
+  if (at < 0 || down_for <= 0) return;
+  scripted_server_kills_.push_back({at, down_for});
+}
+
+std::vector<FaultPlan::CrashEvent> FaultPlan::server_kill_schedule(
+    TimeMs horizon) const {
+  std::vector<CrashEvent> events = scripted_server_kills_;
+  if (server_kill_rate_per_day > 0.0 && horizon > 0) {
+    Rng rng = Rng(seed_).child("server-kill");
+    double mean_gap_ms =
+        static_cast<double>(days(1)) / server_kill_rate_per_day;
+    TimeMs t = 0;
+    while (true) {
+      t += static_cast<TimeMs>(
+          std::max(1.0, rng.exponential_mean(mean_gap_ms)));
+      if (t >= horizon) break;
+      auto down = static_cast<DurationMs>(std::max(
+          1.0,
+          rng.exponential_mean(static_cast<double>(server_downtime_mean))));
+      events.push_back({t, down});
+      t += down;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const CrashEvent& a, const CrashEvent& b) { return a.at < b.at; });
+  // Downtimes must not overlap: a kill scheduled while the server is
+  // already down is pushed past the recovery point.
+  std::vector<CrashEvent> merged;
+  TimeMs up_at = 0;
+  for (CrashEvent ev : events) {
+    if (ev.at < up_at) ev.at = up_at;
+    if (ev.at >= horizon && horizon > 0) continue;
+    merged.push_back(ev);
+    up_at = ev.at + ev.down_for;
+  }
+  return merged;
+}
+
 FaultPlan FaultPlan::none() {
   FaultPlan plan(0);
   plan.profile_name_ = "none";
@@ -171,6 +210,22 @@ FaultPlan FaultPlan::crashy_client(std::uint64_t seed) {
   return plan;
 }
 
+FaultPlan FaultPlan::server_kill(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.profile_name_ = "server-kill";
+  plan.server_kill_rate_per_day = 6.0;
+  plan.server_downtime_mean = minutes(10);
+  return plan;
+}
+
+FaultPlan FaultPlan::server_kill_lossy(std::uint64_t seed) {
+  FaultPlan plan = lossy_network(seed);
+  plan.profile_name_ = "server-kill-lossy";
+  plan.server_kill_rate_per_day = 4.0;
+  plan.server_downtime_mean = minutes(10);
+  return plan;
+}
+
 FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
   if (name == "none") {
     // Inert, but carries the sweep seed so per-seed reports line up.
@@ -180,6 +235,8 @@ FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
   }
   if (name == "lossy-network") return lossy_network(seed);
   if (name == "crashy-client") return crashy_client(seed);
+  if (name == "server-kill") return server_kill(seed);
+  if (name == "server-kill-lossy") return server_kill_lossy(seed);
   throw std::invalid_argument("unknown fault profile: " + std::string(name));
 }
 

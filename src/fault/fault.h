@@ -119,6 +119,24 @@ class FaultPlan {
   std::vector<std::pair<TimeMs, TimeMs>> flap_windows(std::string_view device,
                                                       TimeMs horizon) const;
 
+  // --- Server kill schedules (DESIGN.md §11) -----------------------------
+
+  /// Middleware-host churn: the server process (broker + docstore +
+  /// GoFlow server) is killed ~`server_kill_rate_per_day` times per day
+  /// and recovered after an exponential downtime. Driven by
+  /// core::ServerLifecycle via the study runner.
+  double server_kill_rate_per_day = 0.0;
+  DurationMs server_downtime_mean = minutes(5);
+
+  /// Scripts one exact kill (on top of any rate-driven schedule) — the
+  /// recovery-equivalence tests kill at chosen points.
+  void kill_server_at(TimeMs at, DurationMs down_for);
+
+  /// The merged (scripted + rate-driven) server kill schedule over
+  /// [0, horizon), sorted with downtimes non-overlapping. A pure
+  /// function of the plan seed.
+  std::vector<CrashEvent> server_kill_schedule(TimeMs horizon) const;
+
   // --- Consultation (the hot path) --------------------------------------
 
   /// Should the current operation at `site` fail? Consumes one decision
@@ -142,8 +160,17 @@ class FaultPlan {
   /// store-and-forward buffer intact.
   static FaultPlan crashy_client(std::uint64_t seed);
 
-  /// Profile by name ("none", "lossy-network", "crashy-client"); throws
-  /// std::invalid_argument on anything else.
+  /// The middleware host itself dies and recovers several times a day;
+  /// everything else is healthy (isolates the durability layer).
+  static FaultPlan server_kill(std::uint64_t seed);
+
+  /// Server kills on top of a lossy network — recovery racing retries,
+  /// duplicates and transient store failures all at once.
+  static FaultPlan server_kill_lossy(std::uint64_t seed);
+
+  /// Profile by name ("none", "lossy-network", "crashy-client",
+  /// "server-kill", "server-kill-lossy"); throws std::invalid_argument
+  /// on anything else.
   static FaultPlan profile(std::string_view name, std::uint64_t seed);
 
   /// Names accepted by profile(), in sweep order.
@@ -181,6 +208,7 @@ class FaultPlan {
 
   std::uint64_t seed_ = 0;
   std::string profile_name_ = "custom";
+  std::vector<CrashEvent> scripted_server_kills_;
   Site sites_[kFaultSiteCount];
   std::uint64_t injected_[kFaultSiteCount] = {};
   std::uint64_t checked_[kFaultSiteCount] = {};

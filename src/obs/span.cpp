@@ -23,6 +23,8 @@ const char* drop_stage_name(DropStage s) {
     case DropStage::kOverflowInBroker: return "overflow_in_broker";
     case DropStage::kUnroutable: return "unroutable";
     case DropStage::kRejectedByServer: return "rejected_by_server";
+    case DropStage::kLostInServerCrash: return "lost_in_server_crash";
+    case DropStage::kLostInServerShutdown: return "lost_in_server_shutdown";
   }
   return "?";
 }

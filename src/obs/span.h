@@ -52,9 +52,11 @@ enum class DropStage {
   kOverflowInBroker,   ///< drop-head on a bounded queue
   kUnroutable,         ///< published but matched no queue
   kRejectedByServer,   ///< server discarded it (duplicate batch)
+  kLostInServerCrash,  ///< in a pending batch when the server died unrecovered
+  kLostInServerShutdown,  ///< in a pending batch at final server shutdown
 };
 
-inline constexpr std::size_t kDropStageCount = 7;
+inline constexpr std::size_t kDropStageCount = 9;
 
 const char* drop_stage_name(DropStage s);
 

@@ -148,6 +148,25 @@ void StudyRunner::schedule_device_churn(Device& device) {
   }
 }
 
+void StudyRunner::schedule_server_churn() {
+  TimeMs horizon = days(config_.duration_days);
+  core::ServerLifecycle* lc = config_.lifecycle;
+  for (const fault::FaultPlan::CrashEvent& ev :
+       config_.faults->server_kill_schedule(horizon)) {
+    sim_.at(ev.at, [lc] { lc->crash(); });
+    sim_.at(ev.at + ev.down_for, [lc] { lc->recover(); });
+  }
+}
+
+void StudyRunner::schedule_snapshots() {
+  TimeMs horizon = days(config_.duration_days);
+  core::ServerLifecycle* lc = config_.lifecycle;
+  for (TimeMs t = config_.snapshot_period; t < horizon;
+       t += config_.snapshot_period) {
+    sim_.at(t, [lc] { lc->snapshot(); });  // no-op while down
+  }
+}
+
 StudyReport StudyRunner::run() {
   if (ran_) throw std::logic_error("StudyRunner::run: already ran");
   ran_ = true;
@@ -167,12 +186,20 @@ StudyReport StudyRunner::run() {
     schedule_user_activity(device);
     if (config_.faults != nullptr) schedule_device_churn(device);
   }
+  if (config_.faults != nullptr && config_.lifecycle != nullptr)
+    schedule_server_churn();
+  if (config_.lifecycle != nullptr && config_.snapshot_period > 0)
+    schedule_snapshots();
 
   TimeMs horizon = days(config_.duration_days);
   sim_.run_until(horizon);
   // Drain in-flight transfers (uploads started before the horizon) and,
   // under chaos, pending backoff retries.
   sim_.run_until(horizon + config_.drain);
+  // A kill close to the horizon can leave the server mid-downtime after
+  // the drain; the books must close against a recovered store.
+  if (config_.lifecycle != nullptr && config_.lifecycle->down())
+    config_.lifecycle->recover();
 
   // Chaos ends with the study: disarm the shared infrastructure so
   // post-run operation (REST jobs, exports — which have no retry path)
@@ -234,6 +261,10 @@ StudyReport StudyRunner::run() {
   report.duplicate_observations = server_.duplicate_observations();
   if (config_.faults != nullptr)
     report.faults_injected = config_.faults->total_injected();
+  if (config_.lifecycle != nullptr) {
+    report.server_kills = config_.lifecycle->crashes();
+    report.server_recoveries = config_.lifecycle->recoveries();
+  }
   auto analytics = server_.analytics(config_.app);
   if (analytics.ok()) {
     report.observations_stored = analytics.value().observations_stored;

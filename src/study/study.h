@@ -21,6 +21,7 @@
 
 #include "client/goflow_client.h"
 #include "core/goflow_server.h"
+#include "core/recovery.h"
 #include "crowd/ambient.h"
 #include "crowd/population.h"
 #include "exec/executor.h"
@@ -59,6 +60,16 @@ struct StudyConfig {
   /// connectivity trace and schedules its crash/restart churn. The plan
   /// must outlive the runner. Null disables injection entirely.
   fault::FaultPlan* faults = nullptr;
+  /// Optional durability: when set together with `faults`, the runner
+  /// schedules the plan's server_kill_schedule() against it (crash at
+  /// ev.at, recover after ev.down_for) and reports the kill/recovery
+  /// counts. If the horizon+drain ends mid-downtime the runner recovers
+  /// the server before aggregating, so the books always close against a
+  /// live store. Null disables server churn even if the plan asks for it.
+  core::ServerLifecycle* lifecycle = nullptr;
+  /// Periodic lifecycle snapshots (0 = only the ones recovery writes).
+  /// Shorter periods bound replay length at the cost of snapshot I/O.
+  DurationMs snapshot_period = 0;
   /// Optional compute plane for the post-run per-device report
   /// aggregation (the study analytics reduce). The simulation itself
   /// stays single-threaded regardless — the kernel must never run on a
@@ -86,6 +97,8 @@ struct StudyReport {
   std::uint64_t retry_giveups = 0;
   std::uint64_t duplicate_observations = 0;  ///< caught at the dedup boundary
   std::uint64_t faults_injected = 0;
+  std::uint64_t server_kills = 0;       ///< middleware-host crashes
+  std::uint64_t server_recoveries = 0;  ///< successful recoveries
 };
 
 /// Runs the study.
@@ -120,6 +133,8 @@ class StudyRunner {
   void build_device(const crowd::UserProfile& profile);
   void schedule_user_activity(Device& device);
   void schedule_device_churn(Device& device);
+  void schedule_server_churn();
+  void schedule_snapshots();
 
   const crowd::Population& population_;
   StudyConfig config_;

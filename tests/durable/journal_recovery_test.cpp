@@ -1,0 +1,311 @@
+// The Value-record layer: one shared Journal carrying "db." and "brk."
+// records, snapshot + tail replay, and the recovery contracts of the
+// docstore (exact state round-trip, _id generator catch-up) and the
+// broker (topology rebuild, durable-queue messages back with the
+// redelivered flag, non-durable queues drained).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/strings.h"
+#include "docstore/database.h"
+#include "durable/journal.h"
+#include "durable/storage.h"
+
+namespace mps::durable {
+namespace {
+
+using mps::broker::Broker;
+using mps::broker::ExchangeType;
+using mps::broker::Message;
+using mps::broker::QueueOptions;
+using mps::docstore::Database;
+using mps::docstore::Query;
+
+// Mirrors ServerLifecycle's dispatch for a db+broker pair (no server):
+// restore each component's snapshot section, then fan tail records out
+// by their "op" prefix.
+RecoveryStats recover_pair(Journal& journal, Database& db, Broker& broker) {
+  return journal.recover(
+      [&](const Value& state) {
+        const Value* db_state = state.find("db");
+        if (db_state != nullptr) db.restore_snapshot(*db_state);
+        const Value* brk_state = state.find("brk");
+        if (brk_state != nullptr) broker.restore_snapshot(*brk_state);
+      },
+      [&](const Value& record) {
+        const std::string op = record.get_string("op");
+        if (starts_with(op, "db.")) db.apply_journal_record(record);
+        if (starts_with(op, "brk.")) broker.apply_journal_record(record);
+      });
+}
+
+std::multiset<std::string> doc_keys(Database& db, const std::string& coll) {
+  std::multiset<std::string> keys;
+  if (!db.has_collection(coll)) return keys;
+  db.collection(coll).for_each([&](const Value& doc) {
+    keys.insert(doc.get_string("k") + "#" + doc.get_string("_id"));
+  });
+  return keys;
+}
+
+TEST(JournalRecovery, DocstoreReplaysTailWithoutSnapshot) {
+  MemStorageEnv env;
+  Database db;
+  {
+    Journal journal(env);
+    db.attach_journal(&journal);
+    auto& c = db.collection("obs");
+    c.create_index("k");
+    c.insert(Value(Object{{"k", Value("a")}}));
+    std::string id = c.insert(Value(Object{{"k", Value("b")}}));
+    c.insert(Value(Object{{"k", Value("c")}}));
+    c.remove(id);
+    c.update_many(Query::eq("k", Value("c")),
+                  [](Value& doc) { doc.as_object().set("k", Value("c2")); });
+    db.attach_journal(nullptr);
+  }
+  auto before = doc_keys(db, "obs");
+  db.crash();
+  ASSERT_EQ(db.collection("obs").size(), 0u);
+
+  Journal reopened(env);
+  Broker unused;
+  RecoveryStats stats = recover_pair(reopened, db, unused);
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_GT(stats.replayed, 0u);
+  EXPECT_EQ(stats.skipped_bad, 0u);
+  EXPECT_EQ(doc_keys(db, "obs"), before);
+  EXPECT_TRUE(db.collection("obs").has_index("k"));
+}
+
+TEST(JournalRecovery, SnapshotPlusTailReplay) {
+  MemStorageEnv env;
+  Database db;
+  Broker broker;
+  Journal journal(env);
+  db.attach_journal(&journal);
+  auto& c = db.collection("obs");
+  for (int i = 0; i < 5; ++i)
+    c.insert(Value(Object{{"k", Value("pre-" + std::to_string(i))}}));
+
+  // Snapshot covers the first five inserts; the tail carries three more.
+  journal.write_snapshot(Value(Object{{"db", db.durable_snapshot()},
+                                      {"brk", broker.durable_snapshot()}}));
+  for (int i = 0; i < 3; ++i)
+    c.insert(Value(Object{{"k", Value("post-" + std::to_string(i))}}));
+  db.attach_journal(nullptr);
+
+  auto before = doc_keys(db, "obs");
+  db.crash();
+  broker.crash();
+
+  Journal reopened(env);
+  RecoveryStats stats = recover_pair(reopened, db, broker);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.replayed, 3u);  // only the post-snapshot tail replays
+  EXPECT_EQ(doc_keys(db, "obs"), before);
+}
+
+TEST(JournalRecovery, IdGeneratorNeverCollidesAfterRecovery) {
+  MemStorageEnv env;
+  Database db;
+  std::set<std::string> ids;
+  {
+    Journal journal(env);
+    db.attach_journal(&journal);
+    auto& c = db.collection("obs");
+    for (int i = 0; i < 10; ++i)
+      ids.insert(c.insert(Value(Object{{"k", Value(i)}})));
+    db.attach_journal(nullptr);
+  }
+  db.crash();
+  Journal reopened(env);
+  Broker unused;
+  recover_pair(reopened, db, unused);
+
+  // Fresh inserts after recovery must not reuse any replayed _id.
+  auto& c = db.collection("obs");
+  db.attach_journal(&reopened);
+  for (int i = 0; i < 10; ++i) {
+    std::string id = c.insert(Value(Object{{"k", Value(100 + i)}}));
+    EXPECT_TRUE(ids.insert(id).second) << "generated duplicate _id " << id;
+  }
+  EXPECT_EQ(c.size(), 20u);
+  db.attach_journal(nullptr);
+}
+
+TEST(JournalRecovery, DurableQueueMessagesSurviveFlaggedRedelivered) {
+  MemStorageEnv env;
+  Broker broker;
+  Database unused_db;
+  Journal journal(env);
+  broker.attach_journal(&journal);
+
+  broker.declare_exchange("ex", ExchangeType::kTopic).throw_if_error();
+  QueueOptions durable_q;
+  durable_q.durable = true;
+  broker.declare_queue("q.durable", durable_q).throw_if_error();
+  broker.declare_queue("q.volatile").throw_if_error();
+  broker.bind_queue("ex", "q.durable", "keep.#").throw_if_error();
+  broker.bind_queue("ex", "q.volatile", "lose.#").throw_if_error();
+
+  broker.publish("ex", "keep.1", Value(Object{{"n", Value(1)}}), 10)
+      .value_or_throw();
+  broker.publish("ex", "keep.2", Value(Object{{"n", Value(2)}}), 20)
+      .value_or_throw();
+  broker.publish("ex", "lose.1", Value(Object{{"n", Value(3)}}), 30)
+      .value_or_throw();
+  ASSERT_EQ(broker.queue_depth("q.durable"), 2u);
+  ASSERT_EQ(broker.queue_depth("q.volatile"), 1u);
+
+  broker.attach_journal(nullptr);
+  env.crash();  // sync_every=1: everything acknowledged is durable
+  broker.crash();
+  EXPECT_EQ(broker.queue_depth("q.durable"), 0u);
+
+  Journal reopened(env);
+  recover_pair(reopened, unused_db, broker);
+  broker.finish_recovery();
+
+  // Topology is back (a publish routes), durable messages are back in
+  // order and flagged redelivered, the volatile queue came back empty.
+  EXPECT_EQ(broker.queue_depth("q.durable"), 2u);
+  EXPECT_EQ(broker.queue_depth("q.volatile"), 0u);
+  std::optional<Message> m1 = broker.pop("q.durable");
+  std::optional<Message> m2 = broker.pop("q.durable");
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m1->payload.get_int("n"), 1);
+  EXPECT_EQ(m2->payload.get_int("n"), 2);
+  EXPECT_TRUE(m1->redelivered);
+  EXPECT_TRUE(m2->redelivered);
+  EXPECT_EQ(m1->published_at, 10);
+
+  broker.publish("ex", "keep.3", Value(Object{{"n", Value(4)}}), 40)
+      .value_or_throw();
+  std::optional<Message> m3 = broker.pop("q.durable");
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_FALSE(m3->redelivered);  // new traffic is not tainted
+}
+
+TEST(JournalRecovery, ConsumedDurableMessagesStayConsumed) {
+  MemStorageEnv env;
+  Broker broker;
+  Database unused_db;
+  Journal journal(env);
+  broker.attach_journal(&journal);
+
+  QueueOptions durable_q;
+  durable_q.durable = true;
+  broker.declare_exchange("ex", ExchangeType::kDirect).throw_if_error();
+  broker.declare_queue("q", durable_q).throw_if_error();
+  broker.bind_queue("ex", "q", "k").throw_if_error();
+  broker.publish("ex", "k", Value(Object{{"n", Value(1)}}), 1).value_or_throw();
+  broker.publish("ex", "k", Value(Object{{"n", Value(2)}}), 2).value_or_throw();
+  ASSERT_TRUE(broker.pop("q").has_value());  // auto-ack: deq logged now
+
+  broker.attach_journal(nullptr);
+  env.crash();
+  broker.crash();
+  Journal reopened(env);
+  recover_pair(reopened, unused_db, broker);
+  broker.finish_recovery();
+
+  // Only the unconsumed message returns — no resurrection of acked work.
+  EXPECT_EQ(broker.queue_depth("q"), 1u);
+  std::optional<Message> m = broker.pop("q");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.get_int("n"), 2);
+}
+
+TEST(JournalRecovery, GroupCommitCrashRecoversConsistentPrefix) {
+  MemStorageEnv env;
+  JournalConfig cfg;
+  cfg.wal.sync_every = 1000;  // group commit: records pend until sync()
+  Database db;
+  constexpr int kSynced = 6;
+  {
+    Journal journal(env, cfg);
+    db.attach_journal(&journal);
+    auto& c = db.collection("obs");
+    for (int i = 0; i < kSynced; ++i)
+      c.insert(Value(Object{{"k", Value(i)}}));
+    journal.sync();
+    for (int i = kSynced; i < kSynced + 7; ++i)
+      c.insert(Value(Object{{"k", Value(i)}}));  // never synced
+    db.attach_journal(nullptr);
+  }
+  env.crash();
+  db.crash();
+
+  Journal reopened(env, cfg);
+  Broker unused;
+  RecoveryStats stats = recover_pair(reopened, db, unused);
+  // The unsynced suffix is gone, but what survives is an exact prefix of
+  // the insert order — never a hole, never a half-applied record.
+  EXPECT_EQ(stats.replayed, static_cast<std::uint64_t>(kSynced));
+  auto& c = db.collection("obs");
+  EXPECT_EQ(c.size(), static_cast<std::size_t>(kSynced));
+  std::vector<std::int64_t> ks;
+  c.for_each([&](const Value& doc) { ks.push_back(doc.get_int("k")); });
+  for (int i = 0; i < kSynced; ++i) EXPECT_EQ(ks[static_cast<std::size_t>(i)], i);
+}
+
+TEST(JournalRecovery, MalformedTailRecordIsSkippedNotFatal) {
+  MemStorageEnv env;
+  Database db;
+  {
+    Journal journal(env);
+    db.attach_journal(&journal);
+    db.collection("obs").insert(Value(Object{{"k", Value("good")}}));
+    journal.append(Value("not an object record"));  // garbage op-less record
+    db.collection("obs").insert(Value(Object{{"k", Value("good2")}}));
+    db.attach_journal(nullptr);
+  }
+  db.crash();
+  Journal reopened(env);
+  Broker unused;
+  RecoveryStats stats = recover_pair(reopened, db, unused);
+  EXPECT_EQ(db.collection("obs").size(), 2u);
+  EXPECT_EQ(stats.replayed + stats.skipped_bad, 3u);
+}
+
+TEST(JournalRecovery, SecondCrashReplaysFromNewestSnapshot) {
+  MemStorageEnv env;
+  Database db;
+  Broker broker;
+  // First incarnation + snapshot + crash + recovery.
+  {
+    Journal journal(env);
+    db.attach_journal(&journal);
+    db.collection("obs").insert(Value(Object{{"k", Value("one")}}));
+    journal.write_snapshot(Value(Object{{"db", db.durable_snapshot()},
+                                        {"brk", broker.durable_snapshot()}}));
+    db.attach_journal(nullptr);
+  }
+  db.crash();
+  {
+    Journal journal(env);
+    recover_pair(journal, db, broker);
+    db.attach_journal(&journal);
+    db.collection("obs").insert(Value(Object{{"k", Value("two")}}));
+    journal.write_snapshot(Value(Object{{"db", db.durable_snapshot()},
+                                        {"brk", broker.durable_snapshot()}}));
+    db.collection("obs").insert(Value(Object{{"k", Value("three")}}));
+    db.attach_journal(nullptr);
+  }
+  db.crash();
+  // Second recovery: newest snapshot (two docs) + one-record tail.
+  Journal journal(env);
+  RecoveryStats stats = recover_pair(journal, db, broker);
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.replayed, 1u);
+  EXPECT_EQ(db.collection("obs").size(), 3u);
+}
+
+}  // namespace
+}  // namespace mps::durable

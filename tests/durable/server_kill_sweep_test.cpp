@@ -1,0 +1,225 @@
+// The server-kill chaos gate: the city deployment at small scale with
+// the middleware host itself dying and recovering mid-study (WAL +
+// snapshot recovery on the real study path), across two kill profiles
+// and many seeds. The pipeline invariants must hold through every crash:
+// nothing acknowledged is lost, nothing is stored twice, per-device
+// upload order survives. A failing (profile, seed) pair replays
+// bit-for-bit.
+//
+// When MPS_FAULT_REPORT_DIR is set (CI does), a per-seed JSONL report is
+// written there for artifact upload, in deterministic (profile, seed)
+// order regardless of completion order.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/recovery.h"
+#include "durable/storage.h"
+#include "exec/executor.h"
+#include "exec/sweep.h"
+#include "fault/fault.h"
+#include "study/invariants.h"
+#include "study/study.h"
+
+namespace mps::study {
+namespace {
+
+constexpr std::uint64_t kSeeds = 16;  // >= 15 per profile, per the gate
+
+const std::vector<std::string>& kill_profiles() {
+  static const std::vector<std::string> profiles = {"server-kill",
+                                                    "server-kill-lossy"};
+  return profiles;
+}
+
+struct KillOutcome {
+  StudyReport study;
+  InvariantReport invariants;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t replayed_records = 0;  ///< WAL records re-applied, all kills
+  std::uint64_t snapshots = 0;
+};
+
+KillOutcome run_kill_chaos(const std::string& profile, std::uint64_t seed) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  obs::Registry registry;
+  obs::SpanTracker tracer(&registry);
+  server.set_metrics(&registry);
+  server.set_tracer(&tracer);
+
+  // The durability substrate: the registry models the operator's external
+  // monitoring, so it also receives the durable.* metrics.
+  durable::MemStorageEnv env;
+  core::ServerLifecycle lifecycle(env, sim, broker, db, server, {}, &registry);
+
+  fault::FaultPlan plan = fault::FaultPlan::profile(profile, seed);
+
+  crowd::PopulationConfig pc;
+  pc.seed = seed;
+  pc.device_scale = 0.005;  // ~20 devices (min 1 per model)
+  pc.obs_scale = 0.05;
+  pc.horizon = days(4);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  StudyConfig sc;
+  sc.seed = seed;
+  sc.duration_days = 2;
+  sc.metrics = &registry;
+  sc.tracer = &tracer;
+  sc.faults = &plan;
+  sc.lifecycle = &lifecycle;
+  sc.snapshot_period = hours(6);  // bounds replay length between kills
+  // Give backoff retries room to settle after the horizon (client
+  // retry_max is 16 min; server ingest backoff caps at 5 min).
+  sc.drain = hours(1);
+
+  StudyRunner runner(pop, sc, sim, broker, server);
+  KillOutcome out;
+  out.study = runner.run();
+  out.invariants = check_invariants(tracer, server, runner.clients());
+  out.faults_injected = plan.total_injected();
+  out.replayed_records = registry.counter("durable.replayed_records").value();
+  out.snapshots = registry.counter("durable.snapshots").value();
+  return out;
+}
+
+std::size_t sweep_threads() {
+  return exec::resolve_threads("MPS_TEST_THREADS", /*cap=*/8);
+}
+
+TEST(ServerKillSweep, NoLossNoDupAcrossKillsSeedsAndProfiles) {
+  const char* report_dir = std::getenv("MPS_FAULT_REPORT_DIR");
+  std::ofstream report_out;
+  if (report_dir != nullptr) {
+    report_out.open(std::string(report_dir) + "/server_kill_invariants.jsonl");
+    ASSERT_TRUE(report_out.is_open())
+        << "cannot write to MPS_FAULT_REPORT_DIR=" << report_dir;
+  }
+
+  const std::vector<std::string>& profiles = kill_profiles();
+  struct Job {
+    std::string profile;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (const std::string& profile : profiles)
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+      jobs.push_back({profile, seed});
+
+  std::vector<KillOutcome> outcomes(jobs.size());
+  exec::SweepExecutor sweep(sweep_threads());
+  sweep.run(jobs.size(), [&](std::size_t i) {
+    outcomes[i] = run_kill_chaos(jobs[i].profile, jobs[i].seed);
+  });
+
+  // Assert (and report) on the main thread, in deterministic job order.
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const std::string& profile = profiles[p];
+    std::uint64_t kills_across_seeds = 0;
+    std::uint64_t injected_across_seeds = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const KillOutcome& out = outcomes[p * kSeeds + (seed - 1)];
+      kills_across_seeds += out.study.server_kills;
+      injected_across_seeds += out.faults_injected;
+
+      SCOPED_TRACE("profile=" + profile + " seed=" + std::to_string(seed));
+      // The durability invariants, per run: no acknowledged observation
+      // lost, no duplicate stored, order preserved — through every crash.
+      EXPECT_EQ(out.invariants.lost, 0u);
+      EXPECT_EQ(out.invariants.duplicate_spans_stored, 0u);
+      EXPECT_EQ(out.invariants.order_violations, 0u);
+      EXPECT_TRUE(out.invariants.ok());
+      // Every span landed in exactly one bucket.
+      EXPECT_EQ(out.invariants.spans_total,
+                out.invariants.persisted + out.invariants.on_device +
+                    out.invariants.in_server +
+                    out.invariants.dropped_attributed +
+                    out.invariants.never_shared + out.invariants.lost);
+      // The run did real work and the chaos was real: the host died and
+      // came back (recovery count includes the forced end-of-run recover).
+      EXPECT_GT(out.study.observations_recorded, 0u);
+      EXPECT_GT(out.invariants.persisted, 0u);
+      EXPECT_GT(out.study.server_kills, 0u);
+      EXPECT_EQ(out.study.server_recoveries, out.study.server_kills);
+      EXPECT_GT(out.snapshots, 0u);
+
+      if (report_out.is_open()) {
+        report_out << "{\"profile\":\"" << profile << "\",\"seed\":" << seed
+                   << ",\"server_kills\":" << out.study.server_kills
+                   << ",\"server_recoveries\":" << out.study.server_recoveries
+                   << ",\"replayed_records\":" << out.replayed_records
+                   << ",\"snapshots\":" << out.snapshots
+                   << ",\"faults_injected\":" << out.faults_injected
+                   << ",\"publish_failures\":" << out.study.publish_failures
+                   << ",\"upload_retries\":" << out.study.upload_retries
+                   << ",\"invariants\":" << out.invariants.to_json() << "}\n";
+      }
+    }
+    EXPECT_GT(kills_across_seeds, 0u);
+    // The lossy variant must combine kills with network hostility —
+    // recovery racing retries and duplicates is the point of the profile.
+    if (profile == "server-kill-lossy") {
+      EXPECT_GT(injected_across_seeds, 0u);
+    }
+  }
+}
+
+TEST(ServerKillSweep, KillChaosIsDeterministicPerSeed) {
+  KillOutcome a = run_kill_chaos("server-kill", 5);
+  KillOutcome b = run_kill_chaos("server-kill", 5);
+  EXPECT_EQ(a.study.server_kills, b.study.server_kills);
+  EXPECT_EQ(a.study.observations_recorded, b.study.observations_recorded);
+  EXPECT_EQ(a.study.observations_stored, b.study.observations_stored);
+  EXPECT_EQ(a.replayed_records, b.replayed_records);
+  EXPECT_EQ(a.invariants.to_json(), b.invariants.to_json());
+}
+
+// Scripted kills (exact placement, what the recovery-equivalence tests
+// use) come back verbatim on a rate-less plan, and any merged schedule
+// keeps downtimes disjoint and inside the horizon.
+TEST(ServerKillSweep, ScriptedKillScheduleIsExactAndMergeIsDisjoint) {
+  fault::FaultPlan scripted(3);  // no kill rate: only the scripts fire
+  scripted.kill_server_at(hours(5), minutes(7));
+  scripted.kill_server_at(hours(1), minutes(3));
+  scripted.kill_server_at(-1, minutes(1));     // invalid: ignored
+  scripted.kill_server_at(hours(2), 0);        // invalid: ignored
+  std::vector<fault::FaultPlan::CrashEvent> exact =
+      scripted.server_kill_schedule(days(2));
+  ASSERT_EQ(exact.size(), 2u);  // sorted by time
+  EXPECT_EQ(exact[0].at, hours(1));
+  EXPECT_EQ(exact[0].down_for, minutes(3));
+  EXPECT_EQ(exact[1].at, hours(5));
+  EXPECT_EQ(exact[1].down_for, minutes(7));
+
+  // Scripted + rate-driven: the merge keeps downtimes non-overlapping
+  // and within the horizon, and is a pure function of the plan.
+  fault::FaultPlan merged = fault::FaultPlan::profile("server-kill", 3);
+  merged.kill_server_at(hours(5), minutes(7));
+  std::vector<fault::FaultPlan::CrashEvent> schedule =
+      merged.server_kill_schedule(days(2));
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_GT(schedule.size(), exact.size());  // the rate contributed kills
+  TimeMs up_at = 0;
+  for (const auto& ev : schedule) {
+    EXPECT_GE(ev.at, up_at) << "downtimes overlap";
+    EXPECT_LT(ev.at, days(2));
+    EXPECT_GT(ev.down_for, 0);
+    up_at = ev.at + ev.down_for;
+  }
+  std::vector<fault::FaultPlan::CrashEvent> again =
+      merged.server_kill_schedule(days(2));
+  ASSERT_EQ(schedule.size(), again.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].at, again[i].at);
+    EXPECT_EQ(schedule[i].down_for, again[i].down_for);
+  }
+}
+
+}  // namespace
+}  // namespace mps::study

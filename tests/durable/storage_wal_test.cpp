@@ -1,0 +1,312 @@
+// The byte layer of the durability story: MemStorageEnv's explicit
+// durable-vs-pending bookkeeping (what a crash keeps and what it loses),
+// the WAL's record framing, and the recovery-time tail repair that turns
+// a torn or bit-rotted log back into a consistent prefix.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "durable/storage.h"
+#include "durable/wal.h"
+
+namespace mps::durable {
+namespace {
+
+// --- MemStorageEnv -----------------------------------------------------------
+
+TEST(MemStorageEnv, AppendIsPendingUntilSync) {
+  MemStorageEnv env;
+  env.append("f", "hello");
+  EXPECT_TRUE(env.exists("f"));
+  EXPECT_EQ(env.read("f"), "hello");  // a live process reads its own writes
+  EXPECT_EQ(env.pending_bytes("f"), 5u);
+  EXPECT_EQ(env.durable_bytes("f"), 0u);
+
+  env.sync("f");
+  EXPECT_EQ(env.pending_bytes("f"), 0u);
+  EXPECT_EQ(env.durable_bytes("f"), 5u);
+}
+
+TEST(MemStorageEnv, CrashDropsPendingKeepsDurable) {
+  MemStorageEnv env;
+  env.append("f", "durable");
+  env.sync("f");
+  env.append("f", "+tail");
+  env.crash();
+  EXPECT_EQ(env.read("f"), "durable");
+}
+
+TEST(MemStorageEnv, FileThatWasNeverSyncedVanishesOnCrash) {
+  MemStorageEnv env;
+  env.append("ghost", "never synced");
+  env.crash();
+  EXPECT_FALSE(env.exists("ghost"));
+}
+
+TEST(MemStorageEnv, WriteAtomicIsDurableImmediately) {
+  MemStorageEnv env;
+  env.write_atomic("f", "v1");
+  env.crash();
+  EXPECT_EQ(env.read("f"), "v1");
+  // Replacement also survives: rename-into-place semantics.
+  env.write_atomic("f", "v2-longer");
+  env.crash();
+  EXPECT_EQ(env.read("f"), "v2-longer");
+}
+
+TEST(MemStorageEnv, ListIsSortedAndRemoveWorks) {
+  MemStorageEnv env;
+  env.write_atomic("b", "");
+  env.write_atomic("a", "");
+  env.write_atomic("c", "");
+  EXPECT_EQ(env.list(), (std::vector<std::string>{"a", "b", "c"}));
+  env.remove("b");
+  EXPECT_EQ(env.list(), (std::vector<std::string>{"a", "c"}));
+  env.remove("nope");  // no-op
+  EXPECT_THROW(env.read("missing"), std::runtime_error);
+}
+
+// --- Record framing ----------------------------------------------------------
+
+TEST(WalFraming, EncodeDecodeRoundTrip) {
+  std::string buf;
+  encode_record(7, "payload-seven", buf);
+  encode_record(8, "", buf);  // empty payloads are legal records
+
+  auto first = decode_record(buf, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->lsn, 7u);
+  EXPECT_EQ(first->payload, "payload-seven");
+
+  auto second = decode_record(buf, first->end_offset);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->lsn, 8u);
+  EXPECT_EQ(second->payload, "");
+  EXPECT_EQ(second->end_offset, buf.size());
+}
+
+TEST(WalFraming, DecodeRejectsTruncationAndCorruption) {
+  std::string buf;
+  encode_record(1, "some payload bytes", buf);
+
+  // Every strict prefix is a truncation — never a valid record.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut)
+    EXPECT_FALSE(decode_record(std::string_view(buf).substr(0, cut), 0)
+                     .has_value())
+        << "prefix of " << cut << " bytes decoded";
+
+  // Any single flipped byte breaks either the frame or the CRC.
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    std::string bad = buf;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    auto decoded = decode_record(bad, 0);
+    if (decoded.has_value()) {
+      // A flip in the length field may still frame a "record" — but the
+      // CRC must catch it; reaching here with intact payload is the bug.
+      EXPECT_NE(decoded->payload, "some payload bytes")
+          << "flip at byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(WalFraming, Crc32KnownProperties) {
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+  // Seed chaining: crc of a concatenation equals chained partial crcs.
+  EXPECT_EQ(crc32("hello world"), crc32(" world", crc32("hello")));
+}
+
+// --- The log -----------------------------------------------------------------
+
+TEST(Wal, AppendAssignsDenseLsnsAndReplays) {
+  MemStorageEnv env;
+  Wal wal(env);
+  EXPECT_EQ(wal.append("r1"), 1u);
+  EXPECT_EQ(wal.append("r2"), 2u);
+  EXPECT_EQ(wal.append("r3"), 3u);
+  EXPECT_EQ(wal.last_lsn(), 3u);
+
+  std::vector<std::pair<std::uint64_t, std::string>> seen;
+  std::uint64_t n = wal.replay(0, [&](std::uint64_t lsn, std::string_view p) {
+    seen.emplace_back(lsn, std::string(p));
+  });
+  EXPECT_EQ(n, 3u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::string>{1, "r1"}));
+  EXPECT_EQ(seen[2], (std::pair<std::uint64_t, std::string>{3, "r3"}));
+
+  // after_lsn skips the prefix.
+  seen.clear();
+  wal.replay(2, [&](std::uint64_t lsn, std::string_view p) {
+    seen.emplace_back(lsn, std::string(p));
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 3u);
+}
+
+TEST(Wal, ReopenResumesLsnAssignment) {
+  MemStorageEnv env;
+  {
+    Wal wal(env);
+    wal.append("a");
+    wal.append("b");
+  }
+  Wal reopened(env);
+  EXPECT_EQ(reopened.next_lsn(), 3u);
+  EXPECT_EQ(reopened.append("c"), 3u);
+  std::uint64_t n = reopened.replay(0, [](std::uint64_t, std::string_view) {});
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(Wal, SegmentsRotateAndSortByName) {
+  MemStorageEnv env;
+  WalConfig cfg;
+  cfg.segment_bytes = 64;  // tiny: force rotation every few records
+  Wal wal(env, cfg);
+  for (int i = 0; i < 20; ++i) wal.append("payload-" + std::to_string(i));
+  EXPECT_GT(wal.segment_count(), 1u);
+  // Lexicographic file order is LSN order (zero-padded names).
+  std::vector<std::string> files = env.list();
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+
+  // A fresh Wal over the same env sees every record despite rotation.
+  Wal reopened(env, cfg);
+  std::uint64_t n = reopened.replay(0, [](std::uint64_t, std::string_view) {});
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(Wal, SyncEveryOneSurvivesCrashCompletely) {
+  MemStorageEnv env;
+  {
+    Wal wal(env);  // sync_every defaults to 1
+    for (int i = 0; i < 5; ++i) wal.append("r" + std::to_string(i));
+  }
+  env.crash();
+  Wal reopened(env);
+  EXPECT_EQ(reopened.replay(0, [](std::uint64_t, std::string_view) {}), 5u);
+  EXPECT_EQ(reopened.stats().discarded_tail_records, 0u);
+}
+
+TEST(Wal, TornTailIsTruncatedToLastSyncedRecord) {
+  MemStorageEnv env;
+  WalConfig cfg;
+  cfg.sync_every = 100;  // group commit: nothing syncs on its own
+  {
+    Wal wal(env, cfg);
+    wal.append("synced-1");
+    wal.append("synced-2");
+    wal.sync();
+    wal.append("lost-3");
+    wal.append("lost-4");
+  }
+  env.crash();  // the two unsynced records vanish mid-file
+
+  Wal reopened(env, cfg);
+  std::vector<std::uint64_t> lsns;
+  reopened.replay(0, [&](std::uint64_t lsn, std::string_view) {
+    lsns.push_back(lsn);
+  });
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1, 2}));
+  // The log continues exactly after the surviving prefix.
+  EXPECT_EQ(reopened.append("new-3"), 3u);
+}
+
+TEST(Wal, PartialRecordTornTailIsRepaired) {
+  MemStorageEnv env;
+  {
+    Wal wal(env);
+    wal.append("keep-me");
+  }
+  // Simulate a torn write: half a record's bytes land after the valid one.
+  std::string name = env.list().front();
+  std::string frame;
+  encode_record(2, "half-written record", frame);
+  env.append(name, std::string_view(frame).substr(0, frame.size() / 2));
+  env.sync(name);
+
+  Wal reopened(env);
+  std::vector<std::uint64_t> lsns;
+  reopened.replay(0, [&](std::uint64_t lsn, std::string_view) {
+    lsns.push_back(lsn);
+  });
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1}));
+  EXPECT_GT(reopened.stats().discarded_tail_bytes, 0u);
+  // The repaired log accepts appends at the next LSN.
+  EXPECT_EQ(reopened.append("after-repair"), 2u);
+}
+
+TEST(Wal, CorruptRecordEndsLogAtLastValidPrefix) {
+  MemStorageEnv env;
+  {
+    Wal wal(env);
+    wal.append("aaaa");
+    wal.append("bbbb");
+    wal.append("cccc");
+  }
+  // Bit-rot the middle record's payload in place.
+  std::string name = env.list().front();
+  std::string bytes = env.read(name);
+  std::string first_frame;
+  encode_record(1, "aaaa", first_frame);
+  std::size_t mid = first_frame.size() + 18;  // inside record 2's frame
+  ASSERT_LT(mid, bytes.size());
+  bytes[mid] = static_cast<char>(bytes[mid] ^ 0xFF);
+  env.write_atomic(name, bytes);
+
+  Wal reopened(env);
+  std::vector<std::uint64_t> lsns;
+  reopened.replay(0, [&](std::uint64_t lsn, std::string_view) {
+    lsns.push_back(lsn);
+  });
+  // Conservative: the log ends before the corruption; record 3 is gone
+  // too (no resynchronization past a bad frame).
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(Wal, EmptySegmentFileIsHarmless) {
+  MemStorageEnv env;
+  {
+    Wal wal(env);
+    wal.append("only");
+  }
+  env.write_atomic("wal-9999999999999999", "");  // stray empty segment
+  Wal reopened(env);
+  EXPECT_EQ(reopened.replay(0, [](std::uint64_t, std::string_view) {}), 1u);
+}
+
+TEST(Wal, TruncateThroughDropsCoveredSegmentsKeepsActive) {
+  MemStorageEnv env;
+  WalConfig cfg;
+  cfg.segment_bytes = 64;
+  Wal wal(env, cfg);
+  for (int i = 0; i < 30; ++i) wal.append("record-" + std::to_string(i));
+  std::size_t before = wal.segment_count();
+  ASSERT_GT(before, 2u);
+
+  wal.truncate_through(wal.last_lsn());
+  // Everything but the active segment is covered and removed.
+  EXPECT_EQ(wal.segment_count(), 1u);
+  EXPECT_LT(env.list().size(), before + 1);
+
+  // Records after the truncation point still replay; LSNs keep counting.
+  std::uint64_t next = wal.append("after-truncate");
+  EXPECT_EQ(next, 31u);
+  std::vector<std::uint64_t> lsns;
+  wal.replay(30, [&](std::uint64_t lsn, std::string_view) {
+    lsns.push_back(lsn);
+  });
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{31}));
+}
+
+TEST(Wal, TruncateThroughZeroIsNoOp) {
+  MemStorageEnv env;
+  Wal wal(env);
+  wal.append("x");
+  std::size_t before = wal.segment_count();
+  wal.truncate_through(0);
+  EXPECT_EQ(wal.segment_count(), before);
+}
+
+}  // namespace
+}  // namespace mps::durable
