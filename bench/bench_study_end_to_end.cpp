@@ -9,6 +9,9 @@
 // study under a chaos profile (seeded from MPS_BENCH_SEED); the JSON
 // report then records the armed profile and seed so it is never confused
 // with a clean-run baseline.
+// Set MPS_TRACE_FILE=<path> to trace every observation lifecycle and
+// dump a Chrome trace_event file (Perfetto-loadable) of span hops plus
+// the flight-recorder timeline after the run.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +21,9 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "fault/fault.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "study/study.h"
 
 int main() {
@@ -49,6 +55,12 @@ int main() {
   config.version = client::AppVersion::kV1_3;
   config.buffer_size = 10;
   config.journey_release = days(0);  // journeys active for this slice
+
+  // Span tracing costs one stamp per hop per observation — opt-in so the
+  // timing numbers stay comparable with traceless baselines.
+  obs::SpanTracker tracker;
+  const char* trace_file = std::getenv("MPS_TRACE_FILE");
+  if (trace_file != nullptr && *trace_file != '\0') config.tracer = &tracker;
 
   fault::FaultPlan faults = fault::FaultPlan::none();
   if (const char* profile = std::getenv("MPS_BENCH_FAULT_PROFILE")) {
@@ -103,6 +115,18 @@ int main() {
               static_cast<unsigned long long>(report.buffered_unsent));
   std::printf("mean capture->server delay: %.1f min\n\n",
               report.mean_delay_ms / 60000.0);
+
+  if (config.tracer != nullptr) {
+    if (obs::write_trace_file(trace_file, &tracker,
+                              &obs::FlightRecorder::instance())) {
+      bench_record("trace_spans", static_cast<double>(tracker.size()));
+      std::printf("trace written to %s (%zu spans)\n\n", trace_file,
+                  tracker.size());
+    } else {
+      std::fprintf(stderr, "cannot write MPS_TRACE_FILE %s\n", trace_file);
+      return 1;
+    }
+  }
 
   // Validate stored-data properties against the paper's claims.
   auto& observations = db.collection("observations");

@@ -15,9 +15,18 @@
 //   ./build/examples/city_deployment --chaos=crashy-client
 //   ./build/examples/city_deployment --chaos=server-kill        # host dies + recovers
 //   ./build/examples/city_deployment --chaos=server-kill-lossy  # + hostile network
+//
+// Telemetry exports:
+//   --trace=trace.json        Chrome trace_event file (load in Perfetto /
+//                             about://tracing): span lifecycles per hop
+//                             plus the flight-recorder event timeline.
+//   --telemetry=series.jsonl  one JSON line per closed telemetry window
+//                             (rates + rolling p50/p95/p99), the same
+//                             data GET /metrics/series serves.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -28,8 +37,11 @@
 #include "core/standard_jobs.h"
 #include "durable/storage.h"
 #include "fault/fault.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
+#include "obs/trace_export.h"
 #include "study/invariants.h"
 #include "study/study.h"
 
@@ -37,16 +49,23 @@ using namespace mps;
 
 int main(int argc, char** argv) {
   std::string chaos_profile;
+  std::string trace_path;
+  std::string telemetry_path;
   std::uint64_t seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
       chaos_profile = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_path = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--chaos=none|lossy-network|crashy-client|"
-                   "server-kill|server-kill-lossy] [--seed=N]\n",
+                   "server-kill|server-kill-lossy] [--seed=N] "
+                   "[--trace=FILE] [--telemetry=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -65,6 +84,27 @@ int main(int argc, char** argv) {
   db.set_metrics(&registry);
   server.set_metrics(&registry);
   server.set_tracer(&tracker);
+
+  // Windowed telemetry plane: half-day windows over the two-week run,
+  // sampled by the same sim hook that prints the ops report below, and
+  // queryable live at GET /metrics/series.
+  obs::TimeSeriesConfig series_config;
+  series_config.bucket_width = hours(12);
+  obs::TimeSeries series(registry, series_config);
+  server.set_timeseries(&series);
+  std::ofstream telemetry_out;
+  if (!telemetry_path.empty()) {
+    telemetry_out.open(telemetry_path);
+    if (!telemetry_out.is_open()) {
+      std::fprintf(stderr, "cannot open --telemetry file %s\n",
+                   telemetry_path.c_str());
+      return 2;
+    }
+    series.set_sink(
+        [&telemetry_out](const std::string& line) {
+          telemetry_out << line << "\n";
+        });
+  }
 
   crowd::PopulationConfig pop_config;
   pop_config.seed = seed;
@@ -111,6 +151,7 @@ int main(int argc, char** argv) {
   // Daily ops report, straight off the sim clock: the hook fires at every
   // virtual 48-h boundary while the study runs.
   sim.set_metrics_hook(hours(48), [&](TimeMs now) {
+    series.sample(now);
     std::printf("  [day %2lld] recorded=%llu uploaded=%llu stored=%llu "
                 "spans=%llu\n",
                 static_cast<long long>(now / days(1)),
@@ -128,6 +169,7 @@ int main(int argc, char** argv) {
               population.users().size(), study_config.duration_days);
   study::StudyReport report = runner.run();
   sim.clear_metrics_hook();
+  series.flush(sim.now());
   std::printf("recorded %llu observations; %llu stored server-side; "
               "%llu still on devices\n\n",
               static_cast<unsigned long long>(report.observations_recorded),
@@ -206,6 +248,17 @@ int main(int argc, char** argv) {
               metrics.status, metrics.body.find("counters")->as_object().size(),
               metrics.body.find("histograms")->as_object().size());
 
+  core::RestResponse series_resp =
+      api.handle({"GET", "/metrics/series", admin, Value(), {}});
+  std::printf("GET /metrics/series -> %d (%lld windows of %lldh, p95 "
+              "capture->server %.0fs)\n",
+              series_resp.status,
+              static_cast<long long>(series_resp.body.get_int("windows_closed")),
+              static_cast<long long>(
+                  series_resp.body.get_int("bucket_width_ms") / hours(1)),
+              series.rolling_quantile("span.uploaded_to_routed_ms", 0.95) /
+                  1000.0);
+
   std::printf("\npipeline dashboard:\n");
   bench::print_metrics_dashboard(registry.snapshot());
 
@@ -221,5 +274,17 @@ int main(int argc, char** argv) {
                   : tracker.delay_cdf(obs::Hop::kSensed, obs::Hop::kRouted)
                             .quantile(0.5) /
                         1000.0);
+
+  if (!trace_path.empty()) {
+    if (obs::write_trace_file(trace_path, &tracker,
+                              &obs::FlightRecorder::instance())) {
+      std::printf("trace written to %s (open in Perfetto or "
+                  "chrome://tracing)\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "broker/topic.h"
 #include "common/log.h"
 #include "durable/journal.h"
+#include "obs/flight_recorder.h"
 
 namespace mps::broker {
 
@@ -448,8 +449,10 @@ Result<PublishResult> Broker::publish(const std::string& exchange,
   // Injected rejection: the broker refuses the publish outright. Nothing
   // is routed and no sequence number is burned, exactly as if the TCP
   // connection died before basic.publish reached the broker.
-  if (publish_fault_.should_fail(now))
+  if (publish_fault_.should_fail(now)) {
+    obs::FlightRecorder::record(obs::FrEvent::kBrokerReject, 0, 0, now);
     return err(ErrorCode::kUnavailable, "injected fault: publish rejected");
+  }
   Message message;
   message.exchange = exchange;
   message.routing_key = routing_key;
@@ -470,8 +473,12 @@ Result<PublishResult> Broker::publish(const std::string& exchange,
   // never learns it — it sees an error and will retry, pushing a
   // duplicate through the at-least-once boundary. This is the fault that
   // exercises server-side idempotent dedup.
-  if (ack_lost_fault_.should_fail(now))
+  obs::FlightRecorder::record(obs::FrEvent::kBrokerPublish, message.sequence,
+                              deliveries, now);
+  if (ack_lost_fault_.should_fail(now)) {
+    obs::FlightRecorder::record(obs::FrEvent::kBrokerReject, 1, 0, now);
     return err(ErrorCode::kUnavailable, "injected fault: publish confirm lost");
+  }
   return PublishResult{deliveries, message.sequence};
 }
 

@@ -1,6 +1,7 @@
 #include "client/goflow_client.h"
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "net/radio.h"
 
 namespace mps::client {
@@ -324,6 +325,9 @@ void GoFlowClient::crash() {
   if (down_) return;
   ++stats_.crashes;
   if (metrics_.crashes != nullptr) metrics_.crashes->inc();
+  obs::FlightRecorder::record(obs::FrEvent::kClientCrash,
+                              obs::fr_hash(config_.client_id), stats_.crashes,
+                              sim_.now());
   down_ = true;
   resume_sensing_ = timer_.running();
   timer_.stop();
@@ -346,6 +350,9 @@ void GoFlowClient::crash() {
 void GoFlowClient::restart() {
   if (!down_) return;
   ++stats_.restarts;
+  obs::FlightRecorder::record(obs::FrEvent::kClientRestart,
+                              obs::fr_hash(config_.client_id), stats_.restarts,
+                              sim_.now());
   down_ = false;
   if (resume_sensing_) timer_.start();
   maybe_upload();  // the persisted buffer gets an immediate upload chance

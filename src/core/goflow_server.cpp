@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "durable/journal.h"
+#include "obs/flight_recorder.h"
 
 namespace mps::core {
 
@@ -86,6 +87,15 @@ void GoFlowServer::set_metrics(obs::Registry* registry) {
   obs::Counter* evictions = &registry->counter("server.dedup_evictions");
   seen_batch_ids_.set_eviction_counter(evictions);
   seen_obs_keys_.set_eviction_counter(evictions);
+}
+
+void GoFlowServer::note_dedup_evictions() {
+  std::uint64_t total = dedup_evictions();
+  if (total > fr_dedup_evictions_seen_) {
+    obs::FlightRecorder::record(obs::FrEvent::kDedupEvict, total,
+                                total - fr_dedup_evictions_seen_, sim_.now());
+    fr_dedup_evictions_seen_ = total;
+  }
 }
 
 void GoFlowServer::set_tracer(obs::SpanTracker* tracer) {
@@ -341,7 +351,9 @@ void GoFlowServer::ingest(const broker::Message& message) {
   // Idempotent ingestion: the transport is at-least-once (store-and-
   // forward retries, broker redelivery), so a batch may arrive twice.
   std::string batch_id = message.payload.get_string("batch_id");
-  if (!batch_id.empty() && !seen_batch_ids_.insert(batch_id)) {
+  bool batch_is_new = batch_id.empty() || seen_batch_ids_.insert(batch_id);
+  note_dedup_evictions();
+  if (!batch_is_new) {
     ++duplicate_batches_;
     if (metrics_.duplicate_batches != nullptr)
       metrics_.duplicate_batches->inc();
@@ -481,7 +493,10 @@ bool GoFlowServer::account_stored_doc(std::uint64_t id, PendingBatch& batch,
     if (live && tracer_ != nullptr && span != 0)
       tracer_->drop(span, obs::DropStage::kRejectedByServer, sim_.now());
   } else {
-    if (!key.empty()) seen_obs_keys_.insert(key);
+    if (!key.empty()) {
+      seen_obs_keys_.insert(key);
+      if (live) note_dedup_evictions();
+    }
     if (is_observations) {
       DurationMs delay = batch.delays[batch.next];
       ++total_observations_;

@@ -36,6 +36,7 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "sim/simulation.h"
 
 namespace mps::durable {
@@ -262,6 +263,15 @@ class GoFlowServer {
   /// The registry attached via set_metrics (nullptr when detached).
   obs::Registry* metrics() const { return metrics_registry_; }
 
+  /// Attaches a windowed time-series over the metrics registry; the REST
+  /// API serves it at GET /metrics/series. The server does not drive
+  /// sampling — wire TimeSeries::sample into the sim metrics hook (or a
+  /// wall-clock timer). Pass nullptr to detach.
+  void set_timeseries(obs::TimeSeries* series) { timeseries_ = series; }
+
+  /// The series attached via set_timeseries (nullptr when detached).
+  obs::TimeSeries* timeseries() const { return timeseries_; }
+
   /// Attaches a span tracker: ingested observations carrying a "span" id
   /// get kRouted (broker publish time) and kPersisted (storage time)
   /// stamps, duplicate batches are attributed kRejectedByServer, and a
@@ -339,6 +349,9 @@ class GoFlowServer {
   void store_batch(std::uint64_t id);
   void on_broker_drop(const broker::Message& message,
                       broker::DropReason reason);
+  /// Flight-records dedup-set evictions since the last check (the sets
+  /// themselves have no clock or recorder access).
+  void note_dedup_evictions();
   void subscribe_ingest();
   void log_record(Value record);
   void log_batch_accepted(std::uint64_t id, const std::string& batch_id,
@@ -410,6 +423,8 @@ class GoFlowServer {
   };
   Metrics metrics_;
   obs::Registry* metrics_registry_ = nullptr;
+  obs::TimeSeries* timeseries_ = nullptr;
+  std::uint64_t fr_dedup_evictions_seen_ = 0;
   obs::SpanTracker* tracer_ = nullptr;
 };
 

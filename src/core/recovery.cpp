@@ -1,8 +1,26 @@
 #include "core/recovery.h"
 
+#include <cstdlib>
+
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 
 namespace mps::core {
+
+namespace {
+
+/// With MPS_FLIGHT_DIR set, every server kill leaves a forensic JSONL
+/// dump (flight_crash_<n>.jsonl) beside the chaos reports — the black
+/// box is recovered even when the run never reaches an invariant check.
+void dump_flight_on_crash(std::uint64_t crash_count) {
+  const char* dir = std::getenv("MPS_FLIGHT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = std::string(dir) + "/flight_crash_" +
+                     std::to_string(crash_count) + ".jsonl";
+  obs::FlightRecorder::instance().dump_current_thread_to_file(path);
+}
+
+}  // namespace
 
 ServerLifecycle::ServerLifecycle(durable::StorageEnv& env,
                                  sim::Simulation& sim, broker::Broker& broker,
@@ -40,11 +58,16 @@ Value ServerLifecycle::combined_snapshot() const {
 void ServerLifecycle::snapshot() {
   if (down_) return;
   journal_->write_snapshot(combined_snapshot());
+  obs::FlightRecorder::record(obs::FrEvent::kServerSnapshot, ++snapshots_, 0,
+                              sim_.now());
 }
 
 void ServerLifecycle::crash() {
   if (down_) return;
   ++crashes_;
+  obs::FlightRecorder::record(obs::FrEvent::kServerKill, crashes_, 0,
+                              sim_.now());
+  dump_flight_on_crash(crashes_);
   down_ = true;
   // Power cut first: whatever the WAL group-committed but never synced
   // is gone before any component state is touched.
@@ -87,6 +110,8 @@ void ServerLifecycle::recover() {
       });
   down_ = false;
   ++recoveries_;
+  obs::FlightRecorder::record(obs::FrEvent::kServerRecover, recoveries_,
+                              last_.replayed, sim_.now());
   // Journal back online before the components resume: everything they do
   // from here on is logged again.
   attach(journal_.get());

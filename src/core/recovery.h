@@ -88,6 +88,7 @@ class ServerLifecycle {
   bool down_ = false;
   std::uint64_t crashes_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t snapshots_ = 0;
   durable::RecoveryStats last_;
 };
 

@@ -103,6 +103,17 @@ RestResponse GoFlowRestApi::handle(const RestRequest& request) {
                           Value(Object{{"text", Value(registry->export_text())}})};
     return RestResponse{200, registry->export_json()};
   }
+
+  // GET /metrics/series: the windowed time-series (rates and rolling
+  // quantiles per window) when a TimeSeries is attached to the server.
+  if (parts.size() == 2 && parts[0] == "metrics" && parts[1] == "series" &&
+      request.method == "GET") {
+    obs::TimeSeries* series = server_.timeseries();
+    if (series == nullptr)
+      return error_response(
+          err(ErrorCode::kUnavailable, "no time series attached"));
+    return RestResponse{200, series->to_json()};
+  }
   return not_found();
 }
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace mps::durable {
@@ -199,6 +200,7 @@ std::uint64_t Wal::append(std::string_view payload) {
 
   ++stats_.appends;
   if (appends_metric_ != nullptr) appends_metric_->inc();
+  obs::FlightRecorder::record(obs::FrEvent::kWalAppend, lsn, payload.size());
   if (++unsynced_appends_ >= config_.sync_every) sync();
   return lsn;
 }
@@ -206,6 +208,8 @@ std::uint64_t Wal::append(std::string_view payload) {
 void Wal::sync() {
   if (unsynced_appends_ == 0) return;
   env_.sync(segments_.back().name);
+  obs::FlightRecorder::record(obs::FrEvent::kWalFsync, next_lsn_ - 1,
+                              unsynced_appends_);
   unsynced_appends_ = 0;
   ++stats_.syncs;
   if (fsync_metric_ != nullptr) fsync_metric_->inc();
@@ -247,6 +251,7 @@ void Wal::truncate_through(std::uint64_t lsn) {
     ++stats_.truncated_segments;
   }
   if (removed > 0) {
+    obs::FlightRecorder::record(obs::FrEvent::kWalTruncate, lsn, removed);
     segments_.erase(segments_.begin(),
                     segments_.begin() + static_cast<std::ptrdiff_t>(removed));
     publish_metrics();

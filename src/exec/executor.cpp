@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace mps::exec {
@@ -72,7 +73,9 @@ void ThreadPool::worker_loop() {
 void ThreadPool::claim_loop(bool is_caller) {
   for (;;) {
     std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
-    if (i >= job_count_.load(std::memory_order_acquire)) return;
+    std::size_t count = job_count_.load(std::memory_order_acquire);
+    if (i >= count) return;
+    obs::FlightRecorder::record(obs::FrEvent::kExecChunkClaim, i, count);
     if (!cancelled_.load(std::memory_order_relaxed)) {
       try {
         job_(i);

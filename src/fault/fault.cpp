@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+
 namespace mps::fault {
 
 const char* fault_site_name(FaultSite s) {
@@ -91,6 +93,8 @@ bool FaultPlan::decide(FaultSite site, bool have_now, TimeMs now) {
   if (fail) {
     ++injected_[idx];
     if (injected_counters_[idx] != nullptr) injected_counters_[idx]->inc();
+    obs::FlightRecorder::record(obs::FrEvent::kFaultInject, idx,
+                                injected_[idx], have_now ? now : -1);
   }
   return fail;
 }

@@ -29,9 +29,11 @@ const char* drop_stage_name(DropStage s) {
   return "?";
 }
 
-SpanTracker::SpanTracker(Registry* metrics) : metrics_(metrics) {
+SpanTracker::SpanTracker(Registry* metrics, std::size_t capacity)
+    : capacity_(capacity), metrics_(metrics) {
   if (metrics_ == nullptr) return;
   started_ = &metrics_->counter("span.started");
+  evicted_counter_ = &metrics_->counter("obs.spans_evicted");
   for (std::size_t s = 1; s < kDropStageCount; ++s)
     drop_counters_[s] = &metrics_->counter(
         std::string("span.dropped.") +
@@ -42,18 +44,28 @@ SpanTracker::SpanTracker(Registry* metrics) : metrics_(metrics) {
         hop_name(static_cast<Hop>(h)) + "_ms");
 }
 
+void SpanTracker::retire_over_capacity() {
+  while (capacity_ != 0 && spans_.size() > capacity_ &&
+         closed(spans_.front())) {
+    spans_.pop_front();
+    ++base_id_;
+    if (evicted_counter_ != nullptr) evicted_counter_->inc();
+  }
+}
+
 std::uint64_t SpanTracker::begin(TimeMs sensed_at) {
   SpanRecord record;
-  record.id = spans_.size() + 1;
+  record.id = base_id_ + spans_.size();
   record.hops[static_cast<std::size_t>(Hop::kSensed)] = sensed_at;
   spans_.push_back(record);
+  retire_over_capacity();
   if (started_ != nullptr) started_->inc();
   return record.id;
 }
 
 void SpanTracker::stamp(std::uint64_t id, Hop hop, TimeMs at) {
-  if (id == 0 || id > spans_.size()) return;
-  SpanRecord& record = spans_[id - 1];
+  if (id < base_id_ || id >= base_id_ + spans_.size()) return;
+  SpanRecord& record = spans_[id - base_id_];
   std::size_t h = static_cast<std::size_t>(hop);
   record.hops[h] = at;
   if (h > 0 && hop_histograms_[h] != nullptr &&
@@ -65,8 +77,10 @@ void SpanTracker::stamp(std::uint64_t id, Hop hop, TimeMs at) {
 
 void SpanTracker::drop(std::uint64_t id, DropStage stage, TimeMs at) {
   (void)at;  // attribution is by stage; the hop stamps carry the times
-  if (id == 0 || id > spans_.size() || stage == DropStage::kNone) return;
-  SpanRecord& record = spans_[id - 1];
+  if (id < base_id_ || id >= base_id_ + spans_.size() ||
+      stage == DropStage::kNone)
+    return;
+  SpanRecord& record = spans_[id - base_id_];
   if (record.dropped != DropStage::kNone) return;  // first drop wins
   record.dropped = stage;
   Counter* c = drop_counters_[static_cast<std::size_t>(stage)];
@@ -74,8 +88,8 @@ void SpanTracker::drop(std::uint64_t id, DropStage stage, TimeMs at) {
 }
 
 const SpanRecord* SpanTracker::find(std::uint64_t id) const {
-  if (id == 0 || id > spans_.size()) return nullptr;
-  return &spans_[id - 1];
+  if (id < base_id_ || id >= base_id_ + spans_.size()) return nullptr;
+  return &spans_[id - base_id_];
 }
 
 std::size_t SpanTracker::count_through(Hop hop) const {
@@ -111,6 +125,9 @@ EmpiricalCdf SpanTracker::delay_cdf(Hop from, Hop to) const {
   return cdf;
 }
 
-void SpanTracker::clear() { spans_.clear(); }
+void SpanTracker::clear() {
+  spans_.clear();
+  base_id_ = 1;
+}
 
 }  // namespace mps::obs

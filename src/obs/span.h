@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -86,9 +87,24 @@ struct SpanRecord {
 /// consecutive-hop latency feeds a `span.<from>_to_<to>_ms` histogram and
 /// drops bump `span.dropped.<stage>` counters, so the registry's /metrics
 /// export carries the per-stage breakdown for free.
+///
+/// Memory is bounded: the tracker keeps at most `capacity` span records.
+/// When a new span would exceed it, *closed* spans (dropped, or stamped
+/// persisted — the pipeline's terminal durable hop) are retired FIFO from
+/// the front; live ids stay contiguous in [first_id(), last_id()]. Open
+/// (in-flight) spans are never evicted, so the window can transiently
+/// exceed capacity under a burst of in-flight observations — loss
+/// accounting is never sacrificed for the bound. Stamps arriving for an
+/// already-retired id (e.g. a late assimilation pass) are ignored; the
+/// cumulative registry counters still see them via `obs.spans_evicted`.
 class SpanTracker {
  public:
-  explicit SpanTracker(Registry* metrics = nullptr);
+  /// Default retained-span bound: generous enough that eviction only
+  /// engages on deployment-scale runs (~a million in-flight lifecycles).
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit SpanTracker(Registry* metrics = nullptr,
+                       std::size_t capacity = kDefaultCapacity);
 
   /// Starts a span stamped kSensed at `sensed_at`; returns its id (> 0).
   std::uint64_t begin(TimeMs sensed_at);
@@ -100,7 +116,23 @@ class SpanTracker {
   /// Marks the span dropped at `stage`. The first drop wins.
   void drop(std::uint64_t id, DropStage stage, TimeMs at);
 
+  /// Live (retained) spans.
   std::size_t size() const { return spans_.size(); }
+  /// Spans ever started, including retired ones.
+  std::uint64_t total_started() const { return base_id_ + spans_.size() - 1; }
+  /// Closed spans retired to honor the capacity bound.
+  std::uint64_t evicted() const { return base_id_ - 1; }
+  /// Smallest retained id; first_id() > last_id() when empty.
+  std::uint64_t first_id() const { return base_id_; }
+  /// Largest retained id (== total_started()).
+  std::uint64_t last_id() const { return base_id_ + spans_.size() - 1; }
+
+  /// Adjusts the retained-span bound (0 = unbounded). Shrinking takes
+  /// effect as closed spans retire on subsequent begin() calls.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Null for unknown ids — including ids already retired.
   const SpanRecord* find(std::uint64_t id) const;
 
   /// Spans that reached `hop`.
@@ -120,10 +152,18 @@ class SpanTracker {
   void clear();
 
  private:
-  std::vector<SpanRecord> spans_;
+  bool closed(const SpanRecord& r) const {
+    return r.dropped != DropStage::kNone || r.stamped(Hop::kPersisted);
+  }
+  void retire_over_capacity();
+
+  std::deque<SpanRecord> spans_;
+  std::uint64_t base_id_ = 1;  ///< id of spans_.front()
+  std::size_t capacity_ = kDefaultCapacity;
   Registry* metrics_ = nullptr;
   // Hoisted metric handles (hot path: one stamp per observation per hop).
   Counter* started_ = nullptr;
+  Counter* evicted_counter_ = nullptr;
   Counter* drop_counters_[kDropStageCount] = {};
   LatencyHistogram* hop_histograms_[kHopCount] = {};  // [h] = (h-1) -> h
 };

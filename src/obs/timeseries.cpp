@@ -1,0 +1,245 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace mps::obs {
+
+TimeSeries::TimeSeries(const Registry& registry, TimeSeriesConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.bucket_width <= 0)
+    throw std::invalid_argument("TimeSeries: bucket_width must be positive");
+  if (config_.window_capacity == 0)
+    throw std::invalid_argument("TimeSeries: window_capacity must be >= 1");
+  // Baseline: whatever the registry accumulated before the series existed
+  // (topology setup, registrations) is not window activity.
+  accumulate_deltas();
+  open_ = SeriesWindow{};
+  open_.start = 0;
+  started_ = true;
+}
+
+void TimeSeries::accumulate_deltas() {
+  MetricsSnapshot snap = registry_.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    std::uint64_t prev = 0;
+    auto it = prev_counters_.find(name);
+    if (it != prev_counters_.end()) prev = it->second;
+    // A registry reset() mid-flight makes the cumulative value jump
+    // backwards; treat the post-reset value as the whole delta.
+    std::uint64_t delta = value >= prev ? value - prev : value;
+    if (delta > 0 && started_) open_.counter_deltas[name] += delta;
+    prev_counters_[name] = value;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (started_) open_.gauge_values[name] = value;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (hist_edges_.find(name) == hist_edges_.end())
+      hist_edges_[name] = h.edges;
+    std::vector<std::uint64_t>& prev = prev_hist_buckets_[name];
+    if (prev.size() != h.buckets.size()) prev.assign(h.buckets.size(), 0);
+    bool any = false;
+    std::vector<std::uint64_t> deltas(h.buckets.size(), 0);
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      std::uint64_t d =
+          h.buckets[i] >= prev[i] ? h.buckets[i] - prev[i] : h.buckets[i];
+      deltas[i] = d;
+      if (d > 0) any = true;
+      prev[i] = h.buckets[i];
+    }
+    if (any && started_) {
+      SeriesWindow::HistWindow& hw = open_.histograms[name];
+      if (hw.bucket_deltas.size() != deltas.size())
+        hw.bucket_deltas.assign(deltas.size(), 0);
+      for (std::size_t i = 0; i < deltas.size(); ++i) {
+        hw.bucket_deltas[i] += deltas[i];
+        hw.count += deltas[i];
+      }
+    }
+  }
+}
+
+void TimeSeries::close_window() {
+  SeriesWindow closed = std::move(open_);
+  closed.start = open_start_;
+  if (sink_) sink_(window_to_json_line(closed));
+  windows_.push_back(std::move(closed));
+  while (windows_.size() > config_.window_capacity) windows_.pop_front();
+  ++windows_closed_;
+  open_ = SeriesWindow{};
+  open_start_ += config_.bucket_width;
+  open_.start = open_start_;
+}
+
+void TimeSeries::sample(TimeMs now) {
+  // Clock skew: a sample from the past folds into the open window
+  // instead of rewinding the ring.
+  if (now < last_sample_) now = last_sample_;
+  accumulate_deltas();
+  last_sample_ = now;
+  while (now >= open_start_ + config_.bucket_width) close_window();
+}
+
+void TimeSeries::flush(TimeMs now) {
+  if (now < last_sample_) now = last_sample_;
+  accumulate_deltas();
+  last_sample_ = now;
+  while (now >= open_start_ + config_.bucket_width) close_window();
+  // Close the partial window too, so end-of-run activity is visible.
+  close_window();
+}
+
+std::vector<SeriesPoint> TimeSeries::counter_rate(
+    const std::string& name) const {
+  std::vector<SeriesPoint> out;
+  out.reserve(windows_.size());
+  double seconds = static_cast<double>(config_.bucket_width) / 1000.0;
+  for (const SeriesWindow& w : windows_) {
+    auto it = w.counter_deltas.find(name);
+    double delta =
+        it != w.counter_deltas.end() ? static_cast<double>(it->second) : 0.0;
+    out.push_back(SeriesPoint{w.start, delta / seconds});
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> TimeSeries::gauge_series(
+    const std::string& name) const {
+  std::vector<SeriesPoint> out;
+  out.reserve(windows_.size());
+  double last = 0.0;
+  for (const SeriesWindow& w : windows_) {
+    auto it = w.gauge_values.find(name);
+    if (it != w.gauge_values.end()) last = it->second;
+    out.push_back(SeriesPoint{w.start, last});
+  }
+  return out;
+}
+
+double TimeSeries::quantile_from_buckets(
+    const std::vector<double>& edges, const std::vector<std::uint64_t>& buckets,
+    std::uint64_t count, double q) {
+  if (count == 0 || edges.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) < target) continue;
+    if (i >= edges.size()) return edges.back();  // overflow bucket
+    double lo = i == 0 ? 0.0 : edges[i - 1];
+    double hi = edges[i];
+    double within = (target - before) / static_cast<double>(buckets[i]);
+    return lo + within * (hi - lo);
+  }
+  return edges.back();
+}
+
+std::vector<WindowQuantiles> TimeSeries::histogram_series(
+    const std::string& name) const {
+  std::vector<WindowQuantiles> out;
+  out.reserve(windows_.size());
+  auto eit = hist_edges_.find(name);
+  const std::vector<double>* edges =
+      eit != hist_edges_.end() ? &eit->second : nullptr;
+  for (const SeriesWindow& w : windows_) {
+    WindowQuantiles wq;
+    wq.start = w.start;
+    auto it = w.histograms.find(name);
+    if (it != w.histograms.end() && edges != nullptr) {
+      wq.count = it->second.count;
+      wq.p50 = quantile_from_buckets(*edges, it->second.bucket_deltas,
+                                     wq.count, 0.50);
+      wq.p95 = quantile_from_buckets(*edges, it->second.bucket_deltas,
+                                     wq.count, 0.95);
+      wq.p99 = quantile_from_buckets(*edges, it->second.bucket_deltas,
+                                     wq.count, 0.99);
+    }
+    out.push_back(wq);
+  }
+  return out;
+}
+
+double TimeSeries::rolling_quantile(const std::string& name, double q,
+                                    std::size_t last_windows) const {
+  auto eit = hist_edges_.find(name);
+  if (eit == hist_edges_.end() || windows_.empty()) return 0.0;
+  std::size_t take = last_windows == 0
+                         ? windows_.size()
+                         : std::min(last_windows, windows_.size());
+  std::vector<std::uint64_t> merged;
+  std::uint64_t count = 0;
+  for (std::size_t i = windows_.size() - take; i < windows_.size(); ++i) {
+    auto it = windows_[i].histograms.find(name);
+    if (it == windows_[i].histograms.end()) continue;
+    if (merged.size() != it->second.bucket_deltas.size())
+      merged.resize(it->second.bucket_deltas.size(), 0);
+    for (std::size_t b = 0; b < it->second.bucket_deltas.size(); ++b)
+      merged[b] += it->second.bucket_deltas[b];
+    count += it->second.count;
+  }
+  return quantile_from_buckets(eit->second, merged, count, q);
+}
+
+static Value window_to_value(const TimeSeries& ts, const SeriesWindow& w,
+                             const std::map<std::string, std::vector<double>>&
+                                 edges_by_name) {
+  double seconds = static_cast<double>(ts.config().bucket_width) / 1000.0;
+  Object counters;
+  for (const auto& [name, delta] : w.counter_deltas) {
+    counters.set(name,
+                 Value(Object{{"delta", Value(static_cast<std::int64_t>(delta))},
+                              {"rate_per_sec",
+                               Value(static_cast<double>(delta) / seconds)}}));
+  }
+  Object gauges;
+  for (const auto& [name, v] : w.gauge_values) gauges.set(name, Value(v));
+  Object histograms;
+  for (const auto& [name, hw] : w.histograms) {
+    auto eit = edges_by_name.find(name);
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    if (eit != edges_by_name.end()) {
+      p50 = TimeSeries::quantile_from_buckets(eit->second, hw.bucket_deltas,
+                                              hw.count, 0.50);
+      p95 = TimeSeries::quantile_from_buckets(eit->second, hw.bucket_deltas,
+                                              hw.count, 0.95);
+      p99 = TimeSeries::quantile_from_buckets(eit->second, hw.bucket_deltas,
+                                              hw.count, 0.99);
+    }
+    histograms.set(
+        name,
+        Value(Object{{"count", Value(static_cast<std::int64_t>(hw.count))},
+                     {"p50", Value(p50)},
+                     {"p95", Value(p95)},
+                     {"p99", Value(p99)}}));
+  }
+  return Value(Object{{"start_ms", Value(static_cast<std::int64_t>(w.start))},
+                      {"counters", Value(std::move(counters))},
+                      {"gauges", Value(std::move(gauges))},
+                      {"histograms", Value(std::move(histograms))}});
+}
+
+Value TimeSeries::to_json() const {
+  Array windows;
+  windows.reserve(windows_.size());
+  for (const SeriesWindow& w : windows_)
+    windows.push_back(window_to_value(*this, w, hist_edges_));
+  return Value(Object{
+      {"bucket_width_ms",
+       Value(static_cast<std::int64_t>(config_.bucket_width))},
+      {"window_capacity",
+       Value(static_cast<std::int64_t>(config_.window_capacity))},
+      {"windows_closed", Value(static_cast<std::int64_t>(windows_closed_))},
+      {"windows", Value(std::move(windows))}});
+}
+
+std::string TimeSeries::window_to_json_line(const SeriesWindow& w) const {
+  return window_to_value(*this, w, hist_edges_).to_json();
+}
+
+}  // namespace mps::obs

@@ -1,0 +1,165 @@
+// Windowed time-series over the metrics Registry.
+//
+// The registry's counters and histograms are cumulative since process
+// start — good for totals, useless for "what is the ingest rate *now*"
+// or "what was the p99 delivery delay *in the last five minutes*". The
+// paper's operators discovered delivery-delay distributions (Fig. 17)
+// and contribution skew (Figs. 8/19) only in post-hoc analysis; a live
+// deployment needs them as queryable series.
+//
+// TimeSeries samples a Registry on a fixed cadence (the sim metrics
+// hook in simulated runs, wall clock in benches) and maintains a ring of
+// fixed-width time windows. Each closed window carries:
+//   - per-counter deltas (exposed as rates per second),
+//   - per-gauge last-seen values,
+//   - per-histogram *delta* bucket counts, from which per-window and
+//     rolling p50/p95/p99 are interpolated — Fig.-17-style percentiles
+//     as a live series instead of a one-shot CDF.
+//
+// Windows are aligned to multiples of bucket_width. sample(now) may be
+// called at any cadence: deltas accumulate into the open window; when
+// `now` crosses one or more window boundaries the open window closes
+// (and wholly skipped windows close empty), so rollups are exact across
+// boundaries however irregular the sampling. A sample with `now` before
+// the previous one (clock skew) is folded into the open window rather
+// than tearing the ring.
+//
+// The whole structure is read via GET /metrics/series and streamed, one
+// JSON line per closed window, through the optional JSONL sink.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace mps::obs {
+
+struct TimeSeriesConfig {
+  /// Width of one time window (virtual ms in sim runs, wall ms in
+  /// benches — the series does not care which clock feeds it).
+  DurationMs bucket_width = minutes(5);
+  /// Closed windows retained (the ring); older windows fall off.
+  std::size_t window_capacity = 64;
+};
+
+/// One closed window's worth of registry activity.
+struct SeriesWindow {
+  TimeMs start = 0;  ///< window covers [start, start + bucket_width)
+  /// Counter deltas within the window, by metric name.
+  std::map<std::string, std::uint64_t> counter_deltas;
+  /// Gauge values as of window close.
+  std::map<std::string, double> gauge_values;
+  /// Histogram activity within the window: delta bucket counts (same
+  /// layout as the cumulative histogram: edges.size() + 1, overflow
+  /// last), plus the delta sample count.
+  struct HistWindow {
+    std::vector<std::uint64_t> bucket_deltas;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, HistWindow> histograms;
+};
+
+/// A (window start, value) series point.
+struct SeriesPoint {
+  TimeMs start = 0;
+  double value = 0.0;
+};
+
+/// Per-window quantiles of one histogram metric.
+struct WindowQuantiles {
+  TimeMs start = 0;
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class TimeSeries {
+ public:
+  /// The registry must outlive the series.
+  explicit TimeSeries(const Registry& registry, TimeSeriesConfig config = {});
+
+  /// Takes one sample at time `now` (see file comment for the window
+  /// semantics). Typically driven by Simulation::set_metrics_hook.
+  void sample(TimeMs now);
+
+  /// Closes the currently open window as of `now` even if `now` is not
+  /// on a boundary — the end-of-run flush so the tail of activity is
+  /// not lost. The next window starts at the following boundary.
+  void flush(TimeMs now);
+
+  const TimeSeriesConfig& config() const { return config_; }
+
+  /// Closed windows, oldest first (at most window_capacity).
+  const std::deque<SeriesWindow>& windows() const { return windows_; }
+  std::size_t window_count() const { return windows_.size(); }
+  /// Windows ever closed, including ones that fell off the ring.
+  std::uint64_t windows_closed() const { return windows_closed_; }
+
+  /// Rate series (delta / window seconds) for one counter, oldest first.
+  /// Unknown names yield an all-zero series (one point per window).
+  std::vector<SeriesPoint> counter_rate(const std::string& name) const;
+
+  /// Gauge value series, oldest first.
+  std::vector<SeriesPoint> gauge_series(const std::string& name) const;
+
+  /// Per-window quantiles for one histogram metric, oldest first.
+  std::vector<WindowQuantiles> histogram_series(const std::string& name) const;
+
+  /// Quantile over the last `last_windows` windows merged (0 = all
+  /// retained). Returns 0 when no samples landed in the range.
+  double rolling_quantile(const std::string& name, double q,
+                          std::size_t last_windows = 0) const;
+
+  /// Everything, for GET /metrics/series:
+  ///   {"bucket_width_ms":..., "windows":[{"start_ms":..., "counters":
+  ///    {name: {"delta":..., "rate_per_sec":...}}, "gauges": {...},
+  ///    "histograms": {name: {"count":..., "p50":..., "p95":...,
+  ///    "p99":...}}}, ...]}
+  Value to_json() const;
+
+  /// Installs a sink invoked with one compact JSON line per *closed*
+  /// window — the periodic JSONL telemetry stream. Null detaches.
+  void set_sink(std::function<void(const std::string& line)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Interpolated q-quantile from explicit bucket counts (the same
+  /// scheme as LatencyHistogram::quantile, over window deltas).
+  static double quantile_from_buckets(
+      const std::vector<double>& edges,
+      const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+      double q);
+
+ private:
+  void accumulate_deltas();
+  void close_window();
+  std::string window_to_json_line(const SeriesWindow& w) const;
+
+  const Registry& registry_;
+  TimeSeriesConfig config_;
+
+  bool started_ = false;
+  TimeMs last_sample_ = 0;
+  TimeMs open_start_ = 0;  ///< start of the currently open window
+
+  /// Previous cumulative values, for delta computation.
+  std::map<std::string, std::uint64_t> prev_counters_;
+  std::map<std::string, std::vector<std::uint64_t>> prev_hist_buckets_;
+  /// Histogram edges, captured on first sight of each metric.
+  std::map<std::string, std::vector<double>> hist_edges_;
+
+  /// The open (accumulating) window.
+  SeriesWindow open_;
+  std::deque<SeriesWindow> windows_;
+  std::uint64_t windows_closed_ = 0;
+  std::function<void(const std::string&)> sink_;
+};
+
+}  // namespace mps::obs

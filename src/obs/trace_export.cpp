@@ -1,0 +1,147 @@
+#include "obs/trace_export.h"
+
+#include <fstream>
+
+namespace mps::obs {
+
+namespace {
+
+/// One trace_event object. Durations/timestamps are microseconds per the
+/// trace_event spec; the sim clock is milliseconds, hence * 1000.
+Value event(const char* name, const char* cat, const char* ph, double ts_us,
+            std::int64_t pid, std::int64_t tid) {
+  return Value(Object{{"name", Value(name)},
+                      {"cat", Value(cat)},
+                      {"ph", Value(ph)},
+                      {"ts", Value(ts_us)},
+                      {"pid", Value(pid)},
+                      {"tid", Value(tid)}});
+}
+
+Value metadata(const char* kind, std::int64_t pid, std::int64_t tid,
+               const std::string& name) {
+  Object args;
+  args.set("name", Value(name));
+  Object m{{"name", Value(kind)},
+           {"ph", Value("M")},
+           {"pid", Value(pid)},
+           {"args", Value(std::move(args))}};
+  if (tid >= 0) m.set("tid", Value(tid));
+  return Value(std::move(m));
+}
+
+constexpr std::int64_t kPipelinePid = 1;
+constexpr std::int64_t kRecorderPid = 2;
+/// Drop events get their own track after the five hop tracks.
+constexpr std::int64_t kDropTid = kHopCount;
+
+}  // namespace
+
+Array spans_to_trace_events(const SpanTracker& spans) {
+  Array events;
+  events.push_back(metadata("process_name", kPipelinePid, -1,
+                            "observation pipeline (spans)"));
+  for (std::size_t h = 1; h < kHopCount; ++h) {
+    events.push_back(metadata(
+        "thread_name", kPipelinePid, static_cast<std::int64_t>(h),
+        std::string(hop_name(static_cast<Hop>(h - 1))) + " -> " +
+            hop_name(static_cast<Hop>(h))));
+  }
+  events.push_back(metadata("thread_name", kPipelinePid, kDropTid, "drops"));
+
+  for (std::uint64_t id = spans.first_id(); id <= spans.last_id(); ++id) {
+    const SpanRecord* r = spans.find(id);
+    if (r == nullptr) continue;
+    // Walk the stamped hops in order; an unstamped middle hop does not
+    // split the lifecycle — the segment bridges to the next stamp.
+    std::size_t prev = kHopCount;  // sentinel: nothing stamped yet
+    for (std::size_t h = 0; h < kHopCount; ++h) {
+      if (!r->stamped(static_cast<Hop>(h))) continue;
+      if (prev != kHopCount) {
+        Hop from = static_cast<Hop>(prev);
+        Hop to = static_cast<Hop>(h);
+        Value e = event((std::string(hop_name(from)) + " -> " + hop_name(to))
+                            .c_str(),
+                        "span", "X", static_cast<double>(r->at(from)) * 1000.0,
+                        kPipelinePid, static_cast<std::int64_t>(h));
+        e.as_object()
+            .set("dur",
+                 Value(static_cast<double>(r->at(to) - r->at(from)) * 1000.0))
+            .set("args",
+                 Value(Object{{"span", Value(static_cast<std::int64_t>(id))}}));
+        events.push_back(std::move(e));
+      }
+      prev = h;
+    }
+    TimeMs last_stamp = prev != kHopCount ? r->at(static_cast<Hop>(prev))
+                                          : SpanRecord::kUnstamped;
+    if (r->dropped != DropStage::kNone && last_stamp != SpanRecord::kUnstamped) {
+      Value e = event((std::string("drop:") + drop_stage_name(r->dropped))
+                          .c_str(),
+                      "drop", "i", static_cast<double>(last_stamp) * 1000.0,
+                      kPipelinePid, kDropTid);
+      e.as_object()
+          .set("s", Value("t"))
+          .set("args",
+               Value(Object{{"span", Value(static_cast<std::int64_t>(id))}}));
+      events.push_back(std::move(e));
+    }
+  }
+  return events;
+}
+
+Array recorder_to_trace_events(const std::vector<FrRecord>& records) {
+  Array events;
+  events.push_back(
+      metadata("process_name", kRecorderPid, -1, "flight recorder"));
+  std::vector<std::uint32_t> named_threads;
+  for (const FrRecord& r : records) {
+    bool named = false;
+    for (std::uint32_t t : named_threads) named |= (t == r.thread);
+    if (!named) {
+      named_threads.push_back(r.thread);
+      std::string label = "recorder thread " + std::to_string(r.thread);
+      if (!r.scope.empty()) label += " [" + r.scope + "]";
+      events.push_back(metadata("thread_name", kRecorderPid,
+                                static_cast<std::int64_t>(r.thread), label));
+    }
+    // Events with no sim time (exec chunk claims, WAL fsyncs driven by
+    // storage) use their sequence number as a tick so order is visible.
+    double ts_us = r.t_ms >= 0 ? static_cast<double>(r.t_ms) * 1000.0
+                               : static_cast<double>(r.seq);
+    Value e = event(fr_event_name(r.type), "recorder", "i", ts_us,
+                    kRecorderPid, static_cast<std::int64_t>(r.thread));
+    e.as_object()
+        .set("s", Value("t"))
+        .set("args",
+             Value(Object{{"seq", Value(static_cast<std::int64_t>(r.seq))},
+                          {"a", Value(static_cast<std::int64_t>(r.a))},
+                          {"b", Value(static_cast<std::int64_t>(r.b))}}));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Value build_trace(const SpanTracker* spans, const FlightRecorder* recorder) {
+  Array events;
+  if (spans != nullptr) {
+    Array span_events = spans_to_trace_events(*spans);
+    for (Value& e : span_events) events.push_back(std::move(e));
+  }
+  if (recorder != nullptr) {
+    Array rec_events = recorder_to_trace_events(recorder->collect());
+    for (Value& e : rec_events) events.push_back(std::move(e));
+  }
+  return Value(Object{{"displayTimeUnit", Value("ms")},
+                      {"traceEvents", Value(std::move(events))}});
+}
+
+bool write_trace_file(const std::string& path, const SpanTracker* spans,
+                      const FlightRecorder* recorder) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << build_trace(spans, recorder).to_json() << "\n";
+  return out.good();
+}
+
+}  // namespace mps::obs

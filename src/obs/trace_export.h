@@ -1,0 +1,45 @@
+// Chrome trace_event export: observation lifecycles and flight-recorder
+// timelines rendered for Perfetto / about://tracing.
+//
+// Two sources feed one trace file:
+//   - SpanTracker lifecycles: each consecutive stamped hop pair becomes
+//     a complete ("X") event on the pipeline process (pid 1), one track
+//     (tid) per destination hop — so the five rows read as the pipeline
+//     stages and the event density per row *is* the Fig.-17 delay story.
+//     Drops become instant ("i") events on a dedicated track.
+//   - FlightRecorder events: instant events on the recorder process
+//     (pid 2), one track per recording thread — which renders the exec
+//     chunk-claim timeline per worker, WAL activity, fault injections
+//     and server kills in one synchronized view.
+//
+// Timestamps are the sim clock (ms) scaled to trace microseconds.
+// Recorder events without a sim time (t_ms == -1, e.g. exec chunk
+// claims) fall back to their global sequence number as a microsecond
+// tick, keeping relative order visible without inventing wall time.
+#pragma once
+
+#include <string>
+
+#include "common/value.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+
+namespace mps::obs {
+
+/// trace_event array for every span lifecycle in `spans`.
+Array spans_to_trace_events(const SpanTracker& spans);
+
+/// trace_event array for `records` (typically FlightRecorder::collect()).
+Array recorder_to_trace_events(const std::vector<FrRecord>& records);
+
+/// The complete trace document:
+///   {"displayTimeUnit": "ms", "traceEvents": [...metadata, spans,
+///    recorder events...]}
+/// Either source may be null.
+Value build_trace(const SpanTracker* spans, const FlightRecorder* recorder);
+
+/// Serializes build_trace() to `path`; false when the file cannot open.
+bool write_trace_file(const std::string& path, const SpanTracker* spans,
+                      const FlightRecorder* recorder);
+
+}  // namespace mps::obs

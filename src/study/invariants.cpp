@@ -1,9 +1,12 @@
 #include "study/invariants.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "obs/flight_recorder.h"
 
 namespace mps::study {
 
@@ -84,8 +87,11 @@ InvariantReport check_invariants(
         ++report.order_violations;
   }
 
-  // Account for every span the fleet ever created.
-  for (std::uint64_t id = 1; id <= tracer.size(); ++id) {
+  // Account for every span the fleet still retains. Retired (evicted)
+  // spans were verifiably closed — dropped with attribution or persisted
+  // — before the bounded tracker let go of them, so skipping the range
+  // below first_id() cannot hide a loss.
+  for (std::uint64_t id = tracer.first_id(); id <= tracer.last_id(); ++id) {
     const obs::SpanRecord* r = tracer.find(id);
     if (r == nullptr) continue;
     ++report.spans_total;
@@ -106,6 +112,23 @@ InvariantReport check_invariants(
     }
   }
   return report;
+}
+
+std::string dump_forensics(const InvariantReport& report,
+                           const std::string& label) {
+  if (report.ok()) return "";
+  // The violation itself goes on the timeline, so the dump's last event
+  // states why it exists — and what the books said.
+  obs::FlightRecorder::record(
+      obs::FrEvent::kInvariantViolation, report.lost,
+      report.duplicate_spans_stored + report.order_violations);
+  const char* dir = std::getenv("MPS_FLIGHT_DIR");
+  if (dir == nullptr || *dir == '\0') dir = std::getenv("MPS_FAULT_REPORT_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  std::string path = std::string(dir) + "/flight_" + label + ".jsonl";
+  if (!obs::FlightRecorder::instance().dump_current_thread_to_file(path))
+    return "";
+  return path;
 }
 
 }  // namespace mps::study

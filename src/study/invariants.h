@@ -56,4 +56,14 @@ InvariantReport check_invariants(
     const obs::SpanTracker& tracer, core::GoFlowServer& server,
     const std::vector<const client::GoFlowClient*>& clients);
 
+/// Crash forensics for a violated report: records an
+/// invariant_violation flight-recorder event and dumps the calling
+/// thread's ring (the whole run, on a sweep worker) as JSONL to
+/// `<dir>/flight_<label>.jsonl`, where dir is MPS_FLIGHT_DIR or, absent
+/// that, MPS_FAULT_REPORT_DIR. Returns the dump path; empty when the
+/// report is ok or no dump directory is configured. `label` must be
+/// filename-safe ("server-kill_seed7").
+std::string dump_forensics(const InvariantReport& report,
+                           const std::string& label);
+
 }  // namespace mps::study

@@ -11,12 +11,14 @@
 // order regardless of completion order.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/recovery.h"
+#include "obs/flight_recorder.h"
 #include "durable/storage.h"
 #include "exec/executor.h"
 #include "exec/sweep.h"
@@ -44,6 +46,10 @@ struct KillOutcome {
 };
 
 KillOutcome run_kill_chaos(const std::string& profile, std::uint64_t seed) {
+  // Label this worker's flight-recorder ring so a forensic dump can be
+  // attributed to its (profile, seed) run.
+  obs::FlightRecorder::instance().set_thread_scope(
+      profile + "/seed=" + std::to_string(seed));
   sim::Simulation sim;
   broker::Broker broker;
   docstore::Database db;
@@ -83,6 +89,13 @@ KillOutcome run_kill_chaos(const std::string& profile, std::uint64_t seed) {
   KillOutcome out;
   out.study = runner.run();
   out.invariants = check_invariants(tracer, server, runner.clients());
+  // Red seed -> black box: the last 4096 events of this run (faults,
+  // WAL appends/fsyncs, kills, recoveries) land next to the reports.
+  std::string forensics = dump_forensics(
+      out.invariants, profile + "_seed" + std::to_string(seed));
+  if (!forensics.empty())
+    std::fprintf(stderr, "invariant violation: flight recorder dumped to %s\n",
+                 forensics.c_str());
   out.faults_injected = plan.total_injected();
   out.replayed_records = registry.counter("durable.replayed_records").value();
   out.snapshots = registry.counter("durable.snapshots").value();

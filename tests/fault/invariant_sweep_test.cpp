@@ -19,12 +19,14 @@
 // order regardless of completion order.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "exec/executor.h"
+#include "obs/flight_recorder.h"
 #include "exec/sweep.h"
 #include "fault/fault.h"
 #include "study/invariants.h"
@@ -42,6 +44,10 @@ struct ChaosOutcome {
 };
 
 ChaosOutcome run_chaos(const std::string& profile, std::uint64_t seed) {
+  // Label this worker's flight-recorder ring so a forensic dump can be
+  // attributed to its (profile, seed) run.
+  obs::FlightRecorder::instance().set_thread_scope(
+      profile + "/seed=" + std::to_string(seed));
   sim::Simulation sim;
   broker::Broker broker;
   docstore::Database db;
@@ -74,6 +80,13 @@ ChaosOutcome run_chaos(const std::string& profile, std::uint64_t seed) {
   ChaosOutcome out;
   out.study = runner.run();
   out.invariants = check_invariants(tracer, server, runner.clients());
+  // Red seed -> black box: the last 4096 events of this run (faults,
+  // crashes, broker rejects) land next to the reports.
+  std::string forensics = dump_forensics(
+      out.invariants, profile + "_seed" + std::to_string(seed));
+  if (!forensics.empty())
+    std::fprintf(stderr, "invariant violation: flight recorder dumped to %s\n",
+                 forensics.c_str());
   out.faults_injected = plan.total_injected();
   return out;
 }

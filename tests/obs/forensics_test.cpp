@@ -1,0 +1,157 @@
+// The acceptance test for crash forensics: a chaos run whose invariant
+// report is violated must leave a flight-recorder JSONL dump containing
+// the injected faults and the surrounding WAL/broker activity — the
+// black box a red seed hands the investigating engineer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "core/recovery.h"
+#include "durable/storage.h"
+#include "fault/fault.h"
+#include "obs/flight_recorder.h"
+#include "study/invariants.h"
+#include "study/study.h"
+
+namespace mps::study {
+namespace {
+
+// A small kill+lossy chaos run on the calling thread, so the recorder
+// ring that dump_forensics captures is this run's timeline.
+void run_small_chaos(const std::string& profile, std::uint64_t seed) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  obs::Registry registry;
+  obs::SpanTracker tracer(&registry);
+  server.set_metrics(&registry);
+  server.set_tracer(&tracer);
+
+  durable::MemStorageEnv env;
+  core::ServerLifecycle lifecycle(env, sim, broker, db, server, {}, &registry);
+
+  fault::FaultPlan plan = fault::FaultPlan::profile(profile, seed);
+  // A scripted mid-run kill on top of the profile's rate-driven ones, so
+  // the timeline always contains a kill/recover pair.
+  plan.kill_server_at(hours(5), minutes(7));
+
+  // Tiny on purpose: the whole run must fit inside one recorder ring
+  // (kRingCapacity events) so the dump covers the faults, not just the
+  // tail — the test asserts this explicitly.
+  crowd::PopulationConfig pc;
+  pc.seed = seed;
+  pc.device_scale = 0.002;
+  pc.obs_scale = 0.005;
+  pc.horizon = days(2);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  StudyConfig sc;
+  sc.seed = seed;
+  sc.duration_days = 1;
+  sc.metrics = &registry;
+  sc.tracer = &tracer;
+  sc.faults = &plan;
+  sc.lifecycle = &lifecycle;
+  sc.snapshot_period = hours(6);
+  sc.drain = hours(1);
+
+  StudyRunner runner(pop, sc, sim, broker, server);
+  runner.run();
+}
+
+TEST(Forensics, ViolatedReportDumpsFaultAndPipelineTimeline) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+  recorder.set_thread_scope("forensics-test");
+
+  run_small_chaos("server-kill-lossy", 3);
+
+  // The ring must still hold the whole run — if this trips, shrink the
+  // run, not the assertions: wrap would silently drop the early faults.
+  std::vector<obs::FrRecord> ring = recorder.collect_current_thread();
+  ASSERT_GT(ring.size(), 0u);
+  ASSERT_LT(ring.size(), obs::FlightRecorder::kRingCapacity)
+      << "run overflowed the ring; the dump no longer covers the faults";
+
+  // A fabricated red report (the sweep path feeds real ones; the dump
+  // logic must not depend on how the books failed to close).
+  InvariantReport violated;
+  violated.lost = 1;
+  ASSERT_FALSE(violated.ok());
+
+  std::string dir = ::testing::TempDir() + "forensics_test_dump";
+  std::string cleanup = "rm -rf " + dir;
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  ASSERT_EQ(setenv("MPS_FLIGHT_DIR", dir.c_str(), 1), 0);
+  std::string path = dump_forensics(violated, "server-kill-lossy_seed3");
+  unsetenv("MPS_FLIGHT_DIR");
+  ASSERT_EQ(path, dir + "/flight_server-kill-lossy_seed3.jsonl");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::size_t faults = 0, wal_appends = 0, broker_publishes = 0, kills = 0,
+              recovers = 0;
+  std::string line, last_type;
+  std::int64_t last_seq = 0;
+  while (std::getline(in, line)) {
+    Value v = Value::parse_json(line);
+    std::string type = v.get_string("type");
+    if (type == "fault_inject") ++faults;
+    if (type == "wal_append") ++wal_appends;
+    if (type == "broker_publish") ++broker_publishes;
+    if (type == "server_kill") ++kills;
+    if (type == "server_recover") ++recovers;
+    // Globally ordered, scope-attributed lines.
+    EXPECT_GT(v.get_int("seq", 0), last_seq);
+    last_seq = v.get_int("seq", 0);
+    EXPECT_EQ(v.get_string("scope"), "forensics-test");
+    last_type = type;
+  }
+  // The timeline the investigating engineer needs: the injected faults
+  // and the WAL/broker traffic around them, the kills and recoveries,
+  // and the violation itself as the closing event.
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(wal_appends, 0u);
+  EXPECT_GT(broker_publishes, 0u);
+  EXPECT_GT(kills, 0u);
+  EXPECT_GT(recovers, 0u);
+  EXPECT_EQ(last_type, "invariant_violation");
+
+  std::system(cleanup.c_str());
+  recorder.set_thread_scope("");
+  recorder.clear();
+}
+
+TEST(Forensics, OkReportDumpsNothing) {
+  InvariantReport ok_report;
+  ASSERT_TRUE(ok_report.ok());
+  std::string dir = ::testing::TempDir() + "forensics_ok_dump";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  ASSERT_EQ(setenv("MPS_FLIGHT_DIR", dir.c_str(), 1), 0);
+  EXPECT_EQ(dump_forensics(ok_report, "green"), "");
+  unsetenv("MPS_FLIGHT_DIR");
+  std::ifstream in(dir + "/flight_green.jsonl");
+  EXPECT_FALSE(in.is_open());
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(Forensics, NoDumpDirConfiguredReturnsEmpty) {
+  const char* saved = std::getenv("MPS_FAULT_REPORT_DIR");
+  std::string saved_value = saved != nullptr ? saved : "";
+  unsetenv("MPS_FLIGHT_DIR");
+  unsetenv("MPS_FAULT_REPORT_DIR");
+  InvariantReport violated;
+  violated.lost = 2;
+  EXPECT_EQ(dump_forensics(violated, "nowhere"), "");
+  if (saved != nullptr) setenv("MPS_FAULT_REPORT_DIR", saved_value.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace mps::study

@@ -1,0 +1,125 @@
+// The SpanTracker's bounded-memory contract: at most `capacity` retained
+// spans, FIFO retirement of *closed* spans only (dropped or persisted),
+// open spans never evicted — the invariant harness must never lose an
+// in-flight observation to the bound — and eviction visible through the
+// obs.spans_evicted counter.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace mps::obs {
+namespace {
+
+TEST(SpanCapacity, ClosedSpansRetireFifoWhenOverCapacity) {
+  Registry registry;
+  SpanTracker tracker(&registry, /*capacity=*/2);
+  std::uint64_t a = tracker.begin(0);
+  tracker.stamp(a, Hop::kPersisted, 10);
+  std::uint64_t b = tracker.begin(1);
+  tracker.stamp(b, Hop::kPersisted, 11);
+  // Third span pushes past capacity: `a` (oldest closed) retires.
+  std::uint64_t c = tracker.begin(2);
+  EXPECT_EQ(tracker.size(), 2u);
+  EXPECT_EQ(tracker.evicted(), 1u);
+  EXPECT_EQ(tracker.first_id(), b);
+  EXPECT_EQ(tracker.last_id(), c);
+  EXPECT_EQ(tracker.find(a), nullptr);
+  EXPECT_NE(tracker.find(b), nullptr);
+  EXPECT_EQ(registry.counter("obs.spans_evicted").value(), 1u);
+  // Totals still count retired spans.
+  EXPECT_EQ(tracker.total_started(), 3u);
+}
+
+TEST(SpanCapacity, DroppedSpansCountAsClosed) {
+  SpanTracker tracker(nullptr, /*capacity=*/1);
+  std::uint64_t a = tracker.begin(0);
+  tracker.drop(a, DropStage::kExpiredInBuffer, 5);
+  tracker.begin(1);
+  EXPECT_EQ(tracker.size(), 1u);
+  EXPECT_EQ(tracker.find(a), nullptr);
+  EXPECT_EQ(tracker.evicted(), 1u);
+}
+
+TEST(SpanCapacity, OpenSpansAreNeverEvicted) {
+  Registry registry;
+  SpanTracker tracker(&registry, /*capacity=*/2);
+  // Five spans, all in flight: the window transiently exceeds capacity
+  // rather than sacrificing loss accounting.
+  std::uint64_t ids[5];
+  for (int i = 0; i < 5; ++i) ids[i] = tracker.begin(i);
+  EXPECT_EQ(tracker.size(), 5u);
+  EXPECT_EQ(tracker.evicted(), 0u);
+  EXPECT_EQ(registry.counter("obs.spans_evicted").value(), 0u);
+  for (std::uint64_t id : ids) EXPECT_NE(tracker.find(id), nullptr);
+
+  // A closed span behind an open one stays put too: FIFO stops at the
+  // first open front.
+  tracker.stamp(ids[1], Hop::kPersisted, 100);  // ids[0] still open
+  std::uint64_t f = tracker.begin(5);
+  EXPECT_EQ(tracker.evicted(), 0u);
+  EXPECT_NE(tracker.find(ids[1]), nullptr);
+
+  // Close the front: the backlog drains down to capacity.
+  tracker.drop(ids[0], DropStage::kUnroutable, 101);
+  for (int i = 2; i < 5; ++i) tracker.stamp(ids[i], Hop::kPersisted, 102);
+  tracker.stamp(f, Hop::kPersisted, 102);
+  tracker.begin(6);
+  EXPECT_EQ(tracker.size(), 2u);
+  EXPECT_EQ(tracker.evicted(), 5u);
+  EXPECT_EQ(registry.counter("obs.spans_evicted").value(), 5u);
+}
+
+TEST(SpanCapacity, LateStampsOnRetiredIdsAreIgnored) {
+  Registry registry;
+  SpanTracker tracker(&registry, /*capacity=*/1);
+  std::uint64_t a = tracker.begin(0);
+  tracker.stamp(a, Hop::kPersisted, 10);
+  std::uint64_t b = tracker.begin(1);
+  ASSERT_EQ(tracker.find(a), nullptr);
+  // A late assimilation stamp for the retired id must not crash, resurrect
+  // the span, or corrupt the retained range.
+  tracker.stamp(a, Hop::kAssimilated, 999);
+  tracker.drop(a, DropStage::kRejectedByServer, 999);
+  EXPECT_EQ(tracker.find(a), nullptr);
+  EXPECT_EQ(tracker.first_id(), b);
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(SpanCapacity, UnboundedWhenCapacityZero) {
+  SpanTracker tracker(nullptr, /*capacity=*/0);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t id = tracker.begin(i);
+    tracker.stamp(id, Hop::kPersisted, i + 1);
+  }
+  EXPECT_EQ(tracker.size(), 100u);
+  EXPECT_EQ(tracker.evicted(), 0u);
+}
+
+TEST(SpanCapacity, SetCapacityTakesEffectOnNextBegin) {
+  SpanTracker tracker(nullptr, /*capacity=*/0);
+  for (int i = 0; i < 10; ++i) {
+    std::uint64_t id = tracker.begin(i);
+    tracker.stamp(id, Hop::kPersisted, i + 1);
+  }
+  tracker.set_capacity(3);
+  EXPECT_EQ(tracker.size(), 10u);  // shrink is lazy
+  tracker.begin(11);
+  EXPECT_EQ(tracker.size(), 3u);
+  EXPECT_EQ(tracker.evicted(), 8u);
+}
+
+TEST(SpanCapacity, ClearResetsIdsAndRetainedSpans) {
+  SpanTracker tracker(nullptr, /*capacity=*/2);
+  std::uint64_t a = tracker.begin(0);
+  tracker.stamp(a, Hop::kPersisted, 1);
+  tracker.begin(1);
+  tracker.begin(2);
+  tracker.clear();
+  EXPECT_EQ(tracker.size(), 0u);
+  EXPECT_GT(tracker.first_id(), tracker.last_id());  // empty range
+  EXPECT_EQ(tracker.begin(0), 1u);  // ids restart from 1
+}
+
+}  // namespace
+}  // namespace mps::obs

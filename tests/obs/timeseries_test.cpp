@@ -1,0 +1,251 @@
+// The windowed time-series over the Registry: exact interpolated
+// quantiles from delta buckets, exact rollups across window boundaries
+// however irregular the sampling, empty windows for dead air, and
+// clock-skew folding instead of ring teardown.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mps::obs {
+namespace {
+
+// --- quantile_from_buckets: the arithmetic is exact, not approximate ---
+
+TEST(QuantileFromBuckets, InterpolatesWithinBucket) {
+  // Edges 10|20|30, all 10 samples in (10, 20]: the q-quantile lands at
+  // 10 + q*count/bucket * 10.
+  std::vector<double> edges = {10.0, 20.0, 30.0};
+  std::vector<std::uint64_t> buckets = {0, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 10, 0.5),
+                   15.0);
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 10, 1.0),
+                   20.0);
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 10, 0.1),
+                   11.0);
+}
+
+TEST(QuantileFromBuckets, SpansBuckets) {
+  // 4 samples <= 10, 4 in (10,20], 2 in (20,30]. p50 -> target 5: one
+  // sample into the second bucket -> 10 + (1/4)*10 = 12.5. p90 -> target
+  // 9: one into the third -> 20 + (1/2)*10 = 25.
+  std::vector<double> edges = {10.0, 20.0, 30.0};
+  std::vector<std::uint64_t> buckets = {4, 4, 2, 0};
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 10, 0.5),
+                   12.5);
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 10, 0.9),
+                   25.0);
+}
+
+TEST(QuantileFromBuckets, OverflowReportsLastFiniteEdge) {
+  std::vector<double> edges = {10.0, 20.0};
+  std::vector<std::uint64_t> buckets = {0, 0, 5};  // all in overflow
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 5, 0.5),
+                   20.0);
+}
+
+TEST(QuantileFromBuckets, EmptyIsZero) {
+  std::vector<double> edges = {10.0};
+  std::vector<std::uint64_t> buckets = {0, 0};
+  EXPECT_DOUBLE_EQ(TimeSeries::quantile_from_buckets(edges, buckets, 0, 0.5),
+                   0.0);
+}
+
+// --- windowed rollup ---
+
+TEST(TimeSeries, BaselineAtConstructionIsNotActivity) {
+  Registry registry;
+  registry.counter("c").inc(100);  // pre-series history
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 8});
+  registry.counter("c").inc(3);
+  series.sample(10);  // closes [0,10)
+  ASSERT_EQ(series.window_count(), 1u);
+  EXPECT_EQ(series.windows()[0].counter_deltas.at("c"), 3u);
+}
+
+TEST(TimeSeries, DeltasSplitExactlyAcrossBoundaries) {
+  // Samples at irregular times; the sum of window deltas must equal the
+  // cumulative counter no matter where the boundaries fell.
+  Registry registry;
+  Counter& c = registry.counter("ingest");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 64});
+  TimeMs times[] = {3, 7, 12, 29, 31, 58};
+  for (TimeMs t : times) {
+    c.inc(2);
+    series.sample(t);
+  }
+  series.flush(60);
+  std::uint64_t total = 0;
+  for (const SeriesWindow& w : series.windows()) {
+    auto it = w.counter_deltas.find("ingest");
+    if (it != w.counter_deltas.end()) total += it->second;
+  }
+  EXPECT_EQ(total, c.value());
+  // Window starts are boundary-aligned and contiguous.
+  TimeMs expect_start = 0;
+  for (const SeriesWindow& w : series.windows()) {
+    EXPECT_EQ(w.start, expect_start);
+    expect_start += 10;
+  }
+}
+
+TEST(TimeSeries, SkippedWindowsCloseEmpty) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 64});
+  c.inc(1);
+  series.sample(5);
+  // Dead air, then a jump four windows ahead: [0,10) holds the delta;
+  // [10,20), [20,30) and [30,40) must appear as empty windows, not
+  // holes in the series.
+  series.sample(45);
+  ASSERT_EQ(series.window_count(), 4u);
+  EXPECT_EQ(series.windows()[0].counter_deltas.at("c"), 1u);
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_TRUE(series.windows()[i].counter_deltas.empty())
+        << "window " << i << " not empty";
+}
+
+TEST(TimeSeries, ClockSkewFoldsIntoOpenWindow) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 8});
+  c.inc(1);
+  series.sample(25);  // closes [0,10) and [10,20), open = [20,30)
+  std::size_t closed_before = series.window_count();
+  c.inc(5);
+  series.sample(4);  // the past: folds into [20,30), must not rewind
+  EXPECT_EQ(series.window_count(), closed_before);
+  series.flush(25);
+  EXPECT_EQ(series.windows().back().counter_deltas.at("c"), 5u);
+}
+
+TEST(TimeSeries, RegistryResetTreatedAsFreshDelta) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 8});
+  c.inc(7);
+  series.sample(3);
+  registry.reset();  // cumulative value jumps backwards
+  c.inc(2);
+  series.flush(8);
+  ASSERT_EQ(series.window_count(), 1u);
+  EXPECT_EQ(series.windows()[0].counter_deltas.at("c"), 9u);
+}
+
+TEST(TimeSeries, RingEvictsOldestWindows) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 3});
+  for (TimeMs t = 10; t <= 60; t += 10) {
+    c.inc(1);
+    series.sample(t);
+  }
+  EXPECT_EQ(series.window_count(), 3u);
+  EXPECT_EQ(series.windows_closed(), 6u);
+  EXPECT_EQ(series.windows().front().start, 30);
+}
+
+// --- derived series ---
+
+TEST(TimeSeries, CounterRatePerSecond) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  TimeSeries series(registry, {.bucket_width = 2000, .window_capacity = 8});
+  c.inc(10);
+  series.sample(2000);  // 10 events over 2 s -> 5/s
+  std::vector<SeriesPoint> rate = series.counter_rate("c");
+  ASSERT_EQ(rate.size(), 1u);
+  EXPECT_DOUBLE_EQ(rate[0].value, 5.0);
+  // Unknown counters yield zeros, one point per window.
+  std::vector<SeriesPoint> none = series.counter_rate("nope");
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_DOUBLE_EQ(none[0].value, 0.0);
+}
+
+TEST(TimeSeries, GaugeSeriesCarriesLastValueForward) {
+  Registry registry;
+  Gauge& g = registry.gauge("depth");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 8});
+  g.set(4.0);
+  series.sample(10);
+  series.sample(30);  // two more windows with no fresh gauge sample
+  std::vector<SeriesPoint> pts = series.gauge_series("depth");
+  ASSERT_EQ(pts.size(), 3u);
+  for (const SeriesPoint& p : pts) EXPECT_DOUBLE_EQ(p.value, 4.0);
+}
+
+TEST(TimeSeries, HistogramWindowQuantilesAreFromDeltasNotCumulative) {
+  Registry registry;
+  LatencyHistogram& h =
+      registry.histogram("lat", std::vector<double>{10.0, 20.0, 30.0});
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 8});
+  // Window 1: all fast.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  series.sample(10);
+  // Window 2: all slow. If the series used cumulative buckets the p50
+  // would be dragged toward the fast mass; deltas keep it in (20,30].
+  for (int i = 0; i < 10; ++i) h.observe(25.0);
+  series.sample(20);
+  std::vector<WindowQuantiles> wq = series.histogram_series("lat");
+  ASSERT_EQ(wq.size(), 2u);
+  EXPECT_EQ(wq[0].count, 10u);
+  EXPECT_LE(wq[0].p50, 10.0);
+  EXPECT_EQ(wq[1].count, 10u);
+  EXPECT_GT(wq[1].p50, 20.0);
+  EXPECT_LE(wq[1].p50, 30.0);
+  // Rolling over both windows merges the delta mass: 20 samples, half
+  // fast, half slow -> p50 at the fast/slow boundary, p95 in the slow
+  // bucket.
+  EXPECT_LE(series.rolling_quantile("lat", 0.5), 10.0);
+  EXPECT_GT(series.rolling_quantile("lat", 0.95), 20.0);
+  // Restricted to the last window only, p50 is slow.
+  EXPECT_GT(series.rolling_quantile("lat", 0.5, 1), 20.0);
+}
+
+// --- exports ---
+
+TEST(TimeSeries, ToJsonRoundTripsThroughParser) {
+  Registry registry;
+  TimeSeries series(registry, {.bucket_width = 1000, .window_capacity = 8});
+  registry.counter("c").inc(4);
+  registry.histogram("h").observe(12.0);
+  registry.gauge("g").set(1.5);
+  series.flush(500);
+  std::string text = series.to_json().to_json();
+  Value parsed = Value::parse_json(text);
+  EXPECT_EQ(parsed.get_int("bucket_width_ms", 0), 1000);
+  EXPECT_EQ(parsed.get_int("windows_closed", 0), 1);
+  const Value& windows = parsed.at("windows");
+  ASSERT_TRUE(windows.is_array());
+  ASSERT_EQ(windows.as_array().size(), 1u);
+  const Value& w = windows.as_array()[0];
+  EXPECT_EQ(w.at("counters").at("c").get_int("delta", 0), 4);
+  EXPECT_EQ(w.at("histograms").at("h").get_int("count", 0), 1);
+  EXPECT_DOUBLE_EQ(w.at("gauges").get_double("g", 0.0), 1.5);
+}
+
+TEST(TimeSeries, SinkEmitsOneLinePerClosedWindow) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  TimeSeries series(registry, {.bucket_width = 10, .window_capacity = 8});
+  std::vector<std::string> lines;
+  series.set_sink([&](const std::string& line) { lines.push_back(line); });
+  c.inc(1);
+  series.sample(25);  // closes two windows
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    Value parsed = Value::parse_json(line);
+    EXPECT_TRUE(parsed.is_object()) << line;
+  }
+  EXPECT_EQ(
+      Value::parse_json(lines[0]).at("counters").at("c").get_int("delta", 0),
+      1);
+}
+
+}  // namespace
+}  // namespace mps::obs

@@ -1,0 +1,190 @@
+// Chrome trace_event export: the output must be a valid trace document
+// (the schema Perfetto / about://tracing loads), with span lifecycles as
+// complete events, drops and recorder events as instants, and metadata
+// naming the tracks. The schema check parses the serialized JSON back —
+// the same path a trace viewer takes.
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+
+namespace mps::obs {
+namespace {
+
+// Every trace_event must carry the required keys for its phase type.
+void check_trace_schema(const Value& trace) {
+  ASSERT_TRUE(trace.is_object());
+  EXPECT_EQ(trace.get_string("displayTimeUnit"), "ms");
+  const Value* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  for (const Value& ev : events->as_array()) {
+    ASSERT_TRUE(ev.is_object());
+    std::string ph = ev.get_string("ph");
+    ASSERT_TRUE(ph == "X" || ph == "i" || ph == "M") << "phase: " << ph;
+    EXPECT_FALSE(ev.get_string("name").empty());
+    ASSERT_NE(ev.find("pid"), nullptr);
+    if (ph == "X") {
+      // Complete events need a track, a timestamp and a duration.
+      ASSERT_NE(ev.find("tid"), nullptr);
+      ASSERT_NE(ev.find("ts"), nullptr);
+      ASSERT_NE(ev.find("dur"), nullptr);
+      EXPECT_GE(ev.get_double("dur", -1.0), 0.0);
+    } else if (ph == "i") {
+      ASSERT_NE(ev.find("tid"), nullptr);
+      ASSERT_NE(ev.find("ts"), nullptr);
+      EXPECT_EQ(ev.get_string("s"), "t");  // thread-scoped instant
+    }
+  }
+}
+
+TEST(TraceExport, SpanLifecycleBecomesCompleteEvents) {
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(100);
+  tracker.stamp(id, Hop::kBuffered, 110);
+  tracker.stamp(id, Hop::kUploaded, 400);
+  tracker.stamp(id, Hop::kRouted, 401);
+  tracker.stamp(id, Hop::kPersisted, 450);
+
+  Array events = spans_to_trace_events(tracker);
+  // Four stamped consecutive pairs -> four "X" events (metadata events
+  // naming the tracks ride along in front).
+  std::vector<const Value*> complete;
+  for (const Value& ev : events)
+    if (ev.get_string("ph") == "X") complete.push_back(&ev);
+  ASSERT_EQ(complete.size(), 4u);
+  const Value& first = *complete[0];
+  EXPECT_EQ(first.get_string("name"), "sensed -> buffered");
+  // Sim ms scaled to trace microseconds.
+  EXPECT_DOUBLE_EQ(first.get_double("ts", 0.0), 100.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(first.get_double("dur", 0.0), 10.0 * 1000.0);
+  EXPECT_EQ(first.get_int("pid", 0), 1);
+  const Value* args = first.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->get_int("span", 0), static_cast<std::int64_t>(id));
+}
+
+TEST(TraceExport, SkippedHopBridgesToNextStamped) {
+  // An untraced middle hop must not split the lifecycle: sensed ->
+  // uploaded renders as one event when buffered was never stamped.
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(0);
+  tracker.stamp(id, Hop::kUploaded, 50);
+  Array events = spans_to_trace_events(tracker);
+  std::vector<const Value*> complete;
+  for (const Value& ev : events)
+    if (ev.get_string("ph") == "X") complete.push_back(&ev);
+  ASSERT_EQ(complete.size(), 1u);
+  EXPECT_EQ(complete[0]->get_string("name"), "sensed -> uploaded");
+  EXPECT_DOUBLE_EQ(complete[0]->get_double("dur", 0.0), 50.0 * 1000.0);
+}
+
+TEST(TraceExport, DropsBecomeInstantEvents) {
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(10);
+  tracker.stamp(id, Hop::kBuffered, 20);
+  tracker.drop(id, DropStage::kExpiredInBuffer, 30);
+  Array events = spans_to_trace_events(tracker);
+  bool saw_drop = false;
+  for (const Value& ev : events) {
+    if (ev.get_string("ph") != "i") continue;
+    saw_drop = true;
+    EXPECT_NE(ev.get_string("name").find("expired_in_buffer"),
+              std::string::npos);
+    EXPECT_EQ(ev.get_int("tid", -1),
+              static_cast<std::int64_t>(kHopCount));  // the drop track
+  }
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(TraceExport, RecorderEventsBecomeInstantsWithSeqFallback) {
+  FlightRecorder::instance().clear();
+  FlightRecorder::record(FrEvent::kWalAppend, 3, 64, 2000);  // has sim time
+  FlightRecorder::record(FrEvent::kExecChunkClaim, 0, 8);    // t_ms == -1
+  std::vector<FrRecord> records =
+      FlightRecorder::instance().collect_current_thread();
+  ASSERT_EQ(records.size(), 2u);
+
+  Array events = recorder_to_trace_events(records);
+  const Value* timed = nullptr;
+  const Value* untimed = nullptr;
+  for (const Value& ev : events) {
+    if (ev.get_string("name") == "wal_append") timed = &ev;
+    if (ev.get_string("name") == "exec_chunk_claim") untimed = &ev;
+  }
+  ASSERT_NE(timed, nullptr);
+  ASSERT_NE(untimed, nullptr);
+  EXPECT_DOUBLE_EQ(timed->get_double("ts", 0.0), 2000.0 * 1000.0);
+  // No sim time: the global sequence stands in as a microsecond tick.
+  EXPECT_DOUBLE_EQ(untimed->get_double("ts", -1.0),
+                   static_cast<double>(records[1].seq));
+  EXPECT_EQ(timed->get_int("pid", 0), 2);
+  FlightRecorder::instance().clear();
+}
+
+TEST(TraceExport, BuildTracePassesSchemaCheckAndRoundTrips) {
+  FlightRecorder::instance().clear();
+  SpanTracker tracker;
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t id = tracker.begin(i * 100);
+    tracker.stamp(id, Hop::kBuffered, i * 100 + 10);
+    tracker.stamp(id, Hop::kPersisted, i * 100 + 60);
+  }
+  tracker.drop(tracker.begin(900), DropStage::kUnroutable, 950);
+  FlightRecorder::record(FrEvent::kServerKill, 1, 0, 300);
+  FlightRecorder::record(FrEvent::kServerRecover, 1, 12, 360);
+
+  Value trace = build_trace(&tracker, &FlightRecorder::instance());
+  // The serialized form must parse back — what a viewer actually loads.
+  Value parsed = Value::parse_json(trace.to_json());
+  check_trace_schema(parsed);
+
+  // Both sources are present: span "X" events (pid 1) and recorder
+  // instants (pid 2), plus metadata naming the processes.
+  std::set<std::string> phases;
+  std::set<std::int64_t> pids;
+  for (const Value& ev : parsed.at("traceEvents").as_array()) {
+    phases.insert(ev.get_string("ph"));
+    pids.insert(ev.get_int("pid", 0));
+  }
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(phases.count("i"));
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(pids.count(1));
+  EXPECT_TRUE(pids.count(2));
+  FlightRecorder::instance().clear();
+}
+
+TEST(TraceExport, NullSourcesYieldValidEmptyishTrace) {
+  Value trace = build_trace(nullptr, nullptr);
+  Value parsed = Value::parse_json(trace.to_json());
+  check_trace_schema(parsed);
+}
+
+TEST(TraceExport, WriteTraceFileProducesLoadableJson) {
+  SpanTracker tracker;
+  std::uint64_t id = tracker.begin(0);
+  tracker.stamp(id, Hop::kPersisted, 40);
+  std::string path = ::testing::TempDir() + "trace_export_test.json";
+  ASSERT_TRUE(write_trace_file(path, &tracker, nullptr));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Value parsed = Value::parse_json(buf.str());
+  check_trace_schema(parsed);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mps::obs

@@ -1,0 +1,235 @@
+// The bench-regression gate: both report formats parse, classification
+// follows the documented name rules, tolerance comparisons fail exactly
+// when they should, and the end-to-end gate passes the repo's own
+// baselines against themselves while catching a synthetically regressed
+// copy — the CI self-check, in miniature.
+#include "bench_gate/gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace mps::tools {
+namespace {
+
+constexpr const char* kMpsReport = R"({
+  "bench": "study",
+  "schema": "mps-bench-v1",
+  "wall_seconds": 12.5,
+  "metrics": {
+    "run_seconds": 2.0,
+    "observations_recorded_per_sec": 5000.0,
+    "rows_match": 1.0,
+    "seed": 42.0
+  }
+})";
+
+constexpr const char* kGoogleBenchReport = R"({
+  "context": {"host_name": "ci"},
+  "benchmarks": [
+    {"name": "BM_TopicMatch", "run_type": "iteration", "real_time": 355.0,
+     "time_unit": "ns"},
+    {"name": "BM_TopicMatch_mean", "run_type": "aggregate", "real_time": 360.0,
+     "time_unit": "ns"}
+  ]
+})";
+
+TEST(BenchGateParse, MpsBenchV1) {
+  std::map<std::string, double> metrics;
+  std::string error;
+  ASSERT_TRUE(parse_report(kMpsReport, metrics, &error)) << error;
+  EXPECT_DOUBLE_EQ(metrics.at("run_seconds"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.at("observations_recorded_per_sec"), 5000.0);
+  EXPECT_DOUBLE_EQ(metrics.at("wall_seconds"), 12.5);
+}
+
+TEST(BenchGateParse, GoogleBenchmarkIterationsOnly) {
+  std::map<std::string, double> metrics;
+  std::string error;
+  ASSERT_TRUE(parse_report(kGoogleBenchReport, metrics, &error)) << error;
+  // Iteration rows contribute <name>.real_time; aggregates are skipped
+  // (they would double-count the same measurement).
+  EXPECT_DOUBLE_EQ(metrics.at("BM_TopicMatch.real_time"), 355.0);
+  EXPECT_EQ(metrics.count("BM_TopicMatch_mean.real_time"), 0u);
+}
+
+TEST(BenchGateParse, MalformedInputFailsWithError) {
+  std::map<std::string, double> metrics;
+  std::string error;
+  EXPECT_FALSE(parse_report("not json", metrics, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(parse_report("{\"neither\": \"format\"}", metrics, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchGateClassify, NameSuffixRules) {
+  EXPECT_EQ(classify_metric("run_seconds"), MetricKind::kLowerBetter);
+  EXPECT_EQ(classify_metric("mean_delay_ms"), MetricKind::kLowerBetter);
+  EXPECT_EQ(classify_metric("alloc_bytes"), MetricKind::kLowerBetter);
+  EXPECT_EQ(classify_metric("BM_TopicMatch.real_time"),
+            MetricKind::kLowerBetter);
+  EXPECT_EQ(classify_metric("ingest_per_sec"), MetricKind::kHigherBetter);
+  EXPECT_EQ(classify_metric("parallel_speedup"), MetricKind::kHigherBetter);
+  EXPECT_EQ(classify_metric("rows_match"), MetricKind::kExact);
+  EXPECT_EQ(classify_metric("replay_exact"), MetricKind::kExact);
+  EXPECT_EQ(classify_metric("invariants_ok"), MetricKind::kExact);
+  EXPECT_EQ(classify_metric("seed"), MetricKind::kInfo);
+  EXPECT_EQ(classify_metric("devices"), MetricKind::kInfo);
+}
+
+TEST(BenchGateCompare, TolerancesDrawTheLine) {
+  GateConfig config;
+  config.time_tolerance = 2.0;
+  config.rate_tolerance = 0.5;
+  std::map<std::string, double> baseline = {
+      {"run_seconds", 1.0}, {"ingest_per_sec", 1000.0}, {"rows_match", 1.0}};
+
+  {  // Within tolerance on every axis: no regressions.
+    GateResult result;
+    std::map<std::string, double> current = {{"run_seconds", 1.9},
+                                             {"ingest_per_sec", 600.0},
+                                             {"rows_match", 1.0}};
+    compare_report("BENCH_x", baseline, current, config, result);
+    EXPECT_EQ(result.regressions(), 0u);
+    EXPECT_TRUE(result.ok());
+  }
+  {  // Slower than 2x: lower-is-better regression.
+    GateResult result;
+    std::map<std::string, double> current = {{"run_seconds", 2.1},
+                                             {"ingest_per_sec", 1000.0},
+                                             {"rows_match", 1.0}};
+    compare_report("BENCH_x", baseline, current, config, result);
+    EXPECT_EQ(result.regressions(), 1u);
+    EXPECT_FALSE(result.ok());
+  }
+  {  // Throughput below half the baseline: higher-is-better regression.
+    GateResult result;
+    std::map<std::string, double> current = {{"run_seconds", 1.0},
+                                             {"ingest_per_sec", 499.0},
+                                             {"rows_match", 1.0}};
+    compare_report("BENCH_x", baseline, current, config, result);
+    EXPECT_EQ(result.regressions(), 1u);
+  }
+  {  // An exact metric differing at all is a failure, however small.
+    GateResult result;
+    std::map<std::string, double> current = {{"run_seconds", 1.0},
+                                             {"ingest_per_sec", 1000.0},
+                                             {"rows_match", 0.0}};
+    compare_report("BENCH_x", baseline, current, config, result);
+    EXPECT_EQ(result.regressions(), 1u);
+  }
+}
+
+TEST(BenchGateCompare, MissingGatedMetricIsARegression) {
+  GateConfig config;
+  std::map<std::string, double> baseline = {{"run_seconds", 1.0},
+                                            {"seed", 42.0}};
+  std::map<std::string, double> current;  // both missing
+  GateResult result;
+  compare_report("BENCH_x", baseline, current, config, result);
+  // run_seconds (gated) missing -> fail; seed (info) missing -> fine.
+  EXPECT_EQ(result.regressions(), 1u);
+}
+
+TEST(BenchGateCompare, InfoMetricsNeverFail) {
+  GateConfig config;
+  std::map<std::string, double> baseline = {{"devices", 100.0}};
+  std::map<std::string, double> current = {{"devices", 9999.0}};
+  GateResult result;
+  compare_report("BENCH_x", baseline, current, config, result);
+  EXPECT_EQ(result.regressions(), 0u);
+}
+
+TEST(BenchGateFormat, ChecksRenderWithVerdict) {
+  MetricCheck check;
+  check.report = "BENCH_x";
+  check.metric = "run_seconds";
+  check.kind = MetricKind::kLowerBetter;
+  check.baseline = 1.0;
+  check.current = 5.0;
+  check.ok = false;
+  check.detail = "5.000 > 1.000 * 3.0";
+  std::string line = format_check(check);
+  EXPECT_NE(line.find("[FAIL]"), std::string::npos);
+  EXPECT_NE(line.find("BENCH_x"), std::string::npos);
+  EXPECT_NE(line.find("run_seconds"), std::string::npos);
+}
+
+// --- end-to-end over directories: the CI job in miniature ---
+
+class BenchGateDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "gate_base";
+    cur_ = ::testing::TempDir() + "gate_cur";
+    ASSERT_EQ(std::system(("rm -rf " + base_ + " " + cur_).c_str()), 0);
+    ASSERT_EQ(std::system(("mkdir -p " + base_ + " " + cur_).c_str()), 0);
+  }
+  void TearDown() override {
+    std::system(("rm -rf " + base_ + " " + cur_).c_str());
+  }
+  void write(const std::string& dir, const std::string& name,
+             const std::string& text) {
+    std::ofstream out(dir + "/" + name);
+    out << text;
+  }
+  std::string base_, cur_;
+};
+
+TEST_F(BenchGateDirTest, IdenticalReportsPass) {
+  write(base_, "BENCH_a.json", kMpsReport);
+  write(cur_, "BENCH_a.json", kMpsReport);
+  GateResult result = run_gate(base_, cur_, GateConfig{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.checks.size(), 0u);
+}
+
+TEST_F(BenchGateDirTest, SyntheticRegressionFails) {
+  write(base_, "BENCH_a.json", kMpsReport);
+  // 10x slower run and collapsed throughput: both gated axes trip.
+  write(cur_, "BENCH_a.json", R"({
+    "bench": "study", "schema": "mps-bench-v1", "wall_seconds": 125.0,
+    "metrics": {"run_seconds": 20.0,
+                "observations_recorded_per_sec": 500.0,
+                "rows_match": 1.0, "seed": 42.0}})");
+  GateResult result = run_gate(base_, cur_, GateConfig{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.regressions(), 2u);
+}
+
+TEST_F(BenchGateDirTest, MissingCurrentReportIsAnError) {
+  write(base_, "BENCH_a.json", kMpsReport);
+  GateResult result = run_gate(base_, cur_, GateConfig{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST_F(BenchGateDirTest, EmptyBaselineDirIsAnError) {
+  GateResult result = run_gate(base_, cur_, GateConfig{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.errors.empty());
+}
+
+// The repo's own checked-in baselines must pass against themselves —
+// the same invariant CI's self-check asserts before trusting the gate.
+TEST(BenchGateRepo, CheckedInBaselinesPassAgainstThemselves) {
+#ifdef MPS_SOURCE_DIR
+  std::string baselines = std::string(MPS_SOURCE_DIR) + "/bench/baselines";
+#else
+  std::string baselines = "bench/baselines";
+#endif
+  std::ifstream probe(baselines + "/BENCH_assim.json");
+  if (!probe.is_open())
+    GTEST_SKIP() << "bench/baselines not reachable from test cwd";
+  GateResult result = run_gate(baselines, baselines, GateConfig{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.checks.size(), 0u);
+  for (const std::string& error : result.errors) ADD_FAILURE() << error;
+}
+
+}  // namespace
+}  // namespace mps::tools

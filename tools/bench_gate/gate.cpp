@@ -1,0 +1,214 @@
+#include "bench_gate/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/value.h"
+
+namespace mps::tools {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kLowerBetter: return "lower-better";
+    case MetricKind::kHigherBetter: return "higher-better";
+    case MetricKind::kExact: return "exact";
+    case MetricKind::kInfo: return "info";
+  }
+  return "?";
+}
+
+MetricKind classify_metric(const std::string& name) {
+  if (ends_with(name, "_exact") || ends_with(name, "_match") ||
+      ends_with(name, "_ok"))
+    return MetricKind::kExact;
+  if (ends_with(name, "_per_sec") || ends_with(name, "_speedup"))
+    return MetricKind::kHigherBetter;
+  if (ends_with(name, "_seconds") || ends_with(name, "_ms") ||
+      ends_with(name, "_ns") || ends_with(name, "_bytes") ||
+      ends_with(name, ".real_time"))
+    return MetricKind::kLowerBetter;
+  return MetricKind::kInfo;
+}
+
+std::size_t GateResult::regressions() const {
+  std::size_t n = 0;
+  for (const MetricCheck& c : checks)
+    if (!c.ok) ++n;
+  return n;
+}
+
+bool parse_report(const std::string& json_text,
+                  std::map<std::string, double>& out, std::string* error) {
+  Value doc;
+  try {
+    doc = Value::parse_json(json_text);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  if (!doc.is_object()) {
+    if (error != nullptr) *error = "report is not a JSON object";
+    return false;
+  }
+  if (doc.get_string("schema") == "mps-bench-v1") {
+    out["wall_seconds"] = doc.get_double("wall_seconds");
+    if (const Value* metrics = doc.find("metrics"); metrics != nullptr &&
+                                                    metrics->is_object()) {
+      for (const auto& [name, v] : metrics->as_object())
+        if (v.is_number()) out[name] = v.as_double();
+    }
+    return true;
+  }
+  if (const Value* benches = doc.find("benchmarks");
+      benches != nullptr && benches->is_array()) {
+    for (const Value& b : benches->as_array()) {
+      if (!b.is_object()) continue;
+      // Aggregate rows (mean/median/stddev of --benchmark_repetitions)
+      // would double-count; gate the per-iteration rows only.
+      std::string run_type = b.get_string("run_type", "iteration");
+      if (run_type != "iteration") continue;
+      std::string name = b.get_string("name");
+      const Value* real_time = b.find("real_time");
+      if (name.empty() || real_time == nullptr || !real_time->is_number())
+        continue;
+      out[name + ".real_time"] = real_time->as_double();
+    }
+    return true;
+  }
+  if (error != nullptr)
+    *error = "unrecognized report schema (neither mps-bench-v1 nor "
+             "google-benchmark)";
+  return false;
+}
+
+void compare_report(const std::string& report_name,
+                    const std::map<std::string, double>& baseline,
+                    const std::map<std::string, double>& current,
+                    const GateConfig& config, GateResult& result) {
+  for (const auto& [name, base] : baseline) {
+    MetricCheck check;
+    check.report = report_name;
+    check.metric = name;
+    check.kind = classify_metric(name);
+    check.baseline = base;
+
+    auto it = current.find(name);
+    if (it == current.end()) {
+      if (check.kind == MetricKind::kInfo) continue;  // nothing to hold
+      check.ok = false;
+      check.detail = "missing from current report";
+      result.checks.push_back(std::move(check));
+      continue;
+    }
+    check.current = it->second;
+
+    switch (check.kind) {
+      case MetricKind::kLowerBetter: {
+        double limit = base * config.time_tolerance;
+        check.ok = check.current <= limit || base == 0.0;
+        check.detail = fmt_double(base) + " -> " + fmt_double(check.current) +
+                       " (limit " + fmt_double(limit) + ")";
+        break;
+      }
+      case MetricKind::kHigherBetter: {
+        double floor = base * config.rate_tolerance;
+        check.ok = check.current >= floor;
+        check.detail = fmt_double(base) + " -> " + fmt_double(check.current) +
+                       " (floor " + fmt_double(floor) + ")";
+        break;
+      }
+      case MetricKind::kExact: {
+        check.ok = check.current == base;
+        check.detail = fmt_double(base) + " -> " + fmt_double(check.current) +
+                       " (exact)";
+        break;
+      }
+      case MetricKind::kInfo:
+        check.ok = true;
+        check.detail = fmt_double(base) + " -> " + fmt_double(check.current);
+        break;
+    }
+    result.checks.push_back(std::move(check));
+  }
+}
+
+GateResult run_gate(const std::string& baseline_dir,
+                    const std::string& current_dir, const GateConfig& config) {
+  namespace fs = std::filesystem;
+  GateResult result;
+  std::vector<fs::path> baselines;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const fs::path& p = entry.path();
+    if (p.extension() == ".json" &&
+        p.filename().string().rfind("BENCH_", 0) == 0)
+      baselines.push_back(p);
+  }
+  if (ec) {
+    result.errors.push_back("cannot read baseline dir '" + baseline_dir +
+                            "': " + ec.message());
+    return result;
+  }
+  if (baselines.empty()) {
+    result.errors.push_back("no BENCH_*.json baselines in '" + baseline_dir +
+                            "'");
+    return result;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  for (const fs::path& base_path : baselines) {
+    std::string stem = base_path.stem().string();
+    auto read_file = [](const fs::path& p) -> std::string {
+      std::ifstream in(p);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      return ss.str();
+    };
+    fs::path cur_path = fs::path(current_dir) / base_path.filename();
+    if (!fs::exists(cur_path)) {
+      result.errors.push_back(stem + ": no current report at " +
+                              cur_path.string());
+      continue;
+    }
+    std::map<std::string, double> base_metrics, cur_metrics;
+    std::string error;
+    if (!parse_report(read_file(base_path), base_metrics, &error)) {
+      result.errors.push_back(stem + " (baseline): " + error);
+      continue;
+    }
+    if (!parse_report(read_file(cur_path), cur_metrics, &error)) {
+      result.errors.push_back(stem + " (current): " + error);
+      continue;
+    }
+    compare_report(stem, base_metrics, cur_metrics, config, result);
+  }
+  return result;
+}
+
+std::string format_check(const MetricCheck& check) {
+  std::string line = check.ok ? "[ OK ] " : "[FAIL] ";
+  line += check.report + " " + check.metric + " [" +
+          metric_kind_name(check.kind) + "] " + check.detail;
+  return line;
+}
+
+}  // namespace mps::tools

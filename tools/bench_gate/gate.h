@@ -1,0 +1,86 @@
+// Bench-regression gate: diffs current BENCH_*.json reports against
+// checked-in baselines and fails when a metric regresses beyond its
+// tolerance.
+//
+// Two report formats are understood:
+//   - "mps-bench-v1" (bench/common/bench_util.h): {"bench", "schema",
+//     "wall_seconds", "metrics": {name: number}}.
+//   - raw google-benchmark JSON: {"context": {...}, "benchmarks":
+//     [{"name", "real_time", ...}]} — each iteration entry contributes
+//     one metric (its name) valued at real_time.
+//
+// Metrics are classified by name, so adding a bench needs no gate
+// changes:
+//   - *_seconds / *_ms / *_ns / *_bytes and google-benchmark real_time:
+//     lower is better; fails when current > baseline * time_tolerance.
+//   - *_per_sec / *_speedup: higher is better; fails when
+//     current < baseline * rate_tolerance.
+//   - *_exact / *_match / *_ok: exact; fails on any difference (these
+//     encode determinism and correctness claims, not speed).
+//   - everything else (seeds, scales, counts): informational only.
+// A metric present in the baseline but missing from the current report
+// fails the gate — silently dropping a measurement is itself a
+// regression.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mps::tools {
+
+enum class MetricKind { kLowerBetter, kHigherBetter, kExact, kInfo };
+
+const char* metric_kind_name(MetricKind k);
+
+/// Name-based classification (see file comment).
+MetricKind classify_metric(const std::string& name);
+
+struct GateConfig {
+  /// Lower-is-better metrics may grow to baseline * time_tolerance.
+  /// Defaults generous: shared CI runners jitter hard.
+  double time_tolerance = 3.0;
+  /// Higher-is-better metrics may shrink to baseline * rate_tolerance.
+  double rate_tolerance = 0.5;
+};
+
+/// One metric comparison.
+struct MetricCheck {
+  std::string report;  ///< report stem, e.g. "BENCH_assim"
+  std::string metric;
+  MetricKind kind = MetricKind::kInfo;
+  double baseline = 0.0;
+  double current = 0.0;
+  bool ok = true;
+  std::string detail;  ///< human-readable verdict line fragment
+};
+
+struct GateResult {
+  std::vector<MetricCheck> checks;
+  /// Structural failures: unreadable reports, missing current files.
+  std::vector<std::string> errors;
+
+  std::size_t regressions() const;
+  bool ok() const { return errors.empty() && regressions() == 0; }
+};
+
+/// Parses one report (either format) into metric name -> value.
+/// Returns false and sets `error` on malformed input.
+bool parse_report(const std::string& json_text,
+                  std::map<std::string, double>& out, std::string* error);
+
+/// Compares one report's metrics against its baseline.
+void compare_report(const std::string& report_name,
+                    const std::map<std::string, double>& baseline,
+                    const std::map<std::string, double>& current,
+                    const GateConfig& config, GateResult& result);
+
+/// Runs the gate over every BENCH_*.json in `baseline_dir`, matching
+/// files by name in `current_dir`.
+GateResult run_gate(const std::string& baseline_dir,
+                    const std::string& current_dir, const GateConfig& config);
+
+/// Renders one check as the CLI prints it ("[ OK ] ..." / "[FAIL] ...").
+std::string format_check(const MetricCheck& check);
+
+}  // namespace mps::tools

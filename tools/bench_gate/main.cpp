@@ -1,0 +1,71 @@
+// bench_gate CLI: fail CI when a benchmark report regresses against its
+// checked-in baseline.
+//
+//   bench_gate --baseline-dir=bench/baselines --current-dir=build/bench \
+//              [--time-tolerance=3.0] [--rate-tolerance=0.5] [--verbose]
+//
+// Exit codes: 0 = all gated metrics within tolerance, 1 = regression or
+// structural failure (missing/unreadable report), 2 = bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_gate/gate.h"
+
+namespace {
+
+bool parse_flag(const std::string& arg, const std::string& name,
+                std::string& out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir;
+  std::string current_dir;
+  mps::tools::GateConfig config;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string v;
+    if (parse_flag(arg, "baseline-dir", v)) {
+      baseline_dir = v;
+    } else if (parse_flag(arg, "current-dir", v)) {
+      current_dir = v;
+    } else if (parse_flag(arg, "time-tolerance", v)) {
+      config.time_tolerance = std::atof(v.c_str());
+    } else if (parse_flag(arg, "rate-tolerance", v)) {
+      config.rate_tolerance = std::atof(v.c_str());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "bench_gate: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_dir.empty() || current_dir.empty() ||
+      config.time_tolerance <= 0.0 || config.rate_tolerance <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_gate --baseline-dir=<dir> --current-dir=<dir> "
+                 "[--time-tolerance=X] [--rate-tolerance=Y] [--verbose]\n");
+    return 2;
+  }
+
+  mps::tools::GateResult result =
+      mps::tools::run_gate(baseline_dir, current_dir, config);
+  for (const std::string& e : result.errors)
+    std::fprintf(stderr, "[FAIL] %s\n", e.c_str());
+  for (const mps::tools::MetricCheck& c : result.checks) {
+    if (!c.ok || verbose)
+      std::printf("%s\n", mps::tools::format_check(c).c_str());
+  }
+  std::printf("bench_gate: %zu checks, %zu regressions, %zu errors -> %s\n",
+              result.checks.size(), result.regressions(),
+              result.errors.size(), result.ok() ? "PASS" : "FAIL");
+  return result.ok() ? 0 : 1;
+}
