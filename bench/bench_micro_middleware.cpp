@@ -4,6 +4,10 @@
 // observation batch size.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -11,7 +15,10 @@
 #include "broker/broker.h"
 #include "broker/topic.h"
 #include "common/rng.h"
+#include "core/goflow_server.h"
 #include "docstore/collection.h"
+#include "docstore/database.h"
+#include "ingest/obs_batch.h"
 #include "phone/observation.h"
 
 namespace {
@@ -189,6 +196,182 @@ BENCHMARK(BM_DocstoreSortedQuery)
     ->Arg(0)
     ->ArgName("planner");
 
+// Batch ingest, client serialization through broker routing, admission,
+// dedup and indexed storage against a real server. The document variant
+// is the oracle path (nested Value batch, per-observation rehydration);
+// the flat variant is the arena-backed SoA fast path (DESIGN.md §13).
+// Fixed iteration counts keep the *_exact counters deterministic.
+constexpr std::size_t kIngestObsPerBatch = 64;
+constexpr int kIngestBatches = 2000;
+
+/// Broker + docstore + server with one registered client channel.
+struct IngestStack {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server{sim, broker, db};
+  std::string exchange;
+
+  IngestStack() {
+    auto reg = server.register_app("soundcity").value_or_throw();
+    std::string token =
+        server
+            .register_account(reg.admin_token, "soundcity", "u1",
+                              core::Role::kClient)
+            .value_or_throw();
+    exchange =
+        server.login_client(token, "soundcity", "c1").value_or_throw().exchange;
+  }
+};
+
+/// A fleet-like batch: a few users and models (interning matters), most
+/// observations located, monotone capture times so nothing deduplicates.
+std::vector<phone::Observation> ingest_batch_observations() {
+  Rng rng(6);
+  const char* users[] = {"u1", "u2", "u3", "u4"};
+  const char* models[] = {"GT-I9300", "iPhone6,2", "GT-I9505", "Nexus 5"};
+  std::vector<phone::Observation> obs;
+  for (std::size_t i = 0; i < kIngestObsPerBatch; ++i) {
+    phone::Observation o;
+    o.user = users[i % 4];
+    o.model = models[(i / 4) % 4];
+    o.spl_db = rng.uniform(35.0, 85.0);
+    o.mode = static_cast<phone::SensingMode>(i % 3);
+    o.activity = static_cast<phone::Activity>(i % 5);
+    if (i % 4 != 3) {
+      o.location = phone::LocationFix{
+          static_cast<phone::LocationProvider>(i % 3), rng.uniform(0, 20'000),
+          rng.uniform(0, 20'000), rng.uniform(3.0, 120.0)};
+    }
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+/// Stamps unique capture times and span ids so every row is fresh to
+/// the server's (client, span) dedup set.
+void restamp(std::vector<phone::Observation>& obs, TimeMs& next_t) {
+  for (phone::Observation& o : obs) {
+    o.captured_at = next_t;
+    o.span_id = static_cast<std::uint64_t>(next_t);
+    ++next_t;
+  }
+}
+
+Value ingest_batch_document(const std::vector<phone::Observation>& obs,
+                            const std::string& batch_id) {
+  Array observations;
+  observations.reserve(obs.size());
+  for (const phone::Observation& o : obs) observations.push_back(o.to_document());
+  return Value(Object{{"app", Value(std::string("soundcity"))},
+                      {"client", Value(std::string("c1"))},
+                      {"batch_id", Value(batch_id)},
+                      {"sent_at", Value(TimeMs{0})},
+                      {"observations", Value(std::move(observations))}});
+}
+
+void BM_IngestBatchDocument(benchmark::State& state) {
+  IngestStack stack;
+  std::vector<phone::Observation> obs = ingest_batch_observations();
+  TimeMs next_t = 1;
+  int batch_no = 0;
+  for (auto _ : state) {
+    restamp(obs, next_t);
+    Value payload =
+        ingest_batch_document(obs, "c1#" + std::to_string(++batch_no));
+    benchmark::DoNotOptimize(
+        stack.broker.publish(stack.exchange, "soundcity.obs.c1", payload, 0));
+  }
+  state.counters["obs_per_sec"] = benchmark::Counter(
+      static_cast<double>(kIngestObsPerBatch),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["stored_exact"] =
+      static_cast<double>(stack.server.total_observations());
+  state.counters["sheds_exact"] =
+      static_cast<double>(stack.server.admission_sheds());
+}
+BENCHMARK(BM_IngestBatchDocument)->Iterations(kIngestBatches);
+
+void BM_IngestBatchFlat(benchmark::State& state) {
+  IngestStack stack;
+  ingest::BatchPool pool;
+  std::vector<phone::Observation> obs = ingest_batch_observations();
+  TimeMs next_t = 1;
+  int batch_no = 0;
+  for (auto _ : state) {
+    restamp(obs, next_t);
+    auto batch = pool.make_batch("soundcity", "c1",
+                                 "c1#" + std::to_string(++batch_no), 0, obs);
+    benchmark::DoNotOptimize(stack.broker.publish_flat(
+        stack.exchange, "soundcity.obs.c1", std::move(batch), 0));
+  }
+  state.counters["obs_per_sec"] = benchmark::Counter(
+      static_cast<double>(kIngestObsPerBatch),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["stored_exact"] =
+      static_cast<double>(stack.server.total_observations());
+  state.counters["sheds_exact"] =
+      static_cast<double>(stack.server.admission_sheds());
+  // Allocation behavior: the steady-state arena footprint must not creep.
+  state.counters["arena_high_water_bytes"] =
+      static_cast<double>(pool.arena_high_water());
+  state.counters["arenas_created_exact"] =
+      static_cast<double>(pool.stats().arenas_created);
+}
+BENCHMARK(BM_IngestBatchFlat)->Iterations(kIngestBatches);
+
+// The headline ratio the tentpole claims: both paths timed back to back
+// over fresh stacks, reported as a single higher-is-better counter so
+// the bench gate holds the speedup itself, not just absolute times.
+void BM_IngestFlatSpeedup(benchmark::State& state) {
+  // Best-of-N alternating rounds: a load spike during one path's run
+  // would otherwise skew the ratio, so each path keeps its fastest
+  // round (the standard noise-robust estimator for a ratio of times).
+  constexpr int kBatches = 500;
+  constexpr int kRounds = 3;
+  double doc_seconds = 1e300, flat_seconds = 1e300;
+  for (auto _ : state) {
+    std::vector<phone::Observation> obs = ingest_batch_observations();
+    for (int round = 0; round < kRounds; ++round) {
+      {
+        IngestStack stack;
+        TimeMs next_t = 1;
+        auto start = std::chrono::steady_clock::now();
+        for (int b = 1; b <= kBatches; ++b) {
+          restamp(obs, next_t);
+          Value payload = ingest_batch_document(obs, "c1#" + std::to_string(b));
+          benchmark::DoNotOptimize(stack.broker.publish(
+              stack.exchange, "soundcity.obs.c1", payload, 0));
+        }
+        doc_seconds =
+            std::min(doc_seconds, std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - start)
+                                      .count());
+      }
+      {
+        IngestStack stack;
+        ingest::BatchPool pool;
+        TimeMs next_t = 1;
+        auto start = std::chrono::steady_clock::now();
+        for (int b = 1; b <= kBatches; ++b) {
+          restamp(obs, next_t);
+          auto batch = pool.make_batch("soundcity", "c1",
+                                       "c1#" + std::to_string(b), 0, obs);
+          benchmark::DoNotOptimize(stack.broker.publish_flat(
+              stack.exchange, "soundcity.obs.c1", std::move(batch), 0));
+        }
+        flat_seconds =
+            std::min(flat_seconds, std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() - start)
+                                       .count());
+      }
+    }
+  }
+  state.counters["flat_speedup"] =
+      flat_seconds > 0.0 ? doc_seconds / flat_seconds : 0.0;
+}
+BENCHMARK(BM_IngestFlatSpeedup)->Iterations(1);
+
 void BM_BlueAnalysis(benchmark::State& state) {
   assim::Grid background(48, 48, 20'000, 20'000, 50.0);
   Rng rng(4);
@@ -227,12 +410,19 @@ BENCHMARK(BM_ObservationSerialization);
 
 }  // namespace
 
-// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
-// BENCH_micro_middleware.json so every run leaves a machine-readable
-// report next to the binary (explicit --benchmark_out flags still win).
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out so every run
+// leaves a machine-readable report (explicit --benchmark_out flags
+// still win). Reports land in $MPS_BENCH_JSON_DIR, or bench/reports/
+// under the working directory — never the repo root.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_micro_middleware.json";
+  std::string dir = "bench/reports";
+  if (const char* env = std::getenv("MPS_BENCH_JSON_DIR")) dir = env;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) dir = ".";
+  std::string out_flag =
+      "--benchmark_out=" + dir + "/BENCH_micro_middleware.json";
   std::string format_flag = "--benchmark_out_format=json";
   bool has_out = false;
   for (int i = 1; i < argc; ++i)

@@ -8,6 +8,8 @@
 // hoisting out of loops, which is exactly what the middleware does.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -204,12 +206,18 @@ BENCHMARK(BM_RegistrySnapshot);
 
 }  // namespace
 
-// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
-// BENCH_micro_obs.json so every run leaves a machine-readable report
-// (explicit --benchmark_out flags still win).
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out so every run
+// leaves a machine-readable report (explicit --benchmark_out flags
+// still win). Reports land in $MPS_BENCH_JSON_DIR, or bench/reports/
+// under the working directory -- never the repo root.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_micro_obs.json";
+  std::string dir = "bench/reports";
+  if (const char* env = std::getenv("MPS_BENCH_JSON_DIR")) dir = env;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) dir = ".";
+  std::string out_flag = "--benchmark_out=" + dir + "/BENCH_micro_obs.json";
   std::string format_flag = "--benchmark_out_format=json";
   bool has_out = false;
   for (int i = 1; i < argc; ++i)

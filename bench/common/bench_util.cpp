@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <utility>
 
 #include <thread>
@@ -91,8 +92,14 @@ struct BenchReport {
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
-    std::string dir = ".";
+    // Reports go to $MPS_BENCH_JSON_DIR, or bench/reports/ under the
+    // working directory — never the repo root, where a stray report
+    // could end up committed next to the curated bench/baselines/.
+    std::string dir = "bench/reports";
     if (const char* env = std::getenv("MPS_BENCH_JSON_DIR")) dir = env;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) dir = ".";
     std::string path = dir + "/BENCH_" + name + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {

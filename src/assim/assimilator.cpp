@@ -1,5 +1,7 @@
 #include "assim/assimilator.h"
 
+#include "ingest/obs_batch.h"
+
 namespace mps::assim {
 
 Calibration identity_calibration() {
@@ -38,6 +40,44 @@ std::vector<AssimObservation> convert_observations(
   return out;
 }
 
+std::vector<AssimObservation> convert_observations(
+    const ingest::ObsBatch& batch, const ObservationPolicy& policy,
+    const Calibration& calibration, ConversionStats* stats) {
+  std::vector<AssimObservation> out;
+  out.reserve(batch.size());
+  // The interned table makes per-model work shareable: one std::string
+  // per distinct model for the whole batch instead of one per row.
+  std::vector<std::string> interned;
+  interned.reserve(batch.string_count());
+  for (std::size_t j = 0; j < batch.string_count(); ++j)
+    interned.emplace_back(batch.strings()[j]);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    bool located = batch.has_location(i);
+    if (!located) {
+      if (policy.require_location) {
+        if (stats != nullptr) ++stats->rejected_no_location;
+        continue;
+      }
+    } else if (batch.accuracy_m(i) > policy.max_accuracy_m) {
+      if (stats != nullptr) ++stats->rejected_accuracy;
+      continue;
+    }
+    AssimObservation a;
+    if (located) {
+      a.x_m = batch.x_m(i);
+      a.y_m = batch.y_m(i);
+      a.sigma_r = policy.base_sigma_r_db +
+                  policy.sigma_per_accuracy_m * batch.accuracy_m(i);
+    } else {
+      a.sigma_r = policy.base_sigma_r_db;
+    }
+    a.value = calibration(interned[batch.model_index(i)], batch.spl_db(i));
+    out.push_back(a);
+    if (stats != nullptr) ++stats->accepted;
+  }
+  return out;
+}
+
 BlueResult assimilate(const Grid& background,
                       const std::vector<phone::Observation>& observations,
                       const BlueParams& blue_params,
@@ -46,6 +86,16 @@ BlueResult assimilate(const Grid& background,
                       exec::Executor* executor) {
   std::vector<AssimObservation> converted =
       convert_observations(observations, policy, calibration, stats);
+  return blue_analysis(background, converted, blue_params, executor);
+}
+
+BlueResult assimilate(const Grid& background, const ingest::ObsBatch& batch,
+                      const BlueParams& blue_params,
+                      const ObservationPolicy& policy,
+                      const Calibration& calibration, ConversionStats* stats,
+                      exec::Executor* executor) {
+  std::vector<AssimObservation> converted =
+      convert_observations(batch, policy, calibration, stats);
   return blue_analysis(background, converted, blue_params, executor);
 }
 

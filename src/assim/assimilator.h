@@ -14,6 +14,10 @@
 #include "assim/blue.h"
 #include "phone/observation.h"
 
+namespace mps::ingest {
+class ObsBatch;
+}
+
 namespace mps::assim {
 
 /// Quality gate + observation-error model.
@@ -55,11 +59,27 @@ std::vector<AssimObservation> convert_observations(
     const ObservationPolicy& policy, const Calibration& calibration,
     ConversionStats* stats = nullptr);
 
+/// Flat-batch overload (DESIGN.md §13): identical gate and error model,
+/// reading straight off the batch columns. Device-model strings are
+/// materialized once per interned table entry instead of once per row.
+std::vector<AssimObservation> convert_observations(
+    const ingest::ObsBatch& batch, const ObservationPolicy& policy,
+    const Calibration& calibration, ConversionStats* stats = nullptr);
+
 /// One-call pipeline: filter + calibrate + BLUE analysis. The optional
 /// executor is forwarded to blue_analysis (bit-identical result for any
 /// thread count, nullptr = sequential oracle).
 BlueResult assimilate(const Grid& background,
                       const std::vector<phone::Observation>& observations,
+                      const BlueParams& blue_params,
+                      const ObservationPolicy& policy,
+                      const Calibration& calibration = identity_calibration(),
+                      ConversionStats* stats = nullptr,
+                      exec::Executor* executor = nullptr);
+
+/// Flat-batch one-call pipeline; bit-identical to converting the batch's
+/// rehydrated observations through the vector overload.
+BlueResult assimilate(const Grid& background, const ingest::ObsBatch& batch,
                       const BlueParams& blue_params,
                       const ObservationPolicy& policy,
                       const Calibration& calibration = identity_calibration(),

@@ -5,6 +5,7 @@
 #include "broker/topic.h"
 #include "common/log.h"
 #include "durable/journal.h"
+#include "ingest/obs_batch.h"
 #include "obs/flight_recorder.h"
 
 namespace mps::broker {
@@ -12,9 +13,13 @@ namespace mps::broker {
 namespace {
 
 Value message_to_value(const Message& m) {
+  // Flat messages are materialized before they ever buffer, so `flat`
+  // should be null here; materialize defensively anyway — serialized
+  // state must never dangle on an arena.
   return Value(Object{{"ex", Value(m.exchange)},
                       {"rk", Value(m.routing_key)},
-                      {"p", m.payload},
+                      {"p", m.flat != nullptr ? m.flat->to_batch_document()
+                                              : m.payload},
                       {"seq", Value(static_cast<std::int64_t>(m.sequence))},
                       {"at", Value(static_cast<std::int64_t>(m.published_at))}});
 }
@@ -403,8 +408,21 @@ void Broker::enqueue(const std::string& queue_name, Queue& q,
     c.callback(message);
     return;
   }
-  log_enqueue(queue_name, q, message);
-  q.messages.push_back(message);
+  // Buffering outlives the publish, so a flat view must not pin its
+  // arena (or dangle once the batch is recycled): materialize into the
+  // exact document the oracle path would have published. Everything
+  // downstream of a buffer — brk.enq records, snapshots, pop() — is
+  // byte-identical between the two ingest paths.
+  const Message* to_store = &message;
+  Message materialized;
+  if (message.flat != nullptr) {
+    materialized = message;
+    materialized.payload = materialized.flat->to_batch_document();
+    materialized.flat.reset();
+    to_store = &materialized;
+  }
+  log_enqueue(queue_name, q, *to_store);
+  q.messages.push_back(*to_store);
   if (q.options.max_length > 0 && q.messages.size() > q.options.max_length) {
     Message dropped = std::move(q.messages.front());
     q.messages.pop_front();  // drop-head
@@ -439,9 +457,50 @@ void Broker::route(const std::string& exchange_name, const Message& message,
   }
 }
 
+void Broker::collect_queue_targets(const std::string& exchange_name,
+                                   const std::string& routing_key,
+                                   std::vector<std::string>& visited,
+                                   std::vector<std::string>& queues) {
+  if (std::find(visited.begin(), visited.end(), exchange_name) != visited.end())
+    return;
+  visited.push_back(exchange_name);
+  auto it = exchanges_.find(exchange_name);
+  if (it == exchanges_.end()) return;
+  std::vector<Binding> matched;
+  collect_matches(it->second, routing_key, matched);
+  for (const Binding& b : matched) {
+    if (b.to_queue)
+      queues.push_back(b.destination);
+    else
+      collect_queue_targets(b.destination, routing_key, visited, queues);
+  }
+}
+
+void Broker::set_admission_gate(const std::string& queue,
+                                std::function<bool(TimeMs)> gate) {
+  admission_gates_[queue] = std::move(gate);
+}
+
+void Broker::clear_admission_gate(const std::string& queue) {
+  admission_gates_.erase(queue);
+}
+
 Result<PublishResult> Broker::publish(const std::string& exchange,
                                       const std::string& routing_key,
                                       Value payload, TimeMs now) {
+  return publish_message(exchange, routing_key, std::move(payload), nullptr,
+                         now);
+}
+
+Result<PublishResult> Broker::publish_flat(
+    const std::string& exchange, const std::string& routing_key,
+    std::shared_ptr<const ingest::ObsBatch> flat, TimeMs now) {
+  return publish_message(exchange, routing_key, Value(), std::move(flat), now);
+}
+
+Result<PublishResult> Broker::publish_message(
+    const std::string& exchange, const std::string& routing_key, Value payload,
+    std::shared_ptr<const ingest::ObsBatch> flat, TimeMs now) {
   if (exchanges_.count(exchange) == 0)
     return err(ErrorCode::kNotFound, "exchange '" + exchange + "' not found");
   if (!valid_routing_key(routing_key))
@@ -453,10 +512,26 @@ Result<PublishResult> Broker::publish(const std::string& exchange,
     obs::FlightRecorder::record(obs::FrEvent::kBrokerReject, 0, 0, now);
     return err(ErrorCode::kUnavailable, "injected fault: publish rejected");
   }
+  // Admission pre-pass: if any target queue's gate sheds, nothing is
+  // routed and no sequence is burned — the publisher's retry/backoff
+  // resends the same batch id, and server dedup closes no-dup.
+  if (!admission_gates_.empty()) {
+    std::vector<std::string> visited;
+    std::vector<std::string> targets;
+    collect_queue_targets(exchange, routing_key, visited, targets);
+    for (const std::string& queue : targets) {
+      auto git = admission_gates_.find(queue);
+      if (git != admission_gates_.end() && !git->second(now)) {
+        obs::FlightRecorder::record(obs::FrEvent::kBrokerReject, 2, 0, now);
+        return err(ErrorCode::kUnavailable, "admission control: publish shed");
+      }
+    }
+  }
   Message message;
   message.exchange = exchange;
   message.routing_key = routing_key;
   message.payload = std::move(payload);
+  message.flat = std::move(flat);
   message.sequence = next_sequence_++;
   message.published_at = now;
   ++stats_.published;
@@ -768,6 +843,9 @@ void Broker::crash() {
   queues_.clear();
   consumer_queue_.clear();
   unacked_.clear();
+  // Admission gates belong to the dead process's flow control; the
+  // server reinstalls its gate during recovery.
+  admission_gates_.clear();
   update_topology_gauges();
 }
 

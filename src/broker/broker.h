@@ -20,6 +20,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -36,6 +37,10 @@ namespace mps::durable {
 class Journal;
 }
 
+namespace mps::ingest {
+class ObsBatch;
+}
+
 namespace mps::broker {
 
 /// AMQP exchange types used by GoFlow.
@@ -45,11 +50,17 @@ const char* exchange_type_name(ExchangeType t);
 
 /// A routed message. `payload` is the document published by the client;
 /// `sequence` is a broker-global publish counter used for ordering
-/// assertions in tests.
+/// assertions in tests. Messages from the flat ingest fast path carry a
+/// shared `flat` batch instead of a payload (DESIGN.md §13): synchronous
+/// push consumers receive the view zero-copy; a message that has to
+/// buffer is materialized into `payload` first (flat cleared), so
+/// everything durable — buffered backlogs, brk.enq records, snapshots —
+/// is byte-identical to the document path.
 struct Message {
   std::string exchange;     ///< exchange it was published to
   std::string routing_key;
   Value payload;
+  std::shared_ptr<const ingest::ObsBatch> flat;  ///< fast-path batch view
   std::uint64_t sequence = 0;
   TimeMs published_at = 0;  ///< virtual time supplied by the publisher
   bool redelivered = false; ///< true when requeued after a nack
@@ -185,6 +196,16 @@ class Broker {
                                 const std::string& routing_key, Value payload,
                                 TimeMs now = 0);
 
+  /// Publishes a flat observation batch (zero-copy hand-off): identical
+  /// routing, faults, admission and stats to publish(), but the Message
+  /// carries the shared batch view instead of a Value payload. Consumers
+  /// see Message::flat set and Message::payload null; if the message has
+  /// to buffer it is materialized via ObsBatch::to_batch_document() so
+  /// durable state never depends on the arena's lifetime.
+  Result<PublishResult> publish_flat(
+      const std::string& exchange, const std::string& routing_key,
+      std::shared_ptr<const ingest::ObsBatch> flat, TimeMs now = 0);
+
   /// Pull-consumes the oldest message from a queue (basic.get). When
   /// `now` is provided, messages whose TTL elapsed before `now` are
   /// discarded first (counted in stats().expired).
@@ -252,6 +273,24 @@ class Broker {
   /// without the broker knowing anything about payload schemas.
   using DropHook = std::function<void(const Message&, DropReason)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  // --- Admission control (edge backpressure, DESIGN.md §13) -----------
+  //
+  // A queue's admission gate is consulted BEFORE a publish routes
+  // anywhere: if any target queue's gate refuses, the whole publish is
+  // shed with kUnavailable — nothing delivered, no sequence burned —
+  // exactly as if the broker applied per-channel flow control at the
+  // edge. The publisher's existing retry/backoff machinery then re-sends
+  // the same batch id, so the no-loss/no-dup invariants close through
+  // server-side dedup. With no gates installed the publish path pays a
+  // single empty-map check.
+
+  /// Installs (or replaces) the admission gate for `queue`. The gate
+  /// returns true to admit, false to shed.
+  void set_admission_gate(const std::string& queue,
+                          std::function<bool(TimeMs)> gate);
+  /// Removes a queue's admission gate (no-op when absent).
+  void clear_admission_gate(const std::string& queue);
 
   /// Arms fault injection: publish may be rejected (kBrokerPublish),
   /// routed-but-unconfirmed (kBrokerAckLost — the at-least-once dup
@@ -332,8 +371,20 @@ class Broker {
 
   bool binding_matches(const Exchange& ex, const std::string& binding_key,
                        const std::string& routing_key) const;
+  /// Shared core of publish()/publish_flat().
+  Result<PublishResult> publish_message(const std::string& exchange,
+                                        const std::string& routing_key,
+                                        Value payload,
+                                        std::shared_ptr<const ingest::ObsBatch> flat,
+                                        TimeMs now);
   void route(const std::string& exchange_name, const Message& message,
              std::vector<std::string>& visited, std::size_t& deliveries);
+  /// Resolves the queues a (exchange, routing_key) publish would reach
+  /// (transitively), for the admission pre-pass.
+  void collect_queue_targets(const std::string& exchange_name,
+                             const std::string& routing_key,
+                             std::vector<std::string>& visited,
+                             std::vector<std::string>& queues);
   void enqueue(const std::string& queue_name, Queue& q, const Message& message,
                std::size_t& deliveries);
   void log_record(Value record);
@@ -388,6 +439,11 @@ class Broker {
   BrokerStats stats_;
   Metrics metrics_;
   DropHook drop_hook_;
+  /// Per-queue admission gates; empty in the default topology, so the
+  /// publish hot path pays one empty() check. Cleared by crash() (flow
+  /// control belongs to the dead process) and reinstalled by the server
+  /// during recovery.
+  std::map<std::string, std::function<bool(TimeMs)>> admission_gates_;
   durable::Journal* journal_ = nullptr;
   /// Trie-match scratch, reused across publishes (single-threaded; match
   /// results are copied into locals before any consumer callback runs).

@@ -202,6 +202,12 @@ bool GoFlowClient::flush() {
   return try_upload();
 }
 
+ingest::BatchPool& GoFlowClient::pool() {
+  if (config_.batch_pool != nullptr) return *config_.batch_pool;
+  if (own_pool_ == nullptr) own_pool_ = std::make_unique<ingest::BatchPool>();
+  return *own_pool_;
+}
+
 Value GoFlowClient::batch_document() const {
   Array observations;
   observations.reserve(buffer_.size());
@@ -246,7 +252,17 @@ bool GoFlowClient::try_upload() {
   TimeMs delivered_at = transfer.completed_at + extra_latency;
 
   ++batch_counter_;
-  Value payload = batch_document();
+  // Flat fast path: serialize the batch once into an arena (no document
+  // tree); the same batch travels on every retransmit attempt.
+  std::shared_ptr<const ingest::ObsBatch> flat;
+  Value payload;
+  if (config_.flat_ingest) {
+    flat = pool().make_batch(
+        config_.app, config_.client_id,
+        config_.client_id + "#" + std::to_string(batch_counter_), now, buffer_);
+  } else {
+    payload = batch_document();
+  }
   std::size_t batch_size = buffer_.size();
   for (const phone::Observation& obs : buffer_) {
     deliveries_.push_back(DeliveryRecord{obs.captured_at, delivered_at,
@@ -261,6 +277,7 @@ bool GoFlowClient::try_upload() {
   batch->observations = std::move(buffer_);
   buffer_.clear();
   batch->payload = std::move(payload);
+  batch->flat = std::move(flat);
   batch->routing_key = config_.app + ".obs." + config_.client_id;
   in_flight_ = std::move(batch);
   ++stats_.uploads;
@@ -283,7 +300,11 @@ void GoFlowClient::deliver_in_flight() {
   // Publish a copy: a lost confirm makes us retransmit the identical
   // payload (same batch_id), which server-side idempotent ingest dedups.
   auto result =
-      broker_.publish(config_.exchange, batch.routing_key, batch.payload, now);
+      batch.flat != nullptr
+          ? broker_.publish_flat(config_.exchange, batch.routing_key,
+                                 batch.flat, now)
+          : broker_.publish(config_.exchange, batch.routing_key, batch.payload,
+                            now);
   if (result.ok()) {
     if (batch.attempts > 1 && tracer_ != nullptr) {
       // Retries landed later than the optimistic stamp — fix it up.

@@ -24,6 +24,7 @@
 #include "broker/broker.h"
 #include "common/rng.h"
 #include "fault/fault.h"
+#include "ingest/obs_batch.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "phone/phone.h"
@@ -84,6 +85,18 @@ struct ClientConfig {
   /// Seed for the jitter stream (kept separate from the phone's seed so
   /// arming retries never perturbs sensing randomness).
   std::uint64_t retry_seed = 0;
+
+  /// Flat ingest fast path (DESIGN.md §13): serialize the upload batch
+  /// once into an arena-backed flat ObsBatch and publish it zero-copy,
+  /// instead of building a per-upload document tree. Semantically the
+  /// same batch (same batch_id, same fields); the server's flat ingest
+  /// stores byte-identical state. Off by default so the document path
+  /// stays the oracle; the study runner and benches opt in.
+  bool flat_ingest = false;
+  /// Arena pool for flat batches. When null and flat_ingest is on, the
+  /// client creates a private pool; a study shares one pool across the
+  /// whole fleet so arenas recycle fleet-wide.
+  ingest::BatchPool* batch_pool = nullptr;
 
   /// Convenience factories matching the paper's releases.
   static ClientConfig v1_1(ClientId id, ExchangeId exchange);
@@ -233,6 +246,9 @@ class GoFlowClient {
   struct InFlight {
     std::vector<phone::Observation> observations;
     Value payload;
+    /// Flat-path batch (payload stays null when set); retransmits reuse
+    /// the same serialized batch, so a retry allocates nothing.
+    std::shared_ptr<const ingest::ObsBatch> flat;
     std::string routing_key;
     int attempts = 0;
     sim::EventId event = 0;
@@ -243,6 +259,7 @@ class GoFlowClient {
   bool try_upload();
   void deliver_in_flight();
   Value batch_document() const;
+  ingest::BatchPool& pool();
 
   sim::Simulation& sim_;
   broker::Broker& broker_;
@@ -255,6 +272,8 @@ class GoFlowClient {
   std::size_t journey_observations_ = 0;
   std::vector<phone::Observation> buffer_;
   std::unique_ptr<InFlight> in_flight_;
+  /// Private pool when flat_ingest is on but no shared pool was supplied.
+  std::unique_ptr<ingest::BatchPool> own_pool_;
   Rng retry_rng_{0};
   bool down_ = false;
   /// Whether the periodic sensing loop should come back on restart().

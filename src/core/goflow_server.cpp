@@ -1,11 +1,13 @@
 #include "core/goflow_server.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 
 #include "common/log.h"
 #include "common/strings.h"
 #include "durable/journal.h"
+#include "ingest/obs_batch.h"
 #include "obs/flight_recorder.h"
 
 namespace mps::core {
@@ -21,6 +23,17 @@ std::uint64_t token_suffix(const std::string& token) {
   char* end = nullptr;
   std::uint64_t n = std::strtoull(digits, &end, 10);
   return (end != digits && *end == '\0') ? n : 0;
+}
+
+// Builds the "client#span" dedup key into a reused buffer — the flat
+// path's replacement for the doc path's string concatenation.
+void span_key(std::string_view client, std::uint64_t span, std::string& out) {
+  out.assign(client);
+  out.push_back('#');
+  char buf[20];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), span);
+  (void)ec;
+  out.append(buf, p);
 }
 
 }  // namespace
@@ -53,10 +66,12 @@ GoFlowServer::GoFlowServer(sim::Simulation& simulation, broker::Broker& broker,
   obs.create_index("user");
   obs.create_index("model");
   obs.create_index("captured_at");
+  update_admission_gate();
 }
 
 GoFlowServer::~GoFlowServer() {
   attribute_shutdown_drops();
+  broker_.clear_admission_gate(config_.ingest_queue);
   broker_.unsubscribe(ingest_tag_);
   if (tracer_ != nullptr) broker_.set_drop_hook(nullptr);
 }
@@ -83,6 +98,9 @@ void GoFlowServer::set_metrics(obs::Registry* registry) {
   metrics_.duplicate_observations =
       &registry->counter("server.duplicate_observations");
   metrics_.ingest_retries = &registry->counter("retry.ingest_backoffs");
+  metrics_.admission_shed = &registry->counter("server.admission_shed");
+  metrics_.admission_accepted =
+      &registry->counter("server.admission_accepted");
   metrics_.ingest_delay = &registry->histogram("server.ingest_delay_ms");
   obs::Counter* evictions = &registry->counter("server.dedup_evictions");
   seen_batch_ids_.set_eviction_counter(evictions);
@@ -125,6 +143,14 @@ void GoFlowServer::on_broker_drop(const broker::Message& message,
       stage = obs::DropStage::kUnroutable;
       break;
   }
+  if (message.flat != nullptr) {
+    // Span attribution straight off the column — no rehydration.
+    const ingest::ObsBatch& batch = *message.flat;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      if (batch.span_id(i) != 0)
+        tracer_->drop(batch.span_id(i), stage, sim_.now());
+    return;
+  }
   const Value* observations = message.payload.find("observations");
   if (observations == nullptr || !observations->is_array()) return;
   for (const Value& obs : observations->as_array()) {
@@ -132,6 +158,39 @@ void GoFlowServer::on_broker_drop(const broker::Message& message,
     auto span = static_cast<std::uint64_t>(obs.get_int("span", 0));
     if (span != 0) tracer_->drop(span, stage, sim_.now());
   }
+}
+
+// --- Admission control (DESIGN.md §13) --------------------------------------
+
+void GoFlowServer::arm_faults(fault::FaultPlan* plan) {
+  admission_fault_ = fault::FaultPoint(plan, fault::FaultSite::kAdmissionShed);
+  update_admission_gate();
+}
+
+void GoFlowServer::update_admission_gate() {
+  if (config_.admission_max_pending > 0 || admission_fault_.armed())
+    broker_.set_admission_gate(config_.ingest_queue,
+                               [this](TimeMs now) { return admit(now); });
+  else
+    broker_.clear_admission_gate(config_.ingest_queue);
+}
+
+bool GoFlowServer::admit(TimeMs now) {
+  if (down_) return true;  // a downed server's backlog buffers in the queue
+  // The fault consult is unconditional so the kAdmissionShed decision
+  // stream stays a pure function of the consultation count, independent
+  // of the capacity bound.
+  bool fault_shed = admission_fault_.should_fail(now);
+  bool capacity_shed = config_.admission_max_pending > 0 &&
+                       pending_batches_.size() >= config_.admission_max_pending;
+  if (fault_shed || capacity_shed) {
+    ++admission_sheds_;
+    if (metrics_.admission_shed != nullptr) metrics_.admission_shed->inc();
+    return false;
+  }
+  ++admission_accepted_;
+  if (metrics_.admission_accepted != nullptr) metrics_.admission_accepted->inc();
+  return true;
 }
 
 // --- App & account management ---------------------------------------------
@@ -328,6 +387,24 @@ std::string GoFlowServer::publish_key(const std::string& location_id,
 
 void GoFlowServer::ingest(const broker::Message& message) {
   if (down_) return;  // a crashed incarnation consumes nothing
+  if (message.flat != nullptr) {
+    if (journal_ != nullptr) {
+      // Durable runs take the document path: srv.batch must carry full
+      // documents (acceptance is the durability point), and the WAL has
+      // to be byte-identical to the oracle. Materialize once and recurse.
+      broker::Message copy;
+      copy.exchange = message.exchange;
+      copy.routing_key = message.routing_key;
+      copy.payload = message.flat->to_batch_document();
+      copy.sequence = message.sequence;
+      copy.published_at = message.published_at;
+      copy.redelivered = message.redelivered;
+      ingest(copy);
+      return;
+    }
+    ingest_flat(message);
+    return;
+  }
   const Value* observations = message.payload.find("observations");
   if (observations == nullptr || !observations->is_array()) {
     // Not an observation batch (e.g. a Feedback message routed for
@@ -402,6 +479,38 @@ void GoFlowServer::ingest(const broker::Message& message) {
   store_batch(id);
 }
 
+// The fast path: the batch stays flat end to end. Dedup reads the span-id
+// column, acceptance keeps a shared_ptr to the columns (no document
+// materialization), and storage goes through the docstore's column-wise
+// insert_batch. Only reached when no journal is attached — durable runs
+// fall back to the oracle path in ingest().
+void GoFlowServer::ingest_flat(const broker::Message& message) {
+  const ingest::ObsBatch& flat = *message.flat;
+  std::string batch_id(flat.batch_id());
+  bool batch_is_new = batch_id.empty() || seen_batch_ids_.insert(batch_id);
+  note_dedup_evictions();
+  if (!batch_is_new) {
+    ++duplicate_batches_;
+    if (metrics_.duplicate_batches != nullptr)
+      metrics_.duplicate_batches->inc();
+    if (tracer_ != nullptr) {
+      for (std::size_t i = 0; i < flat.size(); ++i)
+        if (flat.span_id(i) != 0)
+          tracer_->drop(flat.span_id(i), obs::DropStage::kRejectedByServer,
+                        sim_.now());
+    }
+    return;
+  }
+  PendingBatch batch;
+  batch.collection = config_.observations_collection;
+  batch.app = std::string(flat.app());
+  batch.published_at = message.published_at;
+  batch.flat = message.flat;
+  std::uint64_t id = ++pending_counter_;
+  pending_batches_.emplace(id, std::move(batch));
+  store_batch(id);
+}
+
 // Acceptance is the durability point: once srv.batch is logged, the batch
 // is the server's responsibility — a crash before the documents land is
 // recovered by rebuilding the pending batch and resuming store_batch.
@@ -425,6 +534,10 @@ void GoFlowServer::store_batch(std::uint64_t id) {
   auto bit = pending_batches_.find(id);
   if (bit == pending_batches_.end()) return;
   PendingBatch& batch = bit->second;
+  if (batch.flat != nullptr) {
+    store_batch_flat(id, batch);
+    return;
+  }
   bool is_observations = !batch.app.empty() || batch.collection ==
                                                    config_.observations_collection;
 
@@ -464,6 +577,104 @@ void GoFlowServer::store_batch(std::uint64_t id) {
   }
   // A batch with no storable documents closes out immediately.
   finish_batch(id, batch, /*live=*/true);
+}
+
+void GoFlowServer::store_batch_flat(std::uint64_t id, PendingBatch& batch) {
+  const ingest::ObsBatch& flat = *batch.flat;
+  auto& collection = db_.collection(batch.collection);
+  std::string key;
+  while (batch.next < flat.size()) {
+    // Dedup decision for the current row, same line of defense as the
+    // document path: stable (client, span) identity against repackaged
+    // uploads.
+    std::uint64_t span = flat.span_id(batch.next);
+    bool dup = false;
+    if (span != 0) {
+      span_key(flat.client(), span, key);
+      dup = seen_obs_keys_.contains(key);
+    }
+    if (dup) {
+      if (account_stored_flat(id, batch, /*dup=*/true, key)) return;
+      continue;
+    }
+    // Maximal run of consecutive non-duplicate rows, bulk-inserted with
+    // one column-wise call. Span ids are unique within a batch, so rows
+    // of the run cannot dedup against each other; the row that breaks
+    // the run is re-decided fresh at the top of the loop.
+    std::size_t run_end = batch.next + 1;
+    while (run_end < flat.size()) {
+      std::uint64_t s = flat.span_id(run_end);
+      if (s != 0) {
+        span_key(flat.client(), s, key);
+        if (seen_obs_keys_.contains(key)) break;
+      }
+      ++run_end;
+    }
+    std::size_t run_len = run_end - batch.next;
+    std::size_t inserted = collection.insert_batch(
+        batch.flat, batch.next, run_len, batch.published_at);
+    for (std::size_t r = 0; r < inserted; ++r)
+      if (account_stored_flat(id, batch, /*dup=*/false, key)) return;
+    if (inserted < run_len) {
+      // Transient store failure on row batch.next — identical backoff
+      // and resume-in-place behaviour to the document path.
+      ++ingest_retries_;
+      if (metrics_.ingest_retries != nullptr) metrics_.ingest_retries->inc();
+      ++batch.attempts;
+      DurationMs delay = fault::backoff_delay(
+          batch.attempts, config_.ingest_retry_base, config_.ingest_retry_max,
+          config_.ingest_retry_jitter, ingest_retry_rng_);
+      sim_.after(delay, [this, id, epoch = epoch_] {
+        if (epoch == epoch_) store_batch(id);
+      });
+      return;
+    }
+  }
+  finish_batch(id, batch, /*live=*/true);
+}
+
+bool GoFlowServer::account_stored_flat(std::uint64_t id, PendingBatch& batch,
+                                       bool dup, std::string& key_buf) {
+  const ingest::ObsBatch& flat = *batch.flat;
+  std::size_t i = batch.next;
+  std::uint64_t span = flat.span_id(i);
+  AppState* state = nullptr;
+  auto ait = apps_.find(batch.app);
+  if (ait != apps_.end()) state = &ait->second;
+
+  if (dup) {
+    ++duplicate_observations_;
+    if (metrics_.duplicate_observations != nullptr)
+      metrics_.duplicate_observations->inc();
+    if (tracer_ != nullptr && span != 0)
+      tracer_->drop(span, obs::DropStage::kRejectedByServer, sim_.now());
+  } else {
+    if (span != 0) {
+      span_key(flat.client(), span, key_buf);
+      seen_obs_keys_.insert(key_buf);
+      note_dedup_evictions();
+    }
+    DurationMs delay = batch.published_at - flat.captured_at(i);
+    ++total_observations_;
+    if (metrics_.observations_stored != nullptr)
+      metrics_.observations_stored->inc();
+    if (metrics_.ingest_delay != nullptr)
+      metrics_.ingest_delay->observe(static_cast<double>(delay));
+    if (tracer_ != nullptr && span != 0) {
+      tracer_->stamp(span, obs::Hop::kRouted, batch.published_at);
+      tracer_->stamp(span, obs::Hop::kPersisted, sim_.now());
+    }
+    if (state != nullptr) {
+      ++state->analytics.observations_stored;
+      if (flat.has_location(i)) ++state->analytics.observations_localized;
+      state->analytics.delay_stats.add(static_cast<double>(delay));
+    }
+  }
+  ++batch.next;
+  batch.attempts = 0;
+  if (batch.next < flat.size()) return false;
+  finish_batch(id, batch, /*live=*/true);
+  return true;
 }
 
 bool GoFlowServer::account_stored_doc(std::uint64_t id, PendingBatch& batch,
@@ -540,6 +751,11 @@ void GoFlowServer::finish_batch(std::uint64_t id, PendingBatch& batch,
 std::vector<std::uint64_t> GoFlowServer::pending_ingest_span_ids() const {
   std::vector<std::uint64_t> ids;
   for (const auto& [_, batch] : pending_batches_) {
+    if (batch.flat != nullptr) {
+      for (std::size_t i = batch.next; i < batch.flat->size(); ++i)
+        if (batch.flat->span_id(i) != 0) ids.push_back(batch.flat->span_id(i));
+      continue;
+    }
     for (std::size_t i = batch.next; i < batch.docs.size(); ++i) {
       auto span = static_cast<std::uint64_t>(batch.docs[i].get_int("span", 0));
       if (span != 0) ids.push_back(span);
@@ -574,6 +790,8 @@ void GoFlowServer::crash() {
   if (journal_ == nullptr)
     attribute_pending_drops(obs::DropStage::kLostInServerCrash);
   broker_.unsubscribe(ingest_tag_);  // no-op if the broker crashed first
+  // Flow control died with the process; recovery reinstalls the gate.
+  broker_.clear_admission_gate(config_.ingest_queue);
   ingest_tag_ = 0;
   tokens_.clear();
   apps_.clear();
@@ -587,6 +805,8 @@ void GoFlowServer::crash() {
   duplicate_batches_ = 0;
   duplicate_observations_ = 0;
   ingest_retries_ = 0;
+  admission_sheds_ = 0;
+  admission_accepted_ = 0;
   pending_counter_ = 0;
   down_ = true;
   ++epoch_;  // invalidates every scheduled ingest-retry timer
@@ -601,6 +821,7 @@ void GoFlowServer::finish_recovery() {
   for (const auto& [id, _] : pending_batches_) ids.push_back(id);
   for (std::uint64_t id : ids) store_batch(id);
   subscribe_ingest();
+  update_admission_gate();
 }
 
 Value GoFlowServer::durable_snapshot() const {
@@ -639,6 +860,12 @@ Value GoFlowServer::durable_snapshot() const {
   Array pending;
   for (const auto& [id, batch] : pending_batches_) {
     Array docs;
+    if (batch.flat != nullptr) {
+      // Defensive: the flat path only runs journal-less, but a snapshot
+      // must never reference arena memory — materialize the oracle docs.
+      for (std::size_t i = 0; i < batch.flat->size(); ++i)
+        docs.push_back(batch.flat->storage_document(i, batch.published_at));
+    }
     for (const Value& d : batch.docs) docs.push_back(d);
     pending.push_back(Value(Object{
         {"id", Value(static_cast<std::int64_t>(id))},

@@ -72,6 +72,15 @@ struct ServerConfig {
   // grow forever in a long-running deployment.
   std::size_t batch_dedup_capacity = 1 << 20;
   std::size_t obs_dedup_capacity = 1 << 20;
+
+  // Admission control (edge backpressure, DESIGN.md §13): when more than
+  // this many accepted batches are waiting out transient-store backoff,
+  // new publishes into the ingest queue are shed at the broker edge with
+  // kUnavailable — the client's jittered backoff retries the same batch
+  // id later, so nothing is lost or duplicated. 0 disables the bound
+  // (the gate is then only installed when a fault plan arms
+  // kAdmissionShed).
+  std::size_t admission_max_pending = 0;
 };
 
 /// Registration result for an application.
@@ -238,6 +247,9 @@ class GoFlowServer {
   }
   /// Backoff retries taken by the ingest path on transient store errors.
   std::uint64_t ingest_retries() const { return ingest_retries_; }
+  /// Publishes shed / admitted by the ingest admission gate.
+  std::uint64_t admission_sheds() const { return admission_sheds_; }
+  std::uint64_t admission_accepted() const { return admission_accepted_; }
   /// Dedup keys evicted to stay within the configured capacity bounds.
   std::uint64_t dedup_evictions() const {
     return seen_batch_ids_.evictions() + seen_obs_keys_.evictions();
@@ -271,6 +283,12 @@ class GoFlowServer {
 
   /// The series attached via set_timeseries (nullptr when detached).
   obs::TimeSeries* timeseries() const { return timeseries_; }
+
+  /// Arms the ingest admission fault (FaultSite::kAdmissionShed): random
+  /// sheds at the broker edge on top of any admission_max_pending bound.
+  /// Pass nullptr to disarm. Installs/removes the broker admission gate
+  /// as needed.
+  void arm_faults(fault::FaultPlan* plan);
 
   /// Attaches a span tracker: ingested observations carrying a "span" id
   /// get kRouted (broker publish time) and kPersisted (storage time)
@@ -334,19 +352,32 @@ class GoFlowServer {
   /// A batch accepted from the broker whose documents are not all stored
   /// yet. Prepared documents are kept so a transient docstore failure can
   /// resume exactly where it stopped — never re-ingesting via the broker
-  /// (which would double-count) and never dropping the tail.
+  /// (which would double-count) and never dropping the tail. On the flat
+  /// fast path (`flat` set, journal-less runs only) no documents are
+  /// materialized: `next` indexes rows of the shared ObsBatch instead.
   struct PendingBatch {
     std::string collection;
     AppId app;  ///< empty for raw (non-observation) messages
     std::vector<Value> docs;
     std::vector<DurationMs> delays;  ///< parallel to docs (observation path)
+    std::shared_ptr<const ingest::ObsBatch> flat;  ///< fast-path rows
     TimeMs published_at = 0;
-    std::size_t next = 0;  ///< first doc not yet stored
+    std::size_t next = 0;  ///< first doc (or flat row) not yet stored
     int attempts = 0;      ///< consecutive failures on docs[next]
   };
 
   void ingest(const broker::Message& message);
+  /// Fast-path ingestion of a flat batch (journal-less runs): dedup over
+  /// the span-id column, bulk column-wise inserts, no Value trees.
+  void ingest_flat(const broker::Message& message);
   void store_batch(std::uint64_t id);
+  void store_batch_flat(std::uint64_t id, PendingBatch& batch);
+  /// The admission gate consulted by the broker before routing into the
+  /// ingest queue.
+  bool admit(TimeMs now);
+  /// (Re)installs or removes the broker admission gate to match config
+  /// and armed faults.
+  void update_admission_gate();
   void on_broker_drop(const broker::Message& message,
                       broker::DropReason reason);
   /// Flight-records dedup-set evictions since the last check (the sets
@@ -362,6 +393,12 @@ class GoFlowServer {
   /// Returns true when that completed the batch (it is erased).
   bool account_stored_doc(std::uint64_t id, PendingBatch& batch, bool dup,
                           bool live);
+  /// Column-wise mirror of account_stored_doc for flat batches (always
+  /// live — the flat path never runs with a journal attached).
+  /// `key_buf` is the caller's scratch buffer for the dedup key, reused
+  /// across rows so the hot loop stays allocation-free.
+  bool account_stored_flat(std::uint64_t id, PendingBatch& batch, bool dup,
+                           std::string& key_buf);
   void finish_batch(std::uint64_t id, PendingBatch& batch, bool live);
   const Account* authenticate(const std::string& token) const;
   Status require_role(const std::string& token, const AppId& app,
@@ -399,6 +436,9 @@ class GoFlowServer {
   std::uint64_t duplicate_batches_ = 0;
   std::uint64_t duplicate_observations_ = 0;
   std::uint64_t ingest_retries_ = 0;
+  std::uint64_t admission_sheds_ = 0;
+  std::uint64_t admission_accepted_ = 0;
+  fault::FaultPoint admission_fault_;
   /// Recently ingested batch ids (bounded FIFO; capacity from config_).
   BoundedKeySet seen_batch_ids_{config_.batch_dedup_capacity};
   /// Per-observation dedup keys ("client#span") of stored observations.
@@ -419,6 +459,8 @@ class GoFlowServer {
     obs::Counter* duplicate_batches = nullptr;
     obs::Counter* duplicate_observations = nullptr;
     obs::Counter* ingest_retries = nullptr;
+    obs::Counter* admission_shed = nullptr;
+    obs::Counter* admission_accepted = nullptr;
     obs::LatencyHistogram* ingest_delay = nullptr;
   };
   Metrics metrics_;

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "durable/journal.h"
+#include "ingest/obs_batch.h"
 
 namespace mps::docstore {
 
@@ -100,10 +101,109 @@ std::string Collection::insert_checked(Document doc, bool journaled) {
   return id;
 }
 
+std::size_t Collection::insert_batch(
+    const std::shared_ptr<const ingest::ObsBatch>& batch, std::size_t first,
+    std::size_t count, TimeMs received_at) {
+  const ingest::ObsBatch& b = *batch;
+  // Per-index insertion cursor. Batch columns are highly repetitive
+  // (constant app id, a handful of device models, monotonically
+  // increasing timestamps), so remembering where the previous row's
+  // entry landed turns most multimap inserts into O(1) hinted
+  // emplacements instead of full-tree descents. Within-equal-key entry
+  // order is not observable (the planner sorts candidate slots), so the
+  // hinted position only has to be *a* valid position for the key.
+  struct Cursor {
+    const std::string* path;
+    Index* index;
+    std::multimap<IndexKey, Slot>::iterator last;
+    bool has_last = false;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(indexes_.size());
+  for (auto& [path, index] : indexes_)
+    cursors.push_back(Cursor{&path, &index, index.entries.end(), false});
+  std::size_t done = 0;
+  for (; done < count; ++done) {
+    std::size_t row = first + done;
+    // Same per-row fault consultation, in the same stream order, as a
+    // loop of insert() calls — a transient failure stops the run before
+    // touching any state for this row, and the caller resumes from
+    // first+done after backoff.
+    if (insert_fault_.should_fail()) return done;
+    std::string id = generate_id();
+    Slot slot = slots_.size();
+    if (journal_ == nullptr) {
+      // Fast path: no document materialization — the slot keeps a
+      // reference into the batch and rehydrates on first read.
+      slots_.emplace_back(std::nullopt);
+      lazy_rows_.emplace(slot,
+                         LazyRow{batch, static_cast<std::uint32_t>(row),
+                                 received_at, id_counter_});
+    } else {
+      // Log-before-apply needs the stored bytes now.
+      Document doc = b.storage_document(row, received_at);
+      doc.as_object().set("_id", Value(id));
+      log_record(Value(Object{{"op", Value("db.insert")},
+                              {"c", Value(name_)},
+                              {"doc", doc}}));
+      slots_.push_back(std::move(doc));
+    }
+    id_to_slot_.emplace(std::move(id), slot);
+    // Column-wise indexing: flat columns answer directly; paths the
+    // batch doesn't carry fall back to walking the stored document.
+    for (Cursor& c : cursors) {
+      Value key;
+      if (b.index_value(*c.path, row, received_at, key)) {
+        if (key.is_null()) continue;
+      } else if (const Value* v = doc_at(slot).find_path(*c.path)) {
+        key = *v;
+      } else {
+        continue;
+      }
+      auto& entries = c.index->entries;
+      if (c.has_last) {
+        int cmp = Value::compare(c.last->first.value, key);
+        if (cmp == 0) {
+          // Equal to the previous row's key: slot in right after it.
+          c.last = entries.emplace_hint(std::next(c.last),
+                                        IndexKey{std::move(key)}, slot);
+          continue;
+        }
+        if (cmp < 0 && std::next(c.last) == entries.end()) {
+          // Greater than the current maximum (monotonic column).
+          c.last = entries.emplace_hint(entries.end(),
+                                        IndexKey{std::move(key)}, slot);
+          continue;
+        }
+      }
+      c.last = entries.emplace(IndexKey{std::move(key)}, slot);
+      c.has_last = true;
+    }
+    ++stats_.total_inserts;
+    stats_.document_count = id_to_slot_.size();
+    if (metrics_.inserts != nullptr) metrics_.inserts->inc();
+    if (metrics_.documents != nullptr) metrics_.documents->add(1.0);
+  }
+  return done;
+}
+
+const Document& Collection::doc_at(Slot s) const {
+  if (slots_[s].has_value()) return *slots_[s];
+  auto it = lazy_rows_.find(s);
+  // Callers guarantee slot_alive(s); a dead slot here is a logic error.
+  const LazyRow& lazy = it->second;
+  Document doc = lazy.batch->storage_document(lazy.row, lazy.received_at);
+  doc.as_object().set(
+      "_id", Value(name_ + "-" + std::to_string(lazy.id_counter)));
+  slots_[s] = std::move(doc);
+  lazy_rows_.erase(it);
+  return *slots_[s];
+}
+
 std::optional<Document> Collection::get(const std::string& id) const {
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) return std::nullopt;
-  return slots_[it->second];
+  return doc_at(it->second);
 }
 
 void Collection::index_document(Slot slot, const Document& doc) {
@@ -273,11 +373,10 @@ std::vector<Document> Collection::find(const Query& query,
   note_find(p.use_index);
   if (p.use_index) {
     for (Slot s : p.candidates)
-      if (slots_[s].has_value() && query.matches(*slots_[s]))
-        out.push_back(*slots_[s]);
+      if (slot_alive(s) && query.matches(doc_at(s))) out.push_back(doc_at(s));
   } else {
-    for (const auto& slot : slots_)
-      if (slot.has_value() && query.matches(*slot)) out.push_back(*slot);
+    for (Slot s = 0; s < slots_.size(); ++s)
+      if (slot_alive(s) && query.matches(doc_at(s))) out.push_back(doc_at(s));
   }
 
   if (!options.sort_by.empty()) {
@@ -316,8 +415,7 @@ std::vector<Document> Collection::find_via_sort_index(
   std::vector<Slot> null_group;
   if (entries.size() != id_to_slot_.size()) {
     for (Slot s = 0; s < slots_.size(); ++s)
-      if (slots_[s].has_value() &&
-          slots_[s]->find_path(options.sort_by) == nullptr)
+      if (slot_alive(s) && doc_at(s).find_path(options.sort_by) == nullptr)
         null_group.push_back(s);
   }
   auto [null_lo, null_hi] = entries.equal_range(IndexKey{Value()});
@@ -339,8 +437,7 @@ std::vector<Document> Collection::find_via_sort_index(
     std::sort(group.begin(), group.end());
     for (Slot s : group) {
       if (done()) return;
-      if (slots_[s].has_value() && query.matches(*slots_[s]))
-        out.push_back(*slots_[s]);
+      if (slot_alive(s) && query.matches(doc_at(s))) out.push_back(doc_at(s));
     }
   };
   if (!options.descending) {
@@ -472,10 +569,10 @@ std::size_t Collection::count(const Query& query) const {
   note_find(p.use_index);
   if (p.use_index) {
     for (Slot s : p.candidates)
-      if (slots_[s].has_value() && query.matches(*slots_[s])) ++n;
+      if (slot_alive(s) && query.matches(doc_at(s))) ++n;
   } else {
-    for (const auto& slot : slots_)
-      if (slot.has_value() && query.matches(*slot)) ++n;
+    for (Slot s = 0; s < slots_.size(); ++s)
+      if (slot_alive(s) && query.matches(doc_at(s))) ++n;
   }
   return n;
 }
@@ -501,7 +598,7 @@ bool Collection::replace_checked(const std::string& id, Document doc,
                             {"c", Value(name_)},
                             {"id", Value(id)},
                             {"doc", doc}}));
-  unindex_document(slot, *slots_[slot]);
+  unindex_document(slot, doc_at(slot));
   slots_[slot] = std::move(doc);
   index_document(slot, *slots_[slot]);
   return true;
@@ -520,13 +617,13 @@ std::size_t Collection::update_many(
   // than resurrecting it.
   std::vector<Slot> matches;
   for (Slot slot = 0; slot < slots_.size(); ++slot)
-    if (slots_[slot].has_value() && query.matches(*slots_[slot]))
+    if (slot_alive(slot) && query.matches(doc_at(slot)))
       matches.push_back(slot);
   std::size_t updated = 0;
   for (Slot slot : matches) {
-    if (!slots_[slot].has_value()) continue;  // removed by an earlier mutate
-    std::string id = slots_[slot]->at("_id").as_string();
-    Document next = *slots_[slot];
+    if (!slot_alive(slot)) continue;  // removed by an earlier mutate
+    std::string id = doc_at(slot).at("_id").as_string();
+    Document next = doc_at(slot);
     mutate(next);
     next.as_object().set("_id", Value(id));  // _id is immutable
     auto it = id_to_slot_.find(id);
@@ -537,7 +634,7 @@ std::size_t Collection::update_many(
                             {"c", Value(name_)},
                             {"id", Value(id)},
                             {"doc", next}}));
-    unindex_document(slot, *slots_[slot]);
+    unindex_document(slot, doc_at(slot));
     slots_[slot] = std::move(next);
     index_document(slot, *slots_[slot]);
     ++updated;
@@ -561,7 +658,7 @@ bool Collection::remove_checked(const std::string& id, bool journaled) {
                             {"c", Value(name_)},
                             {"id", Value(id)}}));
   Slot slot = it->second;
-  unindex_document(slot, *slots_[slot]);
+  unindex_document(slot, doc_at(slot));
   slots_[slot].reset();
   id_to_slot_.erase(it);
   ++stats_.total_removes;
@@ -573,9 +670,9 @@ bool Collection::remove_checked(const std::string& id, bool journaled) {
 
 std::size_t Collection::remove_many(const Query& query) {
   std::vector<std::string> ids;
-  for (const auto& slot : slots_)
-    if (slot.has_value() && query.matches(*slot))
-      ids.push_back(slot->at("_id").as_string());
+  for (Slot s = 0; s < slots_.size(); ++s)
+    if (slot_alive(s) && query.matches(doc_at(s)))
+      ids.push_back(doc_at(s).at("_id").as_string());
   for (const std::string& id : ids) remove(id);
   return ids.size();
 }
@@ -592,8 +689,8 @@ void Collection::apply_create_index(const std::string& path) {
   if (indexes_.count(path) > 0) return;
   Index& index = indexes_[path];
   for (Slot slot = 0; slot < slots_.size(); ++slot) {
-    if (!slots_[slot].has_value()) continue;
-    if (const Value* v = slots_[slot]->find_path(path))
+    if (!slot_alive(slot)) continue;
+    if (const Value* v = doc_at(slot).find_path(path))
       index.entries.insert({IndexKey{*v}, slot});
   }
   stats_.index_count = indexes_.size();
@@ -648,9 +745,9 @@ std::vector<Value> Collection::distinct(const std::string& path,
     }
   }
   std::vector<Value> out;
-  for (const auto& slot : slots_) {
-    if (!slot.has_value() || !query.matches(*slot)) continue;
-    if (const Value* v = slot->find_path(path)) {
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (!slot_alive(s) || !query.matches(doc_at(s))) continue;
+    if (const Value* v = doc_at(s).find_path(path)) {
       bool seen = false;
       for (const Value& existing : out)
         if (existing == *v) {
@@ -686,9 +783,9 @@ std::vector<std::pair<Value, std::size_t>> Collection::group_count(
     }
   }
   std::map<IndexKey, std::size_t> groups;
-  for (const auto& slot : slots_) {
-    if (!slot.has_value() || !query.matches(*slot)) continue;
-    if (const Value* v = slot->find_path(path)) ++groups[IndexKey{*v}];
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (!slot_alive(s) || !query.matches(doc_at(s))) continue;
+    if (const Value* v = doc_at(s).find_path(path)) ++groups[IndexKey{*v}];
   }
   std::vector<std::pair<Value, std::size_t>> out;
   out.reserve(groups.size());
@@ -700,10 +797,10 @@ std::vector<Collection::GroupAggregate> Collection::group_aggregate(
     const std::string& group_path, const std::string& value_path,
     const Query& query) const {
   std::map<IndexKey, GroupAggregate> groups;
-  for (const auto& slot : slots_) {
-    if (!slot.has_value() || !query.matches(*slot)) continue;
-    const Value* key = slot->find_path(group_path);
-    const Value* value = slot->find_path(value_path);
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (!slot_alive(s) || !query.matches(doc_at(s))) continue;
+    const Value* key = doc_at(s).find_path(group_path);
+    const Value* value = doc_at(s).find_path(value_path);
     if (key == nullptr || value == nullptr || !value->is_number()) continue;
     double x = value->as_double();
     auto [it, inserted] = groups.try_emplace(IndexKey{*key});
@@ -729,15 +826,15 @@ std::vector<Collection::GroupAggregate> Collection::group_aggregate(
 
 void Collection::for_each(
     const std::function<void(const Document&)>& fn) const {
-  for (const auto& slot : slots_)
-    if (slot.has_value()) fn(*slot);
+  for (Slot s = 0; s < slots_.size(); ++s)
+    if (slot_alive(s)) fn(doc_at(s));
 }
 
 Value Collection::durable_snapshot() const {
   Array docs;
   docs.reserve(id_to_slot_.size());
-  for (const auto& slot : slots_)
-    if (slot.has_value()) docs.push_back(*slot);
+  for (Slot s = 0; s < slots_.size(); ++s)
+    if (slot_alive(s)) docs.push_back(doc_at(s));
   Array index_paths;
   for (const auto& [path, _] : indexes_) index_paths.push_back(Value(path));
   return Value(Object{
@@ -762,6 +859,7 @@ void Collection::crash() {
   if (metrics_.documents != nullptr)
     metrics_.documents->add(-static_cast<double>(id_to_slot_.size()));
   slots_.clear();
+  lazy_rows_.clear();
   id_to_slot_.clear();
   indexes_.clear();
   id_counter_ = 0;

@@ -5,17 +5,23 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/types.h"
 #include "docstore/query.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace mps::durable {
 class Journal;
+}
+
+namespace mps::ingest {
+class ObsBatch;
 }
 
 namespace mps::docstore {
@@ -58,6 +64,23 @@ class Collection {
   /// the document carries an "_id" string it is used; inserting a
   /// duplicate _id throws std::invalid_argument.
   std::string insert(Document doc);
+
+  /// Bulk column-wise insert of rows [first, first+count) of a flat
+  /// observation batch (DESIGN.md §13). Index entries are built straight
+  /// from the batch columns, and — when no journal is attached — the
+  /// stored document itself is NOT materialized at insert time: the slot
+  /// keeps a reference into the batch and rehydrates the document (the
+  /// same bytes the oracle path inserts, including its generated _id) on
+  /// first read. With a journal attached the document is materialized
+  /// eagerly so log-before-apply sees the exact stored bytes. The
+  /// injected insert fault is consulted per row, before any state for
+  /// that row is touched; the return value is the number of rows
+  /// actually inserted — fewer than `count` means a transient failure
+  /// stopped the run at row first+returned, which the caller resumes
+  /// after backoff.
+  std::size_t insert_batch(const std::shared_ptr<const ingest::ObsBatch>& batch,
+                           std::size_t first, std::size_t count,
+                           TimeMs received_at);
 
   /// Fetches by _id.
   std::optional<Document> get(const std::string& id) const;
@@ -199,6 +222,26 @@ class Collection {
     std::vector<Slot> candidates;
   };
 
+  /// A slot whose document has not been rehydrated from its flat batch
+  /// yet (insert_batch fast path). The shared_ptr keeps the batch's
+  /// arena alive until every lazy row is materialized or removed. The
+  /// _id is reconstructed from the generator counter on rehydration
+  /// (generate_id is deterministic: name_ + "-" + counter), so the row
+  /// carries no per-row heap string.
+  struct LazyRow {
+    std::shared_ptr<const ingest::ObsBatch> batch;
+    std::uint32_t row = 0;
+    TimeMs received_at = 0;
+    std::uint64_t id_counter = 0;
+  };
+
+  /// True when the slot holds a live document — eager or still lazy.
+  bool slot_alive(Slot s) const {
+    return slots_[s].has_value() || lazy_rows_.count(s) > 0;
+  }
+  /// The document at a live slot; materializes (and caches) a lazy row.
+  const Document& doc_at(Slot s) const;
+
   std::string generate_id();
   /// Shared bodies of the public mutators and the apply_* recovery
   /// path; `journaled` false suppresses the WAL record.
@@ -238,7 +281,11 @@ class Collection {
   };
 
   std::string name_;
-  std::vector<std::optional<Document>> slots_;
+  // Mutable: const readers materialize lazy rows in place (the observable
+  // document bytes are identical before and after, only the storage form
+  // changes), so caching the rehydration is not a logical mutation.
+  mutable std::vector<std::optional<Document>> slots_;
+  mutable std::unordered_map<Slot, LazyRow> lazy_rows_;
   std::unordered_map<std::string, Slot> id_to_slot_;
   std::map<std::string, Index> indexes_;
   std::uint64_t id_counter_ = 0;

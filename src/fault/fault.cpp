@@ -27,6 +27,8 @@ const char* fault_site_name(FaultSite s) {
       return "assim_stall";
     case FaultSite::kSensorFail:
       return "sensor_fail";
+    case FaultSite::kAdmissionShed:
+      return "admission_shed";
   }
   return "unknown";
 }
@@ -230,6 +232,13 @@ FaultPlan FaultPlan::server_kill_lossy(std::uint64_t seed) {
   return plan;
 }
 
+FaultPlan FaultPlan::lossy_network_shed(std::uint64_t seed) {
+  FaultPlan plan = lossy_network(seed);
+  plan.profile_name_ = "lossy-network-shed";
+  plan.set_probability(FaultSite::kAdmissionShed, 0.05);
+  return plan;
+}
+
 FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
   if (name == "none") {
     // Inert, but carries the sweep seed so per-seed reports line up.
@@ -241,12 +250,13 @@ FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
   if (name == "crashy-client") return crashy_client(seed);
   if (name == "server-kill") return server_kill(seed);
   if (name == "server-kill-lossy") return server_kill_lossy(seed);
+  if (name == "lossy-network-shed") return lossy_network_shed(seed);
   throw std::invalid_argument("unknown fault profile: " + std::string(name));
 }
 
 const std::vector<std::string>& FaultPlan::profile_names() {
-  static const std::vector<std::string> names = {"none", "lossy-network",
-                                                 "crashy-client"};
+  static const std::vector<std::string> names = {
+      "none", "lossy-network", "crashy-client", "lossy-network-shed"};
   return names;
 }
 

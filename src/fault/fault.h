@@ -44,9 +44,10 @@ enum class FaultSite {
   kNetFlap,            ///< extra connectivity down windows (schedule)
   kAssimStall,         ///< assimilation cycle skips a step
   kSensorFail,         ///< sensor read produces nothing (crowd generator)
+  kAdmissionShed,      ///< server admission control sheds the publish
 };
 
-inline constexpr std::size_t kFaultSiteCount = 9;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 const char* fault_site_name(FaultSite s);
 
@@ -168,9 +169,13 @@ class FaultPlan {
   /// duplicates and transient store failures all at once.
   static FaultPlan server_kill_lossy(std::uint64_t seed);
 
+  /// lossy_network plus random admission sheds at the ingest edge —
+  /// backpressure racing a hostile network (DESIGN.md §13).
+  static FaultPlan lossy_network_shed(std::uint64_t seed);
+
   /// Profile by name ("none", "lossy-network", "crashy-client",
-  /// "server-kill", "server-kill-lossy"); throws std::invalid_argument
-  /// on anything else.
+  /// "server-kill", "server-kill-lossy", "lossy-network-shed"); throws
+  /// std::invalid_argument on anything else.
   static FaultPlan profile(std::string_view name, std::uint64_t seed);
 
   /// Names accepted by profile(), in sweep order.

@@ -1,0 +1,178 @@
+// Flat, arena-backed observation batches — the allocation-free ingest
+// fast path (DESIGN.md §13).
+//
+// The document ingest path materializes a heap-heavy Value tree per
+// observation at every hop: the client serializes the batch, the broker
+// copies the payload, the server rehydrates and re-copies each document,
+// and the docstore copies once more on insert. An ObsBatch serializes the
+// batch exactly once, as struct-of-arrays columns inside one Arena, and
+// every downstream stage consumes it by view through a shared_ptr:
+//
+//   header   app / client / batch_id / sent_at     (interned, batch-level)
+//   columns  span_id  captured_at  spl  mode  activity
+//            has_location  provider  x  y  accuracy
+//            user_idx  model_idx  -> interned-string table
+//
+// Batches come from a BatchPool, which recycles each batch's Arena when
+// the last shared_ptr drops (epoch reset, blocks retained) — steady-state
+// uploads allocate nothing but the shared_ptr control block.
+//
+// The document path stays wired as the oracle: to_batch_document() and
+// storage_document() reproduce the exact bytes the Value path produces,
+// which the flat-vs-document equivalence suite pins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "obs/metrics.h"
+#include "phone/observation.h"
+
+namespace mps::ingest {
+
+/// One client upload as flat columns. Immutable after construction;
+/// owns the Arena every column and interned string lives in.
+class ObsBatch {
+ public:
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  std::string_view app() const { return app_; }
+  std::string_view client() const { return client_; }
+  std::string_view batch_id() const { return batch_id_; }
+  TimeMs sent_at() const { return sent_at_; }
+
+  // --- Column views ------------------------------------------------------
+
+  std::uint64_t span_id(std::size_t i) const { return span_ids_[i]; }
+  TimeMs captured_at(std::size_t i) const { return captured_at_[i]; }
+  double spl_db(std::size_t i) const { return spl_[i]; }
+  phone::SensingMode mode(std::size_t i) const {
+    return static_cast<phone::SensingMode>(mode_[i]);
+  }
+  phone::Activity activity(std::size_t i) const {
+    return static_cast<phone::Activity>(activity_[i]);
+  }
+  bool has_location(std::size_t i) const { return has_location_[i] != 0; }
+  phone::LocationProvider provider(std::size_t i) const {
+    return static_cast<phone::LocationProvider>(provider_[i]);
+  }
+  double x_m(std::size_t i) const { return x_[i]; }
+  double y_m(std::size_t i) const { return y_[i]; }
+  double accuracy_m(std::size_t i) const { return accuracy_[i]; }
+  std::string_view user(std::size_t i) const {
+    return strings_[user_idx_[i]];
+  }
+  std::string_view model(std::size_t i) const {
+    return strings_[model_idx_[i]];
+  }
+  /// Index into the interned-string table (strings()); rows sharing a
+  /// model share the index, so per-model work can be memoized per entry.
+  std::uint32_t model_index(std::size_t i) const { return model_idx_[i]; }
+  /// The interned-string table (users and models, deduplicated).
+  const std::string_view* strings() const { return strings_; }
+  std::size_t string_count() const { return string_count_; }
+
+  // --- Oracle materialization -------------------------------------------
+
+  /// Rehydrates one row as a phone::Observation (tests, assim fallback).
+  phone::Observation observation_at(std::size_t i) const;
+
+  /// The full wire document, byte-identical to the Value the client's
+  /// document path publishes ({app, client, batch_id, sent_at,
+  /// observations:[...]}).
+  Value to_batch_document() const;
+
+  /// The document the server's ingest path would hand the docstore for
+  /// row `i`: the observation document plus app/client/received_at/
+  /// delay_ms in the exact order the oracle appends them.
+  Value storage_document(std::size_t i, TimeMs received_at) const;
+
+  /// The indexable value at `path` for row `i` without materializing the
+  /// document; false when the path is not a flat column (caller falls
+  /// back to the materialized document).
+  bool index_value(std::string_view path, std::size_t i, TimeMs received_at,
+                   Value& out) const;
+
+  /// Bytes the batch occupies in its arena.
+  std::size_t arena_bytes() const { return arena_->bytes_allocated(); }
+
+ private:
+  friend class BatchPool;
+  ObsBatch() = default;
+
+  /// Row `i`'s observation document (the to_document() byte layout).
+  Object observation_object(std::size_t i) const;
+
+  std::unique_ptr<Arena> arena_;
+  std::string_view app_, client_, batch_id_;
+  TimeMs sent_at_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t* span_ids_ = nullptr;
+  std::int64_t* captured_at_ = nullptr;
+  double* spl_ = nullptr;
+  std::uint8_t* mode_ = nullptr;
+  std::uint8_t* activity_ = nullptr;
+  std::uint8_t* has_location_ = nullptr;
+  std::uint8_t* provider_ = nullptr;
+  double* x_ = nullptr;
+  double* y_ = nullptr;
+  double* accuracy_ = nullptr;
+  std::uint32_t* user_idx_ = nullptr;
+  std::uint32_t* model_idx_ = nullptr;
+  std::string_view* strings_ = nullptr;
+  std::size_t string_count_ = 0;
+};
+
+/// Pool statistics (also mirrored into the registry via set_metrics).
+struct BatchPoolStats {
+  std::uint64_t batches = 0;        ///< batches built
+  std::uint64_t arenas_created = 0; ///< arenas newly allocated
+  std::uint64_t arenas_reused = 0;  ///< arenas recycled via epoch reset
+};
+
+/// Builds ObsBatches and recycles their arenas. When the last shared_ptr
+/// to a batch drops, its arena is epoch-reset and returned to the pool
+/// (or freed if the pool died first) — the allocation-free steady state.
+/// Single-threaded, like everything inside the simulation.
+class BatchPool {
+ public:
+  BatchPool() : inner_(std::make_shared<Inner>()) {}
+
+  /// Serializes `observations` into one flat batch. `batch_id` is the
+  /// idempotency key the server dedups on (same convention as the
+  /// document path: "<client>#<counter>").
+  std::shared_ptr<const ObsBatch> make_batch(
+      std::string_view app, std::string_view client, std::string_view batch_id,
+      TimeMs sent_at, const std::vector<phone::Observation>& observations);
+
+  const BatchPoolStats& stats() const { return inner_->stats; }
+  std::size_t free_arenas() const { return inner_->free.size(); }
+  /// Largest arena epoch ever built by this pool's batches.
+  std::size_t arena_high_water() const { return inner_->high_water; }
+
+  /// Mirrors pool activity into "ingest.*" registry metrics
+  /// (flat_batches, arena_created, arena_reused counters and the
+  /// ingest.arena_high_water_bytes gauge). Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
+ private:
+  struct Inner {
+    std::vector<std::unique_ptr<Arena>> free;
+    BatchPoolStats stats;
+    std::size_t high_water = 0;
+    obs::Counter* flat_batches = nullptr;
+    obs::Counter* arena_created = nullptr;
+    obs::Counter* arena_reused = nullptr;
+    obs::Gauge* high_water_gauge = nullptr;
+  };
+  std::shared_ptr<Inner> inner_;
+};
+
+}  // namespace mps::ingest

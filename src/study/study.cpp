@@ -66,6 +66,8 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   cc.sense_period = config_.sense_period;
   cc.share = profile.shares;
   if (config_.faults != nullptr) cc.retry_seed = config_.faults->seed();
+  cc.flat_ingest = config_.flat_ingest;
+  if (config_.flat_ingest) cc.batch_pool = &pool_;
 
   // Ambient and position track the user's simulated life.
   Rng ambient_rng = Rng(profile.seed).child("study-ambient");
@@ -175,9 +177,13 @@ StudyReport StudyRunner::run() {
     config_.faults->set_clock([this] { return sim_.now(); });
     broker_.arm_faults(config_.faults);
     server_.database().arm_faults(config_.faults);
+    // Admission-shed chaos: the server's ingest gate consults the plan.
+    server_.arm_faults(config_.faults);
     if (config_.metrics != nullptr)
       config_.faults->set_metrics(config_.metrics);
   }
+  if (config_.flat_ingest && config_.metrics != nullptr)
+    pool_.set_metrics(config_.metrics);
 
   devices_.reserve(population_.users().size());
   for (const crowd::UserProfile& profile : population_.users())
@@ -207,6 +213,7 @@ StudyReport StudyRunner::run() {
   if (config_.faults != nullptr) {
     broker_.arm_faults(nullptr);
     server_.database().arm_faults(nullptr);
+    server_.arm_faults(nullptr);
   }
 
   StudyReport report;

@@ -70,6 +70,13 @@ struct StudyConfig {
   /// Periodic lifecycle snapshots (0 = only the ones recovery writes).
   /// Shorter periods bound replay length at the cost of snapshot I/O.
   DurationMs snapshot_period = 0;
+  /// Flat ingest fast path (DESIGN.md §13): the fleet serializes upload
+  /// batches once into arena-backed flat ObsBatches shared through one
+  /// study-wide pool, and the server consumes them without rehydrating.
+  /// Observable state (stored documents, dedup decisions, WAL bytes,
+  /// study figures) is identical either way; off = the document oracle
+  /// path the equivalence suite compares against.
+  bool flat_ingest = true;
   /// Optional compute plane for the post-run per-device report
   /// aggregation (the study analytics reduce). The simulation itself
   /// stays single-threaded regardless — the kernel must never run on a
@@ -142,6 +149,9 @@ class StudyRunner {
   broker::Broker& broker_;
   core::GoFlowServer& server_;
   crowd::AmbientModel ambient_;
+  /// Shared arena pool for the whole fleet's flat batches: a handful of
+  /// arenas recycle across thousands of uploads.
+  ingest::BatchPool pool_;
   std::string admin_token_;
   std::string client_token_;
   std::vector<Device> devices_;

@@ -1,0 +1,192 @@
+// Flat-vs-document equivalence: the arena-backed ingest fast path must
+// leave the middleware in byte-identical observable state to the
+// document oracle path — stored documents, dedup decisions, analytics —
+// across random workloads, chaos profiles and full fleet studies.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "client/goflow_client.h"
+#include "core/goflow_server.h"
+#include "crowd/population.h"
+#include "docstore/database.h"
+#include "fault/fault.h"
+#include "study/study.h"
+
+namespace mps::ingest {
+namespace {
+
+/// Everything downstream code can observe about an ingest run.
+struct StackSnapshot {
+  std::string stored_docs_json;  ///< observations collection, insert order
+  std::uint64_t batches = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t duplicate_batches = 0;
+  std::uint64_t duplicate_observations = 0;
+  std::uint64_t ingest_retries = 0;
+  std::uint64_t client_uploads = 0;
+  std::uint64_t client_publish_failures = 0;
+  std::string dedup_keys_json;  ///< obs dedup set in eviction order
+};
+
+std::string collection_json(docstore::Database& db) {
+  Array docs;
+  db.collection("observations")
+      .for_each([&docs](const Value& doc) { docs.push_back(doc); });
+  return Value(std::move(docs)).to_json();
+}
+
+std::string ordered_keys_json(const BoundedKeySet& set) {
+  Array keys;
+  for (const std::string& k : set.ordered()) keys.push_back(Value(k));
+  return Value(std::move(keys)).to_json();
+}
+
+/// One client sensing for `horizon` against a real server, with an
+/// optional chaos profile armed on broker + docstore. Identical inputs,
+/// identical seeds — the only variable is the ingest serialization path.
+StackSnapshot run_stack(bool flat, const std::string& fault_profile,
+                        std::uint64_t seed, TimeMs horizon) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+
+  fault::FaultPlan plan = fault::FaultPlan::profile(fault_profile, seed);
+  plan.set_clock([&sim] { return sim.now(); });
+  if (fault_profile != "none") {
+    broker.arm_faults(&plan);
+    db.collection("observations").arm_faults(&plan);
+    server.arm_faults(&plan);
+  }
+
+  auto reg = server.register_app("soundcity").value_or_throw();
+  std::string token =
+      server
+          .register_account(reg.admin_token, "soundcity", "u1",
+                            core::Role::kClient)
+          .value_or_throw();
+  auto channels =
+      server.login_client(token, "soundcity", "c1").value_or_throw();
+
+  phone::PhoneConfig pc;
+  pc.model = phone::top20_catalog().front();
+  pc.user = "u1";
+  pc.seed = seed;
+  pc.connectivity = net::ConnectivityParams::always_connected();
+  pc.horizon = horizon + days(1);
+  phone::Phone phone(pc);
+
+  client::ClientConfig cc = client::ClientConfig::v1_3("c1", channels.exchange, 5);
+  cc.retry_seed = seed;
+  cc.flat_ingest = flat;
+  client::GoFlowClient client(
+      sim, broker, phone, std::move(cc), [](TimeMs t) { return 50.0 + (t % 7); },
+      [](TimeMs t) {
+        return std::pair<double, double>{static_cast<double>(t % 1000), 42.0};
+      });
+  client.start();
+  sim.run_until(horizon);
+  client.flush();
+  sim.run_until(horizon + hours(2));  // let retries drain
+
+  StackSnapshot snap;
+  snap.stored_docs_json = collection_json(db);
+  snap.batches = server.total_batches();
+  snap.observations = server.total_observations();
+  snap.duplicate_batches = server.duplicate_batches();
+  snap.duplicate_observations = server.duplicate_observations();
+  snap.ingest_retries = server.ingest_retries();
+  snap.client_uploads = client.stats().uploads;
+  snap.client_publish_failures = client.stats().publish_failures;
+  snap.dedup_keys_json = ordered_keys_json(server.seen_obs_keys());
+  return snap;
+}
+
+void expect_identical(const StackSnapshot& flat, const StackSnapshot& doc) {
+  EXPECT_EQ(flat.stored_docs_json, doc.stored_docs_json);
+  EXPECT_EQ(flat.batches, doc.batches);
+  EXPECT_EQ(flat.observations, doc.observations);
+  EXPECT_EQ(flat.duplicate_batches, doc.duplicate_batches);
+  EXPECT_EQ(flat.duplicate_observations, doc.duplicate_observations);
+  EXPECT_EQ(flat.ingest_retries, doc.ingest_retries);
+  EXPECT_EQ(flat.client_uploads, doc.client_uploads);
+  EXPECT_EQ(flat.client_publish_failures, doc.client_publish_failures);
+  EXPECT_EQ(flat.dedup_keys_json, doc.dedup_keys_json);
+}
+
+TEST(FlatEquivalence, CleanRunStoresByteIdenticalState) {
+  for (std::uint64_t seed : {1, 7, 23}) {
+    StackSnapshot flat = run_stack(true, "none", seed, hours(8));
+    StackSnapshot doc = run_stack(false, "none", seed, hours(8));
+    ASSERT_GT(flat.observations, 0u) << "seed " << seed;
+    expect_identical(flat, doc);
+  }
+}
+
+TEST(FlatEquivalence, LossyNetworkRunsStayIdentical) {
+  // Publish rejections, lost confirms and transient insert faults all
+  // consult per-site RNG streams; the flat path must consume them in
+  // exactly the document path's order or dedup outcomes diverge.
+  for (std::uint64_t seed : {3, 11}) {
+    StackSnapshot flat = run_stack(true, "lossy-network", seed, hours(8));
+    StackSnapshot doc = run_stack(false, "lossy-network", seed, hours(8));
+    expect_identical(flat, doc);
+  }
+}
+
+TEST(FlatEquivalence, SheddingProfileStaysIdentical) {
+  for (std::uint64_t seed : {5, 19}) {
+    StackSnapshot flat = run_stack(true, "lossy-network-shed", seed, hours(8));
+    StackSnapshot doc = run_stack(false, "lossy-network-shed", seed, hours(8));
+    expect_identical(flat, doc);
+  }
+}
+
+/// Full-fleet study equivalence: same population, same chaos plan; the
+/// study report and the stored collection must match field for field.
+TEST(FlatEquivalence, FleetStudyMatchesDocumentOracle) {
+  auto run_study = [](bool flat) {
+    crowd::PopulationConfig pc;
+    pc.seed = 9;
+    pc.device_scale = 0.004;
+    pc.obs_scale = 0.02;
+    pc.horizon = days(2);
+    crowd::Population pop = crowd::Population::generate(pc);
+
+    sim::Simulation sim;
+    broker::Broker broker;
+    docstore::Database db;
+    core::GoFlowServer server(sim, broker, db);
+    fault::FaultPlan plan = fault::FaultPlan::lossy_network(9);
+
+    study::StudyConfig sc;
+    sc.seed = 9;
+    sc.duration_days = 1;
+    sc.faults = &plan;
+    sc.flat_ingest = flat;
+    study::StudyRunner runner(pop, sc, sim, broker, server);
+    study::StudyReport report = runner.run();
+    return std::make_pair(report, collection_json(db));
+  };
+
+  auto [flat_report, flat_docs] = run_study(true);
+  auto [doc_report, doc_docs] = run_study(false);
+
+  EXPECT_EQ(flat_docs, doc_docs);
+  EXPECT_EQ(flat_report.observations_recorded, doc_report.observations_recorded);
+  EXPECT_EQ(flat_report.observations_stored, doc_report.observations_stored);
+  EXPECT_EQ(flat_report.uploads, doc_report.uploads);
+  EXPECT_EQ(flat_report.buffered_unsent, doc_report.buffered_unsent);
+  EXPECT_EQ(flat_report.in_flight_unsent, doc_report.in_flight_unsent);
+  EXPECT_EQ(flat_report.publish_failures, doc_report.publish_failures);
+  EXPECT_EQ(flat_report.upload_retries, doc_report.upload_retries);
+  EXPECT_EQ(flat_report.duplicate_observations,
+            doc_report.duplicate_observations);
+  EXPECT_DOUBLE_EQ(flat_report.mean_delay_ms, doc_report.mean_delay_ms);
+  EXPECT_GT(flat_report.observations_stored, 0u);
+}
+
+}  // namespace
+}  // namespace mps::ingest

@@ -1,0 +1,270 @@
+// ObsBatch / BatchPool: SoA round trips, oracle byte-identity of the
+// materialization methods, string interning and arena recycling.
+#include "ingest/obs_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "phone/observation.h"
+
+namespace mps::ingest {
+namespace {
+
+using phone::Activity;
+using phone::LocationFix;
+using phone::LocationProvider;
+using phone::Observation;
+using phone::SensingMode;
+
+std::vector<Observation> sample_observations() {
+  std::vector<Observation> obs;
+  Observation a;
+  a.user = "alice";
+  a.model = "GT-I9300";
+  a.captured_at = 1000;
+  a.spl_db = 61.5;
+  a.mode = SensingMode::kOpportunistic;
+  a.activity = Activity::kStill;
+  a.location = LocationFix{LocationProvider::kGps, 120.0, -40.5, 12.0};
+  a.span_id = 7;
+  obs.push_back(a);
+
+  Observation b;
+  b.user = "alice";  // same user: interned once
+  b.model = "iPhone6,2";
+  b.captured_at = 2000;
+  b.spl_db = 55.0;
+  b.mode = SensingMode::kJourney;
+  b.activity = Activity::kFoot;
+  // no location, no span
+  obs.push_back(b);
+
+  Observation c;
+  c.user = "bob";
+  c.model = "GT-I9300";  // same model as a: interned once
+  c.captured_at = 3000;
+  c.spl_db = 70.25;
+  c.mode = SensingMode::kManual;
+  c.activity = Activity::kVehicle;
+  c.location = LocationFix{LocationProvider::kNetwork, -3.0, 8.0, 55.0};
+  c.span_id = 9;
+  obs.push_back(c);
+  return obs;
+}
+
+/// Random observations for the fuzzier checks.
+std::vector<Observation> random_observations(std::uint64_t seed,
+                                             std::size_t n) {
+  Rng rng(seed);
+  const char* users[] = {"u1", "u2", "u3"};
+  const char* models[] = {"m1", "m2"};
+  std::vector<Observation> obs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Observation o;
+    o.user = users[rng.uniform_int(0, 2)];
+    o.model = models[rng.uniform_int(0, 1)];
+    o.captured_at = static_cast<TimeMs>(1000 * i + rng.uniform_int(0, 999));
+    o.spl_db = rng.uniform(30.0, 90.0);
+    o.mode = static_cast<SensingMode>(rng.uniform_int(0, 2));
+    o.activity = static_cast<Activity>(rng.uniform_int(0, 6));
+    if (rng.bernoulli(0.7)) {
+      o.location = LocationFix{
+          static_cast<LocationProvider>(rng.uniform_int(0, 2)),
+          rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0),
+          rng.uniform(1.0, 150.0)};
+    }
+    if (rng.bernoulli(0.8)) o.span_id = 100 + i;
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+/// The document the client's oracle path publishes for `obs`.
+Value oracle_batch_document(const std::vector<Observation>& obs,
+                            const std::string& app, const std::string& client,
+                            const std::string& batch_id, TimeMs sent_at) {
+  Array observations;
+  observations.reserve(obs.size());
+  for (const Observation& o : obs) observations.push_back(o.to_document());
+  return Value(Object{{"app", Value(app)},
+                      {"client", Value(client)},
+                      {"batch_id", Value(batch_id)},
+                      {"sent_at", Value(sent_at)},
+                      {"observations", Value(std::move(observations))}});
+}
+
+TEST(ObsBatch, ColumnsRoundTripEveryField) {
+  BatchPool pool;
+  std::vector<Observation> obs = sample_observations();
+  auto batch = pool.make_batch("soundcity", "c1", "c1#1", 5000, obs);
+  ASSERT_EQ(batch->size(), obs.size());
+  EXPECT_EQ(batch->app(), "soundcity");
+  EXPECT_EQ(batch->client(), "c1");
+  EXPECT_EQ(batch->batch_id(), "c1#1");
+  EXPECT_EQ(batch->sent_at(), 5000);
+
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    EXPECT_EQ(batch->user(i), obs[i].user);
+    EXPECT_EQ(batch->model(i), obs[i].model);
+    EXPECT_EQ(batch->captured_at(i), obs[i].captured_at);
+    EXPECT_EQ(batch->spl_db(i), obs[i].spl_db);
+    EXPECT_EQ(batch->mode(i), obs[i].mode);
+    EXPECT_EQ(batch->activity(i), obs[i].activity);
+    EXPECT_EQ(batch->span_id(i), obs[i].span_id);
+    ASSERT_EQ(batch->has_location(i), obs[i].location.has_value());
+    if (obs[i].location.has_value()) {
+      EXPECT_EQ(batch->provider(i), obs[i].location->provider);
+      EXPECT_EQ(batch->x_m(i), obs[i].location->x_m);
+      EXPECT_EQ(batch->y_m(i), obs[i].location->y_m);
+      EXPECT_EQ(batch->accuracy_m(i), obs[i].location->accuracy_m);
+    }
+  }
+}
+
+TEST(ObsBatch, ObservationAtRehydratesExactly) {
+  BatchPool pool;
+  std::vector<Observation> obs = random_observations(11, 40);
+  auto batch = pool.make_batch("app", "c", "c#1", 123, obs);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    Observation back = batch->observation_at(i);
+    EXPECT_EQ(back.to_document().to_json(), obs[i].to_document().to_json());
+  }
+}
+
+TEST(ObsBatch, ToBatchDocumentMatchesOracleBytes) {
+  BatchPool pool;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    std::vector<Observation> obs = random_observations(seed, 25);
+    auto batch = pool.make_batch("soundcity", "c9", "c9#42", 777, obs);
+    Value oracle =
+        oracle_batch_document(obs, "soundcity", "c9", "c9#42", 777);
+    EXPECT_EQ(batch->to_batch_document().to_json(), oracle.to_json());
+  }
+}
+
+TEST(ObsBatch, StorageDocumentMatchesOracleBytes) {
+  BatchPool pool;
+  std::vector<Observation> obs = random_observations(5, 20);
+  TimeMs received_at = 999999;
+  auto batch = pool.make_batch("soundcity", "c2", "c2#7", 5, obs);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    // The oracle: the server's document path takes the wire observation
+    // document and appends app/client/received_at/delay_ms.
+    Value doc = obs[i].to_document();
+    doc.as_object().set("app", Value(std::string("soundcity")));
+    doc.as_object().set("client", Value(std::string("c2")));
+    doc.as_object().set("received_at", Value(received_at));
+    doc.as_object().set("delay_ms", Value(received_at - obs[i].captured_at));
+    EXPECT_EQ(batch->storage_document(i, received_at).to_json(),
+              doc.to_json());
+  }
+}
+
+TEST(ObsBatch, IndexValueAgreesWithDocumentPaths) {
+  BatchPool pool;
+  std::vector<Observation> obs = random_observations(21, 30);
+  TimeMs received_at = 424242;
+  auto batch = pool.make_batch("soundcity", "c3", "c3#1", 17, obs);
+  const char* paths[] = {"user",        "model",
+                         "captured_at", "spl",
+                         "mode",        "activity",
+                         "app",         "client",
+                         "received_at", "delay_ms",
+                         "span",        "location.provider",
+                         "location.x",  "location.y",
+                         "location.accuracy"};
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    Value doc = batch->storage_document(i, received_at);
+    for (const char* path : paths) {
+      Value flat;
+      ASSERT_TRUE(batch->index_value(path, i, received_at, flat))
+          << path << " should be a flat column";
+      const Value* via_doc = doc.find_path(path);
+      if (via_doc == nullptr) {
+        EXPECT_TRUE(flat.is_null()) << path << " row " << i;
+      } else {
+        ASSERT_FALSE(flat.is_null()) << path << " row " << i;
+        EXPECT_EQ(Value::compare(flat, *via_doc), 0) << path << " row " << i;
+      }
+    }
+    // Non-column paths must report false so callers fall back.
+    Value out;
+    EXPECT_FALSE(batch->index_value("_id", i, received_at, out));
+    EXPECT_FALSE(batch->index_value("nope.nested", i, received_at, out));
+  }
+}
+
+TEST(ObsBatch, InternsRepeatedUsersAndModels) {
+  BatchPool pool;
+  std::vector<Observation> obs = sample_observations();
+  auto batch = pool.make_batch("a", "c", "c#1", 0, obs);
+  // alice, GT-I9300, iPhone6,2, bob — 4 distinct strings across 6 refs.
+  EXPECT_EQ(batch->string_count(), 4u);
+  EXPECT_EQ(batch->model_index(0), batch->model_index(2));
+}
+
+TEST(BatchPool, RecyclesArenasThroughEpochReset) {
+  BatchPool pool;
+  std::vector<Observation> obs = random_observations(3, 10);
+  {
+    auto batch = pool.make_batch("a", "c", "c#1", 0, obs);
+    EXPECT_EQ(pool.stats().arenas_created, 1u);
+    EXPECT_EQ(pool.free_arenas(), 0u);
+  }
+  // Batch dropped: its arena returns to the pool, reset for reuse.
+  EXPECT_EQ(pool.free_arenas(), 1u);
+  {
+    auto batch = pool.make_batch("a", "c", "c#2", 0, obs);
+    EXPECT_EQ(pool.stats().arenas_created, 1u);  // no new arena
+    EXPECT_EQ(pool.stats().arenas_reused, 1u);
+    EXPECT_EQ(pool.free_arenas(), 0u);
+  }
+  EXPECT_EQ(pool.free_arenas(), 1u);
+  EXPECT_EQ(pool.stats().batches, 2u);
+}
+
+TEST(BatchPool, TwoLiveBatchesUseTwoArenas) {
+  BatchPool pool;
+  std::vector<Observation> obs = random_observations(4, 5);
+  auto b1 = pool.make_batch("a", "c", "c#1", 0, obs);
+  auto b2 = pool.make_batch("a", "c", "c#2", 0, obs);
+  EXPECT_EQ(pool.stats().arenas_created, 2u);
+  b1.reset();
+  b2.reset();
+  EXPECT_EQ(pool.free_arenas(), 2u);
+}
+
+TEST(BatchPool, BatchOutlivesPool) {
+  std::shared_ptr<const ObsBatch> batch;
+  std::vector<Observation> obs = sample_observations();
+  {
+    BatchPool pool;
+    batch = pool.make_batch("a", "c", "c#1", 0, obs);
+  }
+  // The pool died first: the batch (and its arena) must stay valid and
+  // simply free on drop instead of recycling.
+  EXPECT_EQ(batch->user(0), "alice");
+  batch.reset();
+}
+
+TEST(BatchPool, HighWaterAndMetricsMirrored) {
+  obs::Registry registry;
+  BatchPool pool;
+  pool.set_metrics(&registry);
+  std::vector<Observation> obs = random_observations(8, 50);
+  { auto b = pool.make_batch("a", "c", "c#1", 0, obs); }
+  { auto b = pool.make_batch("a", "c", "c#2", 0, obs); }
+  EXPECT_GT(pool.arena_high_water(), 0u);
+  obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(registry.has_counter("ingest.flat_batches"));
+  EXPECT_TRUE(registry.has_counter("ingest.arena_created"));
+  EXPECT_TRUE(registry.has_counter("ingest.arena_reused"));
+  EXPECT_TRUE(registry.has_gauge("ingest.arena_high_water_bytes"));
+}
+
+}  // namespace
+}  // namespace mps::ingest

@@ -83,7 +83,7 @@ TEST(RegistryAudit, ChaosRunExportsEveryMetricFamily) {
   // silently detaches one of them fails here, not in a dashboard.
   for (const char* prefix :
        {"durable.", "exec.", "retry.", "fault.", "broker.", "server.",
-        "client.", "span.", "obs."}) {
+        "client.", "span.", "obs.", "ingest."}) {
     EXPECT_TRUE(any_starts_with(names, prefix))
         << "no metric with prefix " << prefix << " in the export";
   }
@@ -94,6 +94,13 @@ TEST(RegistryAudit, ChaosRunExportsEveryMetricFamily) {
   EXPECT_TRUE(registry.has_counter("retry.client_upload"));
   EXPECT_TRUE(registry.has_counter("obs.spans_evicted"));
   EXPECT_TRUE(registry.has_gauge("exec.sweep_runs"));
+  // Ingest fast path & admission control (DESIGN.md §13).
+  EXPECT_TRUE(registry.has_counter("server.admission_shed"));
+  EXPECT_TRUE(registry.has_counter("server.admission_accepted"));
+  EXPECT_TRUE(registry.has_counter("ingest.flat_batches"));
+  EXPECT_TRUE(registry.has_counter("ingest.arena_created"));
+  EXPECT_TRUE(registry.has_gauge("ingest.arena_high_water_bytes"));
+  EXPECT_TRUE(registry.has_counter("fault.checked.admission_shed"));
 }
 
 TEST(RegistryAudit, ExportsAreSortedAndDeterministic) {

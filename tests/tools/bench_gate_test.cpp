@@ -56,6 +56,37 @@ TEST(BenchGateParse, GoogleBenchmarkIterationsOnly) {
   EXPECT_EQ(metrics.count("BM_TopicMatch_mean.real_time"), 0u);
 }
 
+TEST(BenchGateParse, GoogleBenchmarkUserCounters) {
+  constexpr const char* kCounterReport = R"({
+    "benchmarks": [
+      {"name": "BM_IngestBatchFlat", "run_type": "iteration",
+       "family_index": 0, "per_family_instance_index": 0,
+       "repetitions": 1, "repetition_index": 0, "threads": 1,
+       "iterations": 2000, "real_time": 200000.0, "cpu_time": 199000.0,
+       "time_unit": "ns", "obs_per_sec": 320000.0, "stored_exact": 128000.0,
+       "flat_speedup": 4.1}
+    ]
+  })";
+  std::map<std::string, double> metrics;
+  std::string error;
+  ASSERT_TRUE(parse_report(kCounterReport, metrics, &error)) << error;
+  // User counters surface as <name>.<counter> so the suffix rules gate
+  // them; google-benchmark's bookkeeping fields must not leak through.
+  EXPECT_DOUBLE_EQ(metrics.at("BM_IngestBatchFlat.real_time"), 200000.0);
+  EXPECT_DOUBLE_EQ(metrics.at("BM_IngestBatchFlat.obs_per_sec"), 320000.0);
+  EXPECT_DOUBLE_EQ(metrics.at("BM_IngestBatchFlat.stored_exact"), 128000.0);
+  EXPECT_DOUBLE_EQ(metrics.at("BM_IngestBatchFlat.flat_speedup"), 4.1);
+  EXPECT_EQ(metrics.count("BM_IngestBatchFlat.iterations"), 0u);
+  EXPECT_EQ(metrics.count("BM_IngestBatchFlat.cpu_time"), 0u);
+  EXPECT_EQ(metrics.count("BM_IngestBatchFlat.threads"), 0u);
+  EXPECT_EQ(classify_metric("BM_IngestBatchFlat.obs_per_sec"),
+            MetricKind::kHigherBetter);
+  EXPECT_EQ(classify_metric("BM_IngestBatchFlat.stored_exact"),
+            MetricKind::kExact);
+  EXPECT_EQ(classify_metric("BM_IngestBatchFlat.flat_speedup"),
+            MetricKind::kHigherBetter);
+}
+
 TEST(BenchGateParse, MalformedInputFailsWithError) {
   std::map<std::string, double> metrics;
   std::string error;
@@ -164,8 +195,12 @@ TEST(BenchGateFormat, ChecksRenderWithVerdict) {
 class BenchGateDirTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    base_ = ::testing::TempDir() + "gate_base";
-    cur_ = ::testing::TempDir() + "gate_cur";
+    // Unique per test case: ctest schedules cases of this fixture as
+    // separate processes that may run concurrently.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    base_ = ::testing::TempDir() + "gate_base_" + tag;
+    cur_ = ::testing::TempDir() + "gate_cur_" + tag;
     ASSERT_EQ(std::system(("rm -rf " + base_ + " " + cur_).c_str()), 0);
     ASSERT_EQ(std::system(("mkdir -p " + base_ + " " + cur_).c_str()), 0);
   }

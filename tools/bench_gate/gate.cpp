@@ -87,10 +87,26 @@ bool parse_report(const std::string& json_text,
       std::string run_type = b.get_string("run_type", "iteration");
       if (run_type != "iteration") continue;
       std::string name = b.get_string("name");
+      if (name.empty()) continue;
       const Value* real_time = b.find("real_time");
-      if (name.empty() || real_time == nullptr || !real_time->is_number())
-        continue;
-      out[name + ".real_time"] = real_time->as_double();
+      if (real_time != nullptr && real_time->is_number())
+        out[name + ".real_time"] = real_time->as_double();
+      // User counters (obs_per_sec, stored_exact, flat_speedup, ...) sit
+      // as extra numeric fields on the row; lift each as "<name>.<key>"
+      // so the suffix rules in classify_metric apply to them. The
+      // bookkeeping fields google-benchmark always emits are skipped —
+      // real/cpu time are handled above, the rest carry no signal.
+      static const char* kSkip[] = {
+          "family_index", "per_family_instance_index", "repetitions",
+          "repetition_index", "threads", "iterations", "real_time",
+          "cpu_time"};
+      for (const auto& [key, v] : b.as_object()) {
+        if (!v.is_number()) continue;
+        bool skip = false;
+        for (const char* s : kSkip)
+          if (key == s) { skip = true; break; }
+        if (!skip) out[name + "." + key] = v.as_double();
+      }
     }
     return true;
   }
