@@ -1,0 +1,215 @@
+// Network serving plane (DESIGN.md §14): what the wire protocol costs.
+// Three measurements:
+//
+//   1. Frame encode throughput — a representative 32-observation flat
+//      publish serialized + framed (encode_publish_flat + encode_frame),
+//      the per-upload cost a NetClient pays over the in-process hand-off.
+//   2. Frame decode throughput — the server side of the same stream:
+//      decode_frame (length/CRC walk) + decode_publish_flat (column
+//      rebuild), fed from one contiguous buffer of back-to-back frames.
+//   3. Loopback fleet study, socket vs in-process — the same small
+//      population run both ways; socket mode routes every device upload
+//      through a real loopback socket into the epoll server. The two
+//      runs must leave byte-identical stored state (socket_state_match
+//      is gated bit-for-bit), so the overhead ratio is the price of the
+//      wire and nothing else.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/bench_util.h"
+#include "core/goflow_server.h"
+#include "docstore/database.h"
+#include "ingest/obs_batch.h"
+#include "net/net_server.h"
+#include "net/wire.h"
+#include "phone/observation.h"
+#include "study/study.h"
+
+namespace {
+
+using namespace mps;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// A representative upload batch: 32 observations, ~half localized, a
+/// handful of users/models so the interned-string table has realistic
+/// sharing.
+std::shared_ptr<const ingest::ObsBatch> make_batch(ingest::BatchPool& pool) {
+  std::vector<phone::Observation> obs;
+  obs.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    phone::Observation o;
+    o.user = "user" + std::to_string(i % 5);
+    o.model = "model" + std::to_string(i % 3);
+    o.captured_at = 1'000'000 + i * 60'000;
+    o.spl_db = 55.0 + (i % 20);
+    o.mode = (i % 4 == 0) ? phone::SensingMode::kJourney
+                          : phone::SensingMode::kOpportunistic;
+    o.activity = phone::Activity::kStill;
+    if (i % 2 == 0) {
+      phone::LocationFix fix;
+      fix.provider = phone::LocationProvider::kGps;
+      fix.x_m = 100.0 + i;
+      fix.y_m = 200.0 + i;
+      fix.accuracy_m = 8.0;
+      o.location = fix;
+    }
+    o.span_id = static_cast<std::uint64_t>(i + 1);
+    obs.push_back(std::move(o));
+  }
+  return pool.make_batch("soundcity", "dev1", "dev1#1", 1'900'000, obs);
+}
+
+/// The docstore's observations collection as one JSON string — the same
+/// observable-state digest the equivalence suite compares.
+std::string collection_json(docstore::Database& db) {
+  Array docs;
+  db.collection("observations")
+      .for_each([&docs](const Value& doc) { docs.push_back(doc); });
+  return Value(std::move(docs)).to_json();
+}
+
+struct FleetResult {
+  double seconds = 0;
+  std::string docs_json;
+  std::uint64_t stored = 0;
+  std::uint64_t net_publishes = 0;
+};
+
+/// One clean (no-chaos) fleet study; `socket_mode` is the only variable.
+FleetResult run_fleet(bool socket_mode, const bench::BenchScale& scale) {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  net::NetServer net_server(sim, broker);
+
+  crowd::PopulationConfig pc;
+  pc.seed = scale.seed;
+  pc.device_scale = 0.01 * (scale.device_scale / 0.15);
+  pc.obs_scale = 0.05;
+  pc.horizon = days(3);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  study::StudyConfig sc;
+  sc.seed = scale.seed;
+  sc.duration_days = 2;
+  sc.drain = hours(1);
+  if (socket_mode) sc.net_server = &net_server;
+
+  study::StudyRunner runner(pop, sc, sim, broker, server);
+  auto start = std::chrono::steady_clock::now();
+  study::StudyReport report = runner.run();
+  FleetResult out;
+  out.seconds = seconds_since(start);
+  out.docs_json = collection_json(db);
+  out.stored = report.observations_stored;
+  out.net_publishes = net_server.stats().publishes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mps::bench;
+  BenchScale scale = bench_scale_from_env();
+  print_header("bench_net",
+               "Network serving plane - frame codec throughput, loopback "
+               "socket fleet vs in-process hand-off",
+               scale);
+
+  ingest::BatchPool pool;
+  std::shared_ptr<const ingest::ObsBatch> batch = make_batch(pool);
+
+  // --- 1. Frame encode ----------------------------------------------------
+  const int kFrames = 100'000;
+  std::string frame;
+  net::wire::encode_publish_flat("goflow", "observations.dev1", 1'900'000,
+                                 *batch, frame);
+  std::string one;
+  net::wire::encode_frame(net::wire::MsgType::kPublishFlat, 1, frame, one);
+  std::printf("1) encode, %d flat publish frames of %zu bytes (32 obs):\n",
+              kFrames, one.size());
+  {
+    std::string body, out;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kFrames; ++i) {
+      body.clear();
+      out.clear();
+      net::wire::encode_publish_flat("goflow", "observations.dev1", 1'900'000,
+                                     *batch, body);
+      net::wire::encode_frame(net::wire::MsgType::kPublishFlat,
+                              static_cast<std::uint64_t>(i), body, out);
+    }
+    double secs = seconds_since(start);
+    std::printf("   %.3fs (%.0f frames/s, %.1f MB/s)\n", secs, kFrames / secs,
+                kFrames * static_cast<double>(one.size()) / secs / 1e6);
+    bench_record_rate("encode_frames", kFrames, secs);
+    bench_record("frame_bytes", static_cast<double>(one.size()));
+  }
+
+  // --- 2. Frame decode ----------------------------------------------------
+  // One contiguous stream of back-to-back frames, decoded the way the
+  // server's reassembly loop walks its buffer.
+  {
+    const int kStream = 1'000;
+    std::string stream;
+    for (int i = 0; i < kStream; ++i)
+      net::wire::encode_frame(net::wire::MsgType::kPublishFlat,
+                              static_cast<std::uint64_t>(i), frame, stream);
+    const int kPasses = 100;
+    std::printf("\n2) decode, %d passes over a %d-frame stream:\n", kPasses,
+                kStream);
+    std::uint64_t decoded = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      std::size_t offset = 0;
+      net::wire::Frame f;
+      while (net::wire::decode_frame(stream, offset, f) ==
+             net::wire::DecodeResult::kOk) {
+        net::wire::PublishFlatMsg msg;
+        if (!net::wire::decode_publish_flat(f.body, msg)) {
+          std::fprintf(stderr, "decode_publish_flat failed\n");
+          return 1;
+        }
+        offset = f.end_offset;
+        ++decoded;
+      }
+    }
+    double secs = seconds_since(start);
+    std::printf("   %.3fs (%.0f frames/s, %.1f MB/s)\n", secs, decoded / secs,
+                decoded * static_cast<double>(one.size()) / secs / 1e6);
+    bench_record_rate("decode_frames", static_cast<double>(decoded), secs);
+  }
+
+  // --- 3. Loopback fleet vs in-process ------------------------------------
+  std::printf("\n3) fleet study, in-process vs loopback sockets:\n");
+  FleetResult inproc = run_fleet(false, scale);
+  FleetResult socket = run_fleet(true, scale);
+  bool match = inproc.docs_json == socket.docs_json &&
+               inproc.stored == socket.stored;
+  std::printf("   in-process %.3fs  socket %.3fs (%.2fx, %llu publishes, "
+              "state %s)\n",
+              inproc.seconds, socket.seconds,
+              inproc.seconds > 0 ? socket.seconds / inproc.seconds : 0.0,
+              static_cast<unsigned long long>(socket.net_publishes),
+              match ? "identical" : "DIVERGED");
+  bench_record("inproc_seconds", inproc.seconds);
+  bench_record("socket_seconds", socket.seconds);
+  bench_record("socket_overhead_ratio",
+               inproc.seconds > 0 ? socket.seconds / inproc.seconds : 0.0);
+  bench_record_rate("socket_publishes",
+                    static_cast<double>(socket.net_publishes), socket.seconds);
+  bench_record("observations_stored", static_cast<double>(socket.stored));
+  bench_record("socket_state_match", match ? 1.0 : 0.0);
+  return match ? 0 : 1;
+}

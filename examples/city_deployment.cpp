@@ -23,6 +23,15 @@
 //   --telemetry=series.jsonl  one JSON line per closed telemetry window
 //                             (rates + rolling p50/p95/p99), the same
 //                             data GET /metrics/series serves.
+//
+// Network serving plane (DESIGN.md §14):
+//   --net=loopback            every device publishes over a real loopback
+//                             socket through the epoll NetServer instead
+//                             of the in-process hand-off. The stored
+//                             state is byte-identical either way (the
+//                             equivalence suite pins it); combines with
+//                             --chaos=... to take the listener down with
+//                             every server kill.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +46,7 @@
 #include "core/standard_jobs.h"
 #include "durable/storage.h"
 #include "fault/fault.h"
+#include "net/net_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -51,6 +61,7 @@ int main(int argc, char** argv) {
   std::string chaos_profile;
   std::string trace_path;
   std::string telemetry_path;
+  std::string net_mode;
   std::uint64_t seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
@@ -61,11 +72,18 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
       telemetry_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--net=", 6) == 0) {
+      net_mode = argv[i] + 6;
+      if (net_mode != "loopback" && net_mode != "none") {
+        std::fprintf(stderr, "unknown --net mode '%s' (loopback|none)\n",
+                     net_mode.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--chaos=none|lossy-network|crashy-client|"
                    "server-kill|server-kill-lossy] [--seed=N] "
-                   "[--trace=FILE] [--telemetry=FILE]\n",
+                   "[--net=loopback] [--trace=FILE] [--telemetry=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -119,6 +137,16 @@ int main(int argc, char** argv) {
   study_config.journey_release = days(10);  // journey mode ships mid-study
   study_config.metrics = &registry;
   study_config.tracer = &tracker;
+
+  // --net=loopback: the fleet publishes over real sockets through the
+  // epoll server; the registry (declared above) outlives it.
+  net::NetServer net_server(sim, broker);
+  if (net_mode == "loopback") {
+    net_server.set_metrics(&registry);
+    study_config.net_server = &net_server;
+    std::printf("net: loopback sockets armed (every upload crosses the "
+                "wire)\n");
+  }
 
   // Chaos mode: arm a deterministic fault profile. Same profile + same
   // seed replays the exact fault schedule, so any invariant violation
@@ -175,6 +203,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.observations_recorded),
               static_cast<unsigned long long>(report.observations_stored),
               static_cast<unsigned long long>(report.buffered_unsent));
+
+  if (study_config.net_server != nullptr) {
+    const net::NetServerStats& ns = net_server.stats();
+    std::printf("wire: %llu connections accepted, %llu publish frames "
+                "(%llu rejected), %llu bytes in / %llu out\n\n",
+                static_cast<unsigned long long>(ns.accepted),
+                static_cast<unsigned long long>(ns.publishes),
+                static_cast<unsigned long long>(ns.frame_rejects),
+                static_cast<unsigned long long>(ns.bytes_in),
+                static_cast<unsigned long long>(ns.bytes_out));
+  }
 
   if (study_config.faults != nullptr) {
     std::printf("chaos outcome: %llu faults injected, %llu crashes, "

@@ -1,8 +1,9 @@
 #include "client/goflow_client.h"
 
 #include "common/log.h"
-#include "obs/flight_recorder.h"
+#include "net/net_client.h"
 #include "net/radio.h"
+#include "obs/flight_recorder.h"
 
 namespace mps::client {
 
@@ -299,12 +300,28 @@ void GoFlowClient::deliver_in_flight() {
   TimeMs now = sim_.now();
   // Publish a copy: a lost confirm makes us retransmit the identical
   // payload (same batch_id), which server-side idempotent ingest dedups.
-  auto result =
-      batch.flat != nullptr
-          ? broker_.publish_flat(config_.exchange, batch.routing_key,
-                                 batch.flat, now)
-          : broker_.publish(config_.exchange, batch.routing_key, batch.payload,
-                            now);
+  // With a socket transport attached the same publish travels over the
+  // wire instead; its pending outbox re-frames the payload at the retry
+  // timestamp, exactly like this in-process retry, so the two paths
+  // stay byte-equivalent.
+  auto publish_once = [&]() -> Result<broker::PublishResult> {
+    if (config_.transport != nullptr) {
+      if (batch.flat != nullptr)
+        return config_.transport->publish_flat(config_.exchange,
+                                               batch.routing_key, batch.flat,
+                                               now);
+      const Value* id = batch.payload.as_object().find("batch_id");
+      return config_.transport->publish(config_.exchange, batch.routing_key,
+                                        batch.payload, now,
+                                        id != nullptr ? id->as_string() : "");
+    }
+    return batch.flat != nullptr
+               ? broker_.publish_flat(config_.exchange, batch.routing_key,
+                                      batch.flat, now)
+               : broker_.publish(config_.exchange, batch.routing_key,
+                                 batch.payload, now);
+  };
+  auto result = publish_once();
   if (result.ok()) {
     if (batch.attempts > 1 && tracer_ != nullptr) {
       // Retries landed later than the optimistic stamp — fix it up.
@@ -331,6 +348,9 @@ void GoFlowClient::deliver_in_flight() {
                    std::make_move_iterator(batch.observations.begin()),
                    std::make_move_iterator(batch.observations.end()));
     in_flight_.reset();
+    // The observations will be re-packaged under a NEW batch id; the
+    // transport must not keep (or ever resend) the abandoned frame.
+    if (config_.transport != nullptr) config_.transport->abort_pending();
     return;
   }
   // Exponential backoff with jitter, driven by the sim clock.
@@ -365,6 +385,12 @@ void GoFlowClient::crash() {
                    std::make_move_iterator(in_flight_->observations.begin()),
                    std::make_move_iterator(in_flight_->observations.end()));
     in_flight_.reset();
+  }
+  if (config_.transport != nullptr) {
+    // The process died: its socket and any retained outbox frame die
+    // with it (the re-buffered observations get a new batch id later).
+    config_.transport->abort_pending();
+    config_.transport->disconnect();
   }
 }
 

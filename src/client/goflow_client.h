@@ -30,6 +30,10 @@
 #include "phone/phone.h"
 #include "sim/simulation.h"
 
+namespace mps::net {
+class NetClient;
+}
+
 namespace mps::client {
 
 /// Released versions of the SoundCity app (paper §5.3).
@@ -97,6 +101,13 @@ struct ClientConfig {
   /// client creates a private pool; a study shares one pool across the
   /// whole fleet so arenas recycle fleet-wide.
   ingest::BatchPool* batch_pool = nullptr;
+
+  /// Socket transport (DESIGN.md §14): when set, publishes travel over a
+  /// real loopback socket through this NetClient instead of the direct
+  /// broker call. Connection loss surfaces as kUnavailable, which the
+  /// retry/backoff machinery treats exactly like a shed; the transport's
+  /// pending outbox keeps retries byte-identical. Must outlive the client.
+  net::NetClient* transport = nullptr;
 
   /// Convenience factories matching the paper's releases.
   static ClientConfig v1_1(ClientId id, ExchangeId exchange);

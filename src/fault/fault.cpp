@@ -29,6 +29,10 @@ const char* fault_site_name(FaultSite s) {
       return "sensor_fail";
     case FaultSite::kAdmissionShed:
       return "admission_shed";
+    case FaultSite::kNetDropConn:
+      return "net_drop_conn";
+    case FaultSite::kNetTruncateFrame:
+      return "net_truncate_frame";
   }
   return "unknown";
 }

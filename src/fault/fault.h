@@ -45,9 +45,11 @@ enum class FaultSite {
   kAssimStall,         ///< assimilation cycle skips a step
   kSensorFail,         ///< sensor read produces nothing (crowd generator)
   kAdmissionShed,      ///< server admission control sheds the publish
+  kNetDropConn,        ///< net server drops the connection pre-dispatch
+  kNetTruncateFrame,   ///< net client sends a frame prefix, then dies
 };
 
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 12;
 
 const char* fault_site_name(FaultSite s);
 

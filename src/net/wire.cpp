@@ -1,0 +1,458 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "durable/wal.h"  // crc32 — the same checksum the WAL frames use
+#include "ingest/obs_batch.h"
+
+namespace mps::net::wire {
+
+namespace {
+
+/// Deepest Value nesting the decoder accepts. The middleware's documents
+/// are a handful of levels deep; anything deeper is fuzz or abuse.
+constexpr std::size_t kMaxValueDepth = 64;
+
+/// Largest observation count a flat publish may claim. Bounded again
+/// against the remaining bytes before any reserve.
+constexpr std::uint32_t kMaxBatchRows = 1u << 20;
+
+void put_u32(std::uint32_t v, std::string& out) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(b, 4);
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+bool msg_type_valid(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::kPong);
+}
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloOk: return "hello_ok";
+    case MsgType::kPublish: return "publish";
+    case MsgType::kPublishFlat: return "publish_flat";
+    case MsgType::kPublishOk: return "publish_ok";
+    case MsgType::kPublishErr: return "publish_err";
+    case MsgType::kMetricsQuery: return "metrics_query";
+    case MsgType::kMetricsReply: return "metrics_reply";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+  }
+  return "unknown";
+}
+
+// --- Frame codec -------------------------------------------------------
+
+void encode_frame(MsgType type, std::uint64_t request_id,
+                  std::string_view body, std::string& out) {
+  std::uint32_t payload_len =
+      static_cast<std::uint32_t>(kFramePreludeBytes + body.size());
+  put_u32(payload_len, out);
+  std::size_t crc_at = out.size();
+  put_u32(0, out);  // CRC patched below, once the payload bytes exist
+  std::size_t payload_at = out.size();
+  out.push_back(static_cast<char>(type));
+  put_u32(static_cast<std::uint32_t>(request_id & 0xffffffffu), out);
+  put_u32(static_cast<std::uint32_t>(request_id >> 32), out);
+  out.append(body);
+  std::uint32_t crc = durable::crc32(
+      std::string_view(out.data() + payload_at, payload_len));
+  char b[4];
+  b[0] = static_cast<char>(crc & 0xff);
+  b[1] = static_cast<char>((crc >> 8) & 0xff);
+  b[2] = static_cast<char>((crc >> 16) & 0xff);
+  b[3] = static_cast<char>((crc >> 24) & 0xff);
+  std::memcpy(out.data() + crc_at, b, 4);
+}
+
+DecodeResult decode_frame(std::string_view buffer, std::size_t offset,
+                          Frame& out) {
+  if (offset > buffer.size()) return DecodeResult::kCorrupt;
+  std::size_t avail = buffer.size() - offset;
+  if (avail < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  const char* p = buffer.data() + offset;
+  std::uint32_t payload_len = get_u32(p);
+  // A length that cannot hold the prelude, or exceeds the hard bound, is
+  // garbage — reject before it can pin a huge reassembly buffer.
+  if (payload_len < kFramePreludeBytes || payload_len > kMaxFramePayload)
+    return DecodeResult::kCorrupt;
+  if (avail < kFrameHeaderBytes + payload_len) return DecodeResult::kNeedMore;
+  std::uint32_t want_crc = get_u32(p + 4);
+  std::string_view payload(p + kFrameHeaderBytes, payload_len);
+  if (durable::crc32(payload) != want_crc) return DecodeResult::kCorrupt;
+  std::uint8_t raw_type = static_cast<std::uint8_t>(payload[0]);
+  if (!msg_type_valid(raw_type)) return DecodeResult::kCorrupt;
+  out.type = static_cast<MsgType>(raw_type);
+  out.request_id = get_u64(payload.data() + 1);
+  out.body = payload.substr(kFramePreludeBytes);
+  out.end_offset = offset + kFrameHeaderBytes + payload_len;
+  return DecodeResult::kOk;
+}
+
+// --- Primitive body codec ----------------------------------------------
+
+void Writer::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+void Writer::u32(std::uint32_t v) { put_u32(v, out_); }
+void Writer::u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v & 0xffffffffu), out_);
+  put_u32(static_cast<std::uint32_t>(v >> 32), out_);
+}
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+bool Reader::u8(std::uint8_t& v) {
+  if (data_.size() - pos_ < 1) return false;
+  v = static_cast<std::uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return true;
+}
+bool Reader::u32(std::uint32_t& v) {
+  if (data_.size() - pos_ < 4) return false;
+  v = get_u32(data_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+bool Reader::u64(std::uint64_t& v) {
+  if (data_.size() - pos_ < 8) return false;
+  v = get_u64(data_.data() + pos_);
+  pos_ += 8;
+  return true;
+}
+bool Reader::i64(std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+bool Reader::f64(double& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = std::bit_cast<double>(u);
+  return true;
+}
+bool Reader::str(std::string_view& s) {
+  std::uint32_t len = 0;
+  if (!u32(len)) return false;
+  if (data_.size() - pos_ < len) return false;
+  s = data_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+// --- Value codec --------------------------------------------------------
+
+namespace {
+
+void encode_value_rec(const Value& v, std::string& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      w.u8(v.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      w.i64(v.as_int());
+      break;
+    case Value::Type::kDouble:
+      w.f64(v.as_double());
+      break;
+    case Value::Type::kString:
+      w.str(v.as_string());
+      break;
+    case Value::Type::kArray: {
+      const Array& a = v.as_array();
+      w.u32(static_cast<std::uint32_t>(a.size()));
+      for (const Value& e : a) encode_value_rec(e, out);
+      break;
+    }
+    case Value::Type::kObject: {
+      const Object& o = v.as_object();
+      w.u32(static_cast<std::uint32_t>(o.size()));
+      for (const auto& [key, val] : o) {
+        w.str(key);
+        encode_value_rec(val, out);
+      }
+      break;
+    }
+  }
+}
+
+bool decode_value_rec(Reader& r, Value& out, std::size_t depth) {
+  if (depth > kMaxValueDepth) return false;
+  std::uint8_t tag = 0;
+  if (!r.u8(tag)) return false;
+  switch (static_cast<Value::Type>(tag)) {
+    case Value::Type::kNull:
+      out = Value();
+      return true;
+    case Value::Type::kBool: {
+      std::uint8_t b = 0;
+      if (!r.u8(b) || b > 1) return false;
+      out = Value(b == 1);
+      return true;
+    }
+    case Value::Type::kInt: {
+      std::int64_t i = 0;
+      if (!r.i64(i)) return false;
+      out = Value(i);
+      return true;
+    }
+    case Value::Type::kDouble: {
+      double d = 0;
+      if (!r.f64(d)) return false;
+      out = Value(d);
+      return true;
+    }
+    case Value::Type::kString: {
+      std::string_view s;
+      if (!r.str(s)) return false;
+      out = Value(std::string(s));
+      return true;
+    }
+    case Value::Type::kArray: {
+      std::uint32_t n = 0;
+      if (!r.u32(n)) return false;
+      // Every element costs at least its tag byte: a count beyond the
+      // remaining bytes is a lie, rejected before the reserve.
+      if (n > r.remaining()) return false;
+      Array a;
+      a.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Value e;
+        if (!decode_value_rec(r, e, depth + 1)) return false;
+        a.push_back(std::move(e));
+      }
+      out = Value(std::move(a));
+      return true;
+    }
+    case Value::Type::kObject: {
+      std::uint32_t n = 0;
+      if (!r.u32(n)) return false;
+      if (n > r.remaining()) return false;
+      Object o;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string_view key;
+        Value val;
+        if (!r.str(key)) return false;
+        if (!decode_value_rec(r, val, depth + 1)) return false;
+        o.set(std::string(key), std::move(val));
+      }
+      out = Value(std::move(o));
+      return true;
+    }
+  }
+  return false;  // unknown tag
+}
+
+}  // namespace
+
+void encode_value(const Value& v, std::string& out) {
+  encode_value_rec(v, out);
+}
+
+bool decode_value(Reader& r, Value& out) {
+  return decode_value_rec(r, out, 0);
+}
+
+// --- Messages -----------------------------------------------------------
+
+void encode_hello(const HelloMsg& m, std::string& out) {
+  Writer w(out);
+  w.u32(m.version);
+  w.str(m.client_id);
+}
+
+bool decode_hello(std::string_view body, HelloMsg& out) {
+  Reader r(body);
+  std::string_view id;
+  if (!r.u32(out.version) || !r.str(id) || !r.done()) return false;
+  out.client_id.assign(id);
+  return true;
+}
+
+void encode_publish(const PublishMsg& m, std::string& out) {
+  Writer w(out);
+  w.str(m.exchange);
+  w.str(m.routing_key);
+  w.i64(m.published_at);
+  encode_value(m.payload, out);
+}
+
+bool decode_publish(std::string_view body, PublishMsg& out) {
+  Reader r(body);
+  std::string_view exchange, key;
+  if (!r.str(exchange) || !r.str(key) || !r.i64(out.published_at))
+    return false;
+  if (!decode_value(r, out.payload) || !r.done()) return false;
+  out.exchange.assign(exchange);
+  out.routing_key.assign(key);
+  return true;
+}
+
+void encode_publish_flat(const std::string& exchange,
+                         const std::string& routing_key, TimeMs published_at,
+                         const ingest::ObsBatch& batch, std::string& out) {
+  Writer w(out);
+  w.str(exchange);
+  w.str(routing_key);
+  w.i64(published_at);
+  w.str(batch.app());
+  w.str(batch.client());
+  w.str(batch.batch_id());
+  w.i64(batch.sent_at());
+  w.u32(static_cast<std::uint32_t>(batch.size()));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    w.u64(batch.span_id(i));
+    w.str(batch.user(i));
+    w.str(batch.model(i));
+    w.i64(batch.captured_at(i));
+    w.f64(batch.spl_db(i));
+    w.u8(static_cast<std::uint8_t>(batch.mode(i)));
+    w.u8(static_cast<std::uint8_t>(batch.activity(i)));
+    w.u8(batch.has_location(i) ? 1 : 0);
+    if (batch.has_location(i)) {
+      w.u8(static_cast<std::uint8_t>(batch.provider(i)));
+      w.f64(batch.x_m(i));
+      w.f64(batch.y_m(i));
+      w.f64(batch.accuracy_m(i));
+    }
+  }
+}
+
+bool decode_publish_flat(std::string_view body, PublishFlatMsg& out) {
+  Reader r(body);
+  std::string_view exchange, key, app, client, batch_id;
+  if (!r.str(exchange) || !r.str(key) || !r.i64(out.published_at) ||
+      !r.str(app) || !r.str(client) || !r.str(batch_id) ||
+      !r.i64(out.sent_at))
+    return false;
+  std::uint32_t count = 0;
+  if (!r.u32(count)) return false;
+  // Each row needs >= 24 bytes (span id + two string lengths + fixed
+  // fields); a count that cannot fit is rejected before the reserve.
+  if (count > kMaxBatchRows || static_cast<std::size_t>(count) * 24 >
+                                   r.remaining() + 24)
+    return false;
+  out.observations.clear();
+  out.observations.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    phone::Observation obs;
+    std::string_view user, model;
+    std::uint8_t mode = 0, activity = 0, has_loc = 0;
+    if (!r.u64(obs.span_id) || !r.str(user) || !r.str(model) ||
+        !r.i64(obs.captured_at) || !r.f64(obs.spl_db) || !r.u8(mode) ||
+        !r.u8(activity) || !r.u8(has_loc))
+      return false;
+    if (mode > static_cast<std::uint8_t>(phone::SensingMode::kJourney) ||
+        activity > static_cast<std::uint8_t>(phone::Activity::kVehicle) ||
+        has_loc > 1)
+      return false;
+    obs.user.assign(user);
+    obs.model.assign(model);
+    obs.mode = static_cast<phone::SensingMode>(mode);
+    obs.activity = static_cast<phone::Activity>(activity);
+    if (has_loc == 1) {
+      std::uint8_t provider = 0;
+      phone::LocationFix fix;
+      if (!r.u8(provider) || !r.f64(fix.x_m) || !r.f64(fix.y_m) ||
+          !r.f64(fix.accuracy_m))
+        return false;
+      if (provider > static_cast<std::uint8_t>(phone::LocationProvider::kFused))
+        return false;
+      fix.provider = static_cast<phone::LocationProvider>(provider);
+      obs.location = fix;
+    }
+    out.observations.push_back(std::move(obs));
+  }
+  if (!r.done()) return false;
+  out.exchange.assign(exchange);
+  out.routing_key.assign(key);
+  out.app.assign(app);
+  out.client.assign(client);
+  out.batch_id.assign(batch_id);
+  return true;
+}
+
+void encode_publish_ok(const PublishOkMsg& m, std::string& out) {
+  Writer w(out);
+  w.u64(m.sequence);
+  w.u32(m.queues_delivered);
+}
+
+bool decode_publish_ok(std::string_view body, PublishOkMsg& out) {
+  Reader r(body);
+  return r.u64(out.sequence) && r.u32(out.queues_delivered) && r.done();
+}
+
+void encode_publish_err(const PublishErrMsg& m, std::string& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(m.code));
+  w.str(m.message);
+}
+
+bool decode_publish_err(std::string_view body, PublishErrMsg& out) {
+  Reader r(body);
+  std::uint8_t code = 0;
+  std::string_view message;
+  if (!r.u8(code) || !r.str(message) || !r.done()) return false;
+  if (code > static_cast<std::uint8_t>(ErrorCode::kInternal)) return false;
+  out.code = static_cast<ErrorCode>(code);
+  out.message.assign(message);
+  return true;
+}
+
+void encode_metrics_query(const MetricsQueryMsg& m, std::string& out) {
+  Writer w(out);
+  w.str(m.prefix);
+}
+
+bool decode_metrics_query(std::string_view body, MetricsQueryMsg& out) {
+  Reader r(body);
+  std::string_view prefix;
+  if (!r.str(prefix) || !r.done()) return false;
+  out.prefix.assign(prefix);
+  return true;
+}
+
+void encode_metrics_reply(const MetricsReplyMsg& m, std::string& out) {
+  Writer w(out);
+  w.str(m.text);
+}
+
+bool decode_metrics_reply(std::string_view body, MetricsReplyMsg& out) {
+  Reader r(body);
+  std::string_view text;
+  if (!r.str(text) || !r.done()) return false;
+  out.text.assign(text);
+  return true;
+}
+
+}  // namespace mps::net::wire

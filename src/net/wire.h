@@ -1,0 +1,220 @@
+// The GoFlow wire protocol: a length-prefixed, CRC32-framed binary
+// protocol carrying observation-batch publishes, acks/sheds and metrics
+// queries between real socket endpoints (DESIGN.md §14).
+//
+// Frame layout (all integers little-endian, fixed width — the WAL frame
+// discipline of src/durable applied to a socket stream):
+//
+//   [u32 payload_len][u32 crc32][u8 type][u64 request_id][body bytes]
+//
+// payload_len counts everything after the crc field (type + request_id +
+// body); the CRC covers that same region, so a frame whose length field
+// survived a partial write but whose body didn't is still rejected —
+// exactly the WAL's torn-record rule. A stream position either yields a
+// whole valid frame, "need more bytes" (reassembly continues), or
+// "corrupt" (the connection is poisoned and must be closed — unlike the
+// WAL there is no later valid prefix to resync to on a byte stream).
+//
+// Body encodings are fixed-width/length-prefixed primitives (Writer/
+// Reader below). Two payload families matter:
+//   - document publishes carry a full Value tree in a binary encoding
+//     whose doubles round-trip bit-exactly (bit_cast, not text);
+//   - flat publishes carry the ObsBatch columns row-wise; the receiving
+//     side rebuilds the batch through its own BatchPool, which is
+//     deterministic, so server-side state is byte-identical to the
+//     in-process hand-off.
+//
+// Every decoder is hostile-input safe: lengths are bounded against the
+// remaining byte count before any allocation, enum bytes are range-
+// checked, Value nesting is depth-capped, and no read ever passes the
+// buffer end — the frame-fuzz suite (tests/netserve) flips, truncates
+// and splices encoded streams to pin this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "phone/observation.h"
+
+namespace mps::ingest {
+class ObsBatch;
+}
+
+namespace mps::net::wire {
+
+/// Protocol version carried in the Hello exchange.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard bound on a frame's payload (type + request id + body). Anything
+/// larger is corrupt by definition — a garbage length field must never
+/// make the reassembly buffer balloon.
+inline constexpr std::uint32_t kMaxFramePayload = 8u << 20;
+
+/// Bytes before the body: [len][crc] header plus [type][request_id].
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4;
+inline constexpr std::size_t kFramePreludeBytes = 1 + 8;
+
+/// Message types. Requests carry a client-chosen request id; the matching
+/// response echoes it.
+enum class MsgType : std::uint8_t {
+  kHello = 1,        ///< client -> server: protocol version + client id
+  kHelloOk = 2,      ///< server -> client: accepted version
+  kPublish = 3,      ///< document-path batch publish (Value payload)
+  kPublishFlat = 4,  ///< flat-path batch publish (ObsBatch columns)
+  kPublishOk = 5,    ///< ack: broker sequence + queues delivered
+  kPublishErr = 6,   ///< shed/reject: ErrorCode + message
+  kMetricsQuery = 7, ///< registry text export, filtered by prefix
+  kMetricsReply = 8,
+  kPing = 9,
+  kPong = 10,
+};
+
+/// True for byte values that name a MsgType.
+bool msg_type_valid(std::uint8_t raw);
+const char* msg_type_name(MsgType t);
+
+// --- Frame codec -------------------------------------------------------
+
+/// Appends one framed message to `out`.
+void encode_frame(MsgType type, std::uint64_t request_id,
+                  std::string_view body, std::string& out);
+
+/// One decoded frame. `body` views into the scanned buffer and is only
+/// valid until the buffer mutates.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::string_view body;
+  std::size_t end_offset = 0;  ///< offset just past this frame
+};
+
+enum class DecodeResult {
+  kOk,        ///< `out` holds a valid frame
+  kNeedMore,  ///< partial frame: keep the bytes, read more
+  kCorrupt,   ///< bad length/CRC/type: poison the connection
+};
+
+/// Decodes the frame at `offset`. Never reads past buffer.size() and
+/// never allocates.
+DecodeResult decode_frame(std::string_view buffer, std::size_t offset,
+                          Frame& out);
+
+// --- Primitive body codec ----------------------------------------------
+
+/// Appends fixed-width little-endian primitives to a byte string.
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);  ///< bit-exact (bit_cast to u64)
+  void str(std::string_view s);  ///< u32 length + bytes
+
+ private:
+  std::string& out_;
+};
+
+/// Bounds-checked reader over one frame body. Every getter returns false
+/// (leaving the cursor unspecified) instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+  bool u8(std::uint8_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool i64(std::int64_t& v);
+  bool f64(double& v);
+  bool str(std::string_view& s);  ///< views into the frame body
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Value codec --------------------------------------------------------
+
+/// Binary encoding of a Value tree (tag byte + primitives; objects keep
+/// key order). Exact: decode(encode(v)) == v, doubles bit-for-bit.
+void encode_value(const Value& v, std::string& out);
+
+/// Decodes one Value; false on malformed/truncated/over-deep input.
+bool decode_value(Reader& r, Value& out);
+
+// --- Messages -----------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string client_id;
+};
+void encode_hello(const HelloMsg& m, std::string& out);
+bool decode_hello(std::string_view body, HelloMsg& out);
+
+/// Document-path publish: the batch document exactly as the in-process
+/// client would hand it to Broker::publish.
+struct PublishMsg {
+  std::string exchange;
+  std::string routing_key;
+  TimeMs published_at = 0;
+  Value payload;
+};
+void encode_publish(const PublishMsg& m, std::string& out);
+bool decode_publish(std::string_view body, PublishMsg& out);
+
+/// Flat-path publish: the ObsBatch serialized row-wise. The receiver
+/// rebuilds the batch through its own BatchPool (deterministic), so the
+/// server-visible batch is identical to the in-process shared_ptr.
+struct PublishFlatMsg {
+  std::string exchange;
+  std::string routing_key;
+  TimeMs published_at = 0;
+  std::string app;
+  std::string client;
+  std::string batch_id;
+  TimeMs sent_at = 0;
+  std::vector<phone::Observation> observations;
+};
+void encode_publish_flat(const std::string& exchange,
+                         const std::string& routing_key, TimeMs published_at,
+                         const ingest::ObsBatch& batch, std::string& out);
+bool decode_publish_flat(std::string_view body, PublishFlatMsg& out);
+
+/// Publish response: either an ack (kPublishOk) or an error (kPublishErr)
+/// carrying the exact ErrorCode + message the broker produced, so the
+/// client-side Result is indistinguishable from an in-process publish.
+struct PublishOkMsg {
+  std::uint64_t sequence = 0;
+  std::uint32_t queues_delivered = 0;
+};
+void encode_publish_ok(const PublishOkMsg& m, std::string& out);
+bool decode_publish_ok(std::string_view body, PublishOkMsg& out);
+
+struct PublishErrMsg {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+void encode_publish_err(const PublishErrMsg& m, std::string& out);
+bool decode_publish_err(std::string_view body, PublishErrMsg& out);
+
+struct MetricsQueryMsg {
+  std::string prefix;  ///< empty = full export
+};
+void encode_metrics_query(const MetricsQueryMsg& m, std::string& out);
+bool decode_metrics_query(std::string_view body, MetricsQueryMsg& out);
+
+struct MetricsReplyMsg {
+  std::string text;
+};
+void encode_metrics_reply(const MetricsReplyMsg& m, std::string& out);
+bool decode_metrics_reply(std::string_view body, MetricsReplyMsg& out);
+
+}  // namespace mps::net::wire

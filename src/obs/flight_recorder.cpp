@@ -22,6 +22,9 @@ const char* fr_event_name(FrEvent e) {
     case FrEvent::kServerSnapshot: return "server_snapshot";
     case FrEvent::kExecChunkClaim: return "exec_chunk_claim";
     case FrEvent::kInvariantViolation: return "invariant_violation";
+    case FrEvent::kNetConnect: return "net_connect";
+    case FrEvent::kNetDisconnect: return "net_disconnect";
+    case FrEvent::kNetFrameReject: return "net_frame_reject";
   }
   return "?";
 }

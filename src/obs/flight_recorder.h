@@ -55,9 +55,12 @@ enum class FrEvent : std::uint8_t {
   kServerSnapshot,      ///< a = snapshot count
   kExecChunkClaim,      ///< a = chunk index, b = chunks in region
   kInvariantViolation,  ///< a = lost, b = dup + order violations
+  kNetConnect,          ///< a = connection id, b = total accepted
+  kNetDisconnect,       ///< a = connection id, b = close reason
+  kNetFrameReject,      ///< a = connection id, b = total rejects
 };
 
-inline constexpr std::size_t kFrEventCount = 14;
+inline constexpr std::size_t kFrEventCount = 17;
 
 const char* fr_event_name(FrEvent e);
 

@@ -69,6 +69,25 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   cc.flat_ingest = config_.flat_ingest;
   if (config_.flat_ingest) cc.batch_pool = &pool_;
 
+  // Socket mode: a per-device NetClient over loopback. Each device owns
+  // its transport (the pending-outbox retry protocol is per-connection),
+  // all pointed at the one study server; the pump callback drives the
+  // server's event loop from inside the client's exchange, so a round
+  // trip completes within the device's own sim event and the event
+  // schedule is identical to in-process mode.
+  if (config_.net_server != nullptr) {
+    net::NetServer* srv = config_.net_server;
+    net::NetClientConfig nc;
+    nc.port = srv->port();
+    nc.client_id = profile.id;
+    device.transport = std::make_unique<net::NetClient>(sim_, std::move(nc));
+    device.transport->set_pump([srv] { srv->pump(); });
+    if (config_.faults != nullptr) device.transport->arm_faults(config_.faults);
+    if (config_.metrics != nullptr)
+      device.transport->set_metrics(config_.metrics);
+    cc.transport = device.transport.get();
+  }
+
   // Ambient and position track the user's simulated life.
   Rng ambient_rng = Rng(profile.seed).child("study-ambient");
   const crowd::UserProfile* p = &profile;
@@ -153,10 +172,21 @@ void StudyRunner::schedule_device_churn(Device& device) {
 void StudyRunner::schedule_server_churn() {
   TimeMs horizon = days(config_.duration_days);
   core::ServerLifecycle* lc = config_.lifecycle;
+  // The net server (when present) dies and returns with the middleware
+  // host, inside the *same* sim events — socket mode must schedule
+  // exactly the events the in-process oracle schedules, or insertion-id
+  // tie-breaks diverge and byte equivalence is lost.
+  net::NetServer* ns = config_.net_server;
   for (const fault::FaultPlan::CrashEvent& ev :
        config_.faults->server_kill_schedule(horizon)) {
-    sim_.at(ev.at, [lc] { lc->crash(); });
-    sim_.at(ev.at + ev.down_for, [lc] { lc->recover(); });
+    sim_.at(ev.at, [lc, ns] {
+      lc->crash();
+      if (ns != nullptr) ns->crash();
+    });
+    sim_.at(ev.at + ev.down_for, [lc, ns] {
+      lc->recover();
+      if (ns != nullptr) ns->recover().throw_if_error();
+    });
   }
 }
 
@@ -184,6 +214,15 @@ StudyReport StudyRunner::run() {
   }
   if (config_.flat_ingest && config_.metrics != nullptr)
     pool_.set_metrics(config_.metrics);
+  if (config_.net_server != nullptr) {
+    // Must be listening before build_device captures the port.
+    if (!config_.net_server->listening())
+      config_.net_server->start().throw_if_error();
+    if (config_.faults != nullptr)
+      config_.net_server->arm_faults(config_.faults);
+    if (config_.metrics != nullptr)
+      config_.net_server->set_metrics(config_.metrics);
+  }
 
   devices_.reserve(population_.users().size());
   for (const crowd::UserProfile& profile : population_.users())
@@ -204,8 +243,11 @@ StudyReport StudyRunner::run() {
   sim_.run_until(horizon + config_.drain);
   // A kill close to the horizon can leave the server mid-downtime after
   // the drain; the books must close against a recovered store.
-  if (config_.lifecycle != nullptr && config_.lifecycle->down())
+  if (config_.lifecycle != nullptr && config_.lifecycle->down()) {
     config_.lifecycle->recover();
+    if (config_.net_server != nullptr && !config_.net_server->listening())
+      config_.net_server->recover().throw_if_error();
+  }
 
   // Chaos ends with the study: disarm the shared infrastructure so
   // post-run operation (REST jobs, exports — which have no retry path)
@@ -214,6 +256,11 @@ StudyReport StudyRunner::run() {
     broker_.arm_faults(nullptr);
     server_.database().arm_faults(nullptr);
     server_.arm_faults(nullptr);
+    if (config_.net_server != nullptr) {
+      config_.net_server->arm_faults(nullptr);
+      for (Device& device : devices_)
+        if (device.transport != nullptr) device.transport->arm_faults(nullptr);
+    }
   }
 
   StudyReport report;

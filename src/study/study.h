@@ -26,6 +26,8 @@
 #include "crowd/population.h"
 #include "exec/executor.h"
 #include "fault/fault.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 
 namespace mps::study {
 
@@ -77,6 +79,15 @@ struct StudyConfig {
   /// study figures) is identical either way; off = the document oracle
   /// path the equivalence suite compares against.
   bool flat_ingest = true;
+  /// Socket mode (DESIGN.md §14): when set, every device publishes over
+  /// a real loopback socket through a per-device NetClient pointed at
+  /// this server, which dispatches into the same broker — the fleet
+  /// study closes over the wire. The runner starts the server if needed,
+  /// combines its crash/recovery with the lifecycle's server churn (same
+  /// sim events, so event ordering — and therefore every tie-break — is
+  /// identical to in-process mode), and arms the net fault sites when a
+  /// plan is armed. Null = the in-process oracle hand-off.
+  net::NetServer* net_server = nullptr;
   /// Optional compute plane for the post-run per-device report
   /// aggregation (the study analytics reduce). The simulation itself
   /// stays single-threaded regardless — the kernel must never run on a
@@ -133,6 +144,9 @@ class StudyRunner {
   struct Device {
     const crowd::UserProfile* profile;
     std::unique_ptr<phone::Phone> phone;
+    /// Socket transport (socket mode only; built before the client so
+    /// the client can point at it).
+    std::unique_ptr<net::NetClient> transport;
     std::unique_ptr<client::GoFlowClient> client;
   };
 

@@ -1,0 +1,322 @@
+// NetClient tests: the socket transport's failure semantics and, above
+// all, the reconnect/outbox regression (ISSUE satellite 4): a NetClient
+// whose publish was processed but never acked — or whose server died and
+// restarted between attempts — re-sends the pending outbox frame,
+// byte-identical (same request id), and server-side idempotent dedup
+// absorbs the duplicate so the observation count stays exactly-once.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "core/goflow_server.h"
+#include "docstore/database.h"
+#include "fault/fault.h"
+#include "ingest/obs_batch.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "obs/metrics.h"
+#include "sim/simulation.h"
+
+namespace mps::net {
+namespace {
+
+/// Full middleware stack behind a socket front door: GoFlow server (with
+/// its synchronous ingest consumer on the "goflow.ingest" queue), a
+/// NetServer on an ephemeral loopback port, and one NetClient pumping it.
+struct WiredStack {
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server{sim, broker, db};
+  NetServer net_server;
+  std::unique_ptr<NetClient> client;
+  ingest::BatchPool pool;
+  std::string exchange;
+
+  explicit WiredStack(NetServerConfig server_config = {})
+      : net_server(sim, broker, std::move(server_config)) {
+    net_server.start().throw_if_error();
+    NetClientConfig cc;
+    cc.port = net_server.port();
+    cc.client_id = "c1";
+    client = std::make_unique<NetClient>(sim, std::move(cc));
+    client->set_pump([this] { net_server.pump(); });
+
+    auto reg = server.register_app("soundcity").value_or_throw();
+    std::string token =
+        server
+            .register_account(reg.admin_token, "soundcity", "u1",
+                              core::Role::kClient)
+            .value_or_throw();
+    exchange = server.login_client(token, "soundcity", "c1")
+                   .value_or_throw()
+                   .exchange;
+  }
+
+  std::shared_ptr<const ingest::ObsBatch> make_batch(int counter,
+                                                     int rows = 4) {
+    std::vector<phone::Observation> observations;
+    for (int i = 0; i < rows; ++i) {
+      phone::Observation obs;
+      obs.user = "u1";
+      obs.model = "m1";
+      obs.captured_at = minutes(counter * 10 + i);
+      obs.spl_db = 48.0 + i;
+      observations.push_back(obs);
+    }
+    return pool.make_batch("soundcity", "c1", "c1#" + std::to_string(counter),
+                           minutes(counter * 10), observations);
+  }
+
+  Result<broker::PublishResult> publish(
+      const std::shared_ptr<const ingest::ObsBatch>& batch, TimeMs now) {
+    return client->publish_flat(exchange, "soundcity.obs.c1", batch, now);
+  }
+};
+
+TEST(NetClient, PublishFlatRoundTripsThroughLoopback) {
+  WiredStack s;
+  auto batch = s.make_batch(1);
+  auto result = s.publish(batch, minutes(11));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().queues_delivered, 1u);
+  EXPECT_FALSE(s.client->has_pending());
+  EXPECT_EQ(s.client->stats().publishes, 1u);
+  EXPECT_EQ(s.client->stats().connects, 1u);
+
+  // The GoFlow server consumed the batch synchronously inside the pump.
+  EXPECT_EQ(s.server.total_batches(), 1u);
+  EXPECT_EQ(s.server.total_observations(), 4u);
+  EXPECT_EQ(s.server.duplicate_batches(), 0u);
+}
+
+TEST(NetClient, DocumentPublishCarriesTheValuePayload) {
+  WiredStack s;
+  auto batch = s.make_batch(2);
+  Value doc = batch->to_batch_document();
+  auto result = s.client->publish(s.exchange, "soundcity.obs.c1", doc,
+                                  minutes(21), "c1#2");
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(s.server.total_batches(), 1u);
+  EXPECT_EQ(s.server.total_observations(), 4u);
+}
+
+// --- The satellite-4 regression ----------------------------------------
+
+TEST(NetClient, ProcessedButUnackedPublishIsResentOnceAndDeduped) {
+  WiredStack s;
+  // The server will process the next request, then close the connection
+  // before the ack leaves: the client cannot distinguish this from a
+  // publish that never arrived. The connection is fresh (this publish
+  // triggers the connect), so the loss is NOT transparently retried —
+  // the failure surfaces to the caller, whose backoff owns the retry.
+  s.net_server.fail_next_ack(1);
+
+  auto batch = s.make_batch(1);
+  auto first = s.publish(batch, minutes(11));
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, ErrorCode::kUnavailable);
+  // The work happened server-side; the client retains the outbox.
+  EXPECT_EQ(s.server.total_batches(), 1u);
+  EXPECT_EQ(s.server.total_observations(), 4u);
+  EXPECT_TRUE(s.client->has_pending());
+  EXPECT_EQ(s.client->stats().publish_failures, 1u);
+  EXPECT_EQ(s.client->stats().transparent_retries, 0u);
+
+  // The caller's retry re-sends the retained frame exactly once; the
+  // duplicate batch id is absorbed by the server's dedup, so the
+  // observation count does not move.
+  auto second = s.publish(batch, minutes(12));
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_EQ(s.client->stats().resends, 1u);
+  EXPECT_EQ(s.client->stats().connects, 2u);
+  EXPECT_FALSE(s.client->has_pending());
+  EXPECT_EQ(s.server.duplicate_batches(), 1u);
+  EXPECT_EQ(s.server.total_observations(), 4u);      // exactly once
+  EXPECT_EQ(s.server.duplicate_observations(), 0u);  // whole batch deduped
+}
+
+TEST(NetClient, WarmConnectionAbsorbsLostAckTransparently) {
+  WiredStack s;
+  ASSERT_TRUE(s.publish(s.make_batch(1), minutes(11)).ok());
+
+  // On an established connection a lost ack with zero response bytes is
+  // indistinguishable from an idle-close race, so the client reconnects
+  // and re-sends once transparently; the server's dedup absorbs the
+  // duplicate and the caller never sees a failure.
+  s.net_server.fail_next_ack(1);
+  auto result = s.publish(s.make_batch(2), minutes(21));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(s.client->stats().transparent_retries, 1u);
+  EXPECT_EQ(s.client->stats().publish_failures, 0u);
+  EXPECT_EQ(s.server.duplicate_batches(), 1u);
+  EXPECT_EQ(s.server.total_observations(), 8u);  // both batches exactly once
+}
+
+TEST(NetClient, ServerRestartBetweenRetriesResendsPendingExactlyOnce) {
+  WiredStack s;
+  s.net_server.fail_next_ack(1);
+  auto batch = s.make_batch(3);
+  auto first = s.publish(batch, minutes(31));
+  ASSERT_FALSE(first.ok());
+  ASSERT_TRUE(s.client->has_pending());
+  EXPECT_EQ(s.server.total_observations(), 4u);
+
+  // The serving process restarts (same port) before the retry.
+  s.net_server.crash();
+  EXPECT_FALSE(s.net_server.listening());
+  s.net_server.recover().throw_if_error();
+  EXPECT_TRUE(s.net_server.listening());
+
+  auto second = s.publish(batch, minutes(32));
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_EQ(s.client->stats().resends, 1u);
+  EXPECT_EQ(s.server.total_observations(), 4u);
+  EXPECT_EQ(s.server.duplicate_batches(), 1u);
+  // Reconnect happened exactly once more (initial + after restart).
+  EXPECT_EQ(s.client->stats().connects, 2u);
+}
+
+TEST(NetClient, DowntimeSurfacesAsUnavailableAndOutboxSurvives) {
+  WiredStack s;
+  ASSERT_TRUE(s.publish(s.make_batch(4), minutes(41)).ok());
+
+  s.net_server.crash();
+  auto batch2 = s.make_batch(5);
+  auto down = s.publish(batch2, minutes(51));
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.error().code, ErrorCode::kUnavailable);
+  EXPECT_TRUE(s.client->has_pending());
+  EXPECT_FALSE(s.client->connected());
+  EXPECT_GE(s.client->stats().connect_failures, 1u);
+
+  s.net_server.recover().throw_if_error();
+  auto retry = s.publish(batch2, minutes(52));
+  ASSERT_TRUE(retry.ok()) << retry.error().message;
+  EXPECT_EQ(s.client->stats().resends, 1u);
+  // The frame sent into the dead socket never reached the broker, so the
+  // retry is a first delivery — no duplicate.
+  EXPECT_EQ(s.server.total_observations(), 8u);
+  EXPECT_EQ(s.server.duplicate_batches(), 0u);
+}
+
+TEST(NetClient, TransparentReconnectAfterIdleCloseIsInvisible) {
+  NetServerConfig sc;
+  sc.idle_timeout = minutes(5);
+  WiredStack s(std::move(sc));
+  ASSERT_TRUE(s.publish(s.make_batch(6), minutes(1)).ok());
+
+  // A long quiet period: the server idle-closes the connection at its
+  // next pump. The next publish finds the dead socket, reconnects and
+  // re-sends transparently — no failure surfaces to the caller.
+  s.sim.run_until(minutes(30));
+  auto result = s.publish(s.make_batch(7), minutes(30));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(s.client->stats().transparent_retries, 1u);
+  EXPECT_EQ(s.client->stats().publish_failures, 0u);
+  EXPECT_EQ(s.server.total_observations(), 8u);
+  EXPECT_EQ(s.server.duplicate_batches(), 0u);
+  EXPECT_GE(s.net_server.stats().idle_closes, 1u);
+}
+
+TEST(NetClient, ErrorResponseIsIndistinguishableFromInProcessPublish) {
+  WiredStack s;
+  auto batch = s.make_batch(8);
+
+  // Oracle: the exact Result the in-process path produces for a publish
+  // to a nonexistent exchange.
+  auto oracle = s.broker.publish_flat("no-such-exchange", "soundcity.obs.c1",
+                                      batch, minutes(81));
+  ASSERT_FALSE(oracle.ok());
+
+  auto wire_result = s.client->publish_flat("no-such-exchange",
+                                            "soundcity.obs.c1", batch,
+                                            minutes(81));
+  ASSERT_FALSE(wire_result.ok());
+  EXPECT_EQ(wire_result.error().code, oracle.error().code);
+  EXPECT_EQ(wire_result.error().message, oracle.error().message);
+  // An error response is a *response*: the connection stays up, but the
+  // outbox is retained for the caller's retry.
+  EXPECT_TRUE(s.client->connected());
+  EXPECT_TRUE(s.client->has_pending());
+  s.client->abort_pending();
+}
+
+TEST(NetClient, AbortPendingPreventsAnyResend) {
+  WiredStack s;
+  s.net_server.fail_next_ack(1);
+  ASSERT_FALSE(s.publish(s.make_batch(9), minutes(91)).ok());
+  ASSERT_TRUE(s.client->has_pending());
+
+  // Give-up path: the batch goes back to the device buffer and will be
+  // re-packaged under a new id — the old frame must never ride again.
+  s.client->abort_pending();
+  EXPECT_FALSE(s.client->has_pending());
+
+  ASSERT_TRUE(s.publish(s.make_batch(10), minutes(101)).ok());
+  EXPECT_EQ(s.client->stats().resends, 0u);
+}
+
+TEST(NetClient, PingAndMetricsQueryRoundTrip) {
+  WiredStack s;
+  obs::Registry registry;
+  registry.counter("net.something").inc(5);
+  s.net_server.serve_registry(&registry);
+
+  EXPECT_TRUE(s.client->ping().ok());
+  auto filtered = s.client->query_metrics("net.");
+  ASSERT_TRUE(filtered.ok()) << filtered.error().message;
+  EXPECT_NE(filtered.value().find("net.something 5"), std::string::npos);
+
+  auto all = s.client->query_metrics();
+  ASSERT_TRUE(all.ok());
+  EXPECT_NE(all.value().find("net.something 5"), std::string::npos);
+}
+
+TEST(NetClient, ConnectFailureWhenNothingListens) {
+  sim::Simulation sim;
+  NetClientConfig cc;
+  cc.client_id = "lonely";
+  cc.port = 1;  // nothing listens on port 1 for unprivileged processes
+  NetClient client(sim, std::move(cc));
+  Status status = client.ping();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kUnavailable);
+  EXPECT_GE(client.stats().connect_failures, 1u);
+}
+
+TEST(NetClient, TruncateFaultInjectsMidFrameDisconnect) {
+  WiredStack s;
+  ASSERT_TRUE(s.client->ping().ok());  // connect before arming the fault
+
+  fault::FaultPlan plan(5);
+  plan.fail_next(fault::FaultSite::kNetTruncateFrame, 1);
+  s.client->arm_faults(&plan);
+
+  auto batch = s.make_batch(11);
+  auto result = s.publish(batch, minutes(111));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(s.client->stats().truncate_injected, 1u);
+  // The injected loss is never transparently retried — the caller's
+  // backoff owns the retry, exactly like a broker shed.
+  EXPECT_EQ(s.client->stats().transparent_retries, 0u);
+  // Server side: the torn frame was discarded whole.
+  for (int i = 0; i < 8; ++i) s.net_server.pump();
+  EXPECT_EQ(s.server.total_batches(), 0u);
+  EXPECT_EQ(s.net_server.stats().truncated_frames, 1u);
+
+  // The retry (same batch id) goes through untouched.
+  auto retry = s.publish(batch, minutes(112));
+  ASSERT_TRUE(retry.ok()) << retry.error().message;
+  EXPECT_EQ(s.client->stats().resends, 1u);
+  EXPECT_EQ(s.server.total_observations(), 4u);
+  EXPECT_EQ(s.server.duplicate_batches(), 0u);
+  s.client->arm_faults(nullptr);
+}
+
+}  // namespace
+}  // namespace mps::net

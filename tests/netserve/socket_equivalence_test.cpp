@@ -1,0 +1,309 @@
+// Wire-vs-in-process equivalence (ISSUE satellite 2): a whole small
+// fleet study closed over real loopback sockets must leave the
+// middleware in byte-identical observable state to the in-process
+// hand-off — stored documents, dedup sets, study report figures, span
+// invariants — under chaos. Socket mode is co-simulated (a NetClient
+// round trip completes synchronously inside one sim event, and server
+// churn closes the socket listener in the same sim event that crashes
+// the lifecycle), so every event-ordering tie-break is identical and
+// the comparison can demand byte equality, not statistical similarity.
+//
+// Profiles swept: lossy-network (publish rejections, lost confirms,
+// transient store faults racing the socket retry path) and server-kill
+// (the middleware host dying and recovering mid-study, taking the
+// socket listener down with it). 8 seeds per profile on the sweep
+// executor. server-kill-lossy is deliberately NOT swept here: its
+// kill placement is rate-driven per site-stream, which socket mode
+// preserves, but the sweep budget belongs to the two profiles the
+// ISSUE names.
+//
+// When MPS_FAULT_REPORT_DIR is set (CI chaos job), a per-seed JSONL
+// report is written there for artifact upload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/recovery.h"
+#include "docstore/database.h"
+#include "durable/storage.h"
+#include "exec/executor.h"
+#include "exec/sweep.h"
+#include "fault/fault.h"
+#include "net/net_server.h"
+#include "obs/flight_recorder.h"
+#include "study/invariants.h"
+#include "study/study.h"
+
+namespace mps::study {
+namespace {
+
+constexpr std::uint64_t kSeeds = 8;
+
+const std::vector<std::string>& chaos_profiles() {
+  static const std::vector<std::string> profiles = {"lossy-network",
+                                                    "server-kill"};
+  return profiles;
+}
+
+std::string collection_json(docstore::Database& db) {
+  Array docs;
+  db.collection("observations")
+      .for_each([&docs](const Value& doc) { docs.push_back(doc); });
+  return Value(std::move(docs)).to_json();
+}
+
+std::string ordered_keys_json(const BoundedKeySet& set) {
+  Array keys;
+  for (const std::string& k : set.ordered()) keys.push_back(Value(k));
+  return Value(std::move(keys)).to_json();
+}
+
+/// Everything downstream code can observe about a fleet run.
+struct FleetOutcome {
+  std::string docs_json;        ///< observations collection, insert order
+  std::string dedup_keys_json;  ///< per-obs dedup set in eviction order
+  std::string batch_ids_json;   ///< batch-id dedup set in eviction order
+  StudyReport report;
+  InvariantReport invariants;
+  std::uint64_t net_publishes = 0;  ///< frames the socket server dispatched
+  std::uint64_t net_accepted = 0;
+};
+
+/// One fleet study; `socket_mode` is the ONLY variable — same population,
+/// same chaos plan, same seeds everywhere else.
+FleetOutcome run_fleet(bool socket_mode, const std::string& profile,
+                       std::uint64_t seed) {
+  obs::FlightRecorder::instance().set_thread_scope(
+      std::string(socket_mode ? "socket" : "inproc") + "/" + profile +
+      "/seed=" + std::to_string(seed));
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  obs::Registry registry;
+  obs::SpanTracker tracer(&registry);
+  server.set_metrics(&registry);
+  server.set_tracer(&tracer);
+
+  bool kills = profile == "server-kill";
+  durable::MemStorageEnv env;
+  std::optional<core::ServerLifecycle> lifecycle;
+  if (kills)
+    lifecycle.emplace(env, sim, broker, db, server, durable::JournalConfig{},
+                      &registry);
+
+  fault::FaultPlan plan = fault::FaultPlan::profile(profile, seed);
+
+  crowd::PopulationConfig pc;
+  pc.seed = seed;
+  pc.device_scale = 0.004;  // a small fleet (min 1 device per model)
+  pc.obs_scale = 0.03;
+  pc.horizon = days(3);
+  crowd::Population pop = crowd::Population::generate(pc);
+
+  net::NetServer net_server(sim, broker);
+
+  StudyConfig sc;
+  sc.seed = seed;
+  sc.duration_days = 1;
+  sc.metrics = &registry;
+  sc.tracer = &tracer;
+  sc.faults = &plan;
+  if (kills) {
+    sc.lifecycle = &*lifecycle;
+    sc.snapshot_period = hours(6);
+  }
+  sc.drain = hours(1);
+  if (socket_mode) sc.net_server = &net_server;
+
+  StudyRunner runner(pop, sc, sim, broker, server);
+  FleetOutcome out;
+  out.report = runner.run();
+  out.invariants = check_invariants(tracer, server, runner.clients());
+  std::string forensics = dump_forensics(
+      out.invariants, std::string(socket_mode ? "socket_" : "inproc_") +
+                          profile + "_seed" + std::to_string(seed));
+  if (!forensics.empty())
+    std::fprintf(stderr, "invariant violation: flight recorder dumped to %s\n",
+                 forensics.c_str());
+  out.docs_json = collection_json(db);
+  out.dedup_keys_json = ordered_keys_json(server.seen_obs_keys());
+  out.batch_ids_json = ordered_keys_json(server.seen_batch_ids());
+  out.net_publishes = net_server.stats().publishes;
+  out.net_accepted = net_server.stats().accepted;
+  return out;
+}
+
+void expect_identical(const FleetOutcome& wire, const FleetOutcome& oracle) {
+  // MPS_EQ_DUMP=<dir>: write both document dumps on divergence so a
+  // failing profile/seed can be diffed offline instead of eyeballing a
+  // megabyte of inline gtest output.
+  if (const char* dir = std::getenv("MPS_EQ_DUMP");
+      dir != nullptr && wire.docs_json != oracle.docs_json) {
+    static std::atomic<int> n{0};
+    int id = n.fetch_add(1);
+    std::ofstream(std::string(dir) + "/wire_" + std::to_string(id) + ".json")
+        << wire.docs_json;
+    std::ofstream(std::string(dir) + "/oracle_" + std::to_string(id) + ".json")
+        << oracle.docs_json;
+  }
+  EXPECT_EQ(wire.docs_json, oracle.docs_json);
+  EXPECT_EQ(wire.dedup_keys_json, oracle.dedup_keys_json);
+  EXPECT_EQ(wire.batch_ids_json, oracle.batch_ids_json);
+  EXPECT_EQ(wire.report.observations_recorded,
+            oracle.report.observations_recorded);
+  EXPECT_EQ(wire.report.observations_stored, oracle.report.observations_stored);
+  EXPECT_EQ(wire.report.uploads, oracle.report.uploads);
+  EXPECT_EQ(wire.report.deferred_uploads, oracle.report.deferred_uploads);
+  EXPECT_EQ(wire.report.buffered_unsent, oracle.report.buffered_unsent);
+  EXPECT_EQ(wire.report.in_flight_unsent, oracle.report.in_flight_unsent);
+  EXPECT_EQ(wire.report.publish_failures, oracle.report.publish_failures);
+  EXPECT_EQ(wire.report.upload_retries, oracle.report.upload_retries);
+  EXPECT_EQ(wire.report.retry_giveups, oracle.report.retry_giveups);
+  EXPECT_EQ(wire.report.duplicate_observations,
+            oracle.report.duplicate_observations);
+  EXPECT_EQ(wire.report.faults_injected, oracle.report.faults_injected);
+  EXPECT_EQ(wire.report.server_kills, oracle.report.server_kills);
+  EXPECT_EQ(wire.report.server_recoveries, oracle.report.server_recoveries);
+  EXPECT_DOUBLE_EQ(wire.report.mean_delay_ms, oracle.report.mean_delay_ms);
+  // Span accounting must agree bucket for bucket, not just pass.
+  EXPECT_EQ(wire.invariants.to_json(), oracle.invariants.to_json());
+}
+
+std::size_t sweep_threads() {
+  return exec::resolve_threads("MPS_TEST_THREADS", /*cap=*/8);
+}
+
+TEST(SocketEquivalence, CleanFleetStudyClosesByteIdenticalOverLoopback) {
+  auto run_clean = [](bool socket_mode) {
+    sim::Simulation sim;
+    broker::Broker broker;
+    docstore::Database db;
+    core::GoFlowServer server(sim, broker, db);
+    obs::Registry registry;
+    obs::SpanTracker tracer(&registry);
+    server.set_metrics(&registry);
+    server.set_tracer(&tracer);
+
+    crowd::PopulationConfig pc;
+    pc.seed = 9;
+    pc.device_scale = 0.004;
+    pc.obs_scale = 0.02;
+    pc.horizon = days(2);
+    crowd::Population pop = crowd::Population::generate(pc);
+
+    net::NetServer net_server(sim, broker);
+    StudyConfig sc;
+    sc.seed = 9;
+    sc.duration_days = 1;
+    sc.metrics = &registry;
+    sc.tracer = &tracer;
+    if (socket_mode) sc.net_server = &net_server;
+    StudyRunner runner(pop, sc, sim, broker, server);
+    FleetOutcome out;
+    out.report = runner.run();
+    out.invariants = check_invariants(tracer, server, runner.clients());
+    out.docs_json = collection_json(db);
+    out.dedup_keys_json = ordered_keys_json(server.seen_obs_keys());
+    out.batch_ids_json = ordered_keys_json(server.seen_batch_ids());
+    out.net_publishes = net_server.stats().publishes;
+    return out;
+  };
+
+  FleetOutcome wire = run_clean(true);
+  FleetOutcome oracle = run_clean(false);
+  ASSERT_GT(wire.report.observations_stored, 0u);
+  // The wire run really went over sockets; the oracle never touched them.
+  EXPECT_GT(wire.net_publishes, 0u);
+  EXPECT_EQ(oracle.net_publishes, 0u);
+  expect_identical(wire, oracle);
+}
+
+TEST(SocketEquivalence, ChaosProfilesStayIdenticalAcrossSeeds) {
+  const char* report_dir = std::getenv("MPS_FAULT_REPORT_DIR");
+  std::ofstream report_out;
+  if (report_dir != nullptr) {
+    report_out.open(std::string(report_dir) + "/socket_equivalence.jsonl");
+    ASSERT_TRUE(report_out.is_open())
+        << "cannot write to MPS_FAULT_REPORT_DIR=" << report_dir;
+  }
+
+  const std::vector<std::string>& profiles = chaos_profiles();
+  struct Job {
+    std::string profile;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (const std::string& profile : profiles)
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+      jobs.push_back({profile, seed});
+
+  struct Pair {
+    FleetOutcome wire;
+    FleetOutcome oracle;
+  };
+  std::vector<Pair> outcomes(jobs.size());
+  exec::SweepExecutor sweep(sweep_threads());
+  sweep.run(jobs.size(), [&](std::size_t i) {
+    outcomes[i].wire = run_fleet(true, jobs[i].profile, jobs[i].seed);
+    outcomes[i].oracle = run_fleet(false, jobs[i].profile, jobs[i].seed);
+  });
+
+  // Assert (and report) on the main thread, in deterministic job order.
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const std::string& profile = profiles[p];
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Pair& pair = outcomes[p * kSeeds + (seed - 1)];
+      SCOPED_TRACE("profile=" + profile + " seed=" + std::to_string(seed));
+      expect_identical(pair.wire, pair.oracle);
+      // Both runs did real work, over the transport they claim.
+      EXPECT_GT(pair.wire.report.observations_recorded, 0u);
+      EXPECT_GT(pair.wire.net_publishes, 0u);
+      EXPECT_EQ(pair.oracle.net_publishes, 0u);
+      // The span invariants hold in socket mode on their own terms, not
+      // just relative to the oracle.
+      EXPECT_EQ(pair.wire.invariants.lost, 0u);
+      EXPECT_EQ(pair.wire.invariants.duplicate_spans_stored, 0u);
+      EXPECT_EQ(pair.wire.invariants.order_violations, 0u);
+      EXPECT_TRUE(pair.wire.invariants.ok());
+      if (profile == "server-kill") {
+        EXPECT_GT(pair.wire.report.server_kills, 0u);
+        EXPECT_EQ(pair.wire.report.server_recoveries,
+                  pair.wire.report.server_kills);
+      }
+      if (report_out.is_open()) {
+        report_out << "{\"profile\":\"" << profile << "\",\"seed\":" << seed
+                   << ",\"docs_identical\":"
+                   << (pair.wire.docs_json == pair.oracle.docs_json ? "true"
+                                                                    : "false")
+                   << ",\"net_publishes\":" << pair.wire.net_publishes
+                   << ",\"net_accepted\":" << pair.wire.net_accepted
+                   << ",\"server_kills\":" << pair.wire.report.server_kills
+                   << ",\"publish_failures\":"
+                   << pair.wire.report.publish_failures
+                   << ",\"invariants\":" << pair.wire.invariants.to_json()
+                   << "}\n";
+      }
+    }
+  }
+}
+
+TEST(SocketEquivalence, SocketModeIsDeterministicPerSeed) {
+  FleetOutcome a = run_fleet(true, "server-kill", 5);
+  FleetOutcome b = run_fleet(true, "server-kill", 5);
+  EXPECT_EQ(a.docs_json, b.docs_json);
+  EXPECT_EQ(a.dedup_keys_json, b.dedup_keys_json);
+  EXPECT_EQ(a.report.observations_stored, b.report.observations_stored);
+  EXPECT_EQ(a.report.server_kills, b.report.server_kills);
+  EXPECT_EQ(a.net_publishes, b.net_publishes);
+  EXPECT_EQ(a.invariants.to_json(), b.invariants.to_json());
+}
+
+}  // namespace
+}  // namespace mps::study

@@ -1,8 +1,9 @@
 // Registry coverage audit: after a full chaos run with the durability
-// substrate wired, the registry export must carry every metric family
-// the telemetry plane promises — durable.*, exec.*, retry.*, fault.* —
-// and both exporters must be deterministic (sorted by name, identical
-// across repeated export calls).
+// substrate wired and the fleet publishing over loopback sockets, the
+// registry export must carry every metric family the telemetry plane
+// promises — durable.*, exec.*, retry.*, fault.*, net.* — and both
+// exporters must be deterministic (sorted by name, identical across
+// repeated export calls).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -13,6 +14,7 @@
 #include "durable/storage.h"
 #include "exec/sweep.h"
 #include "fault/fault.h"
+#include "net/net_server.h"
 #include "obs/metrics.h"
 #include "study/invariants.h"
 #include "study/study.h"
@@ -30,6 +32,12 @@ void run_wired_chaos(obs::Registry& registry) {
   broker.set_metrics(&registry);
   server.set_metrics(&registry);
   server.set_tracer(&tracer);
+
+  // Socket mode, so the net.* families land in the same export. The
+  // registry (the caller's) outlives the server: ~NetServer closes its
+  // connections, which bumps the disconnect counter.
+  net::NetServer net_server(sim, broker);
+  net_server.set_metrics(&registry);
 
   durable::MemStorageEnv env;
   core::ServerLifecycle lifecycle(env, sim, broker, db, server, {}, &registry);
@@ -52,6 +60,7 @@ void run_wired_chaos(obs::Registry& registry) {
   sc.lifecycle = &lifecycle;
   sc.snapshot_period = hours(6);
   sc.drain = hours(1);
+  sc.net_server = &net_server;
 
   StudyRunner runner(pop, sc, sim, broker, server);
   runner.run();
@@ -83,7 +92,7 @@ TEST(RegistryAudit, ChaosRunExportsEveryMetricFamily) {
   // silently detaches one of them fails here, not in a dashboard.
   for (const char* prefix :
        {"durable.", "exec.", "retry.", "fault.", "broker.", "server.",
-        "client.", "span.", "obs.", "ingest."}) {
+        "client.", "span.", "obs.", "ingest.", "net."}) {
     EXPECT_TRUE(any_starts_with(names, prefix))
         << "no metric with prefix " << prefix << " in the export";
   }
@@ -101,6 +110,13 @@ TEST(RegistryAudit, ChaosRunExportsEveryMetricFamily) {
   EXPECT_TRUE(registry.has_counter("ingest.arena_created"));
   EXPECT_TRUE(registry.has_gauge("ingest.arena_high_water_bytes"));
   EXPECT_TRUE(registry.has_counter("fault.checked.admission_shed"));
+  // Network serving plane (DESIGN.md §14): both ends of the socket.
+  EXPECT_TRUE(registry.has_counter("net.accepted"));
+  EXPECT_TRUE(registry.has_counter("net.frame_rejects"));
+  EXPECT_TRUE(registry.has_counter("net.publishes"));
+  EXPECT_TRUE(registry.has_counter("net.client_connects"));
+  EXPECT_TRUE(registry.has_counter("net.client_resends"));
+  EXPECT_TRUE(registry.has_gauge("net.connections"));
 }
 
 TEST(RegistryAudit, ExportsAreSortedAndDeterministic) {
