@@ -4,11 +4,12 @@ namespace mps::assim {
 
 std::vector<SensingTarget> plan_sensing_locations(
     const Grid& like, const std::vector<AssimObservation>& existing,
-    const BlueParams& params, std::size_t count, double planned_sigma_r) {
+    const BlueParams& params, std::size_t count, double planned_sigma_r,
+    exec::Executor* executor) {
   std::vector<SensingTarget> plan;
   std::vector<AssimObservation> virtual_obs = existing;
   for (std::size_t step = 0; step < count; ++step) {
-    Grid spread = analysis_spread(like, virtual_obs, params);
+    Grid spread = analysis_spread(like, virtual_obs, params, executor);
     // Highest-uncertainty cell.
     std::size_t best_ix = 0, best_iy = 0;
     double best = -1.0;

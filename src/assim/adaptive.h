@@ -29,9 +29,13 @@ struct SensingTarget {
 /// Plans `count` sensing locations over the grid of `like` (values
 /// ignored), given `existing` observations. `planned_sigma_r` is the
 /// observation-error std dev the planned measurements are expected to
-/// have (e.g. a GPS-localized, calibrated phone).
+/// have (e.g. a GPS-localized, calibrated phone). The spread evaluations
+/// dominate the plan's cost; `executor` parallelizes them (per-tile when
+/// params.localization is enabled, per-row otherwise) with a result
+/// bit-identical to the sequential path.
 std::vector<SensingTarget> plan_sensing_locations(
     const Grid& like, const std::vector<AssimObservation>& existing,
-    const BlueParams& params, std::size_t count, double planned_sigma_r);
+    const BlueParams& params, std::size_t count, double planned_sigma_r,
+    exec::Executor* executor = nullptr);
 
 }  // namespace mps::assim

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "assim/linalg.h"
+#include "assim/localize.h"
 
 namespace mps::assim {
 
@@ -35,8 +35,49 @@ void fill_obs_covariance(Matrix& s,
 
 }  // namespace
 
+ObsFactorization::ObsFactorization(
+    const std::vector<AssimObservation>& observations,
+    const BlueParams& params, exec::Executor* executor)
+    : l_(observations.size(), observations.size()) {
+  fill_obs_covariance(l_, observations, params, executor);
+  if (l_.rows() > 0) cholesky(l_);
+}
+
+std::vector<double> ObsFactorization::solve(
+    const std::vector<double>& rhs) const {
+  return cholesky_solve(l_, rhs);
+}
+
+double ObsFactorization::variance_reduction(
+    const std::vector<double>& b, std::vector<double>& scratch) const {
+  std::size_t n = l_.rows();
+  double reduction = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * scratch[k];
+    scratch[i] = v / l_(i, i);
+    reduction += scratch[i] * scratch[i];
+  }
+  return reduction;
+}
+
 BlueResult blue_analysis(const Grid& background,
                          const std::vector<AssimObservation>& observations,
+                         const BlueParams& params, exec::Executor* executor) {
+  if (params.localization.enabled)
+    return localized_analyze(background, observations, params,
+                             /*want_spread=*/false, executor)
+        .result;
+  if (observations.empty())
+    return BlueResult{background, 0.0, 0.0, 0};
+  ObsFactorization factorization(observations, params, executor);
+  return blue_analysis(background, observations, factorization, params,
+                       executor);
+}
+
+BlueResult blue_analysis(const Grid& background,
+                         const std::vector<AssimObservation>& observations,
+                         const ObsFactorization& factorization,
                          const BlueParams& params, exec::Executor* executor) {
   BlueResult result{background, 0.0, 0.0, observations.size()};
   std::size_t n = observations.size();
@@ -51,18 +92,14 @@ BlueResult blue_analysis(const Grid& background,
   }
   result.innovation_rms = std::sqrt(result.innovation_rms / static_cast<double>(n));
 
-  // S = H B Hᵀ + R (n x n).
-  double sb2 = params.sigma_b * params.sigma_b;
-  Matrix s(n, n);
-  fill_obs_covariance(s, observations, params, executor);
-
-  // w = S⁻¹ d.
-  std::vector<double> w = solve_spd(std::move(s), innovation);
+  // w = S⁻¹ d off the shared factor.
+  std::vector<double> w = factorization.solve(innovation);
 
   // x_a = x_b + (B Hᵀ) w : for each grid cell, sum of covariances with
   // the observation points weighted by w. Rows are independent; the
   // inner k-loop order is fixed, so the field is bit-identical however
   // the rows are scheduled.
+  double sb2 = params.sigma_b * params.sigma_b;
   Grid& analysis = result.analysis;
   exec::parallel_for(executor, analysis.ny(), [&](std::size_t iy_begin,
                                                   std::size_t iy_end) {
@@ -96,15 +133,24 @@ BlueResult blue_analysis(const Grid& background,
 Grid analysis_spread(const Grid& like,
                      const std::vector<AssimObservation>& observations,
                      const BlueParams& params, exec::Executor* executor) {
+  if (params.localization.enabled)
+    return localized_spread(like, observations, params, executor);
+  if (observations.empty())
+    return Grid(like.nx(), like.ny(), like.width_m(), like.height_m(),
+                params.sigma_b);
+  ObsFactorization factorization(observations, params, executor);
+  return analysis_spread(like, observations, factorization, params, executor);
+}
+
+Grid analysis_spread(const Grid& like,
+                     const std::vector<AssimObservation>& observations,
+                     const ObsFactorization& factorization,
+                     const BlueParams& params, exec::Executor* executor) {
   Grid spread(like.nx(), like.ny(), like.width_m(), like.height_m(),
               params.sigma_b);
   std::size_t n = observations.size();
   if (n == 0) return spread;
-
   double sb2 = params.sigma_b * params.sigma_b;
-  Matrix s(n, n);
-  fill_obs_covariance(s, observations, params, executor);
-  cholesky(s);
 
   // Per-cell forward substitutions are independent given the factor, so
   // rows parallelize with per-chunk scratch vectors.
@@ -121,15 +167,7 @@ Grid analysis_spread(const Grid& like,
           b[k] = sb2 * std::exp(-std::sqrt(dx * dx + dy * dy) /
                                 params.corr_length_m);
         }
-        // Forward substitution L y = b; variance reduction = ||y||^2.
-        double reduction = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-          double v = b[i];
-          for (std::size_t k = 0; k < i; ++k) v -= s(i, k) * y[k];
-          y[i] = v / s(i, i);
-          reduction += y[i] * y[i];
-        }
-        double variance = sb2 - reduction;
+        double variance = sb2 - factorization.variance_reduction(b, y);
         spread.at(ix, iy) = std::sqrt(std::max(variance, 0.0));
       }
     }

@@ -9,11 +9,21 @@
 // correlation: B(p, q) = σ_b² exp(−‖p−q‖ / L). B is never formed over the
 // full grid; only the columns at observation locations are needed, so the
 // dense solve is n_obs × n_obs.
+//
+// Two execution strategies share these equations (DESIGN.md §15):
+//   - the dense path solves one global n_obs × n_obs system — exact, and
+//     the oracle everything else is validated against;
+//   - the localized path (LocalizationParams::enabled) tapers the
+//     background covariance to a compact support radius and solves small
+//     independent systems per grid tile — the O(n_obs²)+O(cells·n_obs)
+//     dense coupling becomes O(local²) per tile, embarrassingly parallel
+//     and bit-identical at any thread count (localize.h).
 #pragma once
 
 #include <vector>
 
 #include "assim/grid.h"
+#include "assim/linalg.h"
 
 namespace mps::assim {
 
@@ -26,10 +36,50 @@ struct AssimObservation {
   double sigma_r = 1.0;  ///< observation-error std dev
 };
 
+/// Compactly-supported covariance taper (localize.cpp): multiplies the
+/// exponential correlation so covariances are *exactly* zero beyond the
+/// cutoff radius — the property that makes per-tile analyses exact over
+/// their local observation sets instead of approximations of a global
+/// solve.
+enum class CovTaper {
+  /// Gaspari–Cohn 5th-order piecewise rational (the standard compact
+  /// approximation of a Gaussian): smooth, positive-definite-safe,
+  /// support exactly [0, cutoff].
+  kGaspariCohn,
+  /// Hard cutoff: untapered exponential inside the radius, zero beyond.
+  /// Inside-radius covariances match the dense path bit-for-bit (used by
+  /// the equivalence gates); the jump at the cutoff is absorbed by R's
+  /// diagonal in practice but is not guaranteed positive definite.
+  kExponentialCutoff,
+};
+
+/// Localized-analysis knobs. Disabled by default: the dense path stays
+/// the behavioural oracle, and every localized result is gated against it
+/// (cutoff → ∞ equivalence) plus a cross-thread bit-exactness sweep.
+struct LocalizationParams {
+  bool enabled = false;
+  /// Covariance support radius r_loc. 0 picks 2.5 × corr_length_m — by
+  /// then the exponential correlation has decayed to e^-2.5 ≈ 8%, so the
+  /// taper discards only noise-level couplings.
+  double cutoff_radius_m = 0.0;
+  /// Tile edge length in grid cells. Each tile solves one independent
+  /// local system over the observations within cutoff of its cells.
+  std::size_t tile_cells = 16;
+  CovTaper taper = CovTaper::kGaspariCohn;
+};
+
 /// BLUE parameters.
 struct BlueParams {
   double sigma_b = 4.0;           ///< background-error std dev (dB)
   double corr_length_m = 1'500;   ///< horizontal correlation length
+  LocalizationParams localization;
+
+  /// The effective covariance support radius (resolves the 0 default).
+  double cutoff_radius_m() const {
+    return localization.cutoff_radius_m > 0.0
+               ? localization.cutoff_radius_m
+               : 2.5 * corr_length_m;
+  }
 };
 
 /// Analysis outcome with standard diagnostics.
@@ -40,17 +90,57 @@ struct BlueResult {
   std::size_t observations_used = 0;
 };
 
+/// The assembled and Cholesky-factored observation-covariance system
+/// S = H B Hᵀ + R for one observation set. Building it is the O(n_obs²)
+/// assembly plus the O(n_obs³) factorization — the expensive part that
+/// both the analysis update and the spread computation need, so a caller
+/// running both over the same window (the cycle does) builds it once and
+/// hands it to each instead of assembling and factoring twice.
+class ObsFactorization {
+ public:
+  /// Assembles and factors S. The parallel assembly is bit-identical to
+  /// the sequential one (one writer per element); the factorization
+  /// itself is sequential (Cholesky recurrences). Throws when S is not
+  /// positive definite (degenerate duplicate observations with zero
+  /// error).
+  ObsFactorization(const std::vector<AssimObservation>& observations,
+                   const BlueParams& params, exec::Executor* executor = nullptr);
+
+  std::size_t size() const { return l_.rows(); }
+
+  /// x = S⁻¹ rhs.
+  std::vector<double> solve(const std::vector<double>& rhs) const;
+
+  /// ‖L⁻¹ b‖² — the posterior-variance reduction bᵀ S⁻¹ b via one forward
+  /// substitution. `scratch` must have size(); contents are overwritten.
+  double variance_reduction(const std::vector<double>& b,
+                            std::vector<double>& scratch) const;
+
+  /// The lower-triangular factor (tests; treat as read-only).
+  const Matrix& factor() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
 /// Runs one BLUE analysis step. Observations outside the grid are clamped
 /// to the border (H is bilinear interpolation). With no observations the
 /// analysis equals the background.
 ///
-/// `executor` parallelizes the O(n_obs²) covariance assembly and the
-/// O(cells × n_obs) B Hᵀ w grid update; each matrix element / grid cell
-/// is computed independently, so the result is bit-identical to the
-/// sequential path (executor == nullptr) for any thread count. The
-/// n_obs × n_obs solve stays sequential (Cholesky recurrences).
+/// `executor` parallelizes the dense covariance assembly and grid update
+/// (or, with localization enabled, the independent per-tile analyses);
+/// every strategy is bit-identical to its own sequential path (executor
+/// == nullptr) for any thread count.
 BlueResult blue_analysis(const Grid& background,
                          const std::vector<AssimObservation>& observations,
+                         const BlueParams& params,
+                         exec::Executor* executor = nullptr);
+
+/// Dense analysis over a prebuilt factorization of the same observation
+/// set (the shared-factorization path; ignores params.localization).
+BlueResult blue_analysis(const Grid& background,
+                         const std::vector<AssimObservation>& observations,
+                         const ObsFactorization& factorization,
                          const BlueParams& params,
                          exec::Executor* executor = nullptr);
 
@@ -61,6 +151,14 @@ BlueResult blue_analysis(const Grid& background,
 /// The grid's shape/extent are taken from `like`; its values are ignored.
 Grid analysis_spread(const Grid& like,
                      const std::vector<AssimObservation>& observations,
+                     const BlueParams& params,
+                     exec::Executor* executor = nullptr);
+
+/// Dense spread over a prebuilt factorization of the same observation
+/// set (ignores params.localization).
+Grid analysis_spread(const Grid& like,
+                     const std::vector<AssimObservation>& observations,
+                     const ObsFactorization& factorization,
                      const BlueParams& params,
                      exec::Executor* executor = nullptr);
 

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
+
+#include "assim/localize.h"
 
 namespace mps::assim {
 
@@ -11,7 +14,9 @@ AssimilationCycle::AssimilationCycle(ModelFn model, TimeMs start,
       config_(config),
       now_(start),
       analysis_(model_(start)),
-      model_at_now_(analysis_) {
+      model_at_now_(analysis_),
+      spread_(analysis_.nx(), analysis_.ny(), analysis_.width_m(),
+              analysis_.height_m(), config.blue.sigma_b) {
   if (config_.step <= 0)
     throw std::invalid_argument("AssimilationCycle: step must be positive");
   if (config_.persistence_weight < 0.0 || config_.persistence_weight > 1.0)
@@ -73,9 +78,35 @@ CycleStep AssimilationCycle::advance(
   for (std::size_t i = 0; i < background.size(); ++i)
     background[i] += w * (analysis_[i] - model_at_now_[i]);
 
-  BlueResult result = assimilate(background, window, config_.blue,
-                                 config_.policy, calibration,
-                                 /*stats=*/nullptr, config_.executor);
+  // Convert once, then run the analysis — and, when configured, the
+  // spread — off one factorization of the window's observation set: the
+  // per-tile factors in the localized engine's single pass, the global
+  // ObsFactorization on the dense path. Either way the n_obs × n_obs
+  // system is assembled and factored exactly once per step.
+  std::vector<AssimObservation> converted =
+      convert_observations(window, config_.policy, calibration,
+                           /*stats=*/nullptr);
+  BlueResult result = [&]() -> BlueResult {
+    if (config_.blue.localization.enabled) {
+      LocalizedAnalysis localized =
+          localized_analyze(background, converted, config_.blue,
+                            config_.compute_spread, config_.executor);
+      if (config_.compute_spread) spread_ = std::move(*localized.spread);
+      return std::move(localized.result);
+    }
+    if (converted.empty()) {
+      if (config_.compute_spread)
+        spread_ = Grid(background.nx(), background.ny(), background.width_m(),
+                       background.height_m(), config_.blue.sigma_b);
+      return BlueResult{background, 0.0, 0.0, 0};
+    }
+    ObsFactorization factorization(converted, config_.blue, config_.executor);
+    if (config_.compute_spread)
+      spread_ = analysis_spread(background, converted, factorization,
+                                config_.blue, config_.executor);
+    return blue_analysis(background, converted, factorization, config_.blue,
+                         config_.executor);
+  }();
 
   analysis_ = std::move(result.analysis);
   model_at_now_ = std::move(model_next);

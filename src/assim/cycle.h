@@ -35,6 +35,13 @@ struct CycleConfig {
   double persistence_weight = 0.8;
   BlueParams blue;
   ObservationPolicy policy;
+  /// Also maintain the posterior spread (analysis-error std dev per cell,
+  /// see spread()). The spread shares each step's observation-covariance
+  /// factorization with the analysis — one assembly + Cholesky per step
+  /// serves both (per tile when blue.localization is enabled), never the
+  /// assemble-twice/factor-twice double solve of calling blue_analysis
+  /// and analysis_spread back to back.
+  bool compute_spread = false;
   /// Optional parallel compute plane for each step's BLUE analysis;
   /// nullptr runs sequentially with a bit-identical field (DESIGN.md
   /// §10). Must outlive the cycle.
@@ -71,6 +78,12 @@ class AssimilationCycle {
   /// Current analysis field (valid at time()).
   const Grid& analysis() const { return analysis_; }
 
+  /// Posterior spread of the current analysis, maintained when
+  /// config.compute_spread is set (bit-identical to a standalone
+  /// analysis_spread over the same window). Before the first advance() —
+  /// or when compute_spread is off — every cell is blue.sigma_b.
+  const Grid& spread() const { return spread_; }
+
   /// Time the current analysis is valid for.
   TimeMs time() const { return now_; }
 
@@ -101,6 +114,7 @@ class AssimilationCycle {
   TimeMs now_;
   Grid analysis_;
   Grid model_at_now_;
+  Grid spread_;
   std::size_t steps_ = 0;
 
   /// Hoisted registry handles, null when no registry is attached.

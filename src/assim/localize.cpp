@@ -1,0 +1,230 @@
+#include "assim/localize.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "assim/obs_index.h"
+
+namespace mps::assim {
+
+double taper_value(CovTaper taper, double r, double cutoff) {
+  if (r >= cutoff) return 0.0;
+  if (taper == CovTaper::kExponentialCutoff) return 1.0;
+  // Gaspari–Cohn 1999 eq. 4.10 with half-width c = cutoff / 2: support is
+  // exactly [0, 2c] = [0, cutoff].
+  double c = cutoff * 0.5;
+  double z = r / c;
+  if (z < 1.0) {
+    return 1.0 +
+           z * z * (-5.0 / 3.0 + z * (5.0 / 8.0 + z * (0.5 - 0.25 * z)));
+  }
+  double v = 4.0 - 2.0 / (3.0 * z) +
+             z * (-5.0 + z * (5.0 / 3.0 + z * (5.0 / 8.0 +
+                                               z * (-0.5 + z / 12.0))));
+  // The tail can round a hair below zero near z = 2; covariances must not
+  // change sign.
+  return v > 0.0 ? v : 0.0;
+}
+
+double tapered_covariance(double dx, double dy, double sb2,
+                          double corr_length_m, CovTaper taper,
+                          double cutoff) {
+  double r = std::sqrt(dx * dx + dy * dy);
+  if (r >= cutoff) return 0.0;
+  double t = taper_value(taper, r, cutoff);
+  if (t == 0.0) return 0.0;
+  return sb2 * std::exp(-r / corr_length_m) * t;
+}
+
+namespace {
+
+/// One tile's cell range within the grid.
+struct Tile {
+  std::size_t ix0, ix1, iy0, iy1;  ///< half-open cell ranges
+};
+
+std::vector<Tile> make_tiles(const Grid& grid, std::size_t tile_cells) {
+  std::size_t edge = tile_cells > 0 ? tile_cells : 1;
+  std::size_t tx = (grid.nx() + edge - 1) / edge;
+  std::size_t ty = (grid.ny() + edge - 1) / edge;
+  std::vector<Tile> tiles;
+  tiles.reserve(tx * ty);
+  for (std::size_t j = 0; j < ty; ++j) {
+    for (std::size_t i = 0; i < tx; ++i) {
+      Tile t;
+      t.ix0 = i * edge;
+      t.ix1 = std::min(t.ix0 + edge, grid.nx());
+      t.iy0 = j * edge;
+      t.iy1 = std::min(t.iy0 + edge, grid.ny());
+      tiles.push_back(t);
+    }
+  }
+  return tiles;
+}
+
+/// Per-chunk scratch, reused across the tiles of one chunk so the steady
+/// state allocates only when a tile needs a bigger system than any before
+/// it in the chunk.
+struct TileScratch {
+  std::vector<std::uint32_t> local;
+  std::vector<double> ox, oy, w, rhs, b, y;
+};
+
+}  // namespace
+
+LocalizedAnalysis localized_analyze(
+    const Grid& background,
+    const std::vector<AssimObservation>& observations,
+    const BlueParams& params, bool want_spread, exec::Executor* executor) {
+  LocalizedAnalysis out{BlueResult{background, 0.0, 0.0, observations.size()},
+                        std::nullopt,
+                        LocalizedStats{}};
+  double sb2 = params.sigma_b * params.sigma_b;
+  if (want_spread)
+    out.spread.emplace(background.nx(), background.ny(), background.width_m(),
+                       background.height_m(), params.sigma_b);
+  std::size_t n = observations.size();
+  if (n == 0) return out;
+
+  // Innovations d = y − H x_b, global and sequential (O(n)) — identical
+  // to the dense path's diagnostics.
+  std::vector<double> innovation(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AssimObservation& obs = observations[i];
+    innovation[i] = obs.value - background.sample(obs.x_m, obs.y_m);
+    out.result.innovation_rms += innovation[i] * innovation[i];
+  }
+  out.result.innovation_rms =
+      std::sqrt(out.result.innovation_rms / static_cast<double>(n));
+
+  double cutoff = params.cutoff_radius_m();
+  CovTaper taper = params.localization.taper;
+  ObsIndex index(observations, cutoff);
+  std::vector<Tile> tiles =
+      make_tiles(background, params.localization.tile_cells);
+
+  Grid& analysis = out.result.analysis;
+  Grid* spread = out.spread ? &*out.spread : nullptr;
+  out.stats.tiles = tiles.size();
+  // Diagnostics accumulate with atomics (order-independent integer sums,
+  // so still deterministic); the field itself is written tile-locally.
+  std::atomic<std::size_t> empty_tiles{0}, max_local{0};
+  std::atomic<std::uint64_t> local_total{0};
+
+  exec::parallel_for(
+      executor, tiles.size(),
+      [&](std::size_t t_begin, std::size_t t_end) {
+        TileScratch s;
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          const Tile& tile = tiles[t];
+          // Halo box: every observation within cutoff of any cell center
+          // of this tile lies inside it (inclusive bounds, so an
+          // observation exactly on the halo edge contributes its — zero —
+          // covariance consistently everywhere).
+          double x_lo = analysis.cell_x(tile.ix0) - cutoff;
+          double x_hi = analysis.cell_x(tile.ix1 - 1) + cutoff;
+          double y_lo = analysis.cell_y(tile.iy0) - cutoff;
+          double y_hi = analysis.cell_y(tile.iy1 - 1) + cutoff;
+          index.query_box(x_lo, y_lo, x_hi, y_hi, s.local);
+          std::size_t m = s.local.size();
+          local_total.fetch_add(m, std::memory_order_relaxed);
+          if (m == 0) {
+            empty_tiles.fetch_add(1, std::memory_order_relaxed);
+            continue;  // background unchanged, spread stays sigma_b
+          }
+          std::size_t prev = max_local.load(std::memory_order_relaxed);
+          while (prev < m && !max_local.compare_exchange_weak(
+                                 prev, m, std::memory_order_relaxed)) {
+          }
+
+          s.ox.resize(m);
+          s.oy.resize(m);
+          s.rhs.resize(m);
+          for (std::size_t k = 0; k < m; ++k) {
+            const AssimObservation& o = observations[s.local[k]];
+            s.ox[k] = o.x_m;
+            s.oy[k] = o.y_m;
+            s.rhs[k] = innovation[s.local[k]];
+          }
+
+          // Local S = H B Hᵀ + R over the halo set, then one Cholesky —
+          // the factorization every cell of this tile reuses, for the
+          // increment and the spread alike.
+          Matrix local_s(m, m);
+          for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+              double cov = tapered_covariance(s.ox[i] - s.ox[j],
+                                              s.oy[i] - s.oy[j], sb2,
+                                              params.corr_length_m, taper,
+                                              cutoff);
+              local_s(i, j) = cov;
+              local_s(j, i) = cov;
+            }
+            double sr = observations[s.local[i]].sigma_r;
+            local_s(i, i) += sr * sr;
+          }
+          cholesky(local_s);
+          s.w = cholesky_solve(local_s, s.rhs);
+
+          s.b.resize(m);
+          s.y.resize(m);
+          for (std::size_t iy = tile.iy0; iy < tile.iy1; ++iy) {
+            double cy = analysis.cell_y(iy);
+            for (std::size_t ix = tile.ix0; ix < tile.ix1; ++ix) {
+              double cx = analysis.cell_x(ix);
+              // b_x once per cell; the increment is w·b_x and the spread
+              // reduction is ‖L⁻¹ b_x‖² off the same vector.
+              double update = 0.0;
+              for (std::size_t k = 0; k < m; ++k) {
+                s.b[k] = tapered_covariance(cx - s.ox[k], cy - s.oy[k], sb2,
+                                            params.corr_length_m, taper,
+                                            cutoff);
+                update += s.w[k] * s.b[k];
+              }
+              analysis.at(ix, iy) += update;
+              if (spread != nullptr) {
+                double reduction = 0.0;
+                for (std::size_t i = 0; i < m; ++i) {
+                  double v = s.b[i];
+                  for (std::size_t k = 0; k < i; ++k)
+                    v -= local_s(i, k) * s.y[k];
+                  s.y[i] = v / local_s(i, i);
+                  reduction += s.y[i] * s.y[i];
+                }
+                spread->at(ix, iy) =
+                    std::sqrt(std::max(sb2 - reduction, 0.0));
+              }
+            }
+          }
+        }
+      });
+
+  out.stats.empty_tiles = empty_tiles.load();
+  out.stats.max_local_obs = max_local.load();
+  out.stats.local_obs_total = local_total.load();
+
+  // Residual diagnostics on the finished analysis (global, sequential).
+  for (std::size_t i = 0; i < n; ++i) {
+    const AssimObservation& obs = observations[i];
+    double r = obs.value - analysis.sample(obs.x_m, obs.y_m);
+    out.result.residual_rms += r * r;
+  }
+  out.result.residual_rms =
+      std::sqrt(out.result.residual_rms / static_cast<double>(n));
+  return out;
+}
+
+Grid localized_spread(const Grid& like,
+                      const std::vector<AssimObservation>& observations,
+                      const BlueParams& params, exec::Executor* executor) {
+  // A spread-only pass still runs the combined engine: the increment's
+  // extra w·b dot product per cell is noise next to the substitutions,
+  // and one code path means one determinism argument.
+  Grid background(like.nx(), like.ny(), like.width_m(), like.height_m(), 0.0);
+  LocalizedAnalysis a = localized_analyze(background, observations, params,
+                                          /*want_spread=*/true, executor);
+  return std::move(*a.spread);
+}
+
+}  // namespace mps::assim

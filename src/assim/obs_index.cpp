@@ -1,0 +1,107 @@
+#include "assim/obs_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mps::assim {
+
+namespace {
+
+/// Bucket-count ceiling: beyond this the cell size is coarsened. 2^18
+/// buckets of 8 bytes of CSR overhead is ~2 MiB — ample for any city
+/// extent while keeping a pathological (tiny radius, continental extent)
+/// configuration from allocating gigabytes.
+constexpr std::size_t kMaxBuckets = 1u << 18;
+
+}  // namespace
+
+ObsIndex::ObsIndex(const std::vector<AssimObservation>& observations,
+                   double cell_size_m)
+    : obs_(&observations) {
+  cell_ = cell_size_m > 0.0 && std::isfinite(cell_size_m) ? cell_size_m : 1.0;
+  if (observations.empty()) {
+    start_.assign(2, 0);
+    return;
+  }
+  double max_x = observations[0].x_m, max_y = observations[0].y_m;
+  min_x_ = max_x;
+  min_y_ = max_y;
+  for (const AssimObservation& o : observations) {
+    min_x_ = std::min(min_x_, o.x_m);
+    min_y_ = std::min(min_y_, o.y_m);
+    max_x = std::max(max_x, o.x_m);
+    max_y = std::max(max_y, o.y_m);
+  }
+  auto buckets_for = [&](double cell) {
+    std::size_t bx = static_cast<std::size_t>((max_x - min_x_) / cell) + 1;
+    std::size_t by = static_cast<std::size_t>((max_y - min_y_) / cell) + 1;
+    return std::pair<std::size_t, std::size_t>{bx, by};
+  };
+  auto [bx, by] = buckets_for(cell_);
+  while (bx * by > kMaxBuckets) {
+    cell_ *= 2.0;
+    std::tie(bx, by) = buckets_for(cell_);
+  }
+  nx_ = bx;
+  ny_ = by;
+
+  // Counting sort into CSR: one pass to count, prefix sum, one pass to
+  // place. Observation order within a bucket is the input order, so the
+  // whole layout — and every query answered from it — is a pure function
+  // of the observation vector.
+  std::vector<std::uint32_t> counts(nx_ * ny_ + 1, 0);
+  std::vector<std::uint32_t> bucket_of(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    std::size_t b = bucket_y(observations[i].y_m) * nx_ +
+                    bucket_x(observations[i].x_m);
+    bucket_of[i] = static_cast<std::uint32_t>(b);
+    ++counts[b + 1];
+  }
+  for (std::size_t b = 1; b < counts.size(); ++b) counts[b] += counts[b - 1];
+  start_ = counts;
+  entries_.resize(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i)
+    entries_[counts[bucket_of[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t ObsIndex::bucket_x(double x) const {
+  double t = (x - min_x_) / cell_;
+  if (!(t > 0.0)) return 0;
+  std::size_t b = static_cast<std::size_t>(t);
+  return b < nx_ ? b : nx_ - 1;
+}
+
+std::size_t ObsIndex::bucket_y(double y) const {
+  double t = (y - min_y_) / cell_;
+  if (!(t > 0.0)) return 0;
+  std::size_t b = static_cast<std::size_t>(t);
+  return b < ny_ ? b : ny_ - 1;
+}
+
+void ObsIndex::query_box(double x_min, double y_min, double x_max,
+                         double y_max,
+                         std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (entries_.empty() || x_max < x_min || y_max < y_min) return;
+  std::size_t bx0 = bucket_x(x_min), bx1 = bucket_x(x_max);
+  std::size_t by0 = bucket_y(y_min), by1 = bucket_y(y_max);
+  const std::vector<AssimObservation>& obs = *obs_;
+  for (std::size_t by = by0; by <= by1; ++by) {
+    for (std::size_t bx = bx0; bx <= bx1; ++bx) {
+      std::size_t b = by * nx_ + bx;
+      for (std::uint32_t e = start_[b]; e < start_[b + 1]; ++e) {
+        std::uint32_t i = entries_[e];
+        const AssimObservation& o = obs[i];
+        if (o.x_m >= x_min && o.x_m <= x_max && o.y_m >= y_min &&
+            o.y_m <= y_max)
+          out.push_back(i);
+      }
+    }
+  }
+  // Buckets are visited row-major but filled in input order, so the
+  // collected indices are ascending only within a bucket; sort for the
+  // global ascending contract (m log m over the *local* set only).
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace mps::assim

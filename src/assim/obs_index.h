@@ -1,0 +1,59 @@
+// Uniform-bucket spatial index over assimilation observations.
+//
+// The localized analysis (localize.h) asks, per tile, "which observations
+// lie within the tile's halo box?". A linear scan makes that O(tiles x
+// n_obs) — exactly the quadratic coupling localization is meant to break
+// — so observations are bucketed once into a uniform grid keyed by the
+// localization radius: a box query then touches only the buckets the box
+// overlaps, O(local obs) per tile.
+//
+// Determinism: the index is a pure function of the observation vector
+// (counting-sort into CSR buckets, original order preserved within a
+// bucket) and query_box returns indices in ascending order, so every
+// consumer iterates local observations in the same order no matter how
+// tiles are scheduled across threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assim/blue.h"
+
+namespace mps::assim {
+
+/// Bucket grid over the observations' bounding box.
+class ObsIndex {
+ public:
+  /// `cell_size_m` is the bucket edge length — the localization cutoff
+  /// radius is the natural choice (a halo query then spans at most one
+  /// bucket ring past the tile). Non-positive sizes are clamped; the
+  /// bucket count is capped so a tiny radius over a huge extent cannot
+  /// balloon memory (buckets grow coarser instead, queries stay exact).
+  ObsIndex(const std::vector<AssimObservation>& observations,
+           double cell_size_m);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t bucket_count() const { return nx_ * ny_; }
+
+  /// Appends the indices of all observations with x in [x_min, x_max] and
+  /// y in [y_min, y_max] to `out`, in ascending index order. `out` is
+  /// cleared first; inclusive bounds so an observation exactly on a halo
+  /// edge is found by both neighbouring tiles.
+  void query_box(double x_min, double y_min, double x_max, double y_max,
+                 std::vector<std::uint32_t>& out) const;
+
+ private:
+  std::size_t bucket_x(double x) const;
+  std::size_t bucket_y(double y) const;
+
+  const std::vector<AssimObservation>* obs_;
+  double cell_ = 1.0;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  std::size_t nx_ = 1, ny_ = 1;
+  /// CSR layout: entries_[start_[b] .. start_[b+1]) are the observation
+  /// indices in bucket b (row-major, iy*nx+ix).
+  std::vector<std::uint32_t> start_;
+  std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace mps::assim

@@ -405,6 +405,29 @@ Result<std::string> NetClient::query_metrics(const std::string& prefix) {
   return reply.text;
 }
 
+Result<std::string> NetClient::query_series(std::uint32_t last_windows) {
+  if (!connected()) {
+    Status s = connect_now();
+    if (!s.ok()) return s.error();
+  }
+  wire::SeriesQueryMsg q;
+  q.last_windows = last_windows;
+  scratch_.clear();
+  wire::encode_series_query(q, scratch_);
+  Response resp;
+  if (roundtrip(wire::MsgType::kSeriesQuery, scratch_, resp) != XResult::kOk ||
+      resp.type != wire::MsgType::kSeriesReply) {
+    disconnect();
+    return err(ErrorCode::kUnavailable, "series query failed");
+  }
+  wire::SeriesReplyMsg reply;
+  if (!wire::decode_series_reply(resp.body, reply)) {
+    disconnect();
+    return err(ErrorCode::kInternal, "malformed series reply");
+  }
+  return reply.jsonl;
+}
+
 Status NetClient::ping() {
   if (!connected()) {
     Status s = connect_now();

@@ -107,6 +107,12 @@ class NetClient {
   /// names with `prefix`).
   Result<std::string> query_metrics(const std::string& prefix = "");
 
+  /// Fetches the server's windowed time-series as JSONL — one JSON
+  /// object per closed rollup window, oldest first; `last_windows`
+  /// limits to the most recent windows (0 = all retained). Empty string
+  /// when the server has no TimeSeries attached.
+  Result<std::string> query_series(std::uint32_t last_windows = 0);
+
   /// Round-trip liveness probe.
   Status ping();
 

@@ -14,6 +14,7 @@
 #include "broker/broker.h"
 #include "common/log.h"
 #include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
 
 namespace mps::net {
 
@@ -413,6 +414,17 @@ bool NetServer::dispatch(Conn& conn, const wire::Frame& frame) {
       }
       wire::encode_metrics_reply(r, body_scratch_);
       reply(conn, MsgType::kMetricsReply, frame.request_id, body_scratch_);
+      return true;
+    }
+    case MsgType::kSeriesQuery: {
+      wire::SeriesQueryMsg q;
+      if (!wire::decode_series_query(frame.body, q)) return poison();
+      ++stats_.series_queries;
+      wire::SeriesReplyMsg r;
+      if (served_series_ != nullptr)
+        r.jsonl = served_series_->to_jsonl(q.last_windows);
+      wire::encode_series_reply(r, body_scratch_);
+      reply(conn, MsgType::kSeriesReply, frame.request_id, body_scratch_);
       return true;
     }
     default:

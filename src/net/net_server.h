@@ -44,6 +44,10 @@ namespace mps::broker {
 class Broker;
 }
 
+namespace mps::obs {
+class TimeSeries;
+}
+
 namespace mps::net {
 
 /// Server configuration.
@@ -80,6 +84,7 @@ struct NetServerStats {
   std::uint64_t publishes = 0;        ///< publish frames dispatched OK
   std::uint64_t publish_errors = 0;   ///< publishes answered with an error
   std::uint64_t metrics_queries = 0;
+  std::uint64_t series_queries = 0;
   std::uint64_t drop_conn_injected = 0;  ///< kNetDropConn faults fired
 };
 
@@ -122,6 +127,12 @@ class NetServer {
   /// Registry served to kMetricsQuery frames (and, when set_metrics was
   /// also called, the sink for net.* counters). Pass nullptr to detach.
   void serve_registry(obs::Registry* registry) { served_registry_ = registry; }
+
+  /// TimeSeries served to kSeriesQuery frames — the same windowed JSONL
+  /// GET /metrics/series exposes over REST. Pass nullptr to detach
+  /// (queries then answer with an empty series, not an error: a server
+  /// without telemetry wired up is not a protocol violation).
+  void serve_timeseries(obs::TimeSeries* series) { served_series_ = series; }
 
   /// Mirrors the server counters into `registry` under net.* names.
   void set_metrics(obs::Registry* registry);
@@ -183,6 +194,7 @@ class NetServer {
   /// equivalence anchor) with fleet-style arena recycling.
   ingest::BatchPool pool_;
   obs::Registry* served_registry_ = nullptr;
+  obs::TimeSeries* served_series_ = nullptr;
   NetServerStats stats_;
   std::string frame_scratch_;  ///< reused response-frame encode buffer
   std::string body_scratch_;   ///< reused response-body encode buffer

@@ -44,7 +44,7 @@ std::uint64_t get_u64(const char* p) {
 
 bool msg_type_valid(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kPong);
+         raw <= static_cast<std::uint8_t>(MsgType::kSeriesReply);
 }
 
 const char* msg_type_name(MsgType t) {
@@ -59,6 +59,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kMetricsReply: return "metrics_reply";
     case MsgType::kPing: return "ping";
     case MsgType::kPong: return "pong";
+    case MsgType::kSeriesQuery: return "series_query";
+    case MsgType::kSeriesReply: return "series_reply";
   }
   return "unknown";
 }
@@ -452,6 +454,30 @@ bool decode_metrics_reply(std::string_view body, MetricsReplyMsg& out) {
   std::string_view text;
   if (!r.str(text) || !r.done()) return false;
   out.text.assign(text);
+  return true;
+}
+
+void encode_series_query(const SeriesQueryMsg& m, std::string& out) {
+  Writer w(out);
+  w.u32(m.last_windows);
+}
+
+bool decode_series_query(std::string_view body, SeriesQueryMsg& out) {
+  Reader r(body);
+  if (!r.u32(out.last_windows) || !r.done()) return false;
+  return true;
+}
+
+void encode_series_reply(const SeriesReplyMsg& m, std::string& out) {
+  Writer w(out);
+  w.str(m.jsonl);
+}
+
+bool decode_series_reply(std::string_view body, SeriesReplyMsg& out) {
+  Reader r(body);
+  std::string_view jsonl;
+  if (!r.str(jsonl) || !r.done()) return false;
+  out.jsonl.assign(jsonl);
   return true;
 }
 

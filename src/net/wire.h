@@ -73,6 +73,8 @@ enum class MsgType : std::uint8_t {
   kMetricsReply = 8,
   kPing = 9,
   kPong = 10,
+  kSeriesQuery = 11, ///< windowed time-series export (obs::TimeSeries JSONL)
+  kSeriesReply = 12,
 };
 
 /// True for byte values that name a MsgType.
@@ -216,5 +218,20 @@ struct MetricsReplyMsg {
 };
 void encode_metrics_reply(const MetricsReplyMsg& m, std::string& out);
 bool decode_metrics_reply(std::string_view body, MetricsReplyMsg& out);
+
+/// Windowed time-series query: the last `last_windows` closed rollup
+/// windows (0 = everything retained), as the same JSONL the REST
+/// endpoint GET /metrics/series serves.
+struct SeriesQueryMsg {
+  std::uint32_t last_windows = 0;
+};
+void encode_series_query(const SeriesQueryMsg& m, std::string& out);
+bool decode_series_query(std::string_view body, SeriesQueryMsg& out);
+
+struct SeriesReplyMsg {
+  std::string jsonl;  ///< one JSON object per closed window, "\n"-joined
+};
+void encode_series_reply(const SeriesReplyMsg& m, std::string& out);
+bool decode_series_reply(std::string_view body, SeriesReplyMsg& out);
 
 }  // namespace mps::net::wire

@@ -242,4 +242,16 @@ std::string TimeSeries::window_to_json_line(const SeriesWindow& w) const {
   return window_to_value(*this, w, hist_edges_).to_json();
 }
 
+std::string TimeSeries::to_jsonl(std::size_t last_windows) const {
+  std::size_t first = 0;
+  if (last_windows != 0 && last_windows < windows_.size())
+    first = windows_.size() - last_windows;
+  std::string out;
+  for (std::size_t i = first; i < windows_.size(); ++i) {
+    if (!out.empty()) out.push_back('\n');
+    out += window_to_json_line(windows_[i]);
+  }
+  return out;
+}
+
 }  // namespace mps::obs

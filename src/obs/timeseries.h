@@ -124,6 +124,12 @@ class TimeSeries {
   ///    "p99":...}}}, ...]}
   Value to_json() const;
 
+  /// The last `last_windows` closed windows (0 = all retained), one
+  /// compact JSON object per line, oldest first — the same lines the
+  /// JSONL sink emits, batched for pull-style consumers (the wire
+  /// protocol's series query and REST GET /metrics/series export).
+  std::string to_jsonl(std::size_t last_windows = 0) const;
+
   /// Installs a sink invoked with one compact JSON line per *closed*
   /// window — the periodic JSONL telemetry stream. Null detaches.
   void set_sink(std::function<void(const std::string& line)> sink) {

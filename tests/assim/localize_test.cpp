@@ -1,0 +1,378 @@
+#include "assim/localize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "assim/cycle.h"
+#include "assim/obs_index.h"
+#include "common/rng.h"
+
+namespace mps::assim {
+namespace {
+
+std::vector<AssimObservation> random_obs(std::size_t n, double extent,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AssimObservation> obs(n);
+  for (AssimObservation& o : obs) {
+    o.x_m = rng.uniform(0, extent);
+    o.y_m = rng.uniform(0, extent);
+    o.value = rng.uniform(40, 80);
+    o.sigma_r = rng.uniform(1.0, 4.0);
+  }
+  return obs;
+}
+
+// --- Taper --------------------------------------------------------------
+
+TEST(Taper, GaspariCohnShape) {
+  const double c = 1000.0;
+  EXPECT_DOUBLE_EQ(taper_value(CovTaper::kGaspariCohn, 0.0, c), 1.0);
+  EXPECT_EQ(taper_value(CovTaper::kGaspariCohn, c, c), 0.0);
+  EXPECT_EQ(taper_value(CovTaper::kGaspariCohn, 2 * c, c), 0.0);
+  // Monotone non-increasing over the support and continuous at the
+  // half-width branch point.
+  double prev = 1.0;
+  for (int i = 1; i <= 100; ++i) {
+    double v = taper_value(CovTaper::kGaspariCohn, c * i / 100.0, c);
+    EXPECT_LE(v, prev + 1e-12);
+    EXPECT_GE(v, 0.0);
+    prev = v;
+  }
+  double at_half_lo = taper_value(CovTaper::kGaspariCohn, c * 0.5 - 1e-9, c);
+  double at_half_hi = taper_value(CovTaper::kGaspariCohn, c * 0.5 + 1e-9, c);
+  EXPECT_NEAR(at_half_lo, at_half_hi, 1e-6);
+}
+
+TEST(Taper, ExponentialCutoffIsHard) {
+  EXPECT_DOUBLE_EQ(taper_value(CovTaper::kExponentialCutoff, 999.999, 1000),
+                   1.0);
+  EXPECT_EQ(taper_value(CovTaper::kExponentialCutoff, 1000.0, 1000), 0.0);
+}
+
+TEST(Taper, CovarianceZeroBeyondCutoff) {
+  // The property localization rests on: exactly zero, not merely small.
+  EXPECT_EQ(tapered_covariance(3000, 4000, 16.0, 1500, CovTaper::kGaspariCohn,
+                               5000),
+            0.0);
+  EXPECT_GT(tapered_covariance(3000, 3999, 16.0, 1500, CovTaper::kGaspariCohn,
+                               5001),
+            0.0);
+}
+
+// --- ObsIndex -----------------------------------------------------------
+
+TEST(ObsIndex, EmptyAndDegenerate) {
+  std::vector<AssimObservation> none;
+  ObsIndex empty(none, 100.0);
+  std::vector<std::uint32_t> out{7};
+  empty.query_box(0, 0, 1e9, 1e9, out);
+  EXPECT_TRUE(out.empty());
+
+  // All observations at one point; non-positive cell size is clamped.
+  std::vector<AssimObservation> same(5, AssimObservation{10, 10, 50, 1});
+  ObsIndex idx(same, -3.0);
+  idx.query_box(10, 10, 10, 10, out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(ObsIndex, InclusiveBoxEdges) {
+  std::vector<AssimObservation> obs{{0, 0, 0, 1}, {100, 100, 0, 1}};
+  ObsIndex idx(obs, 30.0);
+  std::vector<std::uint32_t> out;
+  idx.query_box(0, 0, 100, 100, out);
+  EXPECT_EQ(out.size(), 2u);
+  idx.query_box(0, 0, 99.999, 100, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ObsIndex, MatchesBruteForceAcrossSeeds) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto obs = random_obs(300, 5000, seed);
+    ObsIndex idx(obs, 400.0);
+    Rng rng(seed * 77 + 1);
+    std::vector<std::uint32_t> got;
+    for (int q = 0; q < 50; ++q) {
+      double x0 = rng.uniform(-500, 5500), y0 = rng.uniform(-500, 5500);
+      double x1 = x0 + rng.uniform(0, 2500), y1 = y0 + rng.uniform(0, 2500);
+      idx.query_box(x0, y0, x1, y1, got);
+      std::vector<std::uint32_t> want;
+      for (std::uint32_t i = 0; i < obs.size(); ++i)
+        if (obs[i].x_m >= x0 && obs[i].x_m <= x1 && obs[i].y_m >= y0 &&
+            obs[i].y_m <= y1)
+          want.push_back(i);
+      EXPECT_EQ(got, want);  // equality implies the ascending contract
+    }
+  }
+}
+
+TEST(ObsIndex, BucketCountCappedForTinyCells) {
+  auto obs = random_obs(50, 1e7, 9);
+  ObsIndex idx(obs, 1.0);  // naively 1e14 buckets
+  EXPECT_LE(idx.bucket_count(), std::size_t{1} << 18);
+  std::vector<std::uint32_t> out;
+  idx.query_box(0, 0, 1e7, 1e7, out);
+  EXPECT_EQ(out.size(), obs.size());
+}
+
+// --- Localized analysis -------------------------------------------------
+
+BlueParams localized_params(double corr = 600, double cutoff = 0,
+                            std::size_t tile = 8,
+                            CovTaper taper = CovTaper::kGaspariCohn) {
+  BlueParams p;
+  p.sigma_b = 4.0;
+  p.corr_length_m = corr;
+  p.localization.enabled = true;
+  p.localization.cutoff_radius_m = cutoff;
+  p.localization.tile_cells = tile;
+  p.localization.taper = taper;
+  return p;
+}
+
+TEST(Localized, CutoffDefaultResolves) {
+  BlueParams p;
+  p.corr_length_m = 1000;
+  EXPECT_DOUBLE_EQ(p.cutoff_radius_m(), 2500.0);
+  p.localization.cutoff_radius_m = 123.0;
+  EXPECT_DOUBLE_EQ(p.cutoff_radius_m(), 123.0);
+}
+
+TEST(Localized, NoObservationsIsBackgroundAndFlatSpread) {
+  Grid background(16, 16, 1600, 1600, 55.0);
+  auto a = localized_analyze(background, {}, localized_params(), true);
+  EXPECT_EQ(a.result.analysis.values(), background.values());
+  EXPECT_EQ(a.result.observations_used, 0u);
+  ASSERT_TRUE(a.spread.has_value());
+  EXPECT_DOUBLE_EQ(a.spread->min(), 4.0);
+  EXPECT_DOUBLE_EQ(a.spread->max(), 4.0);
+}
+
+TEST(Localized, MatchesDenseWhenCutoffCoversDomain) {
+  // r_loc beyond the domain diameter with the hard taper: every tile
+  // gathers every observation in ascending order and the tapered
+  // covariance is the plain exponential, so each tile solves exactly the
+  // dense system — the analyses agree to rounding.
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    Grid background(24, 24, 4000, 4000, 50.0 + static_cast<double>(seed));
+    auto obs = random_obs(80, 4000, seed);
+    BlueParams dense;
+    dense.sigma_b = 4.0;
+    dense.corr_length_m = 900;
+    BlueParams local = dense;
+    local.localization.enabled = true;
+    local.localization.cutoff_radius_m = 1e9;
+    local.localization.tile_cells = 7;  // uneven tiling on purpose
+    local.localization.taper = CovTaper::kExponentialCutoff;
+
+    BlueResult want = blue_analysis(background, obs, dense);
+    auto got = localized_analyze(background, obs, local, true);
+    EXPECT_NEAR(got.result.innovation_rms, want.innovation_rms, 1e-9);
+    EXPECT_NEAR(got.result.residual_rms, want.residual_rms, 1e-9);
+    ASSERT_EQ(got.result.analysis.size(), want.analysis.size());
+    for (std::size_t i = 0; i < want.analysis.size(); ++i)
+      EXPECT_NEAR(got.result.analysis[i], want.analysis[i], 1e-8);
+    EXPECT_LT(got.result.analysis.rmse(want.analysis), 1e-9);
+
+    Grid want_spread = analysis_spread(background, obs, dense);
+    EXPECT_LT(got.spread->rmse(want_spread), 1e-9);
+    EXPECT_EQ(got.stats.max_local_obs, obs.size());
+    EXPECT_EQ(got.stats.empty_tiles, 0u);
+  }
+}
+
+TEST(Localized, GaspariCohnConvergesToDenseAsCutoffGrows) {
+  Grid background(20, 20, 4000, 4000, 52.0);
+  auto obs = random_obs(60, 4000, 21);
+  BlueParams dense;
+  dense.corr_length_m = 800;
+  BlueResult want = blue_analysis(background, obs, dense);
+
+  double prev_err = 1e30;
+  for (double cutoff : {4000.0, 16000.0, 1e8}) {
+    BlueParams local = dense;
+    local.localization.enabled = true;
+    local.localization.cutoff_radius_m = cutoff;
+    BlueResult got = blue_analysis(background, obs, local);
+    double e = got.analysis.rmse(want.analysis);
+    EXPECT_LT(e, prev_err + 1e-15);
+    prev_err = e;
+  }
+  EXPECT_LT(prev_err, 1e-6);  // the acceptance gate's r_loc → ∞ bound
+}
+
+TEST(Localized, BitIdenticalAcrossThreadCounts) {
+  Grid background(32, 32, 6400, 6400, 48.0);
+  auto obs = random_obs(150, 6400, 31);
+  BlueParams params = localized_params(600, 1500, 8);
+  auto seq = localized_analyze(background, obs, params, true, nullptr);
+  for (std::size_t threads : {2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    auto par = localized_analyze(background, obs, params, true, &pool);
+    EXPECT_EQ(par.result.analysis.values(), seq.result.analysis.values())
+        << "threads=" << threads;
+    EXPECT_EQ(par.spread->values(), seq.spread->values());
+    EXPECT_EQ(par.result.innovation_rms, seq.result.innovation_rms);
+    EXPECT_EQ(par.result.residual_rms, seq.result.residual_rms);
+    EXPECT_EQ(par.stats.max_local_obs, seq.stats.max_local_obs);
+    EXPECT_EQ(par.stats.local_obs_total, seq.stats.local_obs_total);
+  }
+}
+
+TEST(Localized, ZeroObsTilesKeepBackgroundAndFullSpread) {
+  // All observations cluster in the south-west corner with a small
+  // cutoff: far tiles must be untouched — exactly, not approximately.
+  Grid background(32, 32, 6400, 6400, 50.0);
+  Rng rng(5);
+  std::vector<AssimObservation> obs;
+  for (int i = 0; i < 40; ++i)
+    obs.push_back({rng.uniform(0, 800), rng.uniform(0, 800), 60.0, 2.0});
+  BlueParams params = localized_params(300, 900, 8);
+  auto a = localized_analyze(background, obs, params, true);
+  EXPECT_GT(a.stats.empty_tiles, 0u);
+  // North-east corner cell: > cutoff from every observation.
+  EXPECT_EQ(a.result.analysis.at(31, 31), 50.0);
+  EXPECT_EQ(a.spread->at(31, 31), params.sigma_b);
+  // The cluster itself was corrected toward the observed 60 dB.
+  EXPECT_GT(a.result.analysis.at(2, 2), 52.0);
+  EXPECT_LT(a.spread->at(2, 2), params.sigma_b);
+}
+
+TEST(Localized, AllObsInOneTileStillCorrectsNeighbours) {
+  // Everything lands in tile (0,0) but the cutoff reaches into the
+  // neighbouring tiles: their analyses must see the observations too
+  // (the halo), even though the obs "belong" to another tile.
+  Grid background(16, 16, 3200, 3200, 50.0);
+  std::vector<AssimObservation> obs;
+  for (int i = 0; i < 10; ++i)
+    obs.push_back({700.0 + i, 700.0 + i, 58.0, 1.0});
+  BlueParams params = localized_params(500, 1500, 8);
+  auto a = localized_analyze(background, obs, params, false);
+  // Cell (8,8) is at 1700m — inside the second tile, ~1400m from the
+  // cluster, within the cutoff.
+  EXPECT_GT(a.result.analysis.at(8, 8), 50.0 + 1e-6);
+  EXPECT_EQ(a.stats.tiles, 4u);
+}
+
+TEST(Localized, ObsOnTileAndHaloBoundary) {
+  // An observation exactly on the boundary between two tiles, and a
+  // second exactly r_loc away from a cell center (taper == 0 there):
+  // both are assigned deterministically and the run is well-behaved.
+  Grid background(16, 16, 1600, 1600, 50.0);
+  // Cell centers at 50, 150, ..., tile edge (8 cells) at x = 800.
+  std::vector<AssimObservation> obs{
+      {800.0, 800.0, 56.0, 1.0},          // exact tile boundary
+      {50.0 + 400.0, 50.0, 56.0, 1.0},    // exactly cutoff from cell (0,0)
+  };
+  BlueParams params = localized_params(200, 400, 8);
+  auto a = localized_analyze(background, obs, params, true);
+  // The boundary obs corrects cells on BOTH sides of the tile edge.
+  EXPECT_GT(a.result.analysis.at(7, 7), 50.0);
+  EXPECT_GT(a.result.analysis.at(8, 8), 50.0);
+  // Cell (0,0) is exactly at the cutoff from obs #2 → zero covariance;
+  // obs #1 is far beyond the cutoff. Untouched.
+  EXPECT_EQ(a.result.analysis.at(0, 0), 50.0);
+  EXPECT_EQ(a.spread->at(0, 0), params.sigma_b);
+}
+
+TEST(Localized, CutoffSmallerThanGridSpacing) {
+  // Cells are 100 m apart; a 30 m cutoff means an observation can only
+  // ever touch the one cell it sits in.
+  Grid background(8, 8, 800, 800, 50.0);
+  std::vector<AssimObservation> obs{{250.0, 250.0, 60.0, 0.5}};
+  BlueParams params = localized_params(600, 30, 4);
+  auto a = localized_analyze(background, obs, params, true);
+  for (std::size_t iy = 0; iy < 8; ++iy)
+    for (std::size_t ix = 0; ix < 8; ++ix) {
+      if (ix == 2 && iy == 2) {
+        EXPECT_GT(a.result.analysis.at(ix, iy), 50.0);
+        EXPECT_LT(a.spread->at(ix, iy), params.sigma_b);
+      } else {
+        EXPECT_EQ(a.result.analysis.at(ix, iy), 50.0) << ix << "," << iy;
+        EXPECT_EQ(a.spread->at(ix, iy), params.sigma_b);
+      }
+    }
+}
+
+TEST(Localized, DispatchThroughPublicEntryPoints) {
+  // blue_analysis / analysis_spread route to the tiled engine when
+  // localization is enabled.
+  Grid background(16, 16, 3200, 3200, 50.0);
+  auto obs = random_obs(40, 3200, 41);
+  BlueParams params = localized_params(500, 1200, 8);
+  BlueResult via_blue = blue_analysis(background, obs, params);
+  auto direct = localized_analyze(background, obs, params, true);
+  EXPECT_EQ(via_blue.analysis.values(), direct.result.analysis.values());
+  Grid via_spread = analysis_spread(background, obs, params);
+  EXPECT_EQ(via_spread.values(), direct.spread->values());
+}
+
+// --- Shared factorization (the double-solve fix) ------------------------
+
+TEST(Factorization, SharedFactorMatchesStandalonePaths) {
+  Grid background(20, 20, 2000, 2000, 50.0);
+  auto obs = random_obs(60, 2000, 51);
+  BlueParams params;
+  params.corr_length_m = 700;
+  ObsFactorization f(obs, params);
+  BlueResult shared = blue_analysis(background, obs, f, params);
+  BlueResult standalone = blue_analysis(background, obs, params);
+  EXPECT_EQ(shared.analysis.values(), standalone.analysis.values());
+  EXPECT_EQ(shared.residual_rms, standalone.residual_rms);
+  Grid shared_spread = analysis_spread(background, obs, f, params);
+  Grid standalone_spread = analysis_spread(background, obs, params);
+  EXPECT_EQ(shared_spread.values(), standalone_spread.values());
+}
+
+phone::Observation phone_obs(double x, double y, double value) {
+  phone::Observation obs;
+  obs.user = "u";
+  obs.model = "M";
+  obs.spl_db = value;
+  phone::LocationFix fix;
+  fix.x_m = x;
+  fix.y_m = y;
+  fix.accuracy_m = 15.0;
+  obs.location = fix;
+  return obs;
+}
+
+TEST(Factorization, CycleSpreadMatchesStandaloneAnalysisSpread) {
+  // First advance: the increment is zero, so the step's background is
+  // exactly model(step). The cycle's shared-factorization spread must be
+  // bit-identical to a standalone analysis_spread over the same window.
+  auto model = [](TimeMs) { return Grid(16, 16, 1600, 1600, 50.0); };
+  for (bool localize : {false, true}) {
+    CycleConfig config;
+    config.compute_spread = true;
+    config.blue.corr_length_m = 400;
+    config.blue.localization.enabled = localize;
+    config.blue.localization.tile_cells = 8;
+    AssimilationCycle cycle(model, 0, config);
+    EXPECT_DOUBLE_EQ(cycle.spread().mean(), config.blue.sigma_b);
+
+    Rng rng(61);
+    std::vector<phone::Observation> window;
+    for (int i = 0; i < 30; ++i)
+      window.push_back(
+          phone_obs(rng.uniform(0, 1600), rng.uniform(0, 1600), 57.0));
+    cycle.advance(window);
+
+    std::vector<AssimObservation> converted =
+        convert_observations(window, config.policy, identity_calibration());
+    Grid want = analysis_spread(model(0), converted, config.blue);
+    EXPECT_EQ(cycle.spread().values(), want.values()) << "localize=" << localize;
+  }
+}
+
+TEST(Factorization, CycleSpreadOffLeavesSigmaB) {
+  auto model = [](TimeMs) { return Grid(8, 8, 800, 800, 50.0); };
+  AssimilationCycle cycle(model, 0);
+  cycle.advance({phone_obs(400, 400, 58)});
+  EXPECT_DOUBLE_EQ(cycle.spread().mean(), cycle.config().blue.sigma_b);
+}
+
+}  // namespace
+}  // namespace mps::assim

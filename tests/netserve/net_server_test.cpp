@@ -17,6 +17,7 @@
 
 #include <arpa/inet.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "net/net_server.h"
 #include "net/wire.h"
 #include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
 #include "sim/simulation.h"
 
 namespace mps::net {
@@ -466,6 +468,59 @@ TEST(NetServer, MetricsQueryServesFilteredRegistryExport) {
   EXPECT_NE(reply.text.find("net.demo 3"), std::string::npos);
   EXPECT_EQ(reply.text.find("broker.published"), std::string::npos);
   EXPECT_EQ(s.server.stats().metrics_queries, 1u);
+}
+
+TEST(NetServer, SeriesQueryServesTimeSeriesJsonl) {
+  Stack s;
+  obs::Registry registry;
+  obs::TimeSeriesConfig tsc;
+  tsc.bucket_width = minutes(5);
+  obs::TimeSeries series(registry, tsc);
+  // Three closed windows with distinct counter activity.
+  for (int w = 0; w < 3; ++w) {
+    registry.counter("assim.steps").inc(static_cast<std::uint64_t>(w + 1));
+    series.sample(minutes(5 * w));
+  }
+  series.sample(minutes(15));  // closes the third window
+  ASSERT_EQ(series.window_count(), 3u);
+  s.server.serve_timeseries(&series);
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(s.server.port()));
+  conn.send_chunked(s.server, hello_frame(1), 64);
+  wire::Frame f;
+  std::string storage;
+  ASSERT_TRUE(conn.read_frame(s.server, f, storage));
+
+  auto query = [&](std::uint32_t last_windows, std::uint64_t req_id) {
+    wire::SeriesQueryMsg q;
+    q.last_windows = last_windows;
+    std::string body, frame;
+    wire::encode_series_query(q, body);
+    wire::encode_frame(wire::MsgType::kSeriesQuery, req_id, body, frame);
+    conn.send_chunked(s.server, frame, 64);
+    EXPECT_TRUE(conn.read_frame(s.server, f, storage));
+    EXPECT_EQ(f.type, wire::MsgType::kSeriesReply);
+    wire::SeriesReplyMsg reply;
+    EXPECT_TRUE(wire::decode_series_reply(f.body, reply));
+    return reply.jsonl;
+  };
+
+  // The wire answer is exactly the TimeSeries' own JSONL export.
+  std::string all = query(0, 2);
+  EXPECT_EQ(all, series.to_jsonl());
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 2);  // 3 lines
+  EXPECT_NE(all.find("assim.steps"), std::string::npos);
+
+  std::string last_two = query(2, 3);
+  EXPECT_EQ(last_two, series.to_jsonl(2));
+  EXPECT_EQ(std::count(last_two.begin(), last_two.end(), '\n'), 1);
+
+  // More windows than retained = everything; detached server = empty.
+  EXPECT_EQ(query(1000, 4), series.to_jsonl());
+  s.server.serve_timeseries(nullptr);
+  EXPECT_EQ(query(0, 5), "");
+  EXPECT_EQ(s.server.stats().series_queries, 4u);
 }
 
 TEST(NetServer, DropConnFaultClosesBeforeDispatch) {

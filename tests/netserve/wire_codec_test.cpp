@@ -157,6 +157,16 @@ std::vector<std::string> random_frames(std::uint64_t seed) {
   encode_metrics_reply(reply, body);
   frame(MsgType::kMetricsReply);
 
+  SeriesQueryMsg sq;
+  sq.last_windows = static_cast<std::uint32_t>(rng.uniform_int(0, 64));
+  encode_series_query(sq, body);
+  frame(MsgType::kSeriesQuery);
+
+  SeriesReplyMsg sr;
+  sr.jsonl = random_string(rng, 300);
+  encode_series_reply(sr, body);
+  frame(MsgType::kSeriesReply);
+
   frame(MsgType::kPing);
   frame(MsgType::kPong);
   return frames;
@@ -306,6 +316,50 @@ TEST(WireCodec, PublishOkAndErrRoundTrip) {
   }
 }
 
+TEST(WireCodec, SeriesQueryAndReplyRoundTrip) {
+  SeriesQueryMsg q;
+  q.last_windows = 17;
+  std::string body;
+  encode_series_query(q, body);
+  SeriesQueryMsg q2;
+  ASSERT_TRUE(decode_series_query(body, q2));
+  EXPECT_EQ(q2.last_windows, 17u);
+
+  SeriesReplyMsg r;
+  r.jsonl = "{\"start_ms\":0}\n{\"start_ms\":300000}";
+  body.clear();
+  encode_series_reply(r, body);
+  SeriesReplyMsg r2;
+  ASSERT_TRUE(decode_series_reply(body, r2));
+  EXPECT_EQ(r2.jsonl, r.jsonl);
+
+  // Decode fuzz: every truncation of each valid body is rejected, and
+  // trailing junk after a well-formed body is too (strict r.done()).
+  std::string qbody, rbody;
+  encode_series_query(q, qbody);
+  encode_series_reply(r, rbody);
+  for (std::size_t cut = 0; cut < qbody.size(); ++cut) {
+    SeriesQueryMsg out;
+    EXPECT_FALSE(decode_series_query(qbody.substr(0, cut), out)) << cut;
+  }
+  for (std::size_t cut = 0; cut < rbody.size(); ++cut) {
+    SeriesReplyMsg out;
+    EXPECT_FALSE(decode_series_reply(rbody.substr(0, cut), out)) << cut;
+  }
+  SeriesQueryMsg out_q;
+  EXPECT_FALSE(decode_series_query(qbody + "x", out_q));
+  SeriesReplyMsg out_r;
+  EXPECT_FALSE(decode_series_reply(rbody + "x", out_r));
+  // A reply whose length prefix overstates the remaining bytes must be
+  // bounded, not believed.
+  std::string hostile;
+  Writer w(hostile);
+  w.u32(0x7fffffffu);
+  hostile += "short";
+  SeriesReplyMsg out_h;
+  EXPECT_FALSE(decode_series_reply(hostile, out_h));
+}
+
 TEST(WireCodec, ValueCodecRoundTripsRandomTreesBitExactly) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     Rng rng(seed);
@@ -429,6 +483,10 @@ TEST(WireCodec, RandomGarbageNeverCrashesAnyDecoder) {
     decode_metrics_query(garbage, q);
     MetricsReplyMsg reply;
     decode_metrics_reply(garbage, reply);
+    SeriesQueryMsg sq;
+    decode_series_query(garbage, sq);
+    SeriesReplyMsg sr;
+    decode_series_reply(garbage, sr);
     Reader reader(garbage);
     Value v;
     decode_value(reader, v);

@@ -103,11 +103,17 @@ TEST(BenchGateClassify, NameSuffixRules) {
   EXPECT_EQ(classify_metric("alloc_bytes"), MetricKind::kLowerBetter);
   EXPECT_EQ(classify_metric("BM_TopicMatch.real_time"),
             MetricKind::kLowerBetter);
+  EXPECT_EQ(classify_metric("assim_localized_equiv_rmse"),
+            MetricKind::kLowerBetter);
   EXPECT_EQ(classify_metric("ingest_per_sec"), MetricKind::kHigherBetter);
   EXPECT_EQ(classify_metric("parallel_speedup"), MetricKind::kHigherBetter);
+  EXPECT_EQ(classify_metric("assim_speedup"), MetricKind::kHigherBetter);
+  EXPECT_EQ(classify_metric("assim_localized_speedup"),
+            MetricKind::kHigherBetter);
   EXPECT_EQ(classify_metric("rows_match"), MetricKind::kExact);
   EXPECT_EQ(classify_metric("replay_exact"), MetricKind::kExact);
   EXPECT_EQ(classify_metric("invariants_ok"), MetricKind::kExact);
+  EXPECT_EQ(classify_metric("assim_localized_bit_exact"), MetricKind::kExact);
   EXPECT_EQ(classify_metric("seed"), MetricKind::kInfo);
   EXPECT_EQ(classify_metric("devices"), MetricKind::kInfo);
 }

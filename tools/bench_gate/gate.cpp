@@ -44,7 +44,7 @@ MetricKind classify_metric(const std::string& name) {
     return MetricKind::kHigherBetter;
   if (ends_with(name, "_seconds") || ends_with(name, "_ms") ||
       ends_with(name, "_ns") || ends_with(name, "_bytes") ||
-      ends_with(name, ".real_time"))
+      ends_with(name, "_rmse") || ends_with(name, ".real_time"))
     return MetricKind::kLowerBetter;
   return MetricKind::kInfo;
 }

@@ -11,8 +11,9 @@
 //
 // Metrics are classified by name, so adding a bench needs no gate
 // changes:
-//   - *_seconds / *_ms / *_ns / *_bytes and google-benchmark real_time:
-//     lower is better; fails when current > baseline * time_tolerance.
+//   - *_seconds / *_ms / *_ns / *_bytes / *_rmse and google-benchmark
+//     real_time: lower is better; fails when current > baseline *
+//     time_tolerance.
 //   - *_per_sec / *_speedup: higher is better; fails when
 //     current < baseline * rate_tolerance.
 //   - *_exact / *_match / *_ok: exact; fails on any difference (these
