@@ -32,12 +32,23 @@
 //                             equivalence suite pins it); combines with
 //                             --chaos=... to take the listener down with
 //                             every server kill.
+//
+// Sharded serving plane (DESIGN.md §16):
+//   --shards=N                partition the deployment across N replicated
+//                             shard nodes; every client hashes to one of
+//                             256 slots and its publishes route to the
+//                             owning shard's broker. Combine with the
+//                             fleet chaos profiles to kill primaries and
+//                             migrate slots mid-study:
+//   ./build/examples/city_deployment --shards=3 --chaos=shard-kill
+//   ./build/examples/city_deployment --shards=3 --chaos=shard-kill-lossy
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bench_util.h"
 #include "common/strings.h"
@@ -52,6 +63,7 @@
 #include "obs/span.h"
 #include "obs/timeseries.h"
 #include "obs/trace_export.h"
+#include "shard/fleet.h"
 #include "study/invariants.h"
 #include "study/study.h"
 
@@ -63,11 +75,19 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string net_mode;
   std::uint64_t seed = 7;
+  std::uint32_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
       chaos_profile = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<std::uint32_t>(
+          std::strtoul(argv[i] + 9, nullptr, 10));
+      if (shards < 1 || shards > 64) {
+        std::fprintf(stderr, "--shards must be in [1, 64]\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
@@ -82,11 +102,31 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--chaos=none|lossy-network|crashy-client|"
-                   "server-kill|server-kill-lossy] [--seed=N] "
+                   "server-kill|server-kill-lossy|shard-kill|"
+                   "shard-kill-lossy] [--seed=N] [--shards=N] "
                    "[--net=loopback] [--trace=FILE] [--telemetry=FILE]\n",
                    argv[0]);
       return 2;
     }
+  }
+  const bool fleet_mode = shards > 1;
+  if (starts_with(chaos_profile, "shard-kill") && !fleet_mode) {
+    std::fprintf(stderr, "--chaos=%s needs a fleet: pass --shards=2 or more\n",
+                 chaos_profile.c_str());
+    return 2;
+  }
+  if (fleet_mode && starts_with(chaos_profile, "server-kill")) {
+    std::fprintf(stderr,
+                 "--shards uses per-shard journals; use --chaos=shard-kill "
+                 "instead of %s\n",
+                 chaos_profile.c_str());
+    return 2;
+  }
+  if (fleet_mode && net_mode == "loopback") {
+    std::fprintf(stderr,
+                 "--net=loopback fronts a single server; it does not combine "
+                 "with --shards yet\n");
+    return 2;
   }
   // --- Infrastructure + fleet ------------------------------------------
   sim::Simulation sim;
@@ -103,13 +143,35 @@ int main(int argc, char** argv) {
   server.set_metrics(&registry);
   server.set_tracer(&tracker);
 
+  // --shards=N: the same deployment partitioned across a replicated
+  // fleet (DESIGN.md §16). Every client hashes to a slot, every slot to
+  // a shard; the single-server stack above stays as the plumbing
+  // StudyRunner's constructor wants but all traffic routes per publish
+  // through the fleet. One registry still observes everything.
+  std::unique_ptr<shard::ShardFleet> fleet;
+  if (fleet_mode) {
+    shard::FleetConfig fleet_config;
+    fleet_config.shards = shards;
+    fleet_config.metrics = &registry;
+    fleet = std::make_unique<shard::ShardFleet>(sim, fleet_config);
+    for (std::uint32_t s = 0; s < fleet->size(); ++s) {
+      fleet->node(s).server().set_metrics(&registry);
+      fleet->node(s).server().set_tracer(&tracker);
+    }
+    std::printf("fleet: %u shards, %u hash slots, per-shard WAL shipping "
+                "armed\n",
+                fleet->size(), shard::kHashSlots);
+  }
+
   // Windowed telemetry plane: half-day windows over the two-week run,
   // sampled by the same sim hook that prints the ops report below, and
   // queryable live at GET /metrics/series.
   obs::TimeSeriesConfig series_config;
   series_config.bucket_width = hours(12);
   obs::TimeSeries series(registry, series_config);
-  server.set_timeseries(&series);
+  // With a fleet, shard 0's API serves the series (the registry behind it
+  // is fleet-wide anyway).
+  (fleet ? fleet->node(0).server() : server).set_timeseries(&series);
   std::ofstream telemetry_out;
   if (!telemetry_path.empty()) {
     telemetry_out.open(telemetry_path);
@@ -137,6 +199,10 @@ int main(int argc, char** argv) {
   study_config.journey_release = days(10);  // journey mode ships mid-study
   study_config.metrics = &registry;
   study_config.tracer = &tracker;
+  if (fleet) {
+    study_config.shard_fleet = fleet.get();
+    study_config.snapshot_period = hours(6);  // keeps every follower promotable
+  }
 
   // --net=loopback: the fleet publishes over real sockets through the
   // epoll server; the registry (declared above) outlives it.
@@ -174,7 +240,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed));
   }
 
-  study::StudyRunner runner(population, study_config, sim, broker, server);
+  study::StudyRunner runner(population, study_config, sim,
+                            fleet ? fleet->node(0).broker() : broker,
+                            fleet ? fleet->node(0).server() : server);
 
   // Daily ops report, straight off the sim clock: the hook fires at every
   // virtual 48-h boundary while the study runs.
@@ -215,6 +283,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ns.bytes_out));
   }
 
+  if (fleet) {
+    std::printf("fleet: %llu failovers, %llu rebalances (%llu skipped while "
+                "a shard was down), %llu WAL records shipped to followers\n\n",
+                static_cast<unsigned long long>(report.shard_failovers),
+                static_cast<unsigned long long>(report.shard_rebalances),
+                static_cast<unsigned long long>(
+                    report.shard_rebalances_skipped),
+                static_cast<unsigned long long>(
+                    registry.counter("shard.shipped_records").value()));
+  }
+
   if (study_config.faults != nullptr) {
     std::printf("chaos outcome: %llu faults injected, %llu crashes, "
                 "%llu publish failures, %llu upload retries, "
@@ -233,15 +312,27 @@ int main(int argc, char** argv) {
                       registry.counter("durable.replayed_records").value()),
                   static_cast<unsigned long long>(
                       registry.counter("durable.snapshots").value()));
+    std::vector<core::GoFlowServer*> servers;
+    if (fleet) {
+      for (std::uint32_t s = 0; s < fleet->size(); ++s)
+        servers.push_back(&fleet->node(s).server());
+    } else {
+      servers.push_back(&server);
+    }
     study::InvariantReport inv =
-        study::check_invariants(tracker, server, runner.clients());
+        study::check_invariants(tracker, servers, runner.clients());
     std::printf("invariants: %s\n  %s\n\n", inv.ok() ? "OK" : "VIOLATED",
                 inv.to_json().c_str());
     if (!inv.ok()) return 1;
   }
 
   // --- Operate via the REST API -----------------------------------------
-  core::GoFlowRestApi api(server);
+  // In fleet mode shard 0 answers; every shard serves the same API
+  // against its own partition (registration replays identically on all
+  // of them, so the admin token opens any shard).
+  if (fleet)
+    std::printf("REST below operates shard 0 of %u\n\n", fleet->size());
+  core::GoFlowRestApi api(fleet ? fleet->node(0).server() : server);
   api.register_job_type("per-model-counts",
                         core::job_per_model_counts("soundcity"));
   api.register_job_type("provider-shares",

@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace mps::broker {
 
 /// Word trie over binding patterns. add() registers a pattern under an
@@ -45,7 +47,10 @@ class TopicTrie {
   struct StringHash {
     using is_transparent = void;
     std::size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>{}(s);
+      // fnv1a64, not std::hash: routing tables are rebuilt from journals
+      // and shipped across processes, so every key derivation feeding
+      // them must be stable across hosts and standard-library builds.
+      return static_cast<std::size_t>(fnv1a64(s));
     }
   };
   struct Node {

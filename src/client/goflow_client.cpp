@@ -315,11 +315,15 @@ void GoFlowClient::deliver_in_flight() {
                                         batch.payload, now,
                                         id != nullptr ? id->as_string() : "");
     }
+    // Fleet routing: resolve the owning shard's broker per publish, so a
+    // rebalance between attempts redirects this very retry.
+    broker::Broker& target =
+        config_.broker_route ? *config_.broker_route() : broker_;
     return batch.flat != nullptr
-               ? broker_.publish_flat(config_.exchange, batch.routing_key,
-                                      batch.flat, now)
-               : broker_.publish(config_.exchange, batch.routing_key,
-                                 batch.payload, now);
+               ? target.publish_flat(config_.exchange, batch.routing_key,
+                                     batch.flat, now)
+               : target.publish(config_.exchange, batch.routing_key,
+                                batch.payload, now);
   };
   auto result = publish_once();
   if (result.ok()) {

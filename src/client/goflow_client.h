@@ -109,6 +109,15 @@ struct ClientConfig {
   /// pending outbox keeps retries byte-identical. Must outlive the client.
   net::NetClient* transport = nullptr;
 
+  /// Shard routing hook (DESIGN.md §16): when set, every in-process
+  /// publish asks it which broker to hand the batch to — the fleet's
+  /// router answers with the broker of the shard owning this client's
+  /// hash slot, re-consulted per publish so a rebalance redirects the
+  /// very next upload. Null (the default) publishes to the constructor
+  /// broker; ignored when a socket transport is attached (the NetServer
+  /// edge redirects instead).
+  std::function<broker::Broker*()> broker_route;
+
   /// Convenience factories matching the paper's releases.
   static ClientConfig v1_1(ClientId id, ExchangeId exchange);
   static ClientConfig v1_2_9(ClientId id, ExchangeId exchange);

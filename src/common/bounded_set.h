@@ -16,6 +16,7 @@
 #include <deque>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -53,6 +54,27 @@ class BoundedKeySet {
   void clear() {
     keys_.clear();
     order_.clear();
+  }
+
+  /// Removes every key matching `pred` and returns them oldest-first.
+  /// Relative order of both the extracted and the surviving keys is
+  /// preserved, so re-inserting the result into another set rebuilds the
+  /// same eviction order there (shard rebalance moves dedup state this
+  /// way). Does not count as eviction.
+  template <typename Pred>
+  std::vector<std::string> extract_if(Pred pred) {
+    std::vector<std::string> out;
+    std::deque<std::string> kept;
+    for (auto& key : order_) {
+      if (pred(key)) {
+        keys_.erase(key);
+        out.push_back(std::move(key));
+      } else {
+        kept.push_back(std::move(key));
+      }
+    }
+    order_ = std::move(kept);
+    return out;
   }
 
   /// Evictions additionally bump this counter when set (e.g. the server's

@@ -1,0 +1,38 @@
+// Stable string hashing for cross-process keying.
+//
+// Everything that derives placement or identity from a string — shard
+// routing, dedup-key folding, child RNG streams — must hash the same on
+// every host, every build, every libstdc++ version. std::hash is
+// implementation-defined (and explicitly allowed to vary per process),
+// so a shard map built with it would scatter clients differently across
+// restarts and mixed binaries. This FNV-1a variant is the project-wide
+// stable hash; hash_test.cpp pins golden values so it can never silently
+// change.
+//
+// Note on constants: the prime is the canonical 64-bit FNV prime
+// (0x100000001b3), but the offset basis predates this header and is NOT
+// the canonical 14695981039346656037 — it is the historical project
+// value 1469598103934665603. Every seeded RNG child stream, population
+// draw and committed baseline in the repo derives from it, so it is
+// pinned as-is: "stable forever" is the contract here, not conformance
+// with the published test vectors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mps {
+
+/// 64-bit FNV-1a-style hash over `s` (project-pinned offset basis, FNV
+/// prime 0x100000001b3). See the file comment before comparing against
+/// published FNV vectors.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace mps

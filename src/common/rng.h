@@ -13,17 +13,9 @@
 #include <random>
 #include <string_view>
 
-namespace mps {
+#include "common/hash.h"
 
-/// 64-bit FNV-1a hash, used to derive child RNG streams from string labels.
-constexpr std::uint64_t fnv1a64(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+namespace mps {
 
 /// Seeded pseudo-random stream with convenience draws for the simulators.
 class Rng {

@@ -764,6 +764,124 @@ std::vector<std::uint64_t> GoFlowServer::pending_ingest_span_ids() const {
   return ids;
 }
 
+// --- Shard rebalance (DESIGN.md §16) ----------------------------------------
+
+namespace {
+
+/// Client identity of a dedup key — both batch ids ("<client>#<counter>")
+/// and observation keys ("<client>#<span>") carry the client as the
+/// prefix before the first '#'. Keys with no '#' are treated as owned by
+/// their whole text (defensive: such keys never match a client pred).
+std::string_view key_client(const std::string& key) {
+  std::string_view v(key);
+  return v.substr(0, v.find('#'));
+}
+
+}  // namespace
+
+Value GoFlowServer::extract_migration(
+    const std::function<bool(std::string_view)>& pred) {
+  auto keys_to_array = [](std::vector<std::string> keys) {
+    Array out;
+    for (std::string& k : keys) out.push_back(Value(std::move(k)));
+    return out;
+  };
+  Array batch_keys = keys_to_array(seen_batch_ids_.extract_if(
+      [&](const std::string& k) { return pred(key_client(k)); }));
+  Array obs_keys = keys_to_array(seen_obs_keys_.extract_if(
+      [&](const std::string& k) { return pred(key_client(k)); }));
+
+  // Stored documents: full scan is fine — rebalance is a rare control
+  // operation, not a data-path one. The recovery applier removes without
+  // journaling or fault injection (see header contract).
+  Array docs;
+  auto& collection = db_.collection(config_.observations_collection);
+  for (docstore::Document& doc : collection.find(docstore::Query::all())) {
+    if (!pred(doc.get_string("client"))) continue;
+    collection.apply_remove(doc.get_string("_id"));
+    // _id is a storage-local handle, not part of the observation's
+    // identity: the adopting shard assigns its own (a source id could
+    // collide with a document the target already holds).
+    doc.as_object().erase("_id");
+    docs.push_back(std::move(doc));
+  }
+
+  // Pending batches move wholesale, resume position included. Raw
+  // "messages" batches have no client and stay put.
+  Array pending;
+  for (auto it = pending_batches_.begin(); it != pending_batches_.end();) {
+    PendingBatch& b = it->second;
+    std::string client;
+    if (b.flat != nullptr)
+      client = std::string(b.flat->client());
+    else if (!b.docs.empty())
+      client = b.docs.front().get_string("client");
+    if (client.empty() || !pred(client)) {
+      ++it;
+      continue;
+    }
+    Array batch_docs;
+    if (b.flat != nullptr)
+      for (std::size_t i = 0; i < b.flat->size(); ++i)
+        batch_docs.push_back(b.flat->storage_document(i, b.published_at));
+    for (const Value& d : b.docs) batch_docs.push_back(d);
+    pending.push_back(Value(Object{
+        {"c", Value(b.collection)},
+        {"app", Value(b.app)},
+        {"at", Value(b.published_at)},
+        {"next", Value(static_cast<std::int64_t>(b.next))},
+        {"docs", Value(std::move(batch_docs))}}));
+    it = pending_batches_.erase(it);
+  }
+
+  return Value(Object{{"batch_keys", Value(std::move(batch_keys))},
+                      {"obs_keys", Value(std::move(obs_keys))},
+                      {"docs", Value(std::move(docs))},
+                      {"pending", Value(std::move(pending))}});
+}
+
+void GoFlowServer::adopt_migration(const Value& migration) {
+  const Value* batch_keys = migration.find("batch_keys");
+  if (batch_keys != nullptr)
+    for (const Value& k : batch_keys->as_array())
+      seen_batch_ids_.insert(k.as_string());
+  const Value* obs_keys = migration.find("obs_keys");
+  if (obs_keys != nullptr)
+    for (const Value& k : obs_keys->as_array())
+      seen_obs_keys_.insert(k.as_string());
+  note_dedup_evictions();
+
+  const Value* docs = migration.find("docs");
+  if (docs != nullptr) {
+    auto& collection = db_.collection(config_.observations_collection);
+    for (const Value& d : docs->as_array()) collection.apply_insert(d);
+  }
+
+  const Value* pending = migration.find("pending");
+  if (pending != nullptr) {
+    for (const Value& p : pending->as_array()) {
+      PendingBatch batch;
+      batch.collection = p.get_string("c");
+      batch.app = p.get_string("app");
+      batch.published_at = p.get_int("at");
+      batch.next = static_cast<std::size_t>(p.get_int("next"));
+      const Value* batch_docs = p.find("docs");
+      if (batch_docs != nullptr)
+        for (const Value& d : batch_docs->as_array()) {
+          batch.delays.push_back(d.get_int("delay_ms", 0));
+          batch.docs.push_back(d);
+        }
+      std::uint64_t id = ++pending_counter_;
+      // The batch id itself moved with batch_keys above; srv.batch here
+      // only covers the pending work until the post-rebalance snapshot.
+      log_batch_accepted(id, "",
+                         pending_batches_.emplace(id, std::move(batch))
+                             .first->second);
+      store_batch(id);
+    }
+  }
+}
+
 // --- Durability (DESIGN.md §11) ---------------------------------------------
 
 void GoFlowServer::attach_journal(durable::Journal* journal) {

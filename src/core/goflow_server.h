@@ -331,6 +331,26 @@ class GoFlowServer {
   /// True between crash() and finish_recovery().
   bool down() const { return down_; }
 
+  // --- Shard rebalance (DESIGN.md §16) ----------------------------------
+
+  /// Extracts every piece of per-client state owned by clients matching
+  /// `pred` into one Value for adopt_migration() on another shard:
+  /// stored observation documents (removed from this shard's store),
+  /// pending ingest batches (descheduled here; their retry timers die
+  /// against the empty pending map) and both dedup key sets in eviction
+  /// order, so redirect + resend stays exactly-once on the target.
+  /// Document moves use the recovery appliers (no journaling, no fault
+  /// injection — moving acknowledged state must never fail), so the
+  /// caller MUST snapshot both shards' lifecycles in the same sim event;
+  /// until then a crash replays pre-move state.
+  Value extract_migration(
+      const std::function<bool(std::string_view client)>& pred);
+
+  /// Installs extract_migration() output: dedup keys keep their eviction
+  /// order, documents land via the recovery applier, and pending batches
+  /// are re-accepted under fresh ids and resumed immediately.
+  void adopt_migration(const Value& migration);
+
   /// Attributes every span still inside pending batches as lost at final
   /// shutdown (kLostInServerShutdown) — called by the destructor so
   /// check_invariants can close the books on a server that was simply

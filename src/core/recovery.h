@@ -65,6 +65,18 @@ class ServerLifecycle {
   /// WAL through it. No-op while crashed.
   void snapshot();
 
+  /// Failover (DESIGN.md §16): abandons the current storage env and
+  /// recovers from `follower` — the replica a WalShipper kept in sync.
+  /// If the process is still up it is crashed first (the primary is
+  /// declared dead; its env is never read again). Everything the shipper
+  /// made durable on the follower — mirrored snapshot plus shipped WAL
+  /// tail — is what survives, exactly like a recover() on the primary
+  /// would see only synced bytes.
+  void failover_to(durable::StorageEnv& follower);
+
+  /// The storage env currently backing the journal.
+  durable::StorageEnv& env() { return *env_; }
+
   bool down() const { return down_; }
   std::uint64_t crashes() const { return crashes_; }
   std::uint64_t recoveries() const { return recoveries_; }
@@ -77,7 +89,7 @@ class ServerLifecycle {
   Value combined_snapshot() const;
   void attach(durable::Journal* journal);
 
-  durable::StorageEnv& env_;
+  durable::StorageEnv* env_;  ///< never null; swapped by failover_to()
   sim::Simulation& sim_;
   broker::Broker& broker_;
   docstore::Database& db_;

@@ -202,6 +202,7 @@ std::uint64_t Wal::append(std::string_view payload) {
   if (appends_metric_ != nullptr) appends_metric_->inc();
   obs::FlightRecorder::record(obs::FrEvent::kWalAppend, lsn, payload.size());
   if (++unsynced_appends_ >= config_.sync_every) sync();
+  if (append_listener_) append_listener_();
   return lsn;
 }
 
@@ -239,7 +240,91 @@ std::uint64_t Wal::replay(
   return delivered;
 }
 
+std::uint64_t Wal::open_cursor(std::uint64_t after_lsn) {
+  std::uint64_t id = next_cursor_id_++;
+  Cursor cur;
+  cur.last_lsn = after_lsn;
+  cursors_[id] = cur;
+  return id;
+}
+
+void Wal::close_cursor(std::uint64_t id) { cursors_.erase(id); }
+
+std::uint64_t Wal::cursor_position(std::uint64_t id) const {
+  auto it = cursors_.find(id);
+  if (it == cursors_.end())
+    throw std::invalid_argument("cursor_position: unknown WAL cursor");
+  return it->second.last_lsn;
+}
+
+std::uint64_t Wal::cursor_read(
+    std::uint64_t id, std::uint64_t max,
+    const std::function<void(std::uint64_t, std::string_view)>& fn) {
+  auto it = cursors_.find(id);
+  if (it == cursors_.end())
+    throw std::invalid_argument("cursor_read: unknown WAL cursor");
+  Cursor& cur = it->second;
+
+  std::uint64_t delivered = 0;
+  while (delivered < max) {
+    std::uint64_t want = cur.last_lsn + 1;
+    if (want >= next_lsn_) break;  // caught up with the tail
+    // Segment containing `want`: the last one starting at or below it.
+    std::size_t idx = segments_.size();
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      if (segments_[i].first_lsn > want) break;
+      idx = i;
+    }
+    // The truncation clamp pins unread segments, so `want` can only
+    // predate the log if the cursor was opened below an already-compacted
+    // prefix — skip forward to the oldest retained record.
+    if (idx == segments_.size()) {
+      if (segments_.empty()) break;
+      cur.last_lsn = segments_.front().first_lsn - 1;
+      continue;
+    }
+    const Segment& seg = segments_[idx];
+    if (cur.seg_first_lsn != seg.first_lsn || cur.offset > seg.size) {
+      // Entered a new segment (rotation) — records below the cursor's
+      // position, if any, are skipped during the scan below.
+      cur.seg_first_lsn = seg.first_lsn;
+      cur.offset = 0;
+    }
+    if (cur.offset >= seg.size) break;  // active segment, nothing new yet
+
+    std::string data = env_.read_suffix(seg.name, cur.offset);
+    std::size_t local = 0;
+    while (delivered < max && local < data.size()) {
+      std::optional<DecodedRecord> rec = decode_record(data, local);
+      if (!rec.has_value()) break;
+      if (rec->lsn > cur.last_lsn) {
+        fn(rec->lsn, rec->payload);
+        ++delivered;
+        ++stats_.cursor_records;
+        cur.last_lsn = rec->lsn;
+      }
+      local = rec->end_offset;
+    }
+    cur.offset += local;
+    if (local == 0) break;  // no complete record at the tail yet
+  }
+  return delivered;
+}
+
 void Wal::truncate_through(std::uint64_t lsn) {
+  // Re-anchor to the slowest open shipping cursor: a snapshot may cover
+  // records a replication cursor has not shipped yet, and dropping their
+  // segment would silently truncate the follower's history. The cursor
+  // wins; the segments are reclaimed by the next truncation after it
+  // catches up.
+  std::uint64_t effective = lsn;
+  for (const auto& [id, cur] : cursors_) {
+    (void)id;
+    if (cur.last_lsn < effective) effective = cur.last_lsn;
+  }
+  if (effective != lsn) ++stats_.truncate_clamped;
+  lsn = effective;
+
   // A segment is removable when the next segment starts at or below
   // lsn+1 (so every record in it is <= lsn). The active (last) segment
   // always stays.

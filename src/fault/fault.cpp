@@ -192,6 +192,42 @@ std::vector<FaultPlan::CrashEvent> FaultPlan::server_kill_schedule(
   return merged;
 }
 
+std::vector<FaultPlan::CrashEvent> FaultPlan::shard_kill_schedule(
+    std::uint32_t shard, TimeMs horizon) const {
+  std::vector<CrashEvent> events;
+  if (shard_kill_rate_per_day <= 0.0 || horizon <= 0) return events;
+  Rng rng = Rng(seed_).child("shard-kill").child(shard);
+  double mean_gap_ms = static_cast<double>(days(1)) / shard_kill_rate_per_day;
+  TimeMs t = 0;
+  while (true) {
+    t += static_cast<TimeMs>(std::max(1.0, rng.exponential_mean(mean_gap_ms)));
+    if (t >= horizon) break;
+    auto down = static_cast<DurationMs>(std::max(
+        1.0, rng.exponential_mean(static_cast<double>(shard_downtime_mean))));
+    events.push_back({t, down});
+    t += down;  // a dead primary cannot die again before failover
+  }
+  return events;
+}
+
+std::vector<FaultPlan::RebalanceEvent> FaultPlan::rebalance_schedule(
+    TimeMs horizon) const {
+  std::vector<RebalanceEvent> events;
+  if (rebalance_rate_per_day <= 0.0 || horizon <= 0) return events;
+  Rng rng = Rng(seed_).child("rebalance");
+  double mean_gap_ms = static_cast<double>(days(1)) / rebalance_rate_per_day;
+  TimeMs t = 0;
+  while (true) {
+    t += static_cast<TimeMs>(std::max(1.0, rng.exponential_mean(mean_gap_ms)));
+    if (t >= horizon) break;
+    // The slot draw happens here (not at apply time) so the schedule is a
+    // pure function of the seed regardless of fleet size; callers reduce
+    // it mod their live map.
+    events.push_back({t, static_cast<std::uint32_t>(rng.uniform_int(0, 255))});
+  }
+  return events;
+}
+
 FaultPlan FaultPlan::none() {
   FaultPlan plan(0);
   plan.profile_name_ = "none";
@@ -243,6 +279,24 @@ FaultPlan FaultPlan::lossy_network_shed(std::uint64_t seed) {
   return plan;
 }
 
+FaultPlan FaultPlan::shard_kill(std::uint64_t seed) {
+  FaultPlan plan(seed);
+  plan.profile_name_ = "shard-kill";
+  plan.shard_kill_rate_per_day = 6.0;
+  plan.shard_downtime_mean = minutes(10);
+  plan.rebalance_rate_per_day = 8.0;
+  return plan;
+}
+
+FaultPlan FaultPlan::shard_kill_lossy(std::uint64_t seed) {
+  FaultPlan plan = lossy_network(seed);
+  plan.profile_name_ = "shard-kill-lossy";
+  plan.shard_kill_rate_per_day = 4.0;
+  plan.shard_downtime_mean = minutes(10);
+  plan.rebalance_rate_per_day = 6.0;
+  return plan;
+}
+
 FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
   if (name == "none") {
     // Inert, but carries the sweep seed so per-seed reports line up.
@@ -255,12 +309,20 @@ FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
   if (name == "server-kill") return server_kill(seed);
   if (name == "server-kill-lossy") return server_kill_lossy(seed);
   if (name == "lossy-network-shed") return lossy_network_shed(seed);
+  if (name == "shard-kill") return shard_kill(seed);
+  if (name == "shard-kill-lossy") return shard_kill_lossy(seed);
   throw std::invalid_argument("unknown fault profile: " + std::string(name));
 }
 
 const std::vector<std::string>& FaultPlan::profile_names() {
   static const std::vector<std::string> names = {
       "none", "lossy-network", "crashy-client", "lossy-network-shed"};
+  return names;
+}
+
+const std::vector<std::string>& FaultPlan::shard_profile_names() {
+  static const std::vector<std::string> names = {"shard-kill",
+                                                 "shard-kill-lossy"};
   return names;
 }
 

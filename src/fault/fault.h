@@ -140,6 +140,33 @@ class FaultPlan {
   /// function of the plan seed.
   std::vector<CrashEvent> server_kill_schedule(TimeMs horizon) const;
 
+  // --- Shard fleet schedules (DESIGN.md §16) -----------------------------
+
+  /// Fleet churn: each shard's primary is killed ~`shard_kill_rate_per_day`
+  /// times per day and fails over to its WAL-shipped follower after an
+  /// exponential downtime. Each shard draws from its own (seed, shard)
+  /// child stream, so adding a shard never reshuffles another's kills.
+  double shard_kill_rate_per_day = 0.0;
+  DurationMs shard_downtime_mean = minutes(5);
+
+  /// The kill schedule for one shard over [0, horizon) — a pure function
+  /// of (plan seed, shard index), mirroring server_kill_schedule.
+  std::vector<CrashEvent> shard_kill_schedule(std::uint32_t shard,
+                                              TimeMs horizon) const;
+
+  /// Control-plane churn: hash slots are moved between shards
+  /// ~`rebalance_rate_per_day` times per day while ingest is running.
+  double rebalance_rate_per_day = 0.0;
+
+  struct RebalanceEvent {
+    TimeMs at = 0;
+    std::uint32_t slot = 0;  ///< hash slot to move (mod the live map)
+  };
+
+  /// The fleet-wide rebalance schedule over [0, horizon), sorted. A pure
+  /// function of the plan seed.
+  std::vector<RebalanceEvent> rebalance_schedule(TimeMs horizon) const;
+
   // --- Consultation (the hot path) --------------------------------------
 
   /// Should the current operation at `site` fail? Consumes one decision
@@ -175,13 +202,28 @@ class FaultPlan {
   /// backpressure racing a hostile network (DESIGN.md §13).
   static FaultPlan lossy_network_shed(std::uint64_t seed);
 
+  /// Shard primaries die and fail over to their followers several times
+  /// a day, and slots rebalance under ingest; the network is otherwise
+  /// healthy (isolates replication + migration, DESIGN.md §16).
+  static FaultPlan shard_kill(std::uint64_t seed);
+
+  /// Shard kills and rebalances on top of a lossy network — failover and
+  /// slot moves racing retries, duplicates and transient store failures.
+  static FaultPlan shard_kill_lossy(std::uint64_t seed);
+
   /// Profile by name ("none", "lossy-network", "crashy-client",
-  /// "server-kill", "server-kill-lossy", "lossy-network-shed"); throws
-  /// std::invalid_argument on anything else.
+  /// "server-kill", "server-kill-lossy", "lossy-network-shed",
+  /// "shard-kill", "shard-kill-lossy"); throws std::invalid_argument on
+  /// anything else.
   static FaultPlan profile(std::string_view name, std::uint64_t seed);
 
   /// Names accepted by profile(), in sweep order.
   static const std::vector<std::string>& profile_names();
+
+  /// The fleet-chaos profiles, in sweep order. Kept out of
+  /// profile_names() so single-server sweeps don't silently pick up
+  /// profiles that need a ShardFleet to mean anything.
+  static const std::vector<std::string>& shard_profile_names();
 
   const std::string& profile_name() const { return profile_name_; }
   std::uint64_t seed() const { return seed_; }

@@ -30,7 +30,11 @@ bool is_response(wire::MsgType t) {
     case wire::MsgType::kHelloOk:
     case wire::MsgType::kPublishOk:
     case wire::MsgType::kPublishErr:
+    case wire::MsgType::kRedirect:
     case wire::MsgType::kMetricsReply:
+    // kSeriesReply was missing here, which made every query_series()
+    // spin past its own answer into a timeout.
+    case wire::MsgType::kSeriesReply:
     case wire::MsgType::kPong:
       return true;
     default:
@@ -66,6 +70,7 @@ void NetClient::set_metrics(obs::Registry* registry) {
   metrics_.resends = &registry->counter("net.client_resends");
   metrics_.transparent_retries =
       &registry->counter("net.client_transparent_retries");
+  metrics_.redirects = &registry->counter("net.client_redirects");
   metrics_.bytes_in = &registry->counter("net.client_bytes_in");
   metrics_.bytes_out = &registry->counter("net.client_bytes_out");
 }
@@ -316,6 +321,44 @@ Result<broker::PublishResult> NetClient::run_publish(std::string_view token,
     ++stats_.publish_failures;
     if (metrics_.publish_failures != nullptr) metrics_.publish_failures->inc();
     return err(ErrorCode::kUnavailable, "publish: connection lost");
+  }
+
+  // Shard redirects: the server answered "not mine any more — ask over
+  // there". Re-send the SAME retained frame (same request id, same batch
+  // id) at the new port: the dedup keys moved with the slot, so even a
+  // processed-then-lost-ack duplicate stays exactly-once on the new
+  // owner. Hops are bounded — a cyclic or thrashing map must surface as
+  // an error, not an infinite chase.
+  constexpr int kMaxRedirectHops = 3;
+  for (int hop = 0; resp.type == wire::MsgType::kRedirect; ++hop) {
+    wire::RedirectMsg redirect;
+    if (hop >= kMaxRedirectHops ||
+        !wire::decode_redirect(resp.body, redirect)) {
+      disconnect();
+      ++stats_.publish_failures;
+      if (metrics_.publish_failures != nullptr)
+        metrics_.publish_failures->inc();
+      return err(ErrorCode::kUnavailable, "publish: redirect chase failed");
+    }
+    ++stats_.redirects;
+    if (metrics_.redirects != nullptr) metrics_.redirects->inc();
+    disconnect();
+    config_.port = static_cast<std::uint16_t>(redirect.port);
+    Status s = connect_now();
+    if (!s.ok()) {
+      ++stats_.publish_failures;
+      if (metrics_.publish_failures != nullptr)
+        metrics_.publish_failures->inc();
+      return s.error();
+    }
+    r = exchange(pending_->frame, pending_->request_id, resp, got_bytes);
+    if (r != XResult::kOk) {
+      disconnect();
+      ++stats_.publish_failures;
+      if (metrics_.publish_failures != nullptr)
+        metrics_.publish_failures->inc();
+      return err(ErrorCode::kUnavailable, "publish: connection lost");
+    }
   }
 
   if (resp.type == wire::MsgType::kPublishOk) {

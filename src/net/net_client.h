@@ -65,6 +65,7 @@ struct NetClientStats {
   std::uint64_t publish_failures = 0;   ///< error responses + lost conns
   std::uint64_t resends = 0;            ///< retained-frame re-sends
   std::uint64_t transparent_retries = 0;///< reconnect-and-resend successes
+  std::uint64_t redirects = 0;          ///< kRedirect hops followed
   std::uint64_t truncate_injected = 0;  ///< kNetTruncateFrame faults fired
   std::uint64_t timeouts = 0;           ///< spin limit hit
   std::uint64_t bytes_in = 0;
@@ -187,6 +188,7 @@ class NetClient {
     obs::Counter* publish_failures = nullptr;
     obs::Counter* resends = nullptr;
     obs::Counter* transparent_retries = nullptr;
+    obs::Counter* redirects = nullptr;
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
   };

@@ -119,6 +119,7 @@ void NetServer::set_metrics(obs::Registry* registry) {
   metrics_.bytes_out = &registry->counter("net.bytes_out");
   metrics_.publishes = &registry->counter("net.publishes");
   metrics_.publish_errors = &registry->counter("net.publish_errors");
+  metrics_.redirects_issued = &registry->counter("net.redirects_issued");
   metrics_.connections = &registry->gauge("net.connections");
 }
 
@@ -302,6 +303,22 @@ bool NetServer::dispatch(Conn& conn, const wire::Frame& frame) {
     return false;
   };
 
+  // Shard routing: a publish for a client whose slot moved away is
+  // answered kRedirect before it touches the broker. `client` comes from
+  // the batch itself, falling back to the Hello identity.
+  auto maybe_redirect = [&](std::string_view client) {
+    if (!redirect_fn_) return false;
+    if (client.empty()) client = conn.client_id;
+    if (client.empty()) return false;
+    std::optional<wire::RedirectMsg> target = redirect_fn_(client);
+    if (!target.has_value()) return false;
+    ++stats_.redirects_issued;
+    if (metrics_.redirects_issued != nullptr) metrics_.redirects_issued->inc();
+    wire::encode_redirect(*target, body_scratch_);
+    reply(conn, MsgType::kRedirect, frame.request_id, body_scratch_);
+    return true;
+  };
+
   body_scratch_.clear();
   switch (frame.type) {
     case MsgType::kHello: {
@@ -309,6 +326,7 @@ bool NetServer::dispatch(Conn& conn, const wire::Frame& frame) {
       if (!wire::decode_hello(frame.body, hello)) return poison();
       if (hello.version != wire::kProtocolVersion) return poison();
       conn.greeted = true;
+      conn.client_id = hello.client_id;
       wire::HelloMsg ok;
       ok.version = wire::kProtocolVersion;
       wire::encode_hello(ok, body_scratch_);
@@ -321,6 +339,7 @@ bool NetServer::dispatch(Conn& conn, const wire::Frame& frame) {
     case MsgType::kPublish: {
       wire::PublishMsg msg;
       if (!wire::decode_publish(frame.body, msg)) return poison();
+      if (maybe_redirect(msg.payload.get_string("client"))) return true;
       auto result = broker_.publish(msg.exchange, msg.routing_key,
                                     std::move(msg.payload), msg.published_at);
       if (result.ok()) {
@@ -351,6 +370,7 @@ bool NetServer::dispatch(Conn& conn, const wire::Frame& frame) {
     case MsgType::kPublishFlat: {
       wire::PublishFlatMsg msg;
       if (!wire::decode_publish_flat(frame.body, msg)) return poison();
+      if (maybe_redirect(msg.client)) return true;
       // Rebuild the flat batch through the server's own pool. make_batch
       // is a pure function of its inputs, so the rebuilt columns — and
       // everything the server derives from them — are byte-identical to

@@ -28,7 +28,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,7 @@ struct NetServerStats {
   std::uint64_t metrics_queries = 0;
   std::uint64_t series_queries = 0;
   std::uint64_t drop_conn_injected = 0;  ///< kNetDropConn faults fired
+  std::uint64_t redirects_issued = 0;    ///< publishes answered kRedirect
 };
 
 /// The event-loop server.
@@ -148,6 +151,16 @@ class NetServer {
   /// pressure case the reconnect/dedup regression pins.
   void fail_next_ack(std::uint64_t n) { fail_ack_budget_ = n; }
 
+  /// Shard routing hook: consulted per publish with the batch's client
+  /// id (falling back to the connection's Hello identity). Returning a
+  /// RedirectMsg answers kRedirect INSTEAD of publishing — this front
+  /// door no longer owns the client's slot, so it must not process the
+  /// batch (a rebalance moved the dedup keys away; processing here would
+  /// store a duplicate the new owner cannot see). Pass {} to detach.
+  using RedirectFn =
+      std::function<std::optional<wire::RedirectMsg>(std::string_view client)>;
+  void set_redirect_fn(RedirectFn fn) { redirect_fn_ = std::move(fn); }
+
  private:
   struct Conn {
     int fd = -1;
@@ -158,6 +171,7 @@ class NetServer {
     std::size_t whead = 0;
     TimeMs last_activity = 0;
     bool greeted = false;       ///< Hello completed
+    std::string client_id;      ///< identity the Hello carried (may be "")
   };
 
   enum class CloseReason { kPeer, kPoisoned, kIdle, kCrash, kFault, kAckFail };
@@ -189,6 +203,7 @@ class NetServer {
   std::map<int, Conn> conns_;
   std::uint64_t next_conn_id_ = 1;
   std::uint64_t fail_ack_budget_ = 0;
+  RedirectFn redirect_fn_;
   fault::FaultPoint drop_conn_fault_;
   /// Rebuilds flat batches out of wire rows (deterministic — the
   /// equivalence anchor) with fleet-style arena recycling.
@@ -213,6 +228,7 @@ class NetServer {
     obs::Counter* bytes_out = nullptr;
     obs::Counter* publishes = nullptr;
     obs::Counter* publish_errors = nullptr;
+    obs::Counter* redirects_issued = nullptr;
     obs::Gauge* connections = nullptr;
   };
   Metrics metrics_;

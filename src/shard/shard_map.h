@@ -1,0 +1,97 @@
+// Hash-slot shard map for the sharded serving plane (DESIGN.md §16).
+//
+// Ownership is decided by a stable client-id hash: every (app, client)
+// pair maps to one of kHashSlots fixed slots via common::fnv1a64 — never
+// std::hash, whose value is implementation-defined and would route the
+// same client to different shards across processes or library versions.
+// Slots, not clients, are the unit of placement: a rebalance moves one
+// slot's worth of clients (dedup keys, stored documents, pending
+// batches) between shards and flips a single table entry, so the route
+// for every other client is untouched.
+//
+// The map is versioned: each move bumps a counter, which is what a
+// redirect-aware edge compares to decide whether a cached route is
+// stale. With shards == 1 every slot maps to shard 0 and the whole plane
+// collapses to today's single server — the 1-shard byte-equivalence
+// gate pins that.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mps::shard {
+
+/// Fixed slot count. Small enough to enumerate, large enough that a
+/// rebalance granule is a few clients even for big fleets.
+inline constexpr std::uint32_t kHashSlots = 256;
+
+/// The stable placement hash: FNV-1a over "app\x1fclient" (the 0x1f
+/// separator cannot appear in either id, so "ab"+"c" never collides
+/// with "a"+"bc"). This exact function is pinned by golden-value tests
+/// — changing it reshuffles every deployed fleet.
+inline std::uint64_t stable_client_hash(std::string_view app,
+                                        std::string_view client) {
+  std::string key;
+  key.reserve(app.size() + 1 + client.size());
+  key.append(app);
+  key.push_back('\x1f');
+  key.append(client);
+  return fnv1a64(key);
+}
+
+/// The slot an (app, client) pair lives in.
+inline std::uint32_t slot_of(std::string_view app, std::string_view client) {
+  return static_cast<std::uint32_t>(stable_client_hash(app, client) %
+                                    kHashSlots);
+}
+
+/// Slot -> shard table with a version counter.
+class ShardMap {
+ public:
+  explicit ShardMap(std::uint32_t shards) : shards_(shards) {
+    if (shards == 0) throw std::invalid_argument("ShardMap: shards == 0");
+    slots_.resize(kHashSlots);
+    for (std::uint32_t s = 0; s < kHashSlots; ++s) slots_[s] = s % shards;
+  }
+
+  std::uint32_t shards() const { return shards_; }
+  std::uint64_t version() const { return version_; }
+
+  std::uint32_t shard_of_slot(std::uint32_t slot) const {
+    return slots_.at(slot);
+  }
+
+  std::uint32_t shard_for(std::string_view app, std::string_view client) const {
+    return slots_[slot_of(app, client)];
+  }
+
+  /// Moves one slot to `shard`; bumps the version. No-op (and no bump)
+  /// when the slot already lives there.
+  void move_slot(std::uint32_t slot, std::uint32_t shard) {
+    if (shard >= shards_)
+      throw std::invalid_argument("ShardMap::move_slot: no such shard");
+    if (slots_.at(slot) == shard) return;
+    slots_[slot] = shard;
+    ++version_;
+  }
+
+  /// All slots currently owned by `shard`, ascending.
+  std::vector<std::uint32_t> slots_of(std::uint32_t shard) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t s = 0; s < kHashSlots; ++s)
+      if (slots_[s] == shard) out.push_back(s);
+    return out;
+  }
+
+ private:
+  std::uint32_t shards_;
+  std::vector<std::uint32_t> slots_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace mps::shard

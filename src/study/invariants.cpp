@@ -37,6 +37,14 @@ std::string InvariantReport::to_json() const {
 InvariantReport check_invariants(
     const obs::SpanTracker& tracer, core::GoFlowServer& server,
     const std::vector<const client::GoFlowClient*>& clients) {
+  return check_invariants(tracer, std::vector<core::GoFlowServer*>{&server},
+                          clients);
+}
+
+InvariantReport check_invariants(
+    const obs::SpanTracker& tracer,
+    const std::vector<core::GoFlowServer*>& servers,
+    const std::vector<const client::GoFlowClient*>& clients) {
   InvariantReport report;
 
   // Where could a not-yet-persisted span legitimately be sitting?
@@ -47,21 +55,26 @@ InvariantReport check_invariants(
     for (std::uint64_t id : c->in_flight_span_ids()) on_device.insert(id);
   }
   std::unordered_set<std::uint64_t> in_server;
-  for (std::uint64_t id : server.pending_ingest_span_ids())
-    in_server.insert(id);
+  for (core::GoFlowServer* server : servers)
+    for (std::uint64_t id : server->pending_ingest_span_ids())
+      in_server.insert(id);
 
-  // Walk the stored observations once: span occurrence counts (duplicate
-  // detection) and per-client arrival sequences (order check).
+  // Walk the stored observations once — the union across every shard:
+  // span occurrence counts (duplicate detection, fleet-wide) and
+  // per-client arrival sequences (order check; a client's documents all
+  // live on one shard between rebalances, and a migration moves them
+  // whole, so the per-client sequence is complete wherever it sits).
   struct Arrival {
     TimeMs received_at;
     TimeMs captured_at;
   };
   std::unordered_map<std::uint64_t, std::uint64_t> stored_count;
   std::map<std::string, std::vector<Arrival>> per_client;
-  const docstore::Collection* observations =
-      server.database().find_collection(
-          server.config().observations_collection);
-  if (observations != nullptr) {
+  for (core::GoFlowServer* server : servers) {
+    const docstore::Collection* observations =
+        server->database().find_collection(
+            server->config().observations_collection);
+    if (observations == nullptr) continue;
     observations->for_each([&](const docstore::Document& doc) {
       auto span = static_cast<std::uint64_t>(doc.get_int("span", 0));
       if (span != 0) ++stored_count[span];

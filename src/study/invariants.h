@@ -56,6 +56,16 @@ InvariantReport check_invariants(
     const obs::SpanTracker& tracer, core::GoFlowServer& server,
     const std::vector<const client::GoFlowClient*>& clients);
 
+/// Sharded-fleet variant (DESIGN.md §16): the union of every shard's
+/// stores and ingest queues is what the books close against. A span is
+/// "persisted" wherever it landed, and a duplicate is a span id stored
+/// twice *anywhere* in the fleet — a migration that copied instead of
+/// moved shows up here even though each shard looks clean in isolation.
+InvariantReport check_invariants(
+    const obs::SpanTracker& tracer,
+    const std::vector<core::GoFlowServer*>& servers,
+    const std::vector<const client::GoFlowClient*>& clients);
+
 /// Crash forensics for a violated report: records an
 /// invariant_violation flight-recorder event and dumps the calling
 /// thread's ring (the whole run, on a sweep worker) as JSONL to

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "shard/fleet.h"
 
 namespace mps::study {
 
@@ -19,6 +20,31 @@ StudyRunner::StudyRunner(const crowd::Population& population,
 }
 
 void StudyRunner::setup_accounts() {
+  if (config_.shard_fleet != nullptr) {
+    // The identical registration sequence on every shard: tokens are a
+    // pure function of the server's auth RNG, so all nodes mint the same
+    // admin/client tokens and a device's credentials work wherever its
+    // slot lands after a rebalance. Node 0 is the constructor's server_.
+    shard::ShardFleet& fleet = *config_.shard_fleet;
+    for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+      core::GoFlowServer& srv = fleet.node(i).server();
+      auto registration = srv.register_app(config_.app).value_or_throw();
+      std::string token =
+          srv.register_account(registration.admin_token, config_.app,
+                               "study-fleet", core::Role::kClient)
+              .value_or_throw();
+      if (i == 0) {
+        admin_token_ = registration.admin_token;
+        client_token_ = token;
+      } else if (registration.admin_token != admin_token_ ||
+                 token != client_token_) {
+        throw std::logic_error(
+            "StudyRunner: shard registration diverged — fleet nodes must "
+            "start from identical server state");
+      }
+    }
+    return;
+  }
   auto registration = server_.register_app(config_.app).value_or_throw();
   admin_token_ = registration.admin_token;
   client_token_ = server_
@@ -38,6 +64,17 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   auto channels =
       server_.login_client(client_token_, config_.app, profile.id)
           .value_or_throw();
+  if (config_.shard_fleet != nullptr) {
+    // Every shard learns every client (same sequence -> same exchange
+    // name), so a rebalance never strands a device on a shard that has
+    // never heard of it. Node 0 already logged it in above.
+    shard::ShardFleet& fleet = *config_.shard_fleet;
+    for (std::uint32_t i = 1; i < fleet.size(); ++i)
+      fleet.node(i)
+          .server()
+          .login_client(client_token_, config_.app, profile.id)
+          .value_or_throw();
+  }
 
   phone::PhoneConfig pc;
   const phone::DeviceModelSpec* model = phone::find_model(profile.model);
@@ -68,6 +105,15 @@ void StudyRunner::build_device(const crowd::UserProfile& profile) {
   if (config_.faults != nullptr) cc.retry_seed = config_.faults->seed();
   cc.flat_ingest = config_.flat_ingest;
   if (config_.flat_ingest) cc.batch_pool = &pool_;
+  if (config_.shard_fleet != nullptr) {
+    // The router at the ingest edge: consulted per publish, so a slot
+    // move between attempts redirects the very next upload (including
+    // the retry of a batch whose ack was lost on the old owner — the
+    // migrated dedup keys absorb it there).
+    shard::ShardFleet* fleet = config_.shard_fleet;
+    std::string id = profile.id;
+    cc.broker_route = [fleet, id]() { return &fleet->broker_for(id); };
+  }
 
   // Socket mode: a per-device NetClient over loopback. Each device owns
   // its transport (the pending-outbox retry protocol is per-connection),
@@ -190,12 +236,44 @@ void StudyRunner::schedule_server_churn() {
   }
 }
 
+void StudyRunner::schedule_fleet_churn() {
+  TimeMs horizon = days(config_.duration_days);
+  shard::ShardFleet* fleet = config_.shard_fleet;
+  // Per-shard kill/failover churn: each shard draws from its own child
+  // stream, so fleets of different sizes replay each shard identically.
+  for (std::uint32_t i = 0; i < fleet->size(); ++i) {
+    for (const fault::FaultPlan::CrashEvent& ev :
+         config_.faults->shard_kill_schedule(i, horizon)) {
+      sim_.at(ev.at, [fleet, i] {
+        if (!fleet->node(i).down()) fleet->node(i).kill();
+      });
+      sim_.at(ev.at + ev.down_for, [fleet, i] {
+        if (fleet->node(i).down()) fleet->node(i).fail_over();
+      });
+    }
+  }
+  // Slot rebalances racing ingest; a move whose endpoint is down is
+  // refused inside rebalance() and counted as skipped.
+  for (const fault::FaultPlan::RebalanceEvent& ev :
+       config_.faults->rebalance_schedule(horizon)) {
+    std::uint32_t slot = ev.slot % shard::kHashSlots;
+    sim_.at(ev.at, [fleet, slot] { fleet->rebalance_next(slot); });
+  }
+}
+
 void StudyRunner::schedule_snapshots() {
   TimeMs horizon = days(config_.duration_days);
   core::ServerLifecycle* lc = config_.lifecycle;
+  shard::ShardFleet* fleet = config_.shard_fleet;
   for (TimeMs t = config_.snapshot_period; t < horizon;
        t += config_.snapshot_period) {
-    sim_.at(t, [lc] { lc->snapshot(); });  // no-op while down
+    if (fleet != nullptr) {
+      // Fleet snapshots also mirror to each follower, keeping failover
+      // replay bounded.
+      sim_.at(t, [fleet] { fleet->snapshot_all(); });
+    } else {
+      sim_.at(t, [lc] { lc->snapshot(); });  // no-op while down
+    }
   }
 }
 
@@ -205,10 +283,21 @@ StudyReport StudyRunner::run() {
 
   if (config_.faults != nullptr) {
     config_.faults->set_clock([this] { return sim_.now(); });
-    broker_.arm_faults(config_.faults);
-    server_.database().arm_faults(config_.faults);
-    // Admission-shed chaos: the server's ingest gate consults the plan.
-    server_.arm_faults(config_.faults);
+    if (config_.shard_fleet != nullptr) {
+      // Every shard's broker, store and ingest gate consults the one
+      // plan — node 0 is the constructor's broker_/server_.
+      shard::ShardFleet& fleet = *config_.shard_fleet;
+      for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+        fleet.node(i).broker().arm_faults(config_.faults);
+        fleet.node(i).db().arm_faults(config_.faults);
+        fleet.node(i).server().arm_faults(config_.faults);
+      }
+    } else {
+      broker_.arm_faults(config_.faults);
+      server_.database().arm_faults(config_.faults);
+      // Admission-shed chaos: the server's ingest gate consults the plan.
+      server_.arm_faults(config_.faults);
+    }
     if (config_.metrics != nullptr)
       config_.faults->set_metrics(config_.metrics);
   }
@@ -233,7 +322,10 @@ StudyReport StudyRunner::run() {
   }
   if (config_.faults != nullptr && config_.lifecycle != nullptr)
     schedule_server_churn();
-  if (config_.lifecycle != nullptr && config_.snapshot_period > 0)
+  if (config_.faults != nullptr && config_.shard_fleet != nullptr)
+    schedule_fleet_churn();
+  if ((config_.lifecycle != nullptr || config_.shard_fleet != nullptr) &&
+      config_.snapshot_period > 0)
     schedule_snapshots();
 
   TimeMs horizon = days(config_.duration_days);
@@ -248,14 +340,25 @@ StudyReport StudyRunner::run() {
     if (config_.net_server != nullptr && !config_.net_server->listening())
       config_.net_server->recover().throw_if_error();
   }
+  // Same for the fleet: any shard still mid-failover is promoted now.
+  if (config_.shard_fleet != nullptr) config_.shard_fleet->fail_over_all_down();
 
   // Chaos ends with the study: disarm the shared infrastructure so
   // post-run operation (REST jobs, exports — which have no retry path)
   // doesn't keep hitting injected faults.
   if (config_.faults != nullptr) {
-    broker_.arm_faults(nullptr);
-    server_.database().arm_faults(nullptr);
-    server_.arm_faults(nullptr);
+    if (config_.shard_fleet != nullptr) {
+      shard::ShardFleet& fleet = *config_.shard_fleet;
+      for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+        fleet.node(i).broker().arm_faults(nullptr);
+        fleet.node(i).db().arm_faults(nullptr);
+        fleet.node(i).server().arm_faults(nullptr);
+      }
+    } else {
+      broker_.arm_faults(nullptr);
+      server_.database().arm_faults(nullptr);
+      server_.arm_faults(nullptr);
+    }
     if (config_.net_server != nullptr) {
       config_.net_server->arm_faults(nullptr);
       for (Device& device : devices_)
@@ -311,18 +414,42 @@ StudyReport StudyRunner::run() {
   report.publish_failures = device_sums.publish_failures;
   report.upload_retries = device_sums.upload_retries;
   report.retry_giveups = device_sums.retry_giveups;
-  report.pending_server_batches = server_.pending_ingest_batches();
-  report.duplicate_observations = server_.duplicate_observations();
   if (config_.faults != nullptr)
     report.faults_injected = config_.faults->total_injected();
   if (config_.lifecycle != nullptr) {
     report.server_kills = config_.lifecycle->crashes();
     report.server_recoveries = config_.lifecycle->recoveries();
   }
-  auto analytics = server_.analytics(config_.app);
-  if (analytics.ok()) {
-    report.observations_stored = analytics.value().observations_stored;
-    report.mean_delay_ms = analytics.value().delay_stats.mean();
+  if (config_.shard_fleet != nullptr) {
+    // Server-side books are the union across the fleet: a client's
+    // documents live on exactly one shard, so plain sums (and a Welford
+    // merge for the delay stream) are the single-server numbers.
+    shard::ShardFleet& fleet = *config_.shard_fleet;
+    RunningStats delay;
+    for (std::uint32_t i = 0; i < fleet.size(); ++i) {
+      core::GoFlowServer& srv = fleet.node(i).server();
+      report.pending_server_batches += srv.pending_ingest_batches();
+      report.duplicate_observations += srv.duplicate_observations();
+      report.server_kills += fleet.node(i).lifecycle().crashes();
+      report.server_recoveries += fleet.node(i).lifecycle().recoveries();
+      report.shard_failovers += fleet.node(i).failovers();
+      auto analytics = srv.analytics(config_.app);
+      if (analytics.ok()) {
+        report.observations_stored += analytics.value().observations_stored;
+        delay.merge(analytics.value().delay_stats);
+      }
+    }
+    report.mean_delay_ms = delay.mean();
+    report.shard_rebalances = fleet.rebalances();
+    report.shard_rebalances_skipped = fleet.rebalances_skipped();
+  } else {
+    report.pending_server_batches = server_.pending_ingest_batches();
+    report.duplicate_observations = server_.duplicate_observations();
+    auto analytics = server_.analytics(config_.app);
+    if (analytics.ok()) {
+      report.observations_stored = analytics.value().observations_stored;
+      report.mean_delay_ms = analytics.value().delay_stats.mean();
+    }
   }
   return report;
 }

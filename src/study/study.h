@@ -29,6 +29,10 @@
 #include "net/net_client.h"
 #include "net/net_server.h"
 
+namespace mps::shard {
+class ShardFleet;
+}
+
 namespace mps::study {
 
 /// Study configuration.
@@ -88,6 +92,18 @@ struct StudyConfig {
   /// identical to in-process mode), and arms the net fault sites when a
   /// plan is armed. Null = the in-process oracle hand-off.
   net::NetServer* net_server = nullptr;
+  /// Sharded serving plane (DESIGN.md §16): when set, the runner
+  /// registers the app and logs every client in on *every* shard (the
+  /// identical sequence, so tokens and exchange names agree fleet-wide),
+  /// routes each device's publishes to its owning shard's broker via
+  /// ClientConfig::broker_route (re-consulted per publish, so rebalances
+  /// redirect the very next upload), schedules the fault plan's per-shard
+  /// kill/failover churn and slot rebalances, and sums the report across
+  /// nodes. The constructor's broker/server references must be node(0)'s.
+  /// Mutually exclusive with `lifecycle` and `net_server` (the fleet owns
+  /// its nodes' durability; socket fleets route at the NetServer edge via
+  /// redirects instead). Null = the single-server path, unchanged.
+  shard::ShardFleet* shard_fleet = nullptr;
   /// Optional compute plane for the post-run per-device report
   /// aggregation (the study analytics reduce). The simulation itself
   /// stays single-threaded regardless — the kernel must never run on a
@@ -117,6 +133,10 @@ struct StudyReport {
   std::uint64_t faults_injected = 0;
   std::uint64_t server_kills = 0;       ///< middleware-host crashes
   std::uint64_t server_recoveries = 0;  ///< successful recoveries
+  // Fleet accounting (all zero outside shard_fleet mode).
+  std::uint64_t shard_failovers = 0;    ///< follower promotions
+  std::uint64_t shard_rebalances = 0;   ///< slot moves applied
+  std::uint64_t shard_rebalances_skipped = 0;  ///< refused (an end was down)
 };
 
 /// Runs the study.
@@ -155,6 +175,7 @@ class StudyRunner {
   void schedule_user_activity(Device& device);
   void schedule_device_churn(Device& device);
   void schedule_server_churn();
+  void schedule_fleet_churn();
   void schedule_snapshots();
 
   const crowd::Population& population_;

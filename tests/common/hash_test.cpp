@@ -1,0 +1,61 @@
+// Pinned golden values for the project-wide stable hash.
+//
+// fnv1a64 keys cross-process state: shard placement, dedup-key folding,
+// child RNG stream derivation. If its output ever changes, every shard
+// map built by an older binary disagrees with a newer one and clients
+// land on the wrong shard after a rolling restart — and every seeded
+// simulation in the repo replays differently. These goldens pin the
+// function byte-for-byte (project-pinned offset basis 1469598103934665603,
+// FNV prime 0x100000001b3 — see common/hash.h on why the basis is not
+// the canonical published one): any edit that shifts a single output
+// fails here first.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.h"
+
+namespace mps {
+namespace {
+
+TEST(Fnv1a64, PinnedGoldenVectors) {
+  EXPECT_EQ(fnv1a64(""), 1469598103934665603ull);
+  EXPECT_EQ(fnv1a64("a"), 0x44bd8ad473cd9906ull);
+  EXPECT_EQ(fnv1a64("b"), 0x44bd89d473cd9753ull);
+  EXPECT_EQ(fnv1a64("c"), 0x44bd88d473cd95a0ull);
+  EXPECT_EQ(fnv1a64("abc"), 0xe16801510db89efdull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x88fad7c0a8ff07f2ull);
+}
+
+TEST(Fnv1a64, PinnedDomainKeys) {
+  // The exact key shapes the middleware derives placement and dedup
+  // identity from. These pin the concatenation conventions (separator
+  // bytes included) as much as the hash itself.
+  EXPECT_EQ(fnv1a64("soundcity\x1fu0001"), 0xcad1019fb91e09aeull);
+  EXPECT_EQ(fnv1a64("u0001#42"), 0x33f8eb7d69e34490ull);
+  EXPECT_EQ(fnv1a64("goflow-server-ingest"), 0xc55c819a8df8320aull);
+}
+
+TEST(Fnv1a64, ConstexprAndNulByteSafe) {
+  static_assert(fnv1a64("") == 1469598103934665603ull);
+  static_assert(fnv1a64("a") == 0x44bd8ad473cd9906ull);
+  // Embedded NUL bytes hash (string_view carries length, not C strings).
+  std::string with_nul("a\0b", 3);
+  EXPECT_NE(fnv1a64(with_nul), fnv1a64("ab"));
+  EXPECT_NE(fnv1a64(with_nul), fnv1a64("a"));
+}
+
+TEST(Fnv1a64, HighBytesAreUnsigned) {
+  // chars >= 0x80 must widen as unsigned — a sign-extension bug would
+  // produce different hashes depending on the platform's char signedness.
+  std::string high("\xff\x80", 2);
+  std::uint64_t h = 1469598103934665603ull;
+  h ^= 0xffu;
+  h *= 1099511628211ull;
+  h ^= 0x80u;
+  h *= 1099511628211ull;
+  EXPECT_EQ(fnv1a64(high), h);
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,320 @@
+// ShardFleet end to end: routing at the ingest edge, follower promotion
+// after a primary kill, and the rebalance path's no-loss/no-dup
+// contract. These are the invariants the chaos sweeps lean on — every
+// acknowledged observation survives a failover, migrated dedup keys keep
+// redelivery exactly-once across a slot move, and a 1-shard fleet is
+// indistinguishable from the plain single server.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/goflow_server.h"
+#include "core/recovery.h"
+#include "docstore/database.h"
+#include "durable/storage.h"
+#include "fault/fault.h"
+#include "shard/fleet.h"
+#include "sim/simulation.h"
+
+namespace mps::shard {
+namespace {
+
+Value make_batch(const std::string& batch_id, const std::string& client,
+                 int first_seq, int count, TimeMs captured_at) {
+  Array observations;
+  for (int i = 0; i < count; ++i)
+    observations.push_back(Value(Object{{"seq", Value(first_seq + i)},
+                                        {"captured_at", Value(captured_at)},
+                                        {"spl", Value(55.0 + i)}}));
+  return Value(Object{{"batch_id", Value(batch_id)},
+                      {"app", Value("app1")},
+                      {"client", Value(client)},
+                      {"observations", Value(std::move(observations))}});
+}
+
+std::multiset<std::string> stored_keys(docstore::Database& db) {
+  std::multiset<std::string> keys;
+  if (!db.has_collection("observations")) return keys;
+  db.collection("observations").for_each([&](const Value& doc) {
+    keys.insert(doc.get_string("client") + "#" +
+                std::to_string(doc.get_int("seq", -1)));
+  });
+  return keys;
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  obs::Registry registry;
+  ShardFleet fleet;
+
+  explicit Fixture(std::uint32_t shards)
+      : fleet(sim, make_config(shards, &registry)) {
+    for (std::uint32_t i = 0; i < fleet.size(); ++i)
+      fleet.node(i).server().register_app("app1").value_or_throw();
+  }
+
+  static FleetConfig make_config(std::uint32_t shards, obs::Registry* reg) {
+    FleetConfig config;
+    config.shards = shards;
+    config.app = "app1";
+    config.metrics = reg;
+    return config;
+  }
+
+  /// A client publish as the router forwards it: straight into the
+  /// owning shard's broker.
+  Result<broker::PublishResult> publish(const std::string& client,
+                                        const std::string& batch_id,
+                                        int first_seq, int count, TimeMs t) {
+    return fleet.broker_for(client).publish(
+        "goflow", "b", make_batch(batch_id, client, first_seq, count, t), t);
+  }
+};
+
+// Golden routes (pinned in shard_map_test): with two shards, dev1's
+// slot 12 lives on shard 0 and dev2's slot 37 on shard 1.
+TEST(ShardFleet, RoutesEachClientToItsOwningShard) {
+  Fixture f(2);
+  ASSERT_EQ(f.fleet.shard_for("dev1"), 0u);
+  ASSERT_EQ(f.fleet.shard_for("dev2"), 1u);
+
+  f.publish("dev1", "b1", 0, 3, 100).value_or_throw();
+  f.publish("dev2", "b2", 0, 2, 110).value_or_throw();
+
+  EXPECT_EQ(f.fleet.node(0).server().total_observations(), 3u);
+  EXPECT_EQ(f.fleet.node(1).server().total_observations(), 2u);
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()),
+            (std::multiset<std::string>{"dev1#0", "dev1#1", "dev1#2"}));
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()),
+            (std::multiset<std::string>{"dev2#0", "dev2#1"}));
+}
+
+TEST(ShardFleet, FailoverPromotesFollowerWithNothingAcknowledgedLost) {
+  Fixture f(1);
+  ShardNode& node = f.fleet.node(0);
+  f.publish("dev1", "b1", 0, 3, 100).value_or_throw();
+  node.snapshot();  // b1 now lives in the mirrored snapshot
+  f.publish("dev1", "b2", 3, 2, 200).value_or_throw();  // b2 only in the tail
+
+  node.kill();
+  EXPECT_TRUE(node.down());
+  EXPECT_FALSE(f.publish("dev1", "b3", 5, 1, 300).ok());
+
+  node.fail_over();
+  EXPECT_FALSE(node.down());
+  EXPECT_EQ(node.failovers(), 1u);
+  EXPECT_EQ(f.registry.counter("shard.failovers").value(), 1u);
+
+  // Both the snapshotted batch and the shipped tail survived promotion.
+  EXPECT_EQ(node.server().total_observations(), 5u);
+  EXPECT_EQ(stored_keys(node.db()),
+            (std::multiset<std::string>{"dev1#0", "dev1#1", "dev1#2", "dev1#3",
+                                        "dev1#4"}));
+  // Dedup state survived too: redelivering b1 is rejected.
+  f.publish("dev1", "b1", 0, 3, 100).value_or_throw();
+  EXPECT_EQ(node.server().duplicate_batches(), 1u);
+  EXPECT_EQ(node.server().total_observations(), 5u);
+  // And the promoted primary ingests fresh traffic.
+  f.publish("dev1", "b4", 5, 2, 400).value_or_throw();
+  EXPECT_EQ(node.server().total_observations(), 7u);
+}
+
+TEST(ShardFleet, RepeatedFailoverPingPongsBetweenDisks) {
+  Fixture f(1);
+  ShardNode& node = f.fleet.node(0);
+  f.publish("dev1", "b1", 0, 2, 100).value_or_throw();
+
+  node.kill();
+  node.fail_over();  // primary now on disk B
+  f.publish("dev1", "b2", 2, 2, 200).value_or_throw();
+
+  node.kill();
+  node.fail_over();  // back on (wiped, re-shipped) disk A
+  EXPECT_EQ(node.failovers(), 2u);
+  EXPECT_EQ(node.server().total_observations(), 4u);
+  EXPECT_EQ(stored_keys(node.db()), (std::multiset<std::string>{
+                                        "dev1#0", "dev1#1", "dev1#2", "dev1#3"}));
+
+  // Shipping re-attached after every promotion: new appends still flow.
+  EXPECT_TRUE(node.shipper().attached());
+  std::uint64_t shipped = node.shipper().stats().records_shipped;
+  f.publish("dev1", "b3", 4, 1, 300).value_or_throw();
+  EXPECT_GT(node.shipper().stats().records_shipped, shipped);
+}
+
+TEST(ShardFleet, ControllerSwitchoverWorksWhileUp) {
+  Fixture f(1);
+  ShardNode& node = f.fleet.node(0);
+  f.publish("dev1", "b1", 0, 2, 100).value_or_throw();
+  node.fail_over();  // no kill first: planned switchover
+  EXPECT_EQ(node.server().total_observations(), 2u);
+  f.publish("dev1", "b2", 2, 1, 200).value_or_throw();
+  EXPECT_EQ(node.server().total_observations(), 3u);
+}
+
+TEST(ShardFleet, RebalanceMovesDocumentsAndDedupKeysWithoutLossOrDup) {
+  // Batch ids follow the client convention "<client>#<counter>" — the
+  // prefix is what lets the migration find a client's dedup keys.
+  Fixture f(2);
+  f.publish("dev1", "dev1#1", 0, 3, 100).value_or_throw();
+  f.publish("dev1", "dev1#2", 3, 2, 110).value_or_throw();
+  f.publish("dev2", "dev2#1", 0, 1, 120).value_or_throw();
+
+  ASSERT_TRUE(f.fleet.rebalance(slot_of("app1", "dev1"), 1));
+  EXPECT_EQ(f.fleet.rebalances(), 1u);
+  EXPECT_EQ(f.registry.counter("shard.rebalances").value(), 1u);
+  EXPECT_EQ(f.fleet.shard_for("dev1"), 1u);
+  EXPECT_EQ(f.fleet.map().version(), 1u);
+
+  // No loss: every dev1 document moved; no dup: none left behind.
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()), (std::multiset<std::string>{}));
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()),
+            (std::multiset<std::string>{"dev1#0", "dev1#1", "dev1#2", "dev1#3",
+                                        "dev1#4", "dev2#0"}));
+
+  // The dedup keys travelled with the slot: a redelivery of dev1#1 --
+  // which the router now sends to shard 1 -- is still exactly-once.
+  f.publish("dev1", "dev1#1", 0, 3, 100).value_or_throw();
+  EXPECT_EQ(f.fleet.node(1).server().duplicate_batches(), 1u);
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()).size(), 6u);
+
+  // Fresh traffic for the moved client lands on the new owner.
+  f.publish("dev1", "dev1#3", 5, 1, 200).value_or_throw();
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()).size(), 0u);
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()).size(), 7u);
+}
+
+TEST(ShardFleet, RebalanceSurvivesFailoverOnBothEnds) {
+  // The moved state must be crash-durable the moment rebalance returns:
+  // kill both ends right after and promote their followers.
+  Fixture f(2);
+  f.publish("dev1", "dev1#1", 0, 3, 100).value_or_throw();
+  ASSERT_TRUE(f.fleet.rebalance(slot_of("app1", "dev1"), 1));
+
+  f.fleet.node(0).kill();
+  f.fleet.node(1).kill();
+  f.fleet.fail_over_all_down();
+  EXPECT_FALSE(f.fleet.node(0).down());
+  EXPECT_FALSE(f.fleet.node(1).down());
+
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()).size(), 0u);
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()),
+            (std::multiset<std::string>{"dev1#0", "dev1#1", "dev1#2"}));
+  // Dedup keys survived migration + failover.
+  f.publish("dev1", "dev1#1", 0, 3, 100).value_or_throw();
+  EXPECT_EQ(f.fleet.node(1).server().duplicate_batches(), 1u);
+}
+
+TEST(ShardFleet, RebalanceMigratesPendingIngestWork) {
+  Fixture f(2);
+  fault::FaultPlan plan(7);
+  plan.set_clock([&] { return f.sim.now(); });
+  f.fleet.node(0).db().arm_faults(&plan);
+  plan.fail_next(fault::FaultSite::kDocstoreInsert, 1);
+
+  f.publish("dev1", "dev1#1", 0, 2, 100).value_or_throw();
+  ASSERT_EQ(f.fleet.node(0).server().pending_ingest_batches(), 1u);
+  f.fleet.node(0).db().arm_faults(nullptr);
+
+  // The parked batch moves with its slot and completes on the target.
+  ASSERT_TRUE(f.fleet.rebalance(slot_of("app1", "dev1"), 1));
+  EXPECT_EQ(f.fleet.node(0).server().pending_ingest_batches(), 0u);
+  f.sim.run_until(f.sim.now() + hours(1));
+  EXPECT_EQ(f.fleet.node(1).server().pending_ingest_batches(), 0u);
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()).size(), 0u);
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()),
+            (std::multiset<std::string>{"dev1#0", "dev1#1"}));
+  EXPECT_EQ(f.fleet.node(1).server().duplicate_observations(), 0u);
+}
+
+TEST(ShardFleet, OpaqueBatchIdsDoNotMigrateWithTheSlot) {
+  // The documented trade-off: dedup-key migration keys on the
+  // "<client>#<counter>" convention. A batch id that doesn't follow it
+  // has no extractable owner, so the key stays behind and a redelivery
+  // to the new owner is accepted as new. The GoFlow client always uses
+  // the convention; this pins what happens for clients that don't.
+  Fixture f(2);
+  f.publish("dev1", "opaque-batch", 0, 2, 100).value_or_throw();
+  ASSERT_TRUE(f.fleet.rebalance(slot_of("app1", "dev1"), 1));
+  // Documents still migrate (they carry the client field)...
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()),
+            (std::multiset<std::string>{"dev1#0", "dev1#1"}));
+  // ...but the opaque key did not, so the new owner can't dedup it.
+  f.publish("dev1", "opaque-batch", 0, 2, 100).value_or_throw();
+  EXPECT_EQ(f.fleet.node(1).server().duplicate_batches(), 0u);
+  EXPECT_EQ(stored_keys(f.fleet.node(1).db()).size(), 4u);
+}
+
+TEST(ShardFleet, RebalanceIsRefusedWhileEitherEndIsDown) {
+  Fixture f(2);
+  f.publish("dev1", "b1", 0, 1, 100).value_or_throw();
+  std::uint32_t slot = slot_of("app1", "dev1");
+
+  f.fleet.node(1).kill();
+  EXPECT_FALSE(f.fleet.rebalance(slot, 1));
+  EXPECT_EQ(f.fleet.rebalances_skipped(), 1u);
+  EXPECT_EQ(f.fleet.shard_for("dev1"), 0u);  // route unchanged
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()).size(), 1u);
+
+  f.fleet.node(1).fail_over();
+  EXPECT_TRUE(f.fleet.rebalance(slot, 1));
+  EXPECT_EQ(f.fleet.shard_for("dev1"), 1u);
+}
+
+TEST(ShardFleet, RebalanceNextWalksTheRing) {
+  Fixture f(3);
+  std::uint32_t slot = slot_of("app1", "dev1");  // 12 -> shard 0
+  ASSERT_TRUE(f.fleet.rebalance_next(slot));
+  EXPECT_EQ(f.fleet.map().shard_of_slot(slot), 1u);
+  ASSERT_TRUE(f.fleet.rebalance_next(slot));
+  EXPECT_EQ(f.fleet.map().shard_of_slot(slot), 2u);
+  ASSERT_TRUE(f.fleet.rebalance_next(slot));
+  EXPECT_EQ(f.fleet.map().shard_of_slot(slot), 0u);
+
+  // With one shard it is a structural no-op that still reports success.
+  Fixture single(1);
+  EXPECT_TRUE(single.fleet.rebalance_next(slot));
+  EXPECT_EQ(single.fleet.rebalances(), 0u);
+}
+
+// The 1-shard configuration is today's single server: same documents,
+// same counters, same dedup behaviour for the same driven workload.
+TEST(ShardFleet, SingleShardFleetMatchesPlainServer) {
+  auto drive = [](broker::Broker& broker) {
+    const char* clients[] = {"dev1", "dev2", "client-0042"};
+    for (int b = 0; b < 9; ++b)
+      broker
+          .publish("goflow", "b",
+                   make_batch("batch-" + std::to_string(b), clients[b % 3],
+                              b * 10, 2, 100 + b),
+                   1000 + b)
+          .value_or_throw();
+    // One redelivery to exercise dedup on both sides.
+    broker
+        .publish("goflow", "b", make_batch("batch-0", "dev1", 0, 2, 100), 2000)
+        .value_or_throw();
+  };
+
+  Fixture f(1);
+  drive(f.fleet.node(0).broker());
+
+  sim::Simulation sim;
+  broker::Broker broker;
+  docstore::Database db;
+  core::GoFlowServer server(sim, broker, db);
+  durable::MemStorageEnv env;
+  core::ServerLifecycle lc(env, sim, broker, db, server);
+  server.register_app("app1").value_or_throw();
+  drive(broker);
+
+  EXPECT_EQ(stored_keys(f.fleet.node(0).db()), stored_keys(db));
+  EXPECT_EQ(f.fleet.node(0).server().total_observations(),
+            server.total_observations());
+  EXPECT_EQ(f.fleet.node(0).server().total_batches(), server.total_batches());
+  EXPECT_EQ(f.fleet.node(0).server().duplicate_batches(),
+            server.duplicate_batches());
+}
+
+}  // namespace
+}  // namespace mps::shard

@@ -1,0 +1,100 @@
+// Pins the placement function of the sharded serving plane. The slot a
+// client hashes to decides which shard owns its documents, dedup keys
+// and pending batches — if these golden values ever change, every
+// deployed fleet silently reshuffles and the exactly-once guarantees
+// across redirects break. The values were computed from the repo's
+// fnv1a64 (common/hash.h, including its pinned non-canonical offset
+// basis) and must never be "fixed" to match published FNV vectors.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shard/shard_map.h"
+
+namespace mps::shard {
+namespace {
+
+TEST(ShardMap, GoldenSlotAssignments) {
+  EXPECT_EQ(stable_client_hash("app1", "dev1"), 6157455798511333644ull);
+  EXPECT_EQ(stable_client_hash("app1", "dev2"), 6157459097046218277ull);
+  EXPECT_EQ(stable_client_hash("soundcity", "client-0042"),
+            1357955819623680090ull);
+  EXPECT_EQ(slot_of("app1", "dev1"), 12u);
+  EXPECT_EQ(slot_of("app1", "dev2"), 37u);
+  EXPECT_EQ(slot_of("soundcity", "client-0042"), 90u);
+  EXPECT_EQ(slot_of("soundcity", "alpha"), 6u);
+  EXPECT_EQ(slot_of("soundcity", "beta"), 60u);
+}
+
+TEST(ShardMap, SeparatorPreventsConcatenationCollisions) {
+  // "app"+"1dev" vs "app1"+"dev" concatenate identically without the
+  // 0x1f separator; with it they are distinct keys.
+  EXPECT_NE(stable_client_hash("app", "1dev"),
+            stable_client_hash("app1", "dev"));
+  EXPECT_EQ(stable_client_hash("app", "1dev"), 5428261350221009493ull);
+}
+
+TEST(ShardMap, DefaultLayoutIsRoundRobinOverSlots) {
+  ShardMap map(3);
+  EXPECT_EQ(map.shards(), 3u);
+  EXPECT_EQ(map.version(), 0u);
+  for (std::uint32_t s = 0; s < kHashSlots; ++s)
+    EXPECT_EQ(map.shard_of_slot(s), s % 3);
+  // Every shard owns a nontrivial share.
+  for (std::uint32_t shard = 0; shard < 3; ++shard)
+    EXPECT_GE(map.slots_of(shard).size(), kHashSlots / 3);
+}
+
+TEST(ShardMap, SingleShardOwnsEverySlot) {
+  ShardMap map(1);
+  for (std::uint32_t s = 0; s < kHashSlots; ++s)
+    EXPECT_EQ(map.shard_of_slot(s), 0u);
+  EXPECT_EQ(map.shard_for("app1", "dev1"), 0u);
+  EXPECT_EQ(map.slots_of(0).size(), kHashSlots);
+}
+
+TEST(ShardMap, MoveSlotReroutesOnlyThatSlot) {
+  ShardMap map(2);
+  std::uint32_t slot = slot_of("app1", "dev1");  // 12 -> shard 0
+  ASSERT_EQ(map.shard_for("app1", "dev1"), 0u);
+  map.move_slot(slot, 1);
+  EXPECT_EQ(map.shard_for("app1", "dev1"), 1u);
+  EXPECT_EQ(map.version(), 1u);
+  // Every other slot kept its owner.
+  for (std::uint32_t s = 0; s < kHashSlots; ++s) {
+    if (s != slot) {
+      EXPECT_EQ(map.shard_of_slot(s), s % 2);
+    }
+  }
+}
+
+TEST(ShardMap, NoOpMoveDoesNotBumpVersion) {
+  ShardMap map(2);
+  map.move_slot(0, 0);
+  EXPECT_EQ(map.version(), 0u);
+  map.move_slot(0, 1);
+  EXPECT_EQ(map.version(), 1u);
+  map.move_slot(0, 1);
+  EXPECT_EQ(map.version(), 1u);
+}
+
+TEST(ShardMap, RejectsInvalidConfigurations) {
+  EXPECT_THROW(ShardMap(0), std::invalid_argument);
+  ShardMap map(2);
+  EXPECT_THROW(map.move_slot(0, 2), std::invalid_argument);
+  EXPECT_THROW(map.shard_of_slot(kHashSlots), std::out_of_range);
+}
+
+TEST(ShardMap, DistinctMapsAgreeOnRouting) {
+  // The route must be a pure function of (app, client, layout): two maps
+  // built the same way agree on every client, which is what lets the
+  // ingest edge and the serving plane hold independent copies.
+  ShardMap a(4);
+  ShardMap b(4);
+  const char* clients[] = {"dev1", "dev2", "client-0042", "alpha", "beta"};
+  for (const char* c : clients)
+    EXPECT_EQ(a.shard_for("soundcity", c), b.shard_for("soundcity", c));
+}
+
+}  // namespace
+}  // namespace mps::shard

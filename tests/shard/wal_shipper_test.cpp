@@ -1,0 +1,151 @@
+// WalShipper: the replication stream that keeps a follower disk
+// promotable. Every appended record must arrive on the follower byte-
+// compatible with the primary's log (same LSNs, same payloads), shipping
+// must survive detach/re-attach (recovery rebuilds the Wal and the
+// cursor with it), and a fresh shipper pointed at a half-shipped
+// follower must resume where the previous one left off — not re-ship
+// from zero and not skip the gap.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "durable/storage.h"
+#include "durable/wal.h"
+#include "shard/wal_shipper.h"
+
+namespace mps::shard {
+namespace {
+
+using durable::MemStorageEnv;
+using durable::Wal;
+using durable::WalConfig;
+
+using Records = std::vector<std::pair<std::uint64_t, std::string>>;
+
+Records replay_all(durable::StorageEnv& env, const WalConfig& config) {
+  Records out;
+  Wal wal(env, config);
+  wal.replay(0, [&](std::uint64_t lsn, std::string_view payload) {
+    out.emplace_back(lsn, std::string(payload));
+  });
+  return out;
+}
+
+TEST(WalShipper, ShipsEveryAppendAsItHappens) {
+  WalConfig config;
+  MemStorageEnv primary;
+  MemStorageEnv follower;
+  Wal wal(primary, config);
+  WalShipper shipper(0, config);
+  shipper.set_follower(&follower);
+  shipper.attach(&wal);
+  EXPECT_TRUE(shipper.attached());
+
+  Records expected;
+  for (int i = 0; i < 20; ++i) {
+    std::string payload = "record-" + std::to_string(i);
+    expected.emplace_back(wal.append(payload), payload);
+  }
+  // The append listener drains per append: nothing left to pull.
+  EXPECT_EQ(shipper.last_shipped_lsn(), wal.last_lsn());
+  EXPECT_EQ(shipper.stats().records_shipped, 20u);
+  EXPECT_GT(shipper.stats().frames, 0u);
+  EXPECT_GT(shipper.stats().bytes_shipped, 0u);
+  shipper.detach();
+  EXPECT_FALSE(shipper.attached());
+  EXPECT_EQ(wal.open_cursor_count(), 0u);
+
+  EXPECT_EQ(replay_all(follower, config), expected);
+}
+
+TEST(WalShipper, CatchesUpOnAttachAndRotatesFollowerSegments) {
+  WalConfig config;
+  config.segment_bytes = 128;  // force rotation on both sides
+  MemStorageEnv primary;
+  MemStorageEnv follower;
+  Wal wal(primary, config);
+  // Appends before anyone is attached: attach() must catch up on the
+  // whole backlog, not just tail appends.
+  for (int i = 0; i < 50; ++i) wal.append("backlog-" + std::to_string(i));
+
+  WalShipper shipper(0, config);
+  shipper.set_follower(&follower);
+  shipper.attach(&wal);
+  EXPECT_EQ(shipper.last_shipped_lsn(), wal.last_lsn());
+  EXPECT_GT(shipper.stats().follower_segments, 1u);
+  EXPECT_EQ(replay_all(follower, config), replay_all(primary, config));
+}
+
+TEST(WalShipper, FreshShipperResumesFromFollowerContents) {
+  WalConfig config;
+  MemStorageEnv primary;
+  MemStorageEnv follower;
+  Wal wal(primary, config);
+  {
+    WalShipper first(0, config);
+    first.set_follower(&follower);
+    first.attach(&wal);
+    for (int i = 0; i < 10; ++i) wal.append("early-" + std::to_string(i));
+    first.detach();
+  }
+  // Appends while nobody ships: the gap the successor must close.
+  for (int i = 0; i < 10; ++i) wal.append("gap-" + std::to_string(i));
+
+  WalShipper second(0, config);
+  second.set_follower(&follower);
+  // Scanning the follower recovered the resume point before attaching.
+  EXPECT_EQ(second.last_shipped_lsn(), 10u);
+  second.attach(&wal);
+  EXPECT_EQ(second.last_shipped_lsn(), 20u);
+  // Exactly the gap was shipped — no re-ship, no skip.
+  EXPECT_EQ(second.stats().records_shipped, 10u);
+  EXPECT_EQ(replay_all(follower, config), replay_all(primary, config));
+}
+
+TEST(WalShipper, ShipsNothingWithoutAFollower) {
+  WalConfig config;
+  MemStorageEnv primary;
+  Wal wal(primary, config);
+  WalShipper shipper(0, config);
+  shipper.attach(&wal);
+  wal.append("unreplicated");
+  EXPECT_EQ(shipper.stats().records_shipped, 0u);
+  shipper.detach();
+}
+
+TEST(WalShipper, MirrorsSnapshotsAndPrunesStaleOnes) {
+  WalConfig config;
+  MemStorageEnv primary;
+  MemStorageEnv follower;
+  WalShipper shipper(0, config);
+  shipper.set_follower(&follower);
+
+  primary.write_atomic("snap-0000000000000003", "first");
+  shipper.mirror_snapshots(primary);
+  EXPECT_EQ(follower.read("snap-0000000000000003"), "first");
+  EXPECT_EQ(shipper.stats().snapshots_mirrored, 1u);
+
+  // Unchanged snapshots are not re-copied.
+  shipper.mirror_snapshots(primary);
+  EXPECT_EQ(shipper.stats().snapshots_mirrored, 1u);
+
+  // The primary pruned the old snapshot after writing a new one; the
+  // mirror must converge to the same file set or the follower's
+  // recovery could load a snapshot the primary already discarded.
+  primary.remove("snap-0000000000000003");
+  primary.write_atomic("snap-0000000000000009", "second");
+  shipper.mirror_snapshots(primary);
+  EXPECT_FALSE(follower.exists("snap-0000000000000003"));
+  EXPECT_EQ(follower.read("snap-0000000000000009"), "second");
+  EXPECT_EQ(shipper.stats().snapshots_mirrored, 2u);
+
+  // Non-snapshot files on the primary are never mirrored.
+  primary.write_atomic("wal-0000000000000001", "not a snapshot");
+  shipper.mirror_snapshots(primary);
+  EXPECT_FALSE(follower.exists("wal-0000000000000001"));
+}
+
+}  // namespace
+}  // namespace mps::shard
